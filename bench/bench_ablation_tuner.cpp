@@ -1,0 +1,108 @@
+// Ablation of the MISO tuner's design choices (paper §4.4 heuristics and
+// §6 discussion):
+//
+//  * interaction handling (stable partition + sparsification) on/off;
+//  * store-specific knapsack benefits vs the paper-literal "added to both
+//    stores" benefit;
+//  * retention of unselected views vs Algorithm-1-literal dropping;
+//  * transfer-budget (Bt) sensitivity (§6: the Bt / reorganization
+//    frequency trade-off);
+//  * reorganization cadence.
+
+#include <functional>
+
+#include "bench_util.h"
+
+namespace miso {
+namespace {
+
+Seconds RunWith(
+    const std::function<void(sim::SimConfig*)>& mutate) {
+  sim::SimConfig config =
+      bench_util::DefaultConfig(sim::SystemVariant::kMsMiso);
+  mutate(&config);
+  return bench_util::Run(config).Tti();
+}
+
+int RealMain() {
+  Logger::SetThreshold(LogLevel::kWarning);
+  bench_util::PrintHeader("Ablation: MISO tuner design choices");
+
+  const Seconds baseline = RunWith([](sim::SimConfig*) {});
+  std::printf("%-44s %10s %8s\n", "configuration", "TTI(s)", "vs base");
+  auto row = [&](const char* label, Seconds tti) {
+    std::printf("%-44s %10.0f %+7.1f%%\n", label, tti,
+                100 * (tti / baseline - 1));
+  };
+  row("baseline (paper defaults)", baseline);
+
+  row("no interaction handling / sparsification",
+      RunWith([](sim::SimConfig* c) { c->handle_interactions = false; }));
+  row("paper-literal both-stores benefit",
+      RunWith([](sim::SimConfig* c) { c->store_specific_benefit = false; }));
+  row("paper-literal dropping of unselected views", RunWith([](sim::SimConfig* c) {
+        // Exposed through the tuner config inside the simulator.
+        c->store_specific_benefit = true;
+        c->handle_interactions = true;
+        c->reorg_every = 3;
+        c->hv_storage_budget = c->hv_storage_budget;  // unchanged
+        c->transfer_budget = c->transfer_budget;
+        c->epoch_length = 3;
+        c->benefit_decay = 0.6;
+        c->tune_compute_s = 30;
+        c->retain_unselected_views = false;
+      }));
+
+  bench_util::PrintHeader("Ablation: transfer budget Bt (§6 trade-off)");
+  for (Bytes bt : {Bytes(0), 2 * kGiB, 5 * kGiB, 10 * kGiB, 40 * kGiB,
+                   160 * kGiB}) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "Bt = %s",
+                  FormatBytes(bt).c_str());
+    row(label, RunWith([bt](sim::SimConfig* c) { c->transfer_budget = bt; }));
+  }
+
+  bench_util::PrintHeader("Ablation: reorganization cadence");
+  for (int every : {1, 3, 8, 16}) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "reorganize every %d queries",
+                  every);
+    row(label, RunWith([every](sim::SimConfig* c) {
+          c->reorg_every = every;
+        }));
+  }
+  // §3.1 also allows time-based triggering.
+  for (Seconds period : {10000.0, 30000.0}) {
+    char label[64];
+    std::snprintf(label, sizeof(label),
+                  "time-based trigger, every %.0fk sim-seconds",
+                  period / 1000);
+    row(label, RunWith([period](sim::SimConfig* c) {
+          c->reorg_every = 0;
+          c->reorg_every_seconds = period;
+        }));
+  }
+
+  bench_util::PrintHeader("Ablation: benefit decay / history");
+  for (double decay : {0.2, 0.6, 1.0}) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "epoch decay = %.1f", decay);
+    row(label, RunWith([decay](sim::SimConfig* c) {
+          c->benefit_decay = decay;
+        }));
+  }
+  for (int window : {3, 6, 12}) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "history window = %d queries",
+                  window);
+    row(label, RunWith([window](sim::SimConfig* c) {
+          c->history_window = window;
+        }));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace miso
+
+int main() { return miso::RealMain(); }

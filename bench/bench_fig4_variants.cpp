@@ -1,0 +1,60 @@
+// Figure 4: total TTI of the five system variants on the 32-query
+// workload, with the component breakdown (DW-EXE, TRANSFER, TUNE, HV-EXE,
+// ETL).
+//
+// Paper shape: MS-MISO best (77% under HV-ONLY, 4.3x); HV-OP second
+// (59%, 2.4x); MS-BASIC a modest 19%; DW-ONLY ~3% *slower* than HV-ONLY
+// because ETL dominates its TTI.
+
+#include "bench_util.h"
+
+namespace miso {
+namespace {
+
+int RealMain() {
+  Logger::SetThreshold(LogLevel::kWarning);
+  bench_util::PrintHeader("Figure 4: TTI of the five system variants");
+
+  const sim::SystemVariant variants[] = {
+      sim::SystemVariant::kHvOnly, sim::SystemVariant::kDwOnly,
+      sim::SystemVariant::kMsBasic, sim::SystemVariant::kHvOp,
+      sim::SystemVariant::kMsMiso};
+
+  Seconds hv_only = 0;
+  std::printf("%-9s %10s %10s %9s %8s %8s %9s %9s\n", "variant", "TTI(s)",
+              "HV-EXE", "DW-EXE", "XFER", "TUNE", "ETL", "speedup");
+  for (sim::SystemVariant v : variants) {
+    sim::RunReport report = bench_util::Run(bench_util::DefaultConfig(v));
+    if (v == sim::SystemVariant::kHvOnly) hv_only = report.Tti();
+    std::printf("%-9s %10.0f %10.0f %9.0f %8.0f %8.0f %9.0f %8.2fx\n",
+                report.variant_name.c_str(), report.Tti(), report.hv_exe_s,
+                report.dw_exe_s, report.transfer_s, report.tune_s,
+                report.etl_s, hv_only / report.Tti());
+  }
+  std::printf(
+      "\npaper speedups vs HV-ONLY: DW-ONLY 0.97x, MS-BASIC 1.2x, "
+      "HV-OP 2.4x, MS-MISO 4.3x\n");
+
+  // Optional plotting output: set MISO_CSV_DIR to dump one summary CSV
+  // plus per-query CSVs for each variant.
+  if (const char* dir = std::getenv("MISO_CSV_DIR")) {
+    std::string summary;
+    bool first = true;
+    for (sim::SystemVariant v : variants) {
+      sim::RunReport report = bench_util::Run(bench_util::DefaultConfig(v));
+      summary += sim::SummaryToCsv(report, first);
+      first = false;
+      (void)sim::WriteFile(std::string(dir) + "/fig4_queries_" +
+                               report.variant_name + ".csv",
+                           sim::QueriesToCsv(report));
+    }
+    (void)sim::WriteFile(std::string(dir) + "/fig4_summary.csv", summary);
+    std::printf("CSV written to %s\n", dir);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace miso
+
+int main() { return miso::RealMain(); }

@@ -1,0 +1,68 @@
+// Figure 5: (a) cumulative TTI after each completed query for the five
+// variants — DW-ONLY is flat until its ETL completes; (b) the
+// distribution of per-query execution times over the paper's buckets.
+//
+// Paper shape (5b): DW-ONLY is the top curve (65% < 10 s, 90% < 100 s);
+// HV-ONLY the bottom (<3% under 1000 s); MS-MISO completes ~30% of
+// queries in under 100 s while HV-OP / MS-BASIC complete none.
+
+#include <map>
+
+#include "bench_util.h"
+
+namespace miso {
+namespace {
+
+int RealMain() {
+  Logger::SetThreshold(LogLevel::kWarning);
+
+  const sim::SystemVariant variants[] = {
+      sim::SystemVariant::kHvOnly, sim::SystemVariant::kDwOnly,
+      sim::SystemVariant::kMsBasic, sim::SystemVariant::kHvOp,
+      sim::SystemVariant::kMsMiso};
+
+  std::map<sim::SystemVariant, sim::RunReport> reports;
+  for (sim::SystemVariant v : variants) {
+    reports.emplace(v, bench_util::Run(bench_util::DefaultConfig(v)));
+  }
+
+  bench_util::PrintHeader("Figure 5a: TTI vs queries completed");
+  std::printf("%-8s", "queries");
+  for (sim::SystemVariant v : variants) {
+    std::printf(" %10s", std::string(sim::SystemVariantToString(v)).c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < 32; i += 4) {
+    std::printf("%-8zu", i + 4);
+    for (sim::SystemVariant v : variants) {
+      std::printf(" %10.0f", reports.at(v).TtiCurve()[i + 3]);
+    }
+    std::printf("\n");
+  }
+
+  bench_util::PrintHeader(
+      "Figure 5b: fraction of queries with execution time below bound");
+  const std::vector<Seconds> bounds = {10,   100,  1000,  2000,  5000,
+                                       10000, 20000, 45000};
+  std::printf("%-8s", "< (s)");
+  for (sim::SystemVariant v : variants) {
+    std::printf(" %10s", std::string(sim::SystemVariantToString(v)).c_str());
+  }
+  std::printf("\n");
+  for (size_t b = 0; b < bounds.size(); ++b) {
+    std::printf("%-8.0f", bounds[b]);
+    for (sim::SystemVariant v : variants) {
+      std::printf(" %9.0f%%", 100 * reports.at(v).ExecTimeCdf(bounds)[b]);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\npaper: DW-ONLY top curve (65%% < 10 s), HV-ONLY bottom; MS-MISO "
+      ">= 30%% under 100 s\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace miso
+
+int main() { return miso::RealMain(); }

@@ -1,0 +1,66 @@
+// Figure 6: per-query store-utilization breakdown (fraction of execution
+// time in HV, transferring, and in DW), queries ranked by DW utilization,
+// for MS-BASIC and MS-MISO at 0.125x and 2x view storage budgets.
+//
+// Paper shape: 2 DW-majority queries for MS-BASIC, 9 for MS-MISO at
+// 0.125x, 14 at 2x; the HV-seconds-per-DW-second ratio over the 16
+// top-ranked queries drops from ~55 (MS-BASIC) to ~1.6 (0.125x) to ~0.12
+// (2x); operator split ratios shift from ~1/3 DW to 3/3 DW for the
+// fastest queries.
+
+#include "bench_util.h"
+
+namespace miso {
+namespace {
+
+void PrintBreakdown(const sim::RunReport& report, const char* label) {
+  bench_util::PrintHeader(std::string("Figure 6: ") + label);
+  std::printf("%-5s %-7s %7s %7s %7s %9s %8s\n", "rank", "query", "HV%",
+              "XFER%", "DW%", "exec(s)", "ops DW");
+  const std::vector<int> ranked = report.RankByDwUtilization();
+  for (size_t i = 0; i < ranked.size() && i < 20; ++i) {
+    const sim::QueryRecord& q =
+        report.queries[static_cast<size_t>(ranked[i])];
+    const Seconds total = q.ExecTime();
+    const double hv = total > 0 ? q.breakdown.hv_exec_s / total : 0;
+    const double xfer =
+        total > 0
+            ? (q.breakdown.dump_s + q.breakdown.transfer_load_s) / total
+            : 0;
+    const double dw = total > 0 ? q.breakdown.dw_exec_s / total : 0;
+    std::printf("%-5zu %-7s %6.0f%% %6.0f%% %6.0f%% %9.0f %5d/%d\n", i + 1,
+                q.name.c_str(), 100 * hv, 100 * xfer, 100 * dw, total,
+                q.ops_dw, q.ops_total);
+  }
+  std::printf(
+      "DW-majority queries: %d of %zu;  HV seconds per DW second "
+      "(top 16): %.2f\n",
+      report.DwMajorityQueries(), report.queries.size(),
+      report.HvPerDwSecond(16));
+}
+
+int RealMain() {
+  Logger::SetThreshold(LogLevel::kWarning);
+
+  sim::RunReport basic =
+      bench_util::Run(bench_util::DefaultConfig(sim::SystemVariant::kMsBasic));
+  PrintBreakdown(basic, "MS-BASIC");
+
+  sim::SimConfig small =
+      bench_util::BudgetConfig(sim::SystemVariant::kMsMiso, 0.125);
+  PrintBreakdown(bench_util::Run(small), "MS-MISO (0.125x budget)");
+
+  sim::RunReport big =
+      bench_util::Run(bench_util::DefaultConfig(sim::SystemVariant::kMsMiso));
+  PrintBreakdown(big, "MS-MISO (2x budget)");
+
+  std::printf(
+      "\npaper: DW-majority counts 2 / 9 / 14; HV-per-DW-second 55 / 1.6 "
+      "/ 0.12\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace miso
+
+int main() { return miso::RealMain(); }

@@ -1,0 +1,52 @@
+// Figure 7: comparison of multistore tuning techniques at the constrained
+// budgets Bh = Bd = 0.125x, Bt = 10 GB.
+//
+// Paper shape: MS-BASIC worst; MS-MISO 60% better than MS-OFF and 56%
+// better than MS-LRU; MS-ORA (oracle) best, with MS-MISO ~32% behind it.
+// (Known deviation, see EXPERIMENTS.md: our MS-OFF is a stronger offline
+// baseline than the paper's and does not collapse at small budgets.)
+
+#include "bench_util.h"
+
+namespace miso {
+namespace {
+
+int RealMain() {
+  Logger::SetThreshold(LogLevel::kWarning);
+  bench_util::PrintHeader(
+      "Figure 7: tuning techniques at Bh=Bd=0.125x, Bt=10GB");
+
+  const sim::SystemVariant variants[] = {
+      sim::SystemVariant::kMsBasic, sim::SystemVariant::kMsOff,
+      sim::SystemVariant::kMsLru, sim::SystemVariant::kMsMiso,
+      sim::SystemVariant::kMsOra};
+
+  Seconds miso_tti = 0;
+  std::printf("%-9s %10s %10s %9s %8s %8s\n", "variant", "TTI(s)", "HV-EXE",
+              "DW-EXE", "XFER", "TUNE");
+  std::vector<std::pair<std::string, Seconds>> results;
+  for (sim::SystemVariant v : variants) {
+    sim::RunReport report =
+        bench_util::Run(bench_util::BudgetConfig(v, 0.125));
+    if (v == sim::SystemVariant::kMsMiso) miso_tti = report.Tti();
+    results.emplace_back(report.variant_name, report.Tti());
+    std::printf("%-9s %10.0f %10.0f %9.0f %8.0f %8.0f\n",
+                report.variant_name.c_str(), report.Tti(), report.hv_exe_s,
+                report.dw_exe_s, report.transfer_s, report.tune_s);
+  }
+
+  std::printf("\nMS-MISO improvement over each technique:\n");
+  for (const auto& [name, tti] : results) {
+    if (name == "MS-MISO") continue;
+    std::printf("  vs %-9s %+6.1f%%\n", name.c_str(),
+                100 * (1 - miso_tti / tti));
+  }
+  std::printf(
+      "paper: +60%% vs MS-OFF, +56%% vs MS-LRU, -32%% vs MS-ORA\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace miso
+
+int main() { return miso::RealMain(); }

@@ -1,0 +1,43 @@
+// Figure 8: TTI of MS-LRU, MS-OFF, and MS-MISO while the view storage
+// budgets Bh = Bd sweep over {0.125x, 0.5x, 1x, 2x, 4x} of the base data,
+// with Bt fixed at 10 GB.
+//
+// Paper shape: MS-MISO best at every budget; MS-LRU and MS-OFF improve
+// with larger budgets and the three converge at 2-4x, where storage is
+// plentiful enough to retain everything useful.
+
+#include "bench_util.h"
+
+namespace miso {
+namespace {
+
+int RealMain() {
+  Logger::SetThreshold(LogLevel::kWarning);
+  bench_util::PrintHeader(
+      "Figure 8: budget sweep (Bh=Bd fraction of base data, Bt=10GB)");
+
+  const double fractions[] = {0.125, 0.5, 1.0, 2.0, 4.0};
+  const sim::SystemVariant variants[] = {sim::SystemVariant::kMsLru,
+                                         sim::SystemVariant::kMsOff,
+                                         sim::SystemVariant::kMsMiso};
+
+  std::printf("%-8s %12s %12s %12s\n", "budget", "MS-LRU", "MS-OFF",
+              "MS-MISO");
+  for (double f : fractions) {
+    std::printf("%-7.3fx", f);
+    for (sim::SystemVariant v : variants) {
+      sim::RunReport report = bench_util::Run(bench_util::BudgetConfig(v, f));
+      std::printf(" %12.0f", report.Tti());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\npaper: MISO best everywhere; others converge toward it at "
+      "2-4x\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace miso
+
+int main() { return miso::RealMain(); }

@@ -1,0 +1,62 @@
+// Section 3.2 motivation chart: two consecutive queries of one analyst
+// (q1, q2 with overlap) under HV-ONLY, MS-BASIC, and MS-MISO with one
+// reorganization phase between them.
+//
+// Paper shape: MS-BASIC only ~8% faster than HV-ONLY; MS-MISO ~2x faster
+// than both, because the reorganization put the right views into DW
+// before q2 executed.
+
+#include "bench_util.h"
+
+namespace miso {
+namespace {
+
+int RealMain() {
+  Logger::SetThreshold(LogLevel::kWarning);
+  bench_util::PrintHeader(
+      "Section 3.2: q1, q2 (consecutive analyst versions)");
+
+  // q1 = A1v2, q2 = A1v3 (the paper used A1v2/A1v3 of its workload).
+  std::vector<workload::WorkloadQuery> pair;
+  for (const workload::WorkloadQuery& q : bench_util::Workload().queries()) {
+    if (q.analyst == 0 && (q.version == 1 || q.version == 2)) {
+      pair.push_back(q);
+    }
+  }
+
+  struct Row {
+    const char* name;
+    sim::SystemVariant variant;
+  };
+  const Row rows[] = {
+      {"HV-ONLY", sim::SystemVariant::kHvOnly},
+      {"MS-BASIC", sim::SystemVariant::kMsBasic},
+      {"MS-MISO", sim::SystemVariant::kMsMiso},
+  };
+
+  Seconds hv_only = 0;
+  std::printf("%-9s %10s %10s %10s\n", "variant", "q1 (s)", "q2 (s)",
+              "total (s)");
+  for (const Row& row : rows) {
+    sim::SimConfig config = bench_util::DefaultConfig(row.variant);
+    config.reorg_every = 1;  // reorganization between q1 and q2
+    sim::MultistoreSimulator simulator(&bench_util::Catalog(), config);
+    auto report = simulator.Run(pair);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    const Seconds total = report->Tti();
+    if (row.variant == sim::SystemVariant::kHvOnly) hv_only = total;
+    std::printf("%-9s %10.0f %10.0f %10.0f   (%.2fx vs HV-ONLY)\n",
+                row.name, report->queries[0].ExecTime(),
+                report->queries[1].ExecTime(), total, hv_only / total);
+  }
+  std::printf("\npaper: MS-BASIC ~1.08x, MS-MISO ~2x\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace miso
+
+int main() { return miso::RealMain(); }

@@ -1,0 +1,55 @@
+// Table 2: mutual impact of the multistore workload and the DW reporting
+// workload, for four spare-capacity configurations.
+//
+//   DW spare capacity | slowdown of DW queries | slowdown of multistore
+//   IO  40%           | 1.1%                   | 2.5%
+//   IO  20%           | 1.7%                   | 4.0%
+//   CPU 40%           | 0.3%                   | 4.2%
+//   CPU 20%           | 0.8%                   | 5.0%
+
+#include "bench_util.h"
+#include "workload/background.h"
+
+namespace miso {
+namespace {
+
+int RealMain() {
+  Logger::SetThreshold(LogLevel::kWarning);
+  bench_util::PrintHeader("Table 2: spare-capacity interference matrix");
+
+  // Idle-DW baseline for the multistore slowdown column.
+  const sim::RunReport idle =
+      bench_util::Run(bench_util::DefaultConfig(sim::SystemVariant::kMsMiso));
+
+  struct Case {
+    const char* label;
+    dw::BackgroundWorkload background;
+    double paper_dw;
+    double paper_ms;
+  };
+  const Case cases[] = {
+      {"IO  40%", workload::SpareIo40(), 1.1, 2.5},
+      {"IO  20%", workload::SpareIo20(), 1.7, 4.0},
+      {"CPU 40%", workload::SpareCpu40(), 0.3, 4.2},
+      {"CPU 20%", workload::SpareCpu20(), 0.8, 5.0},
+  };
+
+  std::printf("%-9s %14s %14s %14s %14s\n", "spare", "DW slowdown",
+              "(paper)", "MS slowdown", "(paper)");
+  for (const Case& c : cases) {
+    sim::SimConfig config =
+        bench_util::DefaultConfig(sim::SystemVariant::kMsMiso);
+    config.background = c.background;
+    sim::RunReport report = bench_util::Run(config);
+    const double ms_slowdown = report.Tti() / idle.Tti() - 1.0;
+    std::printf("%-9s %13.1f%% %13.1f%% %13.1f%% %13.1f%%\n", c.label,
+                100 * report.background_slowdown, c.paper_dw,
+                100 * ms_slowdown, c.paper_ms);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace miso
+
+int main() { return miso::RealMain(); }

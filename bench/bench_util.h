@@ -1,0 +1,73 @@
+#ifndef MISO_BENCH_BENCH_UTIL_H_
+#define MISO_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "core/miso.h"
+
+namespace miso::bench_util {
+
+/// The paper-scale catalog (2 TB of logs) shared by all experiment
+/// harnesses.
+inline const relation::Catalog& Catalog() {
+  static const auto* catalog =
+      new relation::Catalog(relation::MakePaperCatalog());
+  return *catalog;
+}
+
+/// The paper's 32-query evolutionary workload (8 analysts x 4 versions).
+inline const workload::EvolutionaryWorkload& Workload() {
+  static const auto* workload = [] {
+    auto w = workload::EvolutionaryWorkload::Generate(
+        &Catalog(), workload::WorkloadConfig{});
+    if (!w.ok()) {
+      std::fprintf(stderr, "workload generation failed: %s\n",
+                   w.status().ToString().c_str());
+      std::abort();
+    }
+    return new workload::EvolutionaryWorkload(std::move(w).value());
+  }();
+  return *workload;
+}
+
+/// Runs the paper workload under `config`, aborting on error (these are
+/// experiment harnesses; any failure is a bug).
+inline sim::RunReport Run(const sim::SimConfig& config) {
+  sim::MultistoreSimulator simulator(&Catalog(), config);
+  auto report = simulator.Run(Workload().queries());
+  if (!report.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n",
+                 report.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(report).value();
+}
+
+/// Default experiment configuration (§5.2): Bh = Bd = 2x, Bt = 10 GB,
+/// reorganize every 3 queries.
+inline sim::SimConfig DefaultConfig(sim::SystemVariant variant) {
+  sim::SimConfig config;
+  config.variant = variant;
+  config.hv_storage_budget = 4 * kTiB;      // 2x of 2 TB base data
+  config.dw_storage_budget = 400 * kGiB;    // 2x of 200 GB relevant data
+  config.transfer_budget = 10 * kGiB;
+  return config;
+}
+
+/// Budgets as a fraction of the base data (Figures 7/8).
+inline sim::SimConfig BudgetConfig(sim::SystemVariant variant,
+                                   double fraction) {
+  sim::SimConfig config = DefaultConfig(variant);
+  config.hv_storage_budget = static_cast<Bytes>(fraction * 2 * kTiB);
+  config.dw_storage_budget = static_cast<Bytes>(fraction * 200 * kGiB);
+  return config;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace miso::bench_util
+
+#endif  // MISO_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,75 @@
+// Capacity planning with the what-if machinery: how much DW view storage
+// (Bd), HV view storage (Bh), and per-reorganization transfer budget (Bt)
+// does this workload actually need? The example sweeps the three budgets
+// independently and reports the TTI knee points — the §6 discussion of
+// the Bt trade-off, turned into a runnable planning tool.
+//
+// Run:  ./build/examples/example_capacity_planning
+
+#include <cstdio>
+#include <vector>
+
+#include "core/miso.h"
+
+namespace {
+
+using namespace miso;  // example code: keep the listing short
+
+Seconds RunWith(const workload::EvolutionaryWorkload& workload,
+                Bytes bh, Bytes bd, Bytes bt) {
+  MisoConfig config;
+  config.sim.variant = sim::SystemVariant::kMsMiso;
+  config.sim.hv_storage_budget = bh;
+  config.sim.dw_storage_budget = bd;
+  config.sim.transfer_budget = bt;
+  MultistoreSystem system(config);
+  auto report = system.Execute(workload.queries());
+  return report.ok() ? report->Tti() : -1;
+}
+
+int RealMain() {
+  Logger::SetThreshold(LogLevel::kWarning);
+  MultistoreSystem probe(MisoConfig{});
+  auto workload = workload::EvolutionaryWorkload::Generate(
+      &probe.catalog(), workload::WorkloadConfig{});
+  if (!workload.ok()) return 1;
+
+  const Bytes bh_default = 4 * kTiB;
+  const Bytes bd_default = 400 * kGiB;
+  const Bytes bt_default = 10 * kGiB;
+
+  std::printf("Sweep 1: DW view storage budget Bd (Bh=4TiB, Bt=10GiB)\n");
+  for (Bytes bd : std::vector<Bytes>{25 * kGiB, 50 * kGiB, 100 * kGiB,
+                                     200 * kGiB, 400 * kGiB}) {
+    std::printf("  Bd = %-10s TTI = %8.0f s\n", FormatBytes(bd).c_str(),
+                RunWith(*workload, bh_default, bd, bt_default));
+  }
+
+  std::printf("\nSweep 2: HV view storage budget Bh (Bd=400GiB, Bt=10GiB)\n");
+  for (Bytes bh : std::vector<Bytes>{256 * kGiB, 512 * kGiB, kTiB,
+                                     2 * kTiB, 4 * kTiB}) {
+    std::printf("  Bh = %-10s TTI = %8.0f s\n", FormatBytes(bh).c_str(),
+                RunWith(*workload, bh, bd_default, bt_default));
+  }
+
+  std::printf(
+      "\nSweep 3: transfer budget Bt per reorganization "
+      "(Bh=4TiB, Bd=400GiB)\n");
+  for (Bytes bt : std::vector<Bytes>{0, 2 * kGiB, 5 * kGiB, 10 * kGiB,
+                                     20 * kGiB, 80 * kGiB}) {
+    std::printf("  Bt = %-10s TTI = %8.0f s\n", FormatBytes(bt).c_str(),
+                RunWith(*workload, bh_default, bd_default, bt));
+  }
+
+  std::printf(
+      "\nReading the knees: HV storage pays for itself up to roughly the\n"
+      "workload's working set; DW storage beyond the hot views adds "
+      "little;\nand a small Bt already captures most of the benefit while "
+      "keeping\neach reorganization's impact on the warehouse short "
+      "(paper §6).\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return RealMain(); }

@@ -1,0 +1,137 @@
+// Online exploration with the lower-level APIs: build ad-hoc queries with
+// the plan builder, watch the optimizer pick split points against the
+// current design, run the MISO tuner by hand, and see how the same query
+// gets cheaper as the design adapts.
+//
+// This example drives the library the way an embedding application would:
+// one query at a time, no pre-generated workload.
+//
+// Run:  ./build/examples/example_online_exploration
+
+#include <cstdio>
+
+#include "core/miso.h"
+
+namespace {
+
+using namespace miso;  // example code: keep the listing short
+
+/// One exploration step of an analyst studying coffee-related check-ins.
+Result<plan::Plan> CoffeeQuery(const plan::PlanBuilder& builder,
+                               const std::string& name, int64_t since_day,
+                               double since_sel) {
+  using plan::CompareOp;
+  auto tweets =
+      builder.Scan("twitter")
+          .Extract({"user_id", "ts", "topic", "text"})
+          .Filter({plan::MakeAtom("topic", CompareOp::kLike, "coffee%",
+                                  0.12),
+                   plan::MakeAtom("ts", CompareOp::kGt,
+                                  std::to_string(since_day), since_sel)});
+  auto checkins =
+      builder.Scan("foursquare")
+          .Extract({"user_id", "ts", "checkin_loc", "category"})
+          .Filter({plan::MakeAtom("category", CompareOp::kEq, "cafe",
+                                  0.15)});
+  plan::UdfParams scoring;
+  scoring.name = "audience_score";
+  scoring.size_factor = 0.3;
+  scoring.cpu_factor = 2.0;
+  scoring.dw_compatible = true;  // SQL-expressible
+  return tweets.Join(checkins, "user_id")
+      .Udf(scoring)
+      .Aggregate({"category"}, {{"count", "*"}})
+      .Build(name);
+}
+
+int RealMain() {
+  Logger::SetThreshold(LogLevel::kWarning);
+
+  // Assemble the pieces by hand (what MultistoreSystem does internally).
+  relation::Catalog catalog = relation::MakePaperCatalog();
+  plan::NodeFactory factory(&catalog);
+  plan::PlanBuilder builder(&catalog);
+  hv::HvStore hv_store(hv::HvConfig{}, 4 * kTiB);
+  dw::DwStore dw_store(dw::DwConfig{}, 400 * kGiB);
+  transfer::TransferModel mover{transfer::TransferConfig{}};
+  optimizer::MultistoreOptimizer optimizer(&factory, &hv_store.cost_model(),
+                                           &dw_store.cost_model(), &mover);
+
+  tuner::MisoTunerConfig tuner_config;
+  tuner_config.hv_storage_budget = 4 * kTiB;
+  tuner_config.dw_storage_budget = 400 * kGiB;
+  tuner_config.transfer_budget = 10 * kGiB;
+  tuner::MisoTuner miso(&optimizer, tuner_config);
+
+  uint64_t next_view_id = 1;
+  std::vector<plan::Plan> history;
+
+  auto explore = [&](const plan::Plan& query) -> Result<Seconds> {
+    MISO_ASSIGN_OR_RETURN(
+        optimizer::MultistorePlan best,
+        optimizer.Optimize(query, dw_store.catalog(), hv_store.catalog()));
+    // Execute the HV side (harvesting by-product views).
+    if (best.HvOnly()) {
+      MISO_ASSIGN_OR_RETURN(
+          hv::HvExecution exec,
+          hv_store.Execute(best.executed.root(),
+                           static_cast<int>(history.size()), 0,
+                           &next_view_id, query.signature()));
+      for (views::View& v : exec.produced_views) {
+        MISO_RETURN_IF_ERROR(hv_store.catalog().AddUnchecked(std::move(v)));
+      }
+    } else {
+      for (const plan::NodePtr& cut : best.cut_inputs) {
+        if (cut->kind() == plan::OpKind::kScan ||
+            cut->kind() == plan::OpKind::kViewScan) {
+          continue;
+        }
+        MISO_ASSIGN_OR_RETURN(
+            hv::HvExecution exec,
+            hv_store.Execute(cut, static_cast<int>(history.size()), 0,
+                             &next_view_id, query.signature()));
+        for (views::View& v : exec.produced_views) {
+          MISO_RETURN_IF_ERROR(
+              hv_store.catalog().AddUnchecked(std::move(v)));
+        }
+      }
+    }
+    history.push_back(query);
+    std::printf("%s", optimizer::ExplainMultistorePlan(best).c_str());
+    return best.cost.Total();
+  };
+
+  std::printf("Exploration session (each step one ad-hoc query):\n");
+  auto v1 = CoffeeQuery(builder, "coffee_v1", 15200, 0.5);
+  if (!v1.ok()) return 1;
+  (void)explore(*v1);
+
+  // Reorganize: the tuner inspects the history and the harvested views.
+  auto reorg = miso.Tune(hv_store.catalog(), dw_store.catalog(), history);
+  if (!reorg.ok()) return 1;
+  std::printf("  [reorganization] %s\n", reorg->Summary().c_str());
+  (void)tuner::ApplyReorgPlan(*reorg, &hv_store.catalog(),
+                              &dw_store.catalog());
+
+  // The analyst narrows the time window (subsumable) and re-runs: the
+  // optimizer now answers from the warehouse.
+  auto v2 = CoffeeQuery(builder, "coffee_v2", 15320, 0.3);
+  if (!v2.ok()) return 1;
+  (void)explore(*v2);
+
+  auto v3 = CoffeeQuery(builder, "coffee_v3", 15400, 0.2);
+  if (!v3.ok()) return 1;
+  (void)explore(*v3);
+
+  std::printf(
+      "\nDW design now holds %d views (%s of %s); HV holds %d views.\n",
+      dw_store.catalog().size(),
+      FormatBytes(dw_store.catalog().used_bytes()).c_str(),
+      FormatBytes(dw_store.catalog().budget()).c_str(),
+      hv_store.catalog().size());
+  return 0;
+}
+
+}  // namespace
+
+int main() { return RealMain(); }

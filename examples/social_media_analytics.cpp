@@ -1,0 +1,75 @@
+// The paper's motivating scenario end-to-end: eight marketing analysts
+// iteratively refine exploratory queries over 2 TB of social-media logs
+// (tweets + check-ins + landmark reference data). The multistore system
+// accelerates them with an existing parallel warehouse, tuning the
+// placement of opportunistic views after every three queries.
+//
+// Run:  ./build/examples/example_social_media_analytics
+
+#include <cstdio>
+#include <string>
+
+#include "core/miso.h"
+#include "datagen/record_generator.h"
+
+namespace {
+
+using namespace miso;  // example code: keep the listing short
+
+int RealMain() {
+  Logger::SetThreshold(LogLevel::kWarning);
+
+  MisoConfig config;
+  config.sim.variant = sim::SystemVariant::kMsMiso;
+  MultistoreSystem system(config);
+
+  // Peek at the kind of raw data the analysts explore.
+  std::printf("Sample raw log records (synthetic):\n");
+  for (const char* dataset : {"twitter", "foursquare"}) {
+    auto gen = datagen::RecordGenerator::Create(system.catalog(), dataset,
+                                                2026);
+    std::string record = gen->NextRecord();
+    if (record.size() > 110) record = record.substr(0, 107) + "...";
+    std::printf("  %-10s %s\n", dataset, record.c_str());
+  }
+
+  auto workload = workload::EvolutionaryWorkload::Generate(
+      &system.catalog(), workload::WorkloadConfig{});
+  if (!workload.ok()) return 1;
+
+  auto report = system.Execute(workload->queries());
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nPer-query trace (time in simulated seconds):\n");
+  std::printf("%-7s %-18s %9s %6s %6s %6s %6s\n", "query", "mutation",
+              "exec(s)", "HV%", "XFER%", "DW%", "views");
+  for (const sim::QueryRecord& q : report->queries) {
+    const workload::WorkloadQuery& wq =
+        workload->queries()[static_cast<size_t>(q.index)];
+    const Seconds total = q.ExecTime();
+    auto pct = [total](Seconds part) {
+      return total > 0 ? 100.0 * part / total : 0.0;
+    };
+    std::printf("%-7s %-18s %9.0f %5.0f%% %5.0f%% %5.0f%% %6d\n",
+                q.name.c_str(),
+                std::string(workload::MutationKindToString(wq.mutation))
+                    .c_str(),
+                total, pct(q.breakdown.hv_exec_s),
+                pct(q.breakdown.dump_s + q.breakdown.transfer_load_s),
+                pct(q.breakdown.dw_exec_s), q.views_used);
+  }
+
+  std::printf("\n%s\n", report->Summary().c_str());
+  std::printf(
+      "The first version of each analyst's query pays the full Hadoop "
+      "price;\nonce the tuner has moved the right views into the "
+      "warehouse, later\nversions run in seconds instead of hours.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return RealMain(); }

@@ -1,0 +1,27 @@
+#include "common/hash.h"
+
+namespace miso {
+
+uint64_t HashBytes(std::string_view bytes, uint64_t seed) {
+  uint64_t h = seed;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t HashCombine(uint64_t a, uint64_t b) {
+  // 64-bit variant of boost::hash_combine with a golden-ratio constant.
+  a ^= b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4);
+  return a * kFnvPrime;
+}
+
+uint64_t HashCombineUnordered(uint64_t a, uint64_t b) {
+  // Commutative & associative: plain modular sum keeps set semantics.
+  // Callers should pre-mix weak inputs (e.g. via HashBytes) before
+  // combining.
+  return a + b;
+}
+
+}  // namespace miso

@@ -1,0 +1,27 @@
+#ifndef MISO_COMMON_HASH_H_
+#define MISO_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace miso {
+
+/// 64-bit FNV-1a offset basis / prime. Plan signatures (plan/signature.h)
+/// are built from these primitives; they must be stable across platforms
+/// because signatures are the identity of materialized views.
+inline constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// FNV-1a over a byte string.
+uint64_t HashBytes(std::string_view bytes, uint64_t seed = kFnvOffsetBasis);
+
+/// Order-dependent combination of two 64-bit hashes (boost-style mix).
+uint64_t HashCombine(uint64_t a, uint64_t b);
+
+/// Order-independent combination, for sets of child hashes whose order is
+/// not semantically meaningful (e.g. conjuncts of a predicate).
+uint64_t HashCombineUnordered(uint64_t a, uint64_t b);
+
+}  // namespace miso
+
+#endif  // MISO_COMMON_HASH_H_

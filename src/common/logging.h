@@ -1,0 +1,52 @@
+#ifndef MISO_COMMON_LOGGING_H_
+#define MISO_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace miso {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Minimal leveled logger writing to stderr. The simulator and tuner emit
+/// INFO-level traces of reorganization decisions; tests and benches lower
+/// the threshold to kWarning to keep output clean.
+class Logger {
+ public:
+  /// Global severity threshold; messages below it are dropped.
+  static void SetThreshold(LogLevel level);
+  static LogLevel threshold();
+
+  /// Emits one line: "[LEVEL] message".
+  static void Log(LogLevel level, const std::string& message);
+};
+
+namespace internal_logging {
+
+/// Stream-style one-shot message builder used by the MISO_LOG macro.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Log(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace miso
+
+#define MISO_LOG(level) \
+  ::miso::internal_logging::LogMessage(::miso::LogLevel::level)
+
+#endif  // MISO_COMMON_LOGGING_H_

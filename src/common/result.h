@@ -1,0 +1,78 @@
+#ifndef MISO_COMMON_RESULT_H_
+#define MISO_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace miso {
+
+/// Value-or-error holder, in the spirit of arrow::Result / absl::StatusOr.
+///
+/// A `Result<T>` is either OK and holds a `T`, or holds a non-OK `Status`.
+/// Accessing the value of an errored result is a programming error (checked
+/// by assert in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Constructs an errored result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok());
+  }
+
+  /// Constructs an OK result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value or `fallback` when errored.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace miso
+
+/// Evaluates `expr` (a Result<T>), propagating its error, else assigning the
+/// value into `lhs`. Usable in functions returning Status or Result<U>.
+#define MISO_ASSIGN_OR_RETURN(lhs, expr)                  \
+  MISO_ASSIGN_OR_RETURN_IMPL_(                            \
+      MISO_CONCAT_(_miso_result_, __LINE__), lhs, expr)
+
+#define MISO_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define MISO_CONCAT_(a, b) MISO_CONCAT_IMPL_(a, b)
+#define MISO_CONCAT_IMPL_(a, b) a##b
+
+#endif  // MISO_COMMON_RESULT_H_

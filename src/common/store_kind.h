@@ -1,0 +1,19 @@
+#ifndef MISO_COMMON_STORE_KIND_H_
+#define MISO_COMMON_STORE_KIND_H_
+
+#include <string_view>
+
+namespace miso {
+
+/// The two stores of the multistore system (paper §3): HV is the Hive /
+/// Hadoop big-data store holding the raw logs; DW is the parallel RDBMS
+/// used as an accelerator.
+enum class StoreKind { kHv = 0, kDw = 1 };
+
+inline std::string_view StoreKindToString(StoreKind store) {
+  return store == StoreKind::kHv ? "HV" : "DW";
+}
+
+}  // namespace miso
+
+#endif  // MISO_COMMON_STORE_KIND_H_

@@ -1,0 +1,59 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace miso {
+
+namespace {
+
+Bytes RoundNonNegative(double v) {
+  if (v <= 0) return 0;
+  return static_cast<Bytes>(std::llround(v));
+}
+
+}  // namespace
+
+Bytes KiB(double n) { return RoundNonNegative(n * static_cast<double>(kKiB)); }
+Bytes MiB(double n) { return RoundNonNegative(n * static_cast<double>(kMiB)); }
+Bytes GiB(double n) { return RoundNonNegative(n * static_cast<double>(kGiB)); }
+Bytes TiB(double n) { return RoundNonNegative(n * static_cast<double>(kTiB)); }
+
+Bytes ScaleBytes(Bytes size, double factor) {
+  return RoundNonNegative(static_cast<double>(size) * factor);
+}
+
+std::string FormatBytes(Bytes size) {
+  const char* suffix = "B";
+  double v = static_cast<double>(size);
+  if (size >= kTiB) {
+    v /= static_cast<double>(kTiB);
+    suffix = "TiB";
+  } else if (size >= kGiB) {
+    v /= static_cast<double>(kGiB);
+    suffix = "GiB";
+  } else if (size >= kMiB) {
+    v /= static_cast<double>(kMiB);
+    suffix = "MiB";
+  } else if (size >= kKiB) {
+    v /= static_cast<double>(kKiB);
+    suffix = "KiB";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", v, suffix);
+  return buf;
+}
+
+std::string FormatSeconds(Seconds s) {
+  char buf[64];
+  if (s >= 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f h", s / 3600.0);
+  } else if (s >= 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f min", s / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", s);
+  }
+  return buf;
+}
+
+}  // namespace miso

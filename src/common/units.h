@@ -1,0 +1,40 @@
+#ifndef MISO_COMMON_UNITS_H_
+#define MISO_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace miso {
+
+/// Data sizes are tracked in bytes as signed 64-bit integers (signed so
+/// subtraction in budget accounting cannot silently wrap).
+using Bytes = int64_t;
+
+/// Simulated wall-clock durations and timestamps, in seconds.
+using Seconds = double;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+inline constexpr Bytes kTiB = 1024 * kGiB;
+
+/// Convenience constructors: MiB(1.5) == 1.5 * 2^20 bytes, rounded.
+Bytes KiB(double n);
+Bytes MiB(double n);
+Bytes GiB(double n);
+Bytes TiB(double n);
+
+/// Fractions of a byte count, rounded to the nearest byte and clamped to be
+/// non-negative. Used by the cardinality estimator when applying
+/// selectivities.
+Bytes ScaleBytes(Bytes size, double factor);
+
+/// Pretty-prints a byte count with a binary-unit suffix, e.g. "1.50 GiB".
+std::string FormatBytes(Bytes size);
+
+/// Pretty-prints a duration, e.g. "12.3 s", "4.56 h".
+std::string FormatSeconds(Seconds s);
+
+}  // namespace miso
+
+#endif  // MISO_COMMON_UNITS_H_

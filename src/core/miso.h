@@ -1,0 +1,46 @@
+#ifndef MISO_CORE_MISO_H_
+#define MISO_CORE_MISO_H_
+
+/// Umbrella header for the MISO multistore tuning library — a from-scratch
+/// reproduction of "MISO: Souping Up Big Data Query Processing with a
+/// Multistore System" (LeFevre et al., SIGMOD 2014).
+///
+/// Layers (bottom-up):
+///  * common/    — Status/Result, units, RNG, hashing, logging
+///  * relation/  — schemas and the statistical log catalog
+///  * plan/      — predicates, logical operators, plans, estimator
+///  * views/     — opportunistic views, per-store catalogs, rewriter
+///  * hv/, dw/   — the two store simulators and their cost models
+///  * transfer/  — the HV <-> DW movement pipeline
+///  * optimizer/ — multistore split optimizer with what-if mode
+///  * tuner/     — benefits, interactions, knapsacks, the MISO tuner
+///  * workload/  — the evolutionary-analytics workload generator
+///  * sim/       — end-to-end simulation of all system variants
+///  * core/      — this facade
+
+#include "common/logging.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/store_kind.h"
+#include "common/units.h"
+#include "core/multistore_system.h"
+#include "dw/dw_store.h"
+#include "dw/resource_model.h"
+#include "hv/hv_store.h"
+#include "optimizer/dot.h"
+#include "optimizer/explain.h"
+#include "optimizer/multistore_optimizer.h"
+#include "plan/builder.h"
+#include "plan/printer.h"
+#include "relation/catalog.h"
+#include "sim/report_io.h"
+#include "sim/simulator.h"
+#include "transfer/transfer_model.h"
+#include "tuner/baseline_tuners.h"
+#include "tuner/miso_tuner.h"
+#include "views/rewriter.h"
+#include "workload/background.h"
+#include "workload/evolutionary.h"
+
+#endif  // MISO_CORE_MISO_H_

@@ -1,0 +1,27 @@
+#include "core/multistore_system.h"
+
+namespace miso {
+
+MultistoreSystem::MultistoreSystem(const MisoConfig& config)
+    : config_(config),
+      catalog_(relation::MakePaperCatalog(config.catalog_scale)) {}
+
+Result<sim::RunReport> MultistoreSystem::Execute(
+    const std::vector<workload::WorkloadQuery>& queries) const {
+  sim::MultistoreSimulator simulator(&catalog_, config_.sim);
+  return simulator.Run(queries);
+}
+
+Result<sim::RunReport> MultistoreSystem::ExecutePlans(
+    const std::vector<plan::Plan>& plans) const {
+  std::vector<workload::WorkloadQuery> queries;
+  queries.reserve(plans.size());
+  for (const plan::Plan& p : plans) {
+    workload::WorkloadQuery q;
+    q.plan = p;
+    queries.push_back(std::move(q));
+  }
+  return Execute(queries);
+}
+
+}  // namespace miso

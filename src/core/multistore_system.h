@@ -1,0 +1,63 @@
+#ifndef MISO_CORE_MULTISTORE_SYSTEM_H_
+#define MISO_CORE_MULTISTORE_SYSTEM_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "relation/catalog.h"
+#include "sim/simulator.h"
+#include "workload/evolutionary.h"
+
+namespace miso {
+
+/// Top-level configuration of a multistore system instance.
+struct MisoConfig {
+  /// Dataset catalog scale relative to the paper's 2 TB of logs (1.0 =
+  /// paper scale; tests use much smaller scales).
+  double catalog_scale = 1.0;
+  sim::SimConfig sim;
+};
+
+/// Public facade over the library: a two-store (HV + DW) system processing
+/// a stream of analytical queries over raw logs, with the physical design
+/// of both stores tuned per the configured system variant (MS-MISO by
+/// default).
+///
+/// Typical use:
+///
+///   MisoConfig config;
+///   config.sim.variant = sim::SystemVariant::kMsMiso;
+///   MultistoreSystem system(config);
+///   auto workload = workload::EvolutionaryWorkload::Generate(
+///       &system.catalog(), {});
+///   auto report = system.Execute(workload->queries());
+///   std::cout << report->Summary() << "\n";
+class MultistoreSystem {
+ public:
+  explicit MultistoreSystem(const MisoConfig& config);
+
+  const relation::Catalog& catalog() const { return catalog_; }
+  const MisoConfig& config() const { return config_; }
+
+  /// Runs a query stream through the configured system variant.
+  Result<sim::RunReport> Execute(
+      const std::vector<workload::WorkloadQuery>& queries) const;
+
+  /// Convenience overload for bare plans.
+  Result<sim::RunReport> ExecutePlans(
+      const std::vector<plan::Plan>& plans) const;
+
+  /// A builder bound to this system's catalog, for composing ad-hoc
+  /// queries against the log datasets.
+  plan::PlanBuilder MakePlanBuilder() const {
+    return plan::PlanBuilder(&catalog_);
+  }
+
+ private:
+  MisoConfig config_;
+  relation::Catalog catalog_;
+};
+
+}  // namespace miso
+
+#endif  // MISO_CORE_MULTISTORE_SYSTEM_H_

@@ -1,0 +1,81 @@
+#include "datagen/record_generator.h"
+
+#include <algorithm>
+
+namespace miso::datagen {
+
+namespace {
+
+using relation::DataType;
+using relation::Field;
+
+/// Deterministic word pool for synthetic string fields.
+constexpr const char* kWords[] = {
+    "coffee", "espresso", "brunch", "launch",  "review",  "sunset",
+    "market", "museum",   "park",   "concert", "stadium", "harbor",
+};
+
+std::string SyntheticString(const Field& field, int64_t id, Rng* rng) {
+  std::string value = kWords[rng->Uniform(0, 11)];
+  value += '_';
+  value += field.name.substr(0, 3);
+  value += std::to_string(id % std::max<int64_t>(1, field.distinct_values));
+  // Pad toward the field's average width so synthetic volumes resemble the
+  // catalog's statistics.
+  while (static_cast<Bytes>(value.size()) + 2 < field.avg_width) {
+    value += 'x';
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<RecordGenerator> RecordGenerator::Create(
+    const relation::Catalog& catalog, const std::string& dataset,
+    uint64_t seed) {
+  MISO_ASSIGN_OR_RETURN(relation::LogDataset ds,
+                        catalog.FindDataset(dataset));
+  return RecordGenerator(std::move(ds), seed);
+}
+
+std::string RecordGenerator::NextRecord() {
+  const int64_t id = next_id_++;
+  std::string json = "{";
+  bool first = true;
+  for (const Field& field : dataset_.schema.fields()) {
+    if (!first) json += ", ";
+    first = false;
+    json += '"';
+    json += field.name;
+    json += "\": ";
+    switch (field.type) {
+      case DataType::kInt64:
+      case DataType::kTimestamp:
+        json += std::to_string(
+            rng_.Uniform(1, std::max<int64_t>(1, field.distinct_values)));
+        break;
+      case DataType::kDouble:
+        json += std::to_string(rng_.UniformReal(0.0, 100.0));
+        break;
+      case DataType::kBool:
+        json += rng_.Bernoulli(0.5) ? "true" : "false";
+        break;
+      case DataType::kString:
+        json += '"';
+        json += SyntheticString(field, id, &rng_);
+        json += '"';
+        break;
+    }
+  }
+  json += "}";
+  return json;
+}
+
+std::vector<std::string> RecordGenerator::Records(int n) {
+  std::vector<std::string> out;
+  out.reserve(static_cast<size_t>(std::max(n, 0)));
+  for (int i = 0; i < n; ++i) out.push_back(NextRecord());
+  return out;
+}
+
+}  // namespace miso::datagen

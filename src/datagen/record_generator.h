@@ -1,0 +1,46 @@
+#ifndef MISO_DATAGEN_RECORD_GENERATOR_H_
+#define MISO_DATAGEN_RECORD_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "relation/catalog.h"
+
+namespace miso::datagen {
+
+/// Synthesizes JSON log records matching a catalog dataset's schema and
+/// field statistics. The tuning pipeline itself never touches record
+/// contents (costs depend only on the statistical catalog), but the
+/// example programs use this generator to show what the simulated logs
+/// look like and to demonstrate the SerDe extraction the Extract operator
+/// models.
+class RecordGenerator {
+ public:
+  /// Binds to one dataset of `catalog`. Errors when the dataset is
+  /// unknown.
+  static Result<RecordGenerator> Create(const relation::Catalog& catalog,
+                                        const std::string& dataset,
+                                        uint64_t seed);
+
+  /// Next synthetic record as a single-line JSON object.
+  std::string NextRecord();
+
+  /// Convenience: `n` records, one JSON object per line.
+  std::vector<std::string> Records(int n);
+
+  const relation::LogDataset& dataset() const { return dataset_; }
+
+ private:
+  RecordGenerator(relation::LogDataset dataset, uint64_t seed)
+      : dataset_(std::move(dataset)), rng_(seed) {}
+
+  relation::LogDataset dataset_;
+  Rng rng_;
+  int64_t next_id_ = 1;
+};
+
+}  // namespace miso::datagen
+
+#endif  // MISO_DATAGEN_RECORD_GENERATOR_H_

@@ -1,0 +1,60 @@
+#include "dw/dw_cost_model.h"
+
+#include <algorithm>
+
+namespace miso::dw {
+
+using plan::NodePtr;
+using plan::OpKind;
+
+Result<Seconds> DwCostModel::CostDwSide(
+    const std::unordered_set<const plan::OperatorNode*>& dw_side,
+    const std::unordered_set<const plan::OperatorNode*>& temp_inputs) const {
+  if (dw_side.empty()) return Seconds{0};
+
+  Seconds cost = config_.query_overhead_s;
+  for (const plan::OperatorNode* node : dw_side) {
+    if (!node->dw_executable()) {
+      return Status::FailedPrecondition(
+          std::string("operator not executable in DW: ") +
+          std::string(plan::OpKindToString(node->kind())));
+    }
+    if (node->kind() == OpKind::kViewScan) continue;  // charged at consumer
+
+    double bytes = 0;
+    double rate_mbps =
+        node->kind() == OpKind::kJoin || node->kind() == OpKind::kAggregate
+            ? config_.op_mbps
+            : config_.scan_mbps;
+    // UDFs run as (slower) in-database functions; scale by CPU weight.
+    if (node->kind() == OpKind::kUdf) {
+      rate_mbps = config_.op_mbps / std::max(1.0, node->udf().cpu_factor);
+    }
+
+    for (const NodePtr& child : node->children()) {
+      double child_bytes = static_cast<double>(child->stats().bytes);
+      if (temp_inputs.count(child.get()) > 0) {
+        // Migrated working set in an unindexed temp table: charge the
+        // scan-rate penalty as extra bytes at the operator's rate.
+        child_bytes *= config_.scan_mbps / config_.temp_scan_mbps;
+      } else if (node->kind() == OpKind::kFilter &&
+                 child->kind() == OpKind::kViewScan &&
+                 child->view_scan().store == StoreKind::kDw) {
+        // Index pruning on a permanent view.
+        const double sel = node->filter().predicate.Selectivity();
+        child_bytes *= std::max(sel, config_.index_floor);
+      }
+      bytes += child_bytes;
+    }
+    cost += bytes / config_.ClusterRate(rate_mbps);
+  }
+  return cost;
+}
+
+Result<Seconds> DwCostModel::FullPlanCost(const plan::Plan& plan) const {
+  std::unordered_set<const plan::OperatorNode*> all;
+  for (const NodePtr& node : plan.PostOrder()) all.insert(node.get());
+  return CostDwSide(all, /*temp_inputs=*/{});
+}
+
+}  // namespace miso::dw

@@ -1,0 +1,51 @@
+#ifndef MISO_DW_DW_COST_MODEL_H_
+#define MISO_DW_DW_COST_MODEL_H_
+
+#include <unordered_set>
+
+#include "common/result.h"
+#include "common/units.h"
+#include "dw/dw_config.h"
+#include "plan/plan.h"
+
+namespace miso::dw {
+
+/// Analytical cost model for DW executions. This stands in for the
+/// commercial warehouse's own what-if optimizer units (§3.1 — the paper
+/// calibrates those units to seconds; here the model is specified in
+/// seconds directly).
+///
+/// Charging scheme: each operator pays its input bytes at a kind-specific
+/// rate over the 9-way parallel cluster. Leaf reads are free (charged at
+/// the consuming operator); a Filter directly over a permanent ViewScan
+/// enjoys index pruning (reads max(sel, index_floor) of the view).
+class DwCostModel {
+ public:
+  explicit DwCostModel(const DwConfig& config) : config_(config) {}
+
+  const DwConfig& config() const { return config_; }
+
+  /// Cost of executing, inside DW, the operators of `dw_side` (an
+  /// upward-closed set of nodes of one plan, identified by pointer).
+  /// `temp_inputs` are the nodes *below* the cut whose outputs were
+  /// migrated into temporary tables (their consumers scan at temp rate).
+  ///
+  /// Requires every node in `dw_side` to be DW-executable; errors
+  /// otherwise. The `query_overhead_s` is charged once iff the set is
+  /// non-empty.
+  Result<Seconds> CostDwSide(
+      const std::unordered_set<const plan::OperatorNode*>& dw_side,
+      const std::unordered_set<const plan::OperatorNode*>& temp_inputs)
+      const;
+
+  /// Cost of a plan that executes entirely in DW (all leaves are
+  /// DW-resident ViewScans).
+  Result<Seconds> FullPlanCost(const plan::Plan& plan) const;
+
+ private:
+  DwConfig config_;
+};
+
+}  // namespace miso::dw
+
+#endif  // MISO_DW_DW_COST_MODEL_H_

@@ -1,0 +1,39 @@
+#ifndef MISO_DW_DW_STORE_H_
+#define MISO_DW_DW_STORE_H_
+
+#include "common/result.h"
+#include "dw/dw_cost_model.h"
+#include "views/view_catalog.h"
+
+namespace miso::dw {
+
+/// The DW store: a tightly-managed parallel warehouse holding the business
+/// data plus a bounded set of permanently-loaded log views (the DW half of
+/// the multistore design). The view storage budget `Bd` is strictly
+/// enforced — DW table space is a controlled resource (§3.1).
+///
+/// Working sets migrated during query execution occupy *temporary* table
+/// space and are discarded at query end; they never enter the catalog.
+class DwStore {
+ public:
+  DwStore(const DwConfig& config, Bytes view_storage_budget)
+      : cost_model_(config), catalog_(view_storage_budget) {}
+
+  const DwCostModel& cost_model() const { return cost_model_; }
+  views::ViewCatalog& catalog() { return catalog_; }
+  const views::ViewCatalog& catalog() const { return catalog_; }
+
+  /// Loads `view` into permanent table space (budget-enforced).
+  Status LoadView(views::View view) { return catalog_.Add(std::move(view)); }
+
+  /// Drops a permanent view.
+  Status EvictView(views::ViewId id) { return catalog_.Remove(id); }
+
+ private:
+  DwCostModel cost_model_;
+  views::ViewCatalog catalog_;
+};
+
+}  // namespace miso::dw
+
+#endif  // MISO_DW_DW_STORE_H_

@@ -1,0 +1,111 @@
+#include "dw/resource_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace miso::dw {
+
+std::string_view DwActivityKindToString(DwActivityKind kind) {
+  switch (kind) {
+    case DwActivityKind::kReorgTransfer:
+      return "R";
+    case DwActivityKind::kWorkingSetTransfer:
+      return "T";
+    case DwActivityKind::kQueryExec:
+      return "Q";
+  }
+  return "?";
+}
+
+Seconds ResourceLedger::RecordActivity(DwActivityKind kind, Seconds start,
+                                       Seconds duration, double io_demand,
+                                       double cpu_demand) {
+  // The activity shares the cluster with the background stream; stretch
+  // its duration proportionally to the background's total load.
+  const double bg_load =
+      std::max(background_.io_demand, background_.cpu_demand);
+  const Seconds stretched =
+      duration * (1.0 + contention_.activity_stretch * bg_load);
+
+  const bool is_transfer = kind != DwActivityKind::kQueryExec;
+  if (is_transfer && stretched > 0) {
+    // Bulk transfers saturate the disks only in short bursts; the rest of
+    // the load pipeline (staging, validation, index builds) runs at the
+    // steady demand.
+    const Seconds burst = stretched * contention_.transfer_burst_duty;
+    DwActivity burst_activity{kind, start, burst, io_demand, cpu_demand};
+    activities_.push_back(burst_activity);
+    DwActivity steady{kind, start + burst, stretched - burst,
+                      contention_.transfer_steady_io, cpu_demand * 0.5};
+    activities_.push_back(steady);
+  } else {
+    DwActivity activity{kind, start, stretched, io_demand, cpu_demand};
+    activities_.push_back(activity);
+  }
+  return stretched;
+}
+
+Seconds ResourceLedger::LatencyUnderDemand(double io, double cpu) const {
+  const double peak = std::max(io, cpu);
+  if (peak > 1.0) {
+    const double share =
+        std::max(contention_.min_bg_share, 1.0 - (peak - 1.0));
+    return background_.base_query_latency_s / share;
+  }
+  // Below saturation: mild queueing delay proportional to the extra
+  // (multistore-added) demand on the busier resource.
+  const double extra = std::max(
+      {0.0, io - background_.io_demand, cpu - background_.cpu_demand});
+  return background_.base_query_latency_s *
+         (1.0 + contention_.sub_saturation_sensitivity * extra);
+}
+
+std::vector<DwTickSample> ResourceLedger::TickSeries(Seconds horizon) const {
+  std::vector<DwTickSample> series;
+  const Seconds tick = contention_.tick_s;
+  const int n = static_cast<int>(std::ceil(horizon / tick));
+  series.reserve(static_cast<size_t>(std::max(n, 0)));
+  for (int i = 0; i < n; ++i) {
+    const Seconds t0 = i * tick;
+    const Seconds t1 = t0 + tick;
+    DwTickSample sample;
+    sample.time = t0;
+    double io = background_.io_demand;
+    double cpu = background_.cpu_demand;
+    Seconds best_overlap = 0;
+    for (const DwActivity& a : activities_) {
+      const Seconds overlap =
+          std::min(t1, a.start + a.duration) - std::max(t0, a.start);
+      if (overlap <= 0) continue;
+      const double frac = overlap / tick;
+      io += a.io_demand * frac;
+      cpu += a.cpu_demand * frac;
+      if (overlap > best_overlap) {
+        best_overlap = overlap;
+        sample.activity.assign(DwActivityKindToString(a.kind));
+      }
+    }
+    sample.bg_query_latency_s = LatencyUnderDemand(io, cpu);
+    sample.io_used = std::min(1.0, io);
+    sample.cpu_used = std::min(1.0, cpu);
+    series.push_back(std::move(sample));
+  }
+  return series;
+}
+
+Seconds ResourceLedger::AverageBackgroundLatency(Seconds horizon) const {
+  if (horizon <= 0) return background_.base_query_latency_s;
+  const std::vector<DwTickSample> series = TickSeries(horizon);
+  if (series.empty()) return background_.base_query_latency_s;
+  Seconds sum = 0;
+  for (const DwTickSample& s : series) sum += s.bg_query_latency_s;
+  return sum / static_cast<double>(series.size());
+}
+
+double ResourceLedger::BackgroundSlowdown(Seconds horizon) const {
+  return AverageBackgroundLatency(horizon) /
+             background_.base_query_latency_s -
+         1.0;
+}
+
+}  // namespace miso::dw

@@ -1,0 +1,121 @@
+#ifndef MISO_DW_RESOURCE_MODEL_H_
+#define MISO_DW_RESOURCE_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace miso::dw {
+
+/// Kind of multistore activity placing load on the DW cluster. The labels
+/// mirror Figure 9's annotations: R = reorganization view transfers,
+/// T = working-set transfers during query execution, Q = DW-side query
+/// execution.
+enum class DwActivityKind { kReorgTransfer, kWorkingSetTransfer, kQueryExec };
+
+std::string_view DwActivityKindToString(DwActivityKind kind);
+
+/// One interval of DW resource demand from the multistore workload.
+struct DwActivity {
+  DwActivityKind kind = DwActivityKind::kQueryExec;
+  Seconds start = 0;
+  Seconds duration = 0;
+  /// Fraction of cluster IO / CPU demanded while active (may exceed spare).
+  double io_demand = 0;
+  double cpu_demand = 0;
+};
+
+/// The background reporting workload continuously running on DW (§5.4):
+/// parameterized streams of an IO-intensive query (TPC-DS q3-like) or a
+/// CPU-intensive query (q83-like), consuming a fixed fraction of the
+/// cluster's resources and leaving `1 - demand` spare.
+struct BackgroundWorkload {
+  /// Steady-state fraction of cluster IO / CPU the reporting stream uses.
+  double io_demand = 0.6;
+  double cpu_demand = 0.2;
+  /// Mean execution time of one reporting query with no multistore load.
+  Seconds base_query_latency_s = 1.06;
+};
+
+/// Per-tick sample of the DW cluster state (Figure 9's series).
+struct DwTickSample {
+  Seconds time = 0;
+  double io_used = 0;   // clamped to [0, 1]
+  double cpu_used = 0;  // clamped to [0, 1]
+  /// Average latency of background reporting queries during this tick.
+  Seconds bg_query_latency_s = 0;
+  /// Dominant multistore activity in this tick (empty if none).
+  std::string activity;
+};
+
+/// Contention parameters. The slowdown of background queries follows a
+/// saturation law: demand beyond 100 % stretches latency by
+/// 1 / max(min_share, 1 - excess); below saturation, extra demand adds a
+/// mild queueing delay. Multistore activities are symmetrically slowed by
+/// the background load (they only get a share of the cluster).
+///
+/// Transfers (R/T activities) saturate the disks only in short bursts —
+/// bulk loads alternate staging, constraint checks, and index builds — so
+/// only `transfer_burst_duty` of a transfer's duration carries its full
+/// IO demand; the remainder runs at `transfer_steady_io`. This reproduces
+/// Figure 9's anatomy: brief latency spikes, tiny average impact
+/// (Table 2's 0.3-5 % slowdowns).
+struct ContentionConfig {
+  /// Sampling tick (the paper samples iostat every 10 s).
+  Seconds tick_s = 10.0;
+  /// Floor on the service share a background query retains under overload.
+  double min_bg_share = 0.125;
+  /// Stretch factor applied to a multistore activity per unit of
+  /// background demand (max of IO/CPU).
+  double activity_stretch = 0.3;
+  /// Fraction of a transfer's duration at full (saturating) IO demand.
+  double transfer_burst_duty = 0.02;
+  /// IO demand of a transfer outside its bursts.
+  double transfer_steady_io = 0.25;
+  /// Latency sensitivity to sub-saturation extra demand.
+  double sub_saturation_sensitivity = 0.1;
+};
+
+/// Accumulates multistore activities and derives Figure 9 / Table 2
+/// outputs: tick series of IO/CPU and background-query latency, average
+/// background slowdown, and the stretched durations of the activities
+/// themselves.
+class ResourceLedger {
+ public:
+  ResourceLedger(const BackgroundWorkload& background,
+                 const ContentionConfig& contention)
+      : background_(background), contention_(contention) {}
+
+  const BackgroundWorkload& background() const { return background_; }
+
+  /// Records a multistore activity starting at `start` with *unstretched*
+  /// duration `duration`; returns the contention-stretched duration the
+  /// caller should charge (activities share the cluster with the
+  /// background stream).
+  Seconds RecordActivity(DwActivityKind kind, Seconds start, Seconds duration,
+                         double io_demand, double cpu_demand);
+
+  const std::vector<DwActivity>& activities() const { return activities_; }
+
+  /// Samples the interval [0, horizon) at the configured tick.
+  std::vector<DwTickSample> TickSeries(Seconds horizon) const;
+
+  /// Time-weighted mean background-query latency over [0, horizon).
+  Seconds AverageBackgroundLatency(Seconds horizon) const;
+
+  /// AverageBackgroundLatency / base latency - 1, as a fraction.
+  double BackgroundSlowdown(Seconds horizon) const;
+
+ private:
+  /// Background latency when total demand is (io, cpu).
+  Seconds LatencyUnderDemand(double io, double cpu) const;
+
+  BackgroundWorkload background_;
+  ContentionConfig contention_;
+  std::vector<DwActivity> activities_;
+};
+
+}  // namespace miso::dw
+
+#endif  // MISO_DW_RESOURCE_MODEL_H_

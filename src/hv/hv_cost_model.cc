@@ -1,0 +1,32 @@
+#include "hv/hv_cost_model.h"
+
+namespace miso::hv {
+
+Seconds HvCostModel::JobCost(const MapReduceJob& job) const {
+  Seconds work = 0;
+  work += static_cast<double>(job.raw_input_bytes) /
+          config_.ClusterRate(config_.raw_read_mbps);
+  work += static_cast<double>(job.view_input_bytes +
+                              job.intermediate_input_bytes) /
+          config_.ClusterRate(config_.inter_read_mbps);
+  work += static_cast<double>(job.shuffle_bytes) /
+          config_.ClusterRate(config_.shuffle_mbps);
+  work += job.udf_cpu_bytes / config_.ClusterRate(config_.udf_cpu_mbps);
+  work += static_cast<double>(job.output_bytes) /
+          config_.ClusterRate(config_.write_mbps);
+  // Small jobs are floored by task-wave and JVM overheads.
+  return config_.job_startup_s + std::max(work, config_.job_min_work_s);
+}
+
+Seconds HvCostModel::JobsCost(const std::vector<MapReduceJob>& jobs) const {
+  Seconds total = 0;
+  for (const MapReduceJob& job : jobs) total += JobCost(job);
+  return total;
+}
+
+Result<Seconds> HvCostModel::SubtreeCost(const plan::NodePtr& root) const {
+  MISO_ASSIGN_OR_RETURN(std::vector<MapReduceJob> jobs, SegmentIntoJobs(root));
+  return JobsCost(jobs);
+}
+
+}  // namespace miso::hv

@@ -1,0 +1,40 @@
+#ifndef MISO_HV_HV_COST_MODEL_H_
+#define MISO_HV_HV_COST_MODEL_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/units.h"
+#include "hv/hv_config.h"
+#include "hv/mr_job.h"
+
+namespace miso::hv {
+
+/// MRShare-style analytical cost model for HV executions (the paper costs
+/// HV with the model of Nykiel et al., MRShare; §3.1). Costs are charged
+/// per MapReduce phase: startup, map-side read (raw logs parse-bound,
+/// materialized data faster), shuffle+sort, UDF CPU, and HDFS output write.
+class HvCostModel {
+ public:
+  explicit HvCostModel(const HvConfig& config) : config_(config) {}
+
+  const HvConfig& config() const { return config_; }
+
+  /// Cost of one job.
+  Seconds JobCost(const MapReduceJob& job) const;
+
+  /// Total cost of an ordered job list (jobs run serially, as Hive 0.7
+  /// schedules the stages of one query).
+  Seconds JobsCost(const std::vector<MapReduceJob>& jobs) const;
+
+  /// Segments `root` and returns the summed job cost. This is the cost of
+  /// evaluating the subtree entirely inside HV.
+  Result<Seconds> SubtreeCost(const plan::NodePtr& root) const;
+
+ private:
+  HvConfig config_;
+};
+
+}  // namespace miso::hv
+
+#endif  // MISO_HV_HV_COST_MODEL_H_

@@ -1,0 +1,34 @@
+#include "hv/hv_store.h"
+
+#include <unordered_set>
+
+namespace miso::hv {
+
+Result<HvExecution> HvStore::Execute(const plan::NodePtr& root,
+                                     int query_index, Seconds now,
+                                     uint64_t* next_view_id,
+                                     uint64_t exclude_signature) const {
+  MISO_ASSIGN_OR_RETURN(std::vector<MapReduceJob> jobs, SegmentIntoJobs(root));
+
+  HvExecution result;
+  result.exec_time = cost_model_.JobsCost(jobs);
+
+  std::unordered_set<uint64_t> harvested;
+  for (const MapReduceJob& job : jobs) {
+    for (const plan::NodePtr& node : job.materialization_points) {
+      const uint64_t sig = node->signature();
+      if (sig == exclude_signature) continue;  // the query's final result
+      if (harvested.count(sig) > 0) continue;
+      if (catalog_.FindExact(sig).has_value()) continue;  // already have it
+      harvested.insert(sig);
+      views::View view = views::ViewFromNode(*node);
+      view.id = (*next_view_id)++;
+      view.created_by_query = query_index;
+      view.created_at = now;
+      result.produced_views.push_back(std::move(view));
+    }
+  }
+  return result;
+}
+
+}  // namespace miso::hv

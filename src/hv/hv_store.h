@@ -1,0 +1,58 @@
+#ifndef MISO_HV_HV_STORE_H_
+#define MISO_HV_HV_STORE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "hv/hv_cost_model.h"
+#include "views/view_catalog.h"
+
+namespace miso::hv {
+
+/// Outcome of executing (the HV part of) a query in the HV store.
+struct HvExecution {
+  /// Simulated execution time.
+  Seconds exec_time = 0;
+  /// Opportunistic views materialized as by-products (fully-formed View
+  /// records, already assigned ids, not yet added to any catalog).
+  std::vector<views::View> produced_views;
+};
+
+/// The HV store: raw logs + a view catalog, executing plan subtrees as
+/// MapReduce jobs and emitting their materializations as opportunistic
+/// views (paper §3: "query processing using HDFS materializes intermediate
+/// results for fault-tolerance ... we retain these by-products").
+///
+/// Per §3.1, HV is loosely managed: opportunistic views created between
+/// reorganizations are admitted beyond the storage budget; the MISO tuner
+/// re-imposes the budget at each reorganization phase.
+class HvStore {
+ public:
+  HvStore(const HvConfig& config, Bytes view_storage_budget)
+      : cost_model_(config), catalog_(view_storage_budget) {}
+
+  const HvCostModel& cost_model() const { return cost_model_; }
+  views::ViewCatalog& catalog() { return catalog_; }
+  const views::ViewCatalog& catalog() const { return catalog_; }
+
+  /// Executes the subtree rooted at `root`, harvesting every
+  /// materialization point whose signature is not already present in the
+  /// store as a new opportunistic view. `query_index` / `now` stamp the
+  /// harvested views; `next_view_id` supplies ids and is advanced.
+  /// `exclude_signature` (the full query's result, which is returned to
+  /// the client rather than retained) is never harvested.
+  ///
+  /// The harvested views are returned but NOT added to the catalog — the
+  /// caller (the simulator) decides retention policy per system variant.
+  Result<HvExecution> Execute(const plan::NodePtr& root, int query_index,
+                              Seconds now, uint64_t* next_view_id,
+                              uint64_t exclude_signature = 0) const;
+
+ private:
+  HvCostModel cost_model_;
+  views::ViewCatalog catalog_;
+};
+
+}  // namespace miso::hv
+
+#endif  // MISO_HV_HV_STORE_H_

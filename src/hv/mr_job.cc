@@ -1,0 +1,146 @@
+#include "hv/mr_job.h"
+
+#include <functional>
+
+namespace miso::hv {
+
+using plan::NodePtr;
+using plan::OpKind;
+
+namespace {
+
+bool IsBoundary(const plan::OperatorNode& node) {
+  return node.IsJobBoundary();
+}
+
+/// Walks the map-side pipeline hanging below `node` (which is itself part
+/// of the current job), accumulating input byte counts and recording the
+/// boundary children whose jobs feed this one.
+struct PipelineWalk {
+  Bytes raw_input = 0;
+  Bytes view_input = 0;
+  Bytes intermediate_input = 0;
+  double udf_cpu = 0;  // unused: UDFs never appear inside pipelines
+  std::vector<NodePtr> upstream_boundaries;
+  Status status;
+
+  void Walk(const NodePtr& node) {
+    if (!status.ok() || node == nullptr) return;
+    switch (node->kind()) {
+      case OpKind::kScan:
+        raw_input += node->stats().bytes;
+        return;
+      case OpKind::kViewScan:
+        if (node->view_scan().store == StoreKind::kDw) {
+          status = Status::FailedPrecondition(
+              "HV execution cannot read a DW-resident view (view id " +
+              std::to_string(node->view_scan().view_id) + ")");
+          return;
+        }
+        view_input += node->stats().bytes;
+        return;
+      case OpKind::kJoin:
+      case OpKind::kAggregate:
+      case OpKind::kUdf:
+        // Output of an upstream job, read back from HDFS.
+        intermediate_input += node->stats().bytes;
+        upstream_boundaries.push_back(node);
+        return;
+      case OpKind::kExtract:
+      case OpKind::kFilter:
+      case OpKind::kProject:
+        for (const NodePtr& child : node->children()) Walk(child);
+        return;
+    }
+  }
+};
+
+}  // namespace
+
+Result<std::vector<MapReduceJob>> SegmentIntoJobs(const NodePtr& root) {
+  if (root == nullptr) {
+    return Status::InvalidArgument("cannot segment an empty subtree");
+  }
+
+  std::vector<MapReduceJob> jobs;
+
+  // Recursive segmentation; emits producer jobs before consumers.
+  std::function<Status(const NodePtr&)> emit_jobs_for_boundary =
+      [&](const NodePtr& boundary) -> Status {
+    MapReduceJob job;
+    job.output_node = boundary;
+    job.output_bytes = boundary->stats().bytes;
+
+    for (const NodePtr& child : boundary->children()) {
+      PipelineWalk walk;
+      if (IsBoundary(*child)) {
+        // The child job's output is read straight from HDFS: no map-side
+        // pipeline, no extra materialization.
+        MISO_RETURN_IF_ERROR(emit_jobs_for_boundary(child));
+        job.intermediate_input_bytes += child->stats().bytes;
+      } else {
+        walk.Walk(child);
+        MISO_RETURN_IF_ERROR(walk.status);
+        for (const NodePtr& upstream : walk.upstream_boundaries) {
+          MISO_RETURN_IF_ERROR(emit_jobs_for_boundary(upstream));
+        }
+        job.raw_input_bytes += walk.raw_input;
+        job.view_input_bytes += walk.view_input;
+        job.intermediate_input_bytes += walk.intermediate_input;
+        // The map-side result (child's output) is materialized for the
+        // shuffle and is harvestable, unless it is a bare leaf read.
+        if (child->kind() != OpKind::kScan &&
+            child->kind() != OpKind::kViewScan) {
+          job.map_outputs.push_back(child);
+          job.materialization_points.push_back(child);
+        }
+      }
+      if (boundary->kind() == OpKind::kJoin ||
+          boundary->kind() == OpKind::kAggregate) {
+        job.shuffle_bytes += child->stats().bytes;
+      }
+    }
+
+    if (boundary->kind() == OpKind::kUdf) {
+      Bytes input = 0;
+      for (const NodePtr& child : boundary->children()) {
+        input += child->stats().bytes;
+      }
+      job.udf_cpu_bytes =
+          static_cast<double>(input) * boundary->udf().cpu_factor;
+    }
+
+    job.materialization_points.push_back(boundary);
+    jobs.push_back(std::move(job));
+    return Status::OK();
+  };
+
+  if (IsBoundary(*root)) {
+    MISO_RETURN_IF_ERROR(emit_jobs_for_boundary(root));
+    return jobs;
+  }
+
+  // Root is a pipeline operator: trailing map-only job (e.g. a final
+  // Project over the last Aggregate, or a bare re-filter of a view).
+  PipelineWalk walk;
+  walk.Walk(root);
+  MISO_RETURN_IF_ERROR(walk.status);
+  for (const NodePtr& upstream : walk.upstream_boundaries) {
+    MISO_RETURN_IF_ERROR(emit_jobs_for_boundary(upstream));
+  }
+  // A bare Scan/ViewScan root does no work; represent it as a job with no
+  // output write so costing degenerates gracefully.
+  MapReduceJob job;
+  job.output_node = root;
+  job.raw_input_bytes = walk.raw_input;
+  job.view_input_bytes = walk.view_input;
+  job.intermediate_input_bytes = walk.intermediate_input;
+  job.output_bytes = root->stats().bytes;
+  if (root->kind() != OpKind::kScan && root->kind() != OpKind::kViewScan) {
+    job.materialization_points.push_back(root);
+  }
+  jobs.push_back(std::move(job));
+  return jobs;
+}
+
+}  // namespace miso::hv

@@ -1,0 +1,53 @@
+#ifndef MISO_HV_MR_JOB_H_
+#define MISO_HV_MR_JOB_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/units.h"
+#include "plan/plan.h"
+
+namespace miso::hv {
+
+/// One MapReduce job of an HV execution.
+///
+/// A logical (sub)plan is segmented into jobs at *boundary* operators —
+/// Join and Aggregate (shuffles) and Udf (separate streaming stage).
+/// Non-boundary operators (Scan, Extract, Filter, Project, ViewScan)
+/// pipeline into the map phase of the job that consumes them. Each job
+/// writes its output to HDFS; the map-side results feeding a shuffle are
+/// also materialized. Both are the opportunistic views of the paper (§1):
+/// `materialization_points` lists every node whose result hits disk.
+struct MapReduceJob {
+  /// The operator producing this job's output (a boundary node, or the
+  /// subtree root for a trailing map-only job).
+  plan::NodePtr output_node;
+
+  /// Tops of the map-side pipelines feeding `output_node` (empty for
+  /// trailing map-only jobs; for those, output_node is the only result).
+  std::vector<plan::NodePtr> map_outputs;
+
+  /// Nodes whose results are persisted to HDFS by this job and are
+  /// therefore harvestable as opportunistic views.
+  std::vector<plan::NodePtr> materialization_points;
+
+  // Byte accounting, all estimated.
+  Bytes raw_input_bytes = 0;           // from Scan leaves (raw logs)
+  Bytes view_input_bytes = 0;          // from HV ViewScan leaves
+  Bytes intermediate_input_bytes = 0;  // outputs of upstream jobs
+  Bytes shuffle_bytes = 0;             // bytes through shuffle+sort
+  Bytes output_bytes = 0;              // written to HDFS
+  /// Σ (cpu_factor * input_bytes) over UDFs evaluated in this job.
+  double udf_cpu_bytes = 0;
+};
+
+/// Segments the subtree rooted at `root` into MapReduce jobs, bottom-up
+/// (jobs appear in execution order: producers before consumers).
+///
+/// Errors if the subtree contains a DW-resident ViewScan — those cannot be
+/// read by HV; the optimizer must place them on the DW side of a split.
+Result<std::vector<MapReduceJob>> SegmentIntoJobs(const plan::NodePtr& root);
+
+}  // namespace miso::hv
+
+#endif  // MISO_HV_MR_JOB_H_

@@ -1,0 +1,98 @@
+#include "optimizer/dot.h"
+
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "plan/printer.h"
+
+namespace miso::optimizer {
+
+namespace {
+
+using plan::NodePtr;
+
+/// Escapes the characters DOT treats specially inside double-quoted
+/// labels.
+std::string EscapeLabel(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Assigns stable node ids (post-order index) for one plan.
+std::unordered_map<const plan::OperatorNode*, int> NumberNodes(
+    const plan::Plan& p) {
+  std::unordered_map<const plan::OperatorNode*, int> ids;
+  int next = 0;
+  for (const NodePtr& node : p.PostOrder()) ids.emplace(node.get(), next++);
+  return ids;
+}
+
+void AppendNodesAndEdges(
+    const plan::Plan& p,
+    const std::unordered_map<const plan::OperatorNode*, int>& ids,
+    const std::unordered_set<const plan::OperatorNode*>& dw_side,
+    const std::unordered_set<const plan::OperatorNode*>& cuts,
+    std::string* out) {
+  char buf[512];
+  for (const NodePtr& node : p.PostOrder()) {
+    const int id = ids.at(node.get());
+    const bool in_dw = dw_side.count(node.get()) > 0;
+    std::snprintf(buf, sizeof(buf),
+                  "  n%d [label=\"%s\"%s];\n", id,
+                  EscapeLabel(plan::DescribeNode(*node)).c_str(),
+                  in_dw ? ", style=filled, fillcolor=lightblue" : "");
+    out->append(buf);
+  }
+  for (const NodePtr& node : p.PostOrder()) {
+    for (const NodePtr& child : node->children()) {
+      const bool cut_edge = cuts.count(child.get()) > 0 &&
+                            dw_side.count(node.get()) > 0;
+      if (cut_edge) {
+        std::snprintf(buf, sizeof(buf),
+                      "  n%d -> n%d [color=red, penwidth=2, "
+                      "label=\"migrate %s\"];\n",
+                      ids.at(child.get()), ids.at(node.get()),
+                      FormatBytes(child->stats().bytes).c_str());
+      } else {
+        std::snprintf(buf, sizeof(buf), "  n%d -> n%d;\n",
+                      ids.at(child.get()), ids.at(node.get()));
+      }
+      out->append(buf);
+    }
+  }
+}
+
+}  // namespace
+
+std::string PlanToDot(const plan::Plan& p) {
+  std::string out = "digraph \"" + EscapeLabel(p.query_name()) + "\" {\n";
+  out += "  rankdir=BT;\n  node [shape=box, fontsize=10];\n";
+  AppendNodesAndEdges(p, NumberNodes(p), {}, {}, &out);
+  out += "}\n";
+  return out;
+}
+
+std::string MultistorePlanToDot(const MultistorePlan& ms) {
+  std::string out = "digraph \"" +
+                    EscapeLabel(ms.executed.query_name()) + "\" {\n";
+  out += "  rankdir=BT;\n  node [shape=box, fontsize=10];\n";
+  std::unordered_set<const plan::OperatorNode*> cuts;
+  for (const NodePtr& cut : ms.cut_inputs) cuts.insert(cut.get());
+  AppendNodesAndEdges(ms.executed, NumberNodes(ms.executed), ms.DwSideSet(),
+                      cuts, &out);
+  char total[96];
+  std::snprintf(total, sizeof(total),
+                "  label=\"total %.1f s (blue = DW side)\";\n",
+                ms.cost.Total());
+  out += total;
+  out += "}\n";
+  return out;
+}
+
+}  // namespace miso::optimizer

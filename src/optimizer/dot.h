@@ -1,0 +1,24 @@
+#ifndef MISO_OPTIMIZER_DOT_H_
+#define MISO_OPTIMIZER_DOT_H_
+
+#include <string>
+
+#include "optimizer/multistore_plan.h"
+#include "plan/plan.h"
+
+namespace miso::optimizer {
+
+/// Graphviz (DOT) rendering of a logical plan: one box per operator,
+/// labelled with its salient parameters and estimated output; edges run
+/// child -> parent in dataflow direction. Pipe through `dot -Tsvg` to
+/// visualize.
+std::string PlanToDot(const plan::Plan& plan);
+
+/// DOT rendering of a chosen multistore execution: DW-side operators are
+/// filled, and cut edges (working-set migrations) are highlighted and
+/// annotated with the migrated byte volume.
+std::string MultistorePlanToDot(const MultistorePlan& plan);
+
+}  // namespace miso::optimizer
+
+#endif  // MISO_OPTIMIZER_DOT_H_

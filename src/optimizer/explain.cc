@@ -1,0 +1,65 @@
+#include "optimizer/explain.h"
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "plan/printer.h"
+
+namespace miso::optimizer {
+
+namespace {
+
+using plan::NodePtr;
+
+void AppendNode(const NodePtr& node,
+                const std::unordered_set<const plan::OperatorNode*>& dw_side,
+                const std::unordered_set<const plan::OperatorNode*>& cuts,
+                int depth, std::string* out) {
+  if (node == nullptr) return;
+  const bool in_dw = dw_side.count(node.get()) > 0;
+  out->append(in_dw ? "  [DW] " : "  [HV] ");
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(plan::DescribeNode(*node));
+  out->push_back('\n');
+  if (cuts.count(node.get()) > 0) {
+    // This subtree's output migrates to DW at the split.
+    out->append("  [HV] ");
+    out->append(static_cast<size_t>(depth) * 2, ' ');
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), ">>> migrate %s to DW >>>\n",
+                  FormatBytes(node->stats().bytes).c_str());
+    out->append(buf);
+  }
+  for (const NodePtr& child : node->children()) {
+    AppendNode(child, dw_side, cuts, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string ExplainMultistorePlan(const MultistorePlan& plan) {
+  char head[160];
+  std::snprintf(head, sizeof(head),
+                "Multistore plan for '%s' (total %.1f s):\n",
+                plan.executed.query_name().c_str(), plan.cost.Total());
+  std::string out = head;
+
+  std::unordered_set<const plan::OperatorNode*> dw_side = plan.DwSideSet();
+  std::unordered_set<const plan::OperatorNode*> cuts;
+  for (const NodePtr& cut : plan.cut_inputs) cuts.insert(cut.get());
+  AppendNode(plan.executed.root(), dw_side, cuts, 0, &out);
+
+  char tail[192];
+  std::snprintf(tail, sizeof(tail),
+                "  components: HV %.1f s | dump %.1f s | transfer+load "
+                "%.1f s | DW %.1f s%s\n",
+                plan.cost.hv_exec_s, plan.cost.dump_s,
+                plan.cost.transfer_load_s, plan.cost.dw_exec_s,
+                plan.FullyDw() ? " | runs entirely in DW"
+                               : (plan.HvOnly() ? " | runs entirely in HV"
+                                                : ""));
+  out.append(tail);
+  return out;
+}
+
+}  // namespace miso::optimizer

@@ -1,0 +1,28 @@
+#ifndef MISO_OPTIMIZER_EXPLAIN_H_
+#define MISO_OPTIMIZER_EXPLAIN_H_
+
+#include <string>
+
+#include "optimizer/multistore_plan.h"
+
+namespace miso::optimizer {
+
+/// Renders a chosen multistore plan the way EXPLAIN would in a real
+/// system: the operator tree annotated with the executing store, the cut
+/// (working-set migration) points, the views read, and the cost
+/// breakdown. Example:
+///
+///   Multistore plan for 'A1v2' (total 243 s):
+///     [DW] Aggregate keys=[region,kind] ...
+///     [DW]   Join key=checkin_loc ...
+///     [DW]     ViewScan view=... (resident in DW)
+///     [HV]     >>> migrate 1.65 MiB >>>
+///     [HV]     Filter (kind = ...) ...
+///     [HV]       Extract ...
+///     [HV]         Scan landmarks ...
+///   components: HV 209 s | dump 3 s | transfer+load 30 s | DW 1.4 s
+std::string ExplainMultistorePlan(const MultistorePlan& plan);
+
+}  // namespace miso::optimizer
+
+#endif  // MISO_OPTIMIZER_EXPLAIN_H_

@@ -1,0 +1,154 @@
+#include "optimizer/multistore_optimizer.h"
+
+#include <algorithm>
+
+namespace miso::optimizer {
+
+using plan::NodePtr;
+using plan::OpKind;
+
+Result<MultistorePlan> MultistoreOptimizer::CostSplit(
+    const plan::Plan& executed, const SplitCandidate& split) const {
+  MultistorePlan ms;
+  ms.executed = executed;
+  ms.dw_side = split.dw_side;
+  ms.cut_inputs = split.cut_inputs;
+
+  // HV side: each cut input heads an HV-executed subtree; when the DW side
+  // is empty the whole plan runs in HV.
+  if (split.dw_side.empty()) {
+    MISO_ASSIGN_OR_RETURN(Seconds hv_cost,
+                          hv_model_->SubtreeCost(executed.root()));
+    ms.cost.hv_exec_s = hv_cost;
+    return ms;
+  }
+
+  for (const NodePtr& cut : split.cut_inputs) {
+    ms.transferred_bytes += cut->stats().bytes;
+    if (cut->kind() == OpKind::kScan || cut->kind() == OpKind::kViewScan) {
+      // A bare Scan / HV ViewScan cut input does no computation, but
+      // exporting HDFS-resident data still runs a map-only Hadoop job
+      // (startup + task-wave floor + the read itself). This is exactly
+      // why placing a view in DW beats dumping it on demand every query.
+      const hv::HvConfig& hv_config = hv_model_->config();
+      const Seconds read =
+          static_cast<double>(cut->stats().bytes) /
+          hv_config.ClusterRate(hv_config.inter_read_mbps);
+      ms.cost.hv_exec_s += hv_config.job_startup_s +
+                           std::max(read, hv_config.job_min_work_s);
+    } else {
+      MISO_ASSIGN_OR_RETURN(Seconds hv_cost, hv_model_->SubtreeCost(cut));
+      ms.cost.hv_exec_s += hv_cost;
+    }
+  }
+
+  const transfer::TransferBreakdown tb =
+      transfer_model_->WorkingSetTransfer(ms.transferred_bytes);
+  ms.cost.dump_s = tb.dump_s;
+  ms.cost.transfer_load_s = tb.network_s + tb.load_s;
+
+  std::unordered_set<const plan::OperatorNode*> dw_set = ms.DwSideSet();
+  std::unordered_set<const plan::OperatorNode*> temp_inputs;
+  for (const NodePtr& cut : split.cut_inputs) temp_inputs.insert(cut.get());
+  MISO_ASSIGN_OR_RETURN(Seconds dw_cost,
+                        dw_model_->CostDwSide(dw_set, temp_inputs));
+  ms.cost.dw_exec_s = dw_cost;
+  return ms;
+}
+
+Result<MultistorePlan> MultistoreOptimizer::BestSplit(
+    const plan::Plan& executed) const {
+  MISO_ASSIGN_OR_RETURN(std::vector<SplitCandidate> candidates,
+                        EnumerateSplits(executed.root()));
+  Result<MultistorePlan> best =
+      Status::Internal("no candidate produced a costable plan");
+  for (const SplitCandidate& candidate : candidates) {
+    Result<MultistorePlan> costed = CostSplit(executed, candidate);
+    if (!costed.ok()) return costed.status();
+    if (!best.ok() || costed->cost.Total() < best->cost.Total()) {
+      best = std::move(costed);
+    }
+  }
+  return best;
+}
+
+Result<MultistorePlan> MultistoreOptimizer::Optimize(
+    const plan::Plan& query, const views::ViewCatalog& dw_views,
+    const views::ViewCatalog& hv_views) const {
+  Result<MultistorePlan> best =
+      Status::Internal("optimizer produced no plan");
+
+  // Rewrite variants, strongest first. A DW-view rewrite can be split-
+  // infeasible (DW view below an HV-only UDF); later variants always admit
+  // at least the HV-only split.
+  views::RewriteReport report;
+  Result<plan::Plan> with_both =
+      rewriter_.Rewrite(query, dw_views, hv_views, &report);
+  MISO_RETURN_IF_ERROR(with_both.status());
+  // DW-views-only: a shallow HV match can shadow deeper DW matches in the
+  // combined rewrite (the rewriter replaces the largest subtree first), so
+  // the DW-only rewrite exposes plans that run deeper inside the DW.
+  Result<plan::Plan> with_dw = rewriter_.RewriteSingleStore(
+      query, dw_views, StoreKind::kDw, /*report=*/nullptr);
+  MISO_RETURN_IF_ERROR(with_dw.status());
+  Result<plan::Plan> with_hv = rewriter_.RewriteSingleStore(
+      query, hv_views, StoreKind::kHv, /*report=*/nullptr);
+  MISO_RETURN_IF_ERROR(with_hv.status());
+
+  // Rewrites preserve canonical identity, so structural dedup is not
+  // possible by signature; costing a duplicate variant is cheap, so all
+  // four are always evaluated.
+  std::vector<const plan::Plan*> variants = {
+      &with_both.value(), &with_dw.value(), &with_hv.value(), &query};
+
+  for (const plan::Plan* variant : variants) {
+    Result<MultistorePlan> candidate = BestSplit(*variant);
+    if (!candidate.ok()) {
+      if (candidate.status().code() == StatusCode::kFailedPrecondition) {
+        continue;  // this rewrite admits no feasible split
+      }
+      return candidate.status();
+    }
+    if (!best.ok() || candidate->cost.Total() < best->cost.Total()) {
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+Result<MultistorePlan> MultistoreOptimizer::OptimizeHvOnly(
+    const plan::Plan& query, const views::ViewCatalog& hv_views,
+    bool use_views) const {
+  plan::Plan executed = query;
+  if (use_views) {
+    MISO_ASSIGN_OR_RETURN(
+        executed, rewriter_.RewriteSingleStore(query, hv_views, StoreKind::kHv,
+                                               /*report=*/nullptr));
+  }
+  SplitCandidate hv_only;  // empty DW side
+  return CostSplit(executed, hv_only);
+}
+
+Result<std::vector<MultistorePlan>> MultistoreOptimizer::EnumerateAllPlans(
+    const plan::Plan& query) const {
+  MISO_ASSIGN_OR_RETURN(std::vector<SplitCandidate> candidates,
+                        EnumerateSplits(query.root()));
+  std::vector<MultistorePlan> plans;
+  plans.reserve(candidates.size());
+  for (const SplitCandidate& candidate : candidates) {
+    MISO_ASSIGN_OR_RETURN(MultistorePlan costed,
+                          CostSplit(query, candidate));
+    plans.push_back(std::move(costed));
+  }
+  return plans;
+}
+
+Result<Seconds> MultistoreOptimizer::WhatIfCost(
+    const plan::Plan& query, const views::ViewCatalog& dw_views,
+    const views::ViewCatalog& hv_views) const {
+  MISO_ASSIGN_OR_RETURN(MultistorePlan best,
+                        Optimize(query, dw_views, hv_views));
+  return best.cost.Total();
+}
+
+}  // namespace miso::optimizer

@@ -1,0 +1,83 @@
+#ifndef MISO_OPTIMIZER_MULTISTORE_OPTIMIZER_H_
+#define MISO_OPTIMIZER_MULTISTORE_OPTIMIZER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "dw/dw_cost_model.h"
+#include "hv/hv_cost_model.h"
+#include "optimizer/multistore_plan.h"
+#include "optimizer/split_enumerator.h"
+#include "transfer/transfer_model.h"
+#include "views/rewriter.h"
+#include "views/view_catalog.h"
+
+namespace miso::optimizer {
+
+/// The multistore query optimizer (paper §3.1). Given a query and the
+/// current (or hypothetical) multistore design, it:
+///
+///  1. generates candidate rewrites — using both stores' views (DW
+///     preferred), using HV views only, and using no views (the rewrite
+///     with DW views may admit no feasible split when a DW view sits below
+///     an HV-only UDF, hence the fallbacks);
+///  2. enumerates the feasible splits of each rewrite;
+///  3. costs every (rewrite, split) pair with the store cost models plus
+///     the transfer model, in common units (seconds);
+///  4. returns the cheapest.
+///
+/// The same code path serves as the what-if optimizer: pass hypothetical
+/// view catalogs to cost a design without materializing it (§3.1's
+/// "what-if mode").
+class MultistoreOptimizer {
+ public:
+  MultistoreOptimizer(const plan::NodeFactory* factory,
+                      const hv::HvCostModel* hv_model,
+                      const dw::DwCostModel* dw_model,
+                      const transfer::TransferModel* transfer_model)
+      : rewriter_(factory),
+        hv_model_(hv_model),
+        dw_model_(dw_model),
+        transfer_model_(transfer_model) {}
+
+  /// Best multistore plan for `query` under the design (dw_views,
+  /// hv_views).
+  Result<MultistorePlan> Optimize(const plan::Plan& query,
+                                  const views::ViewCatalog& dw_views,
+                                  const views::ViewCatalog& hv_views) const;
+
+  /// Best HV-confined plan (no split). `use_views` selects whether HV
+  /// views may be used (HV-OP variant) or not (plain HV-ONLY).
+  Result<MultistorePlan> OptimizeHvOnly(const plan::Plan& query,
+                                        const views::ViewCatalog& hv_views,
+                                        bool use_views) const;
+
+  /// Every feasible (rewrite-free) split of `query`, costed — the plan
+  /// population behind Figure 3.
+  Result<std::vector<MultistorePlan>> EnumerateAllPlans(
+      const plan::Plan& query) const;
+
+  /// What-if interface: total cost of the best plan under a hypothetical
+  /// design (paper: cost(q, M)).
+  Result<Seconds> WhatIfCost(const plan::Plan& query,
+                             const views::ViewCatalog& dw_views,
+                             const views::ViewCatalog& hv_views) const;
+
+  /// Costs one concrete (rewritten plan, split) pair.
+  Result<MultistorePlan> CostSplit(const plan::Plan& executed,
+                                   const SplitCandidate& split) const;
+
+ private:
+  /// Enumerates and costs all splits of `executed`, returning the
+  /// cheapest; error when no feasible split exists.
+  Result<MultistorePlan> BestSplit(const plan::Plan& executed) const;
+
+  views::Rewriter rewriter_;
+  const hv::HvCostModel* hv_model_;
+  const dw::DwCostModel* dw_model_;
+  const transfer::TransferModel* transfer_model_;
+};
+
+}  // namespace miso::optimizer
+
+#endif  // MISO_OPTIMIZER_MULTISTORE_OPTIMIZER_H_

@@ -1,0 +1,68 @@
+#ifndef MISO_OPTIMIZER_MULTISTORE_PLAN_H_
+#define MISO_OPTIMIZER_MULTISTORE_PLAN_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.h"
+#include "plan/plan.h"
+
+namespace miso::optimizer {
+
+/// Execution-time breakdown of one multistore plan, matching Figure 3's
+/// stacked components: HV execution, DUMP of the working set, TRANSFER +
+/// LOAD into DW temp space, and DW execution.
+struct CostBreakdown {
+  Seconds hv_exec_s = 0;
+  Seconds dump_s = 0;
+  Seconds transfer_load_s = 0;
+  Seconds dw_exec_s = 0;
+
+  Seconds Total() const {
+    return hv_exec_s + dump_s + transfer_load_s + dw_exec_s;
+  }
+};
+
+/// One concrete multistore execution strategy for a query: a (possibly
+/// view-rewritten) plan plus a split — an upward-closed set of operators
+/// delegated to the DW, with the working sets crossing the cut migrated
+/// from HV to DW (§3.1). `dw_side` empty means an HV-only execution;
+/// `cut_inputs` empty with a non-empty `dw_side` means the query runs
+/// entirely in DW from resident views.
+struct MultistorePlan {
+  plan::Plan executed;
+
+  /// Operators executed in DW (upward-closed under the parent relation).
+  std::vector<plan::NodePtr> dw_side;
+
+  /// HV-side subtree roots whose outputs are dumped / transferred / loaded
+  /// into DW temporary space at the split.
+  std::vector<plan::NodePtr> cut_inputs;
+
+  /// Total working-set bytes migrated at the split.
+  Bytes transferred_bytes = 0;
+
+  CostBreakdown cost;
+
+  bool HvOnly() const { return dw_side.empty(); }
+  bool FullyDw() const { return !dw_side.empty() && cut_inputs.empty(); }
+
+  /// Fraction of operators executed in DW (Figure 6's split ratios).
+  double DwOperatorFraction() const {
+    const int total = static_cast<int>(executed.PostOrder().size());
+    return total == 0 ? 0.0
+                      : static_cast<double>(dw_side.size()) /
+                            static_cast<double>(total);
+  }
+
+  /// Pointer-identity set of the DW-side nodes.
+  std::unordered_set<const plan::OperatorNode*> DwSideSet() const {
+    std::unordered_set<const plan::OperatorNode*> set;
+    for (const plan::NodePtr& node : dw_side) set.insert(node.get());
+    return set;
+  }
+};
+
+}  // namespace miso::optimizer
+
+#endif  // MISO_OPTIMIZER_MULTISTORE_PLAN_H_

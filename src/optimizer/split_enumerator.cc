@@ -1,0 +1,128 @@
+#include "optimizer/split_enumerator.h"
+
+#include <functional>
+
+namespace miso::optimizer {
+
+using plan::NodePtr;
+using plan::OpKind;
+
+namespace {
+
+/// Assignment of one subtree given that its parent runs in DW: either the
+/// whole subtree stays in HV (it becomes one cut input), or its root joins
+/// the DW side and each child subtree chooses independently.
+struct SubtreeOptions {
+  /// Each option: (dw nodes of the subtree, cut inputs of the subtree).
+  std::vector<SplitCandidate> options;
+};
+
+bool MustStayInHv(const plan::OperatorNode& node) {
+  if (!node.dw_executable()) return true;
+  if (node.kind() == OpKind::kViewScan &&
+      node.view_scan().store == StoreKind::kHv) {
+    return true;
+  }
+  return false;
+}
+
+bool MustGoToDw(const plan::OperatorNode& node) {
+  return node.kind() == OpKind::kViewScan &&
+         node.view_scan().store == StoreKind::kDw;
+}
+
+/// True when the subtree rooted at `node` contains a DW-resident ViewScan
+/// (which makes an all-HV assignment of the subtree infeasible).
+bool ContainsDwView(const NodePtr& node) {
+  if (node == nullptr) return false;
+  if (MustGoToDw(*node)) return true;
+  for (const NodePtr& child : node->children()) {
+    if (ContainsDwView(child)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::vector<SplitCandidate>> EnumerateSplits(const NodePtr& root,
+                                                    int max_candidates) {
+  if (root == nullptr) {
+    return Status::InvalidArgument("cannot split an empty plan");
+  }
+
+  bool truncated = false;
+
+  std::function<SubtreeOptions(const NodePtr&)> enumerate =
+      [&](const NodePtr& node) -> SubtreeOptions {
+    SubtreeOptions result;
+
+    // Option A: the whole subtree remains in HV, its output is a cut input.
+    if (!ContainsDwView(node)) {
+      SplitCandidate all_hv;
+      all_hv.cut_inputs.push_back(node);
+      result.options.push_back(std::move(all_hv));
+    }
+
+    // Option B: this node joins the DW side; combine child assignments.
+    if (!MustStayInHv(*node)) {
+      std::vector<SplitCandidate> partials;
+      partials.emplace_back();  // start with the empty assignment
+      for (const NodePtr& child : node->children()) {
+        SubtreeOptions child_options = enumerate(child);
+        std::vector<SplitCandidate> next;
+        for (const SplitCandidate& partial : partials) {
+          for (const SplitCandidate& choice : child_options.options) {
+            if (static_cast<int>(next.size()) +
+                    static_cast<int>(result.options.size()) >
+                max_candidates) {
+              truncated = true;
+              break;
+            }
+            SplitCandidate merged = partial;
+            merged.dw_side.insert(merged.dw_side.end(),
+                                  choice.dw_side.begin(),
+                                  choice.dw_side.end());
+            merged.cut_inputs.insert(merged.cut_inputs.end(),
+                                     choice.cut_inputs.begin(),
+                                     choice.cut_inputs.end());
+            next.push_back(std::move(merged));
+          }
+          if (truncated) break;
+        }
+        partials = std::move(next);
+        if (partials.empty()) break;  // child had no feasible assignment
+      }
+      for (SplitCandidate& partial : partials) {
+        partial.dw_side.push_back(node);
+        result.options.push_back(std::move(partial));
+      }
+    }
+
+    return result;
+  };
+
+  SubtreeOptions root_options = enumerate(root);
+
+  // At the root, the "whole subtree in HV" option is the HV-only plan: it
+  // has no cut (nothing is transferred anywhere) — rewrite it accordingly.
+  std::vector<SplitCandidate> candidates;
+  candidates.reserve(root_options.options.size());
+  for (SplitCandidate& option : root_options.options) {
+    if (option.dw_side.empty()) {
+      option.cut_inputs.clear();  // HV-only: no transfer
+    }
+    candidates.push_back(std::move(option));
+  }
+
+  if (truncated) {
+    return Status::Internal("split enumeration exceeded max_candidates");
+  }
+  if (candidates.empty()) {
+    return Status::FailedPrecondition(
+        "no feasible split: a DW-resident view is pinned below an "
+        "HV-only operator");
+  }
+  return candidates;
+}
+
+}  // namespace miso::optimizer

@@ -1,0 +1,39 @@
+#ifndef MISO_OPTIMIZER_SPLIT_ENUMERATOR_H_
+#define MISO_OPTIMIZER_SPLIT_ENUMERATOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "optimizer/multistore_plan.h"
+
+namespace miso::optimizer {
+
+/// One candidate split of a plan, before costing: the DW-side operator set
+/// (upward-closed) and the HV-side subtree roots feeding it.
+struct SplitCandidate {
+  std::vector<plan::NodePtr> dw_side;
+  std::vector<plan::NodePtr> cut_inputs;
+};
+
+/// Enumerates every feasible split of `root`:
+///
+///  * the DW side is upward-closed (once a query migrates to DW it never
+///    returns to HV — data flows one direction, §3.1);
+///  * every DW-side operator is DW-executable;
+///  * DW-resident ViewScans must land on the DW side (HV cannot read DW
+///    tables), HV-resident ViewScans and raw Scans on the HV side.
+///
+/// The HV-only execution is always included as the empty DW side (first
+/// element), *unless* the plan contains a DW-resident ViewScan, in which
+/// case HV-only is infeasible. The result may be empty when the plan mixes
+/// a DW-resident ViewScan below an HV-only operator; the optimizer then
+/// falls back to a rewrite that does not use DW views.
+///
+/// `max_candidates` caps the enumeration as a safety valve for adversarial
+/// plans (the cap is far above anything the paper's 7-job queries produce).
+Result<std::vector<SplitCandidate>> EnumerateSplits(
+    const plan::NodePtr& root, int max_candidates = 100000);
+
+}  // namespace miso::optimizer
+
+#endif  // MISO_OPTIMIZER_SPLIT_ENUMERATOR_H_

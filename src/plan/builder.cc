@@ -1,0 +1,70 @@
+#include "plan/builder.h"
+
+namespace miso::plan {
+
+PlanBuilder::Fragment::Fragment(const NodeFactory* factory,
+                                Result<NodePtr> node)
+    : factory_(factory) {
+  if (node.ok()) {
+    node_ = std::move(node).value();
+  } else {
+    status_ = node.status();
+  }
+}
+
+PlanBuilder::Fragment PlanBuilder::Fragment::Extract(
+    std::vector<std::string> fields) const {
+  if (!status_.ok()) return *this;
+  return Fragment(factory_, factory_->MakeExtract(node_, std::move(fields)));
+}
+
+PlanBuilder::Fragment PlanBuilder::Fragment::Filter(
+    std::vector<PredicateAtom> atoms) const {
+  return Filter(Predicate(std::move(atoms)));
+}
+
+PlanBuilder::Fragment PlanBuilder::Fragment::Filter(
+    Predicate predicate) const {
+  if (!status_.ok()) return *this;
+  return Fragment(factory_, factory_->MakeFilter(node_, std::move(predicate)));
+}
+
+PlanBuilder::Fragment PlanBuilder::Fragment::Project(
+    std::vector<std::string> fields) const {
+  if (!status_.ok()) return *this;
+  return Fragment(factory_, factory_->MakeProject(node_, std::move(fields)));
+}
+
+PlanBuilder::Fragment PlanBuilder::Fragment::Join(
+    const Fragment& right, const std::string& key) const {
+  if (!status_.ok()) return *this;
+  if (!right.status_.ok()) return right;
+  return Fragment(factory_, factory_->MakeJoin(node_, right.node_, key));
+}
+
+PlanBuilder::Fragment PlanBuilder::Fragment::Aggregate(
+    std::vector<std::string> group_by,
+    std::vector<AggregateFn> aggregates) const {
+  if (!status_.ok()) return *this;
+  return Fragment(factory_, factory_->MakeAggregate(node_, std::move(group_by),
+                                                    std::move(aggregates)));
+}
+
+PlanBuilder::Fragment PlanBuilder::Fragment::Udf(UdfParams params) const {
+  if (!status_.ok()) return *this;
+  return Fragment(factory_, factory_->MakeUdf(node_, std::move(params)));
+}
+
+Result<Plan> PlanBuilder::Fragment::Build(std::string query_name) const {
+  if (!status_.ok()) return status_;
+  if (node_ == nullptr) {
+    return Status::FailedPrecondition("empty plan fragment");
+  }
+  return Plan(std::move(query_name), node_);
+}
+
+PlanBuilder::Fragment PlanBuilder::Scan(const std::string& dataset) const {
+  return Fragment(&factory_, factory_.MakeScan(dataset));
+}
+
+}  // namespace miso::plan

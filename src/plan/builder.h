@@ -1,0 +1,73 @@
+#ifndef MISO_PLAN_BUILDER_H_
+#define MISO_PLAN_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "plan/node_factory.h"
+#include "plan/plan.h"
+#include "relation/catalog.h"
+
+namespace miso::plan {
+
+/// Fluent construction of annotated plans:
+///
+///   PlanBuilder b(&catalog);
+///   auto tweets = b.Scan("twitter").Extract({"user_id", "topic"})
+///                     .Filter({MakeAtom("topic", CompareOp::kEq, "coffee",
+///                                       0.01)});
+///   auto checkins = b.Scan("foursquare").Extract({"user_id",
+///                                                 "checkin_loc"});
+///   Result<Plan> plan = tweets.Join(checkins, "user_id")
+///                           .Aggregate({"checkin_loc"}, {{"count", "*"}})
+///                           .Build("q1");
+///
+/// Errors (unknown fields, bad selectivities, ...) are latched: subsequent
+/// calls are no-ops and Build() returns the first error.
+class PlanBuilder {
+ public:
+  explicit PlanBuilder(const relation::Catalog* catalog)
+      : factory_(catalog) {}
+
+  /// A partially-built plan fragment. Value-semantic; fragments may be
+  /// stored, copied, and combined with Join().
+  class Fragment {
+   public:
+    Fragment Extract(std::vector<std::string> fields) const;
+    Fragment Filter(std::vector<PredicateAtom> atoms) const;
+    Fragment Filter(Predicate predicate) const;
+    Fragment Project(std::vector<std::string> fields) const;
+    Fragment Join(const Fragment& right, const std::string& key) const;
+    Fragment Aggregate(std::vector<std::string> group_by,
+                       std::vector<AggregateFn> aggregates) const;
+    Fragment Udf(UdfParams params) const;
+
+    /// Finalizes the fragment into a named plan.
+    Result<Plan> Build(std::string query_name) const;
+
+    /// Root node so far (null if errored).
+    const NodePtr& node() const { return node_; }
+    const Status& status() const { return status_; }
+
+   private:
+    friend class PlanBuilder;
+    Fragment(const NodeFactory* factory, Result<NodePtr> node);
+
+    const NodeFactory* factory_ = nullptr;
+    NodePtr node_;
+    Status status_;
+  };
+
+  /// Starts a fragment at a raw-log scan.
+  Fragment Scan(const std::string& dataset) const;
+
+  const NodeFactory& factory() const { return factory_; }
+
+ private:
+  NodeFactory factory_;
+};
+
+}  // namespace miso::plan
+
+#endif  // MISO_PLAN_BUILDER_H_

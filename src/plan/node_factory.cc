@@ -1,0 +1,336 @@
+#include "plan/node_factory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace miso::plan {
+
+namespace {
+
+using relation::Field;
+using relation::Schema;
+
+int64_t CapNdv(int64_t ndv, int64_t rows) {
+  return std::max<int64_t>(1, std::min(ndv, rows));
+}
+
+/// A field cannot have more distinct values than there are rows.
+Schema CapSchemaNdvs(const Schema& schema, int64_t rows) {
+  std::vector<Field> fields = schema.fields();
+  for (Field& f : fields) f.distinct_values = CapNdv(f.distinct_values, rows);
+  return Schema(std::move(fields));
+}
+
+std::string JoinStrings(std::vector<std::string> parts, bool sort) {
+  if (sort) std::sort(parts.begin(), parts.end());
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += ',';
+    out += parts[i];
+  }
+  return out;
+}
+
+int64_t RowsFromFraction(int64_t rows, double fraction) {
+  const double v = static_cast<double>(rows) * fraction;
+  if (v <= 0) return 0;
+  return std::max<int64_t>(1, static_cast<int64_t>(std::llround(v)));
+}
+
+}  // namespace
+
+Result<NodePtr> NodeFactory::MakeScan(const std::string& dataset) const {
+  MISO_ASSIGN_OR_RETURN(relation::LogDataset ds,
+                        catalog_->FindDataset(dataset));
+  auto node = std::make_shared<OperatorNode>();
+  node->kind_ = OpKind::kScan;
+  node->scan_.dataset = dataset;
+  node->output_schema_ = ds.schema;
+  node->stats_.rows = ds.num_records;
+  node->stats_.bytes = ds.raw_bytes;
+  node->canonical_ = "scan(" + dataset + ")";
+  node->signature_ = HashBytes(node->canonical_);
+  node->dw_executable_ = false;  // raw logs live in HDFS only
+  return NodePtr(node);
+}
+
+Result<NodePtr> NodeFactory::MakeExtract(
+    NodePtr child, std::vector<std::string> fields) const {
+  if (child == nullptr) {
+    return Status::InvalidArgument("Extract requires a child");
+  }
+  if (child->kind() != OpKind::kScan) {
+    return Status::InvalidArgument(
+        "Extract (SerDe) applies directly to a raw-log Scan");
+  }
+  MISO_ASSIGN_OR_RETURN(Schema schema,
+                        child->output_schema().Project(fields));
+  auto node = std::make_shared<OperatorNode>();
+  node->kind_ = OpKind::kExtract;
+  node->children_ = {std::move(child)};
+  node->extract_.fields = fields;
+  node->stats_.rows = node->children_[0]->stats().rows;
+  node->stats_.bytes = node->stats_.rows * schema.RecordWidth();
+  node->output_schema_ = std::move(schema);
+  node->canonical_ = "extract(" + node->children_[0]->canonical() +
+                     ";fields=[" + JoinStrings(fields, /*sort=*/true) + "])";
+  node->signature_ = HashBytes(node->canonical_);
+  node->dw_executable_ = false;  // SerDe over flat files is HV-only
+  return NodePtr(node);
+}
+
+Result<NodePtr> NodeFactory::MakeFilter(NodePtr child,
+                                        Predicate predicate) const {
+  if (child == nullptr) {
+    return Status::InvalidArgument("Filter requires a child");
+  }
+  for (const PredicateAtom& atom : predicate.atoms()) {
+    if (!child->output_schema().HasField(atom.field)) {
+      return Status::InvalidArgument("Filter references unknown field '" +
+                                     atom.field + "'");
+    }
+    if (atom.selectivity <= 0.0 || atom.selectivity > 1.0) {
+      return Status::InvalidArgument("atom selectivity must be in (0,1]: " +
+                                     atom.CanonicalString());
+    }
+  }
+  const double sel = predicate.Selectivity();
+  auto node = std::make_shared<OperatorNode>();
+  node->kind_ = OpKind::kFilter;
+  node->filter_.predicate = std::move(predicate);
+  node->stats_.rows = RowsFromFraction(child->stats().rows, sel);
+  node->stats_.bytes = ScaleBytes(child->stats().bytes, sel);
+  node->output_schema_ =
+      CapSchemaNdvs(child->output_schema(), node->stats_.rows);
+  node->canonical_ = "filter(" + child->canonical() + ";" +
+                     node->filter_.predicate.CanonicalString() + ")";
+  node->signature_ = HashBytes(node->canonical_);
+  node->dw_executable_ = true;
+  node->children_ = {std::move(child)};
+  return NodePtr(node);
+}
+
+Result<NodePtr> NodeFactory::MakeProject(
+    NodePtr child, std::vector<std::string> fields) const {
+  if (child == nullptr) {
+    return Status::InvalidArgument("Project requires a child");
+  }
+  MISO_ASSIGN_OR_RETURN(Schema schema,
+                        child->output_schema().Project(fields));
+  auto node = std::make_shared<OperatorNode>();
+  node->kind_ = OpKind::kProject;
+  node->project_.fields = fields;
+  node->stats_.rows = child->stats().rows;
+  node->stats_.bytes = node->stats_.rows * schema.RecordWidth();
+  node->output_schema_ = std::move(schema);
+  node->canonical_ = "project(" + child->canonical() + ";[" +
+                     JoinStrings(fields, /*sort=*/true) + "])";
+  node->signature_ = HashBytes(node->canonical_);
+  node->dw_executable_ = true;
+  node->children_ = {std::move(child)};
+  return NodePtr(node);
+}
+
+Result<NodePtr> NodeFactory::MakeJoin(NodePtr left, NodePtr right,
+                                      const std::string& key) const {
+  if (left == nullptr || right == nullptr) {
+    return Status::InvalidArgument("Join requires two children");
+  }
+  MISO_ASSIGN_OR_RETURN(Field lkey, left->output_schema().FindField(key));
+  MISO_ASSIGN_OR_RETURN(Field rkey, right->output_schema().FindField(key));
+
+  const int64_t lrows = left->stats().rows;
+  const int64_t rrows = right->stats().rows;
+  const int64_t max_ndv =
+      std::max<int64_t>(1, std::max(lkey.distinct_values,
+                                    rkey.distinct_values));
+  const double out_rows_est = static_cast<double>(lrows) /
+                              static_cast<double>(max_ndv) *
+                              static_cast<double>(rrows);
+  const int64_t out_rows =
+      std::max<int64_t>(0, static_cast<int64_t>(std::llround(out_rows_est)));
+
+  auto node = std::make_shared<OperatorNode>();
+  node->kind_ = OpKind::kJoin;
+  node->join_.key = key;
+  Schema merged = left->output_schema().ConcatWith(right->output_schema());
+  node->stats_.rows = out_rows;
+  node->stats_.bytes = out_rows * merged.RecordWidth();
+  node->output_schema_ = CapSchemaNdvs(merged, std::max<int64_t>(out_rows, 1));
+
+  // Joins are commutative: canonicalize child order lexicographically so
+  // join(A,B) and join(B,A) share a signature.
+  std::string lc = left->canonical();
+  std::string rc = right->canonical();
+  if (lc > rc) std::swap(lc, rc);
+  node->canonical_ = "join(" + lc + "," + rc + ";key=" + key + ")";
+  node->signature_ = HashBytes(node->canonical_);
+  node->dw_executable_ = true;
+  node->children_ = {std::move(left), std::move(right)};
+  return NodePtr(node);
+}
+
+Result<NodePtr> NodeFactory::MakeAggregate(
+    NodePtr child, std::vector<std::string> group_by,
+    std::vector<AggregateFn> aggregates) const {
+  if (child == nullptr) {
+    return Status::InvalidArgument("Aggregate requires a child");
+  }
+  if (aggregates.empty()) {
+    return Status::InvalidArgument("Aggregate requires >= 1 aggregate fn");
+  }
+  // Output cardinality: product of group-key NDVs, capped by input rows.
+  double groups = 1.0;
+  std::vector<Field> out_fields;
+  for (const std::string& key : group_by) {
+    MISO_ASSIGN_OR_RETURN(Field f, child->output_schema().FindField(key));
+    groups *= static_cast<double>(f.distinct_values);
+    groups = std::min(groups, static_cast<double>(child->stats().rows));
+    out_fields.push_back(f);
+  }
+  for (const AggregateFn& fn : aggregates) {
+    if (fn.field != "*" && !child->output_schema().HasField(fn.field)) {
+      return Status::InvalidArgument("Aggregate references unknown field '" +
+                                     fn.field + "'");
+    }
+    out_fields.emplace_back(fn.CanonicalString(), relation::DataType::kDouble,
+                            8, /*ndv=*/1);
+  }
+  const int64_t out_rows = std::max<int64_t>(
+      1, std::min<int64_t>(child->stats().rows,
+                           static_cast<int64_t>(std::llround(groups))));
+
+  auto node = std::make_shared<OperatorNode>();
+  node->kind_ = OpKind::kAggregate;
+  node->aggregate_.group_by = group_by;
+  node->aggregate_.aggregates = aggregates;
+  node->output_schema_ = CapSchemaNdvs(Schema(std::move(out_fields)),
+                                       out_rows);
+  node->stats_.rows = out_rows;
+  node->stats_.bytes = out_rows * node->output_schema_.RecordWidth();
+
+  std::vector<std::string> fn_strings;
+  fn_strings.reserve(aggregates.size());
+  for (const AggregateFn& fn : aggregates) {
+    fn_strings.push_back(fn.CanonicalString());
+  }
+  node->canonical_ = "agg(" + child->canonical() + ";keys=[" +
+                     JoinStrings(group_by, /*sort=*/true) + "];fns=[" +
+                     JoinStrings(std::move(fn_strings), /*sort=*/true) + "])";
+  node->signature_ = HashBytes(node->canonical_);
+  node->dw_executable_ = true;
+  node->children_ = {std::move(child)};
+  return NodePtr(node);
+}
+
+Result<NodePtr> NodeFactory::MakeUdf(NodePtr child, UdfParams params) const {
+  if (child == nullptr) {
+    return Status::InvalidArgument("Udf requires a child");
+  }
+  if (params.size_factor <= 0 || params.row_selectivity <= 0 ||
+      params.row_selectivity > 1.0 || params.cpu_factor <= 0) {
+    return Status::InvalidArgument("Udf '" + params.name +
+                                   "' has out-of-range cost parameters");
+  }
+  auto node = std::make_shared<OperatorNode>();
+  node->kind_ = OpKind::kUdf;
+  node->stats_.rows =
+      RowsFromFraction(child->stats().rows, params.row_selectivity);
+  node->stats_.bytes = ScaleBytes(child->stats().bytes, params.size_factor);
+  // UDFs may append derived columns; schema-wise we keep the child schema
+  // plus one opaque derived field, which is enough for width accounting.
+  std::vector<Field> fields = child->output_schema().fields();
+  const Bytes derived_width = std::max<Bytes>(
+      0, node->stats_.rows > 0
+             ? node->stats_.bytes / node->stats_.rows -
+                   child->output_schema().RecordWidth()
+             : 0);
+  fields.emplace_back(params.name + "_out", relation::DataType::kString,
+                      derived_width, node->stats_.rows);
+  node->output_schema_ = CapSchemaNdvs(Schema(std::move(fields)),
+                                       std::max<int64_t>(node->stats_.rows, 1));
+  node->canonical_ = "udf(" + child->canonical() + ";" + params.name + ")";
+  node->signature_ = HashBytes(node->canonical_);
+  node->dw_executable_ = params.dw_compatible;
+  node->udf_ = std::move(params);
+  node->children_ = {std::move(child)};
+  return NodePtr(node);
+}
+
+NodePtr NodeFactory::MakeViewScan(uint64_t view_id, uint64_t view_signature,
+                                  StoreKind store,
+                                  const relation::Schema& schema,
+                                  const OutputStats& stats,
+                                  std::string canonical) const {
+  auto node = std::make_shared<OperatorNode>();
+  node->kind_ = OpKind::kViewScan;
+  node->view_scan_.view_id = view_id;
+  node->view_scan_.view_signature = view_signature;
+  node->view_scan_.store = store;
+  node->output_schema_ = schema;
+  node->stats_ = stats;
+  // The rewritten node keeps the canonical form of the expression it
+  // replaces: a rewrite changes the evaluation strategy, not the semantics.
+  node->canonical_ = std::move(canonical);
+  node->signature_ = HashBytes(node->canonical_);
+  node->dw_executable_ = true;
+  return NodePtr(node);
+}
+
+NodePtr NodeFactory::Recanonicalize(const NodePtr& node,
+                                    std::string canonical) const {
+  auto clone = std::make_shared<OperatorNode>(*node);
+  clone->canonical_ = std::move(canonical);
+  clone->signature_ = HashBytes(clone->canonical_);
+  return NodePtr(clone);
+}
+
+Result<NodePtr> NodeFactory::Rebuild(const OperatorNode& node,
+                                     std::vector<NodePtr> children) const {
+  switch (node.kind()) {
+    case OpKind::kScan:
+      return MakeScan(node.scan().dataset);
+    case OpKind::kExtract:
+      if (children.size() != 1) {
+        return Status::InvalidArgument("Extract rebuild needs 1 child");
+      }
+      return MakeExtract(std::move(children[0]), node.extract().fields);
+    case OpKind::kFilter:
+      if (children.size() != 1) {
+        return Status::InvalidArgument("Filter rebuild needs 1 child");
+      }
+      return MakeFilter(std::move(children[0]), node.filter().predicate);
+    case OpKind::kProject:
+      if (children.size() != 1) {
+        return Status::InvalidArgument("Project rebuild needs 1 child");
+      }
+      return MakeProject(std::move(children[0]), node.project().fields);
+    case OpKind::kJoin:
+      if (children.size() != 2) {
+        return Status::InvalidArgument("Join rebuild needs 2 children");
+      }
+      return MakeJoin(std::move(children[0]), std::move(children[1]),
+                      node.join().key);
+    case OpKind::kAggregate:
+      if (children.size() != 1) {
+        return Status::InvalidArgument("Aggregate rebuild needs 1 child");
+      }
+      return MakeAggregate(std::move(children[0]), node.aggregate().group_by,
+                           node.aggregate().aggregates);
+    case OpKind::kUdf:
+      if (children.size() != 1) {
+        return Status::InvalidArgument("Udf rebuild needs 1 child");
+      }
+      return MakeUdf(std::move(children[0]), node.udf());
+    case OpKind::kViewScan:
+      return MakeViewScan(node.view_scan().view_id,
+                          node.view_scan().view_signature,
+                          node.view_scan().store, node.output_schema(),
+                          node.stats(), node.canonical());
+  }
+  return Status::Internal("unknown operator kind in Rebuild");
+}
+
+}  // namespace miso::plan

@@ -1,0 +1,75 @@
+#ifndef MISO_PLAN_NODE_FACTORY_H_
+#define MISO_PLAN_NODE_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "plan/operator.h"
+#include "relation/catalog.h"
+
+namespace miso::plan {
+
+/// Constructs fully-annotated operator nodes. Annotation = output schema,
+/// estimated output stats (rows/bytes), canonical signature, and
+/// DW-executability — all derived bottom-up from the children, which must
+/// already be annotated.
+///
+/// All estimation rules of the library live here:
+///  * Scan:      rows = record count, bytes = raw log bytes.
+///  * Extract:   rows unchanged; bytes = rows * extracted record width.
+///  * Filter:    rows/bytes scaled by predicate selectivity; NDVs capped.
+///  * Project:   rows unchanged; bytes = rows * projected width.
+///  * Join:      |L⋈R| = |L|*|R| / max(ndv_L(k), ndv_R(k))  (equi-join).
+///  * Aggregate: rows = min(input rows, Π ndv(group keys)).
+///  * Udf:       rows *= row_selectivity; bytes *= size_factor.
+///  * ViewScan:  stats supplied by the caller (the view's stored stats).
+class NodeFactory {
+ public:
+  explicit NodeFactory(const relation::Catalog* catalog)
+      : catalog_(catalog) {}
+
+  Result<NodePtr> MakeScan(const std::string& dataset) const;
+  Result<NodePtr> MakeExtract(NodePtr child,
+                              std::vector<std::string> fields) const;
+  Result<NodePtr> MakeFilter(NodePtr child, Predicate predicate) const;
+  Result<NodePtr> MakeProject(NodePtr child,
+                              std::vector<std::string> fields) const;
+  Result<NodePtr> MakeJoin(NodePtr left, NodePtr right,
+                           const std::string& key) const;
+  Result<NodePtr> MakeAggregate(NodePtr child,
+                                std::vector<std::string> group_by,
+                                std::vector<AggregateFn> aggregates) const;
+  Result<NodePtr> MakeUdf(NodePtr child, UdfParams params) const;
+
+  /// A leaf standing for "read materialized view". `schema` and `stats`
+  /// come from the view's metadata; `canonical` is the canonical form of
+  /// the subexpression the view materializes, so the rewritten plan keeps
+  /// the same signature as the original (a rewrite is an evaluation
+  /// strategy, not a new query).
+  NodePtr MakeViewScan(uint64_t view_id, uint64_t view_signature,
+                       StoreKind store, const relation::Schema& schema,
+                       const OutputStats& stats,
+                       std::string canonical) const;
+
+  /// Clone of `node` whose canonical form (and hence signature) is replaced
+  /// by `canonical`. Used by the rewriter when a spliced subtree
+  /// (compensation filter over a ViewScan) computes the same result as an
+  /// original expression: assigning the original canonical keeps semantic
+  /// identity for downstream view harvesting.
+  NodePtr Recanonicalize(const NodePtr& node, std::string canonical) const;
+
+  /// Rebuilds `node` with `children` replaced (same kind and parameters),
+  /// re-deriving all annotations. Used by the rewriter when splicing
+  /// ViewScans into a plan.
+  Result<NodePtr> Rebuild(const OperatorNode& node,
+                          std::vector<NodePtr> children) const;
+
+ private:
+  const relation::Catalog* catalog_;
+};
+
+}  // namespace miso::plan
+
+#endif  // MISO_PLAN_NODE_FACTORY_H_

@@ -1,0 +1,27 @@
+#include "plan/operator.h"
+
+namespace miso::plan {
+
+std::string_view OpKindToString(OpKind kind) {
+  switch (kind) {
+    case OpKind::kScan:
+      return "Scan";
+    case OpKind::kExtract:
+      return "Extract";
+    case OpKind::kFilter:
+      return "Filter";
+    case OpKind::kProject:
+      return "Project";
+    case OpKind::kJoin:
+      return "Join";
+    case OpKind::kAggregate:
+      return "Aggregate";
+    case OpKind::kUdf:
+      return "Udf";
+    case OpKind::kViewScan:
+      return "ViewScan";
+  }
+  return "?";
+}
+
+}  // namespace miso::plan

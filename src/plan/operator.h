@@ -1,0 +1,179 @@
+#ifndef MISO_PLAN_OPERATOR_H_
+#define MISO_PLAN_OPERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/store_kind.h"
+#include "common/units.h"
+#include "plan/predicate.h"
+#include "relation/schema.h"
+
+namespace miso::plan {
+
+/// Logical operator kinds. `kViewScan` only appears in rewritten plans (it
+/// reads a materialized view instead of recomputing its subexpression).
+enum class OpKind {
+  kScan,
+  kExtract,
+  kFilter,
+  kProject,
+  kJoin,
+  kAggregate,
+  kUdf,
+  kViewScan,
+};
+
+std::string_view OpKindToString(OpKind kind);
+
+/// Estimated output of an operator, derived bottom-up by the estimator.
+struct OutputStats {
+  int64_t rows = 0;
+  Bytes bytes = 0;
+};
+
+/// Parameters of a kScan node: reads one raw log from HDFS.
+struct ScanParams {
+  std::string dataset;
+};
+
+/// Parameters of a kExtract node (SerDe): parses raw text records and
+/// extracts the named fields into relational form.
+struct ExtractParams {
+  std::vector<std::string> fields;
+};
+
+/// Parameters of a kFilter node.
+struct FilterParams {
+  Predicate predicate;
+};
+
+/// Parameters of a kProject node.
+struct ProjectParams {
+  std::vector<std::string> fields;
+};
+
+/// Parameters of a kJoin node (equi-join of the two children).
+struct JoinParams {
+  /// Join key; must exist in both child schemas.
+  std::string key;
+};
+
+/// One aggregate output column.
+struct AggregateFn {
+  /// "count", "sum", "avg", ... — only the name matters to the simulator.
+  std::string fn;
+  std::string field;
+  std::string CanonicalString() const { return fn + "(" + field + ")"; }
+};
+
+/// Parameters of a kAggregate node (hash group-by).
+struct AggregateParams {
+  std::vector<std::string> group_by;
+  std::vector<AggregateFn> aggregates;
+};
+
+/// Parameters of a kUdf node: arbitrary user code applied to every row.
+///
+/// UDFs drive split-point constraints: only `dw_compatible` UDFs may run in
+/// the data warehouse; the rest pin their subtree to HV (paper §3.1).
+struct UdfParams {
+  std::string name;
+  /// Output bytes = input bytes * size_factor.
+  double size_factor = 1.0;
+  /// Fraction of rows kept (UDFs may act as filters).
+  double row_selectivity = 1.0;
+  /// Relative CPU weight versus a plain scan of the same bytes.
+  double cpu_factor = 1.0;
+  /// Whether the DW can execute this UDF (e.g. a SQL-translatable function).
+  bool dw_compatible = false;
+};
+
+/// Parameters of a kViewScan node: reads materialized view `view_id`.
+struct ViewScanParams {
+  uint64_t view_id = 0;
+  /// Signature of the subexpression the view materializes (for printing).
+  uint64_t view_signature = 0;
+  /// Store the view resides in. A DW-resident view pins this leaf (and,
+  /// transitively, everything above it) to the DW side of a split; an
+  /// HV-resident view is read in HV.
+  StoreKind store = StoreKind::kHv;
+};
+
+class OperatorNode;
+/// Nodes are immutable after construction and shared structurally between
+/// plans (a rewrite reuses untouched subtrees), hence shared_ptr-to-const.
+using NodePtr = std::shared_ptr<const OperatorNode>;
+
+/// One node of a logical plan. Instances are created by PlanBuilder (which
+/// annotates schema/stats/signature bottom-up) or by the rewriter.
+class OperatorNode {
+ public:
+  OperatorNode() = default;
+
+  OpKind kind() const { return kind_; }
+  const std::vector<NodePtr>& children() const { return children_; }
+  const relation::Schema& output_schema() const { return output_schema_; }
+  const OutputStats& stats() const { return stats_; }
+
+  /// Canonical identity of the subexpression rooted here. Two subtrees with
+  /// equal signatures compute the same result (sound, not complete).
+  uint64_t signature() const { return signature_; }
+  /// Human-readable canonical form backing `signature()`.
+  const std::string& canonical() const { return canonical_; }
+
+  /// True when an HV execution starts a new MapReduce job at this node
+  /// (shuffle for joins/aggregates, separate stage for UDFs).
+  bool IsJobBoundary() const {
+    return kind_ == OpKind::kJoin || kind_ == OpKind::kAggregate ||
+           kind_ == OpKind::kUdf;
+  }
+
+  /// True when this single operator may execute in the DW. Scans and
+  /// Extracts of raw HDFS logs may not; UDFs only when declared
+  /// dw_compatible; relational operators and ViewScans may. The optimizer
+  /// uses this per-operator flag when enumerating split points (the DW-side
+  /// suffix of a split must consist solely of DW-executable operators).
+  bool dw_executable() const { return dw_executable_; }
+
+  // Typed parameter accessors; calling the wrong one is a programming error
+  // (the caller must dispatch on kind() first).
+  const ScanParams& scan() const { return scan_; }
+  const ExtractParams& extract() const { return extract_; }
+  const FilterParams& filter() const { return filter_; }
+  const ProjectParams& project() const { return project_; }
+  const JoinParams& join() const { return join_; }
+  const AggregateParams& aggregate() const { return aggregate_; }
+  const UdfParams& udf() const { return udf_; }
+  const ViewScanParams& view_scan() const { return view_scan_; }
+
+ private:
+  friend class NodeFactory;  // constructs and annotates nodes
+
+  OpKind kind_ = OpKind::kScan;
+  std::vector<NodePtr> children_;
+
+  // Exactly one of these is meaningful, per kind_. A variant would also
+  // work; distinct members keep accessors trivial and error messages clear.
+  ScanParams scan_;
+  ExtractParams extract_;
+  FilterParams filter_;
+  ProjectParams project_;
+  JoinParams join_;
+  AggregateParams aggregate_;
+  UdfParams udf_;
+  ViewScanParams view_scan_;
+
+  // Annotations computed at construction.
+  relation::Schema output_schema_;
+  OutputStats stats_;
+  uint64_t signature_ = 0;
+  std::string canonical_;
+  bool dw_executable_ = true;
+};
+
+}  // namespace miso::plan
+
+#endif  // MISO_PLAN_OPERATOR_H_

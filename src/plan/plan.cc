@@ -1,0 +1,30 @@
+#include "plan/plan.h"
+
+namespace miso::plan {
+
+void CollectPostOrder(const NodePtr& node, std::vector<NodePtr>* out) {
+  if (node == nullptr) return;
+  for (const NodePtr& child : node->children()) {
+    CollectPostOrder(child, out);
+  }
+  out->push_back(node);
+}
+
+std::vector<NodePtr> Plan::PostOrder() const {
+  std::vector<NodePtr> nodes;
+  CollectPostOrder(root_, &nodes);
+  return nodes;
+}
+
+int Plan::NumOperators() const {
+  return static_cast<int>(PostOrder().size());
+}
+
+bool Plan::FullyDwExecutable() const {
+  for (const NodePtr& node : PostOrder()) {
+    if (!node->dw_executable()) return false;
+  }
+  return root_ != nullptr;
+}
+
+}  // namespace miso::plan

@@ -1,0 +1,49 @@
+#ifndef MISO_PLAN_PLAN_H_
+#define MISO_PLAN_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "plan/operator.h"
+
+namespace miso::plan {
+
+/// A logical query plan: an immutable operator tree plus query identity.
+///
+/// Plans are cheap to copy (shared_ptr root) and structurally share
+/// subtrees with plans derived from them by rewriting.
+class Plan {
+ public:
+  Plan() = default;
+  Plan(std::string query_name, NodePtr root)
+      : query_name_(std::move(query_name)), root_(std::move(root)) {}
+
+  const std::string& query_name() const { return query_name_; }
+  const NodePtr& root() const { return root_; }
+  bool empty() const { return root_ == nullptr; }
+
+  /// Signature of the whole query (the root's subexpression signature).
+  uint64_t signature() const { return root_ ? root_->signature() : 0; }
+
+  /// All nodes in post-order (children before parents). Deterministic.
+  std::vector<NodePtr> PostOrder() const;
+
+  /// Number of operator nodes.
+  int NumOperators() const;
+
+  /// True when every operator in the plan may run in the DW (requires all
+  /// leaves to be ViewScans — raw-log scans pin a plan to HV).
+  bool FullyDwExecutable() const;
+
+ private:
+  std::string query_name_;
+  NodePtr root_;
+};
+
+/// Collects the nodes of the subtree rooted at `node` in post-order.
+void CollectPostOrder(const NodePtr& node, std::vector<NodePtr>* out);
+
+}  // namespace miso::plan
+
+#endif  // MISO_PLAN_PLAN_H_

@@ -1,0 +1,215 @@
+#include "plan/predicate.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+namespace miso::plan {
+
+std::string_view CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kLike:
+      return "LIKE";
+  }
+  return "?";
+}
+
+std::string PredicateAtom::CanonicalString() const {
+  std::string out = field;
+  out += ' ';
+  out += CompareOpToString(op);
+  out += ' ';
+  out += operand;
+  return out;
+}
+
+bool PredicateAtom::SameAtom(const PredicateAtom& other) const {
+  return field == other.field && op == other.op && operand == other.operand;
+}
+
+PredicateAtom MakeAtom(std::string field, CompareOp op, std::string operand,
+                       double selectivity) {
+  PredicateAtom atom;
+  atom.field = std::move(field);
+  atom.op = op;
+  atom.operand = std::move(operand);
+  atom.selectivity = selectivity;
+  char* end = nullptr;
+  const double v = std::strtod(atom.operand.c_str(), &end);
+  if (end != atom.operand.c_str() && end != nullptr && *end == '\0') {
+    atom.numeric = v;
+  }
+  return atom;
+}
+
+namespace {
+
+bool NumericImplies(const PredicateAtom& s, const PredicateAtom& w) {
+  if (!s.numeric.has_value() || !w.numeric.has_value()) return false;
+  const double sv = *s.numeric;
+  const double wv = *w.numeric;
+  switch (w.op) {
+    case CompareOp::kGt:
+      // weaker region: (wv, inf)
+      switch (s.op) {
+        case CompareOp::kGt:
+          return sv >= wv;
+        case CompareOp::kGe:
+          return sv > wv;
+        case CompareOp::kEq:
+          return sv > wv;
+        default:
+          return false;
+      }
+    case CompareOp::kGe:
+      // weaker region: [wv, inf)
+      switch (s.op) {
+        case CompareOp::kGt:
+        case CompareOp::kGe:
+        case CompareOp::kEq:
+          return sv >= wv;
+        default:
+          return false;
+      }
+    case CompareOp::kLt:
+      // weaker region: (-inf, wv)
+      switch (s.op) {
+        case CompareOp::kLt:
+          return sv <= wv;
+        case CompareOp::kLe:
+          return sv < wv;
+        case CompareOp::kEq:
+          return sv < wv;
+        default:
+          return false;
+      }
+    case CompareOp::kLe:
+      // weaker region: (-inf, wv]
+      switch (s.op) {
+        case CompareOp::kLt:
+        case CompareOp::kLe:
+        case CompareOp::kEq:
+          return sv <= wv;
+        default:
+          return false;
+      }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool AtomImplies(const PredicateAtom& stronger, const PredicateAtom& weaker) {
+  if (stronger.field != weaker.field) return false;
+  if (stronger.SameAtom(weaker)) return true;
+  return NumericImplies(stronger, weaker);
+}
+
+Predicate::Predicate(std::vector<PredicateAtom> atoms)
+    : atoms_(std::move(atoms)) {
+  std::sort(atoms_.begin(), atoms_.end(),
+            [](const PredicateAtom& a, const PredicateAtom& b) {
+              return a.CanonicalString() < b.CanonicalString();
+            });
+}
+
+double Predicate::Selectivity() const {
+  // Attribute independence across fields; within one field, redundant
+  // range bounds in the same direction are not independent (ts > 200
+  // implies ts > 100), so lower bounds contribute the min selectivity
+  // among themselves, as do upper bounds. Equality/LIKE atoms multiply.
+  std::map<std::string, double> lower;  // field -> min sel of Gt/Ge atoms
+  std::map<std::string, double> upper;  // field -> min sel of Lt/Le atoms
+  double sel = 1.0;
+  for (const PredicateAtom& atom : atoms_) {
+    switch (atom.op) {
+      case CompareOp::kGt:
+      case CompareOp::kGe: {
+        auto [it, inserted] = lower.emplace(atom.field, atom.selectivity);
+        if (!inserted) it->second = std::min(it->second, atom.selectivity);
+        break;
+      }
+      case CompareOp::kLt:
+      case CompareOp::kLe: {
+        auto [it, inserted] = upper.emplace(atom.field, atom.selectivity);
+        if (!inserted) it->second = std::min(it->second, atom.selectivity);
+        break;
+      }
+      default:
+        sel *= atom.selectivity;
+    }
+  }
+  for (const auto& [field, s] : lower) sel *= s;
+  for (const auto& [field, s] : upper) sel *= s;
+  return sel;
+}
+
+Predicate Predicate::And(const Predicate& other) const {
+  std::vector<PredicateAtom> merged = atoms_;
+  for (const PredicateAtom& atom : other.atoms_) {
+    const bool duplicate =
+        std::any_of(merged.begin(), merged.end(),
+                    [&](const PredicateAtom& a) { return a.SameAtom(atom); });
+    if (!duplicate) merged.push_back(atom);
+  }
+  return Predicate(std::move(merged));
+}
+
+bool Predicate::Implies(const Predicate& weaker) const {
+  for (const PredicateAtom& w : weaker.atoms_) {
+    const bool covered =
+        std::any_of(atoms_.begin(), atoms_.end(),
+                    [&](const PredicateAtom& s) { return AtomImplies(s, w); });
+    if (!covered) return false;
+  }
+  return true;
+}
+
+std::string Predicate::CanonicalString() const {
+  if (atoms_.empty()) return "true";
+  std::string out;
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += '(';
+    out += atoms_[i].CanonicalString();
+    out += ')';
+  }
+  return out;
+}
+
+Predicate CompensationPredicate(const Predicate& query,
+                                const Predicate& view) {
+  std::vector<PredicateAtom> residual;
+  for (const PredicateAtom& q : query.atoms()) {
+    // Exact matches are fully absorbed by the view.
+    const bool exact =
+        std::any_of(view.atoms().begin(), view.atoms().end(),
+                    [&](const PredicateAtom& v) { return v.SameAtom(q); });
+    if (exact) continue;
+    PredicateAtom comp = q;
+    // If a strictly weaker view atom on the same field partially covers q,
+    // rescale q's selectivity to the conditional selectivity given the view
+    // atom already applied.
+    for (const PredicateAtom& v : view.atoms()) {
+      if (v.field == q.field && AtomImplies(q, v) && v.selectivity > 0) {
+        comp.selectivity = std::min(1.0, q.selectivity / v.selectivity);
+        break;
+      }
+    }
+    residual.push_back(std::move(comp));
+  }
+  return Predicate(std::move(residual));
+}
+
+}  // namespace miso::plan

@@ -1,0 +1,88 @@
+#ifndef MISO_PLAN_PREDICATE_H_
+#define MISO_PLAN_PREDICATE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace miso::plan {
+
+/// Comparison operator of a predicate atom.
+enum class CompareOp { kEq, kLt, kLe, kGt, kGe, kLike };
+
+std::string_view CompareOpToString(CompareOp op);
+
+/// One conjunct of a selection predicate: `field op operand`.
+///
+/// Atoms carry their own selectivity (supplied by the workload generator,
+/// standing in for what a real system would get from statistics), and an
+/// optional numeric interpretation of the operand that enables range
+/// implication tests (e.g. `ts > 200` implies `ts > 100`).
+struct PredicateAtom {
+  std::string field;
+  CompareOp op = CompareOp::kEq;
+  std::string operand;
+  /// Numeric value of `operand` when it parses as a number; enables
+  /// range-based implication between atoms on the same field.
+  std::optional<double> numeric;
+  /// Fraction of input rows satisfying this atom, in (0, 1].
+  double selectivity = 1.0;
+
+  /// Canonical text used for signatures and exact-identity tests.
+  std::string CanonicalString() const;
+
+  /// Exact identity: same field, op, and operand (selectivity ignored —
+  /// two systems may estimate the same atom differently).
+  bool SameAtom(const PredicateAtom& other) const;
+};
+
+/// Makes an atom, deriving `numeric` from `operand` when possible.
+PredicateAtom MakeAtom(std::string field, CompareOp op, std::string operand,
+                       double selectivity);
+
+/// Returns true when `stronger` logically implies `weaker`, i.e. every row
+/// satisfying `stronger` also satisfies `weaker`. Conservative: false when
+/// implication cannot be proven.
+bool AtomImplies(const PredicateAtom& stronger, const PredicateAtom& weaker);
+
+/// A conjunction of atoms. The empty predicate is `true`.
+class Predicate {
+ public:
+  Predicate() = default;
+  explicit Predicate(std::vector<PredicateAtom> atoms);
+
+  const std::vector<PredicateAtom>& atoms() const { return atoms_; }
+  bool IsTrue() const { return atoms_.empty(); }
+  int size() const { return static_cast<int>(atoms_.size()); }
+
+  /// Product of atom selectivities (attribute-independence assumption).
+  double Selectivity() const;
+
+  /// Conjunction of this and `other` (atom lists concatenated; exact
+  /// duplicates dropped).
+  Predicate And(const Predicate& other) const;
+
+  /// True when every atom of `weaker` is implied by some atom of this
+  /// predicate — i.e. this predicate is at least as restrictive, so a result
+  /// filtered by `weaker` contains every row this predicate needs.
+  bool Implies(const Predicate& weaker) const;
+
+  /// Canonical, order-independent text form, e.g.
+  /// "(topic = coffee) AND (ts > 100)". Atoms are sorted.
+  std::string CanonicalString() const;
+
+ private:
+  std::vector<PredicateAtom> atoms_;  // kept sorted by CanonicalString
+};
+
+/// Residual (compensation) predicate for answering a query predicate
+/// `query` from a result already filtered by `view`: the atoms of `query`
+/// not exactly present in `view`, with selectivities rescaled by the
+/// selectivity of the covering view atom (conditional selectivity), so the
+/// estimator composes correctly. Requires `query.Implies(view)`.
+Predicate CompensationPredicate(const Predicate& query, const Predicate& view);
+
+}  // namespace miso::plan
+
+#endif  // MISO_PLAN_PREDICATE_H_

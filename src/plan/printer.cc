@@ -1,0 +1,104 @@
+#include "plan/printer.h"
+
+#include <cstdio>
+
+#include "common/units.h"
+
+namespace miso::plan {
+
+namespace {
+
+void AppendSubtree(const NodePtr& node, int depth, std::string* out) {
+  if (node == nullptr) return;
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(DescribeNode(*node));
+  out->push_back('\n');
+  for (const NodePtr& child : node->children()) {
+    AppendSubtree(child, depth + 1, out);
+  }
+}
+
+std::string JoinList(const std::vector<std::string>& parts) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += ',';
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string DescribeNode(const OperatorNode& node) {
+  std::string out(OpKindToString(node.kind()));
+  switch (node.kind()) {
+    case OpKind::kScan:
+      out += ' ';
+      out += node.scan().dataset;
+      break;
+    case OpKind::kExtract:
+      out += " fields=[";
+      out += JoinList(node.extract().fields);
+      out += ']';
+      break;
+    case OpKind::kFilter:
+      out += ' ';
+      out += node.filter().predicate.CanonicalString();
+      break;
+    case OpKind::kProject:
+      out += " [";
+      out += JoinList(node.project().fields);
+      out += ']';
+      break;
+    case OpKind::kJoin:
+      out += " key=";
+      out += node.join().key;
+      break;
+    case OpKind::kAggregate: {
+      out += " keys=[";
+      out += JoinList(node.aggregate().group_by);
+      out += "] fns=[";
+      const auto& fns = node.aggregate().aggregates;
+      for (size_t i = 0; i < fns.size(); ++i) {
+        if (i > 0) out += ',';
+        out += fns[i].CanonicalString();
+      }
+      out += "]";
+      break;
+    }
+    case OpKind::kUdf:
+      out += ' ';
+      out += node.udf().name;
+      out += node.udf().dw_compatible ? " (dw-ok)" : " (hv-only)";
+      break;
+    case OpKind::kViewScan: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%016llx",
+                    static_cast<unsigned long long>(
+                        node.view_scan().view_signature));
+      out += " view=";
+      out += buf;
+      break;
+    }
+  }
+  char stats[96];
+  std::snprintf(stats, sizeof(stats), "  (rows=%lld, %s)",
+                static_cast<long long>(node.stats().rows),
+                FormatBytes(node.stats().bytes).c_str());
+  out += stats;
+  return out;
+}
+
+std::string PrintSubtree(const NodePtr& node) {
+  std::string out;
+  AppendSubtree(node, 0, &out);
+  return out;
+}
+
+std::string PrintPlan(const Plan& plan) {
+  std::string out = "Plan '" + plan.query_name() + "':\n";
+  AppendSubtree(plan.root(), 1, &out);
+  return out;
+}
+
+}  // namespace miso::plan

@@ -1,0 +1,27 @@
+#ifndef MISO_PLAN_PRINTER_H_
+#define MISO_PLAN_PRINTER_H_
+
+#include <string>
+
+#include "plan/plan.h"
+
+namespace miso::plan {
+
+/// Renders a plan as an indented operator tree with estimated cardinalities,
+/// e.g.:
+///
+///   Aggregate keys=[region] fns=[count(*)]  (rows=2000, 46.88 KiB)
+///     Join key=user_id  (rows=1.2e7, 1.05 GiB)
+///       Filter (topic = coffee)  (rows=4.3e6, ...)
+///       ...
+std::string PrintPlan(const Plan& plan);
+
+/// Renders the subtree rooted at `node`.
+std::string PrintSubtree(const NodePtr& node);
+
+/// One-line summary of a node: kind, salient parameters, output stats.
+std::string DescribeNode(const OperatorNode& node);
+
+}  // namespace miso::plan
+
+#endif  // MISO_PLAN_PRINTER_H_

@@ -1,0 +1,111 @@
+#include "relation/catalog.h"
+
+#include <utility>
+
+namespace miso::relation {
+
+Status Catalog::AddDataset(LogDataset dataset) {
+  if (dataset.name.empty()) {
+    return Status::InvalidArgument("dataset name must be non-empty");
+  }
+  if (dataset.raw_bytes < 0 || dataset.num_records < 0) {
+    return Status::InvalidArgument("dataset sizes must be non-negative");
+  }
+  auto [it, inserted] = datasets_.emplace(dataset.name, std::move(dataset));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("dataset '" + it->first +
+                                 "' already registered");
+  }
+  return Status::OK();
+}
+
+Result<LogDataset> Catalog::FindDataset(const std::string& name) const {
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    return Status::NotFound("no dataset named '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Catalog::HasDataset(const std::string& name) const {
+  return datasets_.count(name) > 0;
+}
+
+std::vector<std::string> Catalog::DatasetNames() const {
+  std::vector<std::string> names;
+  names.reserve(datasets_.size());
+  for (const auto& [name, ds] : datasets_) names.push_back(name);
+  return names;
+}
+
+Bytes Catalog::TotalRawBytes() const {
+  Bytes total = 0;
+  for (const auto& [name, ds] : datasets_) total += ds.raw_bytes;
+  return total;
+}
+
+Catalog MakePaperCatalog() { return MakePaperCatalog(1.0); }
+
+Catalog MakePaperCatalog(double scale) {
+  Catalog catalog;
+
+  // Average raw tweet ~2.5 KB of JSON; 1 TB => ~430M records.
+  {
+    LogDataset twitter;
+    twitter.name = "twitter";
+    twitter.raw_bytes = ScaleBytes(TiB(1.0), scale);
+    twitter.num_records = twitter.raw_bytes / 2560;
+    twitter.schema = Schema({
+        Field("user_id", DataType::kInt64, 8, 40'000'000),
+        Field("tweet_id", DataType::kInt64, 8, twitter.num_records),
+        Field("ts", DataType::kTimestamp, 8, 31'536'000),
+        Field("text", DataType::kString, 250, twitter.num_records),
+        Field("topic", DataType::kString, 16, 5'000),
+        Field("lang", DataType::kString, 4, 60),
+        Field("geo_lat", DataType::kDouble, 8, 1'000'000),
+        Field("geo_lon", DataType::kDouble, 8, 1'000'000),
+    });
+    catalog.AddDataset(std::move(twitter));
+  }
+
+  // Average raw check-in ~1.8 KB of JSON; 1 TB => ~600M records.
+  {
+    LogDataset foursquare;
+    foursquare.name = "foursquare";
+    foursquare.raw_bytes = ScaleBytes(TiB(1.0), scale);
+    foursquare.num_records = foursquare.raw_bytes / 1843;
+    foursquare.schema = Schema({
+        Field("user_id", DataType::kInt64, 8, 25'000'000),
+        Field("checkin_id", DataType::kInt64, 8, foursquare.num_records),
+        Field("ts", DataType::kTimestamp, 8, 31'536'000),
+        Field("checkin_loc", DataType::kInt64, 8, 2'000'000),
+        Field("category", DataType::kString, 16, 400),
+        Field("shout", DataType::kString, 80, foursquare.num_records / 4),
+    });
+    catalog.AddDataset(std::move(foursquare));
+  }
+
+  // Static reference data: 12 GB of landmark descriptions.
+  {
+    LogDataset landmarks;
+    landmarks.name = "landmarks";
+    landmarks.raw_bytes = ScaleBytes(GiB(12.0), scale);
+    landmarks.num_records = landmarks.raw_bytes / 6144;
+    landmarks.schema = Schema({
+        // Named after the foursquare check-in location it joins with
+        // (single-name equi-join keys).
+        Field("checkin_loc", DataType::kInt64, 8, 2'000'000),
+        Field("lname", DataType::kString, 32, 2'000'000),
+        Field("city", DataType::kString, 16, 30'000),
+        Field("region", DataType::kString, 16, 2'000),
+        Field("kind", DataType::kString, 16, 250),
+        Field("rating", DataType::kDouble, 8, 50),
+    });
+    catalog.AddDataset(std::move(landmarks));
+  }
+
+  return catalog;
+}
+
+}  // namespace miso::relation

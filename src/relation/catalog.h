@@ -1,0 +1,65 @@
+#ifndef MISO_RELATION_CATALOG_H_
+#define MISO_RELATION_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/units.h"
+#include "relation/schema.h"
+
+namespace miso::relation {
+
+/// Statistical description of one raw log stored as flat files in HV.
+///
+/// MISO never inspects record contents during tuning — plans, costs, and
+/// view sizes depend only on byte volumes, record counts, and per-field
+/// statistics — so the catalog is the complete data substrate for the
+/// simulator. (`miso::datagen` can synthesize matching records for the
+/// example programs.)
+struct LogDataset {
+  std::string name;
+  /// Total size of the raw (JSON/XML) files in HDFS.
+  Bytes raw_bytes = 0;
+  int64_t num_records = 0;
+  /// Fields extractable by a SerDe from the raw records.
+  Schema schema;
+
+  /// Raw bytes per record (JSON framing included).
+  Bytes RawRecordWidth() const {
+    return num_records > 0 ? raw_bytes / num_records : 0;
+  }
+};
+
+/// Name -> dataset registry shared by the workload generator, the planner's
+/// estimator, and both store simulators.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Status AddDataset(LogDataset dataset);
+  Result<LogDataset> FindDataset(const std::string& name) const;
+  bool HasDataset(const std::string& name) const;
+  std::vector<std::string> DatasetNames() const;
+
+  /// Sum of raw sizes of all registered logs ("base data" size of HV).
+  Bytes TotalRawBytes() const;
+
+ private:
+  std::map<std::string, LogDataset> datasets_;
+};
+
+/// The three datasets of the paper's evaluation (§5.1): 1 TB of Twitter
+/// tweets, 1 TB of Foursquare check-ins, and 12 GB of Landmarks reference
+/// data. `user_id` is shared by twitter/foursquare; `checkin_loc` /
+/// `landmark_id` link foursquare and landmarks.
+Catalog MakePaperCatalog();
+
+/// A scaled-down variant (sizes divided by `factor`) for fast tests.
+Catalog MakePaperCatalog(double scale);
+
+}  // namespace miso::relation
+
+#endif  // MISO_RELATION_CATALOG_H_

@@ -1,0 +1,75 @@
+#include "relation/schema.h"
+
+#include <algorithm>
+
+namespace miso::relation {
+
+std::string_view DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+    case DataType::kTimestamp:
+      return "timestamp";
+    case DataType::kBool:
+      return "bool";
+  }
+  return "unknown";
+}
+
+Bytes DefaultWidth(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+    case DataType::kDouble:
+    case DataType::kTimestamp:
+      return 8;
+    case DataType::kString:
+      return 24;
+    case DataType::kBool:
+      return 1;
+  }
+  return 8;
+}
+
+Result<Field> Schema::FindField(const std::string& name) const {
+  for (const Field& f : fields_) {
+    if (f.name == name) return f;
+  }
+  return Status::NotFound("no field named '" + name + "'");
+}
+
+bool Schema::HasField(const std::string& name) const {
+  return std::any_of(fields_.begin(), fields_.end(),
+                     [&](const Field& f) { return f.name == name; });
+}
+
+Bytes Schema::RecordWidth() const {
+  Bytes width = 0;
+  for (const Field& f : fields_) width += f.avg_width;
+  return width;
+}
+
+Result<Schema> Schema::Project(const std::vector<std::string>& names) const {
+  std::vector<Field> projected;
+  projected.reserve(names.size());
+  for (const std::string& name : names) {
+    MISO_ASSIGN_OR_RETURN(Field f, FindField(name));
+    projected.push_back(std::move(f));
+  }
+  return Schema(std::move(projected));
+}
+
+Schema Schema::ConcatWith(const Schema& right) const {
+  std::vector<Field> merged = fields_;
+  merged.reserve(fields_.size() + right.fields_.size());
+  for (Field f : right.fields_) {
+    if (HasField(f.name)) f.name += "_r";
+    merged.push_back(std::move(f));
+  }
+  return Schema(std::move(merged));
+}
+
+}  // namespace miso::relation

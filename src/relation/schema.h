@@ -1,0 +1,77 @@
+#ifndef MISO_RELATION_SCHEMA_H_
+#define MISO_RELATION_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace miso::relation {
+
+/// Primitive value types extracted from the semi-structured logs.
+enum class DataType {
+  kInt64,
+  kDouble,
+  kString,
+  kTimestamp,
+  kBool,
+};
+
+std::string_view DataTypeToString(DataType type);
+
+/// Average encoded width of a value of `type` in bytes. String widths are
+/// attached per-field (see Field::avg_width), this is the default.
+Bytes DefaultWidth(DataType type);
+
+/// One extractable attribute of a log record ("user_id", "checkin_loc", ...)
+/// together with the statistics the cardinality estimator needs.
+struct Field {
+  std::string name;
+  DataType type = DataType::kString;
+  /// Average encoded width in bytes once extracted into columnar/relational
+  /// form (raw JSON is wider; the Extract operator applies the ratio).
+  Bytes avg_width = 0;
+  /// Number of distinct values in the dataset this field belongs to.
+  int64_t distinct_values = 1;
+
+  Field() = default;
+  Field(std::string name_in, DataType type_in, Bytes width, int64_t ndv)
+      : name(std::move(name_in)),
+        type(type_in),
+        avg_width(width),
+        distinct_values(ndv) {}
+};
+
+/// Ordered collection of named fields. Immutable after construction.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  const std::vector<Field>& fields() const { return fields_; }
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+
+  /// Looks a field up by name.
+  Result<Field> FindField(const std::string& name) const;
+  bool HasField(const std::string& name) const;
+
+  /// Sum of avg widths: bytes per record in extracted (relational) form.
+  Bytes RecordWidth() const;
+
+  /// Restriction of this schema to `names`; errors on an unknown name.
+  Result<Schema> Project(const std::vector<std::string>& names) const;
+
+  /// Schema of the concatenation of `this` and `right` (join output).
+  /// Duplicate names from the right side are suffixed with "_r".
+  Schema ConcatWith(const Schema& right) const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace miso::relation
+
+#endif  // MISO_RELATION_SCHEMA_H_

@@ -1,0 +1,57 @@
+#ifndef MISO_SIM_ETL_H_
+#define MISO_SIM_ETL_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "dw/dw_cost_model.h"
+#include "hv/hv_config.h"
+#include "plan/plan.h"
+#include "relation/catalog.h"
+#include "transfer/transfer_model.h"
+
+namespace miso::sim {
+
+/// Parameters of the DW-ONLY up-front ETL model. The paper reports a very
+/// expensive ETL phase (≈3.5e5 s for its 200 GB relevant subset) and cites
+/// Simitsis et al. [QoX] on ETL flows costing far beyond raw I/O: schema
+/// conforming, cleansing, multiple staging passes, constraint validation,
+/// and initial index builds. The mechanical pipeline below (HV extraction
+/// of the union of accessed fields, `transform_passes` full staging passes,
+/// and the DW bulk load) is multiplied by `overhead_factor` to stand in for
+/// that engineering reality; the default is calibrated so DW-ONLY's TTI
+/// slightly exceeds HV-ONLY's, matching Figure 4.
+struct EtlConfig {
+  int transform_passes = 10;
+  double overhead_factor = 7.7;
+};
+
+/// Byte footprint and cost of the ETL phase.
+struct EtlResult {
+  Bytes extracted_bytes = 0;  // relational form of the relevant subset
+  Seconds extract_s = 0;
+  Seconds transform_s = 0;
+  Seconds load_s = 0;
+  Seconds Total() const { return extract_s + transform_s + load_s; }
+};
+
+/// Models the one-time ETL for the DW-ONLY variant: extract, per-pass
+/// transform, and load of the union of fields each dataset contributes to
+/// `workload`.
+Result<EtlResult> ComputeEtl(const relation::Catalog& catalog,
+                             const std::vector<plan::Plan>& workload,
+                             const hv::HvConfig& hv_config,
+                             const transfer::TransferConfig& transfer_config,
+                             const EtlConfig& etl_config);
+
+/// Post-ETL cost of one query executed entirely in DW over the loaded
+/// base tables: Extract leaves read the loaded table (with index pruning
+/// under a directly-enclosing filter); relational operators and UDFs run
+/// at DW rates (HV-only UDF transformations were pre-applied during ETL,
+/// so only their in-database application cost remains).
+Result<Seconds> DwOnlyQueryCost(const plan::Plan& query,
+                                const dw::DwCostModel& dw_model);
+
+}  // namespace miso::sim
+
+#endif  // MISO_SIM_ETL_H_

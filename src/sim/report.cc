@@ -1,0 +1,95 @@
+#include "sim/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+namespace miso::sim {
+
+std::string_view SystemVariantToString(SystemVariant variant) {
+  switch (variant) {
+    case SystemVariant::kHvOnly:
+      return "HV-ONLY";
+    case SystemVariant::kDwOnly:
+      return "DW-ONLY";
+    case SystemVariant::kMsBasic:
+      return "MS-BASIC";
+    case SystemVariant::kHvOp:
+      return "HV-OP";
+    case SystemVariant::kMsMiso:
+      return "MS-MISO";
+    case SystemVariant::kMsLru:
+      return "MS-LRU";
+    case SystemVariant::kMsOff:
+      return "MS-OFF";
+    case SystemVariant::kMsOra:
+      return "MS-ORA";
+  }
+  return "?";
+}
+
+std::vector<Seconds> RunReport::TtiCurve() const {
+  std::vector<Seconds> curve;
+  curve.reserve(queries.size());
+  for (const QueryRecord& q : queries) curve.push_back(q.completion_time);
+  return curve;
+}
+
+std::vector<double> RunReport::ExecTimeCdf(
+    const std::vector<Seconds>& bounds) const {
+  std::vector<double> cdf(bounds.size(), 0.0);
+  if (queries.empty()) return cdf;
+  for (size_t b = 0; b < bounds.size(); ++b) {
+    int count = 0;
+    for (const QueryRecord& q : queries) {
+      if (q.ExecTime() < bounds[b]) ++count;
+    }
+    cdf[b] = static_cast<double>(count) /
+             static_cast<double>(queries.size());
+  }
+  return cdf;
+}
+
+std::vector<int> RunReport::RankByDwUtilization() const {
+  std::vector<int> order(queries.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](int a, int b) {
+    const double da = queries[static_cast<size_t>(a)].DwUtilizationShare();
+    const double db = queries[static_cast<size_t>(b)].DwUtilizationShare();
+    if (da != db) return da > db;
+    return a < b;
+  });
+  return order;
+}
+
+int RunReport::DwMajorityQueries() const {
+  int count = 0;
+  for (const QueryRecord& q : queries) {
+    if (q.DwUtilizationShare() > 0.5) ++count;
+  }
+  return count;
+}
+
+double RunReport::HvPerDwSecond(int k) const {
+  const std::vector<int> ranked = RankByDwUtilization();
+  Seconds hv = 0;
+  Seconds dw = 0;
+  for (int i = 0; i < k && i < static_cast<int>(ranked.size()); ++i) {
+    const QueryRecord& q = queries[static_cast<size_t>(ranked[static_cast<size_t>(i)])];
+    hv += q.breakdown.hv_exec_s;
+    dw += q.breakdown.dw_exec_s;
+  }
+  return dw > 0 ? hv / dw : 0.0;
+}
+
+std::string RunReport::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-8s TTI=%10.0f s  (HV=%9.0f  DW=%7.0f  XFER=%8.0f  "
+                "TUNE=%7.0f  ETL=%8.0f)  reorgs=%d",
+                variant_name.c_str(), Tti(), hv_exe_s, dw_exe_s, transfer_s,
+                tune_s, etl_s, reorg_count);
+  return buf;
+}
+
+}  // namespace miso::sim

@@ -1,0 +1,89 @@
+#ifndef MISO_SIM_REPORT_H_
+#define MISO_SIM_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "dw/resource_model.h"
+#include "optimizer/multistore_plan.h"
+#include "sim/variants.h"
+
+namespace miso::sim {
+
+/// Execution record of one workload query.
+struct QueryRecord {
+  int index = 0;
+  std::string name;
+  /// Simulated time the query was submitted / completed (TTI clock:
+  /// includes preceding ETL and reorganization phases).
+  Seconds start_time = 0;
+  Seconds completion_time = 0;
+  /// Per-component execution time (HV / dump / transfer+load / DW).
+  optimizer::CostBreakdown breakdown;
+  /// Operator placement (Figure 6's ratios).
+  int ops_total = 0;
+  int ops_dw = 0;
+  Bytes transferred_bytes = 0;
+  /// Views read by the executed plan.
+  int views_used = 0;
+
+  Seconds ExecTime() const { return breakdown.Total(); }
+  double DwUtilizationShare() const {
+    const Seconds total = ExecTime();
+    return total > 0 ? breakdown.dw_exec_s / total : 0.0;
+  }
+};
+
+/// Full result of simulating one workload under one system variant.
+struct RunReport {
+  SystemVariant variant = SystemVariant::kHvOnly;
+  std::string variant_name;
+
+  std::vector<QueryRecord> queries;
+
+  /// TTI components (§5.1 metrics).
+  Seconds etl_s = 0;        // up-front load (DW-ONLY only)
+  Seconds tune_s = 0;       // design computation + reorganization moves
+  Seconds hv_exe_s = 0;     // cumulative HV execution
+  Seconds dw_exe_s = 0;     // cumulative DW execution
+  Seconds transfer_s = 0;   // cumulative dump + transfer + load
+
+  /// Reorganization bookkeeping.
+  int reorg_count = 0;
+  Bytes bytes_moved_to_dw = 0;
+  Bytes bytes_moved_to_hv = 0;
+
+  /// DW resource samples (present when a background workload was set).
+  std::vector<dw::DwTickSample> dw_ticks;
+  double background_slowdown = 0;
+  Seconds avg_background_latency_s = 0;
+
+  /// Total time-to-insight: completion of the last query.
+  Seconds Tti() const {
+    return queries.empty() ? etl_s : queries.back().completion_time;
+  }
+
+  /// Cumulative TTI after each completed query (Figure 5a).
+  std::vector<Seconds> TtiCurve() const;
+
+  /// Fraction of queries with execution time below each bucket upper
+  /// bound (Figure 5b). `bounds` in seconds, ascending.
+  std::vector<double> ExecTimeCdf(const std::vector<Seconds>& bounds) const;
+
+  /// Query indices ranked by DW utilization share, descending (Figure 6).
+  std::vector<int> RankByDwUtilization() const;
+
+  /// Number of queries whose DW share exceeds 0.5 (Figure 6 commentary).
+  int DwMajorityQueries() const;
+
+  /// Σ HV-exec seconds / Σ DW-exec seconds over the `k` top-ranked
+  /// queries (Figure 6 commentary: "for every second spent in DW...").
+  double HvPerDwSecond(int k) const;
+
+  std::string Summary() const;
+};
+
+}  // namespace miso::sim
+
+#endif  // MISO_SIM_REPORT_H_

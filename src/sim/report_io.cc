@@ -1,0 +1,78 @@
+#include "sim/report_io.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+
+namespace miso::sim {
+
+namespace {
+
+void AppendRow(std::string* out, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendRow(std::string* out, const char* format, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string QueriesToCsv(const RunReport& report) {
+  std::string out =
+      "index,name,start_s,completion_s,hv_exec_s,dump_s,transfer_load_s,"
+      "dw_exec_s,ops_dw,ops_total,transferred_bytes,views_used\n";
+  for (const QueryRecord& q : report.queries) {
+    AppendRow(&out, "%d,%s,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%d,%d,%lld,%d\n",
+              q.index, q.name.c_str(), q.start_time, q.completion_time,
+              q.breakdown.hv_exec_s, q.breakdown.dump_s,
+              q.breakdown.transfer_load_s, q.breakdown.dw_exec_s, q.ops_dw,
+              q.ops_total, static_cast<long long>(q.transferred_bytes),
+              q.views_used);
+  }
+  return out;
+}
+
+std::string TicksToCsv(const RunReport& report) {
+  std::string out = "time_s,io_used,cpu_used,bg_latency_s,activity\n";
+  for (const dw::DwTickSample& tick : report.dw_ticks) {
+    AppendRow(&out, "%.1f,%.4f,%.4f,%.4f,%s\n", tick.time, tick.io_used,
+              tick.cpu_used, tick.bg_query_latency_s,
+              tick.activity.c_str());
+  }
+  return out;
+}
+
+std::string SummaryToCsv(const RunReport& report, bool with_header) {
+  std::string out;
+  if (with_header) {
+    out =
+        "variant,tti_s,hv_exe_s,dw_exe_s,transfer_s,tune_s,etl_s,"
+        "reorg_count,bytes_to_dw,bytes_to_hv\n";
+  }
+  AppendRow(&out, "%s,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%d,%lld,%lld\n",
+            report.variant_name.c_str(), report.Tti(), report.hv_exe_s,
+            report.dw_exe_s, report.transfer_s, report.tune_s, report.etl_s,
+            report.reorg_count,
+            static_cast<long long>(report.bytes_moved_to_dw),
+            static_cast<long long>(report.bytes_moved_to_hv));
+  return out;
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  out << content;
+  if (!out.good()) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace miso::sim

@@ -1,0 +1,31 @@
+#ifndef MISO_SIM_REPORT_IO_H_
+#define MISO_SIM_REPORT_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sim/report.h"
+
+namespace miso::sim {
+
+/// CSV serializations of a run report, for downstream plotting (the
+/// figures of the paper are one `gnuplot`/pandas invocation away from
+/// these files).
+
+/// Per-query rows: index, name, start, completion, hv_exec, dump,
+/// transfer_load, dw_exec, ops_dw, ops_total, transferred_bytes,
+/// views_used.
+std::string QueriesToCsv(const RunReport& report);
+
+/// DW resource tick rows (Figure 9): time, io, cpu, bg_latency, activity.
+std::string TicksToCsv(const RunReport& report);
+
+/// One summary row: variant, tti, hv, dw, transfer, tune, etl, reorgs.
+std::string SummaryToCsv(const RunReport& report, bool with_header);
+
+/// Writes `content` to `path` (overwrites).
+Status WriteFile(const std::string& path, const std::string& content);
+
+}  // namespace miso::sim
+
+#endif  // MISO_SIM_REPORT_IO_H_

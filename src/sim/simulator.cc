@@ -1,0 +1,433 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "dw/dw_store.h"
+#include "hv/hv_store.h"
+#include "optimizer/multistore_optimizer.h"
+#include "plan/node_factory.h"
+#include "tuner/baseline_tuners.h"
+
+namespace miso::sim {
+
+using optimizer::MultistorePlan;
+using plan::NodePtr;
+using plan::OpKind;
+using views::View;
+using views::ViewCatalog;
+using views::ViewId;
+
+namespace {
+
+/// Evicts least-recently-used views from `catalog` until it fits its
+/// budget (HV-OP's retention policy, §5.1).
+void EvictLruToBudget(ViewCatalog* catalog) {
+  while (catalog->OverBudget()) {
+    std::vector<View> all = catalog->AllViews();
+    if (all.empty()) return;
+    const View* victim = nullptr;
+    int victim_used = 0;
+    for (const View& v : all) {
+      const int used = catalog->LastUsed(v.id);
+      if (victim == nullptr || used < victim_used ||
+          (used == victim_used && v.id < victim->id)) {
+        victim = &v;
+        victim_used = used;
+      }
+    }
+    catalog->Remove(victim->id);
+  }
+}
+
+/// Views read by an executed plan, per store.
+void CollectViewUses(const plan::Plan& executed,
+                     std::vector<ViewId>* hv_used,
+                     std::vector<ViewId>* dw_used) {
+  for (const NodePtr& node : executed.PostOrder()) {
+    if (node->kind() != OpKind::kViewScan) continue;
+    if (node->view_scan().store == StoreKind::kDw) {
+      dw_used->push_back(node->view_scan().view_id);
+    } else {
+      hv_used->push_back(node->view_scan().view_id);
+    }
+  }
+}
+
+/// All opportunistic views the original `plan` would materialize in a pure
+/// HV execution (used by MS-OFF to know the candidate universe up-front).
+/// The plan's final result is not a candidate (it goes to the client).
+Result<std::vector<View>> CandidateViewsOf(const plan::Plan& plan,
+                                           uint64_t* next_id) {
+  MISO_ASSIGN_OR_RETURN(std::vector<hv::MapReduceJob> jobs,
+                        hv::SegmentIntoJobs(plan.root()));
+  std::vector<View> result;
+  std::unordered_set<uint64_t> seen;
+  for (const hv::MapReduceJob& job : jobs) {
+    for (const NodePtr& node : job.materialization_points) {
+      if (node->signature() == plan.signature()) continue;
+      if (!seen.insert(node->signature()).second) continue;
+      View v = views::ViewFromNode(*node);
+      v.id = (*next_id)++;
+      result.push_back(std::move(v));
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+MultistoreSimulator::MultistoreSimulator(const relation::Catalog* catalog,
+                                         const SimConfig& config)
+    : catalog_(catalog), config_(config) {}
+
+Result<RunReport> MultistoreSimulator::Run(
+    const std::vector<workload::WorkloadQuery>& queries) {
+  const SimConfig& cfg = config_;
+
+  plan::NodeFactory factory(catalog_);
+  hv::HvStore hv_store(cfg.hv, cfg.hv_storage_budget);
+  dw::DwStore dw_store(cfg.dw, cfg.dw_storage_budget);
+  transfer::TransferModel mover(cfg.transfer);
+  optimizer::MultistoreOptimizer opt(&factory, &hv_store.cost_model(),
+                                     &dw_store.cost_model(), &mover);
+  dw::ResourceLedger ledger(cfg.background, cfg.contention);
+
+  tuner::MisoTunerConfig tuner_config;
+  tuner_config.hv_storage_budget = cfg.hv_storage_budget;
+  tuner_config.dw_storage_budget = cfg.dw_storage_budget;
+  tuner_config.transfer_budget = cfg.transfer_budget;
+  tuner_config.epoch_length = cfg.epoch_length;
+  tuner_config.benefit_decay = cfg.benefit_decay;
+  tuner_config.store_specific_benefit = cfg.store_specific_benefit;
+  tuner_config.handle_interactions = cfg.handle_interactions;
+  tuner_config.retain_unselected_views = cfg.retain_unselected_views;
+  tuner::MisoTuner miso_tuner(&opt, tuner_config);
+  tuner::LruTuner lru_tuner(tuner_config);
+
+  RunReport report;
+  report.variant = cfg.variant;
+  report.variant_name = std::string(SystemVariantToString(cfg.variant));
+
+  Seconds now = 0;
+  Seconds last_reorg_time = 0;
+  uint64_t next_view_id = 1;
+  std::vector<plan::Plan> history;
+
+  const bool has_background =
+      cfg.background.io_demand > 0 || cfg.background.cpu_demand > 0;
+
+  // ---- Variant-specific preparation. ----------------------------------
+  if (cfg.variant == SystemVariant::kDwOnly) {
+    std::vector<plan::Plan> plans;
+    plans.reserve(queries.size());
+    for (const workload::WorkloadQuery& q : queries) plans.push_back(q.plan);
+    MISO_ASSIGN_OR_RETURN(
+        EtlResult etl,
+        ComputeEtl(*catalog_, plans, cfg.hv, cfg.transfer, cfg.etl));
+    report.etl_s = etl.Total();
+    now = etl.Total();
+  }
+
+  // MS-OFF: one-shot target design over everything the workload can make.
+  tuner::OfflineTuner::TargetDesign offline_target;
+  std::set<uint64_t> offline_dw_signatures;
+  std::set<uint64_t> offline_hv_signatures;
+  if (cfg.variant == SystemVariant::kMsOff) {
+    uint64_t dry_id = 1'000'000;  // distinct id space for the dry pass
+    std::vector<View> all_candidates;
+    std::unordered_set<uint64_t> seen;
+    std::vector<plan::Plan> plans;
+    for (const workload::WorkloadQuery& q : queries) {
+      plans.push_back(q.plan);
+      MISO_ASSIGN_OR_RETURN(std::vector<View> produced,
+                            CandidateViewsOf(q.plan, &dry_id));
+      for (View& v : produced) {
+        if (seen.insert(v.signature).second) {
+          all_candidates.push_back(std::move(v));
+        }
+      }
+    }
+    tuner::OfflineTuner offline(&opt, tuner_config);
+    MISO_ASSIGN_OR_RETURN(offline_target,
+                          offline.ComputeTarget(all_candidates, plans));
+    for (const View& v : all_candidates) {
+      if (offline_target.dw_views.count(v.id) > 0) {
+        offline_dw_signatures.insert(v.signature);
+      } else if (offline_target.hv_views.count(v.id) > 0) {
+        offline_hv_signatures.insert(v.signature);
+      }
+    }
+    // The one-shot design computation happens before any query runs.
+    report.tune_s += cfg.tune_compute_s;
+    now += cfg.tune_compute_s;
+  }
+
+  // ---- Main query loop. ------------------------------------------------
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const workload::WorkloadQuery& wq = queries[qi];
+    QueryRecord record;
+    record.index = static_cast<int>(qi);
+    record.name = wq.plan.query_name();
+    record.start_time = now;
+    record.ops_total = wq.plan.NumOperators();
+
+    MultistorePlan ms;
+    bool harvest = true;
+
+    switch (cfg.variant) {
+      case SystemVariant::kHvOnly: {
+        MISO_ASSIGN_OR_RETURN(ms, opt.OptimizeHvOnly(wq.plan,
+                                                     hv_store.catalog(),
+                                                     /*use_views=*/false));
+        harvest = false;
+        break;
+      }
+      case SystemVariant::kDwOnly: {
+        MISO_ASSIGN_OR_RETURN(Seconds dw_cost,
+                              DwOnlyQueryCost(wq.plan,
+                                              dw_store.cost_model()));
+        ms.executed = wq.plan;
+        ms.cost.dw_exec_s = dw_cost;
+        // Mark all operators DW-side for the utilization accounting.
+        ms.dw_side = wq.plan.PostOrder();
+        harvest = false;
+        break;
+      }
+      case SystemVariant::kMsBasic: {
+        const ViewCatalog empty_dw(0);
+        const ViewCatalog empty_hv(0);
+        MISO_ASSIGN_OR_RETURN(ms, opt.Optimize(wq.plan, empty_dw, empty_hv));
+        harvest = false;
+        break;
+      }
+      case SystemVariant::kHvOp: {
+        MISO_ASSIGN_OR_RETURN(ms, opt.OptimizeHvOnly(wq.plan,
+                                                     hv_store.catalog(),
+                                                     /*use_views=*/true));
+        break;
+      }
+      case SystemVariant::kMsMiso:
+      case SystemVariant::kMsLru:
+      case SystemVariant::kMsOff:
+      case SystemVariant::kMsOra: {
+        MISO_ASSIGN_OR_RETURN(
+            ms, opt.Optimize(wq.plan, dw_store.catalog(),
+                             hv_store.catalog()));
+        break;
+      }
+    }
+
+    // --- Execute the chosen plan. ---
+    // HV side: run jobs (and harvest opportunistic views).
+    std::vector<View> produced;
+    if (cfg.variant != SystemVariant::kDwOnly) {
+      std::vector<NodePtr> hv_roots;
+      if (ms.HvOnly()) {
+        hv_roots.push_back(ms.executed.root());
+      } else {
+        for (const NodePtr& cut : ms.cut_inputs) {
+          if (cut->kind() != OpKind::kScan &&
+              cut->kind() != OpKind::kViewScan) {
+            hv_roots.push_back(cut);
+          }
+        }
+      }
+      for (const NodePtr& root : hv_roots) {
+        MISO_ASSIGN_OR_RETURN(
+            hv::HvExecution exec,
+            hv_store.Execute(root, static_cast<int>(qi), now, &next_view_id,
+                             /*exclude_signature=*/wq.plan.signature()));
+        if (harvest) {
+          for (View& v : exec.produced_views) produced.push_back(std::move(v));
+        }
+      }
+    }
+
+    record.breakdown = ms.cost;
+    record.transferred_bytes = ms.transferred_bytes;
+    record.ops_dw = static_cast<int>(ms.dw_side.size());
+
+    // --- DW-side contention: stretch transfer-load and DW execution. ---
+    Seconds exec_time = ms.cost.hv_exec_s + ms.cost.dump_s;
+    if (ms.cost.transfer_load_s > 0) {
+      const Seconds stretched = ledger.RecordActivity(
+          dw::DwActivityKind::kWorkingSetTransfer,
+          now + ms.cost.hv_exec_s + ms.cost.dump_s, ms.cost.transfer_load_s,
+          /*io_demand=*/1.2, /*cpu_demand=*/0.3);
+      record.breakdown.transfer_load_s = stretched;
+      exec_time += stretched;
+    }
+    if (ms.cost.dw_exec_s > 0) {
+      const Seconds stretched = ledger.RecordActivity(
+          dw::DwActivityKind::kQueryExec, now + exec_time,
+          ms.cost.dw_exec_s, /*io_demand=*/0.25, /*cpu_demand=*/0.35);
+      record.breakdown.dw_exec_s = stretched;
+      exec_time += stretched;
+    }
+    now += exec_time;
+    record.completion_time = now;
+
+    report.hv_exe_s += record.breakdown.hv_exec_s;
+    report.dw_exe_s += record.breakdown.dw_exec_s;
+    report.transfer_s +=
+        record.breakdown.dump_s + record.breakdown.transfer_load_s;
+
+    // --- Retention of opportunistic views. ---
+    if (harvest) {
+      if (cfg.variant == SystemVariant::kHvOp) {
+        for (View& v : produced) {
+          hv_store.catalog().AddUnchecked(std::move(v));
+        }
+        EvictLruToBudget(&hv_store.catalog());
+      } else if (cfg.variant == SystemVariant::kMsOff) {
+        // Retain / immediately load exactly the targeted views.
+        for (View& v : produced) {
+          if (offline_dw_signatures.count(v.signature) > 0) {
+            const transfer::TransferBreakdown tb =
+                mover.ViewTransferToDw(v.size_bytes);
+            const Seconds stretched = ledger.RecordActivity(
+                dw::DwActivityKind::kReorgTransfer, now, tb.Total(),
+                /*io_demand=*/1.3, /*cpu_demand=*/0.3);
+            now += stretched;
+            report.tune_s += stretched;
+            report.bytes_moved_to_dw += v.size_bytes;
+            offline_dw_signatures.erase(v.signature);
+            MISO_RETURN_IF_ERROR(dw_store.catalog().AddUnchecked(std::move(v)));
+          } else if (offline_hv_signatures.count(v.signature) > 0) {
+            MISO_RETURN_IF_ERROR(hv_store.catalog().AddUnchecked(std::move(v)));
+          }
+        }
+      } else {
+        // MISO / LRU / ORA: HV retains everything until the next reorg.
+        for (View& v : produced) {
+          MISO_RETURN_IF_ERROR(hv_store.catalog().AddUnchecked(std::move(v)));
+        }
+      }
+    }
+
+    // --- Track view usage for LRU / diagnostics. ---
+    std::vector<ViewId> hv_used;
+    std::vector<ViewId> dw_used;
+    CollectViewUses(ms.executed, &hv_used, &dw_used);
+    record.views_used = static_cast<int>(hv_used.size() + dw_used.size());
+    for (ViewId id : hv_used) {
+      hv_store.catalog().TouchView(id, static_cast<int>(qi));
+    }
+    for (ViewId id : dw_used) {
+      dw_store.catalog().TouchView(id, static_cast<int>(qi));
+    }
+
+    history.push_back(wq.plan);
+    report.queries.push_back(std::move(record));
+
+    // --- Reorganization phase. ---
+    const bool reorg_variant = cfg.variant == SystemVariant::kMsMiso ||
+                               cfg.variant == SystemVariant::kMsLru ||
+                               cfg.variant == SystemVariant::kMsOra;
+    const bool query_trigger =
+        cfg.reorg_every > 0 &&
+        (static_cast<int>(qi) + 1) % cfg.reorg_every == 0;
+    const bool time_trigger =
+        cfg.reorg_every_seconds > 0 &&
+        now - last_reorg_time >= cfg.reorg_every_seconds;
+    const bool at_boundary =
+        (query_trigger || time_trigger) && qi + 1 < queries.size();
+    if (reorg_variant && at_boundary) {
+      tuner::ReorgPlan reorg;
+      if (cfg.variant == SystemVariant::kMsLru) {
+        MISO_ASSIGN_OR_RETURN(
+            reorg, lru_tuner.Tune(hv_store.catalog(), dw_store.catalog()));
+      } else {
+        std::vector<plan::Plan> window;
+        if (cfg.variant == SystemVariant::kMsOra) {
+          // Oracle: the actual future window.
+          for (size_t j = qi + 1;
+               j < queries.size() &&
+               window.size() < static_cast<size_t>(cfg.history_window);
+               ++j) {
+            window.push_back(queries[j].plan);
+          }
+          // Newest-last ordering: the nearest future query should weigh
+          // most, so reverse (decay favors the back of the window).
+          std::reverse(window.begin(), window.end());
+        } else {
+          const size_t start =
+              history.size() > static_cast<size_t>(cfg.history_window)
+                  ? history.size() - static_cast<size_t>(cfg.history_window)
+                  : 0;
+          window.assign(history.begin() + static_cast<long>(start),
+                        history.end());
+        }
+        MISO_ASSIGN_OR_RETURN(
+            reorg,
+            miso_tuner.Tune(hv_store.catalog(), dw_store.catalog(), window));
+      }
+
+      Seconds reorg_time = cfg.tune_compute_s;
+      const Bytes to_dw = reorg.BytesToDw();
+      const Bytes to_hv = reorg.BytesToHv();
+      if (to_dw > 0) {
+        const transfer::TransferBreakdown tb = mover.ViewTransferToDw(to_dw);
+        reorg_time += ledger.RecordActivity(
+            dw::DwActivityKind::kReorgTransfer, now + reorg_time, tb.Total(),
+            /*io_demand=*/1.3, /*cpu_demand=*/0.3);
+      }
+      if (to_hv > 0) {
+        const transfer::TransferBreakdown tb = mover.ViewTransferToHv(to_hv);
+        reorg_time += ledger.RecordActivity(
+            dw::DwActivityKind::kReorgTransfer, now + reorg_time, tb.Total(),
+            /*io_demand=*/0.8, /*cpu_demand=*/0.2);
+      }
+      MISO_RETURN_IF_ERROR(
+          tuner::ApplyReorgPlan(reorg, &hv_store.catalog(),
+                                &dw_store.catalog()));
+      report.bytes_moved_to_dw += to_dw;
+      report.bytes_moved_to_hv += to_hv;
+      report.tune_s += reorg_time;
+      report.reorg_count += 1;
+      now += reorg_time;
+      last_reorg_time = now;
+
+      if (cfg.reorg_observer) {
+        SimConfig::ReorgSnapshot snapshot;
+        snapshot.query_index = static_cast<int>(qi);
+        snapshot.reorg_index = report.reorg_count - 1;
+        snapshot.hv_used = hv_store.catalog().used_bytes();
+        snapshot.dw_used = dw_store.catalog().used_bytes();
+        for (const View& v : hv_store.catalog().AllViews()) {
+          snapshot.hv_ids.push_back(v.id);
+        }
+        for (const View& v : dw_store.catalog().AllViews()) {
+          snapshot.dw_ids.push_back(v.id);
+        }
+        snapshot.moved_to_dw = to_dw;
+        snapshot.moved_to_hv = to_hv;
+        cfg.reorg_observer(snapshot);
+      }
+    }
+  }
+
+  // ---- DW resource series / background impact. -------------------------
+  if (has_background) {
+    report.dw_ticks = ledger.TickSeries(now);
+    report.avg_background_latency_s = ledger.AverageBackgroundLatency(now);
+    report.background_slowdown = ledger.BackgroundSlowdown(now);
+  }
+  return report;
+}
+
+Result<RunReport> RunPaperWorkload(const relation::Catalog* catalog,
+                                   const SimConfig& config,
+                                   uint64_t workload_seed) {
+  workload::WorkloadConfig wl;
+  wl.seed = workload_seed;
+  MISO_ASSIGN_OR_RETURN(workload::EvolutionaryWorkload workload,
+                        workload::EvolutionaryWorkload::Generate(catalog, wl));
+  MultistoreSimulator simulator(catalog, config);
+  return simulator.Run(workload.queries());
+}
+
+}  // namespace miso::sim

@@ -1,0 +1,106 @@
+#ifndef MISO_SIM_SIMULATOR_H_
+#define MISO_SIM_SIMULATOR_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "dw/dw_config.h"
+#include "dw/resource_model.h"
+#include "hv/hv_config.h"
+#include "relation/catalog.h"
+#include "sim/etl.h"
+#include "sim/report.h"
+#include "sim/variants.h"
+#include "transfer/transfer_model.h"
+#include "tuner/miso_tuner.h"
+#include "workload/evolutionary.h"
+
+namespace miso::sim {
+
+/// Everything needed to run one workload under one system variant.
+struct SimConfig {
+  SystemVariant variant = SystemVariant::kMsMiso;
+
+  /// View storage budgets (Bh, Bd) and per-reorganization transfer budget
+  /// (Bt), in bytes.
+  Bytes hv_storage_budget = 4 * kTiB;
+  Bytes dw_storage_budget = 400 * kGiB;
+  Bytes transfer_budget = 10 * kGiB;
+
+  /// Reorganization cadence and tuner parameters (§5.1: reorganize every
+  /// 1/10 of the workload = 3 queries; history 6, epoch 3). §3.1 also
+  /// allows time-based triggering: when `reorg_every_seconds` > 0, a
+  /// reorganization additionally fires once that much simulated time has
+  /// elapsed since the previous one. Either trigger may be disabled by
+  /// setting it to 0.
+  int reorg_every = 3;
+  Seconds reorg_every_seconds = 0;
+  int history_window = 6;
+  int epoch_length = 3;
+  double benefit_decay = 0.6;
+  bool store_specific_benefit = true;
+  bool handle_interactions = true;
+  bool retain_unselected_views = true;
+
+  /// Fixed design-computation time charged per reorganization phase (the
+  /// tuner itself is lightweight; movements dominate).
+  Seconds tune_compute_s = 30.0;
+
+  hv::HvConfig hv;
+  dw::DwConfig dw;
+  transfer::TransferConfig transfer;
+  EtlConfig etl;
+
+  /// Optional observer invoked after every reorganization phase with the
+  /// post-reorg state of both stores' view catalogs. Used by tests to
+  /// assert the design invariants (budgets respected, Vh ∩ Vd = ∅)
+  /// throughout a run, and by embedders for monitoring.
+  struct ReorgSnapshot {
+    int query_index = 0;
+    int reorg_index = 0;
+    Bytes hv_used = 0;
+    Bytes dw_used = 0;
+    std::vector<views::ViewId> hv_ids;
+    std::vector<views::ViewId> dw_ids;
+    Bytes moved_to_dw = 0;
+    Bytes moved_to_hv = 0;
+  };
+  std::function<void(const ReorgSnapshot&)> reorg_observer;
+
+  /// Background reporting workload on DW (§5.4). Defaults to an idle DW
+  /// (no demand); set to workload::SpareIo40() etc. for the interference
+  /// experiments.
+  dw::BackgroundWorkload background{/*io_demand=*/0.0, /*cpu_demand=*/0.0,
+                                    /*base_query_latency_s=*/1.06};
+  dw::ContentionConfig contention;
+};
+
+/// Simulates a query stream against one system variant, producing the
+/// full run report (per-query records, TTI components, DW resource
+/// series). Deterministic.
+class MultistoreSimulator {
+ public:
+  MultistoreSimulator(const relation::Catalog* catalog,
+                      const SimConfig& config);
+
+  const SimConfig& config() const { return config_; }
+
+  /// Runs the whole workload (arrival order = vector order).
+  Result<RunReport> Run(const std::vector<workload::WorkloadQuery>& queries);
+
+ private:
+  const relation::Catalog* catalog_;
+  SimConfig config_;
+};
+
+/// Convenience: generate the paper's 32-query workload and run it under
+/// `config`.
+Result<RunReport> RunPaperWorkload(const relation::Catalog* catalog,
+                                   const SimConfig& config,
+                                   uint64_t workload_seed = 42);
+
+}  // namespace miso::sim
+
+#endif  // MISO_SIM_SIMULATOR_H_

@@ -1,0 +1,24 @@
+#ifndef MISO_SIM_VARIANTS_H_
+#define MISO_SIM_VARIANTS_H_
+
+#include <string_view>
+
+namespace miso::sim {
+
+/// The system variants evaluated in the paper (§5.1 / §5.3).
+enum class SystemVariant {
+  kHvOnly,   // queries run entirely in the 15-node HV store, no views
+  kDwOnly,   // up-front ETL of the relevant data into DW, queries in DW
+  kMsBasic,  // multistore splits, no views retained (no tuning)
+  kHvOp,     // HV only, opportunistic views with LRU retention
+  kMsMiso,   // multistore + MISO tuner (this paper)
+  kMsLru,    // multistore + passive LRU placement at reorganizations
+  kMsOff,    // multistore + one-shot offline design over the full workload
+  kMsOra,    // multistore + MISO tuner given the actual future window
+};
+
+std::string_view SystemVariantToString(SystemVariant variant);
+
+}  // namespace miso::sim
+
+#endif  // MISO_SIM_VARIANTS_H_

@@ -1,0 +1,37 @@
+#include "transfer/transfer_model.h"
+
+namespace miso::transfer {
+
+namespace {
+
+Seconds StageTime(Bytes bytes, double mbps) {
+  return static_cast<double>(bytes) / (mbps * 1e6);
+}
+
+}  // namespace
+
+TransferBreakdown TransferModel::WorkingSetTransfer(Bytes bytes) const {
+  TransferBreakdown b;
+  b.dump_s = StageTime(bytes, config_.dump_mbps);
+  b.network_s = StageTime(bytes, config_.network_mbps);
+  b.load_s = StageTime(bytes, config_.temp_load_mbps);
+  return b;
+}
+
+TransferBreakdown TransferModel::ViewTransferToDw(Bytes bytes) const {
+  TransferBreakdown b;
+  b.dump_s = StageTime(bytes, config_.dump_mbps);
+  b.network_s = StageTime(bytes, config_.network_mbps);
+  b.load_s = StageTime(bytes, config_.perm_load_mbps);
+  return b;
+}
+
+TransferBreakdown TransferModel::ViewTransferToHv(Bytes bytes) const {
+  TransferBreakdown b;
+  b.dump_s = StageTime(bytes, config_.dw_export_mbps);
+  b.network_s = StageTime(bytes, config_.network_mbps);
+  b.load_s = StageTime(bytes, config_.hdfs_write_mbps);
+  return b;
+}
+
+}  // namespace miso::transfer

@@ -1,0 +1,69 @@
+#ifndef MISO_TRANSFER_TRANSFER_MODEL_H_
+#define MISO_TRANSFER_TRANSFER_MODEL_H_
+
+#include "common/units.h"
+
+namespace miso::transfer {
+
+/// Cost constants of the HV <-> DW data-movement pipeline: dump to the
+/// staging disk on the HV head node, push over the 1 GbE inter-cluster
+/// link, and load on the DW side. Stages run serially (as in the paper's
+/// testbed, where the head nodes stage through a directly-attached disk),
+/// so each stage contributes bytes/rate.
+///
+/// Two load flavors mirror §3.1: working sets migrated *during query
+/// execution* land in temporary DW table space (no indexes, discarded at
+/// query end); views migrated *during reorganization* land in permanent
+/// table space (with index builds — slower).
+struct TransferConfig {
+  /// HV-side dump of the working set / view to the staging disk.
+  double dump_mbps = 100.0;
+
+  /// Inter-cluster network (1 GbE with protocol overhead).
+  double network_mbps = 110.0;
+
+  /// DW bulk load into temporary table space.
+  double temp_load_mbps = 40.0;
+
+  /// DW bulk load into permanent table space, including recommended-index
+  /// builds for the loaded view.
+  double perm_load_mbps = 15.0;
+
+  /// DW-side export of an evicted view (reorganization DW -> HV).
+  double dw_export_mbps = 150.0;
+
+  /// HDFS write of a view moved back to HV.
+  double hdfs_write_mbps = 80.0;
+};
+
+/// Breakdown of one HV -> DW movement, matching Figure 3's bar segments.
+struct TransferBreakdown {
+  Seconds dump_s = 0;
+  Seconds network_s = 0;
+  Seconds load_s = 0;
+  Seconds Total() const { return dump_s + network_s + load_s; }
+};
+
+/// Cost model over a TransferConfig.
+class TransferModel {
+ public:
+  explicit TransferModel(const TransferConfig& config) : config_(config) {}
+
+  const TransferConfig& config() const { return config_; }
+
+  /// Working-set migration at a query split point (temp table space).
+  TransferBreakdown WorkingSetTransfer(Bytes bytes) const;
+
+  /// Reorganization move of a view HV -> DW (permanent table space).
+  TransferBreakdown ViewTransferToDw(Bytes bytes) const;
+
+  /// Reorganization move of an evicted view DW -> HV.
+  TransferBreakdown ViewTransferToHv(Bytes bytes) const;
+
+ private:
+  TransferConfig config_;
+};
+
+}  // namespace miso::transfer
+
+#endif  // MISO_TRANSFER_TRANSFER_MODEL_H_

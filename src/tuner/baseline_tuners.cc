@@ -1,0 +1,135 @@
+#include "tuner/baseline_tuners.h"
+
+#include <algorithm>
+
+#include "tuner/benefit.h"
+#include "tuner/knapsack.h"
+
+namespace miso::tuner {
+
+Result<ReorgPlan> LruTuner::Tune(const views::ViewCatalog& hv,
+                                 const views::ViewCatalog& dw) const {
+  struct Ranked {
+    views::View view;
+    int last_used;
+    bool in_dw;
+  };
+  std::vector<Ranked> ranked;
+  for (const views::View& v : hv.AllViews()) {
+    ranked.push_back({v, hv.LastUsed(v.id), false});
+  }
+  for (const views::View& v : dw.AllViews()) {
+    ranked.push_back({v, dw.LastUsed(v.id), true});
+  }
+  // Most recently used first; ties broken by id for determinism.
+  std::sort(ranked.begin(), ranked.end(), [](const Ranked& a,
+                                             const Ranked& b) {
+    if (a.last_used != b.last_used) return a.last_used > b.last_used;
+    return a.view.id < b.view.id;
+  });
+
+  ReorgPlan plan;
+  Bytes dw_used = 0;
+  Bytes hv_used = 0;
+  Bytes transfer_used = 0;
+
+  std::vector<const Ranked*> leftovers;
+  // Pass 1: fill DW with the most recent views that fit Bd; moving an
+  // HV-resident view consumes transfer budget.
+  for (const Ranked& r : ranked) {
+    const Bytes size = r.view.size_bytes;
+    const bool fits_storage = dw_used + size <= config_.dw_storage_budget;
+    const bool fits_transfer =
+        r.in_dw || transfer_used + size <= config_.transfer_budget;
+    if (fits_storage && fits_transfer) {
+      dw_used += size;
+      if (!r.in_dw) {
+        transfer_used += size;
+        plan.move_to_dw.push_back(r.view);
+      }
+    } else {
+      leftovers.push_back(&r);
+    }
+  }
+  // Pass 2: fill HV with the remaining most recent views that fit Bh;
+  // moving a DW-resident view back consumes the remaining transfer budget.
+  for (const Ranked* r : leftovers) {
+    const Bytes size = r->view.size_bytes;
+    const bool fits_storage = hv_used + size <= config_.hv_storage_budget;
+    const bool fits_transfer =
+        !r->in_dw || transfer_used + size <= config_.transfer_budget;
+    if (fits_storage && fits_transfer) {
+      hv_used += size;
+      if (r->in_dw) {
+        transfer_used += size;
+        plan.move_to_hv.push_back(r->view);
+      }
+    } else {
+      if (r->in_dw) {
+        plan.drop_from_dw.push_back(r->view.id);
+      } else {
+        plan.drop_from_hv.push_back(r->view.id);
+      }
+    }
+  }
+  return plan;
+}
+
+Result<OfflineTuner::TargetDesign> OfflineTuner::ComputeTarget(
+    const std::vector<views::View>& all_views,
+    const std::vector<plan::Plan>& workload) const {
+  // No decay: with the workload given up-front every query matters
+  // equally (epoch length spanning the whole workload).
+  BenefitAnalyzer analyzer(optimizer_,
+                           static_cast<int>(workload.size()) + 1, 1.0);
+  MISO_RETURN_IF_ERROR(analyzer.SetWindow(workload));
+
+  const Bytes d = config_.discretization;
+
+  // One knapsack per store. MS-OFF tunes exactly once under the same
+  // constraints as the online tuners (§5.3), so its single tuning pass may
+  // move at most Bt bytes of views into the DW; every view is created in
+  // HV, so each consumes transfer budget.
+  std::vector<MKnapsackItem> dw_items;
+  for (size_t k = 0; k < all_views.size(); ++k) {
+    MKnapsackItem ki;
+    ki.id = static_cast<int>(k);
+    ki.storage_units = ToBudgetUnits(all_views[k].size_bytes, d);
+    ki.transfer_units = ki.storage_units;
+    MISO_ASSIGN_OR_RETURN(
+        ki.benefit,
+        analyzer.PredictedBenefit({all_views[k]}, Placement::kDwOnly));
+    dw_items.push_back(ki);
+  }
+  MISO_ASSIGN_OR_RETURN(
+      MKnapsackSolution dw_solution,
+      SolveMKnapsack(dw_items, ToBudgetUnits(config_.dw_storage_budget, d),
+                     ToBudgetUnits(config_.transfer_budget, d)));
+
+  TargetDesign design;
+  for (int id : dw_solution.chosen_ids) {
+    design.dw_views.insert(all_views[static_cast<size_t>(id)].id);
+  }
+
+  std::vector<MKnapsackItem> hv_items;
+  for (size_t k = 0; k < all_views.size(); ++k) {
+    if (design.dw_views.count(all_views[k].id) > 0) continue;
+    MKnapsackItem ki;
+    ki.id = static_cast<int>(k);
+    ki.storage_units = ToBudgetUnits(all_views[k].size_bytes, d);
+    MISO_ASSIGN_OR_RETURN(
+        ki.benefit,
+        analyzer.PredictedBenefit({all_views[k]}, Placement::kHvOnly));
+    hv_items.push_back(ki);
+  }
+  MISO_ASSIGN_OR_RETURN(
+      MKnapsackSolution hv_solution,
+      SolveMKnapsack(hv_items, ToBudgetUnits(config_.hv_storage_budget, d),
+                     /*transfer_budget_units=*/0));
+  for (int id : hv_solution.chosen_ids) {
+    design.hv_views.insert(all_views[static_cast<size_t>(id)].id);
+  }
+  return design;
+}
+
+}  // namespace miso::tuner

@@ -1,0 +1,60 @@
+#ifndef MISO_TUNER_BASELINE_TUNERS_H_
+#define MISO_TUNER_BASELINE_TUNERS_H_
+
+#include <set>
+#include <vector>
+
+#include "common/result.h"
+#include "optimizer/multistore_optimizer.h"
+#include "tuner/miso_tuner.h"
+#include "tuner/reorg_plan.h"
+#include "views/view_catalog.h"
+
+namespace miso::tuner {
+
+/// MS-LRU (§5.3): "passive", access-based tuning. At each reorganization
+/// it ranks all views by recency of use and fills the DW with the most
+/// recently used views that fit Bd and the transfer budget, then HV with
+/// the next most recent that fit Bh. No benefit or interaction reasoning
+/// — exactly the strawman the paper compares against.
+class LruTuner {
+ public:
+  explicit LruTuner(const MisoTunerConfig& config) : config_(config) {}
+
+  Result<ReorgPlan> Tune(const views::ViewCatalog& hv,
+                         const views::ViewCatalog& dw) const;
+
+ private:
+  MisoTunerConfig config_;
+};
+
+/// MS-OFF (§5.3): offline tuning with the entire workload known up-front.
+/// It computes one target design over all views the workload will ever
+/// produce (using the MISO benefit machinery without decay, since the
+/// whole workload is equally relevant), before any query runs. During
+/// execution the simulator retains/loads exactly the targeted views as
+/// they come into existence, and never reorganizes again.
+class OfflineTuner {
+ public:
+  OfflineTuner(const optimizer::MultistoreOptimizer* optimizer,
+               const MisoTunerConfig& config)
+      : optimizer_(optimizer), config_(config) {}
+
+  /// Target design over `all_views` (every view the workload can create)
+  /// for the full `workload`. Returns the chosen view ids per store.
+  struct TargetDesign {
+    std::set<views::ViewId> dw_views;
+    std::set<views::ViewId> hv_views;
+  };
+  Result<TargetDesign> ComputeTarget(
+      const std::vector<views::View>& all_views,
+      const std::vector<plan::Plan>& workload) const;
+
+ private:
+  const optimizer::MultistoreOptimizer* optimizer_;
+  MisoTunerConfig config_;
+};
+
+}  // namespace miso::tuner
+
+#endif  // MISO_TUNER_BASELINE_TUNERS_H_

@@ -1,0 +1,95 @@
+#include "tuner/benefit.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace miso::tuner {
+
+namespace {
+
+/// Budget large enough that hypothetical catalogs never reject a view.
+constexpr Bytes kUnboundedBudget = kTiB * 1024;
+
+views::ViewCatalog MakeHypotheticalCatalog(
+    const std::vector<views::View>& set) {
+  views::ViewCatalog catalog(kUnboundedBudget);
+  for (const views::View& view : set) {
+    catalog.AddUnchecked(view);  // ids are unique within a candidate set
+  }
+  return catalog;
+}
+
+}  // namespace
+
+Status BenefitAnalyzer::SetWindow(std::vector<plan::Plan> window) {
+  window_ = std::move(window);
+  base_costs_.clear();
+  cache_.clear();
+  base_costs_.reserve(window_.size());
+  const views::ViewCatalog empty(kUnboundedBudget);
+  for (const plan::Plan& q : window_) {
+    MISO_ASSIGN_OR_RETURN(Seconds cost,
+                          optimizer_->WhatIfCost(q, empty, empty));
+    base_costs_.push_back(cost);
+  }
+  return Status::OK();
+}
+
+double BenefitAnalyzer::Weight(int pos) const {
+  if (window_.empty() || epoch_len_ <= 0) return 1.0;
+  // pos counts from the oldest query; age 0 = the newest epoch.
+  const int from_newest = static_cast<int>(window_.size()) - 1 - pos;
+  const int epoch_age = from_newest / epoch_len_;
+  return std::pow(decay_, epoch_age);
+}
+
+std::string BenefitAnalyzer::CacheKey(const std::vector<views::View>& set,
+                                      Placement placement) const {
+  std::vector<views::ViewId> ids;
+  ids.reserve(set.size());
+  for (const views::View& view : set) ids.push_back(view.id);
+  std::sort(ids.begin(), ids.end());
+  std::string key = std::to_string(static_cast<int>(placement));
+  for (views::ViewId id : ids) {
+    key += ':';
+    key += std::to_string(id);
+  }
+  return key;
+}
+
+Result<std::vector<double>> BenefitAnalyzer::PerQueryBenefit(
+    const std::vector<views::View>& set, Placement placement) {
+  const std::string key = CacheKey(set, placement);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  const views::ViewCatalog empty(kUnboundedBudget);
+  const views::ViewCatalog hypothetical = MakeHypotheticalCatalog(set);
+  const views::ViewCatalog& dw =
+      placement == Placement::kHvOnly ? empty : hypothetical;
+  const views::ViewCatalog& hv =
+      placement == Placement::kDwOnly ? empty : hypothetical;
+
+  std::vector<double> benefits;
+  benefits.reserve(window_.size());
+  for (size_t i = 0; i < window_.size(); ++i) {
+    MISO_ASSIGN_OR_RETURN(Seconds cost,
+                          optimizer_->WhatIfCost(window_[i], dw, hv));
+    benefits.push_back(std::max(0.0, base_costs_[i] - cost));
+  }
+  cache_.emplace(key, benefits);
+  return benefits;
+}
+
+Result<double> BenefitAnalyzer::PredictedBenefit(
+    const std::vector<views::View>& set, Placement placement) {
+  MISO_ASSIGN_OR_RETURN(std::vector<double> benefits,
+                        PerQueryBenefit(set, placement));
+  double total = 0;
+  for (size_t i = 0; i < benefits.size(); ++i) {
+    total += Weight(static_cast<int>(i)) * benefits[i];
+  }
+  return total;
+}
+
+}  // namespace miso::tuner

@@ -1,0 +1,68 @@
+#ifndef MISO_TUNER_BENEFIT_H_
+#define MISO_TUNER_BENEFIT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "optimizer/multistore_optimizer.h"
+#include "views/view.h"
+
+namespace miso::tuner {
+
+/// Where a candidate set is hypothetically placed for a what-if probe.
+enum class Placement { kBothStores, kDwOnly, kHvOnly };
+
+/// Computes view benefits with the what-if optimizer, weighted by the
+/// predicted-future-benefit scheme of §4.3 (adapted from Schnaitter et
+/// al.): the recent-history window is divided into epochs of `epoch_len`
+/// queries; the benefit a view showed for a query is decayed by
+/// `decay^epoch_age`, so recent epochs dominate while older history still
+/// counts.
+///
+/// Benefits are measured against the *empty* design: the tuner repacks
+/// both stores from scratch each reorganization, so each candidate's value
+/// is what it saves relative to having no views at all.
+class BenefitAnalyzer {
+ public:
+  BenefitAnalyzer(const optimizer::MultistoreOptimizer* opt, int epoch_len,
+                  double decay)
+      : optimizer_(opt), epoch_len_(epoch_len), decay_(decay) {}
+
+  /// Sets the workload window, ordered oldest -> newest, and precomputes
+  /// per-query base costs (empty design).
+  Status SetWindow(std::vector<plan::Plan> window);
+
+  int window_size() const { return static_cast<int>(window_.size()); }
+
+  /// Decay weight of the window query at `pos` (0 = oldest). The newest
+  /// epoch has weight 1.
+  double Weight(int pos) const;
+
+  /// Per-query (undecayed) benefit of hypothetically materializing `set`
+  /// at `placement`: base_cost(q) - cost(q, set). Joint benefit when the
+  /// set has several views. Results are memoized.
+  Result<std::vector<double>> PerQueryBenefit(
+      const std::vector<views::View>& set, Placement placement);
+
+  /// Σ_q Weight(q) * PerQueryBenefit(set)[q]  — the predicted future
+  /// benefit used as the knapsack item value.
+  Result<double> PredictedBenefit(const std::vector<views::View>& set,
+                                  Placement placement);
+
+ private:
+  std::string CacheKey(const std::vector<views::View>& set,
+                       Placement placement) const;
+
+  const optimizer::MultistoreOptimizer* optimizer_;
+  int epoch_len_;
+  double decay_;
+  std::vector<plan::Plan> window_;
+  std::vector<double> base_costs_;
+  std::map<std::string, std::vector<double>> cache_;
+};
+
+}  // namespace miso::tuner
+
+#endif  // MISO_TUNER_BENEFIT_H_

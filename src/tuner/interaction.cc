@@ -1,0 +1,106 @@
+#include "tuner/interaction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+namespace miso::tuner {
+
+Result<std::vector<Interaction>> ComputeInteractions(
+    const std::vector<views::View>& candidates, BenefitAnalyzer* analyzer,
+    const InteractionConfig& config) {
+  const int n = static_cast<int>(candidates.size());
+  std::vector<Interaction> interactions;
+
+  // Per-candidate individual benefits (decayed totals and per-query).
+  std::vector<std::vector<double>> single(static_cast<size_t>(n));
+  std::vector<double> single_total(static_cast<size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    MISO_ASSIGN_OR_RETURN(
+        single[static_cast<size_t>(i)],
+        analyzer->PerQueryBenefit({candidates[static_cast<size_t>(i)]},
+                                  Placement::kBothStores));
+    for (size_t q = 0; q < single[static_cast<size_t>(i)].size(); ++q) {
+      single_total[static_cast<size_t>(i)] +=
+          analyzer->Weight(static_cast<int>(q)) *
+          single[static_cast<size_t>(i)][q];
+    }
+  }
+
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      // Prune: the pair can only interact on queries where both matter.
+      bool common = false;
+      for (size_t q = 0; q < single[static_cast<size_t>(i)].size(); ++q) {
+        if (single[static_cast<size_t>(i)][q] > 0 &&
+            single[static_cast<size_t>(j)][q] > 0) {
+          common = true;
+          break;
+        }
+      }
+      if (!common) continue;
+
+      MISO_ASSIGN_OR_RETURN(
+          std::vector<double> joint,
+          analyzer->PerQueryBenefit({candidates[static_cast<size_t>(i)],
+                                     candidates[static_cast<size_t>(j)]},
+                                    Placement::kBothStores));
+      Interaction interaction;
+      interaction.a = i;
+      interaction.b = j;
+      for (size_t q = 0; q < joint.size(); ++q) {
+        const double delta = joint[q] - single[static_cast<size_t>(i)][q] -
+                             single[static_cast<size_t>(j)][q];
+        const double w = analyzer->Weight(static_cast<int>(q));
+        interaction.magnitude += w * std::abs(delta);
+        interaction.signed_sum += w * delta;
+      }
+
+      const double scale = single_total[static_cast<size_t>(i)] +
+                           single_total[static_cast<size_t>(j)];
+      if (interaction.magnitude > config.threshold_fraction * scale &&
+          interaction.magnitude > 0) {
+        interactions.push_back(interaction);
+      }
+    }
+  }
+  return interactions;
+}
+
+std::vector<std::vector<int>> StablePartition(
+    int num_candidates, const std::vector<Interaction>& interactions) {
+  // Union-find over significant interactions.
+  std::vector<int> parent(static_cast<size_t>(num_candidates));
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  for (const Interaction& i : interactions) {
+    const int ra = find(i.a);
+    const int rb = find(i.b);
+    if (ra != rb) parent[static_cast<size_t>(std::max(ra, rb))] =
+        std::min(ra, rb);
+  }
+
+  std::vector<std::vector<int>> parts;
+  std::vector<int> root_to_part(static_cast<size_t>(num_candidates), -1);
+  for (int i = 0; i < num_candidates; ++i) {
+    const int root = find(i);
+    if (root_to_part[static_cast<size_t>(root)] < 0) {
+      root_to_part[static_cast<size_t>(root)] =
+          static_cast<int>(parts.size());
+      parts.emplace_back();
+    }
+    parts[static_cast<size_t>(root_to_part[static_cast<size_t>(root)])]
+        .push_back(i);
+  }
+  return parts;
+}
+
+}  // namespace miso::tuner

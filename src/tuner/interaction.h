@@ -1,0 +1,57 @@
+#ifndef MISO_TUNER_INTERACTION_H_
+#define MISO_TUNER_INTERACTION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "tuner/benefit.h"
+#include "views/view.h"
+
+namespace miso::tuner {
+
+/// Signed degree of interaction between two candidate views (§4.3,
+/// adapting the index-interaction model of Schnaitter et al. with a sign):
+/// per window query, delta = benefit({a,b}) - benefit({a}) - benefit({b}).
+/// `magnitude` aggregates decayed |delta|; `signed_sum` aggregates decayed
+/// delta, and its sign classifies the interaction as net positive (the
+/// pair is worth more together) or net negative (they substitute for each
+/// other).
+struct Interaction {
+  int a = 0;  // indices into the candidate vector
+  int b = 0;
+  double magnitude = 0;
+  double signed_sum = 0;
+
+  bool IsPositive() const { return signed_sum > 0; }
+};
+
+/// Parameters of interaction detection.
+struct InteractionConfig {
+  /// An interaction is significant when magnitude exceeds
+  /// threshold_fraction * (benefit(a) + benefit(b)). The threshold keeps
+  /// only the strongest interactions so parts stay small — a few views, as
+  /// in §4.3. For pure substitutes |delta| = min(benefit(a), benefit(b)),
+  /// so a fraction of 0.35 groups only pairs whose benefits are within
+  /// ~1.9x of each other; weaker (nested-prefix) interactions are treated
+  /// as independent.
+  double threshold_fraction = 0.35;
+};
+
+/// Computes pairwise interactions between `candidates`, pruned to pairs
+/// where both views showed benefit for at least one common window query
+/// (other pairs cannot interact). Only significant interactions are
+/// returned.
+Result<std::vector<Interaction>> ComputeInteractions(
+    const std::vector<views::View>& candidates, BenefitAnalyzer* analyzer,
+    const InteractionConfig& config);
+
+/// Partitions candidate indices into a stable partition: views within a
+/// part interact (transitively); views across parts do not. Singleton
+/// parts are common. Parts are returned with indices ascending, parts
+/// ordered by their smallest index (deterministic).
+std::vector<std::vector<int>> StablePartition(
+    int num_candidates, const std::vector<Interaction>& interactions);
+
+}  // namespace miso::tuner
+
+#endif  // MISO_TUNER_INTERACTION_H_

@@ -1,0 +1,85 @@
+#include "tuner/knapsack.h"
+
+#include <algorithm>
+
+namespace miso::tuner {
+
+int64_t ToBudgetUnits(int64_t size_bytes, int64_t unit_bytes) {
+  if (size_bytes <= 0) return 0;
+  return (size_bytes + unit_bytes - 1) / unit_bytes;
+}
+
+Result<MKnapsackSolution> SolveMKnapsack(
+    const std::vector<MKnapsackItem>& items, int64_t storage_budget_units,
+    int64_t transfer_budget_units) {
+  if (storage_budget_units < 0 || transfer_budget_units < 0) {
+    return Status::InvalidArgument("knapsack budgets must be non-negative");
+  }
+  for (const MKnapsackItem& item : items) {
+    if (item.storage_units < 0 || item.transfer_units < 0) {
+      return Status::InvalidArgument("knapsack item weights must be >= 0");
+    }
+  }
+
+  const int n = static_cast<int>(items.size());
+  const int64_t kB = storage_budget_units;
+  const int64_t kT = transfer_budget_units;
+  const size_t plane = static_cast<size_t>(kB + 1) * static_cast<size_t>(kT + 1);
+
+  // value[b * (T+1) + t]: best benefit using items[0..k) with b storage and
+  // t transfer remaining capacity consumed at most. Rolling layers with a
+  // per-(item, cell) take/skip bit for reconstruction.
+  std::vector<double> value(plane, 0.0);
+  std::vector<double> next(plane, 0.0);
+  // take[k][cell]: whether item k is taken at that capacity.
+  std::vector<std::vector<bool>> take(static_cast<size_t>(n));
+
+  auto idx = [kT](int64_t b, int64_t t) {
+    return static_cast<size_t>(b) * static_cast<size_t>(kT + 1) +
+           static_cast<size_t>(t);
+  };
+
+  for (int k = 0; k < n; ++k) {
+    const MKnapsackItem& item = items[k];
+    take[static_cast<size_t>(k)].assign(plane, false);
+    for (int64_t b = 0; b <= kB; ++b) {
+      for (int64_t t = 0; t <= kT; ++t) {
+        const size_t cell = idx(b, t);
+        double best = value[cell];  // skip item k
+        const bool fits = item.storage_units <= b &&
+                          item.transfer_units <= t;
+        if (fits && item.benefit > 0) {
+          const double with =
+              value[idx(b - item.storage_units, t - item.transfer_units)] +
+              item.benefit;
+          if (with > best) {
+            best = with;
+            take[static_cast<size_t>(k)][cell] = true;
+          }
+        }
+        next[cell] = best;
+      }
+    }
+    std::swap(value, next);
+  }
+
+  MKnapsackSolution solution;
+  solution.total_benefit = n > 0 ? value[idx(kB, kT)] : 0.0;
+
+  // Reconstruct choices from the last item backwards.
+  int64_t b = kB;
+  int64_t t = kT;
+  for (int k = n - 1; k >= 0; --k) {
+    if (take[static_cast<size_t>(k)][idx(b, t)]) {
+      solution.chosen_ids.push_back(items[static_cast<size_t>(k)].id);
+      solution.storage_used += items[static_cast<size_t>(k)].storage_units;
+      solution.transfer_used += items[static_cast<size_t>(k)].transfer_units;
+      b -= items[static_cast<size_t>(k)].storage_units;
+      t -= items[static_cast<size_t>(k)].transfer_units;
+    }
+  }
+  std::reverse(solution.chosen_ids.begin(), solution.chosen_ids.end());
+  return solution;
+}
+
+}  // namespace miso::tuner

@@ -1,0 +1,200 @@
+#include "tuner/miso_tuner.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "tuner/knapsack.h"
+
+namespace miso::tuner {
+
+namespace {
+
+/// True when `id` is among the members of any chosen item.
+bool Chosen(const std::set<views::ViewId>& chosen, views::ViewId id) {
+  return chosen.count(id) > 0;
+}
+
+}  // namespace
+
+Result<ReorgPlan> MisoTuner::Tune(const views::ViewCatalog& hv,
+                                  const views::ViewCatalog& dw,
+                                  const std::vector<plan::Plan>& window) const {
+  // Candidate pool V = Vh ∪ Vd (disjoint by invariant).
+  std::vector<views::View> candidates = hv.AllViews();
+  {
+    std::vector<views::View> dw_views = dw.AllViews();
+    candidates.insert(candidates.end(), dw_views.begin(), dw_views.end());
+  }
+  std::set<views::ViewId> in_hv;
+  for (const views::View& v : hv.AllViews()) in_hv.insert(v.id);
+  std::set<views::ViewId> in_dw;
+  for (const views::View& v : dw.AllViews()) in_dw.insert(v.id);
+
+  ReorgPlan plan;
+  if (candidates.empty()) return plan;
+
+  BenefitAnalyzer analyzer(optimizer_, config_.epoch_length,
+                           config_.benefit_decay);
+  MISO_RETURN_IF_ERROR(analyzer.SetWindow(window));
+
+  // Interaction handling -> independent candidate items.
+  std::vector<CandidateItem> items;
+  if (config_.handle_interactions) {
+    MISO_ASSIGN_OR_RETURN(
+        std::vector<Interaction> interactions,
+        ComputeInteractions(candidates, &analyzer, config_.interaction));
+    const std::vector<std::vector<int>> parts =
+        StablePartition(static_cast<int>(candidates.size()), interactions);
+    MISO_ASSIGN_OR_RETURN(
+        items, SparsifySets(candidates, parts, interactions, &analyzer));
+  } else {
+    for (const views::View& v : candidates) {
+      CandidateItem item;
+      item.members = {v};
+      item.size_bytes = v.size_bytes;
+      MISO_ASSIGN_OR_RETURN(
+          item.benefit_both,
+          analyzer.PredictedBenefit(item.members, Placement::kBothStores));
+      MISO_ASSIGN_OR_RETURN(
+          item.benefit_dw,
+          analyzer.PredictedBenefit(item.members, Placement::kDwOnly));
+      MISO_ASSIGN_OR_RETURN(
+          item.benefit_hv,
+          analyzer.PredictedBenefit(item.members, Placement::kHvOnly));
+      items.push_back(std::move(item));
+    }
+  }
+
+  const Bytes d = config_.discretization;
+  const int64_t bt_units = ToBudgetUnits(config_.transfer_budget, d);
+
+  // ---- Phase 1: DW M-KNAPSACK (dims Bd x Bt). HV-resident member bytes
+  // consume transfer budget; DW-resident bytes do not (§4.4.1).
+  std::vector<MKnapsackItem> dw_items;
+  dw_items.reserve(items.size());
+  for (size_t k = 0; k < items.size(); ++k) {
+    const CandidateItem& item = items[k];
+    MKnapsackItem ki;
+    ki.id = static_cast<int>(k);
+    ki.storage_units = ToBudgetUnits(item.size_bytes, d);
+    Bytes transfer_bytes = 0;
+    for (const views::View& member : item.members) {
+      if (in_hv.count(member.id) > 0) transfer_bytes += member.size_bytes;
+    }
+    ki.transfer_units = ToBudgetUnits(transfer_bytes, d);
+    ki.benefit = config_.store_specific_benefit ? item.benefit_dw
+                                                : item.benefit_both;
+    dw_items.push_back(ki);
+  }
+  MISO_ASSIGN_OR_RETURN(
+      MKnapsackSolution dw_solution,
+      SolveMKnapsack(dw_items, ToBudgetUnits(config_.dw_storage_budget, d),
+                     bt_units));
+
+  std::set<views::ViewId> new_dw;
+  for (int id : dw_solution.chosen_ids) {
+    for (const views::View& member : items[static_cast<size_t>(id)].members) {
+      new_dw.insert(member.id);
+    }
+  }
+
+  // Remaining transfer budget after the DW phase (§4.4.2): only actual
+  // HV -> DW movements consumed Bt.
+  const int64_t bt_remaining = bt_units - dw_solution.transfer_used;
+
+  // ---- Phase 2: HV M-KNAPSACK over the items not packed into DW (keeps
+  // Vh ∩ Vd = ∅). Members evicted from DW consume the remaining transfer
+  // budget to move back; members already in HV move for free.
+  std::vector<MKnapsackItem> hv_items;
+  std::vector<int> hv_item_ids;
+  for (size_t k = 0; k < items.size(); ++k) {
+    if (std::find(dw_solution.chosen_ids.begin(), dw_solution.chosen_ids.end(),
+                  static_cast<int>(k)) != dw_solution.chosen_ids.end()) {
+      continue;
+    }
+    const CandidateItem& item = items[k];
+    MKnapsackItem ki;
+    ki.id = static_cast<int>(k);
+    ki.storage_units = ToBudgetUnits(item.size_bytes, d);
+    Bytes transfer_bytes = 0;
+    for (const views::View& member : item.members) {
+      if (in_dw.count(member.id) > 0) transfer_bytes += member.size_bytes;
+    }
+    ki.transfer_units = ToBudgetUnits(transfer_bytes, d);
+    ki.benefit = config_.store_specific_benefit ? item.benefit_hv
+                                                : item.benefit_both;
+    hv_items.push_back(ki);
+  }
+  MISO_ASSIGN_OR_RETURN(
+      MKnapsackSolution hv_solution,
+      SolveMKnapsack(hv_items, ToBudgetUnits(config_.hv_storage_budget, d),
+                     std::max<int64_t>(0, bt_remaining)));
+
+  std::set<views::ViewId> new_hv;
+  for (int id : hv_solution.chosen_ids) {
+    for (const views::View& member : items[static_cast<size_t>(id)].members) {
+      new_hv.insert(member.id);
+    }
+  }
+
+  // ---- Emit movements.
+  std::vector<views::View> hv_leftovers;
+  std::vector<views::View> dw_leftovers;
+  for (const views::View& view : candidates) {
+    const bool was_hv = in_hv.count(view.id) > 0;
+    const bool was_dw = in_dw.count(view.id) > 0;
+    if (Chosen(new_dw, view.id)) {
+      if (was_hv) plan.move_to_dw.push_back(view);
+    } else if (Chosen(new_hv, view.id)) {
+      if (was_dw) plan.move_to_hv.push_back(view);
+    } else if (config_.retain_unselected_views) {
+      if (was_hv) hv_leftovers.push_back(view);
+      if (was_dw) dw_leftovers.push_back(view);
+    } else {
+      if (was_hv) plan.drop_from_hv.push_back(view.id);
+      if (was_dw) plan.drop_from_dw.push_back(view.id);
+    }
+  }
+
+  // Retain unchosen views in place while their store has free capacity.
+  // Smaller views first: keeping many small views yields a more diverse
+  // design for the unknown future workload (§4.4's diversity rationale)
+  // than keeping one recent giant. Ties break toward recency.
+  auto newer_first = [](const views::View& a, const views::View& b) {
+    if (a.size_bytes != b.size_bytes) return a.size_bytes < b.size_bytes;
+    if (a.created_by_query != b.created_by_query) {
+      return a.created_by_query > b.created_by_query;
+    }
+    return a.id > b.id;
+  };
+  auto retain_within = [&](std::vector<views::View>* leftovers,
+                           const std::set<views::ViewId>& chosen,
+                           Bytes budget,
+                           std::vector<views::ViewId>* drops) {
+    if (leftovers->empty()) return;
+    Bytes used = 0;
+    for (const views::View& view : candidates) {
+      if (Chosen(chosen, view.id)) used += view.size_bytes;
+    }
+    std::sort(leftovers->begin(), leftovers->end(), newer_first);
+    for (const views::View& view : *leftovers) {
+      if (used + view.size_bytes <= budget) {
+        used += view.size_bytes;  // silently retained (no movement)
+      } else {
+        drops->push_back(view.id);
+      }
+    }
+  };
+  retain_within(&hv_leftovers, new_hv, config_.hv_storage_budget,
+                &plan.drop_from_hv);
+  retain_within(&dw_leftovers, new_dw, config_.dw_storage_budget,
+                &plan.drop_from_dw);
+
+  MISO_LOG(kInfo) << "MISO tuner: " << candidates.size() << " candidates, "
+                  << items.size() << " items after sparsification; "
+                  << plan.Summary();
+  return plan;
+}
+
+}  // namespace miso::tuner

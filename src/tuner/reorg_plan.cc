@@ -1,0 +1,51 @@
+#include "tuner/reorg_plan.h"
+
+#include <cstdio>
+
+#include "views/view_catalog.h"
+
+namespace miso::tuner {
+
+Bytes ReorgPlan::BytesToDw() const {
+  Bytes total = 0;
+  for (const views::View& view : move_to_dw) total += view.size_bytes;
+  return total;
+}
+
+Bytes ReorgPlan::BytesToHv() const {
+  Bytes total = 0;
+  for (const views::View& view : move_to_hv) total += view.size_bytes;
+  return total;
+}
+
+std::string ReorgPlan::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "reorg: %zu views -> DW (%s), %zu views -> HV (%s), "
+                "%zu dropped from HV, %zu dropped from DW",
+                move_to_dw.size(), FormatBytes(BytesToDw()).c_str(),
+                move_to_hv.size(), FormatBytes(BytesToHv()).c_str(),
+                drop_from_hv.size(), drop_from_dw.size());
+  return buf;
+}
+
+Status ApplyReorgPlan(const ReorgPlan& plan, views::ViewCatalog* hv,
+                      views::ViewCatalog* dw) {
+  for (const views::View& view : plan.move_to_dw) {
+    MISO_RETURN_IF_ERROR(hv->Remove(view.id));
+    MISO_RETURN_IF_ERROR(dw->AddUnchecked(view));
+  }
+  for (const views::View& view : plan.move_to_hv) {
+    MISO_RETURN_IF_ERROR(dw->Remove(view.id));
+    MISO_RETURN_IF_ERROR(hv->AddUnchecked(view));
+  }
+  for (views::ViewId id : plan.drop_from_hv) {
+    MISO_RETURN_IF_ERROR(hv->Remove(id));
+  }
+  for (views::ViewId id : plan.drop_from_dw) {
+    MISO_RETURN_IF_ERROR(dw->Remove(id));
+  }
+  return Status::OK();
+}
+
+}  // namespace miso::tuner

@@ -1,0 +1,48 @@
+#ifndef MISO_TUNER_REORG_PLAN_H_
+#define MISO_TUNER_REORG_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "views/view.h"
+
+namespace miso::views {
+class ViewCatalog;
+}  // namespace miso::views
+
+namespace miso::tuner {
+
+/// Output of one tuning pass: the view movements that turn the current
+/// multistore design <Vh, Vd> into the new design <Vh_new, Vd_new>.
+/// Executed by the simulator's data mover during a reorganization phase.
+struct ReorgPlan {
+  /// Views migrating HV -> DW (consume the transfer budget, loaded into
+  /// permanent DW table space with index builds).
+  std::vector<views::View> move_to_dw;
+  /// Views evicted from DW that the HV design retains (consume the
+  /// remaining transfer budget, written back to HDFS).
+  std::vector<views::View> move_to_hv;
+  /// Views dropped from HV entirely (not selected by either knapsack).
+  std::vector<views::ViewId> drop_from_hv;
+  /// Views dropped from DW entirely.
+  std::vector<views::ViewId> drop_from_dw;
+
+  Bytes BytesToDw() const;
+  Bytes BytesToHv() const;
+  bool Empty() const {
+    return move_to_dw.empty() && move_to_hv.empty() &&
+           drop_from_hv.empty() && drop_from_dw.empty();
+  }
+  std::string Summary() const;
+};
+
+/// Applies the plan to the two catalogs (no cost accounting — the
+/// simulator charges movement time separately). Views in `move_to_dw`
+/// must currently be in `hv` and vice versa.
+Status ApplyReorgPlan(const ReorgPlan& plan, views::ViewCatalog* hv,
+                      views::ViewCatalog* dw);
+
+}  // namespace miso::tuner
+
+#endif  // MISO_TUNER_REORG_PLAN_H_

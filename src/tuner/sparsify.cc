@@ -1,0 +1,107 @@
+#include "tuner/sparsify.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace miso::tuner {
+
+namespace {
+
+/// Fills in the placement-specific benefits of an item whose members are
+/// already decided.
+Status FinishItem(CandidateItem* item, BenefitAnalyzer* analyzer) {
+  item->size_bytes = 0;
+  for (const views::View& view : item->members) {
+    item->size_bytes += view.size_bytes;
+  }
+  MISO_ASSIGN_OR_RETURN(
+      item->benefit_both,
+      analyzer->PredictedBenefit(item->members, Placement::kBothStores));
+  MISO_ASSIGN_OR_RETURN(
+      item->benefit_dw,
+      analyzer->PredictedBenefit(item->members, Placement::kDwOnly));
+  MISO_ASSIGN_OR_RETURN(
+      item->benefit_hv,
+      analyzer->PredictedBenefit(item->members, Placement::kHvOnly));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<CandidateItem>> SparsifySets(
+    const std::vector<views::View>& candidates,
+    const std::vector<std::vector<int>>& parts,
+    const std::vector<Interaction>& interactions,
+    BenefitAnalyzer* analyzer) {
+  // Interaction lookup by unordered candidate-index pair.
+  std::map<std::pair<int, int>, const Interaction*> by_pair;
+  for (const Interaction& i : interactions) {
+    by_pair[{std::min(i.a, i.b), std::max(i.a, i.b)}] = &i;
+  }
+
+  std::vector<CandidateItem> items;
+  items.reserve(parts.size());
+
+  for (const std::vector<int>& part : parts) {
+    // Group structure within the part: group id -> member indices.
+    std::vector<std::vector<int>> groups;
+    std::map<int, int> group_of;  // candidate index -> group id
+    for (int idx : part) {
+      group_of[idx] = static_cast<int>(groups.size());
+      groups.push_back({idx});
+    }
+
+    // Merge positively-interacting pairs in decreasing order of magnitude.
+    std::vector<const Interaction*> positive;
+    for (int x : part) {
+      for (int y : part) {
+        if (x >= y) continue;
+        auto it = by_pair.find({x, y});
+        if (it != by_pair.end() && it->second->IsPositive()) {
+          positive.push_back(it->second);
+        }
+      }
+    }
+    std::sort(positive.begin(), positive.end(),
+              [](const Interaction* a, const Interaction* b) {
+                return a->magnitude > b->magnitude;
+              });
+    for (const Interaction* edge : positive) {
+      const int ga = group_of[edge->a];
+      const int gb = group_of[edge->b];
+      if (ga == gb) continue;
+      for (int member : groups[static_cast<size_t>(gb)]) {
+        group_of[member] = ga;
+        groups[static_cast<size_t>(ga)].push_back(member);
+      }
+      groups[static_cast<size_t>(gb)].clear();
+    }
+
+    // Build an item per surviving group; choose the part representative by
+    // benefit density when several (negatively-interacting) groups remain.
+    CandidateItem best;
+    double best_density = -1;
+    bool have_best = false;
+    for (const std::vector<int>& group : groups) {
+      if (group.empty()) continue;
+      CandidateItem item;
+      for (int idx : group) {
+        item.members.push_back(candidates[static_cast<size_t>(idx)]);
+      }
+      MISO_RETURN_IF_ERROR(FinishItem(&item, analyzer));
+      const double density =
+          item.benefit_both /
+          std::max<double>(1.0, static_cast<double>(item.size_bytes));
+      if (!have_best || density > best_density) {
+        best = std::move(item);
+        best_density = density;
+        have_best = true;
+      }
+    }
+    if (have_best) items.push_back(std::move(best));
+  }
+  return items;
+}
+
+}  // namespace miso::tuner

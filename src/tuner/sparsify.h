@@ -1,0 +1,46 @@
+#ifndef MISO_TUNER_SPARSIFY_H_
+#define MISO_TUNER_SPARSIFY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "tuner/benefit.h"
+#include "tuner/interaction.h"
+#include "views/view.h"
+
+namespace miso::tuner {
+
+/// One candidate item for the M-KNAPSACK packings, after interaction
+/// handling: a single view, or a merged group of strongly-positively
+/// interacting views that must be packed together (§4.3).
+struct CandidateItem {
+  std::vector<views::View> members;
+  Bytes size_bytes = 0;
+  /// Predicted future benefit under each hypothetical placement. The DW
+  /// knapsack values items at benefit_dw, the HV knapsack at benefit_hv
+  /// (see MisoTunerConfig::store_specific_benefit for the paper-literal
+  /// alternative that uses benefit_both for both phases).
+  double benefit_both = 0;
+  double benefit_dw = 0;
+  double benefit_hv = 0;
+};
+
+/// Sparsifies the stable partition into independent knapsack items:
+///
+///  * positively-interacting pairs within a part are merged (recursively,
+///    in decreasing order of interaction weight) into single items whose
+///    size is the sum and whose benefit is the joint benefit;
+///  * if several groups remain in a part they interact negatively —
+///    packing more than one wastes budget — so the one with the highest
+///    benefit per unit size is kept as the part's representative and the
+///    rest are discarded (§4.3).
+///
+/// The result contains exactly one item per input part.
+Result<std::vector<CandidateItem>> SparsifySets(
+    const std::vector<views::View>& candidates,
+    const std::vector<std::vector<int>>& parts,
+    const std::vector<Interaction>& interactions, BenefitAnalyzer* analyzer);
+
+}  // namespace miso::tuner
+
+#endif  // MISO_TUNER_SPARSIFY_H_

@@ -1,0 +1,125 @@
+#include "views/rewriter.h"
+
+#include <algorithm>
+
+namespace miso::views {
+
+using plan::NodePtr;
+using plan::OpKind;
+
+Result<plan::Plan> Rewriter::Rewrite(const plan::Plan& p,
+                                     const ViewCatalog& dw,
+                                     const ViewCatalog& hv,
+                                     RewriteReport* report) const {
+  RewriteReport local;
+  if (report == nullptr) report = &local;
+  MISO_ASSIGN_OR_RETURN(NodePtr root,
+                        RewriteNode(p.root(), &dw, &hv, report));
+  return plan::Plan(p.query_name(), std::move(root));
+}
+
+Result<plan::Plan> Rewriter::RewriteSingleStore(const plan::Plan& p,
+                                                const ViewCatalog& catalog,
+                                                StoreKind store,
+                                                RewriteReport* report) const {
+  RewriteReport local;
+  if (report == nullptr) report = &local;
+  const ViewCatalog* dw = store == StoreKind::kDw ? &catalog : nullptr;
+  const ViewCatalog* hv = store == StoreKind::kHv ? &catalog : nullptr;
+  MISO_ASSIGN_OR_RETURN(NodePtr root, RewriteNode(p.root(), dw, hv, report));
+  return plan::Plan(p.query_name(), std::move(root));
+}
+
+Result<NodePtr> Rewriter::TryStore(const NodePtr& node,
+                                   const ViewCatalog& catalog,
+                                   StoreKind store,
+                                   RewriteReport* report) const {
+  // Exact match on the whole subexpression.
+  if (std::optional<View> exact = catalog.FindExact(node->signature())) {
+    report->exact_matches++;
+    report->views_used.push_back(exact->id);
+    return factory_->MakeViewScan(exact->id, exact->signature, store,
+                                  exact->schema, exact->stats,
+                                  exact->canonical);
+  }
+
+  // Subsumption: node is Filter(p_q, C); look for views Filter(p_v, C)
+  // with p_q => p_v. Among applicable views prefer the smallest (fewest
+  // bytes to read and compensate).
+  if (node->kind() != OpKind::kFilter || node->children().empty()) {
+    return NodePtr(nullptr);
+  }
+  const plan::Predicate& query_pred = node->filter().predicate;
+  const uint64_t base_sig = node->children()[0]->signature();
+  std::optional<View> best;
+  for (const View& candidate : catalog.FindByBase(base_sig)) {
+    if (!query_pred.Implies(candidate.predicate)) continue;
+    if (!best.has_value() || candidate.size_bytes < best->size_bytes) {
+      best = candidate;
+    }
+  }
+  if (!best.has_value()) return NodePtr(nullptr);
+
+  report->subsumption_matches++;
+  report->views_used.push_back(best->id);
+  NodePtr scan =
+      factory_->MakeViewScan(best->id, best->signature, store, best->schema,
+                             best->stats, best->canonical);
+  const plan::Predicate comp =
+      plan::CompensationPredicate(query_pred, best->predicate);
+  if (comp.IsTrue()) {
+    // The view is exactly as restrictive as the query predicate even though
+    // the canonical forms differ (e.g. same atoms estimated differently).
+    return factory_->Recanonicalize(scan, node->canonical());
+  }
+  MISO_ASSIGN_OR_RETURN(NodePtr filtered,
+                        factory_->MakeFilter(std::move(scan), comp));
+  // The compensation result computes the original expression; keep its
+  // canonical identity so harvested views are correctly named.
+  return factory_->Recanonicalize(filtered, node->canonical());
+}
+
+Result<NodePtr> Rewriter::RewriteNode(const NodePtr& node,
+                                      const ViewCatalog* dw,
+                                      const ViewCatalog* hv,
+                                      RewriteReport* report) const {
+  if (node == nullptr) return NodePtr(nullptr);
+
+  // Prefer answering from the DW design: when the data is present in DW,
+  // executing there always won in the paper's calibration (§3.1).
+  if (dw != nullptr) {
+    MISO_ASSIGN_OR_RETURN(NodePtr replaced,
+                          TryStore(node, *dw, StoreKind::kDw, report));
+    if (replaced != nullptr) {
+      report->dw_views_used++;
+      return replaced;
+    }
+  }
+  if (hv != nullptr) {
+    MISO_ASSIGN_OR_RETURN(NodePtr replaced,
+                          TryStore(node, *hv, StoreKind::kHv, report));
+    if (replaced != nullptr) {
+      report->hv_views_used++;
+      return replaced;
+    }
+  }
+
+  // No view answers this subtree; recurse into children.
+  bool changed = false;
+  std::vector<NodePtr> children;
+  children.reserve(node->children().size());
+  for (const NodePtr& child : node->children()) {
+    MISO_ASSIGN_OR_RETURN(NodePtr rewritten,
+                          RewriteNode(child, dw, hv, report));
+    changed = changed || rewritten != child;
+    children.push_back(std::move(rewritten));
+  }
+  if (!changed) return node;
+  MISO_ASSIGN_OR_RETURN(NodePtr rebuilt,
+                        factory_->Rebuild(*node, std::move(children)));
+  // Children keep original canonicals, so the rebuilt parent's canonical
+  // already equals the original parent's; no recanonicalization needed.
+  return rebuilt;
+}
+
+}  // namespace miso::views

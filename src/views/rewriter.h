@@ -1,0 +1,76 @@
+#ifndef MISO_VIEWS_REWRITER_H_
+#define MISO_VIEWS_REWRITER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "plan/node_factory.h"
+#include "plan/plan.h"
+#include "views/view_catalog.h"
+
+namespace miso::views {
+
+/// Statistics about one rewrite, for diagnostics and tests.
+struct RewriteReport {
+  int dw_views_used = 0;
+  int hv_views_used = 0;
+  int exact_matches = 0;
+  int subsumption_matches = 0;
+  std::vector<ViewId> views_used;
+
+  bool AnyRewrite() const { return dw_views_used + hv_views_used > 0; }
+};
+
+/// Semantic view-based query rewriting (the method of LeFevre et al.,
+/// "Opportunistic physical design for big data analytics", which the paper
+/// uses both for execution and inside the what-if optimizer).
+///
+/// The rewriter walks a plan top-down and replaces the largest subtrees
+/// answerable from materialized views:
+///
+///  * exact match — a view materializes precisely the subexpression
+///    (signature equality); the subtree becomes a ViewScan.
+///  * subsumption match — the subtree is Filter(p_q, C), a view
+///    materializes Filter(p_v, C) with p_q ⇒ p_v; the subtree becomes
+///    Compensate(p_q \ p_v, ViewScan(view)).
+///
+/// DW-resident views are preferred over HV-resident views (the paper
+/// observes DW execution always wins when the data is already there), and
+/// among equally-applicable views the smallest is chosen. Every spliced
+/// node keeps the canonical form of the expression it computes, so
+/// harvesting opportunistic views from a rewritten plan yields
+/// correctly-identified views.
+class Rewriter {
+ public:
+  explicit Rewriter(const plan::NodeFactory* factory) : factory_(factory) {}
+
+  /// Rewrites `p` against the designs of both stores. `report` may be null.
+  Result<plan::Plan> Rewrite(const plan::Plan& p, const ViewCatalog& dw,
+                             const ViewCatalog& hv,
+                             RewriteReport* report) const;
+
+  /// Rewrites against a single store's views (used by single-store system
+  /// variants such as HV-OP).
+  Result<plan::Plan> RewriteSingleStore(const plan::Plan& p,
+                                        const ViewCatalog& catalog,
+                                        StoreKind store,
+                                        RewriteReport* report) const;
+
+ private:
+  Result<plan::NodePtr> RewriteNode(const plan::NodePtr& node,
+                                    const ViewCatalog* dw,
+                                    const ViewCatalog* hv,
+                                    RewriteReport* report) const;
+
+  /// Attempts to answer `node` from `catalog`; returns nullptr when no view
+  /// applies.
+  Result<plan::NodePtr> TryStore(const plan::NodePtr& node,
+                                 const ViewCatalog& catalog, StoreKind store,
+                                 RewriteReport* report) const;
+
+  const plan::NodeFactory* factory_;
+};
+
+}  // namespace miso::views
+
+#endif  // MISO_VIEWS_REWRITER_H_

@@ -1,0 +1,37 @@
+#include "views/view.h"
+
+#include <cstdio>
+
+namespace miso::views {
+
+std::string View::DebugString() const {
+  char head[64];
+  std::snprintf(head, sizeof(head), "v%llu[",
+                static_cast<unsigned long long>(id));
+  std::string out = head;
+  // Canonical forms can be long; clip for logs.
+  if (canonical.size() > 96) {
+    out += canonical.substr(0, 93) + "...";
+  } else {
+    out += canonical;
+  }
+  out += "] ";
+  out += FormatBytes(size_bytes);
+  return out;
+}
+
+View ViewFromNode(const plan::OperatorNode& node) {
+  View view;
+  view.signature = node.signature();
+  view.canonical = node.canonical();
+  view.schema = node.output_schema();
+  view.stats = node.stats();
+  view.size_bytes = node.stats().bytes;
+  if (node.kind() == plan::OpKind::kFilter && !node.children().empty()) {
+    view.base_signature = node.children()[0]->signature();
+    view.predicate = node.filter().predicate;
+  }
+  return view;
+}
+
+}  // namespace miso::views

@@ -1,0 +1,62 @@
+#ifndef MISO_VIEWS_VIEW_H_
+#define MISO_VIEWS_VIEW_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/store_kind.h"
+#include "common/units.h"
+#include "plan/operator.h"
+#include "plan/predicate.h"
+#include "relation/schema.h"
+
+namespace miso::views {
+
+/// Identifier of a materialized view, unique within a ViewRegistry.
+using ViewId = uint64_t;
+
+/// Metadata of one opportunistic materialized view — a by-product of query
+/// processing (an HV MapReduce job output, or a working set transferred
+/// between the stores) that the system retained (paper §1, §3).
+///
+/// The view's identity is the canonical signature of the subexpression it
+/// materializes. When the subexpression's root is a Filter, the view also
+/// records its base (the filter's input) and the filter predicate, enabling
+/// subsumption-based reuse with a compensation filter.
+struct View {
+  ViewId id = 0;
+
+  /// Signature / canonical form of the materialized subexpression.
+  uint64_t signature = 0;
+  std::string canonical;
+
+  /// When the subexpression root is a Filter: signature of its child and
+  /// the filter predicate. `base_signature == 0` otherwise.
+  uint64_t base_signature = 0;
+  plan::Predicate predicate;
+
+  /// Output schema and estimated contents of the materialization.
+  relation::Schema schema;
+  plan::OutputStats stats;
+
+  /// Bytes occupied on disk (== stats.bytes; views are stored unindexed in
+  /// HV and as a loaded table in DW).
+  Bytes size_bytes = 0;
+
+  /// Index of the query whose execution produced this view.
+  int created_by_query = -1;
+  /// Simulated timestamp of creation.
+  Seconds created_at = 0;
+
+  /// Short debug label, e.g. "v42[agg(join(...))] 1.25 GiB".
+  std::string DebugString() const;
+};
+
+/// Builds a View describing the materialization of `node` (annotations are
+/// copied; filter base/predicate extracted when applicable). The caller
+/// assigns `id`, `created_by_query`, and `created_at`.
+View ViewFromNode(const plan::OperatorNode& node);
+
+}  // namespace miso::views
+
+#endif  // MISO_VIEWS_VIEW_H_

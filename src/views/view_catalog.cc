@@ -1,0 +1,89 @@
+#include "views/view_catalog.h"
+
+namespace miso::views {
+
+Status ViewCatalog::Add(View view) {
+  if (view.size_bytes > available_bytes()) {
+    return Status::OutOfBudget(
+        "view " + view.DebugString() + " exceeds available storage (" +
+        FormatBytes(available_bytes()) + " of " + FormatBytes(budget_) + ")");
+  }
+  return AddUnchecked(std::move(view));
+}
+
+Status ViewCatalog::AddUnchecked(View view) {
+  if (views_.count(view.id) > 0) {
+    return Status::AlreadyExists("view id " + std::to_string(view.id) +
+                                 " already in catalog");
+  }
+  used_ += view.size_bytes;
+  last_used_[view.id] = view.created_by_query;
+  views_.emplace(view.id, std::move(view));
+  return Status::OK();
+}
+
+Status ViewCatalog::Remove(ViewId id) {
+  auto it = views_.find(id);
+  if (it == views_.end()) {
+    return Status::NotFound("view id " + std::to_string(id) +
+                            " not in catalog");
+  }
+  used_ -= it->second.size_bytes;
+  views_.erase(it);
+  last_used_.erase(id);
+  return Status::OK();
+}
+
+bool ViewCatalog::Contains(ViewId id) const { return views_.count(id) > 0; }
+
+Result<View> ViewCatalog::Find(ViewId id) const {
+  auto it = views_.find(id);
+  if (it == views_.end()) {
+    return Status::NotFound("view id " + std::to_string(id) +
+                            " not in catalog");
+  }
+  return it->second;
+}
+
+std::optional<View> ViewCatalog::FindExact(uint64_t signature) const {
+  for (const auto& [id, view] : views_) {
+    if (view.signature == signature) return view;
+  }
+  return std::nullopt;
+}
+
+std::vector<View> ViewCatalog::FindByBase(uint64_t base_signature) const {
+  std::vector<View> out;
+  if (base_signature == 0) return out;
+  for (const auto& [id, view] : views_) {
+    if (view.base_signature == base_signature) out.push_back(view);
+  }
+  return out;
+}
+
+std::vector<View> ViewCatalog::AllViews() const {
+  std::vector<View> out;
+  out.reserve(views_.size());
+  for (const auto& [id, view] : views_) out.push_back(view);
+  return out;
+}
+
+void ViewCatalog::TouchView(ViewId id, int query_index) {
+  auto it = last_used_.find(id);
+  if (it != last_used_.end() && query_index > it->second) {
+    it->second = query_index;
+  }
+}
+
+int ViewCatalog::LastUsed(ViewId id) const {
+  auto it = last_used_.find(id);
+  return it == last_used_.end() ? -1 : it->second;
+}
+
+void ViewCatalog::Clear() {
+  views_.clear();
+  last_used_.clear();
+  used_ = 0;
+}
+
+}  // namespace miso::views

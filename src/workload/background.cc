@@ -1,0 +1,27 @@
+#include "workload/background.h"
+
+namespace miso::workload {
+
+namespace {
+
+dw::BackgroundWorkload Make(double io, double cpu) {
+  dw::BackgroundWorkload bg;
+  bg.io_demand = io;
+  bg.cpu_demand = cpu;
+  bg.base_query_latency_s = 1.06;  // measured q3 latency in the paper
+  return bg;
+}
+
+}  // namespace
+
+dw::BackgroundWorkload SpareIo40() { return Make(0.60, 0.20); }
+dw::BackgroundWorkload SpareIo20() { return Make(0.80, 0.30); }
+dw::BackgroundWorkload SpareCpu40() { return Make(0.15, 0.60); }
+dw::BackgroundWorkload SpareCpu20() { return Make(0.25, 0.80); }
+
+dw::BackgroundWorkload IdleDw() {
+  dw::BackgroundWorkload bg = Make(0.0, 0.0);
+  return bg;
+}
+
+}  // namespace miso::workload

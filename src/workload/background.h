@@ -1,0 +1,27 @@
+#ifndef MISO_WORKLOAD_BACKGROUND_H_
+#define MISO_WORKLOAD_BACKGROUND_H_
+
+#include "dw/resource_model.h"
+
+namespace miso::workload {
+
+/// DW background reporting workloads of §5.4, built by continuously
+/// executing parameterized instances of an IO-intensive TPC-DS query (q3)
+/// or a CPU-intensive one (q83) so that a fixed fraction of the cluster's
+/// IO or CPU remains spare.
+
+/// One q3 stream: 60 % IO consumed, 40 % spare IO.
+dw::BackgroundWorkload SpareIo40();
+/// Three q3 streams: 80 % IO consumed, 20 % spare IO.
+dw::BackgroundWorkload SpareIo20();
+/// Two q83 streams: 60 % CPU consumed, 40 % spare CPU.
+dw::BackgroundWorkload SpareCpu40();
+/// Three q83 streams: 80 % CPU consumed, 20 % spare CPU.
+dw::BackgroundWorkload SpareCpu20();
+
+/// No background workload (an idle DW).
+dw::BackgroundWorkload IdleDw();
+
+}  // namespace miso::workload
+
+#endif  // MISO_WORKLOAD_BACKGROUND_H_

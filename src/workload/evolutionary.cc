@@ -1,0 +1,358 @@
+#include "workload/evolutionary.h"
+
+#include <cstdio>
+
+namespace miso::workload {
+
+namespace {
+
+using plan::CompareOp;
+
+std::string AnalystName(int analyst, int version) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "A%dv%d", analyst + 1, version + 1);
+  return buf;
+}
+
+/// Per-analyst fixed traits, drawn once from the analyst's RNG stream.
+struct AnalystProfile {
+  int id = 0;
+  AnalystSources sources = AnalystSources::kTwitterFoursquareLandmarks;
+  /// Whether the analyst's scoring UDF translates to SQL (runs in DW).
+  bool scoring_dw_compatible = true;
+
+  // Predicate parameters of the v1 query.
+  double topic_sel = 0.08;
+  double ts_sel = 0.5;
+  int64_t ts_cutoff = 15000;     // epoch day; larger = more recent
+  double category_sel = 0.15;
+  double region_sel = 0.05;
+  double kind_sel = 0.3;
+};
+
+AnalystProfile MakeProfile(int analyst, Rng* rng) {
+  AnalystProfile p;
+  p.id = analyst;
+  if (analyst < 4) {
+    p.sources = AnalystSources::kTwitterFoursquareLandmarks;
+  } else if (analyst < 6) {
+    p.sources = AnalystSources::kTwitterFoursquare;
+  } else {
+    p.sources = AnalystSources::kFoursquareLandmarks;
+  }
+  // One analyst's scoring UDF cannot run in the DW, pinning that chain to
+  // HV and producing the HV-heavy tail of Figure 6.
+  p.scoring_dw_compatible = analyst != 5;
+  p.topic_sel = rng->UniformReal(0.10, 0.15);
+  p.ts_sel = rng->UniformReal(0.45, 0.55);
+  p.ts_cutoff = 15000 + 10 * analyst + rng->Uniform(0, 300);
+  p.category_sel = rng->UniformReal(0.12, 0.20);
+  p.region_sel = rng->UniformReal(0.03, 0.07);
+  p.kind_sel = rng->UniformReal(0.2, 0.4);
+  return p;
+}
+
+FilterSpec MakeFilter(std::string field, CompareOp op, std::string operand,
+                      double sel) {
+  FilterSpec f;
+  f.field = std::move(field);
+  f.op = op;
+  f.operand = std::move(operand);
+  f.selectivity = sel;
+  return f;
+}
+
+SourceSpec TwitterSource(const AnalystProfile& p, int version,
+                         bool widened) {
+  SourceSpec s;
+  s.dataset = "twitter";
+  s.fields = {"user_id", "ts", "topic", "text"};
+  if (widened) s.fields.push_back("lang");  // kWidenSchema mutation
+  s.filters.push_back(MakeFilter(
+      "topic", CompareOp::kLike, "cat_a" + std::to_string(p.id) + "%",
+      p.topic_sel));
+  s.filters.push_back(MakeFilter("ts", CompareOp::kGt,
+                                 std::to_string(p.ts_cutoff), p.ts_sel));
+  (void)version;
+  return s;
+}
+
+SourceSpec FoursquareSource(const AnalystProfile& p) {
+  SourceSpec s;
+  s.dataset = "foursquare";
+  s.fields = {"user_id", "ts", "checkin_loc", "category"};
+  s.filters.push_back(MakeFilter(
+      "category", CompareOp::kEq, "cuisine_a" + std::to_string(p.id),
+      p.category_sel));
+  return s;
+}
+
+SourceSpec LandmarksSource(const AnalystProfile& p, int variant) {
+  SourceSpec s;
+  s.dataset = "landmarks";
+  s.fields = {"checkin_loc", "city", "region", "kind", "rating"};
+  s.filters.push_back(MakeFilter(
+      "region", CompareOp::kEq,
+      "region_a" + std::to_string(p.id) + "_" + std::to_string(variant),
+      p.region_sel));
+  s.filters.push_back(MakeFilter(
+      "kind", CompareOp::kEq,
+      "kind_a" + std::to_string(p.id) + "_" + std::to_string(variant),
+      p.kind_sel));
+  return s;
+}
+
+UdfSpec SentimentUdf(const AnalystProfile& p) {
+  UdfSpec u;
+  u.present = true;
+  u.name = "sentiment_a" + std::to_string(p.id);
+  u.size_factor = 0.2;      // keeps scored columns, drops raw text
+  u.row_selectivity = 0.9;  // drops unscorable rows
+  u.cpu_factor = 8.0;       // NLP-ish per-row work
+  // Most analysts use arbitrary Python (HV-only); analysts 2/3/4 use a
+  // dictionary-based sentiment expressible as SQL, so their whole chain is
+  // DW-eligible once views are placed.
+  u.dw_compatible = p.id >= 2 && p.id <= 4;
+  return u;
+}
+
+UdfSpec ScoringUdf(const AnalystProfile& p) {
+  UdfSpec u;
+  u.present = true;
+  u.name = "score_a" + std::to_string(p.id);
+  u.size_factor = 0.8;
+  u.row_selectivity = 1.0;
+  u.cpu_factor = 1.2;
+  u.dw_compatible = p.scoring_dw_compatible;
+  return u;
+}
+
+/// Aggregation variants an analyst rotates through while refining.
+void SetAggregation(QuerySpec* spec, const AnalystProfile& p, int variant) {
+  const bool has_landmarks =
+      p.sources != AnalystSources::kTwitterFoursquare;
+  if (has_landmarks) {
+    switch (variant % 3) {
+      case 0:
+        spec->group_by = {"region"};
+        spec->aggregates = {{"count", "*"}};
+        break;
+      case 1:
+        spec->group_by = {"region", "kind"};
+        spec->aggregates = {{"count", "*"}, {"avg", "rating"}};
+        break;
+      default:
+        spec->group_by = {"city"};
+        spec->aggregates = {{"count", "*"}, {"sum", "rating"}};
+        break;
+    }
+  } else {
+    switch (variant % 3) {
+      case 0:
+        spec->group_by = {"category"};
+        spec->aggregates = {{"count", "*"}};
+        break;
+      case 1:
+        spec->group_by = {"category"};
+        spec->aggregates = {{"count", "*"}, {"avg", "ts"}};
+        break;
+      default:
+        spec->group_by = {"category"};
+        spec->aggregates = {{"sum", "checkin_loc"}};
+        break;
+    }
+  }
+}
+
+/// The v1 (base) spec of an analyst.
+QuerySpec BaseSpec(const AnalystProfile& p) {
+  QuerySpec spec;
+  spec.analyst = p.id;
+  spec.version = 0;
+  spec.name = AnalystName(p.id, 0);
+
+  switch (p.sources) {
+    case AnalystSources::kTwitterFoursquareLandmarks:
+      spec.left = TwitterSource(p, 0, /*widened=*/false);
+      spec.right = FoursquareSource(p);
+      spec.third = LandmarksSource(p, 0);
+      spec.join1_key = "user_id";
+      spec.join2_key = "checkin_loc";
+      spec.udf1 = SentimentUdf(p);
+      spec.udf2 = ScoringUdf(p);
+      break;
+    case AnalystSources::kTwitterFoursquare:
+      spec.left = TwitterSource(p, 0, /*widened=*/false);
+      spec.right = FoursquareSource(p);
+      spec.join1_key = "user_id";
+      spec.udf1 = SentimentUdf(p);
+      spec.udf2 = ScoringUdf(p);
+      break;
+    case AnalystSources::kFoursquareLandmarks:
+      spec.left = FoursquareSource(p);
+      spec.right = LandmarksSource(p, 0);
+      spec.join1_key = "checkin_loc";
+      spec.udf1 = ScoringUdf(p);  // no text, no sentiment stage
+      break;
+  }
+  SetAggregation(&spec, p, 0);
+  return spec;
+}
+
+/// The mutation kind version `v` (1-based beyond v1) applies.
+MutationKind KindForVersion(const AnalystProfile& p, int version) {
+  switch (version) {
+    case 1:
+      // 2-source analysts have no reference data to swap: they change the
+      // aggregation (everything below the aggregate is reusable).
+      return p.sources == AnalystSources::kTwitterFoursquare
+                 ? MutationKind::kChangeAggregate
+                 : MutationKind::kRefineReference;
+    case 2:
+      return MutationKind::kTightenPredicate;
+    default:
+      // Even analysts settle on a final aggregation; analyst 1 realizes a
+      // field is missing and re-extracts; the remaining odd analysts
+      // tighten their predicates once more.
+      if (p.id % 2 == 0) return MutationKind::kChangeAggregate;
+      return p.id == 1 ? MutationKind::kWidenSchema
+                       : MutationKind::kTightenPredicate;
+  }
+}
+
+/// Applies a mutation to `spec` (the previous version), in place.
+void Mutate(QuerySpec* spec, const AnalystProfile& p, int version,
+            MutationKind kind) {
+  spec->version = version;
+  spec->name = AnalystName(p.id, version);
+  switch (kind) {
+    case MutationKind::kBase:
+      break;
+    case MutationKind::kRefineReference:
+      if (spec->third.has_value()) {
+        spec->third = LandmarksSource(p, version);
+      } else if (spec->right.dataset == "landmarks") {
+        spec->right = LandmarksSource(p, version);
+      }
+      SetAggregation(spec, p, version);
+      break;
+    case MutationKind::kTightenPredicate: {
+      // Extra conjuncts on the twitter (or foursquare) filter; the old
+      // filtered view subsumes the new one.
+      // Each successive tightening adds conjuncts, so every new filter
+      // implies the previous versions' filters (the old filtered views
+      // subsume the new query).
+      SourceSpec* src = &spec->left;
+      const int round = version;  // distinct operands per version
+      if (src->dataset == "twitter") {
+        src->filters.push_back(MakeFilter(
+            "ts", CompareOp::kGt,
+            std::to_string(p.ts_cutoff + 60 * round), p.ts_sel * 0.7));
+        src->filters.push_back(MakeFilter(
+            "text", CompareOp::kLike,
+            "%launch_a" + std::to_string(p.id) + "_" +
+                std::to_string(round) + "%",
+            0.45));
+      } else {
+        src->filters.push_back(MakeFilter(
+            "ts", CompareOp::kGt,
+            std::to_string(p.ts_cutoff + 60 * round), 0.6));
+      }
+      SetAggregation(spec, p, version);
+      break;
+    }
+    case MutationKind::kChangeAggregate:
+      SetAggregation(spec, p, version);
+      break;
+    case MutationKind::kWidenSchema: {
+      SourceSpec* src = &spec->left;
+      bool have = false;
+      const std::string extra =
+          src->dataset == "twitter" ? "geo_lon" : "shout";
+      for (const std::string& f : src->fields) {
+        if (f == extra) have = true;
+      }
+      if (!have) src->fields.push_back(extra);
+      SetAggregation(spec, p, version);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view MutationKindToString(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kBase:
+      return "base";
+    case MutationKind::kRefineReference:
+      return "refine-reference";
+    case MutationKind::kTightenPredicate:
+      return "tighten-predicate";
+    case MutationKind::kChangeAggregate:
+      return "change-aggregate";
+    case MutationKind::kWidenSchema:
+      return "widen-schema";
+  }
+  return "?";
+}
+
+Result<EvolutionaryWorkload> EvolutionaryWorkload::Generate(
+    const relation::Catalog* catalog, const WorkloadConfig& config) {
+  if (config.num_analysts < 1 || config.versions_per_analyst < 1) {
+    return Status::InvalidArgument(
+        "workload needs >= 1 analyst and >= 1 version");
+  }
+
+  Rng master(config.seed);
+  EvolutionaryWorkload workload;
+
+  // Per-analyst query sequences.
+  std::vector<std::vector<WorkloadQuery>> per_analyst(
+      static_cast<size_t>(config.num_analysts));
+  for (int a = 0; a < config.num_analysts; ++a) {
+    Rng rng = master.Fork();
+    const AnalystProfile profile = MakeProfile(a, &rng);
+    QuerySpec spec = BaseSpec(profile);
+    for (int v = 0; v < config.versions_per_analyst; ++v) {
+      MutationKind kind = MutationKind::kBase;
+      if (v > 0) {
+        kind = KindForVersion(profile, v);
+        Mutate(&spec, profile, v, kind);
+      }
+      WorkloadQuery query;
+      query.spec = spec;
+      query.analyst = a;
+      query.version = v;
+      query.mutation = kind;
+      MISO_ASSIGN_OR_RETURN(query.plan, BuildQueryFromSpec(catalog, spec));
+      per_analyst[static_cast<size_t>(a)].push_back(std::move(query));
+    }
+  }
+
+  // Arrival order.
+  if (config.interleave) {
+    for (int v = 0; v < config.versions_per_analyst; ++v) {
+      for (int a = 0; a < config.num_analysts; ++a) {
+        workload.queries_.push_back(
+            per_analyst[static_cast<size_t>(a)][static_cast<size_t>(v)]);
+      }
+    }
+  } else {
+    for (int a = 0; a < config.num_analysts; ++a) {
+      for (WorkloadQuery& q : per_analyst[static_cast<size_t>(a)]) {
+        workload.queries_.push_back(std::move(q));
+      }
+    }
+  }
+  return workload;
+}
+
+std::vector<plan::Plan> EvolutionaryWorkload::Plans() const {
+  std::vector<plan::Plan> plans;
+  plans.reserve(queries_.size());
+  for (const WorkloadQuery& q : queries_) plans.push_back(q.plan);
+  return plans;
+}
+
+}  // namespace miso::workload

@@ -1,0 +1,75 @@
+#ifndef MISO_WORKLOAD_EVOLUTIONARY_H_
+#define MISO_WORKLOAD_EVOLUTIONARY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "workload/query_spec.h"
+
+namespace miso::workload {
+
+/// Which combination of log sources an analyst works with.
+enum class AnalystSources {
+  kTwitterFoursquareLandmarks,  // 3-source: two joins
+  kTwitterFoursquare,           // 2-source: one join
+  kFoursquareLandmarks,         // 2-source: one join
+};
+
+/// How a query version mutates the previous one. The kinds follow the
+/// mutation taxonomy of the evolutionary-analytics workload the paper
+/// uses: analysts refine predicates, swap reference data, change
+/// aggregations, and occasionally widen the extracted schema.
+enum class MutationKind {
+  kBase,             // v1
+  kRefineReference,  // new landmarks region/kind filter + new aggregation
+  kTightenPredicate, // extra conjuncts on a source filter (subsumable)
+  kChangeAggregate,  // new group-by keys / aggregate functions only
+  kWidenSchema,      // extra extracted field (invalidates extraction views)
+};
+
+std::string_view MutationKindToString(MutationKind kind);
+
+/// Generation knobs. Defaults reproduce the paper's workload shape:
+/// 8 analysts x 4 versions = 32 queries, arriving phase-interleaved
+/// (all v1's, then all v2's, ...), per-analyst UDFs with a mix of
+/// DW-compatible and HV-only scoring functions.
+struct WorkloadConfig {
+  int num_analysts = 8;
+  int versions_per_analyst = 4;
+  uint64_t seed = 42;
+  /// Phase-interleaved arrival (A1v1..A8v1, A1v2..A8v2, ...) when true;
+  /// analyst-major (A1v1..A1v4, A2v1..) when false.
+  bool interleave = true;
+};
+
+/// One generated workload query with its provenance.
+struct WorkloadQuery {
+  QuerySpec spec;
+  plan::Plan plan;
+  int analyst = 0;
+  int version = 0;
+  MutationKind mutation = MutationKind::kBase;
+};
+
+/// Generator of the synthetic evolutionary-analytics workload. Fully
+/// deterministic given the seed.
+class EvolutionaryWorkload {
+ public:
+  static Result<EvolutionaryWorkload> Generate(
+      const relation::Catalog* catalog, const WorkloadConfig& config);
+
+  const std::vector<WorkloadQuery>& queries() const { return queries_; }
+  int size() const { return static_cast<int>(queries_.size()); }
+
+  /// Plans only, in arrival order (convenience for the simulator).
+  std::vector<plan::Plan> Plans() const;
+
+ private:
+  std::vector<WorkloadQuery> queries_;
+};
+
+}  // namespace miso::workload
+
+#endif  // MISO_WORKLOAD_EVOLUTIONARY_H_

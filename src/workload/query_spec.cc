@@ -1,0 +1,54 @@
+#include "workload/query_spec.h"
+
+namespace miso::workload {
+
+namespace {
+
+plan::PlanBuilder::Fragment BuildSource(const plan::PlanBuilder& builder,
+                                        const SourceSpec& source) {
+  plan::PlanBuilder::Fragment fragment =
+      builder.Scan(source.dataset).Extract(source.fields);
+  if (!source.filters.empty()) {
+    std::vector<plan::PredicateAtom> atoms;
+    atoms.reserve(source.filters.size());
+    for (const FilterSpec& f : source.filters) {
+      atoms.push_back(
+          plan::MakeAtom(f.field, f.op, f.operand, f.selectivity));
+    }
+    fragment = fragment.Filter(std::move(atoms));
+  }
+  return fragment;
+}
+
+plan::UdfParams ToUdfParams(const UdfSpec& spec) {
+  plan::UdfParams params;
+  params.name = spec.name;
+  params.size_factor = spec.size_factor;
+  params.row_selectivity = spec.row_selectivity;
+  params.cpu_factor = spec.cpu_factor;
+  params.dw_compatible = spec.dw_compatible;
+  return params;
+}
+
+}  // namespace
+
+Result<plan::Plan> BuildQueryFromSpec(const relation::Catalog* catalog,
+                                      const QuerySpec& spec) {
+  plan::PlanBuilder builder(catalog);
+
+  plan::PlanBuilder::Fragment left = BuildSource(builder, spec.left);
+  plan::PlanBuilder::Fragment right = BuildSource(builder, spec.right);
+  plan::PlanBuilder::Fragment current = left.Join(right, spec.join1_key);
+
+  if (spec.udf1.present) current = current.Udf(ToUdfParams(spec.udf1));
+  if (spec.third.has_value()) {
+    plan::PlanBuilder::Fragment third = BuildSource(builder, *spec.third);
+    current = current.Join(third, spec.join2_key);
+  }
+  if (spec.udf2.present) current = current.Udf(ToUdfParams(spec.udf2));
+
+  current = current.Aggregate(spec.group_by, spec.aggregates);
+  return current.Build(spec.name);
+}
+
+}  // namespace miso::workload

@@ -1,0 +1,76 @@
+#ifndef MISO_WORKLOAD_QUERY_SPEC_H_
+#define MISO_WORKLOAD_QUERY_SPEC_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "plan/builder.h"
+#include "plan/plan.h"
+#include "relation/catalog.h"
+
+namespace miso::workload {
+
+/// One filter conjunct of a query spec.
+struct FilterSpec {
+  std::string field;
+  plan::CompareOp op = plan::CompareOp::kEq;
+  std::string operand;
+  double selectivity = 1.0;
+};
+
+/// One log source of a query: scan + SerDe extraction + filters.
+struct SourceSpec {
+  std::string dataset;
+  std::vector<std::string> fields;
+  std::vector<FilterSpec> filters;
+};
+
+/// A UDF stage of a query.
+struct UdfSpec {
+  bool present = false;
+  std::string name;
+  double size_factor = 1.0;
+  double row_selectivity = 1.0;
+  double cpu_factor = 1.0;
+  bool dw_compatible = false;
+};
+
+/// Declarative description of one analyst query, mirroring the structure
+/// of the evolutionary-analytics workload (LeFevre et al., DanaC 2013)
+/// the paper evaluates on: two or three log sources, one or two equi-joins,
+/// per-analyst UDFs, and a final aggregation.
+///
+///   left ----+
+///            Join(join1_key) -- [udf1] --+
+///   right ---+                           Join(join2_key) -- [udf2] -- Agg
+///   third (optional) --------------------+
+///
+/// With no `third` source, udf2 (if present) applies directly above udf1.
+struct QuerySpec {
+  std::string name;  // e.g. "A3v2"
+  int analyst = 0;
+  int version = 0;
+
+  SourceSpec left;
+  SourceSpec right;
+  std::optional<SourceSpec> third;
+
+  std::string join1_key;
+  std::string join2_key;  // used only when `third` is set
+
+  UdfSpec udf1;
+  UdfSpec udf2;
+
+  std::vector<std::string> group_by;
+  std::vector<plan::AggregateFn> aggregates;
+};
+
+/// Materializes a spec into an annotated plan.
+Result<plan::Plan> BuildQueryFromSpec(const relation::Catalog* catalog,
+                                      const QuerySpec& spec);
+
+}  // namespace miso::workload
+
+#endif  // MISO_WORKLOAD_QUERY_SPEC_H_

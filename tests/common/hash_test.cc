@@ -1,0 +1,36 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+namespace miso {
+namespace {
+
+TEST(HashTest, StableAcrossRuns) {
+  // Signatures are persistent identities; the hash must never change.
+  EXPECT_EQ(HashBytes(""), kFnvOffsetBasis);
+  EXPECT_EQ(HashBytes("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(HashBytes("scan(twitter)"), HashBytes("scan(twitter)"));
+}
+
+TEST(HashTest, DifferentInputsDiffer) {
+  EXPECT_NE(HashBytes("scan(twitter)"), HashBytes("scan(foursquare)"));
+  EXPECT_NE(HashBytes("ab"), HashBytes("ba"));
+}
+
+TEST(HashTest, CombineIsOrderDependent) {
+  const uint64_t a = HashBytes("left");
+  const uint64_t b = HashBytes("right");
+  EXPECT_NE(HashCombine(a, b), HashCombine(b, a));
+}
+
+TEST(HashTest, CombineUnorderedIsCommutative) {
+  const uint64_t a = HashBytes("p1");
+  const uint64_t b = HashBytes("p2");
+  const uint64_t c = HashBytes("p3");
+  EXPECT_EQ(HashCombineUnordered(a, b), HashCombineUnordered(b, a));
+  EXPECT_EQ(HashCombineUnordered(HashCombineUnordered(a, b), c),
+            HashCombineUnordered(HashCombineUnordered(c, b), a));
+}
+
+}  // namespace
+}  // namespace miso

@@ -1,0 +1,64 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace miso {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    std::string_view name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument,
+       "InvalidArgument"},
+      {Status::NotFound("b"), StatusCode::kNotFound, "NotFound"},
+      {Status::AlreadyExists("c"), StatusCode::kAlreadyExists,
+       "AlreadyExists"},
+      {Status::OutOfBudget("d"), StatusCode::kOutOfBudget, "OutOfBudget"},
+      {Status::FailedPrecondition("e"), StatusCode::kFailedPrecondition,
+       "FailedPrecondition"},
+      {Status::Unimplemented("f"), StatusCode::kUnimplemented,
+       "Unimplemented"},
+      {Status::Internal("g"), StatusCode::kInternal, "Internal"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(StatusCodeToString(c.code), c.name);
+    EXPECT_NE(c.status.ToString().find(c.name), std::string::npos);
+    EXPECT_NE(c.status.ToString().find(c.status.message()),
+              std::string::npos);
+  }
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::NotFound("missing view");
+  Status t = s;
+  EXPECT_EQ(t.code(), StatusCode::kNotFound);
+  EXPECT_EQ(t.message(), "missing view");
+}
+
+Status FailsThenPropagates(bool fail) {
+  MISO_RETURN_IF_ERROR(fail ? Status::Internal("boom") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(FailsThenPropagates(false).ok());
+  Status s = FailsThenPropagates(true);
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(s.message(), "boom");
+}
+
+}  // namespace
+}  // namespace miso

@@ -1,0 +1,46 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace miso {
+namespace {
+
+TEST(UnitsTest, Constants) {
+  EXPECT_EQ(kKiB, 1024);
+  EXPECT_EQ(kMiB, 1024 * 1024);
+  EXPECT_EQ(kGiB, int64_t{1024} * 1024 * 1024);
+  EXPECT_EQ(kTiB, int64_t{1024} * kGiB);
+}
+
+TEST(UnitsTest, FractionalConstructors) {
+  EXPECT_EQ(KiB(1.5), 1536);
+  EXPECT_EQ(MiB(2.0), 2 * kMiB);
+  EXPECT_EQ(GiB(0.5), kGiB / 2);
+  EXPECT_EQ(TiB(1.0), kTiB);
+  EXPECT_EQ(GiB(-3.0), 0) << "negative sizes clamp to zero";
+}
+
+TEST(UnitsTest, ScaleBytes) {
+  EXPECT_EQ(ScaleBytes(1000, 0.5), 500);
+  EXPECT_EQ(ScaleBytes(1000, 0.0), 0);
+  EXPECT_EQ(ScaleBytes(1000, 2.0), 2000);
+  EXPECT_EQ(ScaleBytes(3, 0.5), 2) << "rounds to nearest";
+  EXPECT_EQ(ScaleBytes(1000, -1.0), 0) << "never negative";
+}
+
+TEST(UnitsTest, FormatBytesPicksUnit) {
+  EXPECT_EQ(FormatBytes(512), "512.00 B");
+  EXPECT_EQ(FormatBytes(kKiB), "1.00 KiB");
+  EXPECT_EQ(FormatBytes(3 * kMiB / 2), "1.50 MiB");
+  EXPECT_EQ(FormatBytes(kGiB), "1.00 GiB");
+  EXPECT_EQ(FormatBytes(2 * kTiB), "2.00 TiB");
+}
+
+TEST(UnitsTest, FormatSecondsPicksUnit) {
+  EXPECT_EQ(FormatSeconds(12.0), "12.00 s");
+  EXPECT_EQ(FormatSeconds(90.0), "1.50 min");
+  EXPECT_EQ(FormatSeconds(7200.0), "2.00 h");
+}
+
+}  // namespace
+}  // namespace miso

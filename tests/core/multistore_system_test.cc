@@ -1,0 +1,48 @@
+#include "core/multistore_system.h"
+
+#include <gtest/gtest.h>
+
+namespace miso {
+namespace {
+
+TEST(MultistoreSystemTest, DefaultConfigRunsWorkload) {
+  MisoConfig config;
+  config.sim.variant = sim::SystemVariant::kMsMiso;
+  MultistoreSystem system(config);
+  auto workload = workload::EvolutionaryWorkload::Generate(
+      &system.catalog(), workload::WorkloadConfig{});
+  ASSERT_TRUE(workload.ok());
+  auto report = system.Execute(workload->queries());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->queries.size(), 32u);
+  EXPECT_GT(report->reorg_count, 0);
+}
+
+TEST(MultistoreSystemTest, ScaledCatalog) {
+  MisoConfig config;
+  config.catalog_scale = 0.1;
+  MultistoreSystem system(config);
+  auto twitter = system.catalog().FindDataset("twitter");
+  ASSERT_TRUE(twitter.ok());
+  EXPECT_LT(twitter->raw_bytes, TiB(1) / 5);
+}
+
+TEST(MultistoreSystemTest, ExecutePlansWrapsBarePlans) {
+  MisoConfig config;
+  config.sim.variant = sim::SystemVariant::kHvOnly;
+  MultistoreSystem system(config);
+  plan::PlanBuilder builder = system.MakePlanBuilder();
+  auto plan = builder.Scan("landmarks")
+                  .Extract({"region", "rating"})
+                  .Aggregate({"region"}, {{"avg", "rating"}})
+                  .Build("adhoc");
+  ASSERT_TRUE(plan.ok());
+  auto report = system.ExecutePlans({*plan});
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->queries.size(), 1u);
+  EXPECT_EQ(report->queries[0].name, "adhoc");
+  EXPECT_GT(report->queries[0].ExecTime(), 0);
+}
+
+}  // namespace
+}  // namespace miso

@@ -1,0 +1,61 @@
+#include "datagen/record_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace miso::datagen {
+namespace {
+
+using testing_util::PaperCatalog;
+
+TEST(RecordGeneratorTest, UnknownDatasetRejected) {
+  auto gen = RecordGenerator::Create(PaperCatalog(), "nope", 1);
+  EXPECT_FALSE(gen.ok());
+}
+
+TEST(RecordGeneratorTest, RecordsLookLikeJson) {
+  auto gen = RecordGenerator::Create(PaperCatalog(), "twitter", 1);
+  ASSERT_TRUE(gen.ok());
+  const std::string record = gen->NextRecord();
+  EXPECT_EQ(record.front(), '{');
+  EXPECT_EQ(record.back(), '}');
+  // Every schema field appears as a key.
+  for (const relation::Field& f : gen->dataset().schema.fields()) {
+    EXPECT_NE(record.find("\"" + f.name + "\""), std::string::npos)
+        << record;
+  }
+}
+
+TEST(RecordGeneratorTest, DeterministicForSeed) {
+  auto g1 = RecordGenerator::Create(PaperCatalog(), "foursquare", 7);
+  auto g2 = RecordGenerator::Create(PaperCatalog(), "foursquare", 7);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(g1->NextRecord(), g2->NextRecord());
+  }
+}
+
+TEST(RecordGeneratorTest, BatchGeneration) {
+  auto gen = RecordGenerator::Create(PaperCatalog(), "landmarks", 3);
+  ASSERT_TRUE(gen.ok());
+  std::vector<std::string> records = gen->Records(25);
+  EXPECT_EQ(records.size(), 25u);
+  EXPECT_TRUE(gen->Records(-1).empty());
+}
+
+TEST(RecordGeneratorTest, StringWidthsTrackSchema) {
+  auto gen = RecordGenerator::Create(PaperCatalog(), "twitter", 5);
+  ASSERT_TRUE(gen.ok());
+  // The "text" field has avg width 250; generated strings should be in
+  // that ballpark so synthetic volumes resemble the catalog stats.
+  const std::string record = gen->NextRecord();
+  const size_t pos = record.find("\"text\": \"");
+  ASSERT_NE(pos, std::string::npos);
+  const size_t end = record.find('"', pos + 9);
+  EXPECT_GT(end - (pos + 9), 200u);
+}
+
+}  // namespace
+}  // namespace miso::datagen

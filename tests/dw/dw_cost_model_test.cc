@@ -1,0 +1,136 @@
+#include "dw/dw_cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "plan/node_factory.h"
+#include "views/view.h"
+
+namespace miso::dw {
+namespace {
+
+using plan::NodePtr;
+using plan::OpKind;
+using testing_util::PaperCatalog;
+
+class DwCostModelTest : public ::testing::Test {
+ protected:
+  DwCostModelTest() : factory_(&PaperCatalog()), model_(DwConfig{}) {}
+
+  /// A small all-DW plan: Filter over a DW view, then aggregate.
+  struct DwPlan {
+    plan::Plan plan;
+    NodePtr view_scan;
+    NodePtr filter;
+    NodePtr agg;
+  };
+
+  DwPlan MakeDwPlan(double filter_sel) {
+    auto extract = factory_.MakeExtract(*factory_.MakeScan("landmarks"),
+                                        {"region", "kind", "rating"});
+    views::View view = views::ViewFromNode(**extract);
+    NodePtr scan = factory_.MakeViewScan(1, view.signature, StoreKind::kDw,
+                                         view.schema, view.stats,
+                                         view.canonical);
+    auto filter = factory_.MakeFilter(
+        scan, plan::Predicate({plan::MakeAtom("region", plan::CompareOp::kEq,
+                                              "r1", filter_sel)}));
+    auto agg =
+        factory_.MakeAggregate(*filter, {"kind"}, {{"count", "*"}});
+    return DwPlan{plan::Plan("q", *agg), scan, *filter, *agg};
+  }
+
+  static std::unordered_set<const plan::OperatorNode*> AllNodes(
+      const plan::Plan& p) {
+    std::unordered_set<const plan::OperatorNode*> set;
+    for (const NodePtr& n : p.PostOrder()) set.insert(n.get());
+    return set;
+  }
+
+  plan::NodeFactory factory_;
+  DwCostModel model_;
+};
+
+TEST_F(DwCostModelTest, EmptySideCostsNothing) {
+  auto cost = model_.CostDwSide({}, {});
+  ASSERT_TRUE(cost.ok());
+  EXPECT_DOUBLE_EQ(*cost, 0.0);
+}
+
+TEST_F(DwCostModelTest, NonEmptySidePaysQueryOverhead) {
+  DwPlan p = MakeDwPlan(0.5);
+  auto cost = model_.CostDwSide(AllNodes(p.plan), {});
+  ASSERT_TRUE(cost.ok());
+  EXPECT_GE(*cost, model_.config().query_overhead_s);
+}
+
+TEST_F(DwCostModelTest, IndexFloorPrunesSelectiveFilters) {
+  // A highly selective filter over a permanent view reads only the index
+  // floor fraction; a non-selective one reads its actual fraction.
+  DwPlan selective = MakeDwPlan(0.001);
+  DwPlan broad = MakeDwPlan(0.5);
+  auto cost_selective = model_.CostDwSide(AllNodes(selective.plan), {});
+  auto cost_broad = model_.CostDwSide(AllNodes(broad.plan), {});
+  ASSERT_TRUE(cost_selective.ok());
+  ASSERT_TRUE(cost_broad.ok());
+  EXPECT_LT(*cost_selective, *cost_broad);
+}
+
+TEST_F(DwCostModelTest, TempInputsAreSlower) {
+  DwPlan p = MakeDwPlan(0.5);
+  std::unordered_set<const plan::OperatorNode*> temp = {
+      p.view_scan.get()};
+  auto cost_temp = model_.CostDwSide(AllNodes(p.plan), temp);
+  auto cost_perm = model_.CostDwSide(AllNodes(p.plan), {});
+  ASSERT_TRUE(cost_temp.ok());
+  ASSERT_TRUE(cost_perm.ok());
+  EXPECT_GT(*cost_temp, *cost_perm);
+}
+
+TEST_F(DwCostModelTest, HvOnlyOperatorRejected) {
+  auto extract = factory_.MakeExtract(*factory_.MakeScan("landmarks"),
+                                      {"region", "rating"});
+  std::unordered_set<const plan::OperatorNode*> side = {extract->get()};
+  auto cost = model_.CostDwSide(side, {});
+  ASSERT_FALSE(cost.ok());
+  EXPECT_EQ(cost.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(DwCostModelTest, UdfCpuWeightSlowsExecution) {
+  auto extract = factory_.MakeExtract(*factory_.MakeScan("landmarks"),
+                                      {"region", "rating"});
+  views::View view = views::ViewFromNode(**extract);
+  NodePtr scan = factory_.MakeViewScan(1, view.signature, StoreKind::kDw,
+                                       view.schema, view.stats,
+                                       view.canonical);
+  plan::UdfParams cheap;
+  cheap.name = "u";
+  cheap.cpu_factor = 1.0;
+  cheap.dw_compatible = true;
+  plan::UdfParams heavy = cheap;
+  heavy.cpu_factor = 10.0;
+
+  auto cheap_node = factory_.MakeUdf(scan, cheap);
+  auto heavy_node = factory_.MakeUdf(scan, heavy);
+  std::unordered_set<const plan::OperatorNode*> cheap_side = {
+      scan.get(), cheap_node->get()};
+  std::unordered_set<const plan::OperatorNode*> heavy_side = {
+      scan.get(), heavy_node->get()};
+  auto cheap_cost = model_.CostDwSide(cheap_side, {});
+  auto heavy_cost = model_.CostDwSide(heavy_side, {});
+  ASSERT_TRUE(cheap_cost.ok());
+  ASSERT_TRUE(heavy_cost.ok());
+  EXPECT_GT(*heavy_cost, *cheap_cost);
+}
+
+TEST_F(DwCostModelTest, DwIsMuchFasterThanHvOnSameData) {
+  // The asymmetry at the heart of the paper: processing a few-GB view in
+  // the DW is orders of magnitude cheaper than re-running Hadoop jobs.
+  DwPlan p = MakeDwPlan(0.5);
+  auto dw_cost = model_.FullPlanCost(p.plan);
+  ASSERT_TRUE(dw_cost.ok());
+  EXPECT_LT(*dw_cost, 10.0) << "a 128 MiB view pipeline is sub-10s in DW";
+}
+
+}  // namespace
+}  // namespace miso::dw

@@ -1,0 +1,112 @@
+#include "dw/resource_model.h"
+
+#include <gtest/gtest.h>
+
+namespace miso::dw {
+namespace {
+
+BackgroundWorkload IoHeavyBackground() {
+  BackgroundWorkload bg;
+  bg.io_demand = 0.6;
+  bg.cpu_demand = 0.2;
+  bg.base_query_latency_s = 1.06;
+  return bg;
+}
+
+TEST(ResourceLedgerTest, ActivityStretchedByBackground) {
+  ResourceLedger ledger(IoHeavyBackground(), ContentionConfig{});
+  const Seconds stretched = ledger.RecordActivity(
+      DwActivityKind::kReorgTransfer, 0, 100, /*io=*/1.3, /*cpu=*/0.3);
+  // stretch = 1 + 0.3 * max(0.6, 0.2) = 1.18.
+  EXPECT_NEAR(stretched, 118.0, 1e-9);
+}
+
+TEST(ResourceLedgerTest, CpuBoundActivityStretchedByCpuDemand) {
+  BackgroundWorkload bg;
+  bg.io_demand = 0.1;
+  bg.cpu_demand = 0.8;
+  ResourceLedger ledger(bg, ContentionConfig{});
+  const Seconds stretched = ledger.RecordActivity(
+      DwActivityKind::kQueryExec, 0, 100, /*io=*/0.2, /*cpu=*/0.9);
+  EXPECT_NEAR(stretched, 100 * (1 + 0.3 * 0.8), 1e-9);
+}
+
+TEST(ResourceLedgerTest, TransfersSplitIntoBurstAndSteadyPhases) {
+  ResourceLedger ledger(IoHeavyBackground(), ContentionConfig{});
+  ledger.RecordActivity(DwActivityKind::kReorgTransfer, 0, 100, 1.3, 0.3);
+  ASSERT_EQ(ledger.activities().size(), 2u);
+  const DwActivity& burst = ledger.activities()[0];
+  const DwActivity& steady = ledger.activities()[1];
+  EXPECT_DOUBLE_EQ(burst.io_demand, 1.3);
+  EXPECT_NEAR(burst.duration, 118.0 * 0.02, 1e-9);
+  EXPECT_DOUBLE_EQ(steady.io_demand, 0.25);
+  EXPECT_NEAR(burst.duration + steady.duration, 118.0, 1e-9);
+}
+
+TEST(ResourceLedgerTest, NoBackgroundMeansNoStretch) {
+  BackgroundWorkload idle;
+  idle.io_demand = 0;
+  idle.cpu_demand = 0;
+  ResourceLedger ledger(idle, ContentionConfig{});
+  EXPECT_DOUBLE_EQ(
+      ledger.RecordActivity(DwActivityKind::kQueryExec, 0, 50, 1.0, 1.0),
+      50.0);
+}
+
+TEST(ResourceLedgerTest, TickSeriesShowsSpikesDuringTransfers) {
+  ContentionConfig contention;
+  contention.transfer_burst_duty = 0.5;  // long bursts for a clear spike
+  ResourceLedger ledger(IoHeavyBackground(), contention);
+  ledger.RecordActivity(DwActivityKind::kReorgTransfer, 100, 50, 1.3, 0.3);
+  std::vector<DwTickSample> series = ledger.TickSeries(300);
+  ASSERT_EQ(series.size(), 30u);
+  // Quiet tick: background only.
+  EXPECT_NEAR(series[0].io_used, 0.6, 1e-9);
+  EXPECT_TRUE(series[0].activity.empty());
+  // Tick fully inside the burst: saturated IO, labeled R, latency spike.
+  const DwTickSample& busy = series[11];  // t in [110, 120)
+  EXPECT_DOUBLE_EQ(busy.io_used, 1.0) << "clamped at 100%";
+  EXPECT_EQ(busy.activity, "R");
+  EXPECT_GT(busy.bg_query_latency_s, 4 * series[0].bg_query_latency_s);
+}
+
+TEST(ResourceLedgerTest, BackgroundLatencySaturationLaw) {
+  ResourceLedger ledger(IoHeavyBackground(), ContentionConfig{});
+  // A saturating query-exec activity (not burst-split): total io =
+  // 0.6 + 1.3 = 1.9 -> excess 0.9 -> share max(0.125, 0.1) = 0.125 ->
+  // latency 1.06 / 0.125 = 8.48.
+  ledger.RecordActivity(DwActivityKind::kQueryExec, 0, 100, 1.3, 0.3);
+  std::vector<DwTickSample> series = ledger.TickSeries(10);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_NEAR(series[0].bg_query_latency_s, 1.06 / 0.125, 1e-6);
+}
+
+TEST(ResourceLedgerTest, SlowdownIsSmallWhenActivityIsRare) {
+  ResourceLedger ledger(IoHeavyBackground(), ContentionConfig{});
+  // One 100-second transfer inside a 10,000-second horizon.
+  ledger.RecordActivity(DwActivityKind::kReorgTransfer, 5000, 100, 1.3,
+                        0.3);
+  const double slowdown = ledger.BackgroundSlowdown(10000);
+  EXPECT_GT(slowdown, 0.0);
+  EXPECT_LT(slowdown, 0.1) << "brief spikes barely move the average";
+}
+
+TEST(ResourceLedgerTest, PartialTickOverlapIsProportional) {
+  ResourceLedger ledger(IoHeavyBackground(), ContentionConfig{});
+  // Unstretched duration 5 s; the stretch against the 0.6 background is
+  // 1 + 0.3 * 0.6 = 1.18, so 5.9 s of the 10 s tick.
+  ledger.RecordActivity(DwActivityKind::kQueryExec, 0, 5, 0.4, 0.0);
+  std::vector<DwTickSample> series = ledger.TickSeries(10);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_NEAR(series[0].io_used, 0.6 + 0.4 * 0.59, 1e-9);
+}
+
+TEST(ResourceLedgerTest, ActivityKindLabels) {
+  EXPECT_EQ(DwActivityKindToString(DwActivityKind::kReorgTransfer), "R");
+  EXPECT_EQ(DwActivityKindToString(DwActivityKind::kWorkingSetTransfer),
+            "T");
+  EXPECT_EQ(DwActivityKindToString(DwActivityKind::kQueryExec), "Q");
+}
+
+}  // namespace
+}  // namespace miso::dw

@@ -1,0 +1,43 @@
+#include "hv/hv_config.h"
+
+#include <gtest/gtest.h>
+
+#include "common/store_kind.h"
+#include "dw/dw_config.h"
+
+namespace miso {
+namespace {
+
+TEST(HvConfigTest, ClusterRateScalesWithNodes) {
+  hv::HvConfig config;
+  config.num_nodes = 15;
+  EXPECT_DOUBLE_EQ(config.ClusterRate(20.0), 15 * 20e6);
+  config.num_nodes = 1;
+  EXPECT_DOUBLE_EQ(config.ClusterRate(20.0), 20e6);
+}
+
+TEST(HvConfigTest, PaperClusterSizes) {
+  // §5.1: 15-node HV cluster, 9-node DW cluster (HV 1.5x larger).
+  EXPECT_EQ(hv::HvConfig{}.num_nodes, 15);
+  EXPECT_EQ(dw::DwConfig{}.num_nodes, 9);
+}
+
+TEST(HvConfigTest, AsymmetryBetweenStores) {
+  // The calibrated models must keep the paper's asymmetry: the DW
+  // processes materialized data far faster per node than Hive.
+  const hv::HvConfig hv;
+  const dw::DwConfig dw;
+  EXPECT_GT(dw.scan_mbps, 10 * hv.inter_read_mbps);
+  EXPECT_GT(dw.op_mbps, 10 * hv.shuffle_mbps);
+  // And Hive jobs carry a fixed floor the DW does not have.
+  EXPECT_GT(hv.job_startup_s + hv.job_min_work_s,
+            100 * dw.query_overhead_s);
+}
+
+TEST(StoreKindTest, Names) {
+  EXPECT_EQ(StoreKindToString(StoreKind::kHv), "HV");
+  EXPECT_EQ(StoreKindToString(StoreKind::kDw), "DW");
+}
+
+}  // namespace
+}  // namespace miso

@@ -1,0 +1,104 @@
+#include "hv/hv_cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace miso::hv {
+namespace {
+
+using testing_util::PaperCatalog;
+
+TEST(HvCostModelTest, JobCostComponents) {
+  HvConfig config;
+  HvCostModel model(config);
+
+  MapReduceJob job;
+  job.raw_input_bytes = GiB(100);
+  const Seconds cost = model.JobCost(job);
+  const Seconds expected_read =
+      static_cast<double>(GiB(100)) /
+      config.ClusterRate(config.raw_read_mbps);
+  EXPECT_NEAR(cost,
+              config.job_startup_s +
+                  std::max<double>(expected_read, config.job_min_work_s),
+              1e-6);
+}
+
+TEST(HvCostModelTest, SmallJobsHitTheFloor) {
+  HvConfig config;
+  HvCostModel model(config);
+  MapReduceJob tiny;
+  tiny.intermediate_input_bytes = MiB(1);
+  tiny.output_bytes = MiB(1);
+  EXPECT_NEAR(model.JobCost(tiny),
+              config.job_startup_s + config.job_min_work_s, 1e-6)
+      << "Hadoop-era jobs never finish faster than the task-wave floor";
+}
+
+TEST(HvCostModelTest, CostIsMonotoneInBytes) {
+  HvConfig config;
+  HvCostModel model(config);
+  MapReduceJob small;
+  small.raw_input_bytes = GiB(100);
+  MapReduceJob big = small;
+  big.raw_input_bytes = GiB(200);
+  EXPECT_LT(model.JobCost(small), model.JobCost(big));
+
+  MapReduceJob with_shuffle = small;
+  with_shuffle.shuffle_bytes = GiB(500);
+  EXPECT_LT(model.JobCost(small), model.JobCost(with_shuffle));
+}
+
+TEST(HvCostModelTest, UdfCpuIsCharged) {
+  HvConfig config;
+  HvCostModel model(config);
+  MapReduceJob job;
+  job.udf_cpu_bytes = static_cast<double>(TiB(1));
+  const Seconds cost = model.JobCost(job);
+  EXPECT_NEAR(cost,
+              config.job_startup_s +
+                  static_cast<double>(TiB(1)) /
+                      config.ClusterRate(config.udf_cpu_mbps),
+              1.0);
+}
+
+TEST(HvCostModelTest, SubtreeCostSumsJobs) {
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                            false);
+  HvCostModel model(HvConfig{});
+  auto jobs = SegmentIntoJobs(plan->root());
+  ASSERT_TRUE(jobs.ok());
+  auto total = model.SubtreeCost(plan->root());
+  ASSERT_TRUE(total.ok());
+  EXPECT_NEAR(*total, model.JobsCost(*jobs), 1e-9);
+  // 4 jobs, each at least startup + floor.
+  EXPECT_GE(*total, 4 * (model.config().job_startup_s +
+                         model.config().job_min_work_s));
+}
+
+TEST(HvCostModelTest, FullAnalystQueryCostsKiloseconds) {
+  // Calibration guard: a full 2 TB analyst query should cost on the order
+  // of 10^3..10^4 seconds (Figure 3's HV-only plan is ~10^4 s).
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                            false);
+  HvCostModel model(HvConfig{});
+  auto total = model.SubtreeCost(plan->root());
+  ASSERT_TRUE(total.ok());
+  EXPECT_GT(*total, 5000);
+  EXPECT_LT(*total, 30000);
+}
+
+TEST(HvCostModelTest, MoreNodesMakeClusterFaster) {
+  MapReduceJob job;
+  job.raw_input_bytes = TiB(1);
+  HvConfig small_cluster;
+  small_cluster.num_nodes = 5;
+  HvConfig big_cluster;
+  big_cluster.num_nodes = 30;
+  EXPECT_GT(HvCostModel(small_cluster).JobCost(job),
+            HvCostModel(big_cluster).JobCost(job));
+}
+
+}  // namespace
+}  // namespace miso::hv

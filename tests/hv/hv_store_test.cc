@@ -1,0 +1,73 @@
+#include "hv/hv_store.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace miso::hv {
+namespace {
+
+using testing_util::PaperCatalog;
+
+TEST(HvStoreTest, ExecuteHarvestsOpportunisticViews) {
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                            false);
+  HvStore store(HvConfig{}, 4 * kTiB);
+  uint64_t next_id = 1;
+  auto exec = store.Execute(plan->root(), /*query_index=*/3, /*now=*/100.0,
+                            &next_id);
+  ASSERT_TRUE(exec.ok());
+  EXPECT_GT(exec->exec_time, 0);
+  // 3 filtered map outputs + 4 job outputs.
+  EXPECT_EQ(exec->produced_views.size(), 7u);
+  EXPECT_EQ(next_id, 8u);
+  for (const views::View& v : exec->produced_views) {
+    EXPECT_EQ(v.created_by_query, 3);
+    EXPECT_DOUBLE_EQ(v.created_at, 100.0);
+    EXPECT_GT(v.size_bytes, 0);
+  }
+}
+
+TEST(HvStoreTest, ExcludeSignatureSkipsFinalResult) {
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                            false);
+  HvStore store(HvConfig{}, 4 * kTiB);
+  uint64_t next_id = 1;
+  auto exec = store.Execute(plan->root(), 0, 0, &next_id,
+                            /*exclude_signature=*/plan->signature());
+  ASSERT_TRUE(exec.ok());
+  EXPECT_EQ(exec->produced_views.size(), 6u);
+  for (const views::View& v : exec->produced_views) {
+    EXPECT_NE(v.signature, plan->signature());
+  }
+}
+
+TEST(HvStoreTest, ViewsAlreadyInCatalogAreNotReharvested) {
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                            false);
+  HvStore store(HvConfig{}, 4 * kTiB);
+  uint64_t next_id = 1;
+  auto first = store.Execute(plan->root(), 0, 0, &next_id);
+  ASSERT_TRUE(first.ok());
+  for (const views::View& v : first->produced_views) {
+    ASSERT_TRUE(store.catalog().AddUnchecked(v).ok());
+  }
+  auto second = store.Execute(plan->root(), 1, 10, &next_id);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->produced_views.empty());
+}
+
+TEST(HvStoreTest, ExecutionTimeMatchesCostModel) {
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                            false);
+  HvStore store(HvConfig{}, 4 * kTiB);
+  uint64_t next_id = 1;
+  auto exec = store.Execute(plan->root(), 0, 0, &next_id);
+  auto cost = store.cost_model().SubtreeCost(plan->root());
+  ASSERT_TRUE(exec.ok());
+  ASSERT_TRUE(cost.ok());
+  EXPECT_DOUBLE_EQ(exec->exec_time, *cost);
+}
+
+}  // namespace
+}  // namespace miso::hv

@@ -1,0 +1,149 @@
+#include "hv/mr_job.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "plan/node_factory.h"
+#include "views/view.h"
+
+namespace miso::hv {
+namespace {
+
+using plan::NodePtr;
+using plan::OpKind;
+using testing_util::PaperCatalog;
+
+TEST(MrJobTest, AnalystPlanSegmentsIntoOneJobPerBoundary) {
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                            false);
+  auto jobs = SegmentIntoJobs(plan->root());
+  ASSERT_TRUE(jobs.ok());
+  // Boundaries: join1, udf, join2, aggregate.
+  ASSERT_EQ(jobs->size(), 4u);
+  // Producer-before-consumer ordering; the last job's output is the root.
+  EXPECT_EQ(jobs->back().output_node, plan->root());
+  EXPECT_EQ(jobs->back().output_node->kind(), OpKind::kAggregate);
+}
+
+TEST(MrJobTest, FirstJoinJobReadsBothRawLogs) {
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                            false);
+  auto jobs = SegmentIntoJobs(plan->root());
+  ASSERT_TRUE(jobs.ok());
+  const MapReduceJob& join_job = (*jobs)[0];
+  EXPECT_EQ(join_job.output_node->kind(), OpKind::kJoin);
+  EXPECT_EQ(join_job.raw_input_bytes, 2 * TiB(1))
+      << "map side scans twitter + foursquare raw logs";
+  EXPECT_EQ(join_job.map_outputs.size(), 2u)
+      << "both filtered pipelines materialize";
+  // Shuffle moves the filtered map outputs.
+  Bytes expected_shuffle = 0;
+  for (const NodePtr& child : join_job.output_node->children()) {
+    expected_shuffle += child->stats().bytes;
+  }
+  EXPECT_EQ(join_job.shuffle_bytes, expected_shuffle);
+}
+
+TEST(MrJobTest, UdfJobCarriesCpuBytes) {
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                            false);
+  auto jobs = SegmentIntoJobs(plan->root());
+  ASSERT_TRUE(jobs.ok());
+  const MapReduceJob* udf_job = nullptr;
+  for (const MapReduceJob& job : *jobs) {
+    if (job.output_node->kind() == OpKind::kUdf) udf_job = &job;
+  }
+  ASSERT_NE(udf_job, nullptr);
+  const NodePtr input = udf_job->output_node->children()[0];
+  EXPECT_DOUBLE_EQ(udf_job->udf_cpu_bytes,
+                   static_cast<double>(input->stats().bytes) *
+                       udf_job->output_node->udf().cpu_factor);
+  EXPECT_EQ(udf_job->shuffle_bytes, 0) << "UDF stages do not shuffle";
+  EXPECT_EQ(udf_job->intermediate_input_bytes, input->stats().bytes)
+      << "reads the upstream join output from HDFS";
+}
+
+TEST(MrJobTest, TrailingPipelineBecomesMapOnlyJob) {
+  // A plan whose root is a Filter over an Aggregate: the filter becomes a
+  // trailing map-only job.
+  plan::NodeFactory factory(&PaperCatalog());
+  auto extract = factory.MakeExtract(*factory.MakeScan("landmarks"),
+                                     {"region", "rating"});
+  auto agg = factory.MakeAggregate(*extract, {"region"}, {{"count", "*"}});
+  auto top = factory.MakeProject(*agg, {"region"});
+  ASSERT_TRUE(top.ok());
+  auto jobs = SegmentIntoJobs(*top);
+  ASSERT_TRUE(jobs.ok());
+  ASSERT_EQ(jobs->size(), 2u);
+  EXPECT_EQ((*jobs)[0].output_node->kind(), OpKind::kAggregate);
+  EXPECT_EQ((*jobs)[1].output_node->kind(), OpKind::kProject);
+  EXPECT_EQ((*jobs)[1].intermediate_input_bytes,
+            (*jobs)[0].output_bytes);
+}
+
+TEST(MrJobTest, BareScanSegmentsToSingleNoWorkJob) {
+  plan::NodeFactory factory(&PaperCatalog());
+  auto scan = factory.MakeScan("landmarks");
+  auto jobs = SegmentIntoJobs(*scan);
+  ASSERT_TRUE(jobs.ok());
+  ASSERT_EQ(jobs->size(), 1u);
+  EXPECT_TRUE((*jobs)[0].materialization_points.empty())
+      << "reading a log is not a materialization";
+}
+
+TEST(MrJobTest, DwResidentViewScanIsRejected) {
+  plan::NodeFactory factory(&PaperCatalog());
+  auto extract = factory.MakeExtract(*factory.MakeScan("landmarks"),
+                                     {"region", "rating"});
+  views::View view = views::ViewFromNode(**extract);
+  view.id = 1;
+  NodePtr dw_scan = factory.MakeViewScan(view.id, view.signature,
+                                         StoreKind::kDw, view.schema,
+                                         view.stats, view.canonical);
+  auto agg = factory.MakeAggregate(dw_scan, {"region"}, {{"count", "*"}});
+  ASSERT_TRUE(agg.ok());
+  auto jobs = SegmentIntoJobs(*agg);
+  ASSERT_FALSE(jobs.ok());
+  EXPECT_EQ(jobs.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MrJobTest, HvResidentViewScanReadsAsViewInput) {
+  plan::NodeFactory factory(&PaperCatalog());
+  auto extract = factory.MakeExtract(*factory.MakeScan("landmarks"),
+                                     {"region", "rating"});
+  views::View view = views::ViewFromNode(**extract);
+  NodePtr hv_scan = factory.MakeViewScan(1, view.signature, StoreKind::kHv,
+                                         view.schema, view.stats,
+                                         view.canonical);
+  auto agg = factory.MakeAggregate(hv_scan, {"region"}, {{"count", "*"}});
+  auto jobs = SegmentIntoJobs(*agg);
+  ASSERT_TRUE(jobs.ok());
+  ASSERT_EQ(jobs->size(), 1u);
+  EXPECT_EQ((*jobs)[0].view_input_bytes, view.stats.bytes);
+  EXPECT_EQ((*jobs)[0].raw_input_bytes, 0);
+}
+
+TEST(MrJobTest, MaterializationPointsIncludeMapAndJobOutputs) {
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                            false);
+  auto jobs = SegmentIntoJobs(plan->root());
+  ASSERT_TRUE(jobs.ok());
+  int filters = 0;
+  int boundaries = 0;
+  for (const MapReduceJob& job : *jobs) {
+    for (const NodePtr& node : job.materialization_points) {
+      if (node->kind() == OpKind::kFilter) ++filters;
+      if (node->IsJobBoundary()) ++boundaries;
+    }
+  }
+  EXPECT_EQ(filters, 3) << "twitter, foursquare, landmarks filtered inputs";
+  EXPECT_EQ(boundaries, 4) << "join1, udf, join2, aggregate outputs";
+}
+
+TEST(MrJobTest, NullRootErrors) {
+  auto jobs = SegmentIntoJobs(nullptr);
+  EXPECT_FALSE(jobs.ok());
+}
+
+}  // namespace
+}  // namespace miso::hv

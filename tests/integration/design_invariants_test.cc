@@ -1,0 +1,72 @@
+// End-to-end invariants of the multistore design throughout a full run
+// (paper §4.1): at every reorganization, both stores respect their view
+// storage budgets, the per-phase transfer budget bounds the movement, and
+// Vh ∩ Vd = ∅.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "sim/simulator.h"
+
+namespace miso::sim {
+namespace {
+
+using testing_util::PaperCatalog;
+
+class DesignInvariantsTest
+    : public ::testing::TestWithParam<std::tuple<SystemVariant, double>> {};
+
+TEST_P(DesignInvariantsTest, BudgetsAndDisjointnessHoldAtEveryReorg) {
+  const auto [variant, budget_fraction] = GetParam();
+
+  auto workload = workload::EvolutionaryWorkload::Generate(
+      &PaperCatalog(), workload::WorkloadConfig{});
+  ASSERT_TRUE(workload.ok());
+
+  SimConfig config;
+  config.variant = variant;
+  config.hv_storage_budget =
+      static_cast<Bytes>(budget_fraction * 2 * kTiB);
+  config.dw_storage_budget =
+      static_cast<Bytes>(budget_fraction * 200 * kGiB);
+
+  int observed = 0;
+  config.reorg_observer = [&](const SimConfig::ReorgSnapshot& snapshot) {
+    ++observed;
+    // Post-reorg, both stores fit their budgets. (Between reorgs HV may
+    // exceed its budget with fresh opportunistic views, by design.)
+    EXPECT_LE(snapshot.hv_used, config.hv_storage_budget)
+        << "reorg " << snapshot.reorg_index;
+    EXPECT_LE(snapshot.dw_used, config.dw_storage_budget)
+        << "reorg " << snapshot.reorg_index;
+    // Movement bounded by the per-phase transfer budget.
+    EXPECT_LE(snapshot.moved_to_dw + snapshot.moved_to_hv,
+              config.transfer_budget)
+        << "reorg " << snapshot.reorg_index;
+    // The two designs are disjoint.
+    std::set<views::ViewId> hv_ids(snapshot.hv_ids.begin(),
+                                   snapshot.hv_ids.end());
+    for (views::ViewId id : snapshot.dw_ids) {
+      EXPECT_EQ(hv_ids.count(id), 0u)
+          << "view " << id << " present in both stores";
+    }
+  };
+
+  MultistoreSimulator simulator(&PaperCatalog(), config);
+  auto report = simulator.Run(workload->queries());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(observed, report->reorg_count);
+  EXPECT_GT(observed, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsAndBudgets, DesignInvariantsTest,
+    ::testing::Combine(::testing::Values(SystemVariant::kMsMiso,
+                                         SystemVariant::kMsLru,
+                                         SystemVariant::kMsOra),
+                       ::testing::Values(0.125, 0.5, 2.0)));
+
+}  // namespace
+}  // namespace miso::sim

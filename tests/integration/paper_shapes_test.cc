@@ -1,0 +1,189 @@
+// End-to-end integration tests asserting the *shape* of the paper's
+// headline results (§5): variant ordering, speedup magnitudes, utilization
+// spread, and tuning-technique ordering. Absolute simulated seconds are
+// calibration-dependent; these tests pin the qualitative claims.
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "sim/simulator.h"
+#include "workload/background.h"
+
+namespace miso::sim {
+namespace {
+
+using testing_util::PaperCatalog;
+
+class PaperShapesTest : public ::testing::Test {
+ protected:
+  static const std::vector<workload::WorkloadQuery>& Queries() {
+    static const auto* workload = [] {
+      auto w = workload::EvolutionaryWorkload::Generate(
+          &PaperCatalog(), workload::WorkloadConfig{});
+      return new workload::EvolutionaryWorkload(std::move(w).value());
+    }();
+    return workload->queries();
+  }
+
+  static const RunReport& Run(SystemVariant variant) {
+    static auto* cache = new std::map<SystemVariant, RunReport>();
+    auto it = cache->find(variant);
+    if (it == cache->end()) {
+      SimConfig config;
+      config.variant = variant;
+      MultistoreSimulator simulator(&PaperCatalog(), config);
+      auto report = simulator.Run(Queries());
+      EXPECT_TRUE(report.ok()) << report.status().ToString();
+      it = cache->emplace(variant, std::move(report).value()).first;
+    }
+    return it->second;
+  }
+};
+
+TEST_F(PaperShapesTest, Figure4VariantOrdering) {
+  const Seconds hv = Run(SystemVariant::kHvOnly).Tti();
+  const Seconds dw = Run(SystemVariant::kDwOnly).Tti();
+  const Seconds basic = Run(SystemVariant::kMsBasic).Tti();
+  const Seconds op = Run(SystemVariant::kHvOp).Tti();
+  const Seconds miso = Run(SystemVariant::kMsMiso).Tti();
+
+  // Paper Figure 4: MS-MISO best; DW-ONLY worst (ETL-dominated, slightly
+  // slower than HV-ONLY); MS-BASIC a modest improvement; HV-OP in between.
+  EXPECT_LT(miso, op);
+  EXPECT_LT(op, basic);
+  EXPECT_LT(basic, hv);
+  EXPECT_GT(dw, hv);
+
+  EXPECT_GT(hv / miso, 2.5) << "MS-MISO speedup (paper: 4.3x)";
+  EXPECT_GT(hv / op, 2.0) << "HV-OP speedup (paper: 2.4x)";
+  EXPECT_LT(hv / op, 3.2);
+  EXPECT_GT(hv / basic, 1.05) << "MS-BASIC speedup (paper: 1.2x)";
+  EXPECT_LT(dw / hv, 1.2) << "DW-ONLY a few percent slower (paper: 3%)";
+}
+
+TEST_F(PaperShapesTest, Figure5aDwOnlyFlatUntilEtlCompletes) {
+  const RunReport& dw = Run(SystemVariant::kDwOnly);
+  const RunReport& miso = Run(SystemVariant::kMsMiso);
+  // DW-ONLY: first query completes only after ETL; MS-MISO lets users
+  // start immediately.
+  EXPECT_GT(dw.TtiCurve().front(), dw.etl_s);
+  EXPECT_LT(miso.TtiCurve().front(), 0.1 * dw.etl_s);
+  // But DW-ONLY's post-ETL query execution is by far the fastest.
+  Seconds dw_exec_total = 0;
+  for (const QueryRecord& q : dw.queries) dw_exec_total += q.ExecTime();
+  EXPECT_LT(dw_exec_total, 0.02 * dw.Tti());
+}
+
+TEST_F(PaperShapesTest, Figure5bExecTimeDistributions) {
+  const std::vector<Seconds> buckets = {10, 100, 1000, 10000};
+  const std::vector<double> dw =
+      Run(SystemVariant::kDwOnly).ExecTimeCdf(buckets);
+  const std::vector<double> hv =
+      Run(SystemVariant::kHvOnly).ExecTimeCdf(buckets);
+  const std::vector<double> miso =
+      Run(SystemVariant::kMsMiso).ExecTimeCdf(buckets);
+  const std::vector<double> op =
+      Run(SystemVariant::kHvOp).ExecTimeCdf(buckets);
+
+  // DW-ONLY is the top curve; HV-ONLY the bottom (paper Figure 5b).
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    EXPECT_GE(dw[i], miso[i]);
+    EXPECT_GE(miso[i], hv[i]);
+  }
+  // "The systems near the top ... complete at least 30% of their queries
+  // in less than 100 seconds"; HV-bound systems have none under 100 s.
+  EXPECT_GE(miso[1], 0.25);
+  EXPECT_DOUBLE_EQ(hv[1], 0.0);
+  EXPECT_DOUBLE_EQ(op[1], 0.0);
+  EXPECT_GE(dw[1], 0.9);
+  // No HV-ONLY query finishes within 1000 s.
+  EXPECT_LE(hv[2], 0.1);
+}
+
+TEST_F(PaperShapesTest, Figure6UtilizationSpread) {
+  const RunReport& miso = Run(SystemVariant::kMsMiso);
+  const RunReport& basic = Run(SystemVariant::kMsBasic);
+  // MS-MISO runs several queries mostly in DW; MS-BASIC almost none.
+  EXPECT_GE(miso.DwMajorityQueries(), 5);
+  EXPECT_LE(basic.DwMajorityQueries(), 2);
+  // "For every second spent in DW, MS-BASIC queries spend ~55 in HV;
+  // MS-MISO far fewer" — assert the gap, not the exact constants. (Our
+  // MISO side includes the HDFS-export job of on-demand splits in HV
+  // time, so the measured ratio is higher than the paper's 1.6.)
+  EXPECT_GT(basic.HvPerDwSecond(16), 3 * miso.HvPerDwSecond(16));
+}
+
+TEST_F(PaperShapesTest, Figure7TuningTechniqueOrdering) {
+  // At the default budgets, MISO must beat LRU clearly and track ORA.
+  const Seconds miso = Run(SystemVariant::kMsMiso).Tti();
+  const Seconds lru = Run(SystemVariant::kMsLru).Tti();
+  const Seconds basic = Run(SystemVariant::kMsBasic).Tti();
+  const Seconds ora = Run(SystemVariant::kMsOra).Tti();
+  EXPECT_LT(miso, 0.9 * lru);
+  EXPECT_LT(lru, basic);
+  EXPECT_LT(std::abs(miso - ora) / ora, 0.25)
+      << "MISO within a quarter of the oracle";
+}
+
+TEST_F(PaperShapesTest, Section32TwoQueryExperiment) {
+  // q1 = A1v2, q2 = A1v3 (consecutive versions of one analyst): MS-MISO
+  // with a reorganization between them runs the pair about 2x faster than
+  // HV-ONLY or MS-BASIC (paper §3.2 chart).
+  std::vector<workload::WorkloadQuery> pair;
+  for (const workload::WorkloadQuery& q : Queries()) {
+    if (q.analyst == 0 && (q.version == 1 || q.version == 2)) {
+      pair.push_back(q);
+    }
+  }
+  ASSERT_EQ(pair.size(), 2u);
+
+  auto run_pair = [&](SystemVariant v) {
+    SimConfig config;
+    config.variant = v;
+    config.reorg_every = 1;  // reorganize between q1 and q2
+    MultistoreSimulator simulator(&PaperCatalog(), config);
+    auto report = simulator.Run(pair);
+    EXPECT_TRUE(report.ok());
+    return report->Tti();
+  };
+  const Seconds hv = run_pair(SystemVariant::kHvOnly);
+  const Seconds basic = run_pair(SystemVariant::kMsBasic);
+  const Seconds miso = run_pair(SystemVariant::kMsMiso);
+  EXPECT_LT(miso, 0.7 * hv);
+  EXPECT_LT(miso, 0.7 * basic);
+  EXPECT_LT(basic, 1.02 * hv) << "MS-BASIC only marginally better";
+}
+
+TEST_F(PaperShapesTest, Table2InterferenceMatrix) {
+  struct Case {
+    dw::BackgroundWorkload background;
+    const char* label;
+  };
+  const Case cases[] = {
+      {workload::SpareIo40(), "IO 40%"},
+      {workload::SpareIo20(), "IO 20%"},
+      {workload::SpareCpu40(), "CPU 40%"},
+      {workload::SpareCpu20(), "CPU 20%"},
+  };
+  const Seconds idle_tti = Run(SystemVariant::kMsMiso).Tti();
+  for (const Case& c : cases) {
+    SimConfig config;
+    config.variant = SystemVariant::kMsMiso;
+    config.background = c.background;
+    MultistoreSimulator simulator(&PaperCatalog(), config);
+    auto report = simulator.Run(Queries());
+    ASSERT_TRUE(report.ok()) << c.label;
+    // Table 2: DW reporting queries slow < ~2%; the multistore workload
+    // slows <= ~7%.
+    EXPECT_GT(report->background_slowdown, 0.0) << c.label;
+    EXPECT_LT(report->background_slowdown, 0.05) << c.label;
+    const double ms_slowdown = report->Tti() / idle_tti - 1.0;
+    EXPECT_GT(ms_slowdown, 0.0) << c.label;
+    EXPECT_LT(ms_slowdown, 0.12) << c.label;
+  }
+}
+
+}  // namespace
+}  // namespace miso::sim

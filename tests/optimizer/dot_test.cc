@@ -1,0 +1,63 @@
+#include "optimizer/dot.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "optimizer/multistore_optimizer.h"
+
+namespace miso::optimizer {
+namespace {
+
+using testing_util::PaperCatalog;
+
+TEST(DotTest, PlanToDotIsWellFormed) {
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "q1", "c%",
+                                            0.1, false);
+  const std::string dot = PlanToDot(*plan);
+  EXPECT_EQ(dot.rfind("digraph \"q1\" {", 0), 0u);
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.find("}"), std::string::npos);
+  // One node statement per operator, one edge per parent-child pair.
+  int nodes = 0;
+  int edges = 0;
+  for (size_t pos = 0; (pos = dot.find("[label=", pos)) != std::string::npos;
+       ++pos) {
+    ++nodes;
+  }
+  for (size_t pos = 0; (pos = dot.find(" -> ", pos)) != std::string::npos;
+       ++pos) {
+    ++edges;
+  }
+  EXPECT_EQ(nodes, plan->NumOperators());
+  EXPECT_EQ(edges, plan->NumOperators() - 1) << "a tree has n-1 edges";
+}
+
+TEST(DotTest, MultistorePlanHighlightsCutAndDwSide) {
+  plan::NodeFactory factory(&PaperCatalog());
+  hv::HvCostModel hv_model{hv::HvConfig{}};
+  dw::DwCostModel dw_model{dw::DwConfig{}};
+  transfer::TransferModel transfer_model{transfer::TransferConfig{}};
+  MultistoreOptimizer optimizer(&factory, &hv_model, &dw_model,
+                                &transfer_model);
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                            true);
+  views::ViewCatalog empty(0);
+  auto ms = optimizer.Optimize(*plan, empty, empty);
+  ASSERT_TRUE(ms.ok());
+  const std::string dot = MultistorePlanToDot(*ms);
+  if (!ms->HvOnly()) {
+    EXPECT_NE(dot.find("fillcolor=lightblue"), std::string::npos);
+    EXPECT_NE(dot.find("migrate"), std::string::npos);
+  }
+  EXPECT_NE(dot.find("total "), std::string::npos);
+}
+
+TEST(DotTest, LabelsAreEscaped) {
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "q\"x", "c%",
+                                            0.1, false);
+  const std::string dot = PlanToDot(*plan);
+  EXPECT_NE(dot.find("digraph \"q\\\"x\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace miso::optimizer

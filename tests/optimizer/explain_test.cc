@@ -1,0 +1,82 @@
+#include "optimizer/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "optimizer/multistore_optimizer.h"
+#include "plan/node_factory.h"
+#include "views/view.h"
+
+namespace miso::optimizer {
+namespace {
+
+using plan::NodePtr;
+using plan::OpKind;
+using testing_util::PaperCatalog;
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  ExplainTest()
+      : factory_(&PaperCatalog()),
+        hv_model_(hv::HvConfig{}),
+        dw_model_(dw::DwConfig{}),
+        transfer_model_(transfer::TransferConfig{}),
+        optimizer_(&factory_, &hv_model_, &dw_model_, &transfer_model_) {}
+
+  plan::NodeFactory factory_;
+  hv::HvCostModel hv_model_;
+  dw::DwCostModel dw_model_;
+  transfer::TransferModel transfer_model_;
+  MultistoreOptimizer optimizer_;
+  views::ViewCatalog empty_{0};
+};
+
+TEST_F(ExplainTest, HvOnlyPlanExplains) {
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                            false);
+  auto ms = optimizer_.OptimizeHvOnly(*plan, empty_, false);
+  ASSERT_TRUE(ms.ok());
+  const std::string text = ExplainMultistorePlan(*ms);
+  EXPECT_NE(text.find("Multistore plan for 'q'"), std::string::npos);
+  EXPECT_NE(text.find("runs entirely in HV"), std::string::npos);
+  EXPECT_EQ(text.find("[DW]"), std::string::npos);
+  EXPECT_EQ(text.find(">>> migrate"), std::string::npos);
+}
+
+TEST_F(ExplainTest, SplitPlanShowsMigrationPoints) {
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                            /*udf_dw_compatible=*/true);
+  auto ms = optimizer_.Optimize(*plan, empty_, empty_);
+  ASSERT_TRUE(ms.ok());
+  if (ms->HvOnly()) GTEST_SKIP() << "optimizer chose HV-only here";
+  const std::string text = ExplainMultistorePlan(*ms);
+  EXPECT_NE(text.find("[DW]"), std::string::npos);
+  EXPECT_NE(text.find("[HV]"), std::string::npos);
+  EXPECT_NE(text.find(">>> migrate"), std::string::npos);
+  EXPECT_NE(text.find("components:"), std::string::npos);
+}
+
+TEST_F(ExplainTest, FullyDwPlanIsLabelled) {
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                            true);
+  // Materialize the UDF output and landmarks filter into DW.
+  views::ViewCatalog dw(kTiB);
+  for (const NodePtr& node : plan->PostOrder()) {
+    if (node->kind() == OpKind::kUdf ||
+        (node->kind() == OpKind::kFilter &&
+         node->output_schema().HasField("region"))) {
+      views::View v = views::ViewFromNode(*node);
+      v.id = node->signature();
+      ASSERT_TRUE(dw.Add(v).ok());
+    }
+  }
+  auto ms = optimizer_.Optimize(*plan, dw, empty_);
+  ASSERT_TRUE(ms.ok());
+  ASSERT_TRUE(ms->FullyDw());
+  const std::string text = ExplainMultistorePlan(*ms);
+  EXPECT_NE(text.find("runs entirely in DW"), std::string::npos);
+  EXPECT_EQ(text.find("[HV]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace miso::optimizer

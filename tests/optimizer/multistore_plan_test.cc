@@ -1,0 +1,59 @@
+#include "optimizer/multistore_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace miso::optimizer {
+namespace {
+
+using testing_util::PaperCatalog;
+
+TEST(CostBreakdownTest, TotalSumsComponents) {
+  CostBreakdown cost;
+  cost.hv_exec_s = 10;
+  cost.dump_s = 2;
+  cost.transfer_load_s = 3;
+  cost.dw_exec_s = 1;
+  EXPECT_DOUBLE_EQ(cost.Total(), 16);
+  EXPECT_DOUBLE_EQ(CostBreakdown{}.Total(), 0);
+}
+
+TEST(MultistorePlanTest, HvOnlyAndFullyDwFlags) {
+  auto q = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                         false);
+  MultistorePlan hv_only;
+  hv_only.executed = *q;
+  EXPECT_TRUE(hv_only.HvOnly());
+  EXPECT_FALSE(hv_only.FullyDw());
+  EXPECT_DOUBLE_EQ(hv_only.DwOperatorFraction(), 0.0);
+
+  MultistorePlan fully_dw;
+  fully_dw.executed = *q;
+  fully_dw.dw_side = q->PostOrder();
+  EXPECT_FALSE(fully_dw.HvOnly());
+  EXPECT_TRUE(fully_dw.FullyDw());
+  EXPECT_DOUBLE_EQ(fully_dw.DwOperatorFraction(), 1.0);
+  EXPECT_EQ(fully_dw.DwSideSet().size(),
+            static_cast<size_t>(q->NumOperators()));
+}
+
+TEST(MultistorePlanTest, PartialSplitFraction) {
+  auto q = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                         false);
+  MultistorePlan partial;
+  partial.executed = *q;
+  partial.dw_side = {q->root()};
+  partial.cut_inputs = q->root()->children();
+  EXPECT_FALSE(partial.HvOnly());
+  EXPECT_FALSE(partial.FullyDw());
+  EXPECT_NEAR(partial.DwOperatorFraction(), 1.0 / q->NumOperators(), 1e-12);
+}
+
+TEST(MultistorePlanTest, EmptyPlanFractionIsZero) {
+  MultistorePlan empty;
+  EXPECT_DOUBLE_EQ(empty.DwOperatorFraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace miso::optimizer

@@ -1,0 +1,185 @@
+#include "optimizer/split_enumerator.h"
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "plan/node_factory.h"
+#include "views/view.h"
+
+namespace miso::optimizer {
+namespace {
+
+using plan::NodePtr;
+using plan::OpKind;
+using testing_util::PaperCatalog;
+
+/// Checks the upward-closure invariant: if a node is on the DW side, its
+/// parent must be too (data flows HV -> DW only once).
+void ExpectUpwardClosed(const plan::Plan& p, const SplitCandidate& split) {
+  std::unordered_set<const plan::OperatorNode*> dw;
+  for (const NodePtr& n : split.dw_side) dw.insert(n.get());
+  // Build child -> parent map.
+  std::unordered_map<const plan::OperatorNode*, const plan::OperatorNode*>
+      parent;
+  for (const NodePtr& n : p.PostOrder()) {
+    for (const NodePtr& c : n->children()) parent[c.get()] = n.get();
+  }
+  for (const plan::OperatorNode* n : dw) {
+    auto it = parent.find(n);
+    if (it == parent.end()) continue;  // root
+    EXPECT_TRUE(dw.count(it->second) > 0)
+        << "DW-side node has an HV-side parent";
+  }
+}
+
+TEST(SplitEnumeratorTest, HvOnlyIsFirstCandidate) {
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                            false);
+  auto splits = EnumerateSplits(plan->root());
+  ASSERT_TRUE(splits.ok());
+  ASSERT_FALSE(splits->empty());
+  EXPECT_TRUE((*splits)[0].dw_side.empty());
+  EXPECT_TRUE((*splits)[0].cut_inputs.empty());
+}
+
+TEST(SplitEnumeratorTest, AllSplitsAreUpwardClosedAndFeasible) {
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                            /*udf_dw_compatible=*/true);
+  auto splits = EnumerateSplits(plan->root());
+  ASSERT_TRUE(splits.ok());
+  EXPECT_GT(splits->size(), 4u);
+  std::set<size_t> distinct_sizes;
+  for (const SplitCandidate& split : *splits) {
+    ExpectUpwardClosed(*plan, split);
+    distinct_sizes.insert(split.dw_side.size());
+    for (const NodePtr& n : split.dw_side) {
+      EXPECT_TRUE(n->dw_executable());
+      EXPECT_NE(n->kind(), OpKind::kScan);
+      EXPECT_NE(n->kind(), OpKind::kExtract);
+    }
+  }
+  EXPECT_GT(distinct_sizes.size(), 2u) << "several distinct split depths";
+}
+
+TEST(SplitEnumeratorTest, HvOnlyUdfBlocksDeeperSplits) {
+  auto blocked = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%",
+                                               0.1,
+                                               /*udf_dw_compatible=*/false);
+  auto open = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                            /*udf_dw_compatible=*/true);
+  auto blocked_splits = EnumerateSplits(blocked->root());
+  auto open_splits = EnumerateSplits(open->root());
+  ASSERT_TRUE(blocked_splits.ok());
+  ASSERT_TRUE(open_splits.ok());
+  EXPECT_LT(blocked_splits->size(), open_splits->size())
+      << "an HV-only UDF removes every split placing it in DW";
+  for (const SplitCandidate& split : *blocked_splits) {
+    for (const NodePtr& n : split.dw_side) {
+      EXPECT_NE(n->kind(), OpKind::kUdf);
+    }
+  }
+}
+
+TEST(SplitEnumeratorTest, CutInputsAreTheDwSideFrontier) {
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                            true);
+  auto splits = EnumerateSplits(plan->root());
+  ASSERT_TRUE(splits.ok());
+  for (const SplitCandidate& split : *splits) {
+    if (split.dw_side.empty()) continue;
+    std::unordered_set<const plan::OperatorNode*> dw;
+    for (const NodePtr& n : split.dw_side) dw.insert(n.get());
+    // Each cut input must be the child of some DW-side node and itself on
+    // the HV side.
+    for (const NodePtr& cut : split.cut_inputs) {
+      EXPECT_EQ(dw.count(cut.get()), 0u);
+      bool is_child_of_dw = false;
+      for (const NodePtr& n : split.dw_side) {
+        for (const NodePtr& c : n->children()) {
+          if (c == cut) is_child_of_dw = true;
+        }
+      }
+      EXPECT_TRUE(is_child_of_dw);
+    }
+    // Conversely, every HV-side child of a DW-side node is a cut input.
+    size_t frontier = 0;
+    for (const NodePtr& n : split.dw_side) {
+      for (const NodePtr& c : n->children()) {
+        if (dw.count(c.get()) == 0) ++frontier;
+      }
+    }
+    EXPECT_EQ(frontier, split.cut_inputs.size());
+  }
+}
+
+class DwViewPinningTest : public ::testing::Test {
+ protected:
+  DwViewPinningTest() : factory_(&PaperCatalog()) {}
+
+  NodePtr DwViewOverLandmarks() {
+    auto extract = factory_.MakeExtract(*factory_.MakeScan("landmarks"),
+                                        {"region", "kind", "rating"});
+    views::View view = views::ViewFromNode(**extract);
+    return factory_.MakeViewScan(1, view.signature, StoreKind::kDw,
+                                 view.schema, view.stats, view.canonical);
+  }
+
+  plan::NodeFactory factory_;
+};
+
+TEST_F(DwViewPinningTest, DwViewForcesDwSide) {
+  auto agg = factory_.MakeAggregate(DwViewOverLandmarks(), {"region"},
+                                    {{"count", "*"}});
+  auto splits = EnumerateSplits(*agg);
+  ASSERT_TRUE(splits.ok());
+  for (const SplitCandidate& split : *splits) {
+    // Every candidate must place the DW view (and its ancestors) in DW.
+    EXPECT_FALSE(split.dw_side.empty());
+    bool found = false;
+    for (const NodePtr& n : split.dw_side) {
+      if (n->kind() == OpKind::kViewScan) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_F(DwViewPinningTest, DwViewBelowHvOnlyUdfIsInfeasible) {
+  plan::UdfParams udf;
+  udf.name = "python_thing";
+  udf.dw_compatible = false;
+  auto node = factory_.MakeUdf(DwViewOverLandmarks(), udf);
+  ASSERT_TRUE(node.ok());
+  auto splits = EnumerateSplits(*node);
+  ASSERT_FALSE(splits.ok());
+  EXPECT_EQ(splits.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(DwViewPinningTest, HvViewStaysOnHvSide) {
+  auto extract = factory_.MakeExtract(*factory_.MakeScan("landmarks"),
+                                      {"region", "rating"});
+  views::View view = views::ViewFromNode(**extract);
+  NodePtr hv_scan = factory_.MakeViewScan(2, view.signature, StoreKind::kHv,
+                                          view.schema, view.stats,
+                                          view.canonical);
+  auto agg = factory_.MakeAggregate(hv_scan, {"region"}, {{"count", "*"}});
+  auto splits = EnumerateSplits(*agg);
+  ASSERT_TRUE(splits.ok());
+  for (const SplitCandidate& split : *splits) {
+    for (const NodePtr& n : split.dw_side) {
+      EXPECT_NE(n->kind(), OpKind::kViewScan)
+          << "HV views cannot be read by the DW";
+    }
+  }
+}
+
+TEST(SplitEnumeratorTest, NullRootErrors) {
+  auto splits = EnumerateSplits(nullptr);
+  EXPECT_FALSE(splits.ok());
+}
+
+}  // namespace
+}  // namespace miso::optimizer

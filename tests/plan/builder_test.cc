@@ -1,0 +1,136 @@
+#include "plan/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace miso::plan {
+namespace {
+
+using testing_util::PaperCatalog;
+
+TEST(BuilderTest, ScanExtractFilterChain) {
+  PlanBuilder b(&PaperCatalog());
+  auto fragment =
+      b.Scan("twitter")
+          .Extract({"user_id", "topic"})
+          .Filter({MakeAtom("topic", CompareOp::kEq, "coffee", 0.01)});
+  auto plan = fragment.Aggregate({"topic"}, {{"count", "*"}}).Build("q");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->query_name(), "q");
+  EXPECT_EQ(plan->NumOperators(), 4);
+  EXPECT_EQ(plan->root()->kind(), OpKind::kAggregate);
+}
+
+TEST(BuilderTest, UnknownDatasetLatchesError) {
+  PlanBuilder b(&PaperCatalog());
+  auto fragment = b.Scan("no_such_log").Extract({"x"});
+  auto plan = fragment.Build("q");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kNotFound);
+}
+
+TEST(BuilderTest, UnknownFieldInExtractErrors) {
+  PlanBuilder b(&PaperCatalog());
+  auto plan = b.Scan("twitter").Extract({"no_field"}).Build("q");
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST(BuilderTest, FilterOnUnextractedFieldErrors) {
+  PlanBuilder b(&PaperCatalog());
+  auto plan = b.Scan("twitter")
+                  .Extract({"user_id"})
+                  .Filter({MakeAtom("topic", CompareOp::kEq, "x", 0.1)})
+                  .Build("q");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BuilderTest, InvalidSelectivityErrors) {
+  PlanBuilder b(&PaperCatalog());
+  auto plan = b.Scan("twitter")
+                  .Extract({"topic"})
+                  .Filter({MakeAtom("topic", CompareOp::kEq, "x", 0.0)})
+                  .Build("q");
+  ASSERT_FALSE(plan.ok());
+  auto plan2 = b.Scan("twitter")
+                   .Extract({"topic"})
+                   .Filter({MakeAtom("topic", CompareOp::kEq, "x", 1.5)})
+                   .Build("q");
+  ASSERT_FALSE(plan2.ok());
+}
+
+TEST(BuilderTest, JoinRequiresSharedKey) {
+  PlanBuilder b(&PaperCatalog());
+  auto tweets = b.Scan("twitter").Extract({"user_id", "topic"});
+  auto landmarks = b.Scan("landmarks").Extract({"checkin_loc", "region"});
+  auto bad = tweets.Join(landmarks, "user_id").Build("q");
+  EXPECT_FALSE(bad.ok()) << "landmarks has no user_id";
+
+  auto checkins = b.Scan("foursquare").Extract({"user_id", "checkin_loc"});
+  auto good = tweets.Join(checkins, "user_id").Aggregate(
+      {"topic"}, {{"count", "*"}});
+  EXPECT_TRUE(good.Build("q").ok());
+}
+
+TEST(BuilderTest, AggregateRequiresFunctions) {
+  PlanBuilder b(&PaperCatalog());
+  auto plan =
+      b.Scan("twitter").Extract({"topic"}).Aggregate({"topic"}, {}).Build(
+          "q");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BuilderTest, UdfParameterValidation) {
+  PlanBuilder b(&PaperCatalog());
+  UdfParams bad;
+  bad.name = "u";
+  bad.size_factor = -1;
+  auto plan = b.Scan("twitter").Extract({"text"}).Udf(bad).Build("q");
+  EXPECT_FALSE(plan.ok());
+
+  UdfParams good;
+  good.name = "u";
+  auto plan2 = b.Scan("twitter").Extract({"text"}).Udf(good).Build("q");
+  EXPECT_TRUE(plan2.ok());
+}
+
+TEST(BuilderTest, EmptyFragmentErrors) {
+  PlanBuilder b(&PaperCatalog());
+  PlanBuilder::Fragment fragment = b.Scan("twitter");
+  // A bare scan is still a valid (if useless) plan; only errored or empty
+  // fragments fail.
+  EXPECT_TRUE(fragment.Build("q").ok());
+}
+
+TEST(BuilderTest, AnalystPlanHelperBuilds) {
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "A1v1",
+                                            "cat%", 0.1, false);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->NumOperators(), 13);
+  EXPECT_FALSE(plan->FullyDwExecutable())
+      << "raw scans pin the plan to HV";
+}
+
+TEST(BuilderTest, DwExecutabilityFlags) {
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                            /*udf_dw_compatible=*/false);
+  ASSERT_TRUE(plan.ok());
+  for (const NodePtr& node : plan->PostOrder()) {
+    switch (node->kind()) {
+      case OpKind::kScan:
+      case OpKind::kExtract:
+        EXPECT_FALSE(node->dw_executable());
+        break;
+      case OpKind::kUdf:
+        EXPECT_EQ(node->dw_executable(), node->udf().dw_compatible);
+        break;
+      default:
+        EXPECT_TRUE(node->dw_executable());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace miso::plan

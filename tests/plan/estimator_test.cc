@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "plan/node_factory.h"
+
+namespace miso::plan {
+namespace {
+
+using testing_util::PaperCatalog;
+
+class EstimatorTest : public ::testing::Test {
+ protected:
+  NodeFactory factory_{&PaperCatalog()};
+};
+
+TEST_F(EstimatorTest, ScanMatchesCatalog) {
+  auto scan = factory_.MakeScan("twitter");
+  ASSERT_TRUE(scan.ok());
+  auto ds = PaperCatalog().FindDataset("twitter");
+  EXPECT_EQ((*scan)->stats().rows, ds->num_records);
+  EXPECT_EQ((*scan)->stats().bytes, ds->raw_bytes);
+}
+
+TEST_F(EstimatorTest, ExtractShrinksToRelationalWidth) {
+  auto scan = factory_.MakeScan("twitter");
+  auto extract = factory_.MakeExtract(*scan, {"user_id", "ts"});
+  ASSERT_TRUE(extract.ok());
+  EXPECT_EQ((*extract)->stats().rows, (*scan)->stats().rows);
+  EXPECT_EQ((*extract)->stats().bytes, (*extract)->stats().rows * 16);
+  EXPECT_LT((*extract)->stats().bytes, (*scan)->stats().bytes);
+}
+
+TEST_F(EstimatorTest, ExtractRequiresScanChild) {
+  auto scan = factory_.MakeScan("twitter");
+  auto extract = factory_.MakeExtract(*scan, {"user_id"});
+  auto nested = factory_.MakeExtract(*extract, {"user_id"});
+  EXPECT_FALSE(nested.ok());
+}
+
+TEST_F(EstimatorTest, FilterScalesRowsAndBytes) {
+  auto scan = factory_.MakeScan("twitter");
+  auto extract = factory_.MakeExtract(*scan, {"user_id", "topic"});
+  Predicate pred({MakeAtom("topic", CompareOp::kEq, "x", 0.25)});
+  auto filter = factory_.MakeFilter(*extract, pred);
+  ASSERT_TRUE(filter.ok());
+  EXPECT_NEAR(static_cast<double>((*filter)->stats().rows),
+              0.25 * static_cast<double>((*extract)->stats().rows), 1.0);
+  EXPECT_NEAR(static_cast<double>((*filter)->stats().bytes),
+              0.25 * static_cast<double>((*extract)->stats().bytes), 1.0);
+}
+
+TEST_F(EstimatorTest, FilterCapsNdvAtRowCount) {
+  auto scan = factory_.MakeScan("twitter");
+  auto extract = factory_.MakeExtract(*scan, {"user_id", "topic"});
+  Predicate pred({MakeAtom("topic", CompareOp::kEq, "x", 1e-6)});
+  auto filter = factory_.MakeFilter(*extract, pred);
+  ASSERT_TRUE(filter.ok());
+  auto user = (*filter)->output_schema().FindField("user_id");
+  ASSERT_TRUE(user.ok());
+  EXPECT_LE(user->distinct_values, (*filter)->stats().rows);
+}
+
+TEST_F(EstimatorTest, JoinUsesMaxNdvRule) {
+  auto t = factory_.MakeExtract(*factory_.MakeScan("twitter"),
+                                {"user_id", "topic"});
+  auto f = factory_.MakeExtract(*factory_.MakeScan("foursquare"),
+                                {"user_id", "checkin_loc"});
+  auto join = factory_.MakeJoin(*t, *f, "user_id");
+  ASSERT_TRUE(join.ok());
+  const int64_t t_rows = (*t)->stats().rows;
+  const int64_t f_rows = (*f)->stats().rows;
+  // max ndv of user_id: twitter 40M vs foursquare 25M.
+  const double expected = static_cast<double>(t_rows) / 40'000'000.0 *
+                          static_cast<double>(f_rows);
+  EXPECT_NEAR(static_cast<double>((*join)->stats().rows), expected,
+              expected * 0.01);
+}
+
+TEST_F(EstimatorTest, JoinOutputWidthIsConcat) {
+  auto t = factory_.MakeExtract(*factory_.MakeScan("twitter"),
+                                {"user_id", "topic"});
+  auto f = factory_.MakeExtract(*factory_.MakeScan("foursquare"),
+                                {"user_id", "checkin_loc"});
+  auto join = factory_.MakeJoin(*t, *f, "user_id");
+  ASSERT_TRUE(join.ok());
+  const Bytes width = (*join)->output_schema().RecordWidth();
+  EXPECT_EQ(width, (*t)->output_schema().RecordWidth() +
+                       (*f)->output_schema().RecordWidth());
+  EXPECT_EQ((*join)->stats().bytes, (*join)->stats().rows * width);
+}
+
+TEST_F(EstimatorTest, AggregateCappedByGroupNdv) {
+  auto lm = factory_.MakeExtract(*factory_.MakeScan("landmarks"),
+                                 {"region", "rating"});
+  auto agg = factory_.MakeAggregate(*lm, {"region"}, {{"count", "*"}});
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ((*agg)->stats().rows, 2000) << "region has 2000 distinct values";
+}
+
+TEST_F(EstimatorTest, AggregateCappedByInputRows) {
+  auto lm = factory_.MakeExtract(*factory_.MakeScan("landmarks"),
+                                 {"checkin_loc", "region"});
+  Predicate tiny({MakeAtom("region", CompareOp::kEq, "r", 1e-6)});
+  auto filtered = factory_.MakeFilter(*lm, tiny);
+  auto agg =
+      factory_.MakeAggregate(*filtered, {"checkin_loc"}, {{"count", "*"}});
+  ASSERT_TRUE(agg.ok());
+  EXPECT_LE((*agg)->stats().rows, (*filtered)->stats().rows);
+}
+
+TEST_F(EstimatorTest, UdfAppliesSizeAndRowFactors) {
+  auto t = factory_.MakeExtract(*factory_.MakeScan("twitter"), {"text"});
+  UdfParams udf;
+  udf.name = "sent";
+  udf.size_factor = 0.5;
+  udf.row_selectivity = 0.9;
+  auto node = factory_.MakeUdf(*t, udf);
+  ASSERT_TRUE(node.ok());
+  EXPECT_NEAR(static_cast<double>((*node)->stats().bytes),
+              0.5 * static_cast<double>((*t)->stats().bytes), 1.0);
+  EXPECT_NEAR(static_cast<double>((*node)->stats().rows),
+              0.9 * static_cast<double>((*t)->stats().rows), 1.0);
+}
+
+TEST_F(EstimatorTest, RebuildPreservesAnnotations) {
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                            false);
+  ASSERT_TRUE(plan.ok());
+  const NodePtr root = plan->root();
+  std::vector<NodePtr> children = root->children();
+  auto rebuilt = factory_.Rebuild(*root, std::move(children));
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ((*rebuilt)->signature(), root->signature());
+  EXPECT_EQ((*rebuilt)->stats().rows, root->stats().rows);
+  EXPECT_EQ((*rebuilt)->stats().bytes, root->stats().bytes);
+}
+
+// Property: tightening a filter never increases estimated output.
+class FilterMonotonicityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FilterMonotonicityTest, MoreSelectiveNeverBigger) {
+  NodeFactory factory(&PaperCatalog());
+  auto extract = factory.MakeExtract(*factory.MakeScan("twitter"),
+                                     {"user_id", "ts", "topic"});
+  const double sel = GetParam();
+  Predicate loose({MakeAtom("ts", CompareOp::kGt, "100", sel)});
+  Predicate tight({MakeAtom("ts", CompareOp::kGt, "100", sel),
+                   MakeAtom("topic", CompareOp::kEq, "x", 0.5)});
+  auto loose_node = factory.MakeFilter(*extract, loose);
+  auto tight_node = factory.MakeFilter(*extract, tight);
+  ASSERT_TRUE(loose_node.ok());
+  ASSERT_TRUE(tight_node.ok());
+  EXPECT_LE((*tight_node)->stats().rows, (*loose_node)->stats().rows);
+  EXPECT_LE((*tight_node)->stats().bytes, (*loose_node)->stats().bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Selectivities, FilterMonotonicityTest,
+                         ::testing::Values(0.01, 0.1, 0.25, 0.5, 0.75, 1.0));
+
+}  // namespace
+}  // namespace miso::plan

@@ -1,0 +1,75 @@
+#include "plan/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "plan/node_factory.h"
+#include "views/view.h"
+
+namespace miso::plan {
+namespace {
+
+using testing_util::PaperCatalog;
+
+TEST(PlanTest, EmptyPlanProperties) {
+  Plan empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.signature(), 0u);
+  EXPECT_EQ(empty.NumOperators(), 0);
+  EXPECT_TRUE(empty.PostOrder().empty());
+  EXPECT_FALSE(empty.FullyDwExecutable());
+}
+
+TEST(PlanTest, PostOrderVisitsChildrenFirst) {
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                            false);
+  ASSERT_TRUE(plan.ok());
+  std::vector<NodePtr> order = plan->PostOrder();
+  ASSERT_FALSE(order.empty());
+  EXPECT_EQ(order.back(), plan->root()) << "the root comes last";
+  // Every node appears after all of its children.
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (const NodePtr& child : order[i]->children()) {
+      bool child_before = false;
+      for (size_t j = 0; j < i; ++j) {
+        if (order[j] == child) child_before = true;
+      }
+      EXPECT_TRUE(child_before);
+    }
+  }
+}
+
+TEST(PlanTest, PostOrderIsDeterministic) {
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                            false);
+  std::vector<NodePtr> a = plan->PostOrder();
+  std::vector<NodePtr> b = plan->PostOrder();
+  EXPECT_EQ(a, b);
+}
+
+TEST(PlanTest, PlansShareSubtreesAfterCopy) {
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                            false);
+  Plan copy = *plan;  // cheap: shared root
+  EXPECT_EQ(copy.root(), plan->root());
+  EXPECT_EQ(copy.signature(), plan->signature());
+}
+
+TEST(PlanTest, FullyDwExecutableRequiresViewLeaves) {
+  NodeFactory factory(&PaperCatalog());
+  auto extract = factory.MakeExtract(*factory.MakeScan("landmarks"),
+                                     {"region", "rating"});
+  views::View view = views::ViewFromNode(**extract);
+  NodePtr scan = factory.MakeViewScan(1, view.signature, StoreKind::kDw,
+                                      view.schema, view.stats,
+                                      view.canonical);
+  auto agg = factory.MakeAggregate(scan, {"region"}, {{"count", "*"}});
+  Plan dw_plan("q", *agg);
+  EXPECT_TRUE(dw_plan.FullyDwExecutable());
+
+  Plan raw_plan("q", *extract);
+  EXPECT_FALSE(raw_plan.FullyDwExecutable());
+}
+
+}  // namespace
+}  // namespace miso::plan

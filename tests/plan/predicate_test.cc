@@ -1,0 +1,192 @@
+#include "plan/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace miso::plan {
+namespace {
+
+PredicateAtom Atom(const std::string& field, CompareOp op,
+                   const std::string& operand, double sel = 0.5) {
+  return MakeAtom(field, op, operand, sel);
+}
+
+TEST(PredicateAtomTest, NumericParsing) {
+  EXPECT_TRUE(Atom("ts", CompareOp::kGt, "100").numeric.has_value());
+  EXPECT_DOUBLE_EQ(*Atom("ts", CompareOp::kGt, "100").numeric, 100.0);
+  EXPECT_TRUE(Atom("x", CompareOp::kLt, "-2.5").numeric.has_value());
+  EXPECT_FALSE(Atom("topic", CompareOp::kEq, "coffee").numeric.has_value());
+  EXPECT_FALSE(Atom("t", CompareOp::kEq, "12abc").numeric.has_value());
+}
+
+TEST(PredicateAtomTest, CanonicalString) {
+  EXPECT_EQ(Atom("ts", CompareOp::kGt, "100").CanonicalString(), "ts > 100");
+  EXPECT_EQ(Atom("topic", CompareOp::kLike, "c%").CanonicalString(),
+            "topic LIKE c%");
+}
+
+TEST(PredicateAtomTest, SameAtomIgnoresSelectivity) {
+  EXPECT_TRUE(Atom("a", CompareOp::kEq, "x", 0.1)
+                  .SameAtom(Atom("a", CompareOp::kEq, "x", 0.9)));
+  EXPECT_FALSE(Atom("a", CompareOp::kEq, "x")
+                   .SameAtom(Atom("a", CompareOp::kEq, "y")));
+  EXPECT_FALSE(Atom("a", CompareOp::kEq, "x")
+                   .SameAtom(Atom("b", CompareOp::kEq, "x")));
+}
+
+// ---- AtomImplies: exhaustive range-implication truth table. ------------
+
+struct ImplicationCase {
+  CompareOp strong_op;
+  double strong_val;
+  CompareOp weak_op;
+  double weak_val;
+  bool expected;
+};
+
+class AtomImpliesTest : public ::testing::TestWithParam<ImplicationCase> {};
+
+TEST_P(AtomImpliesTest, RangeImplication) {
+  const ImplicationCase& c = GetParam();
+  const PredicateAtom strong =
+      Atom("ts", c.strong_op, std::to_string(c.strong_val));
+  const PredicateAtom weak =
+      Atom("ts", c.weak_op, std::to_string(c.weak_val));
+  EXPECT_EQ(AtomImplies(strong, weak), c.expected)
+      << strong.CanonicalString() << " => " << weak.CanonicalString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GreaterFamily, AtomImpliesTest,
+    ::testing::Values(
+        // (x > 200) => (x > 100); not vice versa.
+        ImplicationCase{CompareOp::kGt, 200, CompareOp::kGt, 100, true},
+        ImplicationCase{CompareOp::kGt, 100, CompareOp::kGt, 200, false},
+        ImplicationCase{CompareOp::kGt, 100, CompareOp::kGt, 100, true},
+        // (x >= 100) does NOT imply (x > 100): x = 100 violates.
+        ImplicationCase{CompareOp::kGe, 100, CompareOp::kGt, 100, false},
+        ImplicationCase{CompareOp::kGe, 101, CompareOp::kGt, 100, true},
+        // (x > 100) => (x >= 100).
+        ImplicationCase{CompareOp::kGt, 100, CompareOp::kGe, 100, true},
+        ImplicationCase{CompareOp::kGe, 100, CompareOp::kGe, 100, true},
+        ImplicationCase{CompareOp::kGe, 99, CompareOp::kGe, 100, false},
+        // (x = 150) => (x > 100), (x >= 150).
+        ImplicationCase{CompareOp::kEq, 150, CompareOp::kGt, 100, true},
+        ImplicationCase{CompareOp::kEq, 100, CompareOp::kGt, 100, false},
+        ImplicationCase{CompareOp::kEq, 150, CompareOp::kGe, 150, true}));
+
+INSTANTIATE_TEST_SUITE_P(
+    LessFamily, AtomImpliesTest,
+    ::testing::Values(
+        ImplicationCase{CompareOp::kLt, 100, CompareOp::kLt, 200, true},
+        ImplicationCase{CompareOp::kLt, 200, CompareOp::kLt, 100, false},
+        ImplicationCase{CompareOp::kLe, 100, CompareOp::kLt, 100, false},
+        ImplicationCase{CompareOp::kLe, 99, CompareOp::kLt, 100, true},
+        ImplicationCase{CompareOp::kLt, 100, CompareOp::kLe, 100, true},
+        ImplicationCase{CompareOp::kEq, 50, CompareOp::kLt, 100, true},
+        ImplicationCase{CompareOp::kEq, 100, CompareOp::kLe, 100, true},
+        ImplicationCase{CompareOp::kEq, 101, CompareOp::kLe, 100, false}));
+
+TEST(AtomImpliesTest, DifferentFieldsNeverImply) {
+  EXPECT_FALSE(AtomImplies(Atom("a", CompareOp::kGt, "5"),
+                           Atom("b", CompareOp::kGt, "1")));
+}
+
+TEST(AtomImpliesTest, IdenticalNonNumericAtomsImply) {
+  EXPECT_TRUE(AtomImplies(Atom("topic", CompareOp::kLike, "c%"),
+                          Atom("topic", CompareOp::kLike, "c%")));
+  EXPECT_FALSE(AtomImplies(Atom("topic", CompareOp::kLike, "c%"),
+                           Atom("topic", CompareOp::kLike, "d%")));
+}
+
+TEST(AtomImpliesTest, CrossDirectionNeverImplies) {
+  EXPECT_FALSE(AtomImplies(Atom("x", CompareOp::kGt, "5"),
+                           Atom("x", CompareOp::kLt, "10")));
+}
+
+// ---- Predicate (conjunctions). -----------------------------------------
+
+TEST(PredicateTest, EmptyIsTrue) {
+  Predicate p;
+  EXPECT_TRUE(p.IsTrue());
+  EXPECT_DOUBLE_EQ(p.Selectivity(), 1.0);
+  EXPECT_EQ(p.CanonicalString(), "true");
+}
+
+TEST(PredicateTest, SelectivityIsProduct) {
+  Predicate p({Atom("a", CompareOp::kEq, "x", 0.2),
+               Atom("b", CompareOp::kGt, "1", 0.5)});
+  EXPECT_DOUBLE_EQ(p.Selectivity(), 0.1);
+}
+
+TEST(PredicateTest, CanonicalStringIsOrderIndependent) {
+  Predicate p1({Atom("a", CompareOp::kEq, "x"), Atom("b", CompareOp::kGt, "1")});
+  Predicate p2({Atom("b", CompareOp::kGt, "1"), Atom("a", CompareOp::kEq, "x")});
+  EXPECT_EQ(p1.CanonicalString(), p2.CanonicalString());
+}
+
+TEST(PredicateTest, AndDropsExactDuplicates) {
+  Predicate p1({Atom("a", CompareOp::kEq, "x", 0.2)});
+  Predicate p2({Atom("a", CompareOp::kEq, "x", 0.2),
+                Atom("b", CompareOp::kGt, "1", 0.5)});
+  Predicate merged = p1.And(p2);
+  EXPECT_EQ(merged.size(), 2);
+  EXPECT_DOUBLE_EQ(merged.Selectivity(), 0.1);
+}
+
+TEST(PredicateTest, ConjunctSupersetImplies) {
+  Predicate weak({Atom("a", CompareOp::kEq, "x")});
+  Predicate strong({Atom("a", CompareOp::kEq, "x"),
+                    Atom("b", CompareOp::kGt, "1")});
+  EXPECT_TRUE(strong.Implies(weak));
+  EXPECT_FALSE(weak.Implies(strong));
+  EXPECT_TRUE(strong.Implies(Predicate())) << "everything implies true";
+}
+
+TEST(PredicateTest, RangeBasedPredicateImplication) {
+  Predicate weak({Atom("ts", CompareOp::kGt, "100")});
+  Predicate strong({Atom("ts", CompareOp::kGt, "200"),
+                    Atom("topic", CompareOp::kEq, "coffee")});
+  EXPECT_TRUE(strong.Implies(weak));
+}
+
+TEST(CompensationTest, ExactAtomsAbsorbed) {
+  Predicate view({Atom("a", CompareOp::kEq, "x", 0.2)});
+  Predicate query({Atom("a", CompareOp::kEq, "x", 0.2),
+                   Atom("b", CompareOp::kGt, "1", 0.5)});
+  Predicate comp = CompensationPredicate(query, view);
+  ASSERT_EQ(comp.size(), 1);
+  EXPECT_EQ(comp.atoms()[0].field, "b");
+  EXPECT_DOUBLE_EQ(comp.atoms()[0].selectivity, 0.5);
+}
+
+TEST(CompensationTest, WeakerRangeAtomRescalesSelectivity) {
+  // View kept ts > 100 (sel 0.5); query needs ts > 200 (sel 0.25).
+  // Conditional selectivity given the view = 0.25 / 0.5 = 0.5.
+  Predicate view({Atom("ts", CompareOp::kGt, "100", 0.5)});
+  Predicate query({Atom("ts", CompareOp::kGt, "200", 0.25)});
+  Predicate comp = CompensationPredicate(query, view);
+  ASSERT_EQ(comp.size(), 1);
+  EXPECT_DOUBLE_EQ(comp.atoms()[0].selectivity, 0.5);
+}
+
+TEST(CompensationTest, IdenticalPredicatesYieldTrue) {
+  Predicate p({Atom("a", CompareOp::kEq, "x", 0.2)});
+  EXPECT_TRUE(CompensationPredicate(p, p).IsTrue());
+}
+
+TEST(CompensationTest, SelectivityComposition) {
+  // Applying the compensation to the view must approximate the query:
+  // sel(view) * sel(comp) == sel(query) when atoms rescale.
+  Predicate view({Atom("ts", CompareOp::kGt, "100", 0.5),
+                  Atom("topic", CompareOp::kEq, "c", 0.1)});
+  Predicate query({Atom("ts", CompareOp::kGt, "250", 0.2),
+                   Atom("topic", CompareOp::kEq, "c", 0.1),
+                   Atom("lang", CompareOp::kEq, "en", 0.6)});
+  ASSERT_TRUE(query.Implies(view));
+  Predicate comp = CompensationPredicate(query, view);
+  EXPECT_NEAR(view.Selectivity() * comp.Selectivity(), query.Selectivity(),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace miso::plan

@@ -1,0 +1,43 @@
+#include "plan/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace miso::plan {
+namespace {
+
+TEST(PrinterTest, PlanRendersAllOperators) {
+  auto plan = testing_util::MakeAnalystPlan(&testing_util::PaperCatalog(),
+                                            "A1v1", "cat%", 0.1, false);
+  ASSERT_TRUE(plan.ok());
+  const std::string text = PrintPlan(*plan);
+  EXPECT_NE(text.find("Plan 'A1v1'"), std::string::npos);
+  EXPECT_NE(text.find("Aggregate"), std::string::npos);
+  EXPECT_NE(text.find("Join key=user_id"), std::string::npos);
+  EXPECT_NE(text.find("Udf sentiment_t (hv-only)"), std::string::npos);
+  EXPECT_NE(text.find("Scan twitter"), std::string::npos);
+  EXPECT_NE(text.find("rows="), std::string::npos);
+}
+
+TEST(PrinterTest, IndentationReflectsDepth) {
+  auto plan = testing_util::MakeAnalystPlan(&testing_util::PaperCatalog(),
+                                            "q", "c%", 0.1, false);
+  const std::string text = PrintSubtree(plan->root());
+  // The root is unindented; at least one child line is indented.
+  EXPECT_EQ(text.rfind("Aggregate", 0), 0u);
+  EXPECT_NE(text.find("\n  "), std::string::npos);
+}
+
+TEST(PrinterTest, DescribeNodeIsOneLine) {
+  auto plan = testing_util::MakeAnalystPlan(&testing_util::PaperCatalog(),
+                                            "q", "c%", 0.1, false);
+  for (const NodePtr& node : plan->PostOrder()) {
+    const std::string line = DescribeNode(*node);
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    EXPECT_FALSE(line.empty());
+  }
+}
+
+}  // namespace
+}  // namespace miso::plan

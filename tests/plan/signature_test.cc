@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "plan/node_factory.h"
+
+namespace miso::plan {
+namespace {
+
+using testing_util::PaperCatalog;
+
+class SignatureTest : public ::testing::Test {
+ protected:
+  NodeFactory factory_{&PaperCatalog()};
+
+  NodePtr TwitterExtract() {
+    return *factory_.MakeExtract(*factory_.MakeScan("twitter"),
+                                 {"user_id", "topic"});
+  }
+  NodePtr FoursquareExtract() {
+    return *factory_.MakeExtract(*factory_.MakeScan("foursquare"),
+                                 {"user_id", "checkin_loc"});
+  }
+};
+
+TEST_F(SignatureTest, IdenticalExpressionsShareSignatures) {
+  auto p1 = testing_util::MakeAnalystPlan(&PaperCatalog(), "a", "c%", 0.1,
+                                          false);
+  auto p2 = testing_util::MakeAnalystPlan(&PaperCatalog(), "b", "c%", 0.1,
+                                          false);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p1->signature(), p2->signature())
+      << "query names do not affect semantic identity";
+}
+
+TEST_F(SignatureTest, DifferentPredicatesDiffer) {
+  auto p1 = testing_util::MakeAnalystPlan(&PaperCatalog(), "a", "c%", 0.1,
+                                          false);
+  auto p2 = testing_util::MakeAnalystPlan(&PaperCatalog(), "a", "d%", 0.1,
+                                          false);
+  EXPECT_NE(p1->signature(), p2->signature());
+}
+
+TEST_F(SignatureTest, SelectivityDoesNotAffectSignature) {
+  // Two systems may estimate the same predicate differently; identity is
+  // syntactic.
+  auto p1 = testing_util::MakeAnalystPlan(&PaperCatalog(), "a", "c%", 0.1,
+                                          false);
+  auto p2 = testing_util::MakeAnalystPlan(&PaperCatalog(), "a", "c%", 0.2,
+                                          false);
+  EXPECT_EQ(p1->signature(), p2->signature());
+}
+
+TEST_F(SignatureTest, JoinIsCommutative) {
+  auto j1 = factory_.MakeJoin(TwitterExtract(), FoursquareExtract(),
+                              "user_id");
+  auto j2 = factory_.MakeJoin(FoursquareExtract(), TwitterExtract(),
+                              "user_id");
+  ASSERT_TRUE(j1.ok());
+  ASSERT_TRUE(j2.ok());
+  EXPECT_EQ((*j1)->signature(), (*j2)->signature());
+  EXPECT_EQ((*j1)->canonical(), (*j2)->canonical());
+}
+
+TEST_F(SignatureTest, ExtractFieldOrderIsCanonicalized) {
+  auto e1 = factory_.MakeExtract(*factory_.MakeScan("twitter"),
+                                 {"user_id", "topic"});
+  auto e2 = factory_.MakeExtract(*factory_.MakeScan("twitter"),
+                                 {"topic", "user_id"});
+  EXPECT_EQ((*e1)->signature(), (*e2)->signature());
+}
+
+TEST_F(SignatureTest, FilterAtomOrderIsCanonicalized) {
+  auto base = TwitterExtract();
+  Predicate p1({MakeAtom("topic", CompareOp::kEq, "x", 0.1),
+                MakeAtom("user_id", CompareOp::kGt, "5", 0.5)});
+  Predicate p2({MakeAtom("user_id", CompareOp::kGt, "5", 0.5),
+                MakeAtom("topic", CompareOp::kEq, "x", 0.1)});
+  EXPECT_EQ((*factory_.MakeFilter(base, p1))->signature(),
+            (*factory_.MakeFilter(base, p2))->signature());
+}
+
+TEST_F(SignatureTest, UdfNameDistinguishes) {
+  auto base = TwitterExtract();
+  UdfParams u1;
+  u1.name = "udf_a";
+  UdfParams u2;
+  u2.name = "udf_b";
+  EXPECT_NE((*factory_.MakeUdf(base, u1))->signature(),
+            (*factory_.MakeUdf(base, u2))->signature());
+}
+
+TEST_F(SignatureTest, AggregateKeysAndFnsDistinguish) {
+  auto lm = factory_.MakeExtract(*factory_.MakeScan("landmarks"),
+                                 {"region", "kind", "rating"});
+  auto a1 = factory_.MakeAggregate(*lm, {"region"}, {{"count", "*"}});
+  auto a2 = factory_.MakeAggregate(*lm, {"kind"}, {{"count", "*"}});
+  auto a3 = factory_.MakeAggregate(*lm, {"region"}, {{"avg", "rating"}});
+  EXPECT_NE((*a1)->signature(), (*a2)->signature());
+  EXPECT_NE((*a1)->signature(), (*a3)->signature());
+}
+
+TEST_F(SignatureTest, RecanonicalizeOverridesIdentity) {
+  auto node = TwitterExtract();
+  NodePtr renamed = factory_.Recanonicalize(node, "custom_form");
+  EXPECT_EQ(renamed->canonical(), "custom_form");
+  EXPECT_NE(renamed->signature(), node->signature());
+  EXPECT_EQ(renamed->stats().rows, node->stats().rows);
+}
+
+TEST_F(SignatureTest, AllSubexpressionsDistinctWithinPlan) {
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                            false);
+  ASSERT_TRUE(plan.ok());
+  std::vector<NodePtr> nodes = plan->PostOrder();
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (size_t j = i + 1; j < nodes.size(); ++j) {
+      EXPECT_NE(nodes[i]->signature(), nodes[j]->signature())
+          << nodes[i]->canonical() << " vs " << nodes[j]->canonical();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace miso::plan

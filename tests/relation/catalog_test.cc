@@ -1,0 +1,93 @@
+#include "relation/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace miso::relation {
+namespace {
+
+TEST(CatalogTest, AddAndFind) {
+  Catalog catalog;
+  LogDataset ds;
+  ds.name = "logs";
+  ds.raw_bytes = GiB(1);
+  ds.num_records = 1000;
+  ASSERT_TRUE(catalog.AddDataset(ds).ok());
+
+  auto found = catalog.FindDataset("logs");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->raw_bytes, GiB(1));
+  EXPECT_TRUE(catalog.HasDataset("logs"));
+  EXPECT_FALSE(catalog.HasDataset("other"));
+}
+
+TEST(CatalogTest, RejectsDuplicatesAndInvalid) {
+  Catalog catalog;
+  LogDataset ds;
+  ds.name = "logs";
+  ds.raw_bytes = 10;
+  ds.num_records = 1;
+  ASSERT_TRUE(catalog.AddDataset(ds).ok());
+  EXPECT_EQ(catalog.AddDataset(ds).code(), StatusCode::kAlreadyExists);
+
+  LogDataset unnamed;
+  EXPECT_EQ(catalog.AddDataset(unnamed).code(),
+            StatusCode::kInvalidArgument);
+
+  LogDataset negative;
+  negative.name = "neg";
+  negative.raw_bytes = -5;
+  EXPECT_EQ(catalog.AddDataset(negative).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, PaperCatalogContents) {
+  Catalog catalog = MakePaperCatalog();
+  EXPECT_EQ(catalog.DatasetNames().size(), 3u);
+
+  auto twitter = catalog.FindDataset("twitter");
+  ASSERT_TRUE(twitter.ok());
+  EXPECT_EQ(twitter->raw_bytes, TiB(1));
+  EXPECT_TRUE(twitter->schema.HasField("user_id"));
+  EXPECT_TRUE(twitter->schema.HasField("text"));
+  EXPECT_GT(twitter->num_records, 100'000'000);
+
+  auto foursquare = catalog.FindDataset("foursquare");
+  ASSERT_TRUE(foursquare.ok());
+  EXPECT_EQ(foursquare->raw_bytes, TiB(1));
+  EXPECT_TRUE(foursquare->schema.HasField("checkin_loc"));
+
+  auto landmarks = catalog.FindDataset("landmarks");
+  ASSERT_TRUE(landmarks.ok());
+  EXPECT_EQ(landmarks->raw_bytes, GiB(12));
+  // The join key with foursquare must share the field name.
+  EXPECT_TRUE(landmarks->schema.HasField("checkin_loc"));
+
+  // ~2 TB of logs total (the paper's base data size).
+  EXPECT_EQ(catalog.TotalRawBytes(), 2 * TiB(1) + GiB(12));
+}
+
+TEST(CatalogTest, ScaledCatalogShrinksEverything) {
+  Catalog full = MakePaperCatalog();
+  Catalog small = MakePaperCatalog(0.01);
+  auto big_tw = full.FindDataset("twitter");
+  auto small_tw = small.FindDataset("twitter");
+  ASSERT_TRUE(big_tw.ok());
+  ASSERT_TRUE(small_tw.ok());
+  EXPECT_NEAR(static_cast<double>(small_tw->raw_bytes),
+              0.01 * static_cast<double>(big_tw->raw_bytes),
+              static_cast<double>(kMiB));
+  EXPECT_LT(small_tw->num_records, big_tw->num_records);
+}
+
+TEST(CatalogTest, RawRecordWidth) {
+  Catalog catalog = MakePaperCatalog();
+  auto twitter = catalog.FindDataset("twitter");
+  ASSERT_TRUE(twitter.ok());
+  EXPECT_EQ(twitter->RawRecordWidth(),
+            twitter->raw_bytes / twitter->num_records);
+  LogDataset empty;
+  EXPECT_EQ(empty.RawRecordWidth(), 0);
+}
+
+}  // namespace
+}  // namespace miso::relation

@@ -1,0 +1,79 @@
+#include "relation/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace miso::relation {
+namespace {
+
+Schema MakeTestSchema() {
+  return Schema({
+      Field("user_id", DataType::kInt64, 8, 1000),
+      Field("name", DataType::kString, 24, 900),
+      Field("score", DataType::kDouble, 8, 50),
+  });
+}
+
+TEST(SchemaTest, FindField) {
+  Schema s = MakeTestSchema();
+  auto f = s.FindField("name");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->type, DataType::kString);
+  EXPECT_EQ(f->avg_width, 24);
+
+  auto missing = s.FindField("nope");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, HasField) {
+  Schema s = MakeTestSchema();
+  EXPECT_TRUE(s.HasField("score"));
+  EXPECT_FALSE(s.HasField("Score")) << "names are case-sensitive";
+}
+
+TEST(SchemaTest, RecordWidthSumsFieldWidths) {
+  EXPECT_EQ(MakeTestSchema().RecordWidth(), 8 + 24 + 8);
+  EXPECT_EQ(Schema().RecordWidth(), 0);
+}
+
+TEST(SchemaTest, ProjectKeepsRequestedOrder) {
+  Schema s = MakeTestSchema();
+  auto p = s.Project({"score", "user_id"});
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p->num_fields(), 2);
+  EXPECT_EQ(p->fields()[0].name, "score");
+  EXPECT_EQ(p->fields()[1].name, "user_id");
+}
+
+TEST(SchemaTest, ProjectUnknownFieldErrors) {
+  Schema s = MakeTestSchema();
+  auto p = s.Project({"user_id", "ghost"});
+  EXPECT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, ConcatSuffixesDuplicates) {
+  Schema left = MakeTestSchema();
+  Schema right({
+      Field("user_id", DataType::kInt64, 8, 500),
+      Field("city", DataType::kString, 16, 100),
+  });
+  Schema merged = left.ConcatWith(right);
+  ASSERT_EQ(merged.num_fields(), 5);
+  EXPECT_TRUE(merged.HasField("user_id"));
+  EXPECT_TRUE(merged.HasField("user_id_r"));
+  EXPECT_TRUE(merged.HasField("city"));
+  EXPECT_EQ(merged.RecordWidth(),
+            left.RecordWidth() + right.RecordWidth());
+}
+
+TEST(SchemaTest, DataTypeNamesAndDefaultWidths) {
+  EXPECT_EQ(DataTypeToString(DataType::kInt64), "int64");
+  EXPECT_EQ(DataTypeToString(DataType::kString), "string");
+  EXPECT_EQ(DefaultWidth(DataType::kInt64), 8);
+  EXPECT_EQ(DefaultWidth(DataType::kBool), 1);
+  EXPECT_EQ(DefaultWidth(DataType::kString), 24);
+}
+
+}  // namespace
+}  // namespace miso::relation

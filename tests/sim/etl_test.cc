@@ -1,0 +1,85 @@
+#include "sim/etl.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "workload/evolutionary.h"
+
+namespace miso::sim {
+namespace {
+
+using testing_util::PaperCatalog;
+
+class EtlTest : public ::testing::Test {
+ protected:
+  std::vector<plan::Plan> Workload() {
+    auto w = workload::EvolutionaryWorkload::Generate(&PaperCatalog(),
+                                                      workload::WorkloadConfig{});
+    return w->Plans();
+  }
+};
+
+TEST_F(EtlTest, ExtractsUnionOfAccessedFields) {
+  auto etl = ComputeEtl(PaperCatalog(), Workload(), hv::HvConfig{},
+                        transfer::TransferConfig{}, EtlConfig{});
+  ASSERT_TRUE(etl.ok());
+  // The relevant relational subset is much smaller than the 2 TB raw logs
+  // but still a couple hundred GB (the paper's "200 GB relevant portion").
+  EXPECT_GT(etl->extracted_bytes, GiB(50));
+  EXPECT_LT(etl->extracted_bytes, GiB(500));
+}
+
+TEST_F(EtlTest, EtlDominatedByHeavyStages) {
+  auto etl = ComputeEtl(PaperCatalog(), Workload(), hv::HvConfig{},
+                        transfer::TransferConfig{}, EtlConfig{});
+  ASSERT_TRUE(etl.ok());
+  EXPECT_GT(etl->extract_s, 0);
+  EXPECT_GT(etl->transform_s, 0);
+  EXPECT_GT(etl->load_s, 0);
+  EXPECT_NEAR(etl->Total(), etl->extract_s + etl->transform_s + etl->load_s,
+              1e-9);
+  // Calibration guard: ETL lands in the same order of magnitude as a full
+  // HV-ONLY pass over the workload (Figure 4's DW-ONLY shape).
+  EXPECT_GT(etl->Total(), 100'000);
+  EXPECT_LT(etl->Total(), 500'000);
+}
+
+TEST_F(EtlTest, OverheadFactorScalesLinearly) {
+  EtlConfig base;
+  base.overhead_factor = 1.0;
+  EtlConfig doubled;
+  doubled.overhead_factor = 2.0;
+  auto e1 = ComputeEtl(PaperCatalog(), Workload(), hv::HvConfig{},
+                       transfer::TransferConfig{}, base);
+  auto e2 = ComputeEtl(PaperCatalog(), Workload(), hv::HvConfig{},
+                       transfer::TransferConfig{}, doubled);
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e2.ok());
+  EXPECT_NEAR(e2->Total(), 2 * e1->Total(), 1e-6);
+}
+
+TEST_F(EtlTest, EmptyWorkloadHasNoEtl) {
+  auto etl = ComputeEtl(PaperCatalog(), {}, hv::HvConfig{},
+                        transfer::TransferConfig{}, EtlConfig{});
+  ASSERT_TRUE(etl.ok());
+  EXPECT_EQ(etl->extracted_bytes, 0);
+  EXPECT_DOUBLE_EQ(etl->Total(), 0);
+}
+
+TEST_F(EtlTest, DwOnlyQueriesAreFastPostEtl) {
+  dw::DwCostModel model{dw::DwConfig{}};
+  int under_100s = 0;
+  std::vector<plan::Plan> plans = Workload();
+  for (const plan::Plan& q : plans) {
+    auto cost = DwOnlyQueryCost(q, model);
+    ASSERT_TRUE(cost.ok());
+    EXPECT_GT(*cost, 0);
+    if (*cost < 100) ++under_100s;
+  }
+  // Figure 5b: the DW-ONLY curve is the top curve — nearly all queries
+  // complete within 100 s once the data is loaded.
+  EXPECT_GE(under_100s, static_cast<int>(plans.size()) - 4);
+}
+
+}  // namespace
+}  // namespace miso::sim

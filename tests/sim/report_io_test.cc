@@ -1,0 +1,87 @@
+#include "sim/report_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "sim/simulator.h"
+#include "workload/background.h"
+
+namespace miso::sim {
+namespace {
+
+using testing_util::PaperCatalog;
+
+RunReport SmallRun(bool with_background) {
+  workload::WorkloadConfig wl;
+  wl.num_analysts = 2;
+  wl.versions_per_analyst = 2;
+  auto workload = workload::EvolutionaryWorkload::Generate(&PaperCatalog(),
+                                                           wl);
+  SimConfig config;
+  config.variant = SystemVariant::kMsMiso;
+  if (with_background) config.background = workload::SpareIo40();
+  MultistoreSimulator simulator(&PaperCatalog(), config);
+  auto report = simulator.Run(workload->queries());
+  EXPECT_TRUE(report.ok());
+  return std::move(report).value();
+}
+
+int CountLines(const std::string& s) {
+  int lines = 0;
+  for (char c : s) {
+    if (c == '\n') ++lines;
+  }
+  return lines;
+}
+
+TEST(ReportIoTest, QueriesCsvHasHeaderAndOneRowPerQuery) {
+  RunReport report = SmallRun(false);
+  const std::string csv = QueriesToCsv(report);
+  EXPECT_EQ(CountLines(csv), static_cast<int>(report.queries.size()) + 1);
+  EXPECT_EQ(csv.rfind("index,name,start_s", 0), 0u);
+  EXPECT_NE(csv.find("A1v1"), std::string::npos);
+}
+
+TEST(ReportIoTest, TicksCsvEmptyWithoutBackground) {
+  RunReport report = SmallRun(false);
+  EXPECT_EQ(CountLines(TicksToCsv(report)), 1) << "header only";
+}
+
+TEST(ReportIoTest, TicksCsvPopulatedWithBackground) {
+  RunReport report = SmallRun(true);
+  const std::string csv = TicksToCsv(report);
+  EXPECT_GT(CountLines(csv), 100);
+  EXPECT_EQ(csv.rfind("time_s,io_used", 0), 0u);
+}
+
+TEST(ReportIoTest, SummaryCsvRoundNumbers) {
+  RunReport report = SmallRun(false);
+  const std::string with = SummaryToCsv(report, /*with_header=*/true);
+  const std::string without = SummaryToCsv(report, /*with_header=*/false);
+  EXPECT_EQ(CountLines(with), 2);
+  EXPECT_EQ(CountLines(without), 1);
+  EXPECT_NE(with.find("MS-MISO"), std::string::npos);
+}
+
+TEST(ReportIoTest, WriteFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/miso_report_test.csv";
+  RunReport report = SmallRun(false);
+  MISO_ASSERT_OK(WriteFile(path, QueriesToCsv(report)));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), QueriesToCsv(report));
+  std::remove(path.c_str());
+}
+
+TEST(ReportIoTest, WriteFileFailsOnBadPath) {
+  EXPECT_FALSE(WriteFile("/nonexistent_dir_xyz/file.csv", "x").ok());
+}
+
+}  // namespace
+}  // namespace miso::sim

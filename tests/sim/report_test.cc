@@ -1,0 +1,88 @@
+#include "sim/report.h"
+
+#include <gtest/gtest.h>
+
+namespace miso::sim {
+namespace {
+
+QueryRecord Record(int index, Seconds hv, Seconds dw, Seconds completion) {
+  QueryRecord r;
+  r.index = index;
+  r.name = "q";
+  r.name += std::to_string(index);
+  r.breakdown.hv_exec_s = hv;
+  r.breakdown.dw_exec_s = dw;
+  r.completion_time = completion;
+  return r;
+}
+
+RunReport SampleReport() {
+  RunReport report;
+  report.variant = SystemVariant::kMsMiso;
+  report.variant_name = "MS-MISO";
+  report.queries.push_back(Record(0, 100, 0, 100));    // all-HV
+  report.queries.push_back(Record(1, 10, 90, 200));    // DW-heavy
+  report.queries.push_back(Record(2, 50, 50, 300));    // even
+  report.queries.push_back(Record(3, 0, 5, 305));      // fully DW
+  return report;
+}
+
+TEST(RunReportTest, TtiIsLastCompletion) {
+  EXPECT_DOUBLE_EQ(SampleReport().Tti(), 305);
+  RunReport empty;
+  empty.etl_s = 42;
+  EXPECT_DOUBLE_EQ(empty.Tti(), 42) << "ETL-only run";
+}
+
+TEST(RunReportTest, TtiCurveIsCompletionTimes) {
+  std::vector<Seconds> curve = SampleReport().TtiCurve();
+  EXPECT_EQ(curve, (std::vector<Seconds>{100, 200, 300, 305}));
+}
+
+TEST(RunReportTest, ExecTimeCdf) {
+  RunReport report = SampleReport();
+  // Exec times: 100, 100, 100, 5.
+  std::vector<double> cdf = report.ExecTimeCdf({10, 101, 1000});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0], 0.25);
+  EXPECT_DOUBLE_EQ(cdf[1], 1.0);
+  EXPECT_DOUBLE_EQ(cdf[2], 1.0);
+}
+
+TEST(RunReportTest, RankByDwUtilization) {
+  std::vector<int> ranked = SampleReport().RankByDwUtilization();
+  // Shares: q0=0, q1=0.9, q2=0.5, q3=1.0 -> order 3,1,2,0.
+  EXPECT_EQ(ranked, (std::vector<int>{3, 1, 2, 0}));
+}
+
+TEST(RunReportTest, DwMajorityCount) {
+  EXPECT_EQ(SampleReport().DwMajorityQueries(), 2);
+}
+
+TEST(RunReportTest, HvPerDwSecondOverTopK) {
+  RunReport report = SampleReport();
+  // Top 2 by DW share: q3 (0/5) and q1 (10/90): 10 / 95.
+  EXPECT_NEAR(report.HvPerDwSecond(2), 10.0 / 95.0, 1e-12);
+  EXPECT_DOUBLE_EQ(RunReport{}.HvPerDwSecond(5), 0.0);
+}
+
+TEST(RunReportTest, SummaryMentionsVariantAndTti) {
+  const std::string s = SampleReport().Summary();
+  EXPECT_NE(s.find("MS-MISO"), std::string::npos);
+  EXPECT_NE(s.find("305"), std::string::npos);
+}
+
+TEST(SystemVariantTest, AllNamesDistinct) {
+  const SystemVariant all[] = {
+      SystemVariant::kHvOnly, SystemVariant::kDwOnly,
+      SystemVariant::kMsBasic, SystemVariant::kHvOp,
+      SystemVariant::kMsMiso, SystemVariant::kMsLru,
+      SystemVariant::kMsOff, SystemVariant::kMsOra};
+  std::set<std::string_view> names;
+  for (SystemVariant v : all) {
+    EXPECT_TRUE(names.insert(SystemVariantToString(v)).second);
+  }
+}
+
+}  // namespace
+}  // namespace miso::sim

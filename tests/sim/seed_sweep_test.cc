@@ -1,0 +1,51 @@
+// Property sweep: the headline orderings must hold across workload seeds,
+// not just the default one — the reproduction is robust to the particular
+// random draws of analyst parameters.
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "sim/simulator.h"
+
+namespace miso::sim {
+namespace {
+
+using testing_util::PaperCatalog;
+
+class SeedSweepTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  static Seconds Run(SystemVariant variant,
+                     const workload::EvolutionaryWorkload& workload) {
+    SimConfig config;
+    config.variant = variant;
+    MultistoreSimulator simulator(&PaperCatalog(), config);
+    auto report = simulator.Run(workload.queries());
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return report.ok() ? report->Tti() : 0;
+  }
+};
+
+TEST_P(SeedSweepTest, VariantOrderingHoldsAcrossSeeds) {
+  workload::WorkloadConfig wl;
+  wl.seed = GetParam();
+  auto workload =
+      workload::EvolutionaryWorkload::Generate(&PaperCatalog(), wl);
+  ASSERT_TRUE(workload.ok());
+
+  const Seconds hv = Run(SystemVariant::kHvOnly, *workload);
+  const Seconds basic = Run(SystemVariant::kMsBasic, *workload);
+  const Seconds op = Run(SystemVariant::kHvOp, *workload);
+  const Seconds miso = Run(SystemVariant::kMsMiso, *workload);
+
+  EXPECT_LT(miso, op) << "seed " << GetParam();
+  EXPECT_LT(op, basic) << "seed " << GetParam();
+  EXPECT_LT(basic, hv) << "seed " << GetParam();
+  EXPECT_GT(hv / miso, 2.0) << "seed " << GetParam();
+  EXPECT_GT(hv / op, 1.8) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest,
+                         ::testing::Values(7, 123, 2026));
+
+}  // namespace
+}  // namespace miso::sim

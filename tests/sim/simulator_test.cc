@@ -1,0 +1,182 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "workload/background.h"
+
+namespace miso::sim {
+namespace {
+
+using testing_util::PaperCatalog;
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  static const std::vector<workload::WorkloadQuery>& Queries() {
+    static const auto* workload = [] {
+      auto w = workload::EvolutionaryWorkload::Generate(
+          &PaperCatalog(), workload::WorkloadConfig{});
+      return new workload::EvolutionaryWorkload(std::move(w).value());
+    }();
+    return workload->queries();
+  }
+
+  static RunReport Run(SystemVariant variant) {
+    SimConfig config;
+    config.variant = variant;
+    MultistoreSimulator simulator(&PaperCatalog(), config);
+    auto report = simulator.Run(Queries());
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return std::move(report).value();
+  }
+};
+
+TEST_F(SimulatorTest, AllVariantsCompleteAllQueries) {
+  const SystemVariant variants[] = {
+      SystemVariant::kHvOnly, SystemVariant::kDwOnly,
+      SystemVariant::kMsBasic, SystemVariant::kHvOp,
+      SystemVariant::kMsMiso, SystemVariant::kMsLru,
+      SystemVariant::kMsOff, SystemVariant::kMsOra};
+  for (SystemVariant v : variants) {
+    RunReport report = Run(v);
+    ASSERT_EQ(report.queries.size(), Queries().size());
+    Seconds prev_completion = 0;
+    for (const QueryRecord& q : report.queries) {
+      EXPECT_GE(q.ExecTime(), 0);
+      EXPECT_GE(q.completion_time, q.start_time);
+      EXPECT_GE(q.start_time, prev_completion)
+          << "queries run serially with reorgs in between";
+      prev_completion = q.completion_time;
+    }
+    EXPECT_GT(report.Tti(), 0);
+  }
+}
+
+TEST_F(SimulatorTest, HvOnlyUsesOnlyHv) {
+  RunReport report = Run(SystemVariant::kHvOnly);
+  EXPECT_EQ(report.dw_exe_s, 0);
+  EXPECT_EQ(report.transfer_s, 0);
+  EXPECT_EQ(report.tune_s, 0);
+  EXPECT_EQ(report.etl_s, 0);
+  EXPECT_EQ(report.reorg_count, 0);
+  EXPECT_GT(report.hv_exe_s, 0);
+}
+
+TEST_F(SimulatorTest, DwOnlyPaysEtlUpFront) {
+  RunReport report = Run(SystemVariant::kDwOnly);
+  EXPECT_GT(report.etl_s, 0);
+  EXPECT_EQ(report.hv_exe_s, 0);
+  EXPECT_GE(report.queries.front().start_time, report.etl_s)
+      << "no query starts before the ETL completes (Figure 5a)";
+  EXPECT_EQ(report.DwMajorityQueries(),
+            static_cast<int>(report.queries.size()));
+}
+
+TEST_F(SimulatorTest, MsBasicNeverRetainsViews) {
+  RunReport report = Run(SystemVariant::kMsBasic);
+  for (const QueryRecord& q : report.queries) {
+    EXPECT_EQ(q.views_used, 0);
+  }
+  EXPECT_EQ(report.reorg_count, 0);
+}
+
+TEST_F(SimulatorTest, MisoReorganizesPeriodically) {
+  RunReport report = Run(SystemVariant::kMsMiso);
+  // 32 queries, reorg every 3 (skipping the end): 10 phases.
+  EXPECT_EQ(report.reorg_count, 10);
+  EXPECT_GT(report.tune_s, 0);
+  EXPECT_GT(report.bytes_moved_to_dw, 0);
+  EXPECT_LE(report.bytes_moved_to_dw,
+            static_cast<Bytes>(report.reorg_count) * 10 * kGiB)
+      << "per-reorg transfer budget bounds total movement";
+}
+
+TEST_F(SimulatorTest, MisoBeatsTheNonTunedVariants) {
+  const RunReport hv_only = Run(SystemVariant::kHvOnly);
+  const RunReport basic = Run(SystemVariant::kMsBasic);
+  const RunReport miso = Run(SystemVariant::kMsMiso);
+  EXPECT_LT(miso.Tti(), 0.5 * hv_only.Tti())
+      << "MS-MISO must be a multiple faster than HV-ONLY (paper: 4.3x)";
+  EXPECT_LT(miso.Tti(), basic.Tti());
+  EXPECT_LT(basic.Tti(), hv_only.Tti());
+}
+
+TEST_F(SimulatorTest, MisoUsesViewsOnRepeatQueries) {
+  RunReport report = Run(SystemVariant::kMsMiso);
+  int queries_with_views = 0;
+  for (const QueryRecord& q : report.queries) {
+    if (q.views_used > 0) ++queries_with_views;
+  }
+  EXPECT_GE(queries_with_views, 16)
+      << "most non-initial queries should reuse opportunistic views";
+}
+
+TEST_F(SimulatorTest, DeterministicAcrossRuns) {
+  RunReport r1 = Run(SystemVariant::kMsMiso);
+  RunReport r2 = Run(SystemVariant::kMsMiso);
+  ASSERT_EQ(r1.queries.size(), r2.queries.size());
+  EXPECT_DOUBLE_EQ(r1.Tti(), r2.Tti());
+  for (size_t i = 0; i < r1.queries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.queries[i].ExecTime(), r2.queries[i].ExecTime());
+  }
+}
+
+TEST_F(SimulatorTest, ComponentTotalsAreConsistent) {
+  RunReport report = Run(SystemVariant::kMsMiso);
+  Seconds sum = report.etl_s + report.tune_s;
+  for (const QueryRecord& q : report.queries) sum += q.ExecTime();
+  EXPECT_NEAR(report.Tti(), sum, 1.0)
+      << "TTI decomposes into ETL + tuning + query execution";
+
+  Seconds hv = 0;
+  Seconds dw = 0;
+  for (const QueryRecord& q : report.queries) {
+    hv += q.breakdown.hv_exec_s;
+    dw += q.breakdown.dw_exec_s;
+  }
+  EXPECT_NEAR(report.hv_exe_s, hv, 1e-6);
+  EXPECT_NEAR(report.dw_exe_s, dw, 1e-6);
+}
+
+TEST_F(SimulatorTest, BackgroundWorkloadProducesTicksAndSlowdown) {
+  SimConfig config;
+  config.variant = SystemVariant::kMsMiso;
+  config.background = workload::SpareIo40();
+  MultistoreSimulator simulator(&PaperCatalog(), config);
+  auto report = simulator.Run(Queries());
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->dw_ticks.empty());
+  EXPECT_GT(report->background_slowdown, 0.0);
+  EXPECT_LT(report->background_slowdown, 0.06)
+      << "Table 2: background reporting queries slow by a few percent";
+  // The multistore run itself is slightly slower than on an idle DW.
+  RunReport idle = Run(SystemVariant::kMsMiso);
+  EXPECT_GT(report->Tti(), idle.Tti());
+  EXPECT_LT(report->Tti(), 1.10 * idle.Tti())
+      << "Table 2: multistore slowdown is a few percent";
+}
+
+TEST_F(SimulatorTest, SmallBudgetsDegradeButStillBeatNoTuning) {
+  SimConfig small;
+  small.variant = SystemVariant::kMsMiso;
+  small.hv_storage_budget = Bytes(0.125 * 2 * kTiB);
+  small.dw_storage_budget = Bytes(0.125 * 200 * kGiB);
+  MultistoreSimulator simulator(&PaperCatalog(), small);
+  auto small_run = simulator.Run(Queries());
+  ASSERT_TRUE(small_run.ok());
+  RunReport default_run = Run(SystemVariant::kMsMiso);
+  RunReport basic = Run(SystemVariant::kMsBasic);
+  EXPECT_GE(small_run->Tti(), default_run.Tti());
+  EXPECT_LT(small_run->Tti(), basic.Tti());
+}
+
+TEST_F(SimulatorTest, RunPaperWorkloadConvenience) {
+  SimConfig config;
+  config.variant = SystemVariant::kHvOnly;
+  auto report = RunPaperWorkload(&PaperCatalog(), config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->queries.size(), 32u);
+}
+
+}  // namespace
+}  // namespace miso::sim

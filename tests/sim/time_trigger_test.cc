@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "sim/simulator.h"
+
+namespace miso::sim {
+namespace {
+
+using testing_util::PaperCatalog;
+
+const std::vector<workload::WorkloadQuery>& Queries() {
+  static const auto* workload = [] {
+    auto w = workload::EvolutionaryWorkload::Generate(
+        &PaperCatalog(), workload::WorkloadConfig{});
+    return new workload::EvolutionaryWorkload(std::move(w).value());
+  }();
+  return workload->queries();
+}
+
+TEST(TimeTriggerTest, TimeBasedReorganizationFires) {
+  SimConfig config;
+  config.variant = SystemVariant::kMsMiso;
+  config.reorg_every = 0;              // disable the query-based trigger
+  config.reorg_every_seconds = 20000;  // ~every 2-3 first-phase queries
+  MultistoreSimulator simulator(&PaperCatalog(), config);
+  auto report = simulator.Run(Queries());
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->reorg_count, 2);
+  EXPECT_LT(report->reorg_count, 32);
+}
+
+TEST(TimeTriggerTest, BothTriggersDisabledMeansNoReorgs) {
+  SimConfig config;
+  config.variant = SystemVariant::kMsMiso;
+  config.reorg_every = 0;
+  config.reorg_every_seconds = 0;
+  MultistoreSimulator simulator(&PaperCatalog(), config);
+  auto report = simulator.Run(Queries());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->reorg_count, 0);
+  EXPECT_EQ(report->bytes_moved_to_dw, 0);
+}
+
+TEST(TimeTriggerTest, TimeTriggerStillAdaptsTheDesign) {
+  // A time-triggered MISO must still clearly beat MS-BASIC.
+  SimConfig time_config;
+  time_config.variant = SystemVariant::kMsMiso;
+  time_config.reorg_every = 0;
+  time_config.reorg_every_seconds = 15000;
+  MultistoreSimulator time_sim(&PaperCatalog(), time_config);
+  auto time_run = time_sim.Run(Queries());
+  ASSERT_TRUE(time_run.ok());
+
+  SimConfig basic;
+  basic.variant = SystemVariant::kMsBasic;
+  MultistoreSimulator basic_sim(&PaperCatalog(), basic);
+  auto basic_run = basic_sim.Run(Queries());
+  ASSERT_TRUE(basic_run.ok());
+
+  EXPECT_LT(time_run->Tti(), 0.6 * basic_run->Tti());
+}
+
+}  // namespace
+}  // namespace miso::sim

@@ -1,0 +1,43 @@
+#include "test_util.h"
+
+namespace miso::testing_util {
+
+Result<plan::Plan> MakeAnalystPlan(const relation::Catalog* catalog,
+                                   const std::string& name,
+                                   const std::string& topic_operand,
+                                   double topic_sel,
+                                   bool udf_dw_compatible) {
+  using plan::CompareOp;
+  plan::PlanBuilder b(catalog);
+
+  auto tweets =
+      b.Scan("twitter")
+          .Extract({"user_id", "ts", "topic", "text"})
+          .Filter({plan::MakeAtom("topic", CompareOp::kLike, topic_operand,
+                                  topic_sel),
+                   plan::MakeAtom("ts", CompareOp::kGt, "15000", 0.5)});
+  auto checkins =
+      b.Scan("foursquare")
+          .Extract({"user_id", "ts", "checkin_loc", "category"})
+          .Filter({plan::MakeAtom("category", CompareOp::kEq, "cuisine_x",
+                                  0.15)});
+  plan::UdfParams udf;
+  udf.name = "sentiment_t";
+  udf.size_factor = 0.5;
+  udf.row_selectivity = 0.9;
+  udf.cpu_factor = 4.0;
+  udf.dw_compatible = udf_dw_compatible;
+
+  auto landmarks = b.Scan("landmarks")
+                       .Extract({"checkin_loc", "region", "kind", "rating"})
+                       .Filter({plan::MakeAtom("region", CompareOp::kEq,
+                                               "region_x", 0.05)});
+
+  return tweets.Join(checkins, "user_id")
+      .Udf(udf)
+      .Join(landmarks, "checkin_loc")
+      .Aggregate({"region"}, {{"count", "*"}})
+      .Build(name);
+}
+
+}  // namespace miso::testing_util

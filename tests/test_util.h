@@ -1,0 +1,53 @@
+#ifndef MISO_TESTS_TEST_UTIL_H_
+#define MISO_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include "plan/builder.h"
+#include "relation/catalog.h"
+
+namespace miso::testing_util {
+
+/// Asserts a Status is OK with a useful failure message.
+#define MISO_ASSERT_OK(expr)                                 \
+  do {                                                       \
+    const ::miso::Status _s = (expr);                        \
+    ASSERT_TRUE(_s.ok()) << _s.ToString();                   \
+  } while (false)
+
+#define MISO_EXPECT_OK(expr)                                 \
+  do {                                                       \
+    const ::miso::Status _s = (expr);                        \
+    EXPECT_TRUE(_s.ok()) << _s.ToString();                   \
+  } while (false)
+
+/// Unwraps a Result<T>, failing the test on error.
+#define MISO_ASSERT_OK_AND_ASSIGN(lhs, expr)                 \
+  MISO_ASSERT_OK_AND_ASSIGN_IMPL_(                           \
+      MISO_TEST_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define MISO_ASSERT_OK_AND_ASSIGN_IMPL_(tmp, lhs, expr)      \
+  auto tmp = (expr);                                         \
+  ASSERT_TRUE(tmp.ok()) << tmp.status().ToString();          \
+  lhs = std::move(tmp).value()
+
+#define MISO_TEST_CONCAT_(a, b) MISO_TEST_CONCAT_IMPL_(a, b)
+#define MISO_TEST_CONCAT_IMPL_(a, b) a##b
+
+/// Shared paper-scale catalog for tests (construction is cheap).
+inline const relation::Catalog& PaperCatalog() {
+  static const relation::Catalog* catalog =
+      new relation::Catalog(relation::MakePaperCatalog());
+  return *catalog;
+}
+
+/// A small two-join / UDF / aggregate plan resembling an analyst query.
+/// `topic_operand` lets tests construct version mutations.
+Result<plan::Plan> MakeAnalystPlan(const relation::Catalog* catalog,
+                                   const std::string& name,
+                                   const std::string& topic_operand,
+                                   double topic_sel, bool udf_dw_compatible);
+
+}  // namespace miso::testing_util
+
+#endif  // MISO_TESTS_TEST_UTIL_H_

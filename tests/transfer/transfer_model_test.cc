@@ -1,0 +1,66 @@
+#include "transfer/transfer_model.h"
+
+#include <gtest/gtest.h>
+
+namespace miso::transfer {
+namespace {
+
+TEST(TransferModelTest, WorkingSetStagesAreSerial) {
+  TransferConfig config;
+  TransferModel model(config);
+  const Bytes size = GiB(10);
+  TransferBreakdown b = model.WorkingSetTransfer(size);
+  EXPECT_NEAR(b.dump_s, static_cast<double>(size) / (config.dump_mbps * 1e6),
+              1e-6);
+  EXPECT_NEAR(b.network_s,
+              static_cast<double>(size) / (config.network_mbps * 1e6), 1e-6);
+  EXPECT_NEAR(b.load_s,
+              static_cast<double>(size) / (config.temp_load_mbps * 1e6),
+              1e-6);
+  EXPECT_NEAR(b.Total(), b.dump_s + b.network_s + b.load_s, 1e-9);
+}
+
+TEST(TransferModelTest, PermanentLoadSlowerThanTemp) {
+  TransferModel model(TransferConfig{});
+  const Bytes size = GiB(10);
+  EXPECT_GT(model.ViewTransferToDw(size).load_s,
+            model.WorkingSetTransfer(size).load_s)
+      << "permanent loads build indexes";
+}
+
+TEST(TransferModelTest, ZeroBytesZeroCost) {
+  TransferModel model(TransferConfig{});
+  EXPECT_DOUBLE_EQ(model.WorkingSetTransfer(0).Total(), 0.0);
+  EXPECT_DOUBLE_EQ(model.ViewTransferToDw(0).Total(), 0.0);
+  EXPECT_DOUBLE_EQ(model.ViewTransferToHv(0).Total(), 0.0);
+}
+
+TEST(TransferModelTest, CostLinearInBytes) {
+  TransferModel model(TransferConfig{});
+  EXPECT_NEAR(model.WorkingSetTransfer(GiB(20)).Total(),
+              2 * model.WorkingSetTransfer(GiB(10)).Total(), 1e-6);
+}
+
+TEST(TransferModelTest, ReorgMoveBackUsesExportPath) {
+  TransferConfig config;
+  TransferModel model(config);
+  TransferBreakdown b = model.ViewTransferToHv(GiB(1));
+  EXPECT_NEAR(b.dump_s,
+              static_cast<double>(GiB(1)) / (config.dw_export_mbps * 1e6),
+              1e-6);
+  EXPECT_NEAR(b.load_s,
+              static_cast<double>(GiB(1)) / (config.hdfs_write_mbps * 1e6),
+              1e-6);
+}
+
+TEST(TransferModelTest, CalibrationHundredGigabytesIsTensOfKiloseconds) {
+  // Figure 3's "bad plans": dumping + loading a ~100 GB working set has to
+  // cost on the order of 10^3..10^4 s to make early splits catastrophic.
+  TransferModel model(TransferConfig{});
+  const Seconds t = model.WorkingSetTransfer(GiB(100)).Total();
+  EXPECT_GT(t, 1000);
+  EXPECT_LT(t, 50000);
+}
+
+}  // namespace
+}  // namespace miso::transfer

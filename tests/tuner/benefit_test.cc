@@ -1,0 +1,163 @@
+#include "tuner/benefit.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "hv/hv_cost_model.h"
+#include "plan/node_factory.h"
+#include "views/view.h"
+
+namespace miso::tuner {
+namespace {
+
+using plan::NodePtr;
+using plan::OpKind;
+using testing_util::PaperCatalog;
+using views::View;
+
+class BenefitTest : public ::testing::Test {
+ protected:
+  BenefitTest()
+      : factory_(&PaperCatalog()),
+        hv_model_(hv::HvConfig{}),
+        dw_model_(dw::DwConfig{}),
+        transfer_model_(transfer::TransferConfig{}),
+        optimizer_(&factory_, &hv_model_, &dw_model_, &transfer_model_) {}
+
+  plan::Plan Query(const std::string& name, const std::string& topic) {
+    return *testing_util::MakeAnalystPlan(&PaperCatalog(), name, topic, 0.1,
+                                          /*udf_dw_compatible=*/true);
+  }
+
+  View UdfView(const plan::Plan& p, views::ViewId id) {
+    for (const NodePtr& node : p.PostOrder()) {
+      if (node->kind() == OpKind::kUdf) {
+        View v = views::ViewFromNode(*node);
+        v.id = id;
+        return v;
+      }
+    }
+    return View{};
+  }
+
+  plan::NodeFactory factory_;
+  hv::HvCostModel hv_model_;
+  dw::DwCostModel dw_model_;
+  transfer::TransferModel transfer_model_;
+  optimizer::MultistoreOptimizer optimizer_;
+};
+
+TEST_F(BenefitTest, EpochDecayWeights) {
+  BenefitAnalyzer analyzer(&optimizer_, /*epoch_len=*/3, /*decay=*/0.5);
+  std::vector<plan::Plan> window(6, Query("q", "c%"));
+  ASSERT_TRUE(analyzer.SetWindow(window).ok());
+  // Oldest 3 queries are one epoch old (weight 0.5); newest 3 weight 1.
+  EXPECT_DOUBLE_EQ(analyzer.Weight(0), 0.5);
+  EXPECT_DOUBLE_EQ(analyzer.Weight(2), 0.5);
+  EXPECT_DOUBLE_EQ(analyzer.Weight(3), 1.0);
+  EXPECT_DOUBLE_EQ(analyzer.Weight(5), 1.0);
+}
+
+TEST_F(BenefitTest, RelevantViewHasPositiveBenefit) {
+  BenefitAnalyzer analyzer(&optimizer_, 3, 0.6);
+  plan::Plan q = Query("q", "c%");
+  ASSERT_TRUE(analyzer.SetWindow({q}).ok());
+  View v = UdfView(q, 1);
+  auto benefits = analyzer.PerQueryBenefit({v}, Placement::kBothStores);
+  ASSERT_TRUE(benefits.ok());
+  ASSERT_EQ(benefits->size(), 1u);
+  EXPECT_GT((*benefits)[0], 1000)
+      << "the UDF view answers most of its creator query";
+}
+
+TEST_F(BenefitTest, IrrelevantViewHasZeroBenefit) {
+  BenefitAnalyzer analyzer(&optimizer_, 3, 0.6);
+  plan::Plan q1 = Query("q1", "c%");
+  plan::Plan q2 = Query("q2", "zzz%");  // different topic: no reuse
+  ASSERT_TRUE(analyzer.SetWindow({q2}).ok());
+  View v = UdfView(q1, 1);
+  auto benefits = analyzer.PerQueryBenefit({v}, Placement::kBothStores);
+  ASSERT_TRUE(benefits.ok());
+  EXPECT_DOUBLE_EQ((*benefits)[0], 0.0);
+}
+
+TEST_F(BenefitTest, DwPlacementBeatsHvPlacement) {
+  // For a DW-eligible chain, the view is worth more in the DW (execution
+  // asymmetry), which is what drives the DW-first packing.
+  BenefitAnalyzer analyzer(&optimizer_, 3, 0.6);
+  plan::Plan q = Query("q", "c%");
+  ASSERT_TRUE(analyzer.SetWindow({q}).ok());
+  View v = UdfView(q, 1);
+  auto dw = analyzer.PredictedBenefit({v}, Placement::kDwOnly);
+  auto hv = analyzer.PredictedBenefit({v}, Placement::kHvOnly);
+  ASSERT_TRUE(dw.ok());
+  ASSERT_TRUE(hv.ok());
+  EXPECT_GT(*dw, *hv);
+  EXPECT_GT(*hv, 0);
+}
+
+TEST_F(BenefitTest, HvOnlyUdfMakesDwPlacementWorthless) {
+  // A filtered view below an HV-only UDF cannot be used from the DW at
+  // all: its DW-only benefit must be zero while its HV benefit is not.
+  auto q = *testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                          /*udf_dw_compatible=*/false);
+  View filtered;
+  for (const NodePtr& node : q.PostOrder()) {
+    if (node->kind() == OpKind::kFilter &&
+        node->output_schema().HasField("topic")) {
+      filtered = views::ViewFromNode(*node);
+      filtered.id = 1;
+    }
+  }
+  BenefitAnalyzer analyzer(&optimizer_, 3, 0.6);
+  ASSERT_TRUE(analyzer.SetWindow({q}).ok());
+  auto dw = analyzer.PredictedBenefit({filtered}, Placement::kDwOnly);
+  auto hv = analyzer.PredictedBenefit({filtered}, Placement::kHvOnly);
+  ASSERT_TRUE(dw.ok());
+  ASSERT_TRUE(hv.ok());
+  EXPECT_DOUBLE_EQ(*dw, 0.0);
+  EXPECT_GT(*hv, 0.0);
+}
+
+TEST_F(BenefitTest, DecayedTotalWeighsRecentQueriesMore) {
+  BenefitAnalyzer analyzer(&optimizer_, /*epoch_len=*/1, /*decay=*/0.1);
+  plan::Plan hit = Query("hit", "c%");
+  plan::Plan miss = Query("miss", "zzz%");
+  View v = UdfView(hit, 1);
+
+  // Hit in the newest epoch -> full weight.
+  ASSERT_TRUE(analyzer.SetWindow({miss, hit}).ok());
+  auto recent = analyzer.PredictedBenefit({v}, Placement::kBothStores);
+  // Hit in the oldest epoch -> decayed weight.
+  BenefitAnalyzer analyzer2(&optimizer_, 1, 0.1);
+  ASSERT_TRUE(analyzer2.SetWindow({hit, miss}).ok());
+  auto old = analyzer2.PredictedBenefit({v}, Placement::kBothStores);
+  ASSERT_TRUE(recent.ok());
+  ASSERT_TRUE(old.ok());
+  EXPECT_GT(*recent, 5.0 * *old);
+}
+
+TEST_F(BenefitTest, JointBenefitOfSubstitutesIsSubAdditive) {
+  plan::Plan q = Query("q", "c%");
+  // Two views along the same chain substitute for each other.
+  View udf_view = UdfView(q, 1);
+  View join_view;
+  for (const NodePtr& node : q.PostOrder()) {
+    if (node->kind() == OpKind::kJoin) {
+      join_view = views::ViewFromNode(*node);
+      join_view.id = 2;
+      break;
+    }
+  }
+  BenefitAnalyzer analyzer(&optimizer_, 3, 0.6);
+  ASSERT_TRUE(analyzer.SetWindow({q}).ok());
+  auto both = analyzer.PredictedBenefit({udf_view, join_view},
+                                        Placement::kBothStores);
+  auto a = analyzer.PredictedBenefit({udf_view}, Placement::kBothStores);
+  auto b = analyzer.PredictedBenefit({join_view}, Placement::kBothStores);
+  ASSERT_TRUE(both.ok());
+  EXPECT_LT(*both, *a + *b - 1.0) << "strongly negative interaction";
+}
+
+}  // namespace
+}  // namespace miso::tuner

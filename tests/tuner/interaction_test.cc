@@ -1,0 +1,107 @@
+#include "tuner/interaction.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "views/view.h"
+
+namespace miso::tuner {
+namespace {
+
+using plan::NodePtr;
+using plan::OpKind;
+using testing_util::PaperCatalog;
+using views::View;
+
+class InteractionTest : public ::testing::Test {
+ protected:
+  InteractionTest()
+      : factory_(&PaperCatalog()),
+        hv_model_(hv::HvConfig{}),
+        dw_model_(dw::DwConfig{}),
+        transfer_model_(transfer::TransferConfig{}),
+        optimizer_(&factory_, &hv_model_, &dw_model_, &transfer_model_) {}
+
+  static View ViewOf(const plan::Plan& p, OpKind kind, views::ViewId id) {
+    for (const NodePtr& node : p.PostOrder()) {
+      if (node->kind() == kind) {
+        View v = views::ViewFromNode(*node);
+        v.id = id;
+        return v;
+      }
+    }
+    return View{};
+  }
+
+  plan::NodeFactory factory_;
+  hv::HvCostModel hv_model_;
+  dw::DwCostModel dw_model_;
+  transfer::TransferModel transfer_model_;
+  optimizer::MultistoreOptimizer optimizer_;
+};
+
+TEST_F(InteractionTest, SubstituteViewsInteractNegatively) {
+  auto q = *testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                          true);
+  // The UDF view and the join view answer overlapping parts of q.
+  std::vector<View> candidates = {ViewOf(q, OpKind::kUdf, 1),
+                                  ViewOf(q, OpKind::kJoin, 2)};
+  BenefitAnalyzer analyzer(&optimizer_, 3, 0.6);
+  ASSERT_TRUE(analyzer.SetWindow({q}).ok());
+  auto interactions =
+      ComputeInteractions(candidates, &analyzer, InteractionConfig{});
+  ASSERT_TRUE(interactions.ok());
+  ASSERT_EQ(interactions->size(), 1u);
+  EXPECT_FALSE((*interactions)[0].IsPositive());
+  EXPECT_GT((*interactions)[0].magnitude, 0);
+}
+
+TEST_F(InteractionTest, ViewsOfUnrelatedQueriesDoNotInteract) {
+  auto q1 = *testing_util::MakeAnalystPlan(&PaperCatalog(), "q1", "c%", 0.1,
+                                           true);
+  auto q2 = *testing_util::MakeAnalystPlan(&PaperCatalog(), "q2", "z%", 0.1,
+                                           true);
+  std::vector<View> candidates = {ViewOf(q1, OpKind::kUdf, 1),
+                                  ViewOf(q2, OpKind::kUdf, 2)};
+  BenefitAnalyzer analyzer(&optimizer_, 3, 0.6);
+  ASSERT_TRUE(analyzer.SetWindow({q1, q2}).ok());
+  auto interactions =
+      ComputeInteractions(candidates, &analyzer, InteractionConfig{});
+  ASSERT_TRUE(interactions.ok());
+  EXPECT_TRUE(interactions->empty())
+      << "no window query benefits from both views";
+}
+
+TEST(StablePartitionTest, UnionsTransitively) {
+  std::vector<Interaction> interactions;
+  Interaction i1;
+  i1.a = 0;
+  i1.b = 1;
+  Interaction i2;
+  i2.a = 1;
+  i2.b = 2;
+  interactions.push_back(i1);
+  interactions.push_back(i2);
+  auto parts = StablePartition(5, interactions);
+  // {0,1,2}, {3}, {4}
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(parts[1], (std::vector<int>{3}));
+  EXPECT_EQ(parts[2], (std::vector<int>{4}));
+}
+
+TEST(StablePartitionTest, NoInteractionsMeansSingletons) {
+  auto parts = StablePartition(3, {});
+  ASSERT_EQ(parts.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(parts[static_cast<size_t>(i)],
+              std::vector<int>{i});
+  }
+}
+
+TEST(StablePartitionTest, EmptyUniverse) {
+  EXPECT_TRUE(StablePartition(0, {}).empty());
+}
+
+}  // namespace
+}  // namespace miso::tuner

@@ -1,0 +1,69 @@
+#include "tuner/reorg_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "views/view_catalog.h"
+
+namespace miso::tuner {
+namespace {
+
+views::View MakeView(views::ViewId id, Bytes size) {
+  views::View v;
+  v.id = id;
+  v.size_bytes = size;
+  v.signature = id * 1000;
+  return v;
+}
+
+TEST(ReorgPlanTest, ByteAccounting) {
+  ReorgPlan plan;
+  plan.move_to_dw.push_back(MakeView(1, GiB(2)));
+  plan.move_to_dw.push_back(MakeView(2, GiB(3)));
+  plan.move_to_hv.push_back(MakeView(3, GiB(1)));
+  EXPECT_EQ(plan.BytesToDw(), GiB(5));
+  EXPECT_EQ(plan.BytesToHv(), GiB(1));
+  EXPECT_FALSE(plan.Empty());
+  EXPECT_TRUE(ReorgPlan{}.Empty());
+}
+
+TEST(ReorgPlanTest, SummaryMentionsCounts) {
+  ReorgPlan plan;
+  plan.move_to_dw.push_back(MakeView(1, GiB(2)));
+  plan.drop_from_hv.push_back(7);
+  const std::string s = plan.Summary();
+  EXPECT_NE(s.find("1 views -> DW"), std::string::npos);
+  EXPECT_NE(s.find("1 dropped from HV"), std::string::npos);
+}
+
+TEST(ReorgPlanTest, ApplyMovesViewsBetweenCatalogs) {
+  views::ViewCatalog hv(GiB(100));
+  views::ViewCatalog dw(GiB(100));
+  ASSERT_TRUE(hv.Add(MakeView(1, GiB(2))).ok());
+  ASSERT_TRUE(hv.Add(MakeView(2, GiB(1))).ok());
+  ASSERT_TRUE(dw.Add(MakeView(3, GiB(4))).ok());
+
+  ReorgPlan plan;
+  plan.move_to_dw.push_back(*hv.Find(1));
+  plan.move_to_hv.push_back(*dw.Find(3));
+  plan.drop_from_hv.push_back(2);
+  ASSERT_TRUE(ApplyReorgPlan(plan, &hv, &dw).ok());
+
+  EXPECT_TRUE(dw.Contains(1));
+  EXPECT_FALSE(hv.Contains(1));
+  EXPECT_TRUE(hv.Contains(3));
+  EXPECT_FALSE(dw.Contains(3));
+  EXPECT_FALSE(hv.Contains(2));
+  EXPECT_EQ(hv.used_bytes(), GiB(4));
+  EXPECT_EQ(dw.used_bytes(), GiB(2));
+}
+
+TEST(ReorgPlanTest, ApplyFailsOnMissingView) {
+  views::ViewCatalog hv(GiB(10));
+  views::ViewCatalog dw(GiB(10));
+  ReorgPlan plan;
+  plan.move_to_dw.push_back(MakeView(99, GiB(1)));  // not in HV
+  EXPECT_FALSE(ApplyReorgPlan(plan, &hv, &dw).ok());
+}
+
+}  // namespace
+}  // namespace miso::tuner

@@ -1,0 +1,112 @@
+#include "tuner/sparsify.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "views/view.h"
+
+namespace miso::tuner {
+namespace {
+
+using plan::NodePtr;
+using plan::OpKind;
+using testing_util::PaperCatalog;
+using views::View;
+
+class SparsifyTest : public ::testing::Test {
+ protected:
+  SparsifyTest()
+      : factory_(&PaperCatalog()),
+        hv_model_(hv::HvConfig{}),
+        dw_model_(dw::DwConfig{}),
+        transfer_model_(transfer::TransferConfig{}),
+        optimizer_(&factory_, &hv_model_, &dw_model_, &transfer_model_),
+        analyzer_(&optimizer_, 3, 0.6) {}
+
+  static View ViewOf(const plan::Plan& p, OpKind kind, views::ViewId id) {
+    for (const NodePtr& node : p.PostOrder()) {
+      if (node->kind() == kind) {
+        View v = views::ViewFromNode(*node);
+        v.id = id;
+        return v;
+      }
+    }
+    return View{};
+  }
+
+  plan::NodeFactory factory_;
+  hv::HvCostModel hv_model_;
+  dw::DwCostModel dw_model_;
+  transfer::TransferModel transfer_model_;
+  optimizer::MultistoreOptimizer optimizer_;
+  BenefitAnalyzer analyzer_;
+};
+
+TEST_F(SparsifyTest, OneItemPerPart) {
+  auto q = *testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                          true);
+  std::vector<View> candidates = {ViewOf(q, OpKind::kUdf, 1),
+                                  ViewOf(q, OpKind::kJoin, 2),
+                                  ViewOf(q, OpKind::kAggregate, 3)};
+  ASSERT_TRUE(analyzer_.SetWindow({q}).ok());
+  auto interactions =
+      ComputeInteractions(candidates, &analyzer_, InteractionConfig{});
+  ASSERT_TRUE(interactions.ok());
+  auto parts = StablePartition(static_cast<int>(candidates.size()),
+                               *interactions);
+  auto items = SparsifySets(candidates, parts, *interactions, &analyzer_);
+  ASSERT_TRUE(items.ok());
+  EXPECT_EQ(items->size(), parts.size());
+  // Every surviving item has consistent sizing.
+  for (const CandidateItem& item : *items) {
+    Bytes sum = 0;
+    for (const View& v : item.members) sum += v.size_bytes;
+    EXPECT_EQ(item.size_bytes, sum);
+    EXPECT_GE(item.benefit_both, 0);
+  }
+}
+
+TEST_F(SparsifyTest, NegativePartKeepsDensestRepresentative) {
+  auto q = *testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                          true);
+  // The aggregate view is excluded from harvests in the system (it is the
+  // final result), but here we craft a part of two substitutes directly:
+  // the UDF view (small, near-total benefit) vs the join view (bigger,
+  // slightly less benefit). The representative must be the denser UDF
+  // view.
+  std::vector<View> candidates = {ViewOf(q, OpKind::kUdf, 1),
+                                  ViewOf(q, OpKind::kJoin, 2)};
+  ASSERT_LT(candidates[0].size_bytes, candidates[1].size_bytes);
+  ASSERT_TRUE(analyzer_.SetWindow({q}).ok());
+  auto interactions =
+      ComputeInteractions(candidates, &analyzer_, InteractionConfig{});
+  ASSERT_TRUE(interactions.ok());
+  ASSERT_EQ(interactions->size(), 1u) << "they must strongly interact";
+  auto parts = StablePartition(2, *interactions);
+  ASSERT_EQ(parts.size(), 1u);
+  auto items = SparsifySets(candidates, parts, *interactions, &analyzer_);
+  ASSERT_TRUE(items.ok());
+  ASSERT_EQ(items->size(), 1u);
+  ASSERT_EQ((*items)[0].members.size(), 1u);
+  EXPECT_EQ((*items)[0].members[0].id, 1u)
+      << "benefit density favors the small UDF view";
+}
+
+TEST_F(SparsifyTest, SingletonPartsPassThrough) {
+  auto q1 = *testing_util::MakeAnalystPlan(&PaperCatalog(), "q1", "c%", 0.1,
+                                           true);
+  auto q2 = *testing_util::MakeAnalystPlan(&PaperCatalog(), "q2", "z%", 0.1,
+                                           true);
+  std::vector<View> candidates = {ViewOf(q1, OpKind::kUdf, 1),
+                                  ViewOf(q2, OpKind::kUdf, 2)};
+  ASSERT_TRUE(analyzer_.SetWindow({q1, q2}).ok());
+  auto parts = StablePartition(2, {});
+  auto items = SparsifySets(candidates, parts, {}, &analyzer_);
+  ASSERT_TRUE(items.ok());
+  ASSERT_EQ(items->size(), 2u);
+  EXPECT_EQ((*items)[0].members[0].id, 1u);
+  EXPECT_EQ((*items)[1].members[0].id, 2u);
+}
+
+}  // namespace
+}  // namespace miso::tuner

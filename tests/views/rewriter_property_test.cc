@@ -1,0 +1,105 @@
+// Property sweep of the rewriter over the full workload and random view
+// subsets: a rewrite must always preserve semantic identity, never grow
+// the plan, and keep the estimated result close to the original's.
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "common/rng.h"
+#include "hv/hv_store.h"
+#include "views/rewriter.h"
+#include "workload/evolutionary.h"
+
+namespace miso::views {
+namespace {
+
+using plan::NodePtr;
+using plan::OpKind;
+using testing_util::PaperCatalog;
+
+class RewriterPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  struct Shared {
+    Shared() {
+      auto w = workload::EvolutionaryWorkload::Generate(
+          &PaperCatalog(), workload::WorkloadConfig{});
+      queries = w->Plans();
+      hv::HvStore store(hv::HvConfig{}, 100 * kTiB);
+      uint64_t next_id = 1;
+      for (size_t i = 0; i < queries.size(); ++i) {
+        auto exec = store.Execute(queries[i].root(), static_cast<int>(i), 0,
+                                  &next_id, queries[i].signature());
+        for (View& v : exec->produced_views) {
+          all_views.push_back(std::move(v));
+        }
+      }
+    }
+    std::vector<plan::Plan> queries;
+    std::vector<View> all_views;
+  };
+
+  static Shared& shared() {
+    static auto* s = new Shared();
+    return *s;
+  }
+};
+
+TEST_P(RewriterPropertyTest, RandomDesignsPreserveSemantics) {
+  Shared& s = shared();
+  Rng rng(GetParam());
+  plan::NodeFactory factory(&PaperCatalog());
+  Rewriter rewriter(&factory);
+
+  for (int round = 0; round < 6; ++round) {
+    // Random split of a random view subset across the two stores.
+    ViewCatalog hv(100 * kTiB);
+    ViewCatalog dw(100 * kTiB);
+    for (const View& v : s.all_views) {
+      const double draw = rng.NextDouble();
+      if (draw < 0.25) {
+        ASSERT_TRUE(dw.AddUnchecked(v).ok());
+      } else if (draw < 0.6) {
+        ASSERT_TRUE(hv.AddUnchecked(v).ok());
+      }
+    }
+
+    for (const plan::Plan& q : s.queries) {
+      RewriteReport report;
+      auto rewritten = rewriter.Rewrite(q, dw, hv, &report);
+      ASSERT_TRUE(rewritten.ok()) << q.query_name();
+
+      // Identity preserved; plan never grows.
+      EXPECT_EQ(rewritten->signature(), q.signature()) << q.query_name();
+      EXPECT_LE(rewritten->NumOperators(), q.NumOperators());
+
+      // Estimated result stays close to the original (compensation
+      // selectivities compose).
+      const double original =
+          static_cast<double>(q.root()->stats().rows);
+      const double after =
+          static_cast<double>(rewritten->root()->stats().rows);
+      EXPECT_NEAR(after, original, 0.25 * original + 8) << q.query_name();
+
+      // Every ViewScan refers to a view present in the right store.
+      for (const NodePtr& node : rewritten->PostOrder()) {
+        if (node->kind() != OpKind::kViewScan) continue;
+        const ViewCatalog& catalog =
+            node->view_scan().store == StoreKind::kDw ? dw : hv;
+        EXPECT_TRUE(catalog.Contains(node->view_scan().view_id));
+      }
+
+      // Report counters line up with the plan contents.
+      int view_scans = 0;
+      for (const NodePtr& node : rewritten->PostOrder()) {
+        if (node->kind() == OpKind::kViewScan) ++view_scans;
+      }
+      EXPECT_EQ(view_scans, report.dw_views_used + report.hv_views_used);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RewriterPropertyTest,
+                         ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace miso::views

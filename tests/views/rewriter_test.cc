@@ -1,0 +1,206 @@
+#include "views/rewriter.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "plan/printer.h"
+
+namespace miso::views {
+namespace {
+
+using plan::CompareOp;
+using plan::MakeAtom;
+using plan::NodePtr;
+using plan::OpKind;
+using testing_util::PaperCatalog;
+
+class RewriterTest : public ::testing::Test {
+ protected:
+  RewriterTest() : factory_(&PaperCatalog()), rewriter_(&factory_) {}
+
+  /// Finds the first node of `kind` in post-order.
+  static NodePtr FindNode(const plan::Plan& p, OpKind kind) {
+    for (const NodePtr& node : p.PostOrder()) {
+      if (node->kind() == kind) return node;
+    }
+    return nullptr;
+  }
+
+  static int CountViewScans(const plan::Plan& p, StoreKind store) {
+    int count = 0;
+    for (const NodePtr& node : p.PostOrder()) {
+      if (node->kind() == OpKind::kViewScan &&
+          node->view_scan().store == store) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  View HarvestView(const NodePtr& node, ViewId id) {
+    View v = ViewFromNode(*node);
+    v.id = id;
+    return v;
+  }
+
+  plan::NodeFactory factory_;
+  Rewriter rewriter_;
+  ViewCatalog empty_{0};
+};
+
+TEST_F(RewriterTest, NoViewsMeansNoChange) {
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                            false);
+  RewriteReport report;
+  auto rewritten = rewriter_.Rewrite(*plan, empty_, empty_, &report);
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_FALSE(report.AnyRewrite());
+  EXPECT_EQ(rewritten->root(), plan->root()) << "untouched subtrees shared";
+}
+
+TEST_F(RewriterTest, ExactMatchReplacesLargestSubtree) {
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                            false);
+  // Materialize the UDF output (the whole lower tree).
+  NodePtr udf = FindNode(*plan, OpKind::kUdf);
+  ASSERT_NE(udf, nullptr);
+  ViewCatalog hv(kTiB);
+  ASSERT_TRUE(hv.Add(HarvestView(udf, 1)).ok());
+
+  RewriteReport report;
+  auto rewritten = rewriter_.RewriteSingleStore(*plan, hv, StoreKind::kHv,
+                                                &report);
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ(report.exact_matches, 1);
+  EXPECT_EQ(CountViewScans(*rewritten, StoreKind::kHv), 1);
+  EXPECT_LT(rewritten->NumOperators(), plan->NumOperators());
+  // Rewrites preserve semantic identity.
+  EXPECT_EQ(rewritten->signature(), plan->signature());
+}
+
+TEST_F(RewriterTest, SubsumptionAddsCompensationFilter) {
+  auto v1 = testing_util::MakeAnalystPlan(&PaperCatalog(), "v1", "c%", 0.2,
+                                          false);
+  // v2 tightens the twitter filter: the v1 filtered view subsumes it.
+  plan::PlanBuilder b(&PaperCatalog());
+  auto v2_filter =
+      b.Scan("twitter")
+          .Extract({"user_id", "ts", "topic", "text"})
+          .Filter({MakeAtom("topic", CompareOp::kLike, "c%", 0.2),
+                   MakeAtom("ts", CompareOp::kGt, "15000", 0.5),
+                   MakeAtom("ts", CompareOp::kGt, "15200", 0.3)});
+  auto v2 = v2_filter.Aggregate({"topic"}, {{"count", "*"}}).Build("v2");
+  ASSERT_TRUE(v2.ok());
+
+  // Harvest v1's filtered-twitter view.
+  NodePtr v1_filter;
+  for (const NodePtr& node : v1->PostOrder()) {
+    if (node->kind() == OpKind::kFilter &&
+        node->children()[0]->kind() == OpKind::kExtract) {
+      v1_filter = node;
+      break;
+    }
+  }
+  ASSERT_NE(v1_filter, nullptr);
+  ViewCatalog hv(kTiB);
+  ASSERT_TRUE(hv.Add(HarvestView(v1_filter, 1)).ok());
+
+  RewriteReport report;
+  auto rewritten = rewriter_.RewriteSingleStore(*v2, hv, StoreKind::kHv,
+                                                &report);
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ(report.subsumption_matches, 1);
+  EXPECT_EQ(CountViewScans(*rewritten, StoreKind::kHv), 1);
+  // The compensation keeps the original node's canonical identity.
+  EXPECT_EQ(rewritten->signature(), v2->signature());
+  // Estimated output of the compensated filter tracks the original.
+  NodePtr original_filter = v2->root()->children()[0];
+  NodePtr rewritten_filter = rewritten->root()->children()[0];
+  EXPECT_NEAR(
+      static_cast<double>(rewritten_filter->stats().rows),
+      static_cast<double>(original_filter->stats().rows),
+      0.05 * static_cast<double>(original_filter->stats().rows) + 2);
+}
+
+TEST_F(RewriterTest, NonSubsumingViewIsIgnored) {
+  // View filtered topic 'c%'; query needs topic 'd%': no reuse.
+  auto v1 = testing_util::MakeAnalystPlan(&PaperCatalog(), "v1", "c%", 0.2,
+                                          false);
+  auto v2 = testing_util::MakeAnalystPlan(&PaperCatalog(), "v2", "d%", 0.2,
+                                          false);
+  NodePtr v1_filter;
+  for (const NodePtr& node : v1->PostOrder()) {
+    if (node->kind() == OpKind::kFilter) {
+      v1_filter = node;
+      break;
+    }
+  }
+  ViewCatalog hv(kTiB);
+  ASSERT_TRUE(hv.Add(HarvestView(v1_filter, 1)).ok());
+  RewriteReport report;
+  auto rewritten = rewriter_.RewriteSingleStore(*v2, hv, StoreKind::kHv,
+                                                &report);
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ(report.subsumption_matches, 0);
+  EXPECT_EQ(report.exact_matches, 0);
+}
+
+TEST_F(RewriterTest, DwPreferredOverHv) {
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                            false);
+  NodePtr udf = FindNode(*plan, OpKind::kUdf);
+  ViewCatalog hv(kTiB);
+  ViewCatalog dw(kTiB);
+  ASSERT_TRUE(hv.Add(HarvestView(udf, 1)).ok());
+  ASSERT_TRUE(dw.Add(HarvestView(udf, 2)).ok());
+
+  RewriteReport report;
+  auto rewritten = rewriter_.Rewrite(*plan, dw, hv, &report);
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ(report.dw_views_used, 1);
+  EXPECT_EQ(report.hv_views_used, 0);
+  EXPECT_EQ(CountViewScans(*rewritten, StoreKind::kDw), 1);
+}
+
+TEST_F(RewriterTest, SmallestApplicableViewWins) {
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                            false);
+  NodePtr filter;
+  for (const NodePtr& node : plan->PostOrder()) {
+    if (node->kind() == OpKind::kFilter &&
+        node->children()[0]->kind() == OpKind::kExtract &&
+        node->children()[0]->children()[0]->scan().dataset == "twitter") {
+      filter = node;
+      break;
+    }
+  }
+  ASSERT_NE(filter, nullptr);
+
+  // Two subsuming views over the same base; the smaller must be chosen.
+  View loose = ViewFromNode(*filter);
+  loose.id = 1;
+  loose.predicate = plan::Predicate(
+      {MakeAtom("ts", CompareOp::kGt, "15000", 0.5)});
+  loose.base_signature = filter->children()[0]->signature();
+  loose.size_bytes = GiB(50);
+  loose.signature = 111;
+
+  View tight = loose;
+  tight.id = 2;
+  tight.size_bytes = GiB(5);
+  tight.signature = 222;
+
+  ViewCatalog hv(kTiB);
+  ASSERT_TRUE(hv.Add(loose).ok());
+  ASSERT_TRUE(hv.Add(tight).ok());
+
+  RewriteReport report;
+  auto rewritten = rewriter_.RewriteSingleStore(*plan, hv, StoreKind::kHv,
+                                                &report);
+  ASSERT_TRUE(rewritten.ok());
+  ASSERT_EQ(report.views_used.size(), 1u);
+  EXPECT_EQ(report.views_used[0], 2u);
+}
+
+}  // namespace
+}  // namespace miso::views

@@ -1,0 +1,107 @@
+#include "views/view_catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace miso::views {
+namespace {
+
+View MakeView(ViewId id, Bytes size, uint64_t signature,
+              uint64_t base_signature = 0) {
+  View v;
+  v.id = id;
+  v.size_bytes = size;
+  v.signature = signature;
+  v.base_signature = base_signature;
+  v.created_by_query = static_cast<int>(id);
+  return v;
+}
+
+TEST(ViewCatalogTest, AddEnforcesBudget) {
+  ViewCatalog catalog(100);
+  ASSERT_TRUE(catalog.Add(MakeView(1, 60, 0xA)).ok());
+  EXPECT_EQ(catalog.used_bytes(), 60);
+  EXPECT_EQ(catalog.available_bytes(), 40);
+
+  Status s = catalog.Add(MakeView(2, 50, 0xB));
+  EXPECT_EQ(s.code(), StatusCode::kOutOfBudget);
+  EXPECT_EQ(catalog.size(), 1);
+}
+
+TEST(ViewCatalogTest, AddUncheckedAllowsOverBudget) {
+  ViewCatalog catalog(100);
+  ASSERT_TRUE(catalog.AddUnchecked(MakeView(1, 150, 0xA)).ok());
+  EXPECT_TRUE(catalog.OverBudget());
+  EXPECT_EQ(catalog.used_bytes(), 150);
+}
+
+TEST(ViewCatalogTest, DuplicateIdRejected) {
+  ViewCatalog catalog(100);
+  ASSERT_TRUE(catalog.Add(MakeView(1, 10, 0xA)).ok());
+  EXPECT_EQ(catalog.Add(MakeView(1, 10, 0xB)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(ViewCatalogTest, RemoveReleasesBytes) {
+  ViewCatalog catalog(100);
+  ASSERT_TRUE(catalog.Add(MakeView(1, 60, 0xA)).ok());
+  ASSERT_TRUE(catalog.Remove(1).ok());
+  EXPECT_EQ(catalog.used_bytes(), 0);
+  EXPECT_FALSE(catalog.Contains(1));
+  EXPECT_EQ(catalog.Remove(1).code(), StatusCode::kNotFound);
+}
+
+TEST(ViewCatalogTest, FindExactBySignature) {
+  ViewCatalog catalog(1000);
+  catalog.Add(MakeView(1, 10, 0xAAA));
+  catalog.Add(MakeView(2, 20, 0xBBB));
+  auto v = catalog.FindExact(0xBBB);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->id, 2u);
+  EXPECT_FALSE(catalog.FindExact(0xCCC).has_value());
+}
+
+TEST(ViewCatalogTest, FindByBaseCollectsCandidates) {
+  ViewCatalog catalog(1000);
+  catalog.Add(MakeView(1, 10, 0x1, /*base=*/0x99));
+  catalog.Add(MakeView(2, 20, 0x2, /*base=*/0x99));
+  catalog.Add(MakeView(3, 30, 0x3, /*base=*/0x77));
+  catalog.Add(MakeView(4, 40, 0x4, /*base=*/0));  // not a filter view
+  EXPECT_EQ(catalog.FindByBase(0x99).size(), 2u);
+  EXPECT_EQ(catalog.FindByBase(0x77).size(), 1u);
+  EXPECT_TRUE(catalog.FindByBase(0).empty())
+      << "base 0 means 'no filter root' and must never match";
+}
+
+TEST(ViewCatalogTest, TouchAdvancesLastUsed) {
+  ViewCatalog catalog(1000);
+  catalog.Add(MakeView(5, 10, 0xA));
+  EXPECT_EQ(catalog.LastUsed(5), 5) << "starts at creation index";
+  catalog.TouchView(5, 9);
+  EXPECT_EQ(catalog.LastUsed(5), 9);
+  catalog.TouchView(5, 7);
+  EXPECT_EQ(catalog.LastUsed(5), 9) << "touches never move backwards";
+  EXPECT_EQ(catalog.LastUsed(999), -1);
+}
+
+TEST(ViewCatalogTest, AllViewsIsDeterministicallyOrdered) {
+  ViewCatalog catalog(1000);
+  catalog.Add(MakeView(3, 1, 0x3));
+  catalog.Add(MakeView(1, 1, 0x1));
+  catalog.Add(MakeView(2, 1, 0x2));
+  std::vector<View> all = catalog.AllViews();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].id, 1u);
+  EXPECT_EQ(all[1].id, 2u);
+  EXPECT_EQ(all[2].id, 3u);
+}
+
+TEST(ViewCatalogTest, ClearResetsState) {
+  ViewCatalog catalog(1000);
+  catalog.Add(MakeView(1, 10, 0xA));
+  catalog.Clear();
+  EXPECT_TRUE(catalog.empty());
+  EXPECT_EQ(catalog.used_bytes(), 0);
+}
+
+}  // namespace
+}  // namespace miso::views

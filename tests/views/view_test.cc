@@ -1,0 +1,55 @@
+#include "views/view.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace miso::views {
+namespace {
+
+using plan::NodePtr;
+using plan::OpKind;
+using testing_util::PaperCatalog;
+
+TEST(ViewTest, ViewFromFilterNodeCapturesBaseAndPredicate) {
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                            false);
+  NodePtr filter;
+  for (const NodePtr& node : plan->PostOrder()) {
+    if (node->kind() == OpKind::kFilter) {
+      filter = node;
+      break;
+    }
+  }
+  ASSERT_NE(filter, nullptr);
+  View v = ViewFromNode(*filter);
+  EXPECT_EQ(v.signature, filter->signature());
+  EXPECT_EQ(v.canonical, filter->canonical());
+  EXPECT_EQ(v.base_signature, filter->children()[0]->signature());
+  EXPECT_FALSE(v.predicate.IsTrue());
+  EXPECT_EQ(v.size_bytes, filter->stats().bytes);
+  EXPECT_EQ(v.stats.rows, filter->stats().rows);
+}
+
+TEST(ViewTest, ViewFromNonFilterNodeHasNoBase) {
+  auto plan = testing_util::MakeAnalystPlan(&PaperCatalog(), "q", "c%", 0.1,
+                                            false);
+  View v = ViewFromNode(*plan->root());  // aggregate root
+  EXPECT_EQ(v.base_signature, 0u);
+  EXPECT_TRUE(v.predicate.IsTrue());
+}
+
+TEST(ViewTest, DebugStringClipsLongCanonicals) {
+  View v;
+  v.id = 7;
+  v.canonical = std::string(500, 'x');
+  v.size_bytes = kGiB;
+  const std::string s = v.DebugString();
+  EXPECT_LT(s.size(), 200u);
+  EXPECT_NE(s.find("v7["), std::string::npos);
+  EXPECT_NE(s.find("..."), std::string::npos);
+  EXPECT_NE(s.find("1.00 GiB"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace miso::views

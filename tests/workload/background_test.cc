@@ -1,0 +1,38 @@
+#include "workload/background.h"
+
+#include <gtest/gtest.h>
+
+namespace miso::workload {
+namespace {
+
+TEST(BackgroundTest, SpareCapacityArithmetic) {
+  // "Spare X%" means the reporting stream consumes 1 - X of the resource.
+  EXPECT_DOUBLE_EQ(SpareIo40().io_demand, 0.60);
+  EXPECT_DOUBLE_EQ(SpareIo20().io_demand, 0.80);
+  EXPECT_DOUBLE_EQ(SpareCpu40().cpu_demand, 0.60);
+  EXPECT_DOUBLE_EQ(SpareCpu20().cpu_demand, 0.80);
+}
+
+TEST(BackgroundTest, IoStreamsAreIoDominant) {
+  EXPECT_GT(SpareIo40().io_demand, SpareIo40().cpu_demand);
+  EXPECT_GT(SpareIo20().io_demand, SpareIo20().cpu_demand);
+}
+
+TEST(BackgroundTest, CpuStreamsAreCpuDominant) {
+  EXPECT_GT(SpareCpu40().cpu_demand, SpareCpu40().io_demand);
+  EXPECT_GT(SpareCpu20().cpu_demand, SpareCpu20().io_demand);
+}
+
+TEST(BackgroundTest, BaseLatencyMatchesPaper) {
+  // The paper measures q3 at 1.06 s with no multistore load.
+  EXPECT_DOUBLE_EQ(SpareIo40().base_query_latency_s, 1.06);
+  EXPECT_DOUBLE_EQ(SpareCpu20().base_query_latency_s, 1.06);
+}
+
+TEST(BackgroundTest, IdleDwHasNoDemand) {
+  EXPECT_DOUBLE_EQ(IdleDw().io_demand, 0.0);
+  EXPECT_DOUBLE_EQ(IdleDw().cpu_demand, 0.0);
+}
+
+}  // namespace
+}  // namespace miso::workload

@@ -1,0 +1,209 @@
+#include "workload/evolutionary.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace miso::workload {
+namespace {
+
+using plan::NodePtr;
+using plan::OpKind;
+using testing_util::PaperCatalog;
+
+WorkloadConfig DefaultConfig() { return WorkloadConfig{}; }
+
+TEST(EvolutionaryWorkloadTest, GeneratesPaperShape) {
+  auto workload =
+      EvolutionaryWorkload::Generate(&PaperCatalog(), DefaultConfig());
+  ASSERT_TRUE(workload.ok());
+  EXPECT_EQ(workload->size(), 32) << "8 analysts x 4 versions";
+  std::map<int, int> per_analyst;
+  for (const WorkloadQuery& q : workload->queries()) {
+    per_analyst[q.analyst]++;
+    EXPECT_FALSE(q.plan.empty());
+  }
+  EXPECT_EQ(per_analyst.size(), 8u);
+  for (const auto& [analyst, count] : per_analyst) EXPECT_EQ(count, 4);
+}
+
+TEST(EvolutionaryWorkloadTest, DeterministicForSeed) {
+  auto w1 = EvolutionaryWorkload::Generate(&PaperCatalog(), DefaultConfig());
+  auto w2 = EvolutionaryWorkload::Generate(&PaperCatalog(), DefaultConfig());
+  ASSERT_TRUE(w1.ok());
+  ASSERT_TRUE(w2.ok());
+  for (int i = 0; i < w1->size(); ++i) {
+    EXPECT_EQ(w1->queries()[static_cast<size_t>(i)].plan.signature(),
+              w2->queries()[static_cast<size_t>(i)].plan.signature());
+  }
+}
+
+TEST(EvolutionaryWorkloadTest, DifferentSeedsDiffer) {
+  WorkloadConfig other = DefaultConfig();
+  other.seed = 777;
+  auto w1 = EvolutionaryWorkload::Generate(&PaperCatalog(), DefaultConfig());
+  auto w2 = EvolutionaryWorkload::Generate(&PaperCatalog(), other);
+  int same = 0;
+  for (int i = 0; i < w1->size(); ++i) {
+    if (w1->queries()[static_cast<size_t>(i)].plan.signature() ==
+        w2->queries()[static_cast<size_t>(i)].plan.signature()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, w1->size());
+}
+
+TEST(EvolutionaryWorkloadTest, InterleavedArrivalOrder) {
+  auto workload =
+      EvolutionaryWorkload::Generate(&PaperCatalog(), DefaultConfig());
+  ASSERT_TRUE(workload.ok());
+  // Phase-interleaved: all v1s first, then all v2s, ...
+  for (int i = 0; i < workload->size(); ++i) {
+    const WorkloadQuery& q = workload->queries()[static_cast<size_t>(i)];
+    EXPECT_EQ(q.version, i / 8);
+    EXPECT_EQ(q.analyst, i % 8);
+  }
+}
+
+TEST(EvolutionaryWorkloadTest, AnalystMajorOrder) {
+  WorkloadConfig config = DefaultConfig();
+  config.interleave = false;
+  auto workload = EvolutionaryWorkload::Generate(&PaperCatalog(), config);
+  ASSERT_TRUE(workload.ok());
+  for (int i = 0; i < workload->size(); ++i) {
+    const WorkloadQuery& q = workload->queries()[static_cast<size_t>(i)];
+    EXPECT_EQ(q.analyst, i / 4);
+    EXPECT_EQ(q.version, i % 4);
+  }
+}
+
+TEST(EvolutionaryWorkloadTest, AllQueriesDistinct) {
+  auto workload =
+      EvolutionaryWorkload::Generate(&PaperCatalog(), DefaultConfig());
+  std::set<uint64_t> signatures;
+  for (const WorkloadQuery& q : workload->queries()) {
+    EXPECT_TRUE(signatures.insert(q.plan.signature()).second)
+        << q.plan.query_name() << " duplicates another query";
+  }
+}
+
+TEST(EvolutionaryWorkloadTest, VersionsOverlapWithinAnalyst) {
+  // Consecutive versions must share subexpressions (that is the whole
+  // point of the evolutionary workload): count common node signatures.
+  auto workload =
+      EvolutionaryWorkload::Generate(&PaperCatalog(), DefaultConfig());
+  int analysts_with_overlap = 0;
+  for (int a = 0; a < 8; ++a) {
+    std::set<uint64_t> v1_nodes;
+    std::set<uint64_t> v2_nodes;
+    for (const WorkloadQuery& q : workload->queries()) {
+      if (q.analyst != a) continue;
+      for (const NodePtr& node : q.plan.PostOrder()) {
+        if (q.version == 0) v1_nodes.insert(node->signature());
+        if (q.version == 1) v2_nodes.insert(node->signature());
+      }
+    }
+    int common = 0;
+    for (uint64_t sig : v2_nodes) {
+      if (v1_nodes.count(sig) > 0) ++common;
+    }
+    if (common >= 3) ++analysts_with_overlap;
+  }
+  EXPECT_EQ(analysts_with_overlap, 8);
+}
+
+TEST(EvolutionaryWorkloadTest, TightenedPredicatesAreSubsumable) {
+  // v3 (tighten-predicate) must imply v1's source filter so the old
+  // filtered view can answer it with compensation.
+  auto workload =
+      EvolutionaryWorkload::Generate(&PaperCatalog(), DefaultConfig());
+  int checked = 0;
+  for (int a = 0; a < 8; ++a) {
+    const WorkloadQuery* v1 = nullptr;
+    const WorkloadQuery* v3 = nullptr;
+    for (const WorkloadQuery& q : workload->queries()) {
+      if (q.analyst != a) continue;
+      if (q.version == 0) v1 = &q;
+      if (q.version == 2) v3 = &q;
+    }
+    ASSERT_NE(v1, nullptr);
+    ASSERT_NE(v3, nullptr);
+    if (v3->mutation != MutationKind::kTightenPredicate) continue;
+    plan::Predicate v1_pred(
+        [&] {
+          std::vector<plan::PredicateAtom> atoms;
+          for (const FilterSpec& f : v1->spec.left.filters) {
+            atoms.push_back(
+                plan::MakeAtom(f.field, f.op, f.operand, f.selectivity));
+          }
+          return atoms;
+        }());
+    plan::Predicate v3_pred(
+        [&] {
+          std::vector<plan::PredicateAtom> atoms;
+          for (const FilterSpec& f : v3->spec.left.filters) {
+            atoms.push_back(
+                plan::MakeAtom(f.field, f.op, f.operand, f.selectivity));
+          }
+          return atoms;
+        }());
+    EXPECT_TRUE(v3_pred.Implies(v1_pred))
+        << "analyst " << a << ": tightened filter must imply the base";
+    ++checked;
+  }
+  EXPECT_GE(checked, 6);
+}
+
+TEST(EvolutionaryWorkloadTest, UdfPlacementMix) {
+  // Some chains are fully DW-eligible, some are pinned to HV — Figure 6's
+  // utilization spread depends on this mix.
+  auto workload =
+      EvolutionaryWorkload::Generate(&PaperCatalog(), DefaultConfig());
+  int hv_pinned_queries = 0;
+  int dw_eligible_chains = 0;
+  for (const WorkloadQuery& q : workload->queries()) {
+    bool has_hv_udf = false;
+    for (const NodePtr& node : q.plan.PostOrder()) {
+      if (node->kind() == OpKind::kUdf && !node->udf().dw_compatible) {
+        has_hv_udf = true;
+      }
+    }
+    if (has_hv_udf) {
+      ++hv_pinned_queries;
+    } else {
+      ++dw_eligible_chains;
+    }
+  }
+  EXPECT_GT(hv_pinned_queries, 8);
+  EXPECT_GT(dw_eligible_chains, 8);
+}
+
+TEST(EvolutionaryWorkloadTest, MutationKindLabels) {
+  EXPECT_EQ(MutationKindToString(MutationKind::kBase), "base");
+  EXPECT_EQ(MutationKindToString(MutationKind::kTightenPredicate),
+            "tighten-predicate");
+  EXPECT_EQ(MutationKindToString(MutationKind::kWidenSchema),
+            "widen-schema");
+}
+
+TEST(EvolutionaryWorkloadTest, InvalidConfigRejected) {
+  WorkloadConfig bad;
+  bad.num_analysts = 0;
+  EXPECT_FALSE(EvolutionaryWorkload::Generate(&PaperCatalog(), bad).ok());
+}
+
+TEST(EvolutionaryWorkloadTest, PlansAccessorMatchesQueries) {
+  auto workload =
+      EvolutionaryWorkload::Generate(&PaperCatalog(), DefaultConfig());
+  std::vector<plan::Plan> plans = workload->Plans();
+  ASSERT_EQ(plans.size(), static_cast<size_t>(workload->size()));
+  for (size_t i = 0; i < plans.size(); ++i) {
+    EXPECT_EQ(plans[i].signature(), workload->queries()[i].plan.signature());
+  }
+}
+
+}  // namespace
+}  // namespace miso::workload

@@ -1,0 +1,76 @@
+#include "workload/query_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace miso::workload {
+namespace {
+
+using plan::OpKind;
+using testing_util::PaperCatalog;
+
+QuerySpec TwoSourceSpec() {
+  QuerySpec spec;
+  spec.name.assign("t");
+  spec.left.dataset = "twitter";
+  spec.left.fields = {"user_id", "topic"};
+  spec.left.filters.push_back(
+      {"topic", plan::CompareOp::kLike, "c%", 0.1});
+  spec.right.dataset = "foursquare";
+  spec.right.fields = {"user_id", "category"};
+  spec.join1_key = "user_id";
+  spec.group_by = {"category"};
+  spec.aggregates = {{"count", "*"}};
+  return spec;
+}
+
+TEST(QuerySpecTest, TwoSourcePlanShape) {
+  auto plan = BuildQueryFromSpec(&PaperCatalog(), TwoSourceSpec());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->root()->kind(), OpKind::kAggregate);
+  // scan+extract+filter, scan+extract, join, agg = 7 operators.
+  EXPECT_EQ(plan->NumOperators(), 7);
+}
+
+TEST(QuerySpecTest, UdfStagesInserted) {
+  QuerySpec spec = TwoSourceSpec();
+  spec.udf1.present = true;
+  spec.udf1.name = "u1";
+  spec.udf2.present = true;
+  spec.udf2.name = "u2";
+  auto plan = BuildQueryFromSpec(&PaperCatalog(), spec);
+  ASSERT_TRUE(plan.ok());
+  int udfs = 0;
+  for (const plan::NodePtr& node : plan->PostOrder()) {
+    if (node->kind() == OpKind::kUdf) ++udfs;
+  }
+  EXPECT_EQ(udfs, 2);
+}
+
+TEST(QuerySpecTest, ThirdSourceAddsSecondJoin) {
+  QuerySpec spec = TwoSourceSpec();
+  spec.right.fields.push_back("checkin_loc");
+  SourceSpec lm;
+  lm.dataset = "landmarks";
+  lm.fields = {"checkin_loc", "region"};
+  spec.third = lm;
+  spec.join2_key = "checkin_loc";
+  spec.group_by = {"region"};
+  auto plan = BuildQueryFromSpec(&PaperCatalog(), spec);
+  ASSERT_TRUE(plan.ok());
+  int joins = 0;
+  for (const plan::NodePtr& node : plan->PostOrder()) {
+    if (node->kind() == OpKind::kJoin) ++joins;
+  }
+  EXPECT_EQ(joins, 2);
+}
+
+TEST(QuerySpecTest, InvalidSpecPropagatesError) {
+  QuerySpec spec = TwoSourceSpec();
+  spec.join1_key = "not_a_field";
+  EXPECT_FALSE(BuildQueryFromSpec(&PaperCatalog(), spec).ok());
+}
+
+}  // namespace
+}  // namespace miso::workload

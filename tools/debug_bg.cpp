@@ -1,0 +1,22 @@
+#include <cstdio>
+#include "core/miso.h"
+using namespace miso;
+int main() {
+  Logger::SetThreshold(LogLevel::kWarning);
+  relation::Catalog catalog = relation::MakePaperCatalog();
+  workload::WorkloadConfig wl;
+  auto w = workload::EvolutionaryWorkload::Generate(&catalog, wl);
+  auto run = [&](dw::BackgroundWorkload bg, const char* label) {
+    sim::SimConfig cfg; cfg.variant = sim::SystemVariant::kMsMiso; cfg.background = bg;
+    sim::MultistoreSimulator s(&catalog, cfg);
+    auto r = s.Run(w->queries());
+    printf("%-8s TTI=%9.1f xfer=%7.1f tune=%7.1f dw=%6.1f bg_slow=%.4f\n", label,
+      r->Tti(), r->transfer_s, r->tune_s, r->dw_exe_s, r->background_slowdown);
+  };
+  run(workload::IdleDw(), "idle");
+  run(workload::SpareIo40(), "io40");
+  run(workload::SpareIo20(), "io20");
+  run(workload::SpareCpu40(), "cpu40");
+  run(workload::SpareCpu20(), "cpu20");
+  return 0;
+}

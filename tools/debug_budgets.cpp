@@ -1,0 +1,27 @@
+#include <cstdio>
+#include "core/miso.h"
+using namespace miso;
+
+int main() {
+  Logger::SetThreshold(LogLevel::kWarning);
+  relation::Catalog catalog = relation::MakePaperCatalog();
+  workload::WorkloadConfig wl;
+  auto workload = workload::EvolutionaryWorkload::Generate(&catalog, wl);
+  // Fig 7: Bh=Bd=0.125x, Bt=10GB. base: HV 2TB, DW 200GB.
+  double fracs[] = {0.125, 0.5, 1.0, 2.0, 4.0};
+  sim::SystemVariant vs[] = {sim::SystemVariant::kMsBasic, sim::SystemVariant::kMsOff,
+    sim::SystemVariant::kMsLru, sim::SystemVariant::kMsMiso, sim::SystemVariant::kMsOra};
+  for (double f : fracs) {
+    printf("== budget %.3fx ==\n", f);
+    for (auto v : vs) {
+      sim::SimConfig cfg; cfg.variant = v;
+      cfg.hv_storage_budget = Bytes(f * 2 * kTiB);
+      cfg.dw_storage_budget = Bytes(f * 200 * kGiB);
+      sim::MultistoreSimulator s(&catalog, cfg);
+      auto r = s.Run(workload->queries());
+      if (!r.ok()) { printf("  %-8s FAILED: %s\n", std::string(sim::SystemVariantToString(v)).c_str(), r.status().ToString().c_str()); continue; }
+      printf("  %s\n", r->Summary().c_str());
+    }
+  }
+  return 0;
+}

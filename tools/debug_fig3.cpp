@@ -1,0 +1,25 @@
+#include <algorithm>
+#include <cstdio>
+#include "core/miso.h"
+using namespace miso;
+int main() {
+  relation::Catalog catalog = relation::MakePaperCatalog();
+  plan::NodeFactory factory(&catalog);
+  hv::HvCostModel hvm{hv::HvConfig{}};
+  dw::DwCostModel dwm{dw::DwConfig{}};
+  transfer::TransferModel tm{transfer::TransferConfig{}};
+  optimizer::MultistoreOptimizer opt(&factory, &hvm, &dwm, &tm);
+  workload::WorkloadConfig wl;
+  auto w = workload::EvolutionaryWorkload::Generate(&catalog, wl);
+  const plan::Plan& q = w->queries()[3].plan;  // A4v1 (DW-compatible UDFs)
+  auto plans = opt.EnumerateAllPlans(q);
+  if (!plans.ok()) { printf("fail %s\n", plans.status().ToString().c_str()); return 1; }
+  std::sort(plans->begin(), plans->end(), [](auto&a, auto&b){return a.cost.Total()<b.cost.Total();});
+  printf("%zu plans\n", plans->size());
+  for (auto& p : *plans) {
+    printf("total=%8.0f hv=%8.0f dump=%6.0f xferload=%7.0f dw=%6.1f xfer_bytes=%s dw_ops=%zu%s\n",
+      p.cost.Total(), p.cost.hv_exec_s, p.cost.dump_s, p.cost.transfer_load_s, p.cost.dw_exec_s,
+      FormatBytes(p.transferred_bytes).c_str(), p.dw_side.size(), p.HvOnly() ? "  [HV-ONLY]" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include <cstdio>
+#include "core/miso.h"
+using namespace miso;
+
+int main() {
+  Logger::SetThreshold(LogLevel::kDebug);
+  relation::Catalog catalog = relation::MakePaperCatalog();
+  workload::WorkloadConfig wl; wl.num_analysts = 8; wl.versions_per_analyst = 2;
+  auto workload = workload::EvolutionaryWorkload::Generate(&catalog, wl);
+  if (!workload.ok()) { printf("gen fail %s\n", workload.status().ToString().c_str()); return 1; }
+  // Take analyst 5 (TF group, index 4): v1 at pos 4, v2 at pos 12 (interleaved)
+  const auto& qs = workload->queries();
+  plan::Plan v1, v2;
+  for (const auto& q : qs) {
+    if (q.analyst == 4 && q.version == 0) v1 = q.plan;
+    if (q.analyst == 4 && q.version == 1) v2 = q.plan;
+  }
+  printf("v1:\n%s\nv2:\n%s\n", plan::PrintPlan(v1).c_str(), plan::PrintPlan(v2).c_str());
+
+  plan::NodeFactory factory(&catalog);
+  hv::HvConfig hvc; dw::DwConfig dwc; transfer::TransferConfig tc;
+  hv::HvStore hv_store(hvc, 4*kTiB);
+  dw::DwStore dw_store(dwc, 400*kGiB);
+  transfer::TransferModel mover(tc);
+  optimizer::MultistoreOptimizer opt(&factory, &hv_store.cost_model(), &dw_store.cost_model(), &mover);
+
+  // execute v1 in HV, harvest
+  uint64_t next_id = 1;
+  auto exec = hv_store.Execute(v1.root(), 0, 0, &next_id);
+  printf("v1 HV exec: %.0f s, produced %zu views\n", exec->exec_time, exec->produced_views.size());
+  for (auto& v : exec->produced_views) {
+    printf("  view %llu: %s\n", (unsigned long long)v.id, v.DebugString().c_str());
+    hv_store.catalog().AddUnchecked(v);
+  }
+  // rewrite v2 against HV views
+  views::Rewriter rw(&factory);
+  views::RewriteReport rep;
+  auto v2r = rw.RewriteSingleStore(v2, hv_store.catalog(), StoreKind::kHv, &rep);
+  printf("v2 rewrite: hv_used=%d exact=%d subs=%d\n%s\n", rep.hv_views_used, rep.exact_matches, rep.subsumption_matches, plan::PrintPlan(*v2r).c_str());
+
+  // tuner
+  tuner::MisoTunerConfig tcfg;
+  tcfg.hv_storage_budget = 4*kTiB; tcfg.dw_storage_budget = 400*kGiB; tcfg.transfer_budget = 10*kGiB;
+  tuner::MisoTuner tuner_(&opt, tcfg);
+  std::vector<plan::Plan> window = {v1};
+  auto reorg = tuner_.Tune(hv_store.catalog(), dw_store.catalog(), window);
+  printf("reorg: %s\n", reorg->Summary().c_str());
+  for (auto& v : reorg->move_to_dw) printf("  ->DW %s\n", v.DebugString().c_str());
+  for (auto id : reorg->drop_from_hv) printf("  drop %llu\n", (unsigned long long)id);
+  return 0;
+}

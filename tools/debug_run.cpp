@@ -1,0 +1,26 @@
+#include <cstdio>
+#include "core/miso.h"
+using namespace miso;
+
+int main(int argc, char** argv) {
+  Logger::SetThreshold(LogLevel::kInfo);
+  const char* vname = argc > 1 ? argv[1] : "MS-MISO";
+  MisoConfig config;
+  if (std::string(vname) == "HV-OP") config.sim.variant = sim::SystemVariant::kHvOp;
+  else if (std::string(vname) == "MS-BASIC") config.sim.variant = sim::SystemVariant::kMsBasic;
+  else config.sim.variant = sim::SystemVariant::kMsMiso;
+  MultistoreSystem system(config);
+  workload::WorkloadConfig wl;
+  auto workload = workload::EvolutionaryWorkload::Generate(&system.catalog(), wl);
+  auto report = system.Execute(workload->queries());
+  if (!report.ok()) { printf("fail: %s\n", report.status().ToString().c_str()); return 1; }
+  for (const auto& q : report->queries) {
+    const auto& wq = workload->queries()[q.index];
+    printf("%2d %-6s mut=%-18s exec=%8.0f (hv=%8.0f xfer=%7.0f dw=%6.1f) ops_dw=%d/%d views=%d\n",
+      q.index, q.name.c_str(), std::string(workload::MutationKindToString(wq.mutation)).c_str(),
+      q.ExecTime(), q.breakdown.hv_exec_s, q.breakdown.dump_s + q.breakdown.transfer_load_s,
+      q.breakdown.dw_exec_s, q.ops_dw, q.ops_total, q.views_used);
+  }
+  printf("%s\n", report->Summary().c_str());
+  return 0;
+}

@@ -1,0 +1,25 @@
+#include <cstdio>
+#include "core/miso.h"
+using namespace miso;
+
+int main() {
+  Logger::SetThreshold(LogLevel::kWarning);
+  relation::Catalog catalog = relation::MakePaperCatalog();
+  workload::WorkloadConfig wl;
+  auto workload = workload::EvolutionaryWorkload::Generate(&catalog, wl);
+  sim::SystemVariant variants[] = {
+    sim::SystemVariant::kHvOnly, sim::SystemVariant::kDwOnly,
+    sim::SystemVariant::kMsBasic, sim::SystemVariant::kHvOp,
+    sim::SystemVariant::kMsMiso, sim::SystemVariant::kMsLru,
+    sim::SystemVariant::kMsOff, sim::SystemVariant::kMsOra};
+  double hv_tti = 0;
+  for (auto v : variants) {
+    sim::SimConfig cfg; cfg.variant = v;
+    sim::MultistoreSimulator s(&catalog, cfg);
+    auto r = s.Run(workload->queries());
+    if (!r.ok()) { printf("%-8s FAILED: %s\n", std::string(sim::SystemVariantToString(v)).c_str(), r.status().ToString().c_str()); continue; }
+    if (v == sim::SystemVariant::kHvOnly) hv_tti = r->Tti();
+    printf("%s  speedup=%.2fx dw_major=%d\n", r->Summary().c_str(), hv_tti / r->Tti(), r->DwMajorityQueries());
+  }
+  return 0;
+}
