@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tuner.dir/bench_ablation_tuner.cpp.o"
+  "CMakeFiles/bench_ablation_tuner.dir/bench_ablation_tuner.cpp.o.d"
+  "bench_ablation_tuner"
+  "bench_ablation_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_split_profile.dir/bench_fig3_split_profile.cpp.o"
+  "CMakeFiles/bench_fig3_split_profile.dir/bench_fig3_split_profile.cpp.o.d"
+  "bench_fig3_split_profile"
+  "bench_fig3_split_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_split_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

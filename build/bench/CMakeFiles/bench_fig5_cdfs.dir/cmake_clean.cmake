@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_cdfs.dir/bench_fig5_cdfs.cpp.o"
+  "CMakeFiles/bench_fig5_cdfs.dir/bench_fig5_cdfs.cpp.o.d"
+  "bench_fig5_cdfs"
+  "bench_fig5_cdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_cdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

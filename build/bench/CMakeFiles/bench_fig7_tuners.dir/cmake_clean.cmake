@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_tuners.dir/bench_fig7_tuners.cpp.o"
+  "CMakeFiles/bench_fig7_tuners.dir/bench_fig7_tuners.cpp.o.d"
+  "bench_fig7_tuners"
+  "bench_fig7_tuners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_tuners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_interference.dir/bench_fig9_interference.cpp.o"
+  "CMakeFiles/bench_fig9_interference.dir/bench_fig9_interference.cpp.o.d"
+  "bench_fig9_interference"
+  "bench_fig9_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_optimizer.dir/bench_micro_optimizer.cpp.o"
+  "CMakeFiles/bench_micro_optimizer.dir/bench_micro_optimizer.cpp.o.d"
+  "bench_micro_optimizer"
+  "bench_micro_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

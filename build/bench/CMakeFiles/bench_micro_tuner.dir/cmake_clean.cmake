@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_tuner.dir/bench_micro_tuner.cpp.o"
+  "CMakeFiles/bench_micro_tuner.dir/bench_micro_tuner.cpp.o.d"
+  "bench_micro_tuner"
+  "bench_micro_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_motivation_two_query.dir/bench_motivation_two_query.cpp.o"
+  "CMakeFiles/bench_motivation_two_query.dir/bench_motivation_two_query.cpp.o.d"
+  "bench_motivation_two_query"
+  "bench_motivation_two_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_motivation_two_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_capacity.dir/bench_table2_capacity.cpp.o"
+  "CMakeFiles/bench_table2_capacity.dir/bench_table2_capacity.cpp.o.d"
+  "bench_table2_capacity"
+  "bench_table2_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

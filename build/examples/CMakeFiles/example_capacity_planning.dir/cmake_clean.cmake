@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_capacity_planning.dir/capacity_planning.cpp.o"
+  "CMakeFiles/example_capacity_planning.dir/capacity_planning.cpp.o.d"
+  "example_capacity_planning"
+  "example_capacity_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_capacity_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_online_exploration.dir/online_exploration.cpp.o"
+  "CMakeFiles/example_online_exploration.dir/online_exploration.cpp.o.d"
+  "example_online_exploration"
+  "example_online_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_online_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

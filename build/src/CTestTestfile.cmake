@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("relation")
+subdirs("plan")
+subdirs("views")
+subdirs("hv")
+subdirs("dw")
+subdirs("transfer")
+subdirs("optimizer")
+subdirs("tuner")
+subdirs("workload")
+subdirs("sim")
+subdirs("datagen")
+subdirs("core")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miso_common.dir/hash.cc.o"
+  "CMakeFiles/miso_common.dir/hash.cc.o.d"
+  "CMakeFiles/miso_common.dir/logging.cc.o"
+  "CMakeFiles/miso_common.dir/logging.cc.o.d"
+  "CMakeFiles/miso_common.dir/rng.cc.o"
+  "CMakeFiles/miso_common.dir/rng.cc.o.d"
+  "CMakeFiles/miso_common.dir/status.cc.o"
+  "CMakeFiles/miso_common.dir/status.cc.o.d"
+  "CMakeFiles/miso_common.dir/units.cc.o"
+  "CMakeFiles/miso_common.dir/units.cc.o.d"
+  "libmiso_common.a"
+  "libmiso_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miso_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

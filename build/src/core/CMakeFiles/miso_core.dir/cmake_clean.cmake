@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miso_core.dir/multistore_system.cc.o"
+  "CMakeFiles/miso_core.dir/multistore_system.cc.o.d"
+  "libmiso_core.a"
+  "libmiso_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miso_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miso_datagen.dir/record_generator.cc.o"
+  "CMakeFiles/miso_datagen.dir/record_generator.cc.o.d"
+  "libmiso_datagen.a"
+  "libmiso_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miso_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miso_dw.dir/dw_cost_model.cc.o"
+  "CMakeFiles/miso_dw.dir/dw_cost_model.cc.o.d"
+  "CMakeFiles/miso_dw.dir/resource_model.cc.o"
+  "CMakeFiles/miso_dw.dir/resource_model.cc.o.d"
+  "libmiso_dw.a"
+  "libmiso_dw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miso_dw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

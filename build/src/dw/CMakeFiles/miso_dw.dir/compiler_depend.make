@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for miso_dw.
+# This may be replaced when dependencies are built.

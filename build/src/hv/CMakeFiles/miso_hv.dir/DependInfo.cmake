@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hv/hv_cost_model.cc" "src/hv/CMakeFiles/miso_hv.dir/hv_cost_model.cc.o" "gcc" "src/hv/CMakeFiles/miso_hv.dir/hv_cost_model.cc.o.d"
+  "/root/repo/src/hv/hv_store.cc" "src/hv/CMakeFiles/miso_hv.dir/hv_store.cc.o" "gcc" "src/hv/CMakeFiles/miso_hv.dir/hv_store.cc.o.d"
+  "/root/repo/src/hv/mr_job.cc" "src/hv/CMakeFiles/miso_hv.dir/mr_job.cc.o" "gcc" "src/hv/CMakeFiles/miso_hv.dir/mr_job.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/miso_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/miso_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/views/CMakeFiles/miso_views.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/miso_relation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miso_hv.dir/hv_cost_model.cc.o"
+  "CMakeFiles/miso_hv.dir/hv_cost_model.cc.o.d"
+  "CMakeFiles/miso_hv.dir/hv_store.cc.o"
+  "CMakeFiles/miso_hv.dir/hv_store.cc.o.d"
+  "CMakeFiles/miso_hv.dir/mr_job.cc.o"
+  "CMakeFiles/miso_hv.dir/mr_job.cc.o.d"
+  "libmiso_hv.a"
+  "libmiso_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miso_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/dot.cc" "src/optimizer/CMakeFiles/miso_optimizer.dir/dot.cc.o" "gcc" "src/optimizer/CMakeFiles/miso_optimizer.dir/dot.cc.o.d"
+  "/root/repo/src/optimizer/explain.cc" "src/optimizer/CMakeFiles/miso_optimizer.dir/explain.cc.o" "gcc" "src/optimizer/CMakeFiles/miso_optimizer.dir/explain.cc.o.d"
+  "/root/repo/src/optimizer/multistore_optimizer.cc" "src/optimizer/CMakeFiles/miso_optimizer.dir/multistore_optimizer.cc.o" "gcc" "src/optimizer/CMakeFiles/miso_optimizer.dir/multistore_optimizer.cc.o.d"
+  "/root/repo/src/optimizer/split_enumerator.cc" "src/optimizer/CMakeFiles/miso_optimizer.dir/split_enumerator.cc.o" "gcc" "src/optimizer/CMakeFiles/miso_optimizer.dir/split_enumerator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/miso_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/miso_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/views/CMakeFiles/miso_views.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/miso_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/dw/CMakeFiles/miso_dw.dir/DependInfo.cmake"
+  "/root/repo/build/src/transfer/CMakeFiles/miso_transfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/miso_relation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miso_optimizer.dir/dot.cc.o"
+  "CMakeFiles/miso_optimizer.dir/dot.cc.o.d"
+  "CMakeFiles/miso_optimizer.dir/explain.cc.o"
+  "CMakeFiles/miso_optimizer.dir/explain.cc.o.d"
+  "CMakeFiles/miso_optimizer.dir/multistore_optimizer.cc.o"
+  "CMakeFiles/miso_optimizer.dir/multistore_optimizer.cc.o.d"
+  "CMakeFiles/miso_optimizer.dir/split_enumerator.cc.o"
+  "CMakeFiles/miso_optimizer.dir/split_enumerator.cc.o.d"
+  "libmiso_optimizer.a"
+  "libmiso_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miso_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/builder.cc" "src/plan/CMakeFiles/miso_plan.dir/builder.cc.o" "gcc" "src/plan/CMakeFiles/miso_plan.dir/builder.cc.o.d"
+  "/root/repo/src/plan/node_factory.cc" "src/plan/CMakeFiles/miso_plan.dir/node_factory.cc.o" "gcc" "src/plan/CMakeFiles/miso_plan.dir/node_factory.cc.o.d"
+  "/root/repo/src/plan/operator.cc" "src/plan/CMakeFiles/miso_plan.dir/operator.cc.o" "gcc" "src/plan/CMakeFiles/miso_plan.dir/operator.cc.o.d"
+  "/root/repo/src/plan/plan.cc" "src/plan/CMakeFiles/miso_plan.dir/plan.cc.o" "gcc" "src/plan/CMakeFiles/miso_plan.dir/plan.cc.o.d"
+  "/root/repo/src/plan/predicate.cc" "src/plan/CMakeFiles/miso_plan.dir/predicate.cc.o" "gcc" "src/plan/CMakeFiles/miso_plan.dir/predicate.cc.o.d"
+  "/root/repo/src/plan/printer.cc" "src/plan/CMakeFiles/miso_plan.dir/printer.cc.o" "gcc" "src/plan/CMakeFiles/miso_plan.dir/printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/miso_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/miso_relation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

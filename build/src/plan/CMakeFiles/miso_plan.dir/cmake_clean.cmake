@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miso_plan.dir/builder.cc.o"
+  "CMakeFiles/miso_plan.dir/builder.cc.o.d"
+  "CMakeFiles/miso_plan.dir/node_factory.cc.o"
+  "CMakeFiles/miso_plan.dir/node_factory.cc.o.d"
+  "CMakeFiles/miso_plan.dir/operator.cc.o"
+  "CMakeFiles/miso_plan.dir/operator.cc.o.d"
+  "CMakeFiles/miso_plan.dir/plan.cc.o"
+  "CMakeFiles/miso_plan.dir/plan.cc.o.d"
+  "CMakeFiles/miso_plan.dir/predicate.cc.o"
+  "CMakeFiles/miso_plan.dir/predicate.cc.o.d"
+  "CMakeFiles/miso_plan.dir/printer.cc.o"
+  "CMakeFiles/miso_plan.dir/printer.cc.o.d"
+  "libmiso_plan.a"
+  "libmiso_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miso_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

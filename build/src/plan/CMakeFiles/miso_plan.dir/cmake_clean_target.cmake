@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmiso_plan.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miso_relation.dir/catalog.cc.o"
+  "CMakeFiles/miso_relation.dir/catalog.cc.o.d"
+  "CMakeFiles/miso_relation.dir/schema.cc.o"
+  "CMakeFiles/miso_relation.dir/schema.cc.o.d"
+  "libmiso_relation.a"
+  "libmiso_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miso_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miso_sim.dir/etl.cc.o"
+  "CMakeFiles/miso_sim.dir/etl.cc.o.d"
+  "CMakeFiles/miso_sim.dir/report.cc.o"
+  "CMakeFiles/miso_sim.dir/report.cc.o.d"
+  "CMakeFiles/miso_sim.dir/report_io.cc.o"
+  "CMakeFiles/miso_sim.dir/report_io.cc.o.d"
+  "CMakeFiles/miso_sim.dir/simulator.cc.o"
+  "CMakeFiles/miso_sim.dir/simulator.cc.o.d"
+  "libmiso_sim.a"
+  "libmiso_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miso_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

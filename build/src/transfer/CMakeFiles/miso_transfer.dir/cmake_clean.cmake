@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miso_transfer.dir/transfer_model.cc.o"
+  "CMakeFiles/miso_transfer.dir/transfer_model.cc.o.d"
+  "libmiso_transfer.a"
+  "libmiso_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miso_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tuner/baseline_tuners.cc" "src/tuner/CMakeFiles/miso_tuner.dir/baseline_tuners.cc.o" "gcc" "src/tuner/CMakeFiles/miso_tuner.dir/baseline_tuners.cc.o.d"
+  "/root/repo/src/tuner/benefit.cc" "src/tuner/CMakeFiles/miso_tuner.dir/benefit.cc.o" "gcc" "src/tuner/CMakeFiles/miso_tuner.dir/benefit.cc.o.d"
+  "/root/repo/src/tuner/interaction.cc" "src/tuner/CMakeFiles/miso_tuner.dir/interaction.cc.o" "gcc" "src/tuner/CMakeFiles/miso_tuner.dir/interaction.cc.o.d"
+  "/root/repo/src/tuner/knapsack.cc" "src/tuner/CMakeFiles/miso_tuner.dir/knapsack.cc.o" "gcc" "src/tuner/CMakeFiles/miso_tuner.dir/knapsack.cc.o.d"
+  "/root/repo/src/tuner/miso_tuner.cc" "src/tuner/CMakeFiles/miso_tuner.dir/miso_tuner.cc.o" "gcc" "src/tuner/CMakeFiles/miso_tuner.dir/miso_tuner.cc.o.d"
+  "/root/repo/src/tuner/reorg_plan.cc" "src/tuner/CMakeFiles/miso_tuner.dir/reorg_plan.cc.o" "gcc" "src/tuner/CMakeFiles/miso_tuner.dir/reorg_plan.cc.o.d"
+  "/root/repo/src/tuner/sparsify.cc" "src/tuner/CMakeFiles/miso_tuner.dir/sparsify.cc.o" "gcc" "src/tuner/CMakeFiles/miso_tuner.dir/sparsify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/miso_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/miso_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/views/CMakeFiles/miso_views.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/miso_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/miso_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/dw/CMakeFiles/miso_dw.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/miso_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/transfer/CMakeFiles/miso_transfer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

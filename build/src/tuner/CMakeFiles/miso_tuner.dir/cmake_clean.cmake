@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miso_tuner.dir/baseline_tuners.cc.o"
+  "CMakeFiles/miso_tuner.dir/baseline_tuners.cc.o.d"
+  "CMakeFiles/miso_tuner.dir/benefit.cc.o"
+  "CMakeFiles/miso_tuner.dir/benefit.cc.o.d"
+  "CMakeFiles/miso_tuner.dir/interaction.cc.o"
+  "CMakeFiles/miso_tuner.dir/interaction.cc.o.d"
+  "CMakeFiles/miso_tuner.dir/knapsack.cc.o"
+  "CMakeFiles/miso_tuner.dir/knapsack.cc.o.d"
+  "CMakeFiles/miso_tuner.dir/miso_tuner.cc.o"
+  "CMakeFiles/miso_tuner.dir/miso_tuner.cc.o.d"
+  "CMakeFiles/miso_tuner.dir/reorg_plan.cc.o"
+  "CMakeFiles/miso_tuner.dir/reorg_plan.cc.o.d"
+  "CMakeFiles/miso_tuner.dir/sparsify.cc.o"
+  "CMakeFiles/miso_tuner.dir/sparsify.cc.o.d"
+  "libmiso_tuner.a"
+  "libmiso_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miso_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

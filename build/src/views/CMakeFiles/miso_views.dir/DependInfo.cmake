@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/views/rewriter.cc" "src/views/CMakeFiles/miso_views.dir/rewriter.cc.o" "gcc" "src/views/CMakeFiles/miso_views.dir/rewriter.cc.o.d"
+  "/root/repo/src/views/view.cc" "src/views/CMakeFiles/miso_views.dir/view.cc.o" "gcc" "src/views/CMakeFiles/miso_views.dir/view.cc.o.d"
+  "/root/repo/src/views/view_catalog.cc" "src/views/CMakeFiles/miso_views.dir/view_catalog.cc.o" "gcc" "src/views/CMakeFiles/miso_views.dir/view_catalog.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/miso_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/miso_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/miso_relation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

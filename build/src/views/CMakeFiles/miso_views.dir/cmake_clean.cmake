@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miso_views.dir/rewriter.cc.o"
+  "CMakeFiles/miso_views.dir/rewriter.cc.o.d"
+  "CMakeFiles/miso_views.dir/view.cc.o"
+  "CMakeFiles/miso_views.dir/view.cc.o.d"
+  "CMakeFiles/miso_views.dir/view_catalog.cc.o"
+  "CMakeFiles/miso_views.dir/view_catalog.cc.o.d"
+  "libmiso_views.a"
+  "libmiso_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miso_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

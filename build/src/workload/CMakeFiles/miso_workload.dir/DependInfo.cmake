@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/background.cc" "src/workload/CMakeFiles/miso_workload.dir/background.cc.o" "gcc" "src/workload/CMakeFiles/miso_workload.dir/background.cc.o.d"
+  "/root/repo/src/workload/evolutionary.cc" "src/workload/CMakeFiles/miso_workload.dir/evolutionary.cc.o" "gcc" "src/workload/CMakeFiles/miso_workload.dir/evolutionary.cc.o.d"
+  "/root/repo/src/workload/query_spec.cc" "src/workload/CMakeFiles/miso_workload.dir/query_spec.cc.o" "gcc" "src/workload/CMakeFiles/miso_workload.dir/query_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/miso_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/miso_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/miso_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/dw/CMakeFiles/miso_dw.dir/DependInfo.cmake"
+  "/root/repo/build/src/views/CMakeFiles/miso_views.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

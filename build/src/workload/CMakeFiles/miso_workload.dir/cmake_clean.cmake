@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miso_workload.dir/background.cc.o"
+  "CMakeFiles/miso_workload.dir/background.cc.o.d"
+  "CMakeFiles/miso_workload.dir/evolutionary.cc.o"
+  "CMakeFiles/miso_workload.dir/evolutionary.cc.o.d"
+  "CMakeFiles/miso_workload.dir/query_spec.cc.o"
+  "CMakeFiles/miso_workload.dir/query_spec.cc.o.d"
+  "libmiso_workload.a"
+  "libmiso_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miso_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

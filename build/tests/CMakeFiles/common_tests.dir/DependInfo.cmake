@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/hash_test.cc" "tests/CMakeFiles/common_tests.dir/common/hash_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/hash_test.cc.o.d"
+  "/root/repo/tests/common/logging_test.cc" "tests/CMakeFiles/common_tests.dir/common/logging_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/logging_test.cc.o.d"
+  "/root/repo/tests/common/result_test.cc" "tests/CMakeFiles/common_tests.dir/common/result_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/result_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/common_tests.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/rng_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/common_tests.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/common/units_test.cc" "tests/CMakeFiles/common_tests.dir/common/units_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/units_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/miso_test_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/miso_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/miso_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/miso_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/miso_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/miso_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/transfer/CMakeFiles/miso_transfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/miso_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dw/CMakeFiles/miso_dw.dir/DependInfo.cmake"
+  "/root/repo/build/src/views/CMakeFiles/miso_views.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/miso_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/miso_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/miso_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/miso_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

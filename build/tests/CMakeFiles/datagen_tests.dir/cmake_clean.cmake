@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagen_tests.dir/datagen/record_generator_test.cc.o"
+  "CMakeFiles/datagen_tests.dir/datagen/record_generator_test.cc.o.d"
+  "datagen_tests"
+  "datagen_tests.pdb"
+  "datagen_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagen_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

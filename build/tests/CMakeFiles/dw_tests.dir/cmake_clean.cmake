@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dw_tests.dir/dw/dw_cost_model_test.cc.o"
+  "CMakeFiles/dw_tests.dir/dw/dw_cost_model_test.cc.o.d"
+  "CMakeFiles/dw_tests.dir/dw/resource_model_test.cc.o"
+  "CMakeFiles/dw_tests.dir/dw/resource_model_test.cc.o.d"
+  "dw_tests"
+  "dw_tests.pdb"
+  "dw_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dw_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

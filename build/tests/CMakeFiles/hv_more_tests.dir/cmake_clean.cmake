@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_more_tests.dir/hv/hv_config_test.cc.o"
+  "CMakeFiles/hv_more_tests.dir/hv/hv_config_test.cc.o.d"
+  "CMakeFiles/hv_more_tests.dir/hv/hv_cost_model_test.cc.o"
+  "CMakeFiles/hv_more_tests.dir/hv/hv_cost_model_test.cc.o.d"
+  "CMakeFiles/hv_more_tests.dir/hv/hv_store_test.cc.o"
+  "CMakeFiles/hv_more_tests.dir/hv/hv_store_test.cc.o.d"
+  "hv_more_tests"
+  "hv_more_tests.pdb"
+  "hv_more_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_more_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_tests.dir/hv/mr_job_test.cc.o"
+  "CMakeFiles/hv_tests.dir/hv/mr_job_test.cc.o.d"
+  "hv_tests"
+  "hv_tests.pdb"
+  "hv_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

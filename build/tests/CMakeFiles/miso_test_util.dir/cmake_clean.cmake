@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miso_test_util.dir/test_util.cc.o"
+  "CMakeFiles/miso_test_util.dir/test_util.cc.o.d"
+  "libmiso_test_util.a"
+  "libmiso_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miso_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_tests.dir/optimizer/dot_test.cc.o"
+  "CMakeFiles/optimizer_tests.dir/optimizer/dot_test.cc.o.d"
+  "CMakeFiles/optimizer_tests.dir/optimizer/explain_test.cc.o"
+  "CMakeFiles/optimizer_tests.dir/optimizer/explain_test.cc.o.d"
+  "CMakeFiles/optimizer_tests.dir/optimizer/multistore_optimizer_test.cc.o"
+  "CMakeFiles/optimizer_tests.dir/optimizer/multistore_optimizer_test.cc.o.d"
+  "CMakeFiles/optimizer_tests.dir/optimizer/multistore_plan_test.cc.o"
+  "CMakeFiles/optimizer_tests.dir/optimizer/multistore_plan_test.cc.o.d"
+  "CMakeFiles/optimizer_tests.dir/optimizer/optimizer_property_test.cc.o"
+  "CMakeFiles/optimizer_tests.dir/optimizer/optimizer_property_test.cc.o.d"
+  "CMakeFiles/optimizer_tests.dir/optimizer/split_enumerator_test.cc.o"
+  "CMakeFiles/optimizer_tests.dir/optimizer/split_enumerator_test.cc.o.d"
+  "optimizer_tests"
+  "optimizer_tests.pdb"
+  "optimizer_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

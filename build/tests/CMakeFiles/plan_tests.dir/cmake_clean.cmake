@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_tests.dir/plan/builder_test.cc.o"
+  "CMakeFiles/plan_tests.dir/plan/builder_test.cc.o.d"
+  "CMakeFiles/plan_tests.dir/plan/estimator_test.cc.o"
+  "CMakeFiles/plan_tests.dir/plan/estimator_test.cc.o.d"
+  "CMakeFiles/plan_tests.dir/plan/plan_test.cc.o"
+  "CMakeFiles/plan_tests.dir/plan/plan_test.cc.o.d"
+  "CMakeFiles/plan_tests.dir/plan/predicate_test.cc.o"
+  "CMakeFiles/plan_tests.dir/plan/predicate_test.cc.o.d"
+  "CMakeFiles/plan_tests.dir/plan/printer_test.cc.o"
+  "CMakeFiles/plan_tests.dir/plan/printer_test.cc.o.d"
+  "CMakeFiles/plan_tests.dir/plan/signature_test.cc.o"
+  "CMakeFiles/plan_tests.dir/plan/signature_test.cc.o.d"
+  "plan_tests"
+  "plan_tests.pdb"
+  "plan_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relation_tests.dir/relation/catalog_test.cc.o"
+  "CMakeFiles/relation_tests.dir/relation/catalog_test.cc.o.d"
+  "CMakeFiles/relation_tests.dir/relation/schema_test.cc.o"
+  "CMakeFiles/relation_tests.dir/relation/schema_test.cc.o.d"
+  "relation_tests"
+  "relation_tests.pdb"
+  "relation_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relation_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

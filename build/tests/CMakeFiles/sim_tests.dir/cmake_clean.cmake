@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/sim/etl_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/etl_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/report_io_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/report_io_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/report_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/report_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/seed_sweep_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/seed_sweep_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/simulator_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/simulator_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/time_trigger_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/time_trigger_test.cc.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_tests.dir/transfer/transfer_model_test.cc.o"
+  "CMakeFiles/transfer_tests.dir/transfer/transfer_model_test.cc.o.d"
+  "transfer_tests"
+  "transfer_tests.pdb"
+  "transfer_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

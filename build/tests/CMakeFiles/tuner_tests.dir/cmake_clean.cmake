@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuner_tests.dir/tuner/benefit_test.cc.o"
+  "CMakeFiles/tuner_tests.dir/tuner/benefit_test.cc.o.d"
+  "CMakeFiles/tuner_tests.dir/tuner/interaction_test.cc.o"
+  "CMakeFiles/tuner_tests.dir/tuner/interaction_test.cc.o.d"
+  "CMakeFiles/tuner_tests.dir/tuner/knapsack_test.cc.o"
+  "CMakeFiles/tuner_tests.dir/tuner/knapsack_test.cc.o.d"
+  "CMakeFiles/tuner_tests.dir/tuner/miso_tuner_test.cc.o"
+  "CMakeFiles/tuner_tests.dir/tuner/miso_tuner_test.cc.o.d"
+  "CMakeFiles/tuner_tests.dir/tuner/reorg_plan_test.cc.o"
+  "CMakeFiles/tuner_tests.dir/tuner/reorg_plan_test.cc.o.d"
+  "CMakeFiles/tuner_tests.dir/tuner/sparsify_test.cc.o"
+  "CMakeFiles/tuner_tests.dir/tuner/sparsify_test.cc.o.d"
+  "tuner_tests"
+  "tuner_tests.pdb"
+  "tuner_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuner_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/views_tests.dir/views/rewriter_property_test.cc.o"
+  "CMakeFiles/views_tests.dir/views/rewriter_property_test.cc.o.d"
+  "CMakeFiles/views_tests.dir/views/rewriter_test.cc.o"
+  "CMakeFiles/views_tests.dir/views/rewriter_test.cc.o.d"
+  "CMakeFiles/views_tests.dir/views/view_catalog_test.cc.o"
+  "CMakeFiles/views_tests.dir/views/view_catalog_test.cc.o.d"
+  "CMakeFiles/views_tests.dir/views/view_test.cc.o"
+  "CMakeFiles/views_tests.dir/views/view_test.cc.o.d"
+  "views_tests"
+  "views_tests.pdb"
+  "views_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/views_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_tests[1]_include.cmake")
+include("/root/repo/build/tests/relation_tests[1]_include.cmake")
+include("/root/repo/build/tests/plan_tests[1]_include.cmake")
+include("/root/repo/build/tests/views_tests[1]_include.cmake")
+include("/root/repo/build/tests/hv_tests[1]_include.cmake")
+include("/root/repo/build/tests/hv_more_tests[1]_include.cmake")
+include("/root/repo/build/tests/dw_tests[1]_include.cmake")
+include("/root/repo/build/tests/transfer_tests[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_tests[1]_include.cmake")
+include("/root/repo/build/tests/tuner_tests[1]_include.cmake")
+include("/root/repo/build/tests/workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/datagen_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_bg.dir/debug_bg.cpp.o"
+  "CMakeFiles/debug_bg.dir/debug_bg.cpp.o.d"
+  "debug_bg"
+  "debug_bg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_bg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_budgets.dir/debug_budgets.cpp.o"
+  "CMakeFiles/debug_budgets.dir/debug_budgets.cpp.o.d"
+  "debug_budgets"
+  "debug_budgets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_budgets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

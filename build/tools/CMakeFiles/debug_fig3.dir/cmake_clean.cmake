@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_fig3.dir/debug_fig3.cpp.o"
+  "CMakeFiles/debug_fig3.dir/debug_fig3.cpp.o.d"
+  "debug_fig3"
+  "debug_fig3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_fig3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

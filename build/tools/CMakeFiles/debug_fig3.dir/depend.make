@@ -1,0 +1,2 @@
+# Empty dependencies file for debug_fig3.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_reuse.dir/debug_reuse.cpp.o"
+  "CMakeFiles/debug_reuse.dir/debug_reuse.cpp.o.d"
+  "debug_reuse"
+  "debug_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

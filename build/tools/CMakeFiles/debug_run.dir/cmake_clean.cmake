@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_run.dir/debug_run.cpp.o"
+  "CMakeFiles/debug_run.dir/debug_run.cpp.o.d"
+  "debug_run"
+  "debug_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_variants.dir/debug_variants.cpp.o"
+  "CMakeFiles/debug_variants.dir/debug_variants.cpp.o.d"
+  "debug_variants"
+  "debug_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
