@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "verify/plan_verifier.h"
+#include "verify/verify_gate.h"
+
 namespace miso::optimizer {
 
 using plan::NodePtr;
@@ -113,6 +116,15 @@ Result<MultistorePlan> MultistoreOptimizer::Optimize(
       best = std::move(candidate);
     }
   }
+  // Debug-mode assertion: the winning plan must verify, including every
+  // ViewScan resolving in the catalog of the store it claims (the split
+  // enumerator already verified each candidate's shape).
+  if (best.ok() && verify::Enabled()) {
+    verify::PlanVerifierOptions options;
+    options.hv_views = &hv_views;
+    options.dw_views = &dw_views;
+    MISO_RETURN_IF_ERROR(verify::VerifyMultistorePlan(*best, options));
+  }
   return best;
 }
 
@@ -126,7 +138,13 @@ Result<MultistorePlan> MultistoreOptimizer::OptimizeHvOnly(
                                                /*report=*/nullptr));
   }
   SplitCandidate hv_only;  // empty DW side
-  return CostSplit(executed, hv_only);
+  Result<MultistorePlan> costed = CostSplit(executed, hv_only);
+  if (costed.ok() && verify::Enabled()) {
+    verify::PlanVerifierOptions options;
+    options.hv_views = &hv_views;
+    MISO_RETURN_IF_ERROR(verify::VerifyMultistorePlan(*costed, options));
+  }
+  return costed;
 }
 
 Result<std::vector<MultistorePlan>> MultistoreOptimizer::EnumerateAllPlans(
@@ -138,6 +156,9 @@ Result<std::vector<MultistorePlan>> MultistoreOptimizer::EnumerateAllPlans(
   for (const SplitCandidate& candidate : candidates) {
     MISO_ASSIGN_OR_RETURN(MultistorePlan costed,
                           CostSplit(query, candidate));
+    if (verify::Enabled()) {
+      MISO_RETURN_IF_ERROR(verify::VerifyMultistorePlan(costed));
+    }
     plans.push_back(std::move(costed));
   }
   return plans;

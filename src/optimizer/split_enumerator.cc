@@ -2,6 +2,9 @@
 
 #include <functional>
 
+#include "verify/plan_verifier.h"
+#include "verify/verify_gate.h"
+
 namespace miso::optimizer {
 
 using plan::NodePtr;
@@ -121,6 +124,14 @@ Result<std::vector<SplitCandidate>> EnumerateSplits(const NodePtr& root,
     return Status::FailedPrecondition(
         "no feasible split: a DW-resident view is pinned below an "
         "HV-only operator");
+  }
+  // Debug-mode assertion (always on under ctest): every emitted candidate
+  // must be a well-formed split — DW side upward-closed and DW-executable,
+  // views on their own store's side, cut = the HV->DW frontier.
+  if (verify::Enabled()) {
+    for (const SplitCandidate& candidate : candidates) {
+      MISO_RETURN_IF_ERROR(verify::VerifySplit(root, candidate));
+    }
   }
   return candidates;
 }

@@ -150,7 +150,10 @@ class OperatorNode {
   const ViewScanParams& view_scan() const { return view_scan_; }
 
  private:
-  friend class NodeFactory;  // constructs and annotates nodes
+  friend class NodeFactory;   // constructs and annotates nodes
+  friend class PlanTestPeer;  // test-only: builds malformed graphs that
+                              // the factory refuses, to exercise the
+                              // verifier's negative paths
 
   OpKind kind_ = OpKind::kScan;
   std::vector<NodePtr> children_;

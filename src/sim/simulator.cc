@@ -10,6 +10,8 @@
 #include "optimizer/multistore_optimizer.h"
 #include "plan/node_factory.h"
 #include "tuner/baseline_tuners.h"
+#include "verify/design_verifier.h"
+#include "verify/verify_gate.h"
 
 namespace miso::sim {
 
@@ -384,6 +386,17 @@ Result<RunReport> MultistoreSimulator::Run(
       MISO_RETURN_IF_ERROR(
           tuner::ApplyReorgPlan(reorg, &hv_store.catalog(),
                                 &dw_store.catalog()));
+      // Debug-mode assertion (always on under ctest): every applied
+      // reorganization leaves a design within Bh/Bd with Vh ∩ Vd = ∅.
+      if (verify::Enabled()) {
+        verify::DesignBudgets budgets;
+        budgets.hv_storage = cfg.hv_storage_budget;
+        budgets.dw_storage = cfg.dw_storage_budget;
+        budgets.transfer = cfg.transfer_budget;
+        budgets.discretization = tuner_config.discretization;
+        MISO_RETURN_IF_ERROR(verify::VerifyDesign(
+            hv_store.catalog(), dw_store.catalog(), budgets));
+      }
       report.bytes_moved_to_dw += to_dw;
       report.bytes_moved_to_hv += to_hv;
       report.tune_s += reorg_time;

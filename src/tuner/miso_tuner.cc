@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "tuner/knapsack.h"
+#include "verify/design_verifier.h"
+#include "verify/verify_gate.h"
 
 namespace miso::tuner {
 
@@ -194,6 +196,27 @@ Result<ReorgPlan> MisoTuner::Tune(const views::ViewCatalog& hv,
   MISO_LOG(kInfo) << "MISO tuner: " << candidates.size() << " candidates, "
                   << items.size() << " items after sparsification; "
                   << plan.Summary();
+
+  // Debug-mode assertion (always on under ctest): the emitted design must
+  // respect Bh/Bd/Bt and disjointness, and every merged (sparsified) item
+  // must be placed atomically.
+  if (verify::Enabled()) {
+    std::vector<std::vector<views::ViewId>> merged_groups;
+    for (const CandidateItem& item : items) {
+      if (item.members.size() < 2) continue;
+      std::vector<views::ViewId> group;
+      for (const views::View& member : item.members) group.push_back(member.id);
+      merged_groups.push_back(std::move(group));
+    }
+    MISO_RETURN_IF_ERROR(
+        verify::VerifyAtomicPlacement(merged_groups, new_dw, new_hv));
+    verify::DesignBudgets budgets;
+    budgets.hv_storage = config_.hv_storage_budget;
+    budgets.dw_storage = config_.dw_storage_budget;
+    budgets.transfer = config_.transfer_budget;
+    budgets.discretization = config_.discretization;
+    MISO_RETURN_IF_ERROR(verify::VerifyReorgPlan(plan, hv, dw, budgets));
+  }
   return plan;
 }
 

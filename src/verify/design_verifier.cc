@@ -1,0 +1,188 @@
+#include "verify/design_verifier.h"
+
+#include <map>
+#include <string>
+
+namespace miso::verify {
+
+namespace {
+
+/// ceil(bytes / unit) with unit <= 1 meaning byte granularity.
+int64_t CeilUnits(Bytes bytes, Bytes unit) {
+  if (unit <= 1) return bytes;
+  return (bytes + unit - 1) / unit;
+}
+
+Status CheckStoreBudget(const char* store, Bytes used, Bytes budget,
+                        Bytes unit, VerifyCode code) {
+  if (CeilUnits(used, unit) > CeilUnits(budget, unit)) {
+    return MakeVerifyError(
+        code, std::string(store) + " design holds " + FormatBytes(used) +
+                  " against a budget of " + FormatBytes(budget));
+  }
+  return Status::OK();
+}
+
+/// id -> size map of a catalog, also validating the catalog's own
+/// used_bytes accounting.
+Status Snapshot(const char* store, const views::ViewCatalog& catalog,
+                std::map<views::ViewId, Bytes>* out) {
+  Bytes total = 0;
+  for (const views::View& view : catalog.AllViews()) {
+    (*out)[view.id] = view.size_bytes;
+    total += view.size_bytes;
+  }
+  if (total != catalog.used_bytes()) {
+    return MakeVerifyError(
+        VerifyCode::kDesignAccountingDrift,
+        std::string(store) + " catalog reports used_bytes=" +
+            FormatBytes(catalog.used_bytes()) + " but views sum to " +
+            FormatBytes(total));
+  }
+  return Status::OK();
+}
+
+Status CheckDisjoint(const std::map<views::ViewId, Bytes>& hv,
+                     const std::map<views::ViewId, Bytes>& dw) {
+  for (const auto& [id, size] : dw) {
+    (void)size;
+    if (hv.count(id) > 0) {
+      return MakeVerifyError(
+          VerifyCode::kDesignDuplicatePlacement,
+          "view id " + std::to_string(id) + " placed in both HV and DW");
+    }
+  }
+  return Status::OK();
+}
+
+Bytes TotalBytes(const std::map<views::ViewId, Bytes>& store) {
+  Bytes total = 0;
+  for (const auto& [id, size] : store) {
+    (void)id;
+    total += size;
+  }
+  return total;
+}
+
+}  // namespace
+
+Status VerifyDesign(const views::ViewCatalog& hv, const views::ViewCatalog& dw,
+                    const DesignBudgets& budgets) {
+  std::map<views::ViewId, Bytes> hv_views;
+  std::map<views::ViewId, Bytes> dw_views;
+  MISO_RETURN_IF_ERROR(Snapshot("HV", hv, &hv_views));
+  MISO_RETURN_IF_ERROR(Snapshot("DW", dw, &dw_views));
+  MISO_RETURN_IF_ERROR(CheckDisjoint(hv_views, dw_views));
+  MISO_RETURN_IF_ERROR(CheckStoreBudget(
+      "HV", TotalBytes(hv_views), budgets.hv_storage, budgets.discretization,
+      VerifyCode::kDesignHvOverBudget));
+  MISO_RETURN_IF_ERROR(CheckStoreBudget(
+      "DW", TotalBytes(dw_views), budgets.dw_storage, budgets.discretization,
+      VerifyCode::kDesignDwOverBudget));
+  return Status::OK();
+}
+
+Status VerifyReorgPlan(const tuner::ReorgPlan& plan,
+                       const views::ViewCatalog& hv,
+                       const views::ViewCatalog& dw,
+                       const DesignBudgets& budgets) {
+  std::map<views::ViewId, Bytes> hv_views;
+  std::map<views::ViewId, Bytes> dw_views;
+  MISO_RETURN_IF_ERROR(Snapshot("HV", hv, &hv_views));
+  MISO_RETURN_IF_ERROR(Snapshot("DW", dw, &dw_views));
+  MISO_RETURN_IF_ERROR(CheckDisjoint(hv_views, dw_views));
+
+  // Every id may be touched by at most one movement/drop list.
+  std::set<views::ViewId> touched;
+  auto touch = [&touched](views::ViewId id) -> Status {
+    if (!touched.insert(id).second) {
+      return MakeVerifyError(
+          VerifyCode::kReorgDuplicateMove,
+          "view id " + std::to_string(id) +
+              " appears in more than one reorg movement list");
+    }
+    return Status::OK();
+  };
+  auto require_in = [](const std::map<views::ViewId, Bytes>& store,
+                       const char* name, views::ViewId id) -> Status {
+    if (store.count(id) == 0) {
+      return MakeVerifyError(VerifyCode::kReorgUnknownView,
+                             "reorg references view id " + std::to_string(id) +
+                                 " not present in " + name);
+    }
+    return Status::OK();
+  };
+
+  Bytes moved = 0;
+  for (const views::View& view : plan.move_to_dw) {
+    MISO_RETURN_IF_ERROR(touch(view.id));
+    MISO_RETURN_IF_ERROR(require_in(hv_views, "HV", view.id));
+    hv_views.erase(view.id);
+    dw_views[view.id] = view.size_bytes;
+    moved += view.size_bytes;
+  }
+  for (const views::View& view : plan.move_to_hv) {
+    MISO_RETURN_IF_ERROR(touch(view.id));
+    MISO_RETURN_IF_ERROR(require_in(dw_views, "DW", view.id));
+    dw_views.erase(view.id);
+    hv_views[view.id] = view.size_bytes;
+    moved += view.size_bytes;
+  }
+  for (views::ViewId id : plan.drop_from_hv) {
+    MISO_RETURN_IF_ERROR(touch(id));
+    MISO_RETURN_IF_ERROR(require_in(hv_views, "HV", id));
+    hv_views.erase(id);
+  }
+  for (views::ViewId id : plan.drop_from_dw) {
+    MISO_RETURN_IF_ERROR(touch(id));
+    MISO_RETURN_IF_ERROR(require_in(dw_views, "DW", id));
+    dw_views.erase(id);
+  }
+
+  if (CeilUnits(moved, budgets.discretization) >
+      CeilUnits(budgets.transfer, budgets.discretization)) {
+    return MakeVerifyError(
+        VerifyCode::kDesignTransferOverBudget,
+        "reorg moves " + FormatBytes(moved) +
+            " against a transfer budget of " + FormatBytes(budgets.transfer));
+  }
+
+  // Post-reorg design: disjoint by construction of the maps above; check
+  // both storage budgets on the simulated end state.
+  MISO_RETURN_IF_ERROR(CheckDisjoint(hv_views, dw_views));
+  MISO_RETURN_IF_ERROR(CheckStoreBudget(
+      "HV", TotalBytes(hv_views), budgets.hv_storage, budgets.discretization,
+      VerifyCode::kDesignHvOverBudget));
+  MISO_RETURN_IF_ERROR(CheckStoreBudget(
+      "DW", TotalBytes(dw_views), budgets.dw_storage, budgets.discretization,
+      VerifyCode::kDesignDwOverBudget));
+  return Status::OK();
+}
+
+Status VerifyAtomicPlacement(
+    const std::vector<std::vector<views::ViewId>>& groups,
+    const std::set<views::ViewId>& dw_ids,
+    const std::set<views::ViewId>& hv_ids) {
+  for (const std::vector<views::ViewId>& group : groups) {
+    int in_dw = 0;
+    int in_hv = 0;
+    for (views::ViewId id : group) {
+      if (dw_ids.count(id) > 0) ++in_dw;
+      if (hv_ids.count(id) > 0) ++in_hv;
+    }
+    const int members = static_cast<int>(group.size());
+    const bool all_dw = in_dw == members && in_hv == 0;
+    const bool all_hv = in_hv == members && in_dw == 0;
+    const bool none = in_dw == 0 && in_hv == 0;
+    if (!(all_dw || all_hv || none)) {
+      return MakeVerifyError(
+          VerifyCode::kMergedItemSplit,
+          "merged item of " + std::to_string(members) +
+              " views split across stores (" + std::to_string(in_dw) +
+              " in DW, " + std::to_string(in_hv) + " in HV)");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace miso::verify

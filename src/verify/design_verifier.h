@@ -1,0 +1,60 @@
+#ifndef MISO_VERIFY_DESIGN_VERIFIER_H_
+#define MISO_VERIFY_DESIGN_VERIFIER_H_
+
+#include <set>
+#include <vector>
+
+#include "common/units.h"
+#include "tuner/reorg_plan.h"
+#include "verify/error_codes.h"
+#include "views/view_catalog.h"
+
+namespace miso::verify {
+
+/// Budget envelope of a multistore design (paper §4.1: Bh, Bd, Bt).
+struct DesignBudgets {
+  Bytes hv_storage = 0;
+  Bytes dw_storage = 0;
+  Bytes transfer = 0;
+  /// Knapsack discretization d (MisoTunerConfig::discretization). The
+  /// packing guarantees budgets in ceil-units of d, so the verifier checks
+  /// ceil(bytes/d) <= ceil(budget/d) — byte-exact when d <= 1 or when the
+  /// budget is a multiple of d.
+  Bytes discretization = 1;
+};
+
+/// Verifies a post-reorganization multistore design (paper §4.1):
+///
+///  * each store's view bytes fit its budget (Bh / Bd, in ceil-units of
+///    the discretization);
+///  * no view id is placed in both stores (Vh ∩ Vd = ∅);
+///  * each catalog's `used_bytes` accounting equals the sum of its member
+///    view sizes.
+///
+/// Note: between reorganizations HV deliberately admits views over budget
+/// (§3.1 "less tightly managed"); call this only on tuner output / right
+/// after a reorganization has been applied.
+Status VerifyDesign(const views::ViewCatalog& hv, const views::ViewCatalog& dw,
+                    const DesignBudgets& budgets);
+
+/// Verifies one tuner-produced reorganization against the pre-reorg
+/// catalogs: every movement/drop references a view present in its source
+/// store, no view appears in two lists, total moved bytes fit the
+/// transfer budget Bt, and the post-reorg design (simulated, not applied)
+/// passes `VerifyDesign`.
+Status VerifyReorgPlan(const tuner::ReorgPlan& plan,
+                       const views::ViewCatalog& hv,
+                       const views::ViewCatalog& dw,
+                       const DesignBudgets& budgets);
+
+/// Merged-item consistency from sparsification (§4.3): each group lists
+/// the view ids of one merged knapsack item; all members must be placed in
+/// the same store (or none of them placed).
+Status VerifyAtomicPlacement(
+    const std::vector<std::vector<views::ViewId>>& groups,
+    const std::set<views::ViewId>& dw_ids,
+    const std::set<views::ViewId>& hv_ids);
+
+}  // namespace miso::verify
+
+#endif  // MISO_VERIFY_DESIGN_VERIFIER_H_

@@ -1,0 +1,364 @@
+#include "verify/plan_verifier.h"
+
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace miso::verify {
+
+using plan::NodePtr;
+using plan::OperatorNode;
+using plan::OpKind;
+
+namespace {
+
+/// Short diagnostic label naming the offending node.
+std::string NodeLabel(const OperatorNode& node) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s(sig=%016llx)",
+                std::string(OpKindToString(node.kind())).c_str(),
+                static_cast<unsigned long long>(node.signature()));
+  return buf;
+}
+
+int ExpectedArity(OpKind kind) {
+  switch (kind) {
+    case OpKind::kScan:
+    case OpKind::kViewScan:
+      return 0;
+    case OpKind::kJoin:
+      return 2;
+    case OpKind::kExtract:
+    case OpKind::kFilter:
+    case OpKind::kProject:
+    case OpKind::kAggregate:
+    case OpKind::kUdf:
+      return 1;
+  }
+  return -1;
+}
+
+/// Flattened view of the operator graph: distinct nodes in post-order plus
+/// every parent->child edge (one entry per edge, so shared subtrees
+/// contribute one edge per use).
+struct GraphFacts {
+  std::vector<const OperatorNode*> nodes;
+  std::vector<std::pair<const OperatorNode*, const OperatorNode*>> edges;
+};
+
+/// DFS with white/gray/black coloring: collects nodes and edges, rejects
+/// cycles and oversized graphs.
+Status CollectGraph(const NodePtr& root, int max_nodes, GraphFacts* out) {
+  enum class Color { kGray, kBlack };
+  std::unordered_map<const OperatorNode*, Color> color;
+
+  struct Frame {
+    const OperatorNode* node;
+    size_t next_child;
+  };
+  std::vector<Frame> stack;
+  color[root.get()] = Color::kGray;
+  stack.push_back({root.get(), 0});
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_child < frame.node->children().size()) {
+      const NodePtr& child_ptr = frame.node->children()[frame.next_child++];
+      if (child_ptr == nullptr) {
+        return MakeVerifyError(
+            VerifyCode::kPlanArity,
+            "null child under " + NodeLabel(*frame.node));
+      }
+      const OperatorNode* child = child_ptr.get();
+      out->edges.emplace_back(frame.node, child);
+      auto it = color.find(child);
+      if (it == color.end()) {
+        if (static_cast<int>(color.size()) >= max_nodes) {
+          return MakeVerifyError(VerifyCode::kPlanTooLarge,
+                                 "operator graph exceeds " +
+                                     std::to_string(max_nodes) + " nodes");
+        }
+        color[child] = Color::kGray;
+        stack.push_back({child, 0});
+      } else if (it->second == Color::kGray) {
+        return MakeVerifyError(
+            VerifyCode::kPlanCycle,
+            "cycle through " + NodeLabel(*child) + " (edge from " +
+                NodeLabel(*frame.node) + ")");
+      }
+      // Black child: shared subtree, already fully visited.
+    } else {
+      color[frame.node] = Color::kBlack;
+      out->nodes.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+  return Status::OK();
+}
+
+Status VerifyNodeShape(const OperatorNode& node) {
+  const int expected = ExpectedArity(node.kind());
+  const int actual = static_cast<int>(node.children().size());
+  if (expected < 0 || actual != expected) {
+    return MakeVerifyError(
+        VerifyCode::kPlanArity,
+        NodeLabel(node) + " has " + std::to_string(actual) +
+            " children, expected " + std::to_string(expected));
+  }
+  if (node.stats().rows < 0 || node.stats().bytes < 0) {
+    return MakeVerifyError(VerifyCode::kPlanSchema,
+                           NodeLabel(node) + " has negative output stats");
+  }
+  return Status::OK();
+}
+
+Status RequireField(const OperatorNode& node, const relation::Schema& schema,
+                    const std::string& field, const char* what) {
+  if (!schema.HasField(field)) {
+    return MakeVerifyError(
+        VerifyCode::kPlanSchema,
+        NodeLabel(node) + " " + what + " references field '" + field +
+            "' absent from its input schema");
+  }
+  return Status::OK();
+}
+
+Status VerifyNodeSchema(const OperatorNode& node) {
+  switch (node.kind()) {
+    case OpKind::kScan:
+    case OpKind::kViewScan:
+      return Status::OK();
+    case OpKind::kExtract: {
+      // SerDe extraction only makes sense directly over a raw-log scan.
+      if (node.children()[0]->kind() != OpKind::kScan) {
+        return MakeVerifyError(
+            VerifyCode::kPlanSchema,
+            NodeLabel(node) + " applies to " +
+                NodeLabel(*node.children()[0]) + ", expected a raw Scan");
+      }
+      const relation::Schema& out = node.output_schema();
+      for (const std::string& field : node.extract().fields) {
+        MISO_RETURN_IF_ERROR(RequireField(node, out, field, "extract"));
+      }
+      return Status::OK();
+    }
+    case OpKind::kFilter: {
+      const relation::Schema& in = node.children()[0]->output_schema();
+      for (const plan::PredicateAtom& atom :
+           node.filter().predicate.atoms()) {
+        MISO_RETURN_IF_ERROR(RequireField(node, in, atom.field, "predicate"));
+      }
+      return Status::OK();
+    }
+    case OpKind::kProject: {
+      const relation::Schema& in = node.children()[0]->output_schema();
+      for (const std::string& field : node.project().fields) {
+        MISO_RETURN_IF_ERROR(RequireField(node, in, field, "projection"));
+      }
+      return Status::OK();
+    }
+    case OpKind::kJoin: {
+      const std::string& key = node.join().key;
+      MISO_RETURN_IF_ERROR(RequireField(
+          node, node.children()[0]->output_schema(), key, "join key (left)"));
+      MISO_RETURN_IF_ERROR(RequireField(
+          node, node.children()[1]->output_schema(), key,
+          "join key (right)"));
+      return Status::OK();
+    }
+    case OpKind::kAggregate: {
+      const relation::Schema& in = node.children()[0]->output_schema();
+      for (const std::string& key : node.aggregate().group_by) {
+        MISO_RETURN_IF_ERROR(RequireField(node, in, key, "group-by"));
+      }
+      for (const plan::AggregateFn& fn : node.aggregate().aggregates) {
+        if (fn.field == "*") continue;  // count(*)
+        MISO_RETURN_IF_ERROR(RequireField(node, in, fn.field, "aggregate"));
+      }
+      return Status::OK();
+    }
+    case OpKind::kUdf:
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status VerifyViewReference(const OperatorNode& node,
+                           const PlanVerifierOptions& options) {
+  if (node.kind() != OpKind::kViewScan) return Status::OK();
+  const plan::ViewScanParams& params = node.view_scan();
+  const views::ViewCatalog* catalog = params.store == StoreKind::kDw
+                                          ? options.dw_views
+                                          : options.hv_views;
+  if (catalog == nullptr) return Status::OK();  // no catalog to check against
+  if (!catalog->Contains(params.view_id)) {
+    return MakeVerifyError(
+        VerifyCode::kPlanViewUnresolved,
+        NodeLabel(node) + " references view id " +
+            std::to_string(params.view_id) + " not present in " +
+            std::string(StoreKindToString(params.store)));
+  }
+  Result<views::View> view = catalog->Find(params.view_id);
+  if (view.ok() && view->signature != params.view_signature) {
+    return MakeVerifyError(
+        VerifyCode::kPlanViewUnresolved,
+        NodeLabel(node) + " signature mismatch for view id " +
+            std::to_string(params.view_id));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status VerifyNodeGraph(const NodePtr& root,
+                       const PlanVerifierOptions& options) {
+  if (root == nullptr) {
+    return MakeVerifyError(VerifyCode::kPlanEmpty, "plan has no root");
+  }
+  GraphFacts graph;
+  MISO_RETURN_IF_ERROR(CollectGraph(root, options.max_nodes, &graph));
+  for (const OperatorNode* node : graph.nodes) {
+    MISO_RETURN_IF_ERROR(VerifyNodeShape(*node));
+  }
+  // Schema checks assume correct arities, hence the second pass.
+  for (const OperatorNode* node : graph.nodes) {
+    MISO_RETURN_IF_ERROR(VerifyNodeSchema(*node));
+    MISO_RETURN_IF_ERROR(VerifyViewReference(*node, options));
+  }
+  return Status::OK();
+}
+
+Status VerifyPlan(const plan::Plan& plan, const PlanVerifierOptions& options) {
+  if (plan.empty()) {
+    return MakeVerifyError(VerifyCode::kPlanEmpty,
+                           "plan '" + plan.query_name() + "' is empty");
+  }
+  return VerifyNodeGraph(plan.root(), options);
+}
+
+Status VerifySplit(const NodePtr& root, const optimizer::SplitCandidate& split,
+                   const PlanVerifierOptions& options) {
+  MISO_RETURN_IF_ERROR(VerifyNodeGraph(root, options));
+
+  GraphFacts graph;
+  MISO_RETURN_IF_ERROR(CollectGraph(root, options.max_nodes, &graph));
+  std::unordered_set<const OperatorNode*> plan_nodes(graph.nodes.begin(),
+                                                     graph.nodes.end());
+
+  std::unordered_set<const OperatorNode*> dw;
+  for (const NodePtr& node : split.dw_side) {
+    if (node == nullptr || plan_nodes.count(node.get()) == 0) {
+      return MakeVerifyError(VerifyCode::kSplitForeignNode,
+                             "dw_side references a node outside the plan");
+    }
+    if (!dw.insert(node.get()).second) {
+      return MakeVerifyError(
+          VerifyCode::kSplitDuplicateNode,
+          NodeLabel(*node) + " listed twice in dw_side");
+    }
+  }
+
+  if (dw.empty()) {
+    // HV-only execution: nothing crosses the stores.
+    if (!split.cut_inputs.empty()) {
+      return MakeVerifyError(
+          VerifyCode::kSplitCutInconsistent,
+          "HV-only split (empty dw_side) carries cut inputs");
+    }
+    return Status::OK();
+  }
+
+  // Monotonicity (§3.1): once an operator runs in DW every consumer above
+  // it does too — equivalently, no DW node may feed an HV node.
+  for (const auto& [parent, child] : graph.edges) {
+    if (dw.count(child) > 0 && dw.count(parent) == 0) {
+      return MakeVerifyError(
+          VerifyCode::kSplitBackEdge,
+          "DW -> HV back-edge: " + NodeLabel(*child) +
+              " runs in DW but feeds " + NodeLabel(*parent) + " in HV");
+    }
+  }
+
+  for (const OperatorNode* node : graph.nodes) {
+    const bool in_dw = dw.count(node) > 0;
+    if (in_dw && !node->dw_executable()) {
+      return MakeVerifyError(
+          VerifyCode::kSplitNotDwExecutable,
+          NodeLabel(*node) + " on the DW side is not DW-executable");
+    }
+    if (node->kind() == OpKind::kViewScan) {
+      const StoreKind store = node->view_scan().store;
+      if (in_dw && store == StoreKind::kHv) {
+        return MakeVerifyError(
+            VerifyCode::kSplitViewWrongSide,
+            NodeLabel(*node) + " is HV-resident but assigned to DW");
+      }
+      if (!in_dw && store == StoreKind::kDw) {
+        return MakeVerifyError(
+            VerifyCode::kSplitViewWrongSide,
+            NodeLabel(*node) + " is DW-resident but assigned to HV");
+      }
+    }
+  }
+
+  // The cut must list exactly the HV-side children of DW-side operators,
+  // once per crossing edge (a shared subtree transfers once per use).
+  std::unordered_map<const OperatorNode*, int> expected_cuts;
+  for (const auto& [parent, child] : graph.edges) {
+    if (dw.count(parent) > 0 && dw.count(child) == 0) {
+      ++expected_cuts[child];
+    }
+  }
+  std::unordered_map<const OperatorNode*, int> actual_cuts;
+  for (const NodePtr& node : split.cut_inputs) {
+    if (node == nullptr || plan_nodes.count(node.get()) == 0) {
+      return MakeVerifyError(VerifyCode::kSplitForeignNode,
+                             "cut_inputs references a node outside the plan");
+    }
+    ++actual_cuts[node.get()];
+  }
+  for (const auto& [node, count] : expected_cuts) {
+    auto it = actual_cuts.find(node);
+    if (it == actual_cuts.end() || it->second != count) {
+      return MakeVerifyError(
+          VerifyCode::kSplitCutInconsistent,
+          NodeLabel(*node) + " crosses the split " + std::to_string(count) +
+              "x but appears " +
+              std::to_string(it == actual_cuts.end() ? 0 : it->second) +
+              "x in cut_inputs");
+    }
+  }
+  for (const auto& [node, count] : actual_cuts) {
+    (void)count;
+    if (expected_cuts.count(node) == 0) {
+      return MakeVerifyError(
+          VerifyCode::kSplitCutInconsistent,
+          NodeLabel(*node) + " listed as cut input but does not feed the "
+                             "DW side from HV");
+    }
+  }
+  return Status::OK();
+}
+
+Status VerifyMultistorePlan(const optimizer::MultistorePlan& ms,
+                            const PlanVerifierOptions& options) {
+  MISO_RETURN_IF_ERROR(VerifyPlan(ms.executed, options));
+  optimizer::SplitCandidate split;
+  split.dw_side = ms.dw_side;
+  split.cut_inputs = ms.cut_inputs;
+  MISO_RETURN_IF_ERROR(VerifySplit(ms.executed.root(), split, options));
+
+  Bytes cut_bytes = 0;
+  for (const NodePtr& cut : ms.cut_inputs) cut_bytes += cut->stats().bytes;
+  if (ms.transferred_bytes != cut_bytes) {
+    return MakeVerifyError(
+        VerifyCode::kSplitBytesMismatch,
+        "transferred_bytes=" + std::to_string(ms.transferred_bytes) +
+            " but cut inputs sum to " + std::to_string(cut_bytes));
+  }
+  return Status::OK();
+}
+
+}  // namespace miso::verify

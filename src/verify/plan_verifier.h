@@ -1,0 +1,59 @@
+#ifndef MISO_VERIFY_PLAN_VERIFIER_H_
+#define MISO_VERIFY_PLAN_VERIFIER_H_
+
+#include "optimizer/multistore_plan.h"
+#include "optimizer/split_enumerator.h"
+#include "plan/plan.h"
+#include "verify/error_codes.h"
+#include "views/view_catalog.h"
+
+namespace miso::verify {
+
+/// Options for the plan verification passes. The catalogs are optional:
+/// when provided, every ViewScan must resolve (by id and signature) in the
+/// catalog of the store it claims to reside in.
+struct PlanVerifierOptions {
+  const views::ViewCatalog* hv_views = nullptr;
+  const views::ViewCatalog* dw_views = nullptr;
+  /// Safety cap on distinct operator nodes (guards runaway graphs).
+  int max_nodes = 1'000'000;
+};
+
+/// Static structural analysis of one operator graph (paper §3 invariants):
+///
+///  * the graph is a DAG (structural sharing allowed, cycles rejected);
+///  * every operator has the arity of its kind (leaves 0, Join 2, rest 1);
+///  * schema consistency: Filter/Project/Aggregate/Join only reference
+///    fields present in their input schemas, Extract applies to a raw
+///    Scan, output stats are non-negative;
+///  * ViewScan references resolve in the ViewCatalog of their store (when
+///    catalogs are supplied).
+///
+/// Returns OK or the first violation as a Status whose message carries a
+/// stable "[Vnnn]" code (see error_codes.h) plus the offending node.
+Status VerifyNodeGraph(const plan::NodePtr& root,
+                       const PlanVerifierOptions& options = {});
+
+/// `VerifyNodeGraph` over a Plan; empty plans are rejected (V100).
+Status VerifyPlan(const plan::Plan& plan,
+                  const PlanVerifierOptions& options = {});
+
+/// Verifies one split of `root` (paper §3.1): the DW side must be
+/// upward-closed — data moves monotonically HV -> DW, never back — and
+/// composed of DW-executable operators; store-resident ViewScans must land
+/// on their own store's side; `cut_inputs` must be exactly the HV-side
+/// children of DW-side operators (the transferred working sets). An empty
+/// DW side (HV-only execution) must have no cut inputs.
+Status VerifySplit(const plan::NodePtr& root,
+                   const optimizer::SplitCandidate& split,
+                   const PlanVerifierOptions& options = {});
+
+/// Full verification of a costed multistore plan: graph checks on the
+/// executed plan, split checks on (dw_side, cut_inputs), and consistency
+/// of `transferred_bytes` with the cut inputs' estimated sizes.
+Status VerifyMultistorePlan(const optimizer::MultistorePlan& ms,
+                            const PlanVerifierOptions& options = {});
+
+}  // namespace miso::verify
+
+#endif  // MISO_VERIFY_PLAN_VERIFIER_H_

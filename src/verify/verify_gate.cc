@@ -1,0 +1,40 @@
+#include "verify/verify_gate.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace miso::verify {
+
+namespace {
+
+bool DefaultEnabled() {
+  if (const char* env = std::getenv("MISO_VERIFY")) {
+    return !(env[0] == '0' && env[1] == '\0');
+  }
+#ifndef NDEBUG
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::atomic<bool>& State() {
+  static std::atomic<bool> state{DefaultEnabled()};
+  return state;
+}
+
+}  // namespace
+
+bool Enabled() { return State().load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  State().store(enabled, std::memory_order_relaxed);
+}
+
+ScopedVerification::ScopedVerification(bool enabled) : previous_(Enabled()) {
+  SetEnabled(enabled);
+}
+
+ScopedVerification::~ScopedVerification() { SetEnabled(previous_); }
+
+}  // namespace miso::verify

@@ -1,0 +1,34 @@
+#ifndef MISO_VERIFY_VERIFY_GATE_H_
+#define MISO_VERIFY_VERIFY_GATE_H_
+
+namespace miso::verify {
+
+/// Process-wide switch for the verification passes (PlanVerifier /
+/// DesignVerifier) that are wired into the split enumerator, the tuner,
+/// and the simulator as debug-mode assertions.
+///
+/// Default: ON in debug builds (!NDEBUG), OFF in release builds. The
+/// `MISO_VERIFY` environment variable overrides the default ("0" disables,
+/// anything else enables) — ctest sets MISO_VERIFY=1 for every test, so
+/// the whole suite always runs with verification on regardless of build
+/// type. `SetEnabled` overrides both.
+bool Enabled();
+void SetEnabled(bool enabled);
+
+/// RAII toggle for tests: forces verification on (or off) for a scope and
+/// restores the previous state on destruction.
+class ScopedVerification {
+ public:
+  explicit ScopedVerification(bool enabled);
+  ~ScopedVerification();
+
+  ScopedVerification(const ScopedVerification&) = delete;
+  ScopedVerification& operator=(const ScopedVerification&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace miso::verify
+
+#endif  // MISO_VERIFY_VERIFY_GATE_H_

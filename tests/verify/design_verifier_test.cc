@@ -1,0 +1,183 @@
+// Negative-path coverage for the DesignVerifier: over-budget designs,
+// transfer-budget violations, duplicate placements, and split merged items
+// must be rejected with their specific stable error codes.
+
+#include "verify/design_verifier.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "tuner/reorg_plan.h"
+#include "views/view.h"
+#include "views/view_catalog.h"
+
+namespace miso::verify {
+namespace {
+
+views::View MakeView(views::ViewId id, Bytes size) {
+  views::View view;
+  view.id = id;
+  view.signature = 0x1000 + id;
+  view.size_bytes = size;
+  view.stats.bytes = size;
+  return view;
+}
+
+views::ViewCatalog MakeCatalog(Bytes budget,
+                               const std::vector<views::View>& views) {
+  views::ViewCatalog catalog(budget);
+  for (const views::View& view : views) {
+    MISO_EXPECT_OK(catalog.AddUnchecked(view));
+  }
+  return catalog;
+}
+
+DesignBudgets PaperishBudgets() {
+  DesignBudgets budgets;
+  budgets.hv_storage = 4 * kTiB;
+  budgets.dw_storage = 400 * kGiB;
+  budgets.transfer = 10 * kGiB;
+  budgets.discretization = kGiB;
+  return budgets;
+}
+
+TEST(DesignVerifierTest, AcceptsDesignWithinBudgets) {
+  const auto hv = MakeCatalog(4 * kTiB, {MakeView(1, kTiB), MakeView(2, kGiB)});
+  const auto dw = MakeCatalog(400 * kGiB, {MakeView(3, 100 * kGiB)});
+  MISO_EXPECT_OK(VerifyDesign(hv, dw, PaperishBudgets()));
+}
+
+TEST(DesignVerifierTest, RejectsHvOverBudgetWithV200) {
+  const auto hv = MakeCatalog(4 * kTiB, {MakeView(1, 5 * kTiB)});
+  const auto dw = MakeCatalog(400 * kGiB, {});
+  const Status status = VerifyDesign(hv, dw, PaperishBudgets());
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOutOfBudget);
+  EXPECT_EQ(ExtractVerifyCode(status), VerifyCode::kDesignHvOverBudget)
+      << status.ToString();
+}
+
+TEST(DesignVerifierTest, RejectsDwOverBudgetWithV201) {
+  const auto hv = MakeCatalog(4 * kTiB, {});
+  const auto dw = MakeCatalog(400 * kGiB, {MakeView(2, 401 * kGiB)});
+  const Status status = VerifyDesign(hv, dw, PaperishBudgets());
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(ExtractVerifyCode(status), VerifyCode::kDesignDwOverBudget)
+      << status.ToString();
+}
+
+TEST(DesignVerifierTest, RejectsDuplicatePlacementWithV203) {
+  // The same view id resident in both stores: Vh ∩ Vd must be empty.
+  const auto hv = MakeCatalog(4 * kTiB, {MakeView(7, kGiB)});
+  const auto dw = MakeCatalog(400 * kGiB, {MakeView(7, kGiB)});
+  const Status status = VerifyDesign(hv, dw, PaperishBudgets());
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(ExtractVerifyCode(status), VerifyCode::kDesignDuplicatePlacement)
+      << status.ToString();
+}
+
+TEST(DesignVerifierTest, BudgetCheckUsesDiscretizationUnits) {
+  // 400.5 GiB against a 400 GiB budget: over in any granularity. But a
+  // budget of 400.5 GiB with 401 GiB used passes at d = 1 GiB (the
+  // knapsack's ceil-unit guarantee) while failing byte-exact.
+  DesignBudgets budgets = PaperishBudgets();
+  const auto hv = MakeCatalog(4 * kTiB, {});
+
+  const auto over = MakeCatalog(400 * kGiB, {MakeView(1, 400 * kGiB + kMiB)});
+  EXPECT_FALSE(VerifyDesign(hv, over, budgets).ok());
+
+  budgets.dw_storage = 400 * kGiB + kGiB / 2;
+  const auto slack = MakeCatalog(401 * kGiB, {MakeView(1, 401 * kGiB)});
+  MISO_EXPECT_OK(VerifyDesign(hv, slack, budgets));
+  budgets.discretization = 1;  // byte-exact: now over
+  EXPECT_EQ(ExtractVerifyCode(VerifyDesign(hv, slack, budgets)),
+            VerifyCode::kDesignDwOverBudget);
+}
+
+TEST(ReorgVerifierTest, AcceptsFeasiblePlan) {
+  const auto hv = MakeCatalog(4 * kTiB, {MakeView(1, 2 * kGiB)});
+  const auto dw = MakeCatalog(400 * kGiB, {MakeView(2, 3 * kGiB)});
+  tuner::ReorgPlan plan;
+  plan.move_to_dw = {MakeView(1, 2 * kGiB)};
+  plan.move_to_hv = {MakeView(2, 3 * kGiB)};
+  MISO_EXPECT_OK(VerifyReorgPlan(plan, hv, dw, PaperishBudgets()));
+}
+
+TEST(ReorgVerifierTest, RejectsTransferOverBudgetWithV202) {
+  const auto hv = MakeCatalog(4 * kTiB, {MakeView(1, 11 * kGiB)});
+  const auto dw = MakeCatalog(400 * kGiB, {});
+  tuner::ReorgPlan plan;
+  plan.move_to_dw = {MakeView(1, 11 * kGiB)};  // Bt = 10 GiB
+  const Status status = VerifyReorgPlan(plan, hv, dw, PaperishBudgets());
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOutOfBudget);
+  EXPECT_EQ(ExtractVerifyCode(status), VerifyCode::kDesignTransferOverBudget)
+      << status.ToString();
+}
+
+TEST(ReorgVerifierTest, RejectsUnknownSourceViewWithV205) {
+  const auto hv = MakeCatalog(4 * kTiB, {});
+  const auto dw = MakeCatalog(400 * kGiB, {});
+  tuner::ReorgPlan plan;
+  plan.move_to_dw = {MakeView(99, kGiB)};  // not resident in HV
+  const Status status = VerifyReorgPlan(plan, hv, dw, PaperishBudgets());
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(ExtractVerifyCode(status), VerifyCode::kReorgUnknownView)
+      << status.ToString();
+}
+
+TEST(ReorgVerifierTest, RejectsViewMovedTwiceWithV206) {
+  const auto hv = MakeCatalog(4 * kTiB, {MakeView(1, kGiB)});
+  const auto dw = MakeCatalog(400 * kGiB, {});
+  tuner::ReorgPlan plan;
+  plan.move_to_dw = {MakeView(1, kGiB)};
+  plan.drop_from_hv = {1};
+  const Status status = VerifyReorgPlan(plan, hv, dw, PaperishBudgets());
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(ExtractVerifyCode(status), VerifyCode::kReorgDuplicateMove)
+      << status.ToString();
+}
+
+TEST(ReorgVerifierTest, RejectsPostReorgOverBudgetWithV201) {
+  // Movement fits Bt but the resulting DW design exceeds Bd.
+  DesignBudgets budgets = PaperishBudgets();
+  budgets.transfer = kTiB;
+  const auto hv = MakeCatalog(4 * kTiB, {MakeView(1, 300 * kGiB)});
+  const auto dw = MakeCatalog(400 * kGiB, {MakeView(2, 200 * kGiB)});
+  tuner::ReorgPlan plan;
+  plan.move_to_dw = {MakeView(1, 300 * kGiB)};
+  const Status status = VerifyReorgPlan(plan, hv, dw, budgets);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(ExtractVerifyCode(status), VerifyCode::kDesignDwOverBudget)
+      << status.ToString();
+}
+
+TEST(DesignVerifierTest, AccountingStaysConsistentThroughCatalogChurn) {
+  // used_bytes drift (V204) cannot be provoked through the public catalog
+  // API — that is exactly what the check guards against regressing — so
+  // this test pins the consistent case across add/reject/remove churn.
+  views::ViewCatalog hv(4 * kTiB);
+  views::View v = MakeView(1, kGiB);
+  MISO_EXPECT_OK(hv.AddUnchecked(v));
+  v.size_bytes = 2 * kGiB;  // same id, different size: duplicate rejected
+  EXPECT_FALSE(hv.AddUnchecked(v).ok());
+  MISO_EXPECT_OK(hv.AddUnchecked(MakeView(2, 3 * kGiB)));
+  MISO_EXPECT_OK(hv.Remove(1));
+  const auto dw = MakeCatalog(400 * kGiB, {});
+  MISO_EXPECT_OK(VerifyDesign(hv, dw, PaperishBudgets()));
+}
+
+TEST(AtomicPlacementTest, RejectsSplitMergedItemWithV207) {
+  const std::vector<std::vector<views::ViewId>> groups = {{1, 2}, {3}};
+  MISO_EXPECT_OK(VerifyAtomicPlacement(groups, {1, 2}, {3}));  // atomic
+  MISO_EXPECT_OK(VerifyAtomicPlacement(groups, {}, {}));       // none placed
+  const Status status = VerifyAtomicPlacement(groups, {1}, {2});
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(ExtractVerifyCode(status), VerifyCode::kMergedItemSplit)
+      << status.ToString();
+  // A member placed in both stores is also non-atomic.
+  EXPECT_FALSE(VerifyAtomicPlacement(groups, {1, 2}, {1, 2}).ok());
+}
+
+}  // namespace
+}  // namespace miso::verify

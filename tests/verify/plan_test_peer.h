@@ -1,0 +1,35 @@
+#ifndef MISO_TESTS_VERIFY_PLAN_TEST_PEER_H_
+#define MISO_TESTS_VERIFY_PLAN_TEST_PEER_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "plan/operator.h"
+
+namespace miso::plan {
+
+/// Test-only backdoor for building operator graphs the NodeFactory refuses
+/// to construct (cycles, wrong arities). The verifier must reject such
+/// graphs, so the tests need a way to make them.
+class PlanTestPeer {
+ public:
+  /// A bare, unannotated node of `kind` (no schema/stats/signature).
+  static std::shared_ptr<OperatorNode> NewNode(OpKind kind) {
+    auto node = std::make_shared<OperatorNode>();
+    node->kind_ = kind;
+    return node;
+  }
+
+  /// Overwrites the children edge list — the only way to form a cycle.
+  /// Callers building cycles must break them again before the nodes go out
+  /// of scope (a shared_ptr cycle is a leak LeakSanitizer will flag).
+  static void SetChildren(const std::shared_ptr<OperatorNode>& node,
+                          std::vector<NodePtr> children) {
+    node->children_ = std::move(children);
+  }
+};
+
+}  // namespace miso::plan
+
+#endif  // MISO_TESTS_VERIFY_PLAN_TEST_PEER_H_

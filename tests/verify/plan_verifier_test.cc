@@ -1,0 +1,279 @@
+// Negative-path coverage for the PlanVerifier: deliberately malformed
+// operator graphs and splits must be rejected with their specific stable
+// error codes, and factory-built plans/splits must verify clean.
+
+#include "verify/plan_verifier.h"
+
+#include <set>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "optimizer/split_enumerator.h"
+#include "plan/node_factory.h"
+#include "plan/plan.h"
+#include "plan_test_peer.h"
+#include "verify/verify_gate.h"
+#include "views/view.h"
+#include "views/view_catalog.h"
+
+namespace miso::verify {
+namespace {
+
+using plan::NodePtr;
+using plan::OpKind;
+using plan::PlanTestPeer;
+using testing_util::MakeAnalystPlan;
+using testing_util::PaperCatalog;
+
+plan::Plan AnalystPlan(bool udf_dw_compatible = true) {
+  auto plan = MakeAnalystPlan(&PaperCatalog(), "q", "coffee", 0.1,
+                              udf_dw_compatible);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return *plan;
+}
+
+TEST(PlanVerifierTest, AcceptsFactoryBuiltPlan) {
+  MISO_EXPECT_OK(VerifyPlan(AnalystPlan()));
+}
+
+TEST(PlanVerifierTest, RejectsEmptyPlan) {
+  const Status status = VerifyPlan(plan::Plan());
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(ExtractVerifyCode(status), VerifyCode::kPlanEmpty);
+}
+
+TEST(PlanVerifierTest, RejectsCycleWithV101) {
+  auto a = PlanTestPeer::NewNode(OpKind::kFilter);
+  auto b = PlanTestPeer::NewNode(OpKind::kFilter);
+  PlanTestPeer::SetChildren(a, {b});
+  PlanTestPeer::SetChildren(b, {a});
+
+  const Status status = VerifyNodeGraph(a);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(ExtractVerifyCode(status), VerifyCode::kPlanCycle)
+      << status.ToString();
+
+  // Break the shared_ptr cycle so LeakSanitizer stays quiet.
+  PlanTestPeer::SetChildren(b, {});
+}
+
+TEST(PlanVerifierTest, RejectsWrongArityWithV102) {
+  // A Join with a single child.
+  auto scan = PlanTestPeer::NewNode(OpKind::kScan);
+  auto join = PlanTestPeer::NewNode(OpKind::kJoin);
+  PlanTestPeer::SetChildren(join, {scan});
+
+  const Status status = VerifyNodeGraph(join);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(ExtractVerifyCode(status), VerifyCode::kPlanArity)
+      << status.ToString();
+}
+
+TEST(PlanVerifierTest, RejectsAggregateOverLeafWithV102) {
+  auto agg = PlanTestPeer::NewNode(OpKind::kAggregate);
+  const Status status = VerifyNodeGraph(agg);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(ExtractVerifyCode(status), VerifyCode::kPlanArity);
+}
+
+TEST(PlanVerifierTest, RejectsDanglingViewReferenceWithV104) {
+  // A DW ViewScan whose id resolves in no catalog.
+  plan::NodeFactory factory(&PaperCatalog());
+  const plan::Plan query = AnalystPlan();
+  const NodePtr view_scan = factory.MakeViewScan(
+      /*view_id=*/777, /*view_signature=*/query.signature(), StoreKind::kDw,
+      query.root()->output_schema(), query.root()->stats(),
+      query.root()->canonical());
+
+  views::ViewCatalog empty_dw(/*storage_budget=*/kGiB);
+  PlanVerifierOptions options;
+  options.dw_views = &empty_dw;
+  const Status status = VerifyNodeGraph(view_scan, options);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(ExtractVerifyCode(status), VerifyCode::kPlanViewUnresolved)
+      << status.ToString();
+
+  // Without a catalog to check against, the reference is not verifiable
+  // and the graph passes.
+  MISO_EXPECT_OK(VerifyNodeGraph(view_scan));
+}
+
+TEST(PlanVerifierTest, ResolvesViewReferenceAgainstCatalog) {
+  plan::NodeFactory factory(&PaperCatalog());
+  const plan::Plan query = AnalystPlan();
+
+  views::View view = views::ViewFromNode(*query.root());
+  view.id = 42;
+  views::ViewCatalog dw(/*storage_budget=*/100 * kTiB);
+  MISO_ASSERT_OK(dw.AddUnchecked(view));
+
+  const NodePtr view_scan = factory.MakeViewScan(
+      view.id, view.signature, StoreKind::kDw, view.schema, view.stats,
+      view.canonical);
+  PlanVerifierOptions options;
+  options.dw_views = &dw;
+  MISO_EXPECT_OK(VerifyNodeGraph(view_scan, options));
+}
+
+TEST(SplitVerifierTest, AcceptsEveryEnumeratedSplit) {
+  const plan::Plan query = AnalystPlan();
+  auto candidates = optimizer::EnumerateSplits(query.root());
+  ASSERT_TRUE(candidates.ok()) << candidates.status().ToString();
+  ASSERT_GT(candidates->size(), 1u);
+  for (const optimizer::SplitCandidate& candidate : *candidates) {
+    MISO_EXPECT_OK(VerifySplit(query.root(), candidate));
+  }
+}
+
+TEST(SplitVerifierTest, RejectsDwToHvBackEdgeWithV120) {
+  // Put one interior DW-executable node in DW without its parent: the
+  // node's output would flow DW -> HV, violating §3.1 monotonicity.
+  const plan::Plan query = AnalystPlan();
+  const std::vector<NodePtr> nodes = query.PostOrder();
+  NodePtr dw_executable_interior;
+  for (const NodePtr& node : nodes) {
+    if (node != query.root() && node->dw_executable() &&
+        !node->children().empty()) {
+      dw_executable_interior = node;
+      break;
+    }
+  }
+  ASSERT_NE(dw_executable_interior, nullptr);
+
+  optimizer::SplitCandidate split;
+  split.dw_side = {dw_executable_interior};
+  for (const NodePtr& child : dw_executable_interior->children()) {
+    split.cut_inputs.push_back(child);
+  }
+  const Status status = VerifySplit(query.root(), split);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(ExtractVerifyCode(status), VerifyCode::kSplitBackEdge)
+      << status.ToString();
+}
+
+TEST(SplitVerifierTest, RejectsHvOnlyOperatorOnDwSideWithV121) {
+  // The whole plan in DW, including the raw Scans/Extracts that cannot
+  // execute there.
+  const plan::Plan query = AnalystPlan();
+  optimizer::SplitCandidate split;
+  split.dw_side = query.PostOrder();
+  const Status status = VerifySplit(query.root(), split);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(ExtractVerifyCode(status), VerifyCode::kSplitNotDwExecutable)
+      << status.ToString();
+}
+
+TEST(SplitVerifierTest, RejectsCutInputsOnHvOnlySplitWithV123) {
+  const plan::Plan query = AnalystPlan();
+  optimizer::SplitCandidate split;  // empty dw_side = HV-only
+  split.cut_inputs = {query.root()};
+  const Status status = VerifySplit(query.root(), split);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(ExtractVerifyCode(status), VerifyCode::kSplitCutInconsistent);
+}
+
+TEST(SplitVerifierTest, RejectsMissingCutInputWithV123) {
+  // Root-only DW side but no cut inputs for its children.
+  const plan::Plan query = AnalystPlan();
+  optimizer::SplitCandidate split;
+  split.dw_side = {query.root()};
+  const Status status = VerifySplit(query.root(), split);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(ExtractVerifyCode(status), VerifyCode::kSplitCutInconsistent)
+      << status.ToString();
+}
+
+TEST(SplitVerifierTest, RejectsForeignNodeWithV124) {
+  const plan::Plan query = AnalystPlan();
+  const plan::Plan other = AnalystPlan();  // distinct node identities
+  optimizer::SplitCandidate split;
+  split.dw_side = {other.root()};
+  const Status status = VerifySplit(query.root(), split);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(ExtractVerifyCode(status), VerifyCode::kSplitForeignNode);
+}
+
+TEST(SplitVerifierTest, RejectsTransferredBytesMismatchWithV126) {
+  const plan::Plan query = AnalystPlan();
+  auto candidates = optimizer::EnumerateSplits(query.root());
+  ASSERT_TRUE(candidates.ok());
+  // Pick a real multistore split (non-empty DW side and cut).
+  const optimizer::SplitCandidate* chosen = nullptr;
+  for (const optimizer::SplitCandidate& c : *candidates) {
+    if (!c.dw_side.empty() && !c.cut_inputs.empty()) {
+      chosen = &c;
+      break;
+    }
+  }
+  ASSERT_NE(chosen, nullptr);
+
+  optimizer::MultistorePlan ms;
+  ms.executed = query;
+  ms.dw_side = chosen->dw_side;
+  ms.cut_inputs = chosen->cut_inputs;
+  ms.transferred_bytes = -1;  // deliberately wrong
+  const Status status = VerifyMultistorePlan(ms);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(ExtractVerifyCode(status), VerifyCode::kSplitBytesMismatch)
+      << status.ToString();
+}
+
+TEST(SplitVerifierTest, EnumeratorSelfVerifiesWhenEnabled) {
+  // The wiring inside EnumerateSplits runs the verifier on every
+  // candidate when the gate is on; a factory-built plan must still pass.
+  ScopedVerification on(true);
+  const plan::Plan query = AnalystPlan(/*udf_dw_compatible=*/false);
+  auto candidates = optimizer::EnumerateSplits(query.root());
+  ASSERT_TRUE(candidates.ok()) << candidates.status().ToString();
+  EXPECT_GE(candidates->size(), 1u);
+}
+
+TEST(VerifyGateTest, ScopedVerificationRestores) {
+  const bool before = Enabled();
+  {
+    ScopedVerification on(true);
+    EXPECT_TRUE(Enabled());
+    {
+      ScopedVerification off(false);
+      EXPECT_FALSE(Enabled());
+    }
+    EXPECT_TRUE(Enabled());
+  }
+  EXPECT_EQ(Enabled(), before);
+}
+
+TEST(ErrorCodeTest, TokensAreStableAndDistinct) {
+  const VerifyCode codes[] = {
+      VerifyCode::kPlanEmpty,          VerifyCode::kPlanCycle,
+      VerifyCode::kPlanArity,          VerifyCode::kPlanSchema,
+      VerifyCode::kPlanViewUnresolved, VerifyCode::kPlanTooLarge,
+      VerifyCode::kSplitBackEdge,      VerifyCode::kSplitNotDwExecutable,
+      VerifyCode::kSplitViewWrongSide, VerifyCode::kSplitCutInconsistent,
+      VerifyCode::kSplitForeignNode,   VerifyCode::kSplitDuplicateNode,
+      VerifyCode::kSplitBytesMismatch, VerifyCode::kDesignHvOverBudget,
+      VerifyCode::kDesignDwOverBudget, VerifyCode::kDesignTransferOverBudget,
+      VerifyCode::kDesignDuplicatePlacement,
+      VerifyCode::kDesignAccountingDrift, VerifyCode::kReorgUnknownView,
+      VerifyCode::kReorgDuplicateMove, VerifyCode::kMergedItemSplit,
+  };
+  std::set<std::string_view> tokens;
+  for (VerifyCode code : codes) {
+    const std::string_view token = VerifyCodeToken(code);
+    EXPECT_NE(token, "V???");
+    EXPECT_TRUE(tokens.insert(token).second) << "duplicate token " << token;
+    // Round-trip through a Status.
+    const Status status = MakeVerifyError(code, "detail");
+    EXPECT_EQ(ExtractVerifyCode(status), code);
+  }
+}
+
+TEST(ErrorCodeTest, NonVerifierStatusYieldsNoCode) {
+  EXPECT_EQ(ExtractVerifyCode(Status::OK()), VerifyCode::kOk);
+  EXPECT_FALSE(
+      ExtractVerifyCode(Status::Internal("plain error")).has_value());
+}
+
+}  // namespace
+}  // namespace miso::verify

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# One-command verification gate for the tree:
+#
+#   1. configure a sanitizer build (ASan+UBSan by default, TSan with
+#      --tsan) with warnings-as-errors (MISO_WERROR=ON);
+#   2. build everything;
+#   3. run the full ctest suite under the sanitizers — this includes the
+#      `static_analysis` ctest label (clang-tidy over src/, skipped when
+#      the tool is unavailable) and runs every test with MISO_VERIFY=1,
+#      so the PlanVerifier / DesignVerifier assert on every enumerated
+#      split and every reorganization.
+#
+# Any compiler warning, sanitizer report, clang-tidy finding in src/, or
+# test failure fails the script.
+#
+# Usage: tools/check.sh [--tsan] [--jobs N] [--build-dir DIR] [--tidy-only]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+SANITIZE="address,undefined"
+BUILD_DIR=""
+JOBS="$(nproc 2>/dev/null || echo 2)"
+TIDY_ONLY=0
+
+while [ "$#" -gt 0 ]; do
+  case "$1" in
+    --tsan) SANITIZE="thread"; shift ;;
+    --jobs) JOBS="$2"; shift 2 ;;
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --tidy-only) TIDY_ONLY=1; shift ;;
+    -h|--help)
+      sed -n '2,16p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0 ;;
+    *) echo "check.sh: unknown option '$1'" >&2; exit 2 ;;
+  esac
+done
+
+if [ -z "$BUILD_DIR" ]; then
+  case "$SANITIZE" in
+    thread) BUILD_DIR="$ROOT/build-tsan" ;;
+    *) BUILD_DIR="$ROOT/build-asan" ;;
+  esac
+fi
+
+echo "== check.sh: sanitizers=$SANITIZE build=$BUILD_DIR jobs=$JOBS"
+
+cmake -S "$ROOT" -B "$BUILD_DIR" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DMISO_SANITIZE="$SANITIZE" \
+  -DMISO_WERROR=ON
+
+if [ "$TIDY_ONLY" -eq 1 ]; then
+  exec "$ROOT/tools/run_clang_tidy.sh" "$BUILD_DIR"
+fi
+
+cmake --build "$BUILD_DIR" -j"$JOBS"
+
+# print_stacktrace makes UBSan reports actionable; ASan halts on the first
+# error by default (and -fno-sanitize-recover=all aborts on UBSan issues).
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+
+echo "== check.sh: all gates passed"
