@@ -22,17 +22,21 @@ int RealMain() {
       sim::SystemVariant::kMsOra};
 
   Seconds miso_tti = 0;
-  std::printf("%-9s %10s %10s %9s %8s %8s\n", "variant", "TTI(s)", "HV-EXE",
-              "DW-EXE", "XFER", "TUNE");
+  std::printf("%-9s %10s %10s %9s %8s %8s %4s\n", "variant", "TTI(s)",
+              "HV-EXE", "DW-EXE", "XFER", "TUNE", "THR");
   std::vector<std::pair<std::string, Seconds>> results;
   for (sim::SystemVariant v : variants) {
-    sim::RunReport report =
-        bench_util::Run(bench_util::BudgetConfig(v, 0.125));
+    const sim::SimConfig config = bench_util::BudgetConfig(v, 0.125);
+    // Worker threads for candidate costing (MISO_THREADS); the TTI
+    // columns are identical for any value — only wall clock changes.
+    const int threads = config.threads > 0 ? config.threads
+                                           : ThreadPool::DefaultThreadCount();
+    sim::RunReport report = bench_util::Run(config);
     if (v == sim::SystemVariant::kMsMiso) miso_tti = report.Tti();
     results.emplace_back(report.variant_name, report.Tti());
-    std::printf("%-9s %10.0f %10.0f %9.0f %8.0f %8.0f\n",
+    std::printf("%-9s %10.0f %10.0f %9.0f %8.0f %8.0f %4d\n",
                 report.variant_name.c_str(), report.Tti(), report.hv_exe_s,
-                report.dw_exe_s, report.transfer_s, report.tune_s);
+                report.dw_exe_s, report.transfer_s, report.tune_s, threads);
   }
 
   std::printf("\nMS-MISO improvement over each technique:\n");

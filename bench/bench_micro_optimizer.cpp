@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "common/thread_pool.h"
 #include "hv/hv_store.h"
 #include "optimizer/split_enumerator.h"
 #include "views/rewriter.h"
@@ -99,6 +100,28 @@ void BM_FullOptimize(benchmark::State& state) {
   state.SetLabel("8 queries per iteration");
 }
 BENCHMARK(BM_FullOptimize);
+
+void BM_FullOptimizeThreaded(benchmark::State& state) {
+  // Same 8 queries as BM_FullOptimize, but with candidate costing fanned
+  // out over a pool; the plans produced are bit-identical to the serial
+  // run for every thread count (the Arg is the pool size).
+  OptimizerFixture& f = Fixture();
+  const int threads = static_cast<int>(state.range(0));
+  ThreadPool pool(threads);
+  f.optimizer.set_thread_pool(threads > 1 ? &pool : nullptr);
+  for (auto _ : state) {
+    for (int i = 8; i < 16; ++i) {
+      auto best = f.optimizer.Optimize(
+          Workload().queries()[static_cast<size_t>(i)].plan, f.dw_catalog,
+          f.hv_catalog);
+      benchmark::DoNotOptimize(best);
+    }
+  }
+  f.optimizer.set_thread_pool(nullptr);
+  state.SetLabel("8 queries per iteration, " + std::to_string(threads) +
+                 " thread(s)");
+}
+BENCHMARK(BM_FullOptimizeThreaded)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_PlanConstruction(benchmark::State& state) {
   for (auto _ : state) {

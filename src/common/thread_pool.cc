@@ -1,0 +1,118 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <exception>
+#include <utility>
+
+namespace miso {
+
+namespace {
+
+/// Set for the duration of WorkerLoop so ParallelFor can detect nesting.
+thread_local const ThreadPool* t_current_pool = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads, std::size_t queue_capacity) {
+  const int n = std::max(1, num_threads);
+  queue_capacity_ =
+      queue_capacity > 0 ? queue_capacity : static_cast<std::size_t>(4 * n);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  assert(!InWorkerThread() && "Submit from a worker can deadlock");
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] {
+      return queue_.size() < queue_capacity_ || shutting_down_;
+    });
+    assert(!shutting_down_ && "Submit after shutdown began");
+    queue_.push_back(std::move(packaged));
+  }
+  not_empty_.notify_one();
+  return future;
+}
+
+bool ThreadPool::InWorkerThread() const { return t_current_pool == this; }
+
+void ThreadPool::WorkerLoop() {
+  t_current_pool = this;
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock,
+                      [this] { return !queue_.empty() || shutting_down_; });
+      if (queue_.empty()) break;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    task();  // exceptions land in the task's future
+  }
+  t_current_pool = nullptr;
+}
+
+int ThreadPool::DefaultThreadCount() {
+  if (const char* env = std::getenv("MISO_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ParallelFor(ThreadPool* pool, int n,
+                 const std::function<void(int)>& body) {
+  if (n <= 0) return;
+  if (pool == nullptr || pool->num_threads() <= 1 || pool->InWorkerThread()) {
+    for (int i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Contiguous chunks, several per worker for load balance. A chunk that
+  // throws abandons its own remaining indices (as the serial loop would)
+  // without affecting other chunks.
+  const int chunks = std::min(n, pool->num_threads() * 4);
+  const int chunk_size = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<std::size_t>(chunks));
+  for (int begin = 0; begin < n; begin += chunk_size) {
+    const int end = std::min(n, begin + chunk_size);
+    futures.push_back(pool->Submit([&body, begin, end] {
+      for (int i = begin; i < end; ++i) body(i);
+    }));
+  }
+  // Wait for everything first: no body may still be running when we
+  // rethrow (the closures reference caller-scope state).
+  for (std::future<void>& future : futures) future.wait();
+  std::exception_ptr first;
+  for (std::future<void>& future : futures) {  // lowest chunk wins
+    try {
+      future.get();
+    } catch (...) {
+      if (first == nullptr) first = std::current_exception();
+    }
+  }
+  if (first != nullptr) std::rethrow_exception(first);
+}
+
+}  // namespace miso

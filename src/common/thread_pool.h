@@ -1,0 +1,91 @@
+#ifndef MISO_COMMON_THREAD_POOL_H_
+#define MISO_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace miso {
+
+/// Fixed-size worker pool over a bounded FIFO task queue.
+///
+/// `Submit` enqueues one task and blocks while the queue is full, so a
+/// producer enumerating millions of work items cannot outrun the workers
+/// by more than the queue capacity (backpressure instead of unbounded
+/// memory growth). Tasks are dequeued in submission order; completion
+/// order is of course unspecified. The destructor drains: every task
+/// already submitted runs to completion before the workers join, so a
+/// pool going out of scope mid-burst never drops work.
+///
+/// The pool is the only concurrency primitive in the library. Everything
+/// that runs on it is a pure function over immutable inputs writing to a
+/// caller-owned slot (see `ParallelFor`), which is how the parallel
+/// optimizer and simulator stay bit-identical to their serial paths.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1). `queue_capacity`
+  /// bounds the pending-task queue; 0 selects 4 * num_threads.
+  explicit ThreadPool(int num_threads, std::size_t queue_capacity = 0);
+
+  /// Drains the queue (all submitted tasks run) and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+  std::size_t queue_capacity() const { return queue_capacity_; }
+
+  /// Enqueues `task`, blocking while the queue is at capacity. The
+  /// returned future observes completion and rethrows any exception the
+  /// task raised. Must not be called from one of this pool's own workers
+  /// (a full queue would deadlock); `ParallelFor` degrades to a serial
+  /// loop in that case instead.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// True iff the calling thread is one of this pool's workers.
+  bool InWorkerThread() const;
+
+  /// The process-default worker count: the `MISO_THREADS` environment
+  /// variable when set to a positive integer, else the hardware
+  /// concurrency (and 1 when even that is unknown). `MISO_THREADS=1`
+  /// forces every parallel code path onto the exact legacy serial loop.
+  static int DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::size_t queue_capacity_;
+  std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `body(0) .. body(n-1)` over the pool in contiguous index chunks
+/// and waits for all of them. Falls back to a plain serial loop — the
+/// exact legacy code path — when `pool` is null, has a single worker, or
+/// the caller already *is* one of the pool's workers (nested parallelism
+/// would deadlock on the bounded queue, and inline execution keeps the
+/// nesting deterministic).
+///
+/// Determinism contract: each index must write only to its own
+/// caller-owned slot (and read only shared immutable state), so the
+/// result vector is identical regardless of thread count or completion
+/// order; any cross-index reduction happens in the caller afterwards, in
+/// index order. If bodies throw, the exception from the lowest-indexed
+/// throwing chunk is rethrown after every chunk has finished (no body
+/// keeps running once ParallelFor returns).
+void ParallelFor(ThreadPool* pool, int n,
+                 const std::function<void(int)>& body);
+
+}  // namespace miso
+
+#endif  // MISO_COMMON_THREAD_POOL_H_

@@ -23,6 +23,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/store_kind.h"
+#include "common/thread_pool.h"
 #include "common/units.h"
 #include "core/multistore_system.h"
 #include "dw/dw_store.h"

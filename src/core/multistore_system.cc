@@ -12,6 +12,11 @@ Result<sim::RunReport> MultistoreSystem::Execute(
   return simulator.Run(queries);
 }
 
+Result<std::vector<sim::RunReport>> MultistoreSystem::SweepSeeds(
+    const std::vector<uint64_t>& seeds) const {
+  return sim::RunSeedSweep(&catalog_, config_.sim, seeds);
+}
+
 Result<sim::RunReport> MultistoreSystem::ExecutePlans(
     const std::vector<plan::Plan>& plans) const {
   std::vector<workload::WorkloadQuery> queries;

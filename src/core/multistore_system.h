@@ -47,6 +47,14 @@ class MultistoreSystem {
   Result<sim::RunReport> ExecutePlans(
       const std::vector<plan::Plan>& plans) const;
 
+  /// Generates the paper workload for each seed and simulates every one
+  /// under this system's configuration, fanning the seeds out over
+  /// `config.sim.threads` workers (0 = the `MISO_THREADS` default).
+  /// Reports come back in seed order and are bit-identical to serial
+  /// per-seed execution for any thread count.
+  Result<std::vector<sim::RunReport>> SweepSeeds(
+      const std::vector<uint64_t>& seeds) const;
+
   /// A builder bound to this system's catalog, for composing ad-hoc
   /// queries against the log datasets.
   plan::PlanBuilder MakePlanBuilder() const {

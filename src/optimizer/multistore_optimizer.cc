@@ -62,14 +62,24 @@ Result<MultistorePlan> MultistoreOptimizer::CostSplit(
 Result<MultistorePlan> MultistoreOptimizer::BestSplit(
     const plan::Plan& executed) const {
   MISO_ASSIGN_OR_RETURN(std::vector<SplitCandidate> candidates,
-                        EnumerateSplits(executed.root()));
+                        EnumerateSplits(executed.root(),
+                                        /*max_candidates=*/100000, pool_));
+  // Cost every candidate into its own slot (independent work over
+  // immutable inputs), then reduce serially in candidate order: the
+  // strict < keeps the earliest minimum, and errors surface for the
+  // lowest-indexed failing candidate — both exactly as the serial loop.
+  std::vector<Result<MultistorePlan>> costed(
+      candidates.size(), Status::Internal("candidate not costed"));
+  ParallelFor(pool_, static_cast<int>(candidates.size()), [&](int i) {
+    costed[static_cast<size_t>(i)] =
+        CostSplit(executed, candidates[static_cast<size_t>(i)]);
+  });
   Result<MultistorePlan> best =
       Status::Internal("no candidate produced a costable plan");
-  for (const SplitCandidate& candidate : candidates) {
-    Result<MultistorePlan> costed = CostSplit(executed, candidate);
-    if (!costed.ok()) return costed.status();
-    if (!best.ok() || costed->cost.Total() < best->cost.Total()) {
-      best = std::move(costed);
+  for (Result<MultistorePlan>& candidate : costed) {
+    if (!candidate.ok()) return candidate.status();
+    if (!best.ok() || candidate->cost.Total() < best->cost.Total()) {
+      best = std::move(candidate);
     }
   }
   return best;
@@ -150,16 +160,27 @@ Result<MultistorePlan> MultistoreOptimizer::OptimizeHvOnly(
 Result<std::vector<MultistorePlan>> MultistoreOptimizer::EnumerateAllPlans(
     const plan::Plan& query) const {
   MISO_ASSIGN_OR_RETURN(std::vector<SplitCandidate> candidates,
-                        EnumerateSplits(query.root()));
-  std::vector<MultistorePlan> plans;
-  plans.reserve(candidates.size());
-  for (const SplitCandidate& candidate : candidates) {
-    MISO_ASSIGN_OR_RETURN(MultistorePlan costed,
-                          CostSplit(query, candidate));
-    if (verify::Enabled()) {
-      MISO_RETURN_IF_ERROR(verify::VerifyMultistorePlan(costed));
+                        EnumerateSplits(query.root(),
+                                        /*max_candidates=*/100000, pool_));
+  // Per-candidate costing + verification is independent; slots keep the
+  // enumeration order, so the returned population is bit-identical to
+  // the serial path for any thread count.
+  std::vector<Result<MultistorePlan>> costed(
+      candidates.size(), Status::Internal("candidate not costed"));
+  ParallelFor(pool_, static_cast<int>(candidates.size()), [&](int i) {
+    Result<MultistorePlan> one =
+        CostSplit(query, candidates[static_cast<size_t>(i)]);
+    if (one.ok() && verify::Enabled()) {
+      const Status verdict = verify::VerifyMultistorePlan(*one);
+      if (!verdict.ok()) one = verdict;
     }
-    plans.push_back(std::move(costed));
+    costed[static_cast<size_t>(i)] = std::move(one);
+  });
+  std::vector<MultistorePlan> plans;
+  plans.reserve(costed.size());
+  for (Result<MultistorePlan>& one : costed) {
+    if (!one.ok()) return one.status();
+    plans.push_back(std::move(*one));
   }
   return plans;
 }

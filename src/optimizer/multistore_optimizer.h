@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "dw/dw_cost_model.h"
 #include "hv/hv_cost_model.h"
 #include "optimizer/multistore_plan.h"
@@ -29,6 +30,13 @@ namespace miso::optimizer {
 /// The same code path serves as the what-if optimizer: pass hypothetical
 /// view catalogs to cost a design without materializing it (§3.1's
 /// "what-if mode").
+///
+/// Candidate evaluation (step 3) optionally fans out over a `ThreadPool`
+/// (`set_thread_pool`): every (rewrite, split) pair costs independently
+/// against the immutable plan nodes and const cost models, each result
+/// lands in its own slot, and the winner is reduced serially in candidate
+/// order with the same strict-< comparison as the serial loop — so the
+/// chosen plan and its costs are bit-identical for every thread count.
 class MultistoreOptimizer {
  public:
   MultistoreOptimizer(const plan::NodeFactory* factory,
@@ -67,6 +75,12 @@ class MultistoreOptimizer {
   Result<MultistorePlan> CostSplit(const plan::Plan& executed,
                                    const SplitCandidate& split) const;
 
+  /// Installs (or clears, with nullptr) the pool used to cost candidate
+  /// splits concurrently. The pool is borrowed, not owned; it must
+  /// outlive every Optimize/WhatIfCost call.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* thread_pool() const { return pool_; }
+
  private:
   /// Enumerates and costs all splits of `executed`, returning the
   /// cheapest; error when no feasible split exists.
@@ -76,6 +90,7 @@ class MultistoreOptimizer {
   const hv::HvCostModel* hv_model_;
   const dw::DwCostModel* dw_model_;
   const transfer::TransferModel* transfer_model_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace miso::optimizer

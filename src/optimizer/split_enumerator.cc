@@ -48,7 +48,8 @@ bool ContainsDwView(const NodePtr& node) {
 }  // namespace
 
 Result<std::vector<SplitCandidate>> EnumerateSplits(const NodePtr& root,
-                                                    int max_candidates) {
+                                                    int max_candidates,
+                                                    ThreadPool* pool) {
   if (root == nullptr) {
     return Status::InvalidArgument("cannot split an empty plan");
   }
@@ -127,10 +128,18 @@ Result<std::vector<SplitCandidate>> EnumerateSplits(const NodePtr& root,
   }
   // Debug-mode assertion (always on under ctest): every emitted candidate
   // must be a well-formed split — DW side upward-closed and DW-executable,
-  // views on their own store's side, cut = the HV->DW frontier.
+  // views on their own store's side, cut = the HV->DW frontier. Each
+  // candidate verifies independently against immutable plan nodes, so the
+  // pass fans out over the pool; the first failure in candidate order is
+  // reported, matching the serial scan.
   if (verify::Enabled()) {
-    for (const SplitCandidate& candidate : candidates) {
-      MISO_RETURN_IF_ERROR(verify::VerifySplit(root, candidate));
+    std::vector<Status> verdicts(candidates.size());
+    ParallelFor(pool, static_cast<int>(candidates.size()), [&](int i) {
+      verdicts[static_cast<size_t>(i)] =
+          verify::VerifySplit(root, candidates[static_cast<size_t>(i)]);
+    });
+    for (Status& verdict : verdicts) {
+      MISO_RETURN_IF_ERROR(std::move(verdict));
     }
   }
   return candidates;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "optimizer/multistore_plan.h"
 
 namespace miso::optimizer {
@@ -31,8 +32,16 @@ struct SplitCandidate {
 ///
 /// `max_candidates` caps the enumeration as a safety valve for adversarial
 /// plans (the cap is far above anything the paper's 7-job queries produce).
+///
+/// `pool` (optional) parallelizes the per-candidate feasibility
+/// verification pass over the enumerated splits. The candidate list and
+/// its order are produced by the sequential recursion either way, so the
+/// output is bit-identical for every thread count; on verification
+/// failure the error of the lowest-indexed bad candidate is returned,
+/// exactly as in the serial scan.
 Result<std::vector<SplitCandidate>> EnumerateSplits(
-    const plan::NodePtr& root, int max_candidates = 100000);
+    const plan::NodePtr& root, int max_candidates = 100000,
+    ThreadPool* pool = nullptr);
 
 }  // namespace miso::optimizer
 

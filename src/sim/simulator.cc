@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <memory>
 #include <set>
 #include <unordered_set>
 
@@ -96,6 +97,21 @@ Result<RunReport> MultistoreSimulator::Run(
   optimizer::MultistoreOptimizer opt(&factory, &hv_store.cost_model(),
                                      &dw_store.cost_model(), &mover);
   dw::ResourceLedger ledger(cfg.background, cfg.contention);
+
+  // Candidate-split costing fans out over a pool: an external one when a
+  // sweep shares its workers, else a Run-local pool per config.threads
+  // (1 = the exact legacy serial path, no pool at all).
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool = external_pool_;
+  if (pool == nullptr) {
+    const int threads =
+        cfg.threads > 0 ? cfg.threads : ThreadPool::DefaultThreadCount();
+    if (threads > 1) {
+      owned_pool = std::make_unique<ThreadPool>(threads);
+      pool = owned_pool.get();
+    }
+  }
+  opt.set_thread_pool(pool);
 
   tuner::MisoTunerConfig tuner_config;
   tuner_config.hv_storage_budget = cfg.hv_storage_budget;
@@ -441,6 +457,45 @@ Result<RunReport> RunPaperWorkload(const relation::Catalog* catalog,
                         workload::EvolutionaryWorkload::Generate(catalog, wl));
   MultistoreSimulator simulator(catalog, config);
   return simulator.Run(workload.queries());
+}
+
+Result<std::vector<RunReport>> RunSeedSweep(
+    const relation::Catalog* catalog, const SimConfig& config,
+    const std::vector<uint64_t>& seeds) {
+  const int threads =
+      config.threads > 0 ? config.threads : ThreadPool::DefaultThreadCount();
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+  // One slot per seed; each task generates its own workload and runs a
+  // self-contained simulator, so slots never alias. The shared pool also
+  // serves the per-run optimizer — nested ParallelFor from a worker
+  // thread runs inline, which is the same deterministic serial reduce.
+  std::vector<Result<RunReport>> slots(
+      seeds.size(), Status::Internal("seed not simulated"));
+  ParallelFor(pool.get(), static_cast<int>(seeds.size()), [&](int i) {
+    MultistoreSimulator simulator(catalog, config);
+    simulator.SetThreadPool(pool.get());
+    workload::WorkloadConfig wl;
+    wl.seed = seeds[static_cast<size_t>(i)];
+    Result<workload::EvolutionaryWorkload> workload =
+        workload::EvolutionaryWorkload::Generate(catalog, wl);
+    if (!workload.ok()) {
+      slots[static_cast<size_t>(i)] = workload.status();
+      return;
+    }
+    slots[static_cast<size_t>(i)] = simulator.Run(workload->queries());
+  });
+
+  // Merge in seed order: reports line up with `seeds`, and the error of
+  // the lowest-indexed failing seed wins, as a serial loop would report.
+  std::vector<RunReport> reports;
+  reports.reserve(slots.size());
+  for (Result<RunReport>& slot : slots) {
+    if (!slot.ok()) return slot.status();
+    reports.push_back(std::move(*slot));
+  }
+  return reports;
 }
 
 }  // namespace miso::sim

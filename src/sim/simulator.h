@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "dw/dw_config.h"
 #include "dw/resource_model.h"
 #include "hv/hv_config.h"
@@ -48,6 +49,14 @@ struct SimConfig {
   /// tuner itself is lightweight; movements dominate).
   Seconds tune_compute_s = 30.0;
 
+  /// Worker threads for candidate-split costing inside the optimizer and
+  /// for multi-seed sweeps (`RunSeedSweep`). 0 resolves to
+  /// `ThreadPool::DefaultThreadCount()` (the `MISO_THREADS` environment
+  /// variable, else hardware concurrency); 1 runs the exact legacy
+  /// serial code path. Simulation results are bit-identical across
+  /// thread counts either way — this knob trades wall-clock only.
+  int threads = 0;
+
   hv::HvConfig hv;
   dw::DwConfig dw;
   transfer::TransferConfig transfer;
@@ -87,12 +96,20 @@ class MultistoreSimulator {
 
   const SimConfig& config() const { return config_; }
 
+  /// Borrows an external pool for the optimizer's candidate costing
+  /// instead of creating one per Run from `config.threads`. Used by
+  /// `RunSeedSweep` so concurrent seed runs share one set of workers
+  /// (nested ParallelFor from a worker degrades to the serial loop,
+  /// keeping every seed's result bit-identical regardless).
+  void SetThreadPool(ThreadPool* pool) { external_pool_ = pool; }
+
   /// Runs the whole workload (arrival order = vector order).
   Result<RunReport> Run(const std::vector<workload::WorkloadQuery>& queries);
 
  private:
   const relation::Catalog* catalog_;
   SimConfig config_;
+  ThreadPool* external_pool_ = nullptr;
 };
 
 /// Convenience: generate the paper's 32-query workload and run it under
@@ -100,6 +117,20 @@ class MultistoreSimulator {
 Result<RunReport> RunPaperWorkload(const relation::Catalog* catalog,
                                    const SimConfig& config,
                                    uint64_t workload_seed = 42);
+
+/// Multi-seed sweep: generates the paper workload for every seed and
+/// simulates each one independently, fanning the seeds out over
+/// `config.threads` workers (resolved as in SimConfig). The reports are
+/// merged back in seed order — element i of the result always belongs to
+/// seeds[i], and is bit-identical to a serial `RunPaperWorkload` of that
+/// seed for any thread count; on failure the error of the lowest-indexed
+/// failing seed is returned. Each seed's simulation is self-contained
+/// (own stores, optimizer, tuner, ledger); only the immutable catalog
+/// and an optional `config.reorg_observer` are shared, so a non-null
+/// observer must be thread-safe when threads > 1.
+Result<std::vector<RunReport>> RunSeedSweep(const relation::Catalog* catalog,
+                                            const SimConfig& config,
+                                            const std::vector<uint64_t>& seeds);
 
 }  // namespace miso::sim
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "verify/design_verifier.h"
+#include "verify/verify_gate.h"
+
 namespace miso::tuner {
 
 namespace {
@@ -88,6 +91,22 @@ Result<double> BenefitAnalyzer::PredictedBenefit(
   double total = 0;
   for (size_t i = 0; i < benefits.size(); ++i) {
     total += Weight(static_cast<int>(i)) * benefits[i];
+  }
+  // Debug-mode assertion (always on under ctest): the decayed-benefit
+  // bookkeeping — clamped per-query savings, decay^epoch_age weights,
+  // and their weighted sum — must cross-check against an independent
+  // recomputation (V208).
+  if (verify::Enabled()) {
+    verify::BenefitLedger ledger;
+    ledger.epoch_length = epoch_len_;
+    ledger.decay = decay_;
+    ledger.per_query_benefit = benefits;
+    ledger.weights.reserve(benefits.size());
+    for (size_t i = 0; i < benefits.size(); ++i) {
+      ledger.weights.push_back(Weight(static_cast<int>(i)));
+    }
+    ledger.predicted_total = total;
+    MISO_RETURN_IF_ERROR(verify::VerifyBenefitLedger(ledger));
   }
   return total;
 }

@@ -1,5 +1,7 @@
 #include "verify/design_verifier.h"
 
+#include <algorithm>
+#include <cmath>
 #include <map>
 #include <string>
 
@@ -156,6 +158,58 @@ Status VerifyReorgPlan(const tuner::ReorgPlan& plan,
   MISO_RETURN_IF_ERROR(CheckStoreBudget(
       "DW", TotalBytes(dw_views), budgets.dw_storage, budgets.discretization,
       VerifyCode::kDesignDwOverBudget));
+  return Status::OK();
+}
+
+Status VerifyBenefitLedger(const BenefitLedger& ledger) {
+  const size_t n = ledger.per_query_benefit.size();
+  if (ledger.weights.size() != n) {
+    return MakeVerifyError(
+        VerifyCode::kBenefitBookkeepingDrift,
+        "benefit ledger holds " + std::to_string(n) + " benefits but " +
+            std::to_string(ledger.weights.size()) + " weights");
+  }
+
+  // Re-derive each weight from scratch: position pos counts from the
+  // oldest query, epoch age 0 is the newest epoch.
+  double recomputed_total = 0;
+  for (size_t pos = 0; pos < n; ++pos) {
+    const double benefit = ledger.per_query_benefit[pos];
+    if (!std::isfinite(benefit) || benefit < 0) {
+      return MakeVerifyError(
+          VerifyCode::kBenefitBookkeepingDrift,
+          "per-query benefit at window position " + std::to_string(pos) +
+              " is " + std::to_string(benefit) +
+              " (must be finite and non-negative)");
+    }
+    double expected = 1.0;
+    if (ledger.epoch_length > 0) {
+      const int from_newest = static_cast<int>(n) - 1 - static_cast<int>(pos);
+      const int epoch_age = from_newest / ledger.epoch_length;
+      expected = std::pow(ledger.decay, epoch_age);
+    }
+    const double weight = ledger.weights[pos];
+    if (!(std::fabs(weight - expected) <= 1e-12 * std::max(1.0, expected))) {
+      return MakeVerifyError(
+          VerifyCode::kBenefitBookkeepingDrift,
+          "decay weight at window position " + std::to_string(pos) + " is " +
+              std::to_string(weight) + ", expected decay^epoch_age = " +
+              std::to_string(expected));
+    }
+    recomputed_total += weight * benefit;
+  }
+
+  const double scale =
+      std::max({1.0, std::fabs(recomputed_total),
+                std::fabs(ledger.predicted_total)});
+  if (!std::isfinite(ledger.predicted_total) ||
+      std::fabs(ledger.predicted_total - recomputed_total) > 1e-9 * scale) {
+    return MakeVerifyError(
+        VerifyCode::kBenefitBookkeepingDrift,
+        "predicted benefit " + std::to_string(ledger.predicted_total) +
+            " does not match the decayed per-query sum " +
+            std::to_string(recomputed_total));
+  }
   return Status::OK();
 }
 

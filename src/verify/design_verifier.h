@@ -55,6 +55,33 @@ Status VerifyAtomicPlacement(
     const std::set<views::ViewId>& dw_ids,
     const std::set<views::ViewId>& hv_ids);
 
+/// One decayed-benefit computation of the tuner's BenefitAnalyzer (§4.3):
+/// the per-query benefits over the history window (oldest -> newest), the
+/// decay weight the analyzer claims for each position, and the predicted
+/// future benefit it summed them into.
+struct BenefitLedger {
+  /// Epoch length in queries; <= 0 means no epoching (all weights 1).
+  int epoch_length = 0;
+  /// Per-epoch decay factor (§5.1 default 0.6).
+  double decay = 0.6;
+  std::vector<double> per_query_benefit;
+  std::vector<double> weights;
+  /// The claimed Σ weights[i] * per_query_benefit[i].
+  double predicted_total = 0.0;
+};
+
+/// Cross-checks the decayed-benefit bookkeeping (all violations V208):
+///
+///  * one weight per benefit entry;
+///  * every per-query benefit is finite and non-negative (benefits are
+///    clamped savings — a negative entry means the base-cost cache and
+///    the what-if probe disagreed on the same query);
+///  * each weight equals decay^epoch_age recomputed independently from
+///    (position, epoch_length), with the newest epoch at weight 1;
+///  * the predicted total equals the weighted sum (small relative
+///    tolerance; the verifier re-associates the sum differently).
+Status VerifyBenefitLedger(const BenefitLedger& ledger);
+
 }  // namespace miso::verify
 
 #endif  // MISO_VERIFY_DESIGN_VERIFIER_H_

@@ -51,6 +51,8 @@ std::string_view VerifyCodeToken(VerifyCode code) {
       return "V206";
     case VerifyCode::kMergedItemSplit:
       return "V207";
+    case VerifyCode::kBenefitBookkeepingDrift:
+      return "V208";
   }
   return "V???";
 }

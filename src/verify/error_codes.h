@@ -54,6 +54,11 @@ enum class VerifyCode {
                                     //       drop lists of one reorg plan
   kMergedItemSplit = 207,           // V207: members of one sparsified item
                                     //       placed in different stores
+  kBenefitBookkeepingDrift = 208,   // V208: tuner's decayed-benefit ledger
+                                    //       inconsistent (weights diverge
+                                    //       from decay^epoch_age, negative /
+                                    //       non-finite per-query benefit, or
+                                    //       total != Σ weight·benefit)
 };
 
 /// The stable token embedded in diagnostics, e.g. "V101".

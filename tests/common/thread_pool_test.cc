@@ -1,0 +1,162 @@
+// The thread pool is the only concurrency primitive in the library, so
+// its contracts carry the determinism guarantees of everything above it:
+// FIFO dequeue order, bounded-queue backpressure, drain-on-destruction,
+// per-index slot writes under heavy oversubscription, and ParallelFor's
+// lowest-index exception propagation.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace miso {
+namespace {
+
+TEST(ThreadPoolTest, ClampsThreadCountAndDefaultsCapacity) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  EXPECT_EQ(pool.queue_capacity(), 4u);
+  ThreadPool wide(3, 2);
+  EXPECT_EQ(wide.num_threads(), 3);
+  EXPECT_EQ(wide.queue_capacity(), 2u);
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsTasksInSubmissionOrder) {
+  // With one worker the FIFO queue is a total order: tasks must observe
+  // exactly the sequence they were submitted in.
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.Submit([&order, i] { order.push_back(i); }));
+  }
+  for (std::future<void>& f : futures) f.get();
+  std::vector<int> expected(32);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, OversubscriptionRunsEveryTaskExactlyOnce) {
+  // Far more tasks than workers and a tiny queue: backpressure blocks
+  // the producer, but every task still runs exactly once.
+  ThreadPool pool(2, /*queue_capacity=*/3);
+  constexpr int kTasks = 500;
+  std::vector<int> hits(kTasks, 0);
+  std::atomic<int> completed{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.Submit([&hits, &completed, i] {
+      ++hits[static_cast<size_t>(i)];  // own slot: no synchronization needed
+      completed.fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+  for (std::future<void>& f : futures) f.get();
+  EXPECT_EQ(completed.load(), kTasks);
+  for (int i = 0; i < kTasks; ++i) EXPECT_EQ(hits[static_cast<size_t>(i)], 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasksWhileBusy) {
+  // Destroy the pool while tasks are queued behind a slow one: shutdown
+  // must drain — everything already submitted runs before join.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2, /*queue_capacity=*/64);
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }  // ~ThreadPool joins here
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionsThroughTheFuture) {
+  ThreadPool pool(2);
+  std::future<void> bad =
+      pool.Submit([] { throw std::runtime_error("task failed"); });
+  std::future<void> good = pool.Submit([] {});
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  EXPECT_NO_THROW(good.get());  // one task's failure never poisons others
+}
+
+TEST(ParallelForTest, WritesEverySlotForAnyThreadCount) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    constexpr int kN = 257;  // deliberately not a multiple of any chunking
+    std::vector<int> out(kN, -1);
+    ParallelFor(&pool, kN, [&out](int i) {
+      out[static_cast<size_t>(i)] = 3 * i;
+    });
+    for (int i = 0; i < kN; ++i) {
+      ASSERT_EQ(out[static_cast<size_t>(i)], 3 * i) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelForTest, NullPoolAndEmptyRangeAreSerialNoOps) {
+  std::vector<int> out(5, 0);
+  ParallelFor(nullptr, 5, [&out](int i) { out[static_cast<size_t>(i)] = 1; });
+  EXPECT_EQ(out, (std::vector<int>{1, 1, 1, 1, 1}));
+  ParallelFor(nullptr, 0, [](int) { FAIL() << "body must not run for n=0"; });
+}
+
+TEST(ParallelForTest, RethrowsTheLowestIndexedChunkException) {
+  ThreadPool pool(4);
+  // Two throwing indices far apart: the chunk containing the lower index
+  // must win regardless of which worker finishes first.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    try {
+      ParallelFor(&pool, 64, [](int i) {
+        if (i == 5) throw std::out_of_range("low");
+        if (i == 60) throw std::runtime_error("high");
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::out_of_range& e) {
+      EXPECT_STREQ(e.what(), "low");
+    }
+  }
+}
+
+TEST(ParallelForTest, NestedCallFromWorkerRunsInline) {
+  // ParallelFor from inside a pool task must not deadlock on the bounded
+  // queue: it detects the worker thread and runs the body serially.
+  ThreadPool pool(2, /*queue_capacity=*/2);
+  std::vector<int> outer(4, 0);
+  ParallelFor(&pool, 4, [&pool, &outer](int i) {
+    EXPECT_TRUE(pool.InWorkerThread());
+    std::vector<int> inner(16, 0);
+    ParallelFor(&pool, 16, [&inner](int j) {
+      inner[static_cast<size_t>(j)] = j + 1;
+    });
+    int sum = 0;
+    for (int v : inner) sum += v;
+    outer[static_cast<size_t>(i)] = sum;
+  });
+  EXPECT_EQ(outer, (std::vector<int>{136, 136, 136, 136}));
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountHonorsMisoThreadsEnv) {
+  // ctest does not set MISO_THREADS globally, so mutate and restore.
+  const char* saved = std::getenv("MISO_THREADS");
+  const std::string saved_value = saved != nullptr ? saved : "";
+  setenv("MISO_THREADS", "7", /*overwrite=*/1);
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), 7);
+  setenv("MISO_THREADS", "0", 1);  // invalid: falls back to hardware
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+  if (saved != nullptr) {
+    setenv("MISO_THREADS", saved_value.c_str(), 1);
+  } else {
+    unsetenv("MISO_THREADS");
+  }
+}
+
+}  // namespace
+}  // namespace miso

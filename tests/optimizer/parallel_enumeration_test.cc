@@ -1,0 +1,171 @@
+// Determinism of the parallel optimizer: the chosen multistore plan, the
+// full costed plan population, and every cost component must be
+// bit-identical to the serial path for thread counts {1, 2, 8}, across
+// several workload seeds. The parallel path only changes *where* each
+// candidate is costed, never what is costed or how the winner is reduced.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../test_util.h"
+#include "common/thread_pool.h"
+#include "hv/hv_store.h"
+#include "optimizer/multistore_optimizer.h"
+#include "optimizer/split_enumerator.h"
+#include "workload/evolutionary.h"
+
+namespace miso::optimizer {
+namespace {
+
+using testing_util::PaperCatalog;
+
+/// Optimizer + designs harvested from the first 8 queries of one
+/// workload seed — the same setup as the micro-benchmarks, so the
+/// parallel path is exercised against realistic view catalogs.
+struct Harness {
+  explicit Harness(uint64_t seed)
+      : factory(&PaperCatalog()),
+        hv_model(hv::HvConfig{}),
+        dw_model(dw::DwConfig{}),
+        transfer_model(transfer::TransferConfig{}),
+        optimizer(&factory, &hv_model, &dw_model, &transfer_model),
+        hv_catalog(100 * kTiB),
+        dw_catalog(400 * kGiB) {
+    workload::WorkloadConfig wl;
+    wl.seed = seed;
+    auto generated =
+        workload::EvolutionaryWorkload::Generate(&PaperCatalog(), wl);
+    EXPECT_TRUE(generated.ok()) << generated.status().ToString();
+    queries = generated->queries();
+
+    hv::HvStore store(hv::HvConfig{}, 100 * kTiB);
+    uint64_t next_id = 1;
+    for (int i = 0; i < 8; ++i) {
+      const plan::Plan& q = queries[static_cast<size_t>(i)].plan;
+      auto exec = store.Execute(q.root(), i, 0, &next_id, q.signature());
+      EXPECT_TRUE(exec.ok()) << exec.status().ToString();
+      for (views::View& v : exec->produced_views) {
+        if (v.size_bytes < 2 * kGiB && dw_catalog.used_bytes() < 100 * kGiB) {
+          (void)dw_catalog.AddUnchecked(std::move(v));
+        } else {
+          (void)hv_catalog.AddUnchecked(std::move(v));
+        }
+      }
+    }
+  }
+
+  plan::NodeFactory factory;
+  hv::HvCostModel hv_model;
+  dw::DwCostModel dw_model;
+  transfer::TransferModel transfer_model;
+  MultistoreOptimizer optimizer;
+  views::ViewCatalog hv_catalog;
+  views::ViewCatalog dw_catalog;
+  std::vector<workload::WorkloadQuery> queries;
+};
+
+/// Bit-exact equality of two multistore plans: structure by canonical
+/// signatures, costs by exact double comparison (the parallel reduce is
+/// the same serial scan, so not even an ULP may differ).
+void ExpectIdenticalPlans(const MultistorePlan& serial,
+                          const MultistorePlan& parallel) {
+  EXPECT_EQ(serial.executed.signature(), parallel.executed.signature());
+  ASSERT_EQ(serial.dw_side.size(), parallel.dw_side.size());
+  for (size_t i = 0; i < serial.dw_side.size(); ++i) {
+    EXPECT_EQ(serial.dw_side[i]->signature(), parallel.dw_side[i]->signature());
+  }
+  ASSERT_EQ(serial.cut_inputs.size(), parallel.cut_inputs.size());
+  for (size_t i = 0; i < serial.cut_inputs.size(); ++i) {
+    EXPECT_EQ(serial.cut_inputs[i]->signature(),
+              parallel.cut_inputs[i]->signature());
+  }
+  EXPECT_EQ(serial.transferred_bytes, parallel.transferred_bytes);
+  EXPECT_EQ(serial.cost.hv_exec_s, parallel.cost.hv_exec_s);
+  EXPECT_EQ(serial.cost.dump_s, parallel.cost.dump_s);
+  EXPECT_EQ(serial.cost.transfer_load_s, parallel.cost.transfer_load_s);
+  EXPECT_EQ(serial.cost.dw_exec_s, parallel.cost.dw_exec_s);
+}
+
+class ParallelEnumerationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelEnumerationTest, OptimizeIsBitIdenticalAcrossThreadCounts) {
+  Harness harness(GetParam());
+
+  // Serial reference: no pool installed at all (the legacy code path).
+  std::vector<MultistorePlan> reference;
+  for (size_t qi = 8; qi < 14; ++qi) {
+    auto best = harness.optimizer.Optimize(harness.queries[qi].plan,
+                                           harness.dw_catalog,
+                                           harness.hv_catalog);
+    ASSERT_TRUE(best.ok()) << best.status().ToString();
+    reference.push_back(std::move(best).value());
+  }
+
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    harness.optimizer.set_thread_pool(&pool);
+    for (size_t qi = 8; qi < 14; ++qi) {
+      auto best = harness.optimizer.Optimize(harness.queries[qi].plan,
+                                             harness.dw_catalog,
+                                             harness.hv_catalog);
+      ASSERT_TRUE(best.ok()) << best.status().ToString();
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " query=" + std::to_string(qi));
+      ExpectIdenticalPlans(reference[qi - 8], *best);
+    }
+    harness.optimizer.set_thread_pool(nullptr);
+  }
+}
+
+TEST_P(ParallelEnumerationTest, PlanPopulationIsBitIdentical) {
+  Harness harness(GetParam());
+  const plan::Plan& query = harness.queries[3].plan;
+
+  auto serial = harness.optimizer.EnumerateAllPlans(query);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    harness.optimizer.set_thread_pool(&pool);
+    auto parallel = harness.optimizer.EnumerateAllPlans(query);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ASSERT_EQ(serial->size(), parallel->size()) << "threads=" << threads;
+    for (size_t i = 0; i < serial->size(); ++i) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " candidate=" + std::to_string(i));
+      ExpectIdenticalPlans((*serial)[i], (*parallel)[i]);
+    }
+    harness.optimizer.set_thread_pool(nullptr);
+  }
+}
+
+TEST_P(ParallelEnumerationTest, EnumerateSplitsIsIdenticalWithAPool) {
+  Harness harness(GetParam());
+  const plan::Plan& query = harness.queries[5].plan;
+
+  auto serial = EnumerateSplits(query.root());
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  for (int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    auto parallel = EnumerateSplits(query.root(), 100000, &pool);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ASSERT_EQ(serial->size(), parallel->size());
+    for (size_t i = 0; i < serial->size(); ++i) {
+      // The candidate list is produced by the sequential recursion; the
+      // pool only runs the verification pass, so even node identity
+      // (not just structure) must match.
+      ASSERT_EQ((*serial)[i].dw_side.size(), (*parallel)[i].dw_side.size());
+      for (size_t k = 0; k < (*serial)[i].dw_side.size(); ++k) {
+        EXPECT_EQ((*serial)[i].dw_side[k].get(),
+                  (*parallel)[i].dw_side[k].get());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelEnumerationTest,
+                         ::testing::Values(7, 123));
+
+}  // namespace
+}  // namespace miso::optimizer

@@ -1,0 +1,107 @@
+// Determinism of the multi-seed sweep: RunSeedSweep must return, for any
+// thread count, reports that are byte-identical (via their CSV
+// serializations and exact TTI components) to a serial RunPaperWorkload
+// of each seed, merged back in seed order.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../test_util.h"
+#include "sim/report_io.h"
+#include "sim/simulator.h"
+
+namespace miso::sim {
+namespace {
+
+using testing_util::PaperCatalog;
+
+const std::vector<uint64_t>& SweepSeeds() {
+  static const std::vector<uint64_t> seeds = {7, 123};
+  return seeds;
+}
+
+SimConfig BaseConfig() {
+  SimConfig config;
+  config.variant = SystemVariant::kMsMiso;
+  return config;
+}
+
+TEST(ParallelSweepTest, SweepMatchesSerialRunsByteForByteAcrossThreadCounts) {
+  const SimConfig base = BaseConfig();
+
+  // Serial references, one per seed, through the single-run entry point.
+  std::vector<RunReport> reference;
+  for (uint64_t seed : SweepSeeds()) {
+    auto report = RunPaperWorkload(&PaperCatalog(), base, seed);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    reference.push_back(std::move(report).value());
+  }
+
+  for (int threads : {1, 2, 8}) {
+    SimConfig config = base;
+    config.threads = threads;
+    auto sweep = RunSeedSweep(&PaperCatalog(), config, SweepSeeds());
+    ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+    ASSERT_EQ(sweep->size(), SweepSeeds().size());
+    for (size_t i = 0; i < sweep->size(); ++i) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " seed=" + std::to_string(SweepSeeds()[i]));
+      const RunReport& serial = reference[i];
+      const RunReport& parallel = (*sweep)[i];
+      // Byte-identical serializations cover every per-query field and the
+      // TTI summary in one comparison each.
+      EXPECT_EQ(QueriesToCsv(serial), QueriesToCsv(parallel));
+      EXPECT_EQ(SummaryToCsv(serial, /*with_header=*/false),
+                SummaryToCsv(parallel, /*with_header=*/false));
+      EXPECT_EQ(TicksToCsv(serial), TicksToCsv(parallel));
+      EXPECT_EQ(serial.Tti(), parallel.Tti());
+    }
+  }
+}
+
+TEST(ParallelSweepTest, SweepIsDeterministicAcrossRepeatedParallelRuns) {
+  // Two independent parallel sweeps with the same seeds must agree with
+  // each other bit-for-bit (catches scheduling-dependent state leaks
+  // between concurrently running seeds).
+  SimConfig config = BaseConfig();
+  config.threads = 4;
+  auto first = RunSeedSweep(&PaperCatalog(), config, SweepSeeds());
+  auto second = RunSeedSweep(&PaperCatalog(), config, SweepSeeds());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ASSERT_EQ(first->size(), second->size());
+  for (size_t i = 0; i < first->size(); ++i) {
+    EXPECT_EQ(QueriesToCsv((*first)[i]), QueriesToCsv((*second)[i]));
+    EXPECT_EQ(TicksToCsv((*first)[i]), TicksToCsv((*second)[i]));
+  }
+}
+
+TEST(ParallelSweepTest, EmptySeedListYieldsEmptyReportVector) {
+  SimConfig config = BaseConfig();
+  config.threads = 4;
+  auto sweep = RunSeedSweep(&PaperCatalog(), config, {});
+  ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+  EXPECT_TRUE(sweep->empty());
+}
+
+TEST(ParallelSweepTest, VariantOrderingHoldsUnderParallelSweep) {
+  // The paper's headline ordering must be unaffected by the thread knob:
+  // MISO < HV-only on TTI for every swept seed.
+  SimConfig miso_config = BaseConfig();
+  miso_config.threads = 2;
+  SimConfig hv_config = miso_config;
+  hv_config.variant = SystemVariant::kHvOnly;
+
+  auto miso = RunSeedSweep(&PaperCatalog(), miso_config, SweepSeeds());
+  auto hv = RunSeedSweep(&PaperCatalog(), hv_config, SweepSeeds());
+  ASSERT_TRUE(miso.ok()) << miso.status().ToString();
+  ASSERT_TRUE(hv.ok()) << hv.status().ToString();
+  for (size_t i = 0; i < SweepSeeds().size(); ++i) {
+    EXPECT_LT((*miso)[i].Tti(), (*hv)[i].Tti())
+        << "seed " << SweepSeeds()[i];
+  }
+}
+
+}  // namespace
+}  // namespace miso::sim

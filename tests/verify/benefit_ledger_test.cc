@@ -1,0 +1,118 @@
+// Negative-path coverage for the decayed-benefit bookkeeping cross-check
+// (V208): tampered weights, mismatched totals, malformed benefits, and
+// size drift must all be rejected, while faithfully-built ledgers pass.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "../test_util.h"
+#include "verify/design_verifier.h"
+
+namespace miso::verify {
+namespace {
+
+/// Ledger matching the paper's tuner defaults (§5.1): history window 6,
+/// epoch length 3, decay 0.6 — positions 0..2 are the old epoch (weight
+/// 0.6), positions 3..5 the newest (weight 1).
+BenefitLedger PaperishLedger() {
+  BenefitLedger ledger;
+  ledger.epoch_length = 3;
+  ledger.decay = 0.6;
+  ledger.per_query_benefit = {10.0, 0.0, 4.0, 7.5, 0.0, 2.0};
+  ledger.weights.clear();
+  ledger.predicted_total = 0;
+  for (size_t pos = 0; pos < ledger.per_query_benefit.size(); ++pos) {
+    const int from_newest =
+        static_cast<int>(ledger.per_query_benefit.size()) - 1 -
+        static_cast<int>(pos);
+    const double weight =
+        std::pow(ledger.decay, from_newest / ledger.epoch_length);
+    ledger.weights.push_back(weight);
+    ledger.predicted_total += weight * ledger.per_query_benefit[pos];
+  }
+  return ledger;
+}
+
+TEST(BenefitLedgerTest, AcceptsFaithfulLedger) {
+  MISO_EXPECT_OK(VerifyBenefitLedger(PaperishLedger()));
+}
+
+TEST(BenefitLedgerTest, AcceptsEmptyWindow) {
+  BenefitLedger ledger;
+  ledger.epoch_length = 3;
+  MISO_EXPECT_OK(VerifyBenefitLedger(ledger));
+}
+
+TEST(BenefitLedgerTest, NonPositiveEpochLengthMeansUnitWeights) {
+  BenefitLedger ledger;
+  ledger.epoch_length = 0;  // no epoching: every weight must be exactly 1
+  ledger.per_query_benefit = {3.0, 5.0};
+  ledger.weights = {1.0, 1.0};
+  ledger.predicted_total = 8.0;
+  MISO_EXPECT_OK(VerifyBenefitLedger(ledger));
+
+  ledger.weights[0] = 0.6;  // decayed weight without epoching: drift
+  ledger.predicted_total = 0.6 * 3.0 + 5.0;
+  const Status status = VerifyBenefitLedger(ledger);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(ExtractVerifyCode(status), VerifyCode::kBenefitBookkeepingDrift)
+      << status.ToString();
+}
+
+TEST(BenefitLedgerTest, RejectsSizeMismatchWithV208) {
+  BenefitLedger ledger = PaperishLedger();
+  ledger.weights.pop_back();
+  const Status status = VerifyBenefitLedger(ledger);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(ExtractVerifyCode(status), VerifyCode::kBenefitBookkeepingDrift)
+      << status.ToString();
+}
+
+TEST(BenefitLedgerTest, RejectsTamperedWeightWithV208) {
+  BenefitLedger ledger = PaperishLedger();
+  // A weight from the wrong epoch: the verifier recomputes decay^epoch_age
+  // independently and must notice.
+  ledger.weights[4] = ledger.decay;
+  const Status status = VerifyBenefitLedger(ledger);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(ExtractVerifyCode(status), VerifyCode::kBenefitBookkeepingDrift)
+      << status.ToString();
+}
+
+TEST(BenefitLedgerTest, RejectsWrongTotalWithV208) {
+  BenefitLedger ledger = PaperishLedger();
+  ledger.predicted_total += 0.5;
+  const Status status = VerifyBenefitLedger(ledger);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(ExtractVerifyCode(status), VerifyCode::kBenefitBookkeepingDrift)
+      << status.ToString();
+}
+
+TEST(BenefitLedgerTest, RejectsNegativeBenefitWithV208) {
+  // Benefits are clamped savings; a negative entry means the base-cost
+  // cache and the what-if probe disagreed on the same query.
+  BenefitLedger ledger = PaperishLedger();
+  ledger.per_query_benefit[2] = -1.0;
+  const Status status = VerifyBenefitLedger(ledger);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(ExtractVerifyCode(status), VerifyCode::kBenefitBookkeepingDrift)
+      << status.ToString();
+}
+
+TEST(BenefitLedgerTest, RejectsNonFiniteValuesWithV208) {
+  BenefitLedger nan_benefit = PaperishLedger();
+  nan_benefit.per_query_benefit[0] =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(ExtractVerifyCode(VerifyBenefitLedger(nan_benefit)),
+            VerifyCode::kBenefitBookkeepingDrift);
+
+  BenefitLedger inf_total = PaperishLedger();
+  inf_total.predicted_total = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(ExtractVerifyCode(VerifyBenefitLedger(inf_total)),
+            VerifyCode::kBenefitBookkeepingDrift);
+}
+
+}  // namespace
+}  // namespace miso::verify

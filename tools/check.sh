@@ -10,10 +10,17 @@
 #      so the PlanVerifier / DesignVerifier assert on every enumerated
 #      split and every reorganization.
 #
+# With --tsan the gate must be non-vacuous: MISO_THREADS is forced to at
+# least 2 so thread pools really run multiple workers, and the script
+# fails if the `concurrency` ctest label has become empty (those tests
+# are the ones exercising ThreadPool / ParallelFor / RunSeedSweep under
+# TSan).
+#
 # Any compiler warning, sanitizer report, clang-tidy finding in src/, or
 # test failure fails the script.
 #
 # Usage: tools/check.sh [--tsan] [--jobs N] [--build-dir DIR] [--tidy-only]
+#                       [--label L]   (restrict the test run to ctest -L L)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -21,12 +28,15 @@ SANITIZE="address,undefined"
 BUILD_DIR=""
 JOBS="$(nproc 2>/dev/null || echo 2)"
 TIDY_ONLY=0
+TSAN=0
+LABEL=""
 
 while [ "$#" -gt 0 ]; do
   case "$1" in
-    --tsan) SANITIZE="thread"; shift ;;
+    --tsan) SANITIZE="thread"; TSAN=1; shift ;;
     --jobs) JOBS="$2"; shift 2 ;;
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --label) LABEL="$2"; shift 2 ;;
     --tidy-only) TIDY_ONLY=1; shift ;;
     -h|--help)
       sed -n '2,16p' "$0" | sed 's/^# \{0,1\}//'
@@ -59,6 +69,34 @@ cmake --build "$BUILD_DIR" -j"$JOBS"
 # error by default (and -fno-sanitize-recover=all aborts on UBSan issues).
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
 
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+CTEST_ARGS=(--test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS")
+if [ -n "$LABEL" ]; then
+  CTEST_ARGS+=(-L "$LABEL")
+fi
+
+if [ "$TSAN" -eq 1 ]; then
+  # Real concurrency under TSan: force >= 2 workers into every thread
+  # pool (the container may expose a single core, where the default
+  # MISO_THREADS resolution would otherwise serialize everything).
+  export MISO_THREADS="${MISO_THREADS:-4}"
+  if [ "${MISO_THREADS}" -lt 2 ]; then
+    echo "check.sh: --tsan requires MISO_THREADS >= 2 (got $MISO_THREADS)" >&2
+    exit 1
+  fi
+  # The gate is only meaningful while the `concurrency` label is
+  # populated; an empty label means the TSan run stopped testing
+  # concurrency at all.
+  CONCURRENCY_COUNT="$(ctest --test-dir "$BUILD_DIR" -L concurrency -N |
+                       sed -n 's/^Total Tests: \([0-9]*\)$/\1/p')"
+  if [ -z "$CONCURRENCY_COUNT" ] || [ "$CONCURRENCY_COUNT" -eq 0 ]; then
+    echo "check.sh: the 'concurrency' ctest label is empty — the TSan gate" \
+         "would be vacuous" >&2
+    exit 1
+  fi
+  echo "== check.sh: tsan gate covers $CONCURRENCY_COUNT concurrency tests" \
+       "with MISO_THREADS=$MISO_THREADS"
+fi
+
+ctest "${CTEST_ARGS[@]}"
 
 echo "== check.sh: all gates passed"
