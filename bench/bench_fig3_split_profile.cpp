@@ -10,6 +10,7 @@
 #include <algorithm>
 
 #include "bench_util.h"
+#include "obs/trace.h"
 
 namespace miso {
 namespace {
@@ -38,6 +39,16 @@ int RealMain() {
   if (!plans.ok()) {
     std::fprintf(stderr, "%s\n", plans.status().ToString().c_str());
     return 1;
+  }
+  // Under MISO_TRACE=1 the enumeration above emitted one
+  // `optimizer.plan_costed` JSONL line per split; flush them so
+  // tools/trace_summarize.py can rebuild this table from the trace alone
+  // (see EXPERIMENTS.md, "Reading the trace").
+  if (obs::TraceOn()) {
+    const char* trace_path = "fig3_trace.jsonl";
+    if (obs::Trace().DrainToFile(trace_path)) {
+      std::printf("trace written to %s\n\n", trace_path);
+    }
   }
   std::sort(plans->begin(), plans->end(),
             [](const optimizer::MultistorePlan& a,

@@ -41,6 +41,20 @@ int RealMain() {
               workload->size(),
               miso::plan::PrintPlan(workload->queries()[0].plan).c_str());
 
+  // EXPLAIN VERIFY: the chosen split plan, its five-part cost anatomy
+  // (HV / dump / transfer / load / DW), and every [Vnnn] verifier verdict
+  // as one structured record.
+  Result<miso::core::ExplainReport> explained =
+      system.ExplainVerify(workload->queries()[0].plan);
+  if (!explained.ok()) {
+    std::fprintf(stderr, "EXPLAIN VERIFY failed: %s\n",
+                 explained.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("EXPLAIN VERIFY of the first query:\n\n%s\n",
+              explained->ToString().c_str());
+  std::printf("As one JSON record:\n%s\n\n", explained->ToJson().c_str());
+
   // Execute under MS-MISO and under plain HV-ONLY for comparison.
   Result<miso::sim::RunReport> miso_run = system.Execute(workload->queries());
   if (!miso_run.ok()) {

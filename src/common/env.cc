@@ -1,0 +1,45 @@
+#include "common/env.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace miso {
+
+namespace {
+
+[[noreturn]] void DieBadEnv(const char* name, const char* value,
+                            const char* expected) {
+  std::fprintf(stderr, "miso: environment variable %s='%s' is invalid: %s\n",
+               name, value, expected);
+  std::exit(2);
+}
+
+}  // namespace
+
+int EnvInt(const char* name, int fallback, int min_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (value[0] == '\0' || end == value || *end != '\0' || errno == ERANGE ||
+      parsed < min_value || parsed > 1'000'000) {
+    char expected[64];
+    std::snprintf(expected, sizeof(expected), "expected an integer >= %d",
+                  min_value);
+    DieBadEnv(name, value, expected);
+  }
+  return static_cast<int>(parsed);
+}
+
+bool EnvFlag(const char* name, bool fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  if (std::strcmp(value, "0") == 0) return false;
+  if (std::strcmp(value, "1") == 0) return true;
+  DieBadEnv(name, value, "expected 0 or 1");
+}
+
+}  // namespace miso

@@ -1,0 +1,27 @@
+#ifndef MISO_COMMON_ENV_H_
+#define MISO_COMMON_ENV_H_
+
+namespace miso {
+
+/// Strict environment-variable parsing for the library's knobs
+/// (`MISO_THREADS`, `MISO_METRICS`, `MISO_TRACE`, ...).
+///
+/// A knob that is set to garbage is a configuration error, not a request
+/// for the default: silently falling back (the old `atoi` behaviour) runs
+/// an experiment under a configuration the user did not ask for. Both
+/// helpers therefore terminate the process (exit code 2) with a one-line
+/// diagnostic naming the variable, the offending value, and the accepted
+/// syntax whenever the variable is set but unparsable.
+
+/// Integer knob. Returns `fallback` when `name` is unset. When set, the
+/// whole value must parse as a decimal integer >= `min_value`; anything
+/// else (empty string, trailing junk, out of range) exits.
+int EnvInt(const char* name, int fallback, int min_value);
+
+/// Boolean knob. Returns `fallback` when `name` is unset. When set, the
+/// value must be exactly "0" or "1"; anything else exits.
+bool EnvFlag(const char* name, bool fallback);
+
+}  // namespace miso
+
+#endif  // MISO_COMMON_ENV_H_

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cstdlib>
 #include <exception>
 #include <utility>
+
+#include "common/env.h"
 
 namespace miso {
 
@@ -46,6 +47,12 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
     });
     assert(!shutting_down_ && "Submit after shutdown began");
     queue_.push_back(std::move(packaged));
+    submits_.fetch_add(1, std::memory_order_relaxed);
+    const auto depth = static_cast<int64_t>(queue_.size());
+    int64_t high = queue_high_water_.load(std::memory_order_relaxed);
+    while (depth > high && !queue_high_water_.compare_exchange_weak(
+                               high, depth, std::memory_order_relaxed)) {
+    }
   }
   not_empty_.notify_one();
   return future;
@@ -67,15 +74,25 @@ void ThreadPool::WorkerLoop() {
     }
     not_full_.notify_one();
     task();  // exceptions land in the task's future
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
   }
   t_current_pool = nullptr;
 }
 
+ThreadPool::Stats ThreadPool::GetStats() const {
+  Stats stats;
+  stats.tasks_run = tasks_run_.load(std::memory_order_relaxed);
+  stats.submits = submits_.load(std::memory_order_relaxed);
+  stats.queue_high_water = queue_high_water_.load(std::memory_order_relaxed);
+  return stats;
+}
+
 int ThreadPool::DefaultThreadCount() {
-  if (const char* env = std::getenv("MISO_THREADS")) {
-    const int parsed = std::atoi(env);
-    if (parsed >= 1) return parsed;
-  }
+  // EnvInt exits with a diagnostic when MISO_THREADS is set to garbage;
+  // 0 is our "unset" sentinel (EnvInt never returns it for a set value
+  // because min_value is 1).
+  const int parsed = EnvInt("MISO_THREADS", /*fallback=*/0, /*min_value=*/1);
+  if (parsed >= 1) return parsed;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
 }

@@ -1,8 +1,10 @@
 #ifndef MISO_COMMON_THREAD_POOL_H_
 #define MISO_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -51,10 +53,24 @@ class ThreadPool {
   /// True iff the calling thread is one of this pool's workers.
   bool InWorkerThread() const;
 
+  /// Lifetime-to-date execution statistics. These describe the *runtime*,
+  /// not the model: they depend on machine load and thread count and are
+  /// therefore excluded from the determinism contract. The simulator
+  /// publishes them into the obs registry under `miso.pool.*` (the pool
+  /// itself cannot link obs — that would be a layering cycle).
+  struct Stats {
+    int64_t tasks_run = 0;
+    int64_t submits = 0;
+    int64_t queue_high_water = 0;
+  };
+  Stats GetStats() const;
+
   /// The process-default worker count: the `MISO_THREADS` environment
-  /// variable when set to a positive integer, else the hardware
-  /// concurrency (and 1 when even that is unknown). `MISO_THREADS=1`
-  /// forces every parallel code path onto the exact legacy serial loop.
+  /// variable when set, else the hardware concurrency (and 1 when even
+  /// that is unknown). A set-but-unparsable `MISO_THREADS` terminates the
+  /// process with a diagnostic (see common/env.h) instead of silently
+  /// running serial. `MISO_THREADS=1` forces every parallel code path
+  /// onto the exact legacy serial loop.
   static int DefaultThreadCount();
 
  private:
@@ -67,6 +83,9 @@ class ThreadPool {
   std::deque<std::packaged_task<void()>> queue_;
   bool shutting_down_ = false;
   std::vector<std::thread> workers_;
+  std::atomic<int64_t> tasks_run_{0};
+  std::atomic<int64_t> submits_{0};
+  std::atomic<int64_t> queue_high_water_{0};
 };
 
 /// Runs `body(0) .. body(n-1)` over the pool in contiguous index chunks

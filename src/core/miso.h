@@ -6,10 +6,12 @@
 /// Multistore System" (LeFevre et al., SIGMOD 2014).
 ///
 /// Layers (bottom-up):
-///  * common/    — Status/Result, units, RNG, hashing, logging
+///  * common/    — Status/Result, units, RNG, hashing, logging, threads
+///  * obs/       — metrics registry + JSONL decision trace (off by default)
 ///  * relation/  — schemas and the statistical log catalog
 ///  * plan/      — predicates, logical operators, plans, estimator
 ///  * views/     — opportunistic views, per-store catalogs, rewriter
+///  * verify/    — [Vnnn] plan/split/design verifiers (EXPLAIN VERIFY)
 ///  * hv/, dw/   — the two store simulators and their cost models
 ///  * transfer/  — the HV <-> DW movement pipeline
 ///  * optimizer/ — multistore split optimizer with what-if mode
@@ -24,8 +26,13 @@
 #include "common/status.h"
 #include "common/store_kind.h"
 #include "common/thread_pool.h"
+#include "common/env.h"
 #include "common/units.h"
+#include "core/explain.h"
 #include "core/multistore_system.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 #include "dw/dw_store.h"
 #include "dw/resource_model.h"
 #include "hv/hv_store.h"

@@ -17,6 +17,34 @@ Result<std::vector<sim::RunReport>> MultistoreSystem::SweepSeeds(
   return sim::RunSeedSweep(&catalog_, config_.sim, seeds);
 }
 
+Result<core::ExplainReport> MultistoreSystem::Explain(
+    const plan::Plan& query) const {
+  const views::ViewCatalog empty_dw(0);
+  const views::ViewCatalog empty_hv(0);
+  return Explain(query, empty_dw, empty_hv);
+}
+
+Result<core::ExplainReport> MultistoreSystem::Explain(
+    const plan::Plan& query, const views::ViewCatalog& dw_views,
+    const views::ViewCatalog& hv_views) const {
+  return core::ExplainQuery(catalog_, config_.sim, query, dw_views, hv_views,
+                            /*run_verifiers=*/false);
+}
+
+Result<core::ExplainReport> MultistoreSystem::ExplainVerify(
+    const plan::Plan& query) const {
+  const views::ViewCatalog empty_dw(0);
+  const views::ViewCatalog empty_hv(0);
+  return ExplainVerify(query, empty_dw, empty_hv);
+}
+
+Result<core::ExplainReport> MultistoreSystem::ExplainVerify(
+    const plan::Plan& query, const views::ViewCatalog& dw_views,
+    const views::ViewCatalog& hv_views) const {
+  return core::ExplainQuery(catalog_, config_.sim, query, dw_views, hv_views,
+                            /*run_verifiers=*/true);
+}
+
 Result<sim::RunReport> MultistoreSystem::ExecutePlans(
     const std::vector<plan::Plan>& plans) const {
   std::vector<workload::WorkloadQuery> queries;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/explain.h"
 #include "relation/catalog.h"
 #include "sim/simulator.h"
 #include "workload/evolutionary.h"
@@ -54,6 +55,24 @@ class MultistoreSystem {
   /// per-seed execution for any thread count.
   Result<std::vector<sim::RunReport>> SweepSeeds(
       const std::vector<uint64_t>& seeds) const;
+
+  /// EXPLAIN: the multistore plan the optimizer would choose for `query`
+  /// against fresh (empty) view catalogs, with its five-part cost anatomy
+  /// (HV / dump / transfer / load / DW — paper Fig. 3) as one structured
+  /// record. The overload explains against a concrete design.
+  Result<core::ExplainReport> Explain(const plan::Plan& query) const;
+  Result<core::ExplainReport> Explain(const plan::Plan& query,
+                                      const views::ViewCatalog& dw_views,
+                                      const views::ViewCatalog& hv_views) const;
+
+  /// EXPLAIN VERIFY: `Explain` plus the full [Vnnn] verifier battery
+  /// (query graph, split shape, costed multistore plan), run
+  /// unconditionally — not gated on `MISO_VERIFY` — with each pass's
+  /// verdict embedded in the report (see docs/TELEMETRY.md).
+  Result<core::ExplainReport> ExplainVerify(const plan::Plan& query) const;
+  Result<core::ExplainReport> ExplainVerify(
+      const plan::Plan& query, const views::ViewCatalog& dw_views,
+      const views::ViewCatalog& hv_views) const;
 
   /// A builder bound to this system's catalog, for composing ad-hoc
   /// queries against the log datasets.

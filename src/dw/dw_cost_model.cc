@@ -1,6 +1,7 @@
 #include "dw/dw_cost_model.h"
 
 #include <algorithm>
+#include <vector>
 
 namespace miso::dw {
 
@@ -12,7 +13,13 @@ Result<Seconds> DwCostModel::CostDwSide(
     const std::unordered_set<const plan::OperatorNode*>& temp_inputs) const {
   if (dw_side.empty()) return Seconds{0};
 
-  Seconds cost = config_.query_overhead_s;
+  // The set iterates in pointer-hash order, which varies between runs of
+  // the same process; summing per-node terms in that order would make the
+  // last few bits of the cost nondeterministic. Collect the terms and sum
+  // them in sorted order instead, so the result is independent of where
+  // the nodes happen to live on the heap.
+  std::vector<double> terms;
+  terms.reserve(dw_side.size());
   for (const plan::OperatorNode* node : dw_side) {
     if (!node->dw_executable()) {
       return Status::FailedPrecondition(
@@ -46,8 +53,11 @@ Result<Seconds> DwCostModel::CostDwSide(
       }
       bytes += child_bytes;
     }
-    cost += bytes / config_.ClusterRate(rate_mbps);
+    terms.push_back(bytes / config_.ClusterRate(rate_mbps));
   }
+  std::sort(terms.begin(), terms.end());
+  Seconds cost = config_.query_overhead_s;
+  for (double term : terms) cost += term;
   return cost;
 }
 

@@ -1,0 +1,181 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+#include "common/env.h"
+
+namespace miso::obs {
+
+namespace {
+
+bool DefaultMetricsEnabled() { return EnvFlag("MISO_METRICS", false); }
+
+std::atomic<bool>& MetricsFlag() {
+  static std::atomic<bool> flag{DefaultMetricsEnabled()};
+  return flag;
+}
+
+}  // namespace
+
+bool MetricsOn() { return MetricsFlag().load(std::memory_order_relaxed); }
+
+void SetMetricsEnabled(bool enabled) {
+  MetricsFlag().store(enabled, std::memory_order_relaxed);
+}
+
+ScopedMetrics::ScopedMetrics(bool enabled) : previous_(MetricsOn()) {
+  SetMetricsEnabled(enabled);
+}
+
+ScopedMetrics::~ScopedMetrics() { SetMetricsEnabled(previous_); }
+
+void Gauge::Max(double v) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (v > current &&
+         !value_.compare_exchange_weak(current, v, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<int64_t>[bounds_.size() + 1]) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const size_t index = static_cast<size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> counts(bounds_.size() + 1);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::string out;
+  char buf[256];
+  for (const MetricRow& row : rows) {
+    switch (row.kind) {
+      case MetricRow::Kind::kCounter:
+        std::snprintf(buf, sizeof(buf), "counter %s = %lld\n", row.name.c_str(),
+                      static_cast<long long>(row.counter_value));
+        out += buf;
+        break;
+      case MetricRow::Kind::kGauge:
+        std::snprintf(buf, sizeof(buf), "gauge %s = %.17g\n", row.name.c_str(),
+                      row.gauge_value);
+        out += buf;
+        break;
+      case MetricRow::Kind::kHistogram: {
+        std::snprintf(buf, sizeof(buf), "histogram %s count=%lld sum=%.17g buckets=",
+                      row.name.c_str(), static_cast<long long>(row.count),
+                      row.sum);
+        out += buf;
+        for (size_t i = 0; i < row.bucket_counts.size(); ++i) {
+          std::snprintf(buf, sizeof(buf), "%s%lld", i == 0 ? "" : "|",
+                        static_cast<long long>(row.bucket_counts[i]));
+          out += buf;
+        }
+        out += '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot.reset(new Counter());
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot.reset(new Gauge());
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot.reset(new Histogram(bounds));
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  // std::map iteration is already name-sorted per kind; merge the three
+  // kinds into one globally name-sorted row list.
+  for (const auto& [name, counter] : counters_) {
+    MetricRow row;
+    row.kind = MetricRow::Kind::kCounter;
+    row.name = name;
+    row.counter_value = counter->value();
+    snapshot.rows.push_back(std::move(row));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricRow row;
+    row.kind = MetricRow::Kind::kGauge;
+    row.name = name;
+    row.gauge_value = gauge->value();
+    snapshot.rows.push_back(std::move(row));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricRow row;
+    row.kind = MetricRow::Kind::kHistogram;
+    row.name = name;
+    row.bounds = histogram->bounds();
+    row.bucket_counts = histogram->BucketCounts();
+    row.count = histogram->count();
+    row.sum = histogram->sum();
+    snapshot.rows.push_back(std::move(row));
+  }
+  std::sort(snapshot.rows.begin(), snapshot.rows.end(),
+            [](const MetricRow& a, const MetricRow& b) { return a.name < b.name; });
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+MetricsRegistry& Metrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+std::string WithLabel(const std::string& name, const std::string& key,
+                      const std::string& value) {
+  return name + "{" + key + "=\"" + value + "\"}";
+}
+
+}  // namespace miso::obs

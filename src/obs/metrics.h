@@ -1,0 +1,159 @@
+#ifndef MISO_OBS_METRICS_H_
+#define MISO_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace miso::obs {
+
+/// Process-wide switch for metric collection. Default: OFF; the
+/// `MISO_METRICS` environment variable (strictly "0"/"1") overrides the
+/// default, and `SetMetricsEnabled` overrides both. Every instrumentation
+/// site guards on `MetricsOn()` — one relaxed atomic load — so a disabled
+/// registry costs nothing on the hot paths.
+bool MetricsOn();
+void SetMetricsEnabled(bool enabled);
+
+/// RAII toggle for tests and `SimConfig::metrics`: forces metrics on (or
+/// off) for a scope and restores the previous state on destruction.
+class ScopedMetrics {
+ public:
+  explicit ScopedMetrics(bool enabled);
+  ~ScopedMetrics();
+
+  ScopedMetrics(const ScopedMetrics&) = delete;
+  ScopedMetrics& operator=(const ScopedMetrics&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Monotonically increasing integer metric. Increments are commutative,
+/// so concurrent `Add`s from any number of threads produce the same total
+/// as a serial run — counters are safe to touch from parallel sections.
+class Counter {
+ public:
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-written-value metric with a monotone `Max` flavour for high-water
+/// marks. `Set` is only deterministic when called from serial code; `Max`
+/// commutes and may be called from anywhere.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Max(double v);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  std::atomic<double> value_{0};
+};
+
+/// Fixed-bucket histogram. The bucket bounds are supplied at registration
+/// and never change (deterministic across runs and thread counts); bucket
+/// `i` counts observations `v <= bounds[i]`, with one extra overflow
+/// bucket for everything above the last bound. Bucket-count increments
+/// commute; the running `sum` is a floating-point accumulation and is
+/// only deterministic when observations arrive from serial code (every
+/// emission site in the library observes serially).
+class Histogram {
+ public:
+  void Observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::vector<int64_t> BucketCounts() const;
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+  void Reset();
+
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+/// One row of a registry snapshot.
+struct MetricRow {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  Kind kind = Kind::kCounter;
+  std::string name;
+  int64_t counter_value = 0;
+  double gauge_value = 0;
+  std::vector<double> bounds;
+  std::vector<int64_t> bucket_counts;
+  int64_t count = 0;
+  double sum = 0;
+};
+
+/// Point-in-time view of every registered metric, rows sorted by name
+/// (deterministic ordering regardless of registration order).
+struct MetricsSnapshot {
+  std::vector<MetricRow> rows;
+
+  /// One line per metric: "counter <name> = <v>", "gauge <name> = <v>",
+  /// "histogram <name> count=<n> sum=<s> buckets=<c0|c1|...>".
+  std::string ToString() const;
+};
+
+/// Zero-dependency registry of named metrics. Registration is
+/// first-use-wins: `GetCounter("x")` always returns the same object, so
+/// call sites may cache the pointer in a function-local static. Metric
+/// objects live for the life of the process (`Reset` zeroes values but
+/// never invalidates pointers).
+///
+/// Label convention: a label is encoded into the name as
+/// `name{key="value"}` (see `WithLabel`); the registry treats the result
+/// as an ordinary name, which keeps lookups allocation-free on the caller
+/// side and the snapshot ordering trivially deterministic.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Registers (or returns) a histogram. `bounds` must be ascending; on a
+  /// repeat lookup the original bounds win and `bounds` is ignored.
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every value, keeping all registrations (cached pointers stay
+  /// valid). Test isolation only.
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide registry.
+MetricsRegistry& Metrics();
+
+/// `name{key="value"}` — the canonical single-label spelling.
+std::string WithLabel(const std::string& name, const std::string& key,
+                      const std::string& value);
+
+}  // namespace miso::obs
+
+#endif  // MISO_OBS_METRICS_H_

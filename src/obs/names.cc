@@ -1,0 +1,72 @@
+#include "obs/names.h"
+
+#include <algorithm>
+#include <string_view>
+
+namespace miso::obs {
+
+namespace {
+
+// The labeled spellings actually registered at runtime for
+// `miso.sim.moved_bytes_total` (the only labeled metric so far).
+constexpr char kSimMovedBytesToDw[] =
+    "miso.sim.moved_bytes_total{dir=\"to_dw\"}";
+constexpr char kSimMovedBytesToHv[] =
+    "miso.sim.moved_bytes_total{dir=\"to_hv\"}";
+
+}  // namespace
+
+std::vector<double> SecondsBuckets() {
+  return {0.1, 1, 5, 10, 30, 60, 120, 300, 600, 1800, 3600};
+}
+
+std::vector<double> CountBuckets() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+}
+
+std::vector<const char*> AllMetricNames() {
+  std::vector<const char*> all = {
+      names::kOptimizeCalls,
+      names::kSplitEnumerations,
+      names::kSplitsEnumerated,
+      names::kSplitsInfeasible,
+      names::kCandidatesCosted,
+      names::kWhatIfProbes,
+      names::kChosenPlanSeconds,
+      names::kSplitCandidates,
+      names::kTunerReorgs,
+      names::kTunerCandidates,
+      names::kKnapsackItems,
+      names::kInteractionsSignificant,
+      names::kViewsMovedToDw,
+      names::kViewsMovedToHv,
+      names::kViewsDropped,
+      names::kViewsRetained,
+      names::kLastPredictedBenefit,
+      names::kSimQueries,
+      names::kSimReorgs,
+      names::kSimTransferredBytes,
+      kSimMovedBytesToDw,
+      kSimMovedBytesToHv,
+      names::kSimQueryExecSeconds,
+      names::kPoolTasksRun,
+      names::kPoolSubmits,
+      names::kPoolQueueHighWater,
+  };
+  std::sort(all.begin(), all.end(),
+            [](const char* a, const char* b) { return std::string_view(a) < b; });
+  return all;
+}
+
+std::vector<const char*> AllTraceEventKinds() {
+  std::vector<const char*> all = {
+      names::kEvPlanChoice,  names::kEvPlanCosted,   names::kEvTunerReorg,
+      names::kEvViewDecision, names::kEvSimQuery,    names::kEvSimReorg,
+      names::kEvExplainVerify,
+  };
+  std::sort(all.begin(), all.end(),
+            [](const char* a, const char* b) { return std::string_view(a) < b; });
+  return all;
+}
+
+}  // namespace miso::obs

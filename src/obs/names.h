@@ -1,0 +1,91 @@
+#ifndef MISO_OBS_NAMES_H_
+#define MISO_OBS_NAMES_H_
+
+#include <vector>
+
+namespace miso::obs {
+
+/// Every metric name and trace-event kind the library emits, declared in
+/// one place so the telemetry contract is enforceable: docs/TELEMETRY.md
+/// must document each name (checked by `telemetry_doc_test`), and any
+/// live registry snapshot must only contain names listed here.
+///
+/// Naming scheme: `miso.<layer>.<what>[_total]` — `_total` marks
+/// counters; histograms and gauges carry a unit suffix (`_seconds`,
+/// `_bytes`) where applicable. A single label is spelled into the name as
+/// `name{key="value"}` (see `WithLabel`).
+namespace names {
+
+// --- optimizer ---------------------------------------------------------
+inline constexpr char kOptimizeCalls[] = "miso.optimizer.optimize_calls_total";
+inline constexpr char kSplitEnumerations[] =
+    "miso.optimizer.split_enumerations_total";
+inline constexpr char kSplitsEnumerated[] =
+    "miso.optimizer.splits_enumerated_total";
+inline constexpr char kSplitsInfeasible[] =
+    "miso.optimizer.splits_infeasible_total";
+inline constexpr char kCandidatesCosted[] =
+    "miso.optimizer.candidates_costed_total";
+inline constexpr char kWhatIfProbes[] = "miso.optimizer.whatif_probes_total";
+inline constexpr char kChosenPlanSeconds[] =
+    "miso.optimizer.chosen_plan_seconds";
+inline constexpr char kSplitCandidates[] = "miso.optimizer.split_candidates";
+
+// --- tuner -------------------------------------------------------------
+inline constexpr char kTunerReorgs[] = "miso.tuner.reorgs_total";
+inline constexpr char kTunerCandidates[] = "miso.tuner.candidates_total";
+inline constexpr char kKnapsackItems[] = "miso.tuner.knapsack_items_total";
+inline constexpr char kInteractionsSignificant[] =
+    "miso.tuner.interactions_significant_total";
+inline constexpr char kViewsMovedToDw[] = "miso.tuner.views_moved_to_dw_total";
+inline constexpr char kViewsMovedToHv[] = "miso.tuner.views_moved_to_hv_total";
+inline constexpr char kViewsDropped[] = "miso.tuner.views_dropped_total";
+inline constexpr char kViewsRetained[] = "miso.tuner.views_retained_total";
+inline constexpr char kLastPredictedBenefit[] =
+    "miso.tuner.last_predicted_benefit_s";
+
+// --- simulator ---------------------------------------------------------
+inline constexpr char kSimQueries[] = "miso.sim.queries_total";
+inline constexpr char kSimReorgs[] = "miso.sim.reorgs_total";
+inline constexpr char kSimTransferredBytes[] =
+    "miso.sim.transferred_bytes_total";
+inline constexpr char kSimMovedBytes[] = "miso.sim.moved_bytes_total";  // +dir label
+inline constexpr char kSimQueryExecSeconds[] = "miso.sim.query_exec_seconds";
+
+// --- thread pool (runtime class — see docs/TELEMETRY.md) ---------------
+inline constexpr char kPoolTasksRun[] = "miso.pool.tasks_run_total";
+inline constexpr char kPoolSubmits[] = "miso.pool.submits_total";
+inline constexpr char kPoolQueueHighWater[] = "miso.pool.queue_high_water";
+
+// --- trace event kinds -------------------------------------------------
+inline constexpr char kEvPlanChoice[] = "optimizer.plan_choice";
+inline constexpr char kEvPlanCosted[] = "optimizer.plan_costed";
+inline constexpr char kEvTunerReorg[] = "tuner.reorg";
+inline constexpr char kEvViewDecision[] = "tuner.view_decision";
+inline constexpr char kEvSimQuery[] = "sim.query";
+inline constexpr char kEvSimReorg[] = "sim.reorg";
+inline constexpr char kEvExplainVerify[] = "core.explain_verify";
+
+// --- label values for kSimMovedBytes ----------------------------------
+inline constexpr char kDirToDw[] = "to_dw";
+inline constexpr char kDirToHv[] = "to_hv";
+
+}  // namespace names
+
+/// Fixed histogram bounds, shared by every histogram of the same unit so
+/// the telemetry contract stays small and deterministic.
+/// Seconds: 0.1 1 5 10 30 60 120 300 600 1800 3600 (+overflow).
+std::vector<double> SecondsBuckets();
+/// Counts: 1 2 4 8 16 32 64 128 256 512 1024 (+overflow).
+std::vector<double> CountBuckets();
+
+/// All declared metric names, including the labeled spellings of
+/// `miso.sim.moved_bytes_total`. Sorted lexicographically.
+std::vector<const char*> AllMetricNames();
+
+/// All declared trace-event kinds, sorted lexicographically.
+std::vector<const char*> AllTraceEventKinds();
+
+}  // namespace miso::obs
+
+#endif  // MISO_OBS_NAMES_H_

@@ -1,0 +1,179 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "common/env.h"
+
+namespace miso::obs {
+
+namespace {
+
+bool DefaultTraceEnabled() { return EnvFlag("MISO_TRACE", false); }
+
+std::atomic<bool>& TraceFlag() {
+  static std::atomic<bool> flag{DefaultTraceEnabled()};
+  return flag;
+}
+
+std::mutex& SinkMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::vector<std::string>& SinkLines() {
+  static std::vector<std::string>* lines = new std::vector<std::string>();
+  return *lines;
+}
+
+thread_local ScopedTraceCapture* g_active_capture = nullptr;
+
+void AppendJsonString(std::string& out, const std::string& value) {
+  out += '"';
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+bool TraceOn() { return TraceFlag().load(std::memory_order_relaxed); }
+
+void SetTraceEnabled(bool enabled) {
+  TraceFlag().store(enabled, std::memory_order_relaxed);
+}
+
+ScopedTrace::ScopedTrace(bool enabled) : previous_(TraceOn()) {
+  SetTraceEnabled(enabled);
+}
+
+ScopedTrace::~ScopedTrace() { SetTraceEnabled(previous_); }
+
+TraceEvent::TraceEvent(const char* kind) : kind_(kind) {}
+
+TraceEvent& TraceEvent::Str(const char* key, const std::string& value) {
+  std::string raw;
+  AppendJsonString(raw, value);
+  fields_.emplace_back(key, std::move(raw));
+  return *this;
+}
+
+TraceEvent& TraceEvent::Int(const char* key, int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  fields_.emplace_back(key, buf);
+  return *this;
+}
+
+TraceEvent& TraceEvent::Double(const char* key, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  fields_.emplace_back(key, buf);
+  return *this;
+}
+
+TraceEvent& TraceEvent::Bool(const char* key, bool value) {
+  fields_.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+std::string TraceEvent::ToJsonl() const {
+  std::string out = "{\"event\":";
+  AppendJsonString(out, kind_);
+  for (const auto& [key, raw] : fields_) {
+    out += ',';
+    AppendJsonString(out, key);
+    out += ':';
+    out += raw;
+  }
+  out += '}';
+  return out;
+}
+
+void Emit(const TraceEvent& event) {
+  if (!TraceOn()) return;
+  std::string line = event.ToJsonl();
+  if (g_active_capture != nullptr) {
+    g_active_capture->lines_.push_back(std::move(line));
+    return;
+  }
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkLines().push_back(std::move(line));
+}
+
+void TraceSink::Append(std::string line) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkLines().push_back(std::move(line));
+}
+
+std::vector<std::string> TraceSink::Drain() {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  std::vector<std::string> lines;
+  lines.swap(SinkLines());
+  return lines;
+}
+
+size_t TraceSink::size() const {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  return SinkLines().size();
+}
+
+bool TraceSink::DrainToFile(const std::string& path) {
+  const std::vector<std::string> lines = Drain();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  bool ok = true;
+  for (const std::string& line : lines) {
+    if (std::fputs(line.c_str(), file) == EOF || std::fputc('\n', file) == EOF) {
+      ok = false;
+      break;
+    }
+  }
+  if (std::fclose(file) != 0) ok = false;
+  return ok;
+}
+
+TraceSink& Trace() {
+  static TraceSink* sink = new TraceSink();
+  return *sink;
+}
+
+ScopedTraceCapture::ScopedTraceCapture() : parent_(g_active_capture) {
+  g_active_capture = this;
+}
+
+ScopedTraceCapture::~ScopedTraceCapture() { g_active_capture = parent_; }
+
+std::vector<std::string> ScopedTraceCapture::TakeLines() {
+  std::vector<std::string> lines;
+  lines.swap(lines_);
+  return lines;
+}
+
+}  // namespace miso::obs

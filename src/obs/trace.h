@@ -1,0 +1,100 @@
+#ifndef MISO_OBS_TRACE_H_
+#define MISO_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace miso::obs {
+
+/// Process-wide switch for decision tracing. Default: OFF; the
+/// `MISO_TRACE` environment variable (strictly "0"/"1") overrides the
+/// default, and `SetTraceEnabled` overrides both. Emission sites guard on
+/// `TraceOn()` so a disabled trace costs one relaxed atomic load.
+bool TraceOn();
+void SetTraceEnabled(bool enabled);
+
+/// RAII toggle for tests and `SimConfig::trace`.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(bool enabled);
+  ~ScopedTrace();
+
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// One structured trace record, serialized as a single JSONL line:
+/// `{"event":"<kind>","k1":v1,...}`. Fields keep insertion order; doubles
+/// are printed with "%.17g" so the byte stream round-trips exactly and is
+/// stable across runs. No timestamps and no thread ids by design — the
+/// trace describes the *model*, which is deterministic, not the wall
+/// clock, which is not (see docs/TELEMETRY.md).
+class TraceEvent {
+ public:
+  explicit TraceEvent(const char* kind);
+
+  TraceEvent& Str(const char* key, const std::string& value);
+  TraceEvent& Int(const char* key, int64_t value);
+  TraceEvent& Double(const char* key, double value);
+  TraceEvent& Bool(const char* key, bool value);
+
+  std::string ToJsonl() const;
+
+ private:
+  std::string kind_;
+  std::vector<std::pair<std::string, std::string>> fields_;  // key -> raw JSON
+};
+
+/// Appends `event` to the active sink when tracing is on; no-op (and
+/// allocation-free at the call site when the builder is guarded) when off.
+/// If a `ScopedTraceCapture` is active on the calling thread the line goes
+/// to that capture buffer instead of the global sink — this is how
+/// parallel seed sweeps keep the global trace deterministic: each worker
+/// captures locally and the driver appends the buffers in seed order.
+void Emit(const TraceEvent& event);
+
+/// Global, mutex-protected JSONL buffer.
+class TraceSink {
+ public:
+  void Append(std::string line);
+  /// Returns all buffered lines and clears the buffer.
+  std::vector<std::string> Drain();
+  size_t size() const;
+  /// Drains the buffer into `path` (newline-terminated lines, overwrite).
+  /// Returns false on I/O failure.
+  bool DrainToFile(const std::string& path);
+};
+
+TraceSink& Trace();
+
+/// Redirects this thread's `Emit` calls into a local buffer for the
+/// lifetime of the object. Captures nest (innermost wins). Used by
+/// `RunSeedSweep`: each parallel seed body opens a capture, and after the
+/// deterministic serial merge the per-seed lines are appended to the
+/// global sink in seed order, making the trace byte-identical for any
+/// `MISO_THREADS`.
+class ScopedTraceCapture {
+ public:
+  ScopedTraceCapture();
+  ~ScopedTraceCapture();
+
+  ScopedTraceCapture(const ScopedTraceCapture&) = delete;
+  ScopedTraceCapture& operator=(const ScopedTraceCapture&) = delete;
+
+  /// Moves the captured lines out (capture continues, empty).
+  std::vector<std::string> TakeLines();
+
+ private:
+  friend void Emit(const TraceEvent& event);
+  std::vector<std::string> lines_;
+  ScopedTraceCapture* parent_;
+};
+
+}  // namespace miso::obs
+
+#endif  // MISO_OBS_TRACE_H_

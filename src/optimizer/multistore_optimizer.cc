@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 #include "verify/plan_verifier.h"
 #include "verify/verify_gate.h"
 
@@ -9,6 +12,42 @@ namespace miso::optimizer {
 
 using plan::NodePtr;
 using plan::OpKind;
+
+namespace {
+
+/// Depth of what-if probing on this thread. The tuner's benefit analyzer
+/// costs thousands of hypothetical designs per reorg through the very
+/// same `Optimize` path as real queries; without this guard every probe
+/// would emit an `optimizer.plan_choice` trace line and drown the
+/// decisions the trace exists to explain. Counters still count probes —
+/// their totals are deterministic either way.
+thread_local int t_whatif_depth = 0;
+
+struct WhatIfScope {
+  WhatIfScope() { ++t_whatif_depth; }
+  ~WhatIfScope() { --t_whatif_depth; }
+};
+
+/// The five-part cost anatomy of Fig. 3 — HV prefix, dump, network
+/// transfer, DW load, DW suffix. `CostBreakdown` folds network+load into
+/// one `transfer_load_s` figure; the transfer model's `TransferBreakdown`
+/// recovers the split from the plan's working-set size.
+void AddAnatomyFields(obs::TraceEvent& event, const MultistorePlan& plan,
+                      const transfer::TransferModel& transfer_model) {
+  const transfer::TransferBreakdown tb =
+      transfer_model.WorkingSetTransfer(plan.transferred_bytes);
+  event.Int("dw_ops", static_cast<int64_t>(plan.dw_side.size()))
+      .Int("cut_inputs", static_cast<int64_t>(plan.cut_inputs.size()))
+      .Int("transferred_bytes", static_cast<int64_t>(plan.transferred_bytes))
+      .Double("hv_exec_s", plan.cost.hv_exec_s)
+      .Double("dump_s", tb.dump_s)
+      .Double("transfer_s", tb.network_s)
+      .Double("load_s", tb.load_s)
+      .Double("dw_exec_s", plan.cost.dw_exec_s)
+      .Double("total_s", plan.cost.Total());
+}
+
+}  // namespace
 
 Result<MultistorePlan> MultistoreOptimizer::CostSplit(
     const plan::Plan& executed, const SplitCandidate& split) const {
@@ -74,6 +113,11 @@ Result<MultistorePlan> MultistoreOptimizer::BestSplit(
     costed[static_cast<size_t>(i)] =
         CostSplit(executed, candidates[static_cast<size_t>(i)]);
   });
+  if (obs::MetricsOn()) {
+    obs::Metrics()
+        .GetCounter(obs::names::kCandidatesCosted)
+        ->Add(static_cast<int64_t>(costed.size()));
+  }
   Result<MultistorePlan> best =
       Status::Internal("no candidate produced a costable plan");
   for (Result<MultistorePlan>& candidate : costed) {
@@ -135,6 +179,23 @@ Result<MultistorePlan> MultistoreOptimizer::Optimize(
     options.dw_views = &dw_views;
     MISO_RETURN_IF_ERROR(verify::VerifyMultistorePlan(*best, options));
   }
+  // Serial point: Optimize runs on the calling thread (only candidate
+  // costing fans out above), so emission here is deterministic.
+  if (best.ok()) {
+    if (obs::MetricsOn()) {
+      obs::MetricsRegistry& registry = obs::Metrics();
+      registry.GetCounter(obs::names::kOptimizeCalls)->Increment();
+      registry
+          .GetHistogram(obs::names::kChosenPlanSeconds, obs::SecondsBuckets())
+          ->Observe(best->cost.Total());
+    }
+    if (obs::TraceOn() && t_whatif_depth == 0) {
+      obs::TraceEvent event(obs::names::kEvPlanChoice);
+      event.Bool("hv_only", best->HvOnly());
+      AddAnatomyFields(event, *best, *transfer_model_);
+      obs::Emit(event);
+    }
+  }
   return best;
 }
 
@@ -176,11 +237,27 @@ Result<std::vector<MultistorePlan>> MultistoreOptimizer::EnumerateAllPlans(
     }
     costed[static_cast<size_t>(i)] = std::move(one);
   });
+  if (obs::MetricsOn()) {
+    obs::Metrics()
+        .GetCounter(obs::names::kCandidatesCosted)
+        ->Add(static_cast<int64_t>(costed.size()));
+  }
   std::vector<MultistorePlan> plans;
   plans.reserve(costed.size());
   for (Result<MultistorePlan>& one : costed) {
     if (!one.ok()) return one.status();
     plans.push_back(std::move(*one));
+  }
+  // The per-plan trace behind Fig. 3: one `plan_costed` line per feasible
+  // split, emitted from this serial merge loop in enumeration order.
+  if (obs::TraceOn() && t_whatif_depth == 0) {
+    for (size_t i = 0; i < plans.size(); ++i) {
+      obs::TraceEvent event(obs::names::kEvPlanCosted);
+      event.Int("index", static_cast<int64_t>(i));
+      event.Double("dw_fraction", plans[i].DwOperatorFraction());
+      AddAnatomyFields(event, plans[i], *transfer_model_);
+      obs::Emit(event);
+    }
   }
   return plans;
 }
@@ -188,6 +265,10 @@ Result<std::vector<MultistorePlan>> MultistoreOptimizer::EnumerateAllPlans(
 Result<Seconds> MultistoreOptimizer::WhatIfCost(
     const plan::Plan& query, const views::ViewCatalog& dw_views,
     const views::ViewCatalog& hv_views) const {
+  WhatIfScope probe;  // suppress per-probe plan_choice trace lines
+  if (obs::MetricsOn()) {
+    obs::Metrics().GetCounter(obs::names::kWhatIfProbes)->Increment();
+  }
   MISO_ASSIGN_OR_RETURN(MultistorePlan best,
                         Optimize(query, dw_views, hv_views));
   return best.cost.Total();

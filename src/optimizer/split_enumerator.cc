@@ -2,6 +2,8 @@
 
 #include <functional>
 
+#include "obs/metrics.h"
+#include "obs/names.h"
 #include "verify/plan_verifier.h"
 #include "verify/verify_gate.h"
 
@@ -122,9 +124,23 @@ Result<std::vector<SplitCandidate>> EnumerateSplits(const NodePtr& root,
     return Status::Internal("split enumeration exceeded max_candidates");
   }
   if (candidates.empty()) {
+    if (obs::MetricsOn()) {
+      obs::Metrics().GetCounter(obs::names::kSplitsInfeasible)->Increment();
+    }
     return Status::FailedPrecondition(
         "no feasible split: a DW-resident view is pinned below an "
         "HV-only operator");
+  }
+  // Serial point: counter values depend only on the plan shape, never on
+  // the thread count of the verification fan-out below.
+  if (obs::MetricsOn()) {
+    obs::MetricsRegistry& registry = obs::Metrics();
+    registry.GetCounter(obs::names::kSplitEnumerations)->Increment();
+    registry.GetCounter(obs::names::kSplitsEnumerated)
+        ->Add(static_cast<int64_t>(candidates.size()));
+    registry
+        .GetHistogram(obs::names::kSplitCandidates, obs::CountBuckets())
+        ->Observe(static_cast<double>(candidates.size()));
   }
   // Debug-mode assertion (always on under ctest): every emitted candidate
   // must be a well-formed split — DW side upward-closed and DW-executable,

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <set>
 #include <unordered_set>
 
 #include "common/logging.h"
 #include "dw/dw_store.h"
 #include "hv/hv_store.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 #include "optimizer/multistore_optimizer.h"
 #include "plan/node_factory.h"
 #include "tuner/baseline_tuners.h"
@@ -80,6 +84,20 @@ Result<std::vector<View>> CandidateViewsOf(const plan::Plan& plan,
   return result;
 }
 
+/// Folds a pool's lifetime stats into the `miso.pool.*` metrics. These
+/// are "runtime"-class metrics (docs/TELEMETRY.md): they describe the
+/// execution machinery, so their values legitimately vary with thread
+/// count — unlike everything else the library emits.
+void PublishPoolStats(const ThreadPool* pool) {
+  if (pool == nullptr || !obs::MetricsOn()) return;
+  const ThreadPool::Stats stats = pool->GetStats();
+  obs::MetricsRegistry& registry = obs::Metrics();
+  registry.GetCounter(obs::names::kPoolTasksRun)->Add(stats.tasks_run);
+  registry.GetCounter(obs::names::kPoolSubmits)->Add(stats.submits);
+  registry.GetGauge(obs::names::kPoolQueueHighWater)
+      ->Max(static_cast<double>(stats.queue_high_water));
+}
+
 }  // namespace
 
 MultistoreSimulator::MultistoreSimulator(const relation::Catalog* catalog,
@@ -89,6 +107,15 @@ MultistoreSimulator::MultistoreSimulator(const relation::Catalog* catalog,
 Result<RunReport> MultistoreSimulator::Run(
     const std::vector<workload::WorkloadQuery>& queries) {
   const SimConfig& cfg = config_;
+
+  // Engage the observability gates for this run. Only toggled when the
+  // global state differs, so concurrent seed runs with identical configs
+  // (RunSeedSweep applies the knobs once, before the fan-out) never touch
+  // the process-wide flags from worker threads.
+  std::optional<obs::ScopedMetrics> scoped_metrics;
+  std::optional<obs::ScopedTrace> scoped_trace;
+  if (cfg.metrics && !obs::MetricsOn()) scoped_metrics.emplace(true);
+  if (cfg.trace && !obs::TraceOn()) scoped_trace.emplace(true);
 
   plan::NodeFactory factory(catalog_);
   hv::HvStore hv_store(cfg.hv, cfg.hv_storage_budget);
@@ -338,6 +365,37 @@ Result<RunReport> MultistoreSimulator::Run(
       dw_store.catalog().TouchView(id, static_cast<int>(qi));
     }
 
+    // Telemetry, at this serial point: the record is complete (stretched
+    // breakdown, usage counts) and `now` has advanced past the query.
+    if (obs::MetricsOn()) {
+      obs::MetricsRegistry& registry = obs::Metrics();
+      registry.GetCounter(obs::names::kSimQueries)->Increment();
+      registry.GetCounter(obs::names::kSimTransferredBytes)
+          ->Add(static_cast<int64_t>(record.transferred_bytes));
+      registry
+          .GetHistogram(obs::names::kSimQueryExecSeconds,
+                        obs::SecondsBuckets())
+          ->Observe(exec_time);
+    }
+    if (obs::TraceOn()) {
+      obs::Emit(
+          obs::TraceEvent(obs::names::kEvSimQuery)
+              .Int("index", record.index)
+              .Str("name", record.name)
+              .Str("variant", report.variant_name)
+              .Double("start_s", record.start_time)
+              .Double("completion_s", record.completion_time)
+              .Double("hv_exec_s", record.breakdown.hv_exec_s)
+              .Double("dump_s", record.breakdown.dump_s)
+              .Double("transfer_load_s", record.breakdown.transfer_load_s)
+              .Double("dw_exec_s", record.breakdown.dw_exec_s)
+              .Int("transferred_bytes",
+                   static_cast<int64_t>(record.transferred_bytes))
+              .Int("ops_dw", record.ops_dw)
+              .Int("ops_total", record.ops_total)
+              .Int("views_used", record.views_used));
+    }
+
     history.push_back(wq.plan);
     report.queries.push_back(std::move(record));
 
@@ -420,6 +478,33 @@ Result<RunReport> MultistoreSimulator::Run(
       now += reorg_time;
       last_reorg_time = now;
 
+      if (obs::MetricsOn()) {
+        obs::MetricsRegistry& registry = obs::Metrics();
+        registry.GetCounter(obs::names::kSimReorgs)->Increment();
+        registry
+            .GetCounter(obs::WithLabel(obs::names::kSimMovedBytes, "dir",
+                                       obs::names::kDirToDw))
+            ->Add(static_cast<int64_t>(to_dw));
+        registry
+            .GetCounter(obs::WithLabel(obs::names::kSimMovedBytes, "dir",
+                                       obs::names::kDirToHv))
+            ->Add(static_cast<int64_t>(to_hv));
+      }
+      if (obs::TraceOn()) {
+        obs::Emit(obs::TraceEvent(obs::names::kEvSimReorg)
+                      .Int("query_index", static_cast<int64_t>(qi))
+                      .Int("reorg_index", report.reorg_count - 1)
+                      .Int("bytes_to_dw", static_cast<int64_t>(to_dw))
+                      .Int("bytes_to_hv", static_cast<int64_t>(to_hv))
+                      .Int("transfer_budget",
+                           static_cast<int64_t>(cfg.transfer_budget))
+                      .Double("reorg_s", reorg_time)
+                      .Int("hv_used_bytes", static_cast<int64_t>(
+                                                hv_store.catalog().used_bytes()))
+                      .Int("dw_used_bytes", static_cast<int64_t>(
+                                                dw_store.catalog().used_bytes())));
+      }
+
       if (cfg.reorg_observer) {
         SimConfig::ReorgSnapshot snapshot;
         snapshot.query_index = static_cast<int>(qi);
@@ -445,6 +530,8 @@ Result<RunReport> MultistoreSimulator::Run(
     report.avg_background_latency_s = ledger.AverageBackgroundLatency(now);
     report.background_slowdown = ledger.BackgroundSlowdown(now);
   }
+  // A borrowed pool is published by its owner (RunSeedSweep), not here.
+  PublishPoolStats(owned_pool.get());
   return report;
 }
 
@@ -467,13 +554,26 @@ Result<std::vector<RunReport>> RunSeedSweep(
   std::unique_ptr<ThreadPool> pool;
   if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
 
+  // Observability gates are engaged once, here on the sweep thread, so
+  // the per-seed Run bodies below never toggle process-global state from
+  // workers (they see the gate already in the requested position).
+  std::optional<obs::ScopedMetrics> scoped_metrics;
+  std::optional<obs::ScopedTrace> scoped_trace;
+  if (config.metrics && !obs::MetricsOn()) scoped_metrics.emplace(true);
+  if (config.trace && !obs::TraceOn()) scoped_trace.emplace(true);
+
   // One slot per seed; each task generates its own workload and runs a
   // self-contained simulator, so slots never alias. The shared pool also
   // serves the per-run optimizer — nested ParallelFor from a worker
   // thread runs inline, which is the same deterministic serial reduce.
+  // Trace lines are captured per seed on the executing thread and
+  // appended to the global sink in seed order after the merge, keeping
+  // the trace byte-identical for any thread count.
   std::vector<Result<RunReport>> slots(
       seeds.size(), Status::Internal("seed not simulated"));
+  std::vector<std::vector<std::string>> trace_slots(seeds.size());
   ParallelFor(pool.get(), static_cast<int>(seeds.size()), [&](int i) {
+    obs::ScopedTraceCapture capture;
     MultistoreSimulator simulator(catalog, config);
     simulator.SetThreadPool(pool.get());
     workload::WorkloadConfig wl;
@@ -485,7 +585,12 @@ Result<std::vector<RunReport>> RunSeedSweep(
       return;
     }
     slots[static_cast<size_t>(i)] = simulator.Run(workload->queries());
+    trace_slots[static_cast<size_t>(i)] = capture.TakeLines();
   });
+  for (std::vector<std::string>& lines : trace_slots) {
+    for (std::string& line : lines) obs::Trace().Append(std::move(line));
+  }
+  PublishPoolStats(pool.get());
 
   // Merge in seed order: reports line up with `seeds`, and the error of
   // the lowest-indexed failing seed wins, as a serial loop would report.

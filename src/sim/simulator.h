@@ -57,6 +57,17 @@ struct SimConfig {
   /// thread counts either way — this knob trades wall-clock only.
   int threads = 0;
 
+  /// Observability (docs/TELEMETRY.md). `metrics` turns the process-wide
+  /// metrics registry on for the duration of the run; `trace` does the
+  /// same for the JSONL decision trace. Both default off — so do the
+  /// `MISO_METRICS` / `MISO_TRACE` environment overrides — and a run
+  /// whose knob is false leaves an externally enabled gate untouched.
+  /// Emission is deterministic: identical runs produce byte-identical
+  /// traces for any thread count (per-seed capture + seed-order merge in
+  /// `RunSeedSweep`).
+  bool metrics = false;
+  bool trace = false;
+
   hv::HvConfig hv;
   dw::DwConfig dw;
   transfer::TransferConfig transfer;

@@ -4,6 +4,9 @@
 #include <set>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 #include "tuner/knapsack.h"
 #include "verify/design_verifier.h"
 #include "verify/verify_gate.h"
@@ -42,10 +45,12 @@ Result<ReorgPlan> MisoTuner::Tune(const views::ViewCatalog& hv,
 
   // Interaction handling -> independent candidate items.
   std::vector<CandidateItem> items;
+  int64_t significant_interactions = 0;
   if (config_.handle_interactions) {
     MISO_ASSIGN_OR_RETURN(
         std::vector<Interaction> interactions,
         ComputeInteractions(candidates, &analyzer, config_.interaction));
+    significant_interactions = static_cast<int64_t>(interactions.size());
     const std::vector<std::vector<int>> parts =
         StablePartition(static_cast<int>(candidates.size()), interactions);
     MISO_ASSIGN_OR_RETURN(
@@ -196,6 +201,81 @@ Result<ReorgPlan> MisoTuner::Tune(const views::ViewCatalog& hv,
   MISO_LOG(kInfo) << "MISO tuner: " << candidates.size() << " candidates, "
                   << items.size() << " items after sparsification; "
                   << plan.Summary();
+
+  // Telemetry, at this serial point (Tune runs on the calling thread; only
+  // the analyzer's what-if probes fanned out above). The predicted benefit
+  // is the sum both knapsack phases claim for the new design.
+  const double predicted_benefit_s =
+      dw_solution.total_benefit + hv_solution.total_benefit;
+  if (obs::MetricsOn()) {
+    obs::MetricsRegistry& registry = obs::Metrics();
+    registry.GetCounter(obs::names::kTunerReorgs)->Increment();
+    registry.GetCounter(obs::names::kTunerCandidates)
+        ->Add(static_cast<int64_t>(candidates.size()));
+    registry.GetCounter(obs::names::kKnapsackItems)
+        ->Add(static_cast<int64_t>(items.size()));
+    registry.GetCounter(obs::names::kInteractionsSignificant)
+        ->Add(significant_interactions);
+    registry.GetCounter(obs::names::kViewsMovedToDw)
+        ->Add(static_cast<int64_t>(plan.move_to_dw.size()));
+    registry.GetCounter(obs::names::kViewsMovedToHv)
+        ->Add(static_cast<int64_t>(plan.move_to_hv.size()));
+    registry.GetCounter(obs::names::kViewsDropped)
+        ->Add(static_cast<int64_t>(plan.drop_from_hv.size() +
+                                   plan.drop_from_dw.size()));
+    registry.GetGauge(obs::names::kLastPredictedBenefit)
+        ->Set(predicted_benefit_s);
+  }
+  if (obs::TraceOn() || obs::MetricsOn()) {
+    const std::set<views::ViewId> dropped_hv(plan.drop_from_hv.begin(),
+                                             plan.drop_from_hv.end());
+    const std::set<views::ViewId> dropped_dw(plan.drop_from_dw.begin(),
+                                             plan.drop_from_dw.end());
+    int64_t retained = 0;
+    if (obs::TraceOn()) {
+      obs::Emit(obs::TraceEvent(obs::names::kEvTunerReorg)
+                    .Int("candidates", static_cast<int64_t>(candidates.size()))
+                    .Int("knapsack_items", static_cast<int64_t>(items.size()))
+                    .Int("significant_interactions", significant_interactions)
+                    .Int("chosen_dw", static_cast<int64_t>(new_dw.size()))
+                    .Int("chosen_hv", static_cast<int64_t>(new_hv.size()))
+                    .Int("moved_to_dw",
+                         static_cast<int64_t>(plan.move_to_dw.size()))
+                    .Int("moved_to_hv",
+                         static_cast<int64_t>(plan.move_to_hv.size()))
+                    .Int("dropped", static_cast<int64_t>(
+                                        plan.drop_from_hv.size() +
+                                        plan.drop_from_dw.size()))
+                    .Double("predicted_benefit_s", predicted_benefit_s));
+    }
+    // One decision line per candidate view, in the deterministic pool
+    // order (Vh then Vd, each catalog-sorted). "keep" = chosen where it
+    // already lives; "retain" = unchosen but left in place under spare
+    // capacity; "drop" = evicted.
+    for (const views::View& view : candidates) {
+      const bool was_hv = in_hv.count(view.id) > 0;
+      const char* decision = nullptr;
+      if (Chosen(new_dw, view.id)) {
+        decision = was_hv ? "move_to_dw" : "keep_dw";
+      } else if (Chosen(new_hv, view.id)) {
+        decision = was_hv ? "keep_hv" : "move_to_hv";
+      } else if (was_hv) {
+        decision = dropped_hv.count(view.id) > 0 ? "drop_hv" : "retain_hv";
+      } else {
+        decision = dropped_dw.count(view.id) > 0 ? "drop_dw" : "retain_dw";
+      }
+      if (decision[0] == 'r') ++retained;
+      if (obs::TraceOn()) {
+        obs::Emit(obs::TraceEvent(obs::names::kEvViewDecision)
+                      .Int("view_id", static_cast<int64_t>(view.id))
+                      .Int("size_bytes", static_cast<int64_t>(view.size_bytes))
+                      .Str("decision", decision));
+      }
+    }
+    if (obs::MetricsOn()) {
+      obs::Metrics().GetCounter(obs::names::kViewsRetained)->Add(retained);
+    }
+  }
 
   // Debug-mode assertion (always on under ctest): the emitted design must
   // respect Bh/Bd/Bt and disjointness, and every merged (sparsified) item

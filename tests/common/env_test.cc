@@ -1,0 +1,89 @@
+// Strict env parsing: a knob set to garbage must terminate with a
+// diagnostic (exit 2), never silently fall back to a default — running an
+// experiment under a configuration the user did not ask for is worse than
+// not running it (satellite bugfix for the old atoi MISO_THREADS path).
+
+#include "common/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace miso {
+namespace {
+
+constexpr char kKnob[] = "MISO_TEST_KNOB";
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override { unsetenv(kKnob); }
+  void TearDown() override { unsetenv(kKnob); }
+};
+
+TEST_F(EnvTest, IntReturnsFallbackWhenUnset) {
+  EXPECT_EQ(EnvInt(kKnob, 42, 1), 42);
+}
+
+TEST_F(EnvTest, IntParsesDecimal) {
+  setenv(kKnob, "8", 1);
+  EXPECT_EQ(EnvInt(kKnob, 42, 1), 8);
+  setenv(kKnob, "1", 1);
+  EXPECT_EQ(EnvInt(kKnob, 42, 1), 1);
+}
+
+TEST_F(EnvTest, IntDiesOnGarbage) {
+  setenv(kKnob, "abc", 1);
+  EXPECT_EXIT(EnvInt(kKnob, 42, 1), ::testing::ExitedWithCode(2),
+              "MISO_TEST_KNOB='abc' is invalid");
+}
+
+TEST_F(EnvTest, IntDiesOnTrailingJunk) {
+  setenv(kKnob, "4x", 1);
+  EXPECT_EXIT(EnvInt(kKnob, 42, 1), ::testing::ExitedWithCode(2),
+              "expected an integer >= 1");
+}
+
+TEST_F(EnvTest, IntDiesOnEmptyValue) {
+  setenv(kKnob, "", 1);
+  EXPECT_EXIT(EnvInt(kKnob, 42, 1), ::testing::ExitedWithCode(2), "invalid");
+}
+
+TEST_F(EnvTest, IntDiesBelowMinimum) {
+  setenv(kKnob, "0", 1);
+  EXPECT_EXIT(EnvInt(kKnob, 42, 1), ::testing::ExitedWithCode(2),
+              "expected an integer >= 1");
+  setenv(kKnob, "-3", 1);
+  EXPECT_EXIT(EnvInt(kKnob, 42, 1), ::testing::ExitedWithCode(2), "invalid");
+}
+
+TEST_F(EnvTest, IntDiesOnOverflow) {
+  setenv(kKnob, "99999999999999999999", 1);
+  EXPECT_EXIT(EnvInt(kKnob, 42, 1), ::testing::ExitedWithCode(2), "invalid");
+}
+
+TEST_F(EnvTest, FlagReturnsFallbackWhenUnset) {
+  EXPECT_FALSE(EnvFlag(kKnob, false));
+  EXPECT_TRUE(EnvFlag(kKnob, true));
+}
+
+TEST_F(EnvTest, FlagParsesZeroAndOne) {
+  setenv(kKnob, "0", 1);
+  EXPECT_FALSE(EnvFlag(kKnob, true));
+  setenv(kKnob, "1", 1);
+  EXPECT_TRUE(EnvFlag(kKnob, false));
+}
+
+TEST_F(EnvTest, FlagDiesOnAnythingElse) {
+  setenv(kKnob, "yes", 1);
+  EXPECT_EXIT(EnvFlag(kKnob, false), ::testing::ExitedWithCode(2),
+              "expected 0 or 1");
+  setenv(kKnob, "2", 1);
+  EXPECT_EXIT(EnvFlag(kKnob, false), ::testing::ExitedWithCode(2),
+              "expected 0 or 1");
+  setenv(kKnob, "", 1);
+  EXPECT_EXIT(EnvFlag(kKnob, false), ::testing::ExitedWithCode(2),
+              "expected 0 or 1");
+}
+
+}  // namespace
+}  // namespace miso

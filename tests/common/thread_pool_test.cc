@@ -149,13 +149,33 @@ TEST(ThreadPoolTest, DefaultThreadCountHonorsMisoThreadsEnv) {
   const std::string saved_value = saved != nullptr ? saved : "";
   setenv("MISO_THREADS", "7", /*overwrite=*/1);
   EXPECT_EQ(ThreadPool::DefaultThreadCount(), 7);
-  setenv("MISO_THREADS", "0", 1);  // invalid: falls back to hardware
+  unsetenv("MISO_THREADS");  // unset: falls back to hardware
   EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+  // Garbage no longer silently falls back — it terminates with a
+  // diagnostic (exit 2). The full syntax matrix lives in env_test.cc.
+  setenv("MISO_THREADS", "0", 1);
+  EXPECT_EXIT(ThreadPool::DefaultThreadCount(),
+              testing::ExitedWithCode(2), "MISO_THREADS='0' is invalid");
   if (saved != nullptr) {
     setenv("MISO_THREADS", saved_value.c_str(), 1);
   } else {
     unsetenv("MISO_THREADS");
   }
+}
+
+TEST(ThreadPoolTest, StatsCountSubmitsAndTasksRun) {
+  ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(pool.Submit([] {}));
+  }
+  for (std::future<void>& f : futures) f.get();
+  const ThreadPool::Stats stats = pool.GetStats();
+  EXPECT_EQ(stats.submits, 10);
+  EXPECT_EQ(stats.tasks_run, 10);
+  EXPECT_GE(stats.queue_high_water, 1);
+  EXPECT_LE(stats.queue_high_water,
+            static_cast<int64_t>(pool.queue_capacity()));
 }
 
 }  // namespace

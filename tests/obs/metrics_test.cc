@@ -1,0 +1,121 @@
+// Metrics registry semantics: counters/gauges/histograms behave as their
+// contracts say, registration is first-use-wins with stable pointers, and
+// snapshots come back name-sorted regardless of registration order.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace miso::obs {
+namespace {
+
+TEST(MetricsGateTest, OffByDefaultAndScoped) {
+  // Off unless the environment opted in (tools/check.sh --obs forces
+  // MISO_METRICS=1 onto this very test).
+  const bool initial = MetricsOn();
+  if (std::getenv("MISO_METRICS") == nullptr) EXPECT_FALSE(initial);
+  {
+    ScopedMetrics on(true);
+    EXPECT_TRUE(MetricsOn());
+    {
+      ScopedMetrics off(false);
+      EXPECT_FALSE(MetricsOn());
+    }
+    EXPECT_TRUE(MetricsOn());
+  }
+  EXPECT_EQ(MetricsOn(), initial);
+}
+
+TEST(MetricsTest, CounterAddsAndIncrements) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c");
+  EXPECT_EQ(counter->value(), 0);
+  counter->Increment();
+  counter->Add(41);
+  EXPECT_EQ(counter->value(), 42);
+}
+
+TEST(MetricsTest, GaugeSetAndMonotoneMax) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("g");
+  gauge->Set(3.5);
+  EXPECT_DOUBLE_EQ(gauge->value(), 3.5);
+  gauge->Max(2.0);  // lower: no effect
+  EXPECT_DOUBLE_EQ(gauge->value(), 3.5);
+  gauge->Max(7.25);
+  EXPECT_DOUBLE_EQ(gauge->value(), 7.25);
+  gauge->Set(1.0);  // Set always overwrites
+  EXPECT_DOUBLE_EQ(gauge->value(), 1.0);
+}
+
+TEST(MetricsTest, HistogramBucketsObservationsAtFixedBounds) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("h", {1.0, 10.0});
+  histogram->Observe(0.5);   // <= 1      -> bucket 0
+  histogram->Observe(1.0);   // == bound  -> bucket 0 (inclusive upper)
+  histogram->Observe(5.0);   // <= 10     -> bucket 1
+  histogram->Observe(100.0); // overflow  -> bucket 2
+  EXPECT_EQ(histogram->BucketCounts(), (std::vector<int64_t>{2, 1, 1}));
+  EXPECT_EQ(histogram->count(), 4);
+  EXPECT_DOUBLE_EQ(histogram->sum(), 106.5);
+}
+
+TEST(MetricsTest, RegistrationIsFirstUseWinsWithStablePointers) {
+  MetricsRegistry registry;
+  Counter* first = registry.GetCounter("same");
+  Counter* second = registry.GetCounter("same");
+  EXPECT_EQ(first, second);
+  Histogram* h1 = registry.GetHistogram("h", {1.0, 2.0});
+  Histogram* h2 = registry.GetHistogram("h", {99.0});  // bounds ignored
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1->bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(MetricsTest, SnapshotIsNameSortedAcrossKinds) {
+  MetricsRegistry registry;
+  registry.GetHistogram("zz", {1.0})->Observe(0.5);
+  registry.GetCounter("mm")->Add(7);
+  registry.GetGauge("aa")->Set(2.0);
+  registry.GetCounter("bb")->Add(1);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  std::vector<std::string> names;
+  for (const MetricRow& row : snapshot.rows) names.push_back(row.name);
+  EXPECT_EQ(names, (std::vector<std::string>{"aa", "bb", "mm", "zz"}));
+  EXPECT_EQ(snapshot.rows[0].kind, MetricRow::Kind::kGauge);
+  EXPECT_EQ(snapshot.rows[2].counter_value, 7);
+  EXPECT_EQ(snapshot.rows[3].kind, MetricRow::Kind::kHistogram);
+  EXPECT_EQ(snapshot.ToString(),
+            "gauge aa = 2\n"
+            "counter bb = 1\n"
+            "counter mm = 7\n"
+            "histogram zz count=1 sum=0.5 buckets=1|0\n");
+}
+
+TEST(MetricsTest, ResetZeroesValuesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c");
+  Gauge* gauge = registry.GetGauge("g");
+  Histogram* histogram = registry.GetHistogram("h", {1.0});
+  counter->Add(5);
+  gauge->Set(5);
+  histogram->Observe(0.5);
+  registry.Reset();
+  EXPECT_EQ(counter, registry.GetCounter("c"));  // same object survives
+  EXPECT_EQ(counter->value(), 0);
+  EXPECT_DOUBLE_EQ(gauge->value(), 0);
+  EXPECT_EQ(histogram->count(), 0);
+  EXPECT_DOUBLE_EQ(histogram->sum(), 0);
+  EXPECT_EQ(histogram->BucketCounts(), (std::vector<int64_t>{0, 0}));
+}
+
+TEST(MetricsTest, WithLabelSpellsTheCanonicalForm) {
+  EXPECT_EQ(WithLabel("miso.sim.moved_bytes_total", "dir", "to_dw"),
+            "miso.sim.moved_bytes_total{dir=\"to_dw\"}");
+}
+
+}  // namespace
+}  // namespace miso::obs

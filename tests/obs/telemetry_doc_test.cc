@@ -1,0 +1,95 @@
+// The telemetry contract is enforceable, not aspirational: every name in
+// src/obs/names.h must be documented in docs/TELEMETRY.md, and everything
+// a live traced run emits must be declared in names.h. A new metric that
+// skips the doc — or an emission site inventing an undeclared name —
+// fails here.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "../test_util.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+#ifndef MISO_REPO_ROOT
+#error "telemetry_doc_test needs MISO_REPO_ROOT (see tests/CMakeLists.txt)"
+#endif
+
+namespace miso::obs {
+namespace {
+
+using testing_util::PaperCatalog;
+
+std::string ReadTelemetryDoc() {
+  const std::string path = std::string(MISO_REPO_ROOT) + "/docs/TELEMETRY.md";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(TelemetryDocTest, EveryDeclaredMetricNameIsDocumented) {
+  const std::string doc = ReadTelemetryDoc();
+  for (const char* name : AllMetricNames()) {
+    EXPECT_NE(doc.find(name), std::string::npos)
+        << "metric `" << name << "` is missing from docs/TELEMETRY.md";
+  }
+}
+
+TEST(TelemetryDocTest, EveryDeclaredTraceEventKindIsDocumented) {
+  const std::string doc = ReadTelemetryDoc();
+  for (const char* kind : AllTraceEventKinds()) {
+    EXPECT_NE(doc.find(kind), std::string::npos)
+        << "trace event `" << kind << "` is missing from docs/TELEMETRY.md";
+  }
+}
+
+TEST(TelemetryDocTest, LiveRunEmitsOnlyDeclaredNames) {
+  Trace().Drain();
+  Metrics().Reset();
+  {
+    sim::SimConfig config;
+    config.variant = sim::SystemVariant::kMsMiso;
+    config.threads = 1;
+    config.trace = true;
+    config.metrics = true;
+    auto report = sim::RunPaperWorkload(&PaperCatalog(), config, /*seed=*/42);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+  }
+
+  std::set<std::string> declared_metrics;
+  for (const char* name : AllMetricNames()) declared_metrics.insert(name);
+  int live_metrics = 0;
+  for (const MetricRow& row : Metrics().Snapshot().rows) {
+    EXPECT_EQ(declared_metrics.count(row.name), 1u)
+        << "registry holds undeclared metric `" << row.name
+        << "` — add it to src/obs/names.h and docs/TELEMETRY.md";
+    ++live_metrics;
+  }
+  EXPECT_GT(live_metrics, 10);
+
+  std::set<std::string> declared_kinds;
+  for (const char* kind : AllTraceEventKinds()) declared_kinds.insert(kind);
+  int live_lines = 0;
+  for (const std::string& line : Trace().Drain()) {
+    const std::string prefix = "{\"event\":\"";
+    ASSERT_EQ(line.rfind(prefix, 0), 0u) << line;
+    const size_t end = line.find('"', prefix.size());
+    ASSERT_NE(end, std::string::npos) << line;
+    const std::string kind = line.substr(prefix.size(), end - prefix.size());
+    EXPECT_EQ(declared_kinds.count(kind), 1u)
+        << "trace emits undeclared event kind `" << kind << "`";
+    ++live_lines;
+  }
+  EXPECT_GT(live_lines, 30);
+}
+
+}  // namespace
+}  // namespace miso::obs

@@ -1,0 +1,128 @@
+// The telemetry determinism contract (docs/TELEMETRY.md): for a fixed
+// workload seed, the JSONL trace and every "model"-class metric are
+// byte-identical across MISO_THREADS in {1, 2, 8}. Only the miso.pool.*
+// runtime metrics may vary with thread count.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../test_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+namespace miso::obs {
+namespace {
+
+using testing_util::PaperCatalog;
+
+/// Registry snapshot minus the miso.pool.* runtime rows.
+std::string ModelMetricsString() {
+  std::stringstream out;
+  for (const MetricRow& row : Metrics().Snapshot().rows) {
+    if (row.name.rfind("miso.pool.", 0) == 0) continue;
+    std::stringstream one;
+    MetricsSnapshot single;
+    single.rows.push_back(row);
+    out << single.ToString();
+  }
+  return out.str();
+}
+
+/// One full MS-MISO paper-workload run under `threads` workers, with the
+/// trace and metrics gates on; returns (trace lines, model metrics).
+std::pair<std::vector<std::string>, std::string> TracedRun(int threads) {
+  Trace().Drain();
+  Metrics().Reset();
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%d", threads);
+  setenv("MISO_THREADS", buf, /*overwrite=*/1);
+  sim::SimConfig config;
+  config.variant = sim::SystemVariant::kMsMiso;
+  config.threads = 0;  // resolve through MISO_THREADS
+  config.trace = true;
+  config.metrics = true;
+  auto report = sim::RunPaperWorkload(&PaperCatalog(), config, /*seed=*/42);
+  unsetenv("MISO_THREADS");
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return {Trace().Drain(), ModelMetricsString()};
+}
+
+TEST(TraceDeterminismTest, RunTraceIsByteIdenticalAcrossThreadCounts) {
+  const auto [trace1, metrics1] = TracedRun(1);
+  const auto [trace2, metrics2] = TracedRun(2);
+  const auto [trace8, metrics8] = TracedRun(8);
+
+  ASSERT_FALSE(trace1.empty());
+  EXPECT_EQ(trace1, trace2);
+  EXPECT_EQ(trace1, trace8);
+  EXPECT_FALSE(metrics1.empty());
+  EXPECT_EQ(metrics1, metrics2);
+  EXPECT_EQ(metrics1, metrics8);
+
+  // The trace covers every instrumented layer of a tuned run.
+  bool saw_plan_choice = false, saw_query = false, saw_reorg = false,
+       saw_view_decision = false;
+  for (const std::string& line : trace1) {
+    if (line.rfind("{\"event\":\"optimizer.plan_choice\"", 0) == 0) {
+      saw_plan_choice = true;
+    }
+    if (line.rfind("{\"event\":\"sim.query\"", 0) == 0) saw_query = true;
+    if (line.rfind("{\"event\":\"sim.reorg\"", 0) == 0) saw_reorg = true;
+    if (line.rfind("{\"event\":\"tuner.view_decision\"", 0) == 0) {
+      saw_view_decision = true;
+    }
+  }
+  EXPECT_TRUE(saw_plan_choice);
+  EXPECT_TRUE(saw_query);
+  EXPECT_TRUE(saw_reorg);
+  EXPECT_TRUE(saw_view_decision);
+}
+
+TEST(TraceDeterminismTest, SeedSweepTraceMergesInSeedOrderForAnyPool) {
+  const std::vector<uint64_t> seeds = {7, 123};
+  auto sweep = [&](int threads) {
+    Trace().Drain();
+    sim::SimConfig config;
+    config.variant = sim::SystemVariant::kMsMiso;
+    config.threads = threads;
+    config.trace = true;
+    auto reports = sim::RunSeedSweep(&PaperCatalog(), config, seeds);
+    EXPECT_TRUE(reports.ok()) << reports.status().ToString();
+    return Trace().Drain();
+  };
+  const std::vector<std::string> serial = sweep(1);
+  const std::vector<std::string> parallel = sweep(4);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(TraceDeterminismTest, DisabledGatesEmitNothing) {
+  if (std::getenv("MISO_METRICS") != nullptr ||
+      std::getenv("MISO_TRACE") != nullptr) {
+    GTEST_SKIP() << "telemetry forced on via the environment "
+                    "(check.sh --obs); default-off does not apply";
+  }
+  Trace().Drain();
+  Metrics().Reset();
+  sim::SimConfig config;
+  config.variant = sim::SystemVariant::kMsMiso;
+  config.threads = 1;
+  // metrics/trace left false and the env gates are unset, so nothing may
+  // be emitted anywhere in the run.
+  auto report = sim::RunPaperWorkload(&PaperCatalog(), config, /*seed=*/42);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(Trace().size(), 0u);
+  for (const MetricRow& row : Metrics().Snapshot().rows) {
+    if (row.kind == MetricRow::Kind::kCounter) {
+      EXPECT_EQ(row.counter_value, 0) << row.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace miso::obs

@@ -1,0 +1,104 @@
+// Trace sink semantics: the gate is off by default, events serialize to
+// stable JSONL (insertion order, %.17g doubles, escaped strings), and
+// thread-local captures redirect emission for deterministic merges.
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace miso::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Trace().Drain(); }
+  void TearDown() override { Trace().Drain(); }
+};
+
+TEST_F(TraceTest, GateOffByDefaultAndEmitIsNoOp) {
+  if (std::getenv("MISO_TRACE") != nullptr) {
+    GTEST_SKIP() << "MISO_TRACE is set (check.sh --obs); default-off does "
+                    "not apply";
+  }
+  EXPECT_FALSE(TraceOn());
+  Emit(TraceEvent("nope").Int("x", 1));
+  EXPECT_EQ(Trace().size(), 0u);
+}
+
+TEST_F(TraceTest, EventSerializesFieldsInInsertionOrder) {
+  TraceEvent event("kind.a");
+  event.Str("s", "v").Int("i", -7).Double("d", 0.25).Bool("b", true);
+  EXPECT_EQ(event.ToJsonl(),
+            "{\"event\":\"kind.a\",\"s\":\"v\",\"i\":-7,\"d\":0.25,"
+            "\"b\":true}");
+}
+
+TEST_F(TraceTest, EventEscapesStrings) {
+  TraceEvent event("k");
+  event.Str("s", "a\"b\\c\nd");
+  EXPECT_EQ(event.ToJsonl(), "{\"event\":\"k\",\"s\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST_F(TraceTest, DoublesRoundTripByteStable) {
+  TraceEvent event("k");
+  event.Double("d", 8625.6323206039451);
+  EXPECT_EQ(event.ToJsonl(), "{\"event\":\"k\",\"d\":8625.6323206039451}");
+}
+
+TEST_F(TraceTest, EmitAppendsToGlobalSinkWhenOn) {
+  ScopedTrace on(true);
+  Emit(TraceEvent("one").Int("x", 1));
+  Emit(TraceEvent("two").Int("x", 2));
+  const std::vector<std::string> lines = Trace().Drain();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "{\"event\":\"one\",\"x\":1}");
+  EXPECT_EQ(lines[1], "{\"event\":\"two\",\"x\":2}");
+  EXPECT_EQ(Trace().size(), 0u);  // drained
+}
+
+TEST_F(TraceTest, CaptureRedirectsEmissionAndNests) {
+  ScopedTrace on(true);
+  {
+    ScopedTraceCapture outer;
+    Emit(TraceEvent("outer1"));
+    {
+      ScopedTraceCapture inner;
+      Emit(TraceEvent("inner1"));
+      const std::vector<std::string> inner_lines = inner.TakeLines();
+      ASSERT_EQ(inner_lines.size(), 1u);
+      EXPECT_EQ(inner_lines[0], "{\"event\":\"inner1\"}");
+    }
+    Emit(TraceEvent("outer2"));
+    const std::vector<std::string> outer_lines = outer.TakeLines();
+    ASSERT_EQ(outer_lines.size(), 2u);
+    EXPECT_EQ(outer_lines[0], "{\"event\":\"outer1\"}");
+    EXPECT_EQ(outer_lines[1], "{\"event\":\"outer2\"}");
+  }
+  EXPECT_EQ(Trace().size(), 0u);  // nothing leaked to the global sink
+  Emit(TraceEvent("global"));
+  EXPECT_EQ(Trace().size(), 1u);  // after the capture, back to the sink
+}
+
+TEST_F(TraceTest, DrainToFileWritesJsonl) {
+  ScopedTrace on(true);
+  Emit(TraceEvent("a").Int("x", 1));
+  Emit(TraceEvent("b").Int("x", 2));
+  const std::string path =
+      ::testing::TempDir() + "/miso_trace_test_drain.jsonl";
+  ASSERT_TRUE(Trace().DrainToFile(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(),
+            "{\"event\":\"a\",\"x\":1}\n{\"event\":\"b\",\"x\":2}\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace miso::obs

@@ -19,7 +19,14 @@
 # Any compiler warning, sanitizer report, clang-tidy finding in src/, or
 # test failure fails the script.
 #
-# Usage: tools/check.sh [--tsan] [--jobs N] [--build-dir DIR] [--tidy-only]
+# With --obs the run is restricted to the `obs` ctest label — the
+# observability suite (registry semantics, JSONL trace stability, the
+# cross-thread-count determinism contract, the docs/TELEMETRY.md
+# completeness gate) — with MISO_METRICS=1 and MISO_TRACE=1 forced on,
+# so both telemetry gates are exercised in their enabled state.
+#
+# Usage: tools/check.sh [--tsan] [--obs] [--jobs N] [--build-dir DIR]
+#                       [--tidy-only]
 #                       [--label L]   (restrict the test run to ctest -L L)
 set -euo pipefail
 
@@ -29,17 +36,19 @@ BUILD_DIR=""
 JOBS="$(nproc 2>/dev/null || echo 2)"
 TIDY_ONLY=0
 TSAN=0
+OBS=0
 LABEL=""
 
 while [ "$#" -gt 0 ]; do
   case "$1" in
     --tsan) SANITIZE="thread"; TSAN=1; shift ;;
+    --obs) OBS=1; LABEL="obs"; shift ;;
     --jobs) JOBS="$2"; shift 2 ;;
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
     --label) LABEL="$2"; shift 2 ;;
     --tidy-only) TIDY_ONLY=1; shift ;;
     -h|--help)
-      sed -n '2,16p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,22p' "$0" | sed 's/^# \{0,1\}//'
       exit 0 ;;
     *) echo "check.sh: unknown option '$1'" >&2; exit 2 ;;
   esac
@@ -95,6 +104,23 @@ if [ "$TSAN" -eq 1 ]; then
   fi
   echo "== check.sh: tsan gate covers $CONCURRENCY_COUNT concurrency tests" \
        "with MISO_THREADS=$MISO_THREADS"
+fi
+
+if [ "$OBS" -eq 1 ]; then
+  # Both telemetry gates on for the whole obs label: the suite must hold
+  # with telemetry enabled, not just in its default-off state (tests that
+  # specifically assert default-off detect the env and skip).
+  export MISO_METRICS=1
+  export MISO_TRACE=1
+  OBS_COUNT="$(ctest --test-dir "$BUILD_DIR" -L obs -N |
+               sed -n 's/^Total Tests: \([0-9]*\)$/\1/p')"
+  if [ -z "$OBS_COUNT" ] || [ "$OBS_COUNT" -eq 0 ]; then
+    echo "check.sh: the 'obs' ctest label is empty — the telemetry gate" \
+         "would be vacuous" >&2
+    exit 1
+  fi
+  echo "== check.sh: obs gate covers $OBS_COUNT tests with" \
+       "MISO_METRICS=1 MISO_TRACE=1"
 fi
 
 ctest "${CTEST_ARGS[@]}"

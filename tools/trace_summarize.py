@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Fold a MISO decision trace (JSONL) into human-readable tables.
+
+The trace format is documented in docs/TELEMETRY.md. The headline output
+is the Figure 3-style cost-anatomy table: one row per costed split plan
+(`optimizer.plan_costed` events), sorted by total cost, with the stacked
+components the paper plots — HV execution, DUMP, TRANSFER, LOAD, and DW
+execution. Falls back to `optimizer.plan_choice` events when the trace
+has no full enumeration, and also summarizes the simulated queries,
+reorganizations, and tuner decisions when present.
+
+Usage:
+    tools/trace_summarize.py fig3_trace.jsonl
+    MISO_TRACE=1 ./build/bench/bench_fig3_split_profile && \
+        tools/trace_summarize.py fig3_trace.jsonl
+    some_run | tools/trace_summarize.py -      # read stdin
+
+No dependencies beyond the Python standard library.
+"""
+
+import argparse
+import json
+import sys
+from collections import Counter, defaultdict
+
+
+def format_bytes(n):
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024 or unit == "TiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024.0
+    return f"{value:.1f} TiB"
+
+
+def load_events(stream):
+    events = defaultdict(list)
+    bad = 0
+    for line_number, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            events[record["event"]].append(record)
+        except (json.JSONDecodeError, KeyError, TypeError):
+            bad += 1
+            print(f"warning: line {line_number} is not a trace event",
+                  file=sys.stderr)
+    if bad:
+        print(f"warning: skipped {bad} malformed line(s)", file=sys.stderr)
+    return events
+
+
+def is_hv_only(plan):
+    # plan_choice events carry the flag; plan_costed events carry dw_ops.
+    return bool(plan.get("hv_only", plan.get("dw_ops", 1) == 0))
+
+
+def print_anatomy_table(plans, title):
+    print(title)
+    print(f"{'plan':<5} {'TOTAL(s)':>9} {'HV-EXE':>9} {'DUMP':>8} "
+          f"{'XFER':>8} {'LOAD':>8} {'DW-EXE':>8} {'migrated':>12}")
+    ordered = sorted(plans, key=lambda p: p["total_s"])
+    hv_only = next((p["total_s"] for p in ordered if is_hv_only(p)), None)
+    for row, p in enumerate(ordered):
+        note = ""
+        if row == 0:
+            note = "B (best)"
+        if is_hv_only(p):
+            note = "H (HV-only)"
+        elif hv_only is not None and p["total_s"] > 1.15 * hv_only:
+            note = "S (bad split)"
+        print(f"{row:<5} {p['total_s']:>9.0f} {p['hv_exec_s']:>9.0f} "
+              f"{p['dump_s']:>8.0f} {p['transfer_s']:>8.0f} "
+              f"{p['load_s']:>8.0f} {p['dw_exec_s']:>8.1f} "
+              f"{format_bytes(p['transferred_bytes']):>12} {note}")
+    if hv_only:
+        best = ordered[0]["total_s"]
+        worst = ordered[-1]["total_s"]
+        print(f"\nbest/HV-only = {best / hv_only:.2f}   "
+              f"worst/HV-only = {worst / hv_only:.2f}")
+    print()
+
+
+def summarize_queries(queries):
+    total = sum(q["completion_s"] - q["start_s"] for q in queries)
+    hv = sum(q["hv_exec_s"] for q in queries)
+    dump = sum(q["dump_s"] for q in queries)
+    xfer_load = sum(q["transfer_load_s"] for q in queries)
+    dw = sum(q["dw_exec_s"] for q in queries)
+    moved = sum(q["transferred_bytes"] for q in queries)
+    dw_majority = sum(
+        1 for q in queries
+        if q["ops_total"] > 0 and q["ops_dw"] * 2 > q["ops_total"])
+    print(f"queries: {len(queries)}  total time {total:.0f} s  "
+          f"(HV {hv:.0f} | dump {dump:.0f} | xfer+load {xfer_load:.0f} | "
+          f"DW {dw:.0f})")
+    print(f"  working sets migrated by splits: {format_bytes(moved)}; "
+          f"{dw_majority} of {len(queries)} queries ran mostly in DW")
+    print()
+
+
+def summarize_reorgs(reorgs):
+    to_dw = sum(r["bytes_to_dw"] for r in reorgs)
+    to_hv = sum(r["bytes_to_hv"] for r in reorgs)
+    spent = sum(r["reorg_s"] for r in reorgs)
+    budget = reorgs[0]["transfer_budget"] if reorgs else 0
+    print(f"reorganizations: {len(reorgs)}  "
+          f"moved {format_bytes(to_dw)} -> DW, {format_bytes(to_hv)} -> HV  "
+          f"({spent:.0f} s; per-reorg budget Bt = {format_bytes(budget)})")
+    print()
+
+
+def summarize_tuner(reorgs, decisions):
+    if reorgs:
+        benefit = sum(r["predicted_benefit_s"] for r in reorgs)
+        items = sum(r["knapsack_items"] for r in reorgs)
+        print(f"tuner: {len(reorgs)} reorg(s), {items} knapsack items, "
+              f"predicted benefit {benefit:.0f} s")
+    if decisions:
+        counts = Counter(d["decision"] for d in decisions)
+        folded = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        print(f"  view decisions: {folded}")
+    if reorgs or decisions:
+        print()
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        epilog="Trace schema: docs/TELEMETRY.md")
+    parser.add_argument("trace", help="JSONL trace file, or - for stdin")
+    args = parser.parse_args()
+
+    if args.trace == "-":
+        events = load_events(sys.stdin)
+    else:
+        try:
+            with open(args.trace, encoding="utf-8") as f:
+                events = load_events(f)
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+    if not events:
+        print("error: no trace events found (was MISO_TRACE=1 set?)",
+              file=sys.stderr)
+        return 1
+
+    if events.get("optimizer.plan_costed"):
+        print_anatomy_table(
+            events["optimizer.plan_costed"],
+            "Cost anatomy of every costed split plan (paper Fig. 3):")
+    elif events.get("optimizer.plan_choice"):
+        print_anatomy_table(
+            events["optimizer.plan_choice"],
+            "Cost anatomy of each chosen plan:")
+
+    if events.get("sim.query"):
+        summarize_queries(events["sim.query"])
+    if events.get("sim.reorg"):
+        summarize_reorgs(events["sim.reorg"])
+    summarize_tuner(events.get("tuner.reorg", []),
+                    events.get("tuner.view_decision", []))
+
+    for kind in sorted(events):
+        print(f"{len(events[kind]):6d}  {kind}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
