@@ -27,8 +27,8 @@ int EnvInt(const char* name, int fallback, int min_value) {
   if (value[0] == '\0' || end == value || *end != '\0' || errno == ERANGE ||
       parsed < min_value || parsed > 1'000'000) {
     char expected[64];
-    std::snprintf(expected, sizeof(expected), "expected an integer >= %d",
-                  min_value);
+    std::snprintf(expected, sizeof(expected),
+                  "expected an integer in [%d, 1000000]", min_value);
     DieBadEnv(name, value, expected);
   }
   return static_cast<int>(parsed);

@@ -1,0 +1,215 @@
+#include "core/explain.h"
+
+#include <cstdio>
+
+#include "dw/dw_store.h"
+#include "hv/hv_store.h"
+#include "obs/names.h"
+#include "obs/trace.h"
+#include "optimizer/explain.h"
+#include "optimizer/multistore_optimizer.h"
+#include "plan/node_factory.h"
+#include "transfer/transfer_model.h"
+#include "verify/error_codes.h"
+#include "verify/plan_verifier.h"
+
+namespace miso::core {
+
+namespace {
+
+void AppendJsonString(std::string& out, const std::string& value) {
+  out += '"';
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendDouble(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+VerifierVerdict MakeVerdict(const char* check, const Status& status) {
+  VerifierVerdict verdict;
+  verdict.check = check;
+  verdict.ok = status.ok();
+  verdict.message = status.ok() ? "" : status.message();
+  const std::optional<verify::VerifyCode> code =
+      verify::ExtractVerifyCode(status);
+  verdict.code = code.has_value()
+                     ? std::string(verify::VerifyCodeToken(*code))
+                     : std::string("V???");
+  return verdict;
+}
+
+}  // namespace
+
+bool ExplainReport::AllVerified() const {
+  if (!verify_ran) return false;
+  for (const VerifierVerdict& verdict : verdicts) {
+    if (!verdict.ok) return false;
+  }
+  return true;
+}
+
+std::string ExplainReport::ToString() const {
+  std::string out = optimizer::ExplainMultistorePlan(plan);
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "anatomy: HV %.3g s | dump %.3g s | transfer %.3g s | "
+                "load %.3g s | DW %.3g s | total %.3g s\n",
+                anatomy.hv_exec_s, anatomy.dump_s, anatomy.transfer_s,
+                anatomy.load_s, anatomy.dw_exec_s, anatomy.Total());
+  out += buf;
+  if (verify_ran) {
+    for (const VerifierVerdict& verdict : verdicts) {
+      out += "verify ";
+      out += verdict.check;
+      out += ": ";
+      out += verdict.ok ? "OK" : "FAIL";
+      out += " [";
+      out += verdict.code;
+      out += "]";
+      if (!verdict.ok) {
+        out += " ";
+        out += verdict.message;
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string ExplainReport::ToJson() const {
+  std::string out = "{\"query\":";
+  AppendJsonString(out, plan.executed.query_name());
+  out += ",\"hv_only\":";
+  out += plan.HvOnly() ? "true" : "false";
+  out += ",\"fully_dw\":";
+  out += plan.FullyDw() ? "true" : "false";
+  out += ",\"dw_ops\":" + std::to_string(plan.dw_side.size());
+  out += ",\"cut_inputs\":" + std::to_string(plan.cut_inputs.size());
+  out += ",\"dw_fraction\":";
+  AppendDouble(out, plan.DwOperatorFraction());
+  out += ",\"transferred_bytes\":" + std::to_string(plan.transferred_bytes);
+  out += ",\"anatomy\":{\"hv_exec_s\":";
+  AppendDouble(out, anatomy.hv_exec_s);
+  out += ",\"dump_s\":";
+  AppendDouble(out, anatomy.dump_s);
+  out += ",\"transfer_s\":";
+  AppendDouble(out, anatomy.transfer_s);
+  out += ",\"load_s\":";
+  AppendDouble(out, anatomy.load_s);
+  out += ",\"dw_exec_s\":";
+  AppendDouble(out, anatomy.dw_exec_s);
+  out += ",\"total_s\":";
+  AppendDouble(out, anatomy.Total());
+  out += "},\"verify_ran\":";
+  out += verify_ran ? "true" : "false";
+  out += ",\"verified\":";
+  out += AllVerified() ? "true" : "false";
+  out += ",\"verdicts\":[";
+  for (size_t i = 0; i < verdicts.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"check\":";
+    AppendJsonString(out, verdicts[i].check);
+    out += ",\"code\":";
+    AppendJsonString(out, verdicts[i].code);
+    out += ",\"ok\":";
+    out += verdicts[i].ok ? "true" : "false";
+    if (!verdicts[i].ok) {
+      out += ",\"message\":";
+      AppendJsonString(out, verdicts[i].message);
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+Result<ExplainReport> ExplainQuery(const relation::Catalog& catalog,
+                                   const sim::SimConfig& config,
+                                   const plan::Plan& query,
+                                   const views::ViewCatalog& dw_views,
+                                   const views::ViewCatalog& hv_views,
+                                   bool run_verifiers) {
+  plan::NodeFactory factory(&catalog);
+  hv::HvStore hv_store(config.hv, config.hv_storage_budget);
+  dw::DwStore dw_store(config.dw, config.dw_storage_budget);
+  transfer::TransferModel mover(config.transfer);
+  optimizer::MultistoreOptimizer opt(&factory, &hv_store.cost_model(),
+                                     &dw_store.cost_model(), &mover);
+
+  ExplainReport report;
+  MISO_ASSIGN_OR_RETURN(report.plan, opt.Optimize(query, dw_views, hv_views));
+
+  const transfer::TransferBreakdown tb =
+      mover.WorkingSetTransfer(report.plan.transferred_bytes);
+  report.anatomy.hv_exec_s = report.plan.cost.hv_exec_s;
+  report.anatomy.dump_s = tb.dump_s;
+  report.anatomy.transfer_s = tb.network_s;
+  report.anatomy.load_s = tb.load_s;
+  report.anatomy.dw_exec_s = report.plan.cost.dw_exec_s;
+
+  if (run_verifiers) {
+    report.verify_ran = true;
+    // EXPLAIN VERIFY runs the battery unconditionally — this is the
+    // always-on promotion of the debug-gate verifiers. Failures become
+    // verdicts, not errors: the caller asked to *see* the evidence.
+    report.verdicts.push_back(
+        MakeVerdict("query_graph", verify::VerifyPlan(query)));
+    optimizer::SplitCandidate split;
+    split.dw_side = report.plan.dw_side;
+    split.cut_inputs = report.plan.cut_inputs;
+    report.verdicts.push_back(MakeVerdict(
+        "split_shape",
+        verify::VerifySplit(report.plan.executed.root(), split)));
+    verify::PlanVerifierOptions options;
+    options.hv_views = &hv_views;
+    options.dw_views = &dw_views;
+    report.verdicts.push_back(MakeVerdict(
+        "multistore_plan",
+        verify::VerifyMultistorePlan(report.plan, options)));
+  }
+
+  if (obs::TraceOn()) {
+    int64_t failed = 0;
+    for (const VerifierVerdict& verdict : report.verdicts) {
+      if (!verdict.ok) ++failed;
+    }
+    obs::Emit(obs::TraceEvent(obs::names::kEvExplainVerify)
+                  .Str("query", query.query_name())
+                  .Bool("hv_only", report.plan.HvOnly())
+                  .Int("dw_ops", static_cast<int64_t>(report.plan.dw_side.size()))
+                  .Double("total_s", report.anatomy.Total())
+                  .Bool("verify_ran", report.verify_ran)
+                  .Int("verdicts", static_cast<int64_t>(report.verdicts.size()))
+                  .Int("failed", failed));
+  }
+  return report;
+}
+
+}  // namespace miso::core

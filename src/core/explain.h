@@ -1,0 +1,82 @@
+#ifndef MISO_CORE_EXPLAIN_H_
+#define MISO_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/units.h"
+#include "optimizer/multistore_plan.h"
+#include "plan/plan.h"
+#include "relation/catalog.h"
+#include "sim/simulator.h"
+#include "views/view_catalog.h"
+
+namespace miso::core {
+
+/// The five-part cost anatomy of a multistore plan (paper Fig. 3): time
+/// in the HV prefix, dumping the working set out of HDFS, moving it over
+/// the interconnect, loading it into DW temp space, and the DW suffix.
+/// `CostBreakdown` folds network+load into one figure; this struct is the
+/// fully unfolded view, recomputed from the transfer model.
+struct CostAnatomy {
+  Seconds hv_exec_s = 0;
+  Seconds dump_s = 0;
+  Seconds transfer_s = 0;
+  Seconds load_s = 0;
+  Seconds dw_exec_s = 0;
+
+  Seconds Total() const {
+    return hv_exec_s + dump_s + transfer_s + load_s + dw_exec_s;
+  }
+};
+
+/// Outcome of one verifier pass over the explained plan. `code` is the
+/// stable "[Vnnn]" token (see verify/error_codes.h), "V000" when the pass
+/// is clean; `message` carries the full diagnostic on failure.
+struct VerifierVerdict {
+  std::string check;
+  std::string code;
+  bool ok = false;
+  std::string message;
+};
+
+/// One structured record answering "what would the system do with this
+/// query, and why should I believe it": the chosen split plan, its
+/// five-part cost anatomy, and (for `ExplainVerify`) the verdict of every
+/// verifier pass — run unconditionally, not only under the debug gate.
+struct ExplainReport {
+  optimizer::MultistorePlan plan;
+  CostAnatomy anatomy;
+
+  /// True when the verifier battery ran (ExplainVerify vs plain Explain).
+  bool verify_ran = false;
+  std::vector<VerifierVerdict> verdicts;
+
+  bool AllVerified() const;
+
+  /// Human-readable rendering: the annotated operator tree (optimizer
+  /// EXPLAIN), the anatomy line, and one verdict line per pass.
+  std::string ToString() const;
+
+  /// The whole record as one JSON object (stable field order, %.17g
+  /// doubles — the same conventions as the JSONL trace).
+  std::string ToJson() const;
+};
+
+/// Optimizes `query` under (`dw_views`, `hv_views`) using the cost models
+/// `config` describes, and assembles the report. `run_verifiers` selects
+/// the EXPLAIN VERIFY battery: query-graph checks, split-shape checks,
+/// and full multistore-plan checks (catalog-resolving ViewScans), each
+/// recorded as a verdict instead of failing the call — only optimizer
+/// errors surface as a non-OK Result.
+Result<ExplainReport> ExplainQuery(const relation::Catalog& catalog,
+                                   const sim::SimConfig& config,
+                                   const plan::Plan& query,
+                                   const views::ViewCatalog& dw_views,
+                                   const views::ViewCatalog& hv_views,
+                                   bool run_verifiers);
+
+}  // namespace miso::core
+
+#endif  // MISO_CORE_EXPLAIN_H_

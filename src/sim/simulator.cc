@@ -111,7 +111,9 @@ Result<RunReport> MultistoreSimulator::Run(
   // Engage the observability gates for this run. Only toggled when the
   // global state differs, so concurrent seed runs with identical configs
   // (RunSeedSweep applies the knobs once, before the fan-out) never touch
-  // the process-wide flags from worker threads.
+  // the process-wide flags from worker threads. This check-then-act is NOT
+  // safe for concurrent Run calls whose obs configs differ — see the
+  // telemetry caveat on Run() in simulator.h.
   std::optional<obs::ScopedMetrics> scoped_metrics;
   std::optional<obs::ScopedTrace> scoped_trace;
   if (cfg.metrics && !obs::MetricsOn()) scoped_metrics.emplace(true);

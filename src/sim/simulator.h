@@ -115,6 +115,14 @@ class MultistoreSimulator {
   void SetThreadPool(ThreadPool* pool) { external_pool_ = pool; }
 
   /// Runs the whole workload (arrival order = vector order).
+  ///
+  /// Telemetry caveat: `config.metrics`/`config.trace` toggle process-global
+  /// flags (the metrics registry and trace sink are process-wide, so there is
+  /// no per-run scope to confine them to). Concurrent Run calls on separate
+  /// simulators are only supported when their obs configs agree — differing
+  /// configs race on the save/restore of those flags and can leave telemetry
+  /// toggled wrong after one run finishes. `RunSeedSweep` is safe: it engages
+  /// the gates once on the sweep thread before fanning out.
   Result<RunReport> Run(const std::vector<workload::WorkloadQuery>& queries);
 
  private:

@@ -40,7 +40,7 @@ TEST_F(EnvTest, IntDiesOnGarbage) {
 TEST_F(EnvTest, IntDiesOnTrailingJunk) {
   setenv(kKnob, "4x", 1);
   EXPECT_EXIT(EnvInt(kKnob, 42, 1), ::testing::ExitedWithCode(2),
-              "expected an integer >= 1");
+              "expected an integer in \\[1, 1000000\\]");
 }
 
 TEST_F(EnvTest, IntDiesOnEmptyValue) {
@@ -51,9 +51,17 @@ TEST_F(EnvTest, IntDiesOnEmptyValue) {
 TEST_F(EnvTest, IntDiesBelowMinimum) {
   setenv(kKnob, "0", 1);
   EXPECT_EXIT(EnvInt(kKnob, 42, 1), ::testing::ExitedWithCode(2),
-              "expected an integer >= 1");
+              "expected an integer in \\[1, 1000000\\]");
   setenv(kKnob, "-3", 1);
   EXPECT_EXIT(EnvInt(kKnob, 42, 1), ::testing::ExitedWithCode(2), "invalid");
+}
+
+TEST_F(EnvTest, IntDiesAboveMaximum) {
+  // The diagnostic must describe the rejection: 2000000 is a well-formed
+  // integer >= min, so the message has to name the upper bound too.
+  setenv(kKnob, "2000000", 1);
+  EXPECT_EXIT(EnvInt(kKnob, 42, 1), ::testing::ExitedWithCode(2),
+              "expected an integer in \\[1, 1000000\\]");
 }
 
 TEST_F(EnvTest, IntDiesOnOverflow) {

@@ -1,0 +1,116 @@
+// EXPLAIN / EXPLAIN VERIFY facade: one structured record carrying the
+// chosen split plan, the five-part cost anatomy, and — for the VERIFY
+// flavour — the [Vnnn] verdict of every verifier pass, run without the
+// MISO_VERIFY debug gate.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "../test_util.h"
+#include "core/multistore_system.h"
+#include "obs/trace.h"
+#include "workload/evolutionary.h"
+
+namespace miso {
+namespace {
+
+using testing_util::PaperCatalog;
+
+class ExplainVerifyTest : public ::testing::Test {
+ protected:
+  static const MultistoreSystem& System() {
+    static const MultistoreSystem* system =
+        new MultistoreSystem(MisoConfig{});
+    return *system;
+  }
+
+  static const plan::Plan& FirstQuery() {
+    static const plan::Plan* plan = [] {
+      workload::WorkloadConfig wl;
+      auto workload =
+          workload::EvolutionaryWorkload::Generate(&System().catalog(), wl);
+      EXPECT_TRUE(workload.ok()) << workload.status().ToString();
+      return new plan::Plan(workload->queries()[0].plan);
+    }();
+    return *plan;
+  }
+};
+
+TEST_F(ExplainVerifyTest, ExplainReturnsPlanAndFivePartAnatomy) {
+  auto report = System().Explain(FirstQuery());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->verify_ran);
+  EXPECT_TRUE(report->verdicts.empty());
+  EXPECT_FALSE(report->AllVerified());  // nothing ran, nothing verified
+
+  // The unfolded anatomy re-adds to the optimizer's cost breakdown.
+  const core::CostAnatomy& anatomy = report->anatomy;
+  EXPECT_NEAR(anatomy.Total(), report->plan.cost.Total(),
+              1e-9 * report->plan.cost.Total());
+  EXPECT_DOUBLE_EQ(anatomy.hv_exec_s, report->plan.cost.hv_exec_s);
+  EXPECT_DOUBLE_EQ(anatomy.dump_s, report->plan.cost.dump_s);
+  EXPECT_NEAR(anatomy.transfer_s + anatomy.load_s,
+              report->plan.cost.transfer_load_s,
+              1e-12 + 1e-9 * report->plan.cost.transfer_load_s);
+  EXPECT_DOUBLE_EQ(anatomy.dw_exec_s, report->plan.cost.dw_exec_s);
+  // A fresh system has no views, so the plan migrates a working set.
+  EXPECT_GT(report->plan.transferred_bytes, 0u);
+  EXPECT_GT(anatomy.dump_s, 0);
+  EXPECT_GT(anatomy.load_s, 0);
+}
+
+TEST_F(ExplainVerifyTest, ExplainVerifyRunsAllVerdictsWithoutDebugGate) {
+  // The debug gate is irrelevant here: EXPLAIN VERIFY always verifies.
+  auto report = System().ExplainVerify(FirstQuery());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->verify_ran);
+  ASSERT_EQ(report->verdicts.size(), 3u);
+  EXPECT_EQ(report->verdicts[0].check, "query_graph");
+  EXPECT_EQ(report->verdicts[1].check, "split_shape");
+  EXPECT_EQ(report->verdicts[2].check, "multistore_plan");
+  for (const core::VerifierVerdict& verdict : report->verdicts) {
+    EXPECT_TRUE(verdict.ok) << verdict.check << ": " << verdict.message;
+    EXPECT_EQ(verdict.code, "V000");
+  }
+  EXPECT_TRUE(report->AllVerified());
+}
+
+TEST_F(ExplainVerifyTest, ReportSerializesAsOneStructuredRecord) {
+  auto report = System().ExplainVerify(FirstQuery());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const std::string json = report->ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"query\":\"A1v1\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"anatomy\":{\"hv_exec_s\":"), std::string::npos);
+  EXPECT_NE(json.find("\"transfer_s\":"), std::string::npos);
+  EXPECT_NE(json.find("\"load_s\":"), std::string::npos);
+  EXPECT_NE(json.find("\"verified\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"verdicts\":[{\"check\":\"query_graph\""),
+            std::string::npos);
+
+  const std::string text = report->ToString();
+  EXPECT_NE(text.find("anatomy: HV "), std::string::npos);
+  EXPECT_NE(text.find("verify split_shape: OK [V000]"), std::string::npos);
+}
+
+TEST_F(ExplainVerifyTest, EmitsTraceEventsWhenTracingIsOn) {
+  obs::Trace().Drain();
+  {
+    obs::ScopedTrace on(true);
+    auto report = System().ExplainVerify(FirstQuery());
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+  }
+  // The embedded Optimize emits its plan choice, then the explain stub.
+  const auto lines = obs::Trace().Drain();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("{\"event\":\"optimizer.plan_choice\"", 0), 0u)
+      << lines[0];
+  EXPECT_EQ(lines[1].rfind("{\"event\":\"core.explain_verify\"", 0), 0u)
+      << lines[1];
+  EXPECT_NE(lines[1].find("\"failed\":0"), std::string::npos) << lines[1];
+}
+
+}  // namespace
+}  // namespace miso
