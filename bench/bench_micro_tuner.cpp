@@ -7,6 +7,7 @@
 
 #include "bench_util.h"
 #include "hv/hv_store.h"
+#include "optimizer/whatif_cache.h"
 #include "tuner/benefit.h"
 #include "tuner/interaction.h"
 #include "tuner/knapsack.h"
@@ -113,19 +114,86 @@ void BM_InteractionDetection(benchmark::State& state) {
 }
 BENCHMARK(BM_InteractionDetection);
 
-void BM_FullTuningPass(benchmark::State& state) {
-  TunerFixture& f = Fixture();
+tuner::MisoTunerConfig PaperBudgets() {
   tuner::MisoTunerConfig config;
   config.hv_storage_budget = 4 * kTiB;
   config.dw_storage_budget = 400 * kGiB;
   config.transfer_budget = 10 * kGiB;
-  tuner::MisoTuner tuner(&f.optimizer, config);
+  return config;
+}
+
+void BM_FullTuningPass(benchmark::State& state) {
+  TunerFixture& f = Fixture();
+  tuner::MisoTuner tuner(&f.optimizer, PaperBudgets());
   for (auto _ : state) {
     auto plan = tuner.Tune(f.hv_catalog, f.dw_catalog, f.window);
     benchmark::DoNotOptimize(plan);
   }
 }
 BENCHMARK(BM_FullTuningPass);
+
+// The cold pass above vs the same pass answered from a warmed what-if
+// cache: the gap is the optimizer work the cache retires when successive
+// reorganizations see the same (window, candidates, placement) probes.
+void BM_FullTuningPassWarmCache(benchmark::State& state) {
+  TunerFixture& f = Fixture();
+  tuner::MisoTuner tuner(&f.optimizer, PaperBudgets());
+  optimizer::WhatIfCache cache;
+  cache.SetEpoch(optimizer::WhatIfCache::EpochOf(
+      hv::HvConfig{}, dw::DwConfig{}, transfer::TransferConfig{}));
+  tuner.set_whatif_cache(&cache);
+  // One untimed pass fills the cache; the timed passes are all hits.
+  benchmark::DoNotOptimize(tuner.Tune(f.hv_catalog, f.dw_catalog, f.window));
+  for (auto _ : state) {
+    auto plan = tuner.Tune(f.hv_catalog, f.dw_catalog, f.window);
+    benchmark::DoNotOptimize(plan);
+  }
+  const optimizer::WhatIfCache::Stats stats = cache.GetStats();
+  const double total = static_cast<double>(stats.hits + stats.misses);
+  state.SetLabel("hit_rate=" +
+                 std::to_string(total > 0 ? stats.hits / total : 0.0));
+}
+BENCHMARK(BM_FullTuningPassWarmCache);
+
+/// A reorg cadence: three Tune calls over sliding 6-query windows (stride
+/// 1 over the 8 harvested queries), as the simulator issues them every j
+/// queries. `warm_cache` selects whether one persistent cache survives
+/// the whole cadence (the simulator's arrangement) or every probe is paid
+/// at the optimizer.
+void RunReorgCadence(benchmark::State& state, bool warm_cache) {
+  TunerFixture& f = Fixture();
+  tuner::MisoTuner tuner(&f.optimizer, PaperBudgets());
+  optimizer::WhatIfCache cache;
+  cache.SetEpoch(optimizer::WhatIfCache::EpochOf(
+      hv::HvConfig{}, dw::DwConfig{}, transfer::TransferConfig{}));
+  if (warm_cache) tuner.set_whatif_cache(&cache);
+  constexpr int kWindow = 6;
+  for (auto _ : state) {
+    for (size_t start = 0; start + kWindow <= f.window.size(); ++start) {
+      const std::vector<plan::Plan> window(
+          f.window.begin() + static_cast<std::ptrdiff_t>(start),
+          f.window.begin() + static_cast<std::ptrdiff_t>(start + kWindow));
+      auto plan = tuner.Tune(f.hv_catalog, f.dw_catalog, window);
+      benchmark::DoNotOptimize(plan);
+    }
+  }
+  if (warm_cache) {
+    const optimizer::WhatIfCache::Stats stats = cache.GetStats();
+    const double total = static_cast<double>(stats.hits + stats.misses);
+    state.SetLabel("hit_rate=" +
+                   std::to_string(total > 0 ? stats.hits / total : 0.0));
+  }
+}
+
+void BM_ReorgCadenceColdCache(benchmark::State& state) {
+  RunReorgCadence(state, /*warm_cache=*/false);
+}
+BENCHMARK(BM_ReorgCadenceColdCache);
+
+void BM_ReorgCadenceWarmCache(benchmark::State& state) {
+  RunReorgCadence(state, /*warm_cache=*/true);
+}
+BENCHMARK(BM_ReorgCadenceWarmCache);
 
 }  // namespace
 }  // namespace miso

@@ -24,6 +24,15 @@ std::vector<double> CountBuckets() {
   return {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
 }
 
+std::vector<double> MillisBuckets() {
+  return {1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 60000};
+}
+
+bool IsRuntimeClassMetric(std::string_view name) {
+  if (name.rfind("miso.pool.", 0) == 0) return true;
+  return name == names::kTunerTuneMs;
+}
+
 std::vector<const char*> AllMetricNames() {
   std::vector<const char*> all = {
       names::kOptimizeCalls,
@@ -43,6 +52,10 @@ std::vector<const char*> AllMetricNames() {
       names::kViewsDropped,
       names::kViewsRetained,
       names::kLastPredictedBenefit,
+      names::kWhatIfCacheHits,
+      names::kWhatIfCacheMisses,
+      names::kWhatIfCacheEvictions,
+      names::kTunerTuneMs,
       names::kSimQueries,
       names::kSimReorgs,
       names::kSimTransferredBytes,

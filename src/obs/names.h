@@ -1,6 +1,7 @@
 #ifndef MISO_OBS_NAMES_H_
 #define MISO_OBS_NAMES_H_
 
+#include <string_view>
 #include <vector>
 
 namespace miso::obs {
@@ -43,6 +44,14 @@ inline constexpr char kViewsDropped[] = "miso.tuner.views_dropped_total";
 inline constexpr char kViewsRetained[] = "miso.tuner.views_retained_total";
 inline constexpr char kLastPredictedBenefit[] =
     "miso.tuner.last_predicted_benefit_s";
+inline constexpr char kWhatIfCacheHits[] =
+    "miso.tuner.whatif_cache_hits_total";
+inline constexpr char kWhatIfCacheMisses[] =
+    "miso.tuner.whatif_cache_misses_total";
+inline constexpr char kWhatIfCacheEvictions[] =
+    "miso.tuner.whatif_cache_evictions_total";
+// Runtime class — see docs/TELEMETRY.md and IsRuntimeClassMetric().
+inline constexpr char kTunerTuneMs[] = "miso.tuner.tune_ms";
 
 // --- simulator ---------------------------------------------------------
 inline constexpr char kSimQueries[] = "miso.sim.queries_total";
@@ -78,6 +87,18 @@ inline constexpr char kDirToHv[] = "to_hv";
 std::vector<double> SecondsBuckets();
 /// Counts: 1 2 4 8 16 32 64 128 256 512 1024 (+overflow).
 std::vector<double> CountBuckets();
+/// Milliseconds (wall-clock latencies): 1 5 10 50 100 500 1000 5000 10000
+/// 60000 (+overflow).
+std::vector<double> MillisBuckets();
+
+/// True for metrics of the *runtime* determinism class (docs/TELEMETRY.md):
+/// values that describe the execution machinery — wall-clock latencies and
+/// `miso.pool.*` — and therefore legitimately vary with thread count and
+/// machine load. Everything else is model-class: byte-identical across
+/// `MISO_THREADS` for a fixed workload (enforced by
+/// `trace_determinism_test`, which uses this predicate as its exclusion
+/// list).
+bool IsRuntimeClassMetric(std::string_view name);
 
 /// All declared metric names, including the labeled spellings of
 /// `miso.sim.moved_bytes_total`. Sorted lexicographically.

@@ -185,9 +185,17 @@ Result<MultistorePlan> MultistoreOptimizer::Optimize(
     if (obs::MetricsOn()) {
       obs::MetricsRegistry& registry = obs::Metrics();
       registry.GetCounter(obs::names::kOptimizeCalls)->Increment();
-      registry
-          .GetHistogram(obs::names::kChosenPlanSeconds, obs::SecondsBuckets())
-          ->Observe(best->cost.Total());
+      // Like the plan_choice trace line below, the histogram skips what-if
+      // probes: probes may execute on pool workers (the tuner's Prewarm
+      // fan-out), and a histogram's floating-point sum is only
+      // deterministic when observed serially. Counters commute, so
+      // optimize_calls/whatif_probes stay probe-inclusive.
+      if (t_whatif_depth == 0) {
+        registry
+            .GetHistogram(obs::names::kChosenPlanSeconds,
+                          obs::SecondsBuckets())
+            ->Observe(best->cost.Total());
+      }
     }
     if (obs::TraceOn() && t_whatif_depth == 0) {
       obs::TraceEvent event(obs::names::kEvPlanChoice);

@@ -1,0 +1,169 @@
+#include "optimizer/whatif_cache.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace miso::optimizer {
+
+namespace {
+
+uint64_t HashU64(uint64_t h, uint64_t v) { return HashCombine(h, v); }
+
+uint64_t HashDouble(uint64_t h, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return HashCombine(h, bits);
+}
+
+/// Everything about one view that a rewrite can expose to the cost model.
+uint64_t ViewFingerprint(const views::View& view) {
+  uint64_t h = kFnvOffsetBasis;
+  h = HashU64(h, view.signature);
+  h = HashU64(h, view.base_signature);
+  h = HashU64(h, HashBytes(view.predicate.CanonicalString()));
+  h = HashU64(h, static_cast<uint64_t>(view.size_bytes));
+  h = HashU64(h, static_cast<uint64_t>(view.stats.rows));
+  h = HashU64(h, static_cast<uint64_t>(view.stats.bytes));
+  return h;
+}
+
+}  // namespace
+
+QueryShape QueryShape::Of(const plan::Plan& query) {
+  QueryShape shape;
+  shape.signature = query.signature();
+  for (const plan::NodePtr& node : query.PostOrder()) {
+    shape.node_signatures.insert(node->signature());
+    if (node->kind() == plan::OpKind::kFilter && !node->children().empty()) {
+      shape.filter_base_signatures.insert(node->children()[0]->signature());
+    }
+  }
+  return shape;
+}
+
+bool QueryShape::Relevant(const views::View& view) const {
+  if (node_signatures.count(view.signature) > 0) return true;
+  return view.base_signature != 0 &&
+         filter_base_signatures.count(view.base_signature) > 0;
+}
+
+bool QueryShape::AnyRelevant(const std::vector<views::View>& set) const {
+  for (const views::View& view : set) {
+    if (Relevant(view)) return true;
+  }
+  return false;
+}
+
+std::size_t WhatIfKeyHash::operator()(const WhatIfKey& key) const {
+  uint64_t h = kFnvOffsetBasis;
+  h = HashU64(h, key.query_signature);
+  h = HashU64(h, key.dw_fingerprint);
+  h = HashU64(h, key.hv_fingerprint);
+  return static_cast<std::size_t>(h);
+}
+
+uint64_t WhatIfCache::Fingerprint(const QueryShape& shape,
+                                  const std::vector<views::View>& set) {
+  uint64_t h = kFnvOffsetBasis;
+  for (const views::View& view : set) {
+    if (!shape.Relevant(view)) continue;
+    h = HashCombineUnordered(h, ViewFingerprint(view));
+  }
+  return h;
+}
+
+uint64_t WhatIfCache::EmptyFingerprint() { return kFnvOffsetBasis; }
+
+uint64_t WhatIfCache::EpochOf(const hv::HvConfig& hv, const dw::DwConfig& dw,
+                              const transfer::TransferConfig& transfer) {
+  uint64_t h = kFnvOffsetBasis;
+  h = HashU64(h, static_cast<uint64_t>(hv.num_nodes));
+  h = HashDouble(h, hv.job_startup_s);
+  h = HashDouble(h, hv.job_min_work_s);
+  h = HashDouble(h, hv.raw_read_mbps);
+  h = HashDouble(h, hv.inter_read_mbps);
+  h = HashDouble(h, hv.shuffle_mbps);
+  h = HashDouble(h, hv.write_mbps);
+  h = HashDouble(h, hv.udf_cpu_mbps);
+  h = HashU64(h, static_cast<uint64_t>(dw.num_nodes));
+  h = HashDouble(h, dw.query_overhead_s);
+  h = HashDouble(h, dw.scan_mbps);
+  h = HashDouble(h, dw.op_mbps);
+  h = HashDouble(h, dw.temp_scan_mbps);
+  h = HashDouble(h, dw.index_floor);
+  h = HashDouble(h, transfer.dump_mbps);
+  h = HashDouble(h, transfer.network_mbps);
+  h = HashDouble(h, transfer.temp_load_mbps);
+  h = HashDouble(h, transfer.perm_load_mbps);
+  h = HashDouble(h, transfer.dw_export_mbps);
+  h = HashDouble(h, transfer.hdfs_write_mbps);
+  return h;
+}
+
+void WhatIfCache::SetEpoch(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  epoch_ = epoch;
+}
+
+uint64_t WhatIfCache::epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+std::optional<Seconds> WhatIfCache::Lookup(const WhatIfKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  if (it->second->epoch != epoch_) {
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++misses_;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return it->second->cost;
+}
+
+void WhatIfCache::Insert(const WhatIfKey& key, Seconds cost) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->cost = cost;
+    it->second->epoch = epoch_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, cost, epoch_});
+  index_.emplace(key, lru_.begin());
+  while (static_cast<Bytes>(lru_.size()) * kEntryBytes > max_bytes_ &&
+         lru_.size() > 1) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+WhatIfCache::Stats WhatIfCache::GetStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.entries = static_cast<int64_t>(lru_.size());
+  stats.bytes = static_cast<Bytes>(lru_.size()) * kEntryBytes;
+  return stats;
+}
+
+void WhatIfCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace miso::optimizer

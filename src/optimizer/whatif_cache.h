@@ -1,0 +1,159 @@
+#ifndef MISO_OPTIMIZER_WHATIF_CACHE_H_
+#define MISO_OPTIMIZER_WHATIF_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.h"
+#include "dw/dw_config.h"
+#include "hv/hv_config.h"
+#include "plan/plan.h"
+#include "transfer/transfer_model.h"
+#include "views/view.h"
+
+namespace miso::optimizer {
+
+/// The subset of a query plan's structure that determines which views the
+/// rewriter can ever splice into it: every original node's signature (the
+/// `FindExact` probes) and, for every Filter node, its child's signature
+/// (the `FindByBase` probes). Rewriting is top-down over original nodes
+/// only — spliced ViewScans are never re-probed — so a view outside both
+/// sets can never appear in any rewrite of the query, and therefore can
+/// never change its what-if cost.
+struct QueryShape {
+  uint64_t signature = 0;
+  std::unordered_set<uint64_t> node_signatures;
+  std::unordered_set<uint64_t> filter_base_signatures;
+
+  static QueryShape Of(const plan::Plan& query);
+
+  /// True when `view` could participate in some rewrite of this query.
+  /// Over-approximate (the predicate-implication check is skipped), which
+  /// is the safe direction: a relevant-looking view that the rewriter then
+  /// rejects only widens the cache key, never aliases distinct designs.
+  bool Relevant(const views::View& view) const;
+
+  /// True when any view in `set` is Relevant.
+  bool AnyRelevant(const std::vector<views::View>& set) const;
+};
+
+/// Cache key of one what-if probe: the query identity plus a fingerprint
+/// of the relevant view subset per store. Hypothetical catalogs that
+/// differ only in irrelevant views map to the same key.
+struct WhatIfKey {
+  uint64_t query_signature = 0;
+  uint64_t dw_fingerprint = 0;
+  uint64_t hv_fingerprint = 0;
+
+  bool operator==(const WhatIfKey& other) const {
+    return query_signature == other.query_signature &&
+           dw_fingerprint == other.dw_fingerprint &&
+           hv_fingerprint == other.hv_fingerprint;
+  }
+};
+
+struct WhatIfKeyHash {
+  std::size_t operator()(const WhatIfKey& key) const;
+};
+
+/// Byte-bounded LRU cache of what-if probe costs, persistent across
+/// reorganizations (the simulator owns one per run and shares it with
+/// every `Tune` call).
+///
+/// Entries are stamped with a cost-model epoch (`SetEpoch`, derived from
+/// every cost-model knob via `EpochOf`): changing any knob invalidates the
+/// whole cache wholesale — stale entries are dropped lazily on lookup.
+///
+/// Determinism: the cache is only mutated from serial tuner code (probe
+/// fan-out computes costs into private slots and inserts afterwards, in
+/// order — see BenefitAnalyzer::Prewarm), so hits/misses/evictions and the
+/// resident set are identical for every `MISO_THREADS`. The internal mutex
+/// merely makes concurrent *reads* by embedders safe; it is not what the
+/// determinism contract rests on.
+class WhatIfCache {
+ public:
+  /// Approximate resident cost of one entry (key + cost + LRU/index
+  /// bookkeeping), used for the byte bound. Exposed so tests can size
+  /// `max_bytes` to an exact entry capacity.
+  static constexpr Bytes kEntryBytes = 128;
+
+  static constexpr Bytes kDefaultMaxBytes = 64 * kMiB;
+
+  explicit WhatIfCache(Bytes max_bytes = kDefaultMaxBytes)
+      : max_bytes_(max_bytes) {}
+
+  WhatIfCache(const WhatIfCache&) = delete;
+  WhatIfCache& operator=(const WhatIfCache&) = delete;
+
+  /// Fingerprint of the views in `set` that are relevant to `shape`,
+  /// order-independent. Each relevant view contributes everything its
+  /// rewrite could expose to the cost model — signature, base signature,
+  /// predicate, size, and output stats — but *not* its id: ids are
+  /// assigned per materialization and never affect cost, and excluding
+  /// them is what lets a re-harvested view hit the entries its previous
+  /// incarnation warmed.
+  static uint64_t Fingerprint(const QueryShape& shape,
+                              const std::vector<views::View>& set);
+
+  /// Fingerprint of the empty view set (the base-cost probes).
+  static uint64_t EmptyFingerprint();
+
+  /// Epoch value covering every cost-model knob that can change a what-if
+  /// cost. Any difference in any field yields (modulo hashing) a different
+  /// epoch.
+  static uint64_t EpochOf(const hv::HvConfig& hv, const dw::DwConfig& dw,
+                          const transfer::TransferConfig& transfer);
+
+  /// Declares the current cost-model epoch. Entries stamped with a
+  /// different epoch are invalid and are dropped lazily on lookup.
+  void SetEpoch(uint64_t epoch);
+  uint64_t epoch() const;
+
+  /// Returns the cached cost and refreshes the entry's LRU position, or
+  /// nullopt (counting a miss) when absent or stale.
+  std::optional<Seconds> Lookup(const WhatIfKey& key);
+
+  /// Inserts (or overwrites) `key` at the current epoch, then evicts from
+  /// the LRU tail while over the byte bound. The newest entry is never
+  /// evicted, so a bound smaller than one entry degrades to capacity 1.
+  void Insert(const WhatIfKey& key, Seconds cost);
+
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    int64_t entries = 0;
+    Bytes bytes = 0;
+  };
+  Stats GetStats() const;
+
+  Bytes max_bytes() const { return max_bytes_; }
+
+  void Clear();
+
+ private:
+  struct Entry {
+    WhatIfKey key;
+    Seconds cost = 0;
+    uint64_t epoch = 0;
+  };
+
+  mutable std::mutex mutex_;
+  Bytes max_bytes_;
+  uint64_t epoch_ = 0;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<WhatIfKey, std::list<Entry>::iterator, WhatIfKeyHash>
+      index_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace miso::optimizer
+
+#endif  // MISO_OPTIMIZER_WHATIF_CACHE_H_

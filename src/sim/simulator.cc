@@ -154,6 +154,17 @@ Result<RunReport> MultistoreSimulator::Run(
   tuner::MisoTuner miso_tuner(&opt, tuner_config);
   tuner::LruTuner lru_tuner(tuner_config);
 
+  // The run-lifetime what-if cache: this is what lets reorg k+1 reuse the
+  // probes of reorg k. The epoch covers every cost-model knob, so a
+  // config change between runs can never leak stale costs (each Run owns
+  // a fresh cache anyway; the epoch guards embedders who share one).
+  optimizer::WhatIfCache whatif_cache(cfg.whatif_cache_bytes);
+  if (cfg.whatif_cache) {
+    whatif_cache.SetEpoch(
+        optimizer::WhatIfCache::EpochOf(cfg.hv, cfg.dw, cfg.transfer));
+    miso_tuner.set_whatif_cache(&whatif_cache);
+  }
+
   RunReport report;
   report.variant = cfg.variant;
   report.variant_name = std::string(SystemVariantToString(cfg.variant));

@@ -1,12 +1,14 @@
 #ifndef MISO_TUNER_BENEFIT_H_
 #define MISO_TUNER_BENEFIT_H_
 
-#include <map>
-#include <string>
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "optimizer/multistore_optimizer.h"
+#include "optimizer/whatif_cache.h"
 #include "views/view.h"
 
 namespace miso::tuner {
@@ -24,11 +26,28 @@ enum class Placement { kBothStores, kDwOnly, kHvOnly };
 /// Benefits are measured against the *empty* design: the tuner repacks
 /// both stores from scratch each reorganization, so each candidate's value
 /// is what it saves relative to having no views at all.
+///
+/// Probe economy. Three layers avoid optimizer calls, in order:
+///   1. a relevance fast path — a query that no view of the set could
+///      ever rewrite (QueryShape::Relevant) has benefit 0 by construction,
+///      with no probe and no cache access at all;
+///   2. the optional shared `optimizer::WhatIfCache`, keyed by (query
+///      signature, relevant-subset fingerprints, placement), which
+///      persists across analyzers and hence across reorganizations;
+///   3. a per-window memo of whole benefit rows under a hashed set key.
+/// All three are exact: enabling or disabling the cache (or `Prewarm`)
+/// never changes a returned benefit, only how much work it costs.
+///
+/// Threading: every public method must be called from the single tuner
+/// thread. `Prewarm` is the only entry point that fans out — it computes
+/// missing probe costs into private slots over a `ThreadPool` and then
+/// memoizes serially, in deterministic order, so results *and* cache
+/// hit/miss/eviction counts are identical for every `MISO_THREADS`.
 class BenefitAnalyzer {
  public:
   BenefitAnalyzer(const optimizer::MultistoreOptimizer* opt, int epoch_len,
-                  double decay)
-      : optimizer_(opt), epoch_len_(epoch_len), decay_(decay) {}
+                  double decay, optimizer::WhatIfCache* cache = nullptr)
+      : optimizer_(opt), epoch_len_(epoch_len), decay_(decay), cache_(cache) {}
 
   /// Sets the workload window, ordered oldest -> newest, and precomputes
   /// per-query base costs (empty design).
@@ -51,16 +70,62 @@ class BenefitAnalyzer {
   Result<double> PredictedBenefit(const std::vector<views::View>& set,
                                   Placement placement);
 
+  /// Runs every optimizer probe that `PerQueryBenefit(sets[i], placement)`
+  /// would need, fanning the missing ones over `pool` (`nullptr` or a
+  /// single worker = the serial legacy path). Keys are collected, deduped,
+  /// and re-inserted serially in deterministic order; only the pure
+  /// optimizer calls run on workers. Afterwards the listed PerQueryBenefit
+  /// calls are pure memo hits.
+  Status Prewarm(ThreadPool* pool,
+                 const std::vector<std::vector<views::View>>& sets,
+                 Placement placement);
+
  private:
-  std::string CacheKey(const std::vector<views::View>& set,
-                       Placement placement) const;
+  /// Hashed memo key for one (set, placement): FNV over the sorted member
+  /// ids. Ids are unique within a tuning pass, which is exactly the memo's
+  /// lifetime (the cross-reorg layer is the id-free WhatIfCache).
+  struct SetKey {
+    uint64_t ids_hash = 0;
+    uint32_t count = 0;
+    uint32_t placement = 0;
+
+    bool operator==(const SetKey& other) const {
+      return ids_hash == other.ids_hash && count == other.count &&
+             placement == other.placement;
+    }
+  };
+  struct SetKeyHash {
+    std::size_t operator()(const SetKey& key) const;
+  };
+
+  static SetKey KeyOf(const std::vector<views::View>& set,
+                      Placement placement);
+
+  /// Cache key of the probe for window query `query_index` against `set`
+  /// at `placement` (fingerprints only the relevant subset per store).
+  optimizer::WhatIfKey ProbeKey(std::size_t query_index,
+                                const std::vector<views::View>& set,
+                                Placement placement) const;
+
+  /// One raw optimizer probe (no caching) of window query `query_index`
+  /// against the hypothetical catalogs implied by (set, placement).
+  Result<Seconds> Probe(std::size_t query_index,
+                        const std::vector<views::View>& set,
+                        Placement placement) const;
+
+  /// Computes one full benefit row serially, using the fast path and the
+  /// shared cache. Does not consult or fill the memo.
+  Result<std::vector<double>> ComputeRow(const std::vector<views::View>& set,
+                                         Placement placement);
 
   const optimizer::MultistoreOptimizer* optimizer_;
   int epoch_len_;
   double decay_;
+  optimizer::WhatIfCache* cache_;
   std::vector<plan::Plan> window_;
+  std::vector<optimizer::QueryShape> shapes_;
   std::vector<double> base_costs_;
-  std::map<std::string, std::vector<double>> cache_;
+  std::unordered_map<SetKey, std::vector<double>, SetKeyHash> memo_;
 };
 
 }  // namespace miso::tuner

@@ -9,43 +9,75 @@ namespace miso::tuner {
 
 Result<std::vector<Interaction>> ComputeInteractions(
     const std::vector<views::View>& candidates, BenefitAnalyzer* analyzer,
-    const InteractionConfig& config) {
+    const InteractionConfig& config, ThreadPool* pool) {
   const int n = static_cast<int>(candidates.size());
   std::vector<Interaction> interactions;
 
   // Per-candidate individual benefits (decayed totals and per-query).
+  // The probes behind all n rows fan out first; the rows below are then
+  // pure memo hits.
+  std::vector<std::vector<views::View>> single_sets;
+  single_sets.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    single_sets.push_back({candidates[static_cast<size_t>(i)]});
+  }
+  MISO_RETURN_IF_ERROR(
+      analyzer->Prewarm(pool, single_sets, Placement::kBothStores));
   std::vector<std::vector<double>> single(static_cast<size_t>(n));
   std::vector<double> single_total(static_cast<size_t>(n), 0.0);
+  const size_t window = static_cast<size_t>(analyzer->window_size());
+  // Hoisted per-candidate "benefited on query q" bitsets: the pair prune
+  // below is a word-wise AND instead of a scan over the whole window.
+  const size_t words = (window + 63) / 64;
+  std::vector<uint64_t> benefited(static_cast<size_t>(n) * words, 0);
   for (int i = 0; i < n; ++i) {
     MISO_ASSIGN_OR_RETURN(
         single[static_cast<size_t>(i)],
-        analyzer->PerQueryBenefit({candidates[static_cast<size_t>(i)]},
+        analyzer->PerQueryBenefit(single_sets[static_cast<size_t>(i)],
                                   Placement::kBothStores));
     for (size_t q = 0; q < single[static_cast<size_t>(i)].size(); ++q) {
       single_total[static_cast<size_t>(i)] +=
           analyzer->Weight(static_cast<int>(q)) *
           single[static_cast<size_t>(i)][q];
+      if (single[static_cast<size_t>(i)][q] > 0) {
+        benefited[static_cast<size_t>(i) * words + q / 64] |=
+            uint64_t{1} << (q % 64);
+      }
     }
   }
 
+  // Prune: a pair can only interact on queries where both matter. The
+  // surviving pairs are enumerated serially (deterministic i<j order) and
+  // their joint-benefit probes fan out in one batch.
+  auto common_query = [&](int i, int j) {
+    const uint64_t* bi = benefited.data() + static_cast<size_t>(i) * words;
+    const uint64_t* bj = benefited.data() + static_cast<size_t>(j) * words;
+    for (size_t w = 0; w < words; ++w) {
+      if ((bi[w] & bj[w]) != 0) return true;
+    }
+    return false;
+  };
+  std::vector<std::pair<int, int>> pairs;
+  std::vector<std::vector<views::View>> pair_sets;
   for (int i = 0; i < n; ++i) {
     for (int j = i + 1; j < n; ++j) {
-      // Prune: the pair can only interact on queries where both matter.
-      bool common = false;
-      for (size_t q = 0; q < single[static_cast<size_t>(i)].size(); ++q) {
-        if (single[static_cast<size_t>(i)][q] > 0 &&
-            single[static_cast<size_t>(j)][q] > 0) {
-          common = true;
-          break;
-        }
-      }
-      if (!common) continue;
+      if (!common_query(i, j)) continue;
+      pairs.emplace_back(i, j);
+      pair_sets.push_back({candidates[static_cast<size_t>(i)],
+                           candidates[static_cast<size_t>(j)]});
+    }
+  }
+  MISO_RETURN_IF_ERROR(
+      analyzer->Prewarm(pool, pair_sets, Placement::kBothStores));
 
+  // Serial in-order reduce over the memoized rows.
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    const int i = pairs[p].first;
+    const int j = pairs[p].second;
+    {
       MISO_ASSIGN_OR_RETURN(
           std::vector<double> joint,
-          analyzer->PerQueryBenefit({candidates[static_cast<size_t>(i)],
-                                     candidates[static_cast<size_t>(j)]},
-                                    Placement::kBothStores));
+          analyzer->PerQueryBenefit(pair_sets[p], Placement::kBothStores));
       Interaction interaction;
       interaction.a = i;
       interaction.b = j;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "tuner/benefit.h"
 #include "views/view.h"
 
@@ -39,11 +40,17 @@ struct InteractionConfig {
 
 /// Computes pairwise interactions between `candidates`, pruned to pairs
 /// where both views showed benefit for at least one common window query
-/// (other pairs cannot interact). Only significant interactions are
+/// (other pairs cannot interact — the prune is one AND over hoisted
+/// per-candidate query bitsets). Only significant interactions are
 /// returned.
+///
+/// The what-if probes behind the single and surviving-pair benefits fan
+/// out over `pool` via `BenefitAnalyzer::Prewarm` (nullptr = serial); the
+/// interaction math itself is a serial in-order reduce over memoized
+/// rows, so the result is bit-identical for any `MISO_THREADS`.
 Result<std::vector<Interaction>> ComputeInteractions(
     const std::vector<views::View>& candidates, BenefitAnalyzer* analyzer,
-    const InteractionConfig& config);
+    const InteractionConfig& config, ThreadPool* pool = nullptr);
 
 /// Partitions candidate indices into a stable partition: views within a
 /// part interact (transitively); views across parts do not. Singleton

@@ -1,6 +1,7 @@
 #include "tuner/miso_tuner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 #include "common/logging.h"
@@ -25,22 +26,32 @@ bool Chosen(const std::set<views::ViewId>& chosen, views::ViewId id) {
 Result<ReorgPlan> MisoTuner::Tune(const views::ViewCatalog& hv,
                                   const views::ViewCatalog& dw,
                                   const std::vector<plan::Plan>& window) const {
-  // Candidate pool V = Vh ∪ Vd (disjoint by invariant).
+  const std::chrono::steady_clock::time_point tune_start =
+      std::chrono::steady_clock::now();
+  const optimizer::WhatIfCache::Stats cache_before =
+      cache_ != nullptr ? cache_->GetStats() : optimizer::WhatIfCache::Stats{};
+
+  // Candidate pool V = Vh ∪ Vd (disjoint by invariant). Each catalog is
+  // copied out exactly once; the membership sets are sliced from the
+  // single `candidates` vector (the first `hv_count` entries came from
+  // HV, the rest from DW).
   std::vector<views::View> candidates = hv.AllViews();
+  const size_t hv_count = candidates.size();
   {
     std::vector<views::View> dw_views = dw.AllViews();
     candidates.insert(candidates.end(), dw_views.begin(), dw_views.end());
   }
   std::set<views::ViewId> in_hv;
-  for (const views::View& v : hv.AllViews()) in_hv.insert(v.id);
   std::set<views::ViewId> in_dw;
-  for (const views::View& v : dw.AllViews()) in_dw.insert(v.id);
+  for (size_t k = 0; k < candidates.size(); ++k) {
+    (k < hv_count ? in_hv : in_dw).insert(candidates[k].id);
+  }
 
   ReorgPlan plan;
   if (candidates.empty()) return plan;
 
   BenefitAnalyzer analyzer(optimizer_, config_.epoch_length,
-                           config_.benefit_decay);
+                           config_.benefit_decay, cache_);
   MISO_RETURN_IF_ERROR(analyzer.SetWindow(window));
 
   // Interaction handling -> independent candidate items.
@@ -49,7 +60,8 @@ Result<ReorgPlan> MisoTuner::Tune(const views::ViewCatalog& hv,
   if (config_.handle_interactions) {
     MISO_ASSIGN_OR_RETURN(
         std::vector<Interaction> interactions,
-        ComputeInteractions(candidates, &analyzer, config_.interaction));
+        ComputeInteractions(candidates, &analyzer, config_.interaction,
+                            optimizer_->thread_pool()));
     significant_interactions = static_cast<int64_t>(interactions.size());
     const std::vector<std::vector<int>> parts =
         StablePartition(static_cast<int>(candidates.size()), interactions);
@@ -225,6 +237,28 @@ Result<ReorgPlan> MisoTuner::Tune(const views::ViewCatalog& hv,
                                    plan.drop_from_dw.size()));
     registry.GetGauge(obs::names::kLastPredictedBenefit)
         ->Set(predicted_benefit_s);
+    if (cache_ != nullptr) {
+      // Per-Tune deltas of the shared cache's lifetime stats. All cache
+      // accesses happen on this (serial) thread — Prewarm only fans out
+      // the pure optimizer probes — so these deltas are model-class:
+      // identical for every MISO_THREADS.
+      const optimizer::WhatIfCache::Stats cache_after = cache_->GetStats();
+      registry.GetCounter(obs::names::kWhatIfCacheHits)
+          ->Add(cache_after.hits - cache_before.hits);
+      registry.GetCounter(obs::names::kWhatIfCacheMisses)
+          ->Add(cache_after.misses - cache_before.misses);
+      registry.GetCounter(obs::names::kWhatIfCacheEvictions)
+          ->Add(cache_after.evictions - cache_before.evictions);
+    }
+    // Wall-clock tuning latency: runtime-class by nature (it varies with
+    // machine load and thread count) and therefore excluded from the
+    // cross-thread-count determinism contract, like miso.pool.*.
+    const double tune_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - tune_start)
+            .count();
+    registry.GetHistogram(obs::names::kTunerTuneMs, obs::MillisBuckets())
+        ->Observe(tune_ms);
   }
   if (obs::TraceOn() || obs::MetricsOn()) {
     const std::set<views::ViewId> dropped_hv(plan.drop_from_hv.begin(),

@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "optimizer/multistore_optimizer.h"
+#include "optimizer/whatif_cache.h"
 #include "tuner/benefit.h"
 #include "tuner/interaction.h"
 #include "tuner/reorg_plan.h"
@@ -73,6 +74,16 @@ class MisoTuner {
 
   const MisoTunerConfig& config() const { return config_; }
 
+  /// Installs (or clears, with nullptr) a shared what-if cost cache. The
+  /// cache is borrowed, not owned, and persists across Tune calls — that
+  /// persistence is the point: successive reorganizations share most of
+  /// their window and candidate pool, so a warm cache answers most probes
+  /// without touching the optimizer. The caller is responsible for
+  /// `SetEpoch` whenever any cost-model knob changes. Caching never
+  /// changes a Tune result, only its latency.
+  void set_whatif_cache(optimizer::WhatIfCache* cache) { cache_ = cache; }
+  optimizer::WhatIfCache* whatif_cache() const { return cache_; }
+
   /// Computes the reorganization for the given current designs and
   /// workload window (ordered oldest -> newest).
   Result<ReorgPlan> Tune(const views::ViewCatalog& hv,
@@ -82,6 +93,7 @@ class MisoTuner {
  private:
   const optimizer::MultistoreOptimizer* optimizer_;
   MisoTunerConfig config_;
+  optimizer::WhatIfCache* cache_ = nullptr;
 };
 
 }  // namespace miso::tuner

@@ -45,7 +45,11 @@ Result<NodePtr> Rewriter::TryStore(const NodePtr& node,
 
   // Subsumption: node is Filter(p_q, C); look for views Filter(p_v, C)
   // with p_q => p_v. Among applicable views prefer the smallest (fewest
-  // bytes to read and compensate).
+  // bytes to read and compensate); equal sizes tie-break on the content
+  // signature, never on id — the chosen rewrite (and hence the what-if
+  // cost) must be a pure function of view *content* so that the relevance
+  // fingerprint of optimizer/whatif_cache.h, which deliberately excludes
+  // ids, can never alias two designs that would rewrite differently.
   if (node->kind() != OpKind::kFilter || node->children().empty()) {
     return NodePtr(nullptr);
   }
@@ -54,7 +58,9 @@ Result<NodePtr> Rewriter::TryStore(const NodePtr& node,
   std::optional<View> best;
   for (const View& candidate : catalog.FindByBase(base_sig)) {
     if (!query_pred.Implies(candidate.predicate)) continue;
-    if (!best.has_value() || candidate.size_bytes < best->size_bytes) {
+    if (!best.has_value() || candidate.size_bytes < best->size_bytes ||
+        (candidate.size_bytes == best->size_bytes &&
+         candidate.signature < best->signature)) {
       best = candidate;
     }
   }

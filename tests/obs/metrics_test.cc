@@ -17,7 +17,9 @@ TEST(MetricsGateTest, OffByDefaultAndScoped) {
   // Off unless the environment opted in (tools/check.sh --obs forces
   // MISO_METRICS=1 onto this very test).
   const bool initial = MetricsOn();
-  if (std::getenv("MISO_METRICS") == nullptr) EXPECT_FALSE(initial);
+  if (std::getenv("MISO_METRICS") == nullptr) {
+    EXPECT_FALSE(initial);
+  }
   {
     ScopedMetrics on(true);
     EXPECT_TRUE(MetricsOn());

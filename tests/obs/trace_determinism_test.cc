@@ -12,6 +12,7 @@
 
 #include "../test_util.h"
 #include "obs/metrics.h"
+#include "obs/names.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
 
@@ -20,11 +21,12 @@ namespace {
 
 using testing_util::PaperCatalog;
 
-/// Registry snapshot minus the miso.pool.* runtime rows.
+/// Registry snapshot minus the runtime-class rows (miso.pool.*, wall-clock
+/// latencies) — the declared exclusion list lives in obs/names.
 std::string ModelMetricsString() {
   std::stringstream out;
   for (const MetricRow& row : Metrics().Snapshot().rows) {
-    if (row.name.rfind("miso.pool.", 0) == 0) continue;
+    if (IsRuntimeClassMetric(row.name)) continue;
     std::stringstream one;
     MetricsSnapshot single;
     single.rows.push_back(row);

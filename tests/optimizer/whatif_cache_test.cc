@@ -1,0 +1,223 @@
+#include "optimizer/whatif_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "../test_util.h"
+#include "dw/dw_cost_model.h"
+#include "hv/hv_cost_model.h"
+#include "optimizer/multistore_optimizer.h"
+#include "plan/node_factory.h"
+#include "transfer/transfer_model.h"
+#include "tuner/benefit.h"
+#include "views/view.h"
+
+namespace miso::optimizer {
+namespace {
+
+using plan::NodePtr;
+using plan::OpKind;
+using testing_util::PaperCatalog;
+using views::View;
+
+class WhatIfCacheTest : public ::testing::Test {
+ protected:
+  WhatIfCacheTest()
+      : factory_(&PaperCatalog()),
+        hv_model_(hv::HvConfig{}),
+        dw_model_(dw::DwConfig{}),
+        transfer_model_(transfer::TransferConfig{}),
+        optimizer_(&factory_, &hv_model_, &dw_model_, &transfer_model_) {}
+
+  plan::Plan Query(const std::string& name, const std::string& topic) {
+    return *testing_util::MakeAnalystPlan(&PaperCatalog(), name, topic, 0.1,
+                                          /*udf_dw_compatible=*/true);
+  }
+
+  static View ViewOf(const plan::Plan& p, OpKind kind, views::ViewId id) {
+    for (const NodePtr& node : p.PostOrder()) {
+      if (node->kind() == kind) {
+        View v = views::ViewFromNode(*node);
+        v.id = id;
+        return v;
+      }
+    }
+    return View{};
+  }
+
+  static WhatIfKey Key(uint64_t q, uint64_t dw, uint64_t hv) {
+    WhatIfKey key;
+    key.query_signature = q;
+    key.dw_fingerprint = dw;
+    key.hv_fingerprint = hv;
+    return key;
+  }
+
+  plan::NodeFactory factory_;
+  hv::HvCostModel hv_model_;
+  dw::DwCostModel dw_model_;
+  transfer::TransferModel transfer_model_;
+  MultistoreOptimizer optimizer_;
+};
+
+TEST_F(WhatIfCacheTest, FingerprintIgnoresIdsAndIrrelevantViews) {
+  plan::Plan q = Query("q", "c%");
+  plan::Plan other = Query("other", "zzz%");
+  const QueryShape shape = QueryShape::Of(q);
+
+  View relevant = ViewOf(q, OpKind::kUdf, 1);
+  View irrelevant = ViewOf(other, OpKind::kUdf, 2);
+  ASSERT_TRUE(shape.Relevant(relevant));
+  ASSERT_FALSE(shape.Relevant(irrelevant));
+
+  const uint64_t base = WhatIfCache::Fingerprint(shape, {relevant});
+
+  // Ids are materialization accidents, never cost inputs: a re-harvested
+  // copy of the same view must land on the same fingerprint.
+  View renumbered = relevant;
+  renumbered.id = 999;
+  EXPECT_EQ(WhatIfCache::Fingerprint(shape, {renumbered}), base);
+
+  // Views the rewriter can never splice into q don't widen the key.
+  EXPECT_EQ(WhatIfCache::Fingerprint(shape, {relevant, irrelevant}), base);
+  EXPECT_EQ(WhatIfCache::Fingerprint(shape, {irrelevant}),
+            WhatIfCache::EmptyFingerprint());
+
+  // Anything the cost model can see (here: materialized size) must change
+  // the fingerprint.
+  View resized = relevant;
+  resized.size_bytes += 1;
+  EXPECT_NE(WhatIfCache::Fingerprint(shape, {resized}), base);
+
+  // Order independence: the fingerprint hashes an unordered set.
+  View joined = ViewOf(q, OpKind::kJoin, 3);
+  ASSERT_TRUE(shape.Relevant(joined));
+  EXPECT_EQ(WhatIfCache::Fingerprint(shape, {relevant, joined}),
+            WhatIfCache::Fingerprint(shape, {joined, relevant}));
+}
+
+TEST_F(WhatIfCacheTest, LookupReturnsBitIdenticalCost) {
+  WhatIfCache cache;
+  cache.SetEpoch(1);
+  // A cost with a non-trivial mantissa: the cache must hand back the exact
+  // stored double, not a reformatted approximation.
+  const Seconds cost = 12345.6789012345678;
+  cache.Insert(Key(1, 2, 3), cost);
+  auto hit = cache.Lookup(Key(1, 2, 3));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(std::memcmp(&*hit, &cost, sizeof(Seconds)), 0);
+
+  const WhatIfCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 0);
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_EQ(stats.bytes, WhatIfCache::kEntryBytes);
+}
+
+TEST_F(WhatIfCacheTest, EpochChangeInvalidatesWholesale) {
+  const hv::HvConfig hv;
+  const dw::DwConfig dw;
+  const transfer::TransferConfig transfer;
+
+  WhatIfCache cache;
+  cache.SetEpoch(WhatIfCache::EpochOf(hv, dw, transfer));
+  cache.Insert(Key(1, 2, 3), 10.0);
+  ASSERT_TRUE(cache.Lookup(Key(1, 2, 3)).has_value());
+
+  // Any cost-model knob change yields a different epoch...
+  dw::DwConfig faster_dw = dw;
+  faster_dw.scan_mbps *= 2;
+  const uint64_t new_epoch = WhatIfCache::EpochOf(hv, faster_dw, transfer);
+  EXPECT_NE(new_epoch, cache.epoch());
+
+  // ...and entries stamped under the old epoch stop answering.
+  cache.SetEpoch(new_epoch);
+  EXPECT_FALSE(cache.Lookup(Key(1, 2, 3)).has_value());
+  EXPECT_EQ(cache.GetStats().entries, 0) << "stale entry dropped on lookup";
+
+  // Restoring the exact same config restores the exact same epoch (but the
+  // entry is already gone — invalidation is not undoable).
+  EXPECT_EQ(WhatIfCache::EpochOf(hv, dw, transfer),
+            WhatIfCache::EpochOf(hv, dw, transfer));
+}
+
+TEST_F(WhatIfCacheTest, LruEvictsAtByteBound) {
+  WhatIfCache cache(/*max_bytes=*/2 * WhatIfCache::kEntryBytes);
+  cache.SetEpoch(1);
+  cache.Insert(Key(1, 0, 0), 1.0);
+  cache.Insert(Key(2, 0, 0), 2.0);
+  EXPECT_EQ(cache.GetStats().evictions, 0);
+
+  // Touch key 1 so key 2 becomes the LRU tail.
+  ASSERT_TRUE(cache.Lookup(Key(1, 0, 0)).has_value());
+
+  cache.Insert(Key(3, 0, 0), 3.0);
+  const WhatIfCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.entries, 2);
+  EXPECT_LE(stats.bytes, cache.max_bytes());
+  EXPECT_TRUE(cache.Lookup(Key(1, 0, 0)).has_value()) << "recently touched";
+  EXPECT_TRUE(cache.Lookup(Key(3, 0, 0)).has_value()) << "newest";
+  EXPECT_FALSE(cache.Lookup(Key(2, 0, 0)).has_value()) << "LRU tail evicted";
+
+  // Overwriting an existing key is an update, not an insert + eviction.
+  cache.Insert(Key(3, 0, 0), 30.0);
+  EXPECT_EQ(cache.GetStats().evictions, 1);
+  EXPECT_EQ(*cache.Lookup(Key(3, 0, 0)), 30.0);
+}
+
+TEST_F(WhatIfCacheTest, WarmProbeIsByteIdenticalToColdProbe) {
+  plan::Plan q1 = Query("q1", "c%");
+  plan::Plan q2 = Query("q2", "e%");
+  const std::vector<plan::Plan> window = {q1, q2, q1};
+  const std::vector<View> set = {ViewOf(q1, OpKind::kUdf, 1),
+                                 ViewOf(q2, OpKind::kJoin, 2)};
+
+  // Reference: no cache anywhere (the legacy probe path).
+  tuner::BenefitAnalyzer uncached(&optimizer_, 3, 0.6);
+  ASSERT_TRUE(uncached.SetWindow(window).ok());
+  auto reference = uncached.PerQueryBenefit(set, tuner::Placement::kBothStores);
+  ASSERT_TRUE(reference.ok());
+
+  WhatIfCache cache;
+  cache.SetEpoch(WhatIfCache::EpochOf(hv::HvConfig{}, dw::DwConfig{},
+                                      transfer::TransferConfig{}));
+
+  // Cold pass fills the cache; a fresh analyzer sharing the cache (its
+  // private memo empty, as after a reorg) must answer purely from cache
+  // hits with bit-identical benefits.
+  tuner::BenefitAnalyzer cold(&optimizer_, 3, 0.6, &cache);
+  ASSERT_TRUE(cold.SetWindow(window).ok());
+  auto cold_benefits = cold.PerQueryBenefit(set, tuner::Placement::kBothStores);
+  ASSERT_TRUE(cold_benefits.ok());
+  const WhatIfCache::Stats after_cold = cache.GetStats();
+  EXPECT_GT(after_cold.misses, 0);
+
+  tuner::BenefitAnalyzer warm(&optimizer_, 3, 0.6, &cache);
+  ASSERT_TRUE(warm.SetWindow(window).ok());
+  auto warm_benefits = warm.PerQueryBenefit(set, tuner::Placement::kBothStores);
+  ASSERT_TRUE(warm_benefits.ok());
+  const WhatIfCache::Stats warm_stats = cache.GetStats();
+  EXPECT_GT(warm_stats.hits, after_cold.hits);
+  EXPECT_EQ(warm_stats.misses, after_cold.misses)
+      << "warm pass must not reach the optimizer";
+
+  ASSERT_EQ(reference->size(), window.size());
+  ASSERT_EQ(cold_benefits->size(), window.size());
+  ASSERT_EQ(warm_benefits->size(), window.size());
+  for (size_t i = 0; i < window.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&(*reference)[i], &(*cold_benefits)[i],
+                          sizeof(double)),
+              0)
+        << "query " << i;
+    EXPECT_EQ(std::memcmp(&(*reference)[i], &(*warm_benefits)[i],
+                          sizeof(double)),
+              0)
+        << "query " << i;
+  }
+}
+
+}  // namespace
+}  // namespace miso::optimizer

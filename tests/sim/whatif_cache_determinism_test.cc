@@ -1,0 +1,102 @@
+// The what-if cache contract (docs/DESIGN.md §11): caching is exact. A
+// full simulated run — every per-query record, the TTI summary, the
+// resource ticks, and the decision trace — is byte-identical with the
+// cache on or off, and, cache-warm, across MISO_THREADS in {1, 2, 8}.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "../test_util.h"
+#include "obs/trace.h"
+#include "sim/report_io.h"
+#include "sim/simulator.h"
+
+namespace miso::sim {
+namespace {
+
+using testing_util::PaperCatalog;
+
+struct TracedReport {
+  RunReport report;
+  std::vector<std::string> trace;
+};
+
+/// One paper-workload run with the decision trace captured, `threads`
+/// resolved through MISO_THREADS (the knob the contract is stated in).
+TracedReport TracedRun(const SimConfig& base, int threads) {
+  obs::Trace().Drain();
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%d", threads);
+  setenv("MISO_THREADS", buf, /*overwrite=*/1);
+  SimConfig config = base;
+  config.threads = 0;  // resolve through MISO_THREADS
+  config.trace = true;
+  auto report = RunPaperWorkload(&PaperCatalog(), config, /*seed=*/42);
+  unsetenv("MISO_THREADS");
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return {std::move(report).value(), obs::Trace().Drain()};
+}
+
+void ExpectByteIdentical(const RunReport& a, const RunReport& b) {
+  EXPECT_EQ(QueriesToCsv(a), QueriesToCsv(b));
+  EXPECT_EQ(SummaryToCsv(a, /*with_header=*/false),
+            SummaryToCsv(b, /*with_header=*/false));
+  EXPECT_EQ(TicksToCsv(a), TicksToCsv(b));
+  EXPECT_EQ(a.Tti(), b.Tti());
+}
+
+TEST(WhatIfCacheDeterminismTest, CacheOnAndOffAreByteIdentical) {
+  SimConfig config;
+  config.variant = SystemVariant::kMsMiso;
+
+  SimConfig cached = config;
+  cached.whatif_cache = true;
+  SimConfig uncached = config;
+  uncached.whatif_cache = false;
+
+  const TracedReport with_cache = TracedRun(cached, /*threads=*/1);
+  const TracedReport without_cache = TracedRun(uncached, /*threads=*/1);
+  ASSERT_FALSE(with_cache.trace.empty());
+  ExpectByteIdentical(with_cache.report, without_cache.report);
+  EXPECT_EQ(with_cache.trace, without_cache.trace);
+}
+
+TEST(WhatIfCacheDeterminismTest,
+     CachedRunIsByteIdenticalAcrossThreadCounts) {
+  SimConfig config;
+  config.variant = SystemVariant::kMsMiso;
+  config.whatif_cache = true;
+
+  const TracedReport one = TracedRun(config, 1);
+  ASSERT_FALSE(one.trace.empty());
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE("MISO_THREADS=" + std::to_string(threads));
+    const TracedReport many = TracedRun(config, threads);
+    ExpectByteIdentical(one.report, many.report);
+    EXPECT_EQ(one.trace, many.trace);
+  }
+}
+
+TEST(WhatIfCacheDeterminismTest, TinyCacheStillExact) {
+  // A byte bound of two entries forces constant eviction; the cache then
+  // behaves as an always-cold cache, which must still be invisible in the
+  // outputs.
+  SimConfig config;
+  config.variant = SystemVariant::kMsMiso;
+  config.whatif_cache = true;
+  config.whatif_cache_bytes = 2 * optimizer::WhatIfCache::kEntryBytes;
+
+  SimConfig unbounded = config;
+  unbounded.whatif_cache_bytes = optimizer::WhatIfCache::kDefaultMaxBytes;
+
+  const TracedReport tiny = TracedRun(config, /*threads=*/2);
+  const TracedReport big = TracedRun(unbounded, /*threads=*/2);
+  ExpectByteIdentical(tiny.report, big.report);
+  EXPECT_EQ(tiny.trace, big.trace);
+}
+
+}  // namespace
+}  // namespace miso::sim

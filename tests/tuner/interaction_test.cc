@@ -72,6 +72,46 @@ TEST_F(InteractionTest, ViewsOfUnrelatedQueriesDoNotInteract) {
       << "no window query benefits from both views";
 }
 
+TEST_F(InteractionTest, PrunedPairsProduceNoInteraction) {
+  // Three candidates, two query topics: the UDF and join views of q1
+  // overlap each other, while q2's view shares no benefiting query with
+  // either. The bitset prune must drop both cross-topic pairs before any
+  // joint probe, so no interaction may ever mention candidate 2 — and the
+  // surviving pair must be found whether the pair probes run serially or
+  // fanned out over a pool.
+  auto q1 = *testing_util::MakeAnalystPlan(&PaperCatalog(), "q1", "c%", 0.1,
+                                           true);
+  auto q2 = *testing_util::MakeAnalystPlan(&PaperCatalog(), "q2", "z%", 0.1,
+                                           true);
+  std::vector<View> candidates = {ViewOf(q1, OpKind::kUdf, 1),
+                                  ViewOf(q1, OpKind::kJoin, 2),
+                                  ViewOf(q2, OpKind::kUdf, 3)};
+  auto run = [&](ThreadPool* pool) {
+    BenefitAnalyzer analyzer(&optimizer_, 3, 0.6);
+    EXPECT_TRUE(analyzer.SetWindow({q1, q2}).ok());
+    return ComputeInteractions(candidates, &analyzer, InteractionConfig{},
+                               pool);
+  };
+
+  auto serial = run(nullptr);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_EQ(serial->size(), 1u);
+  EXPECT_EQ((*serial)[0].a, 0);
+  EXPECT_EQ((*serial)[0].b, 1);
+  for (const Interaction& interaction : *serial) {
+    EXPECT_NE(interaction.a, 2);
+    EXPECT_NE(interaction.b, 2);
+  }
+
+  ThreadPool pool(4);
+  auto parallel = run(&pool);
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(parallel->size(), serial->size());
+  EXPECT_EQ((*parallel)[0].a, (*serial)[0].a);
+  EXPECT_EQ((*parallel)[0].b, (*serial)[0].b);
+  EXPECT_EQ((*parallel)[0].magnitude, (*serial)[0].magnitude);
+}
+
 TEST(StablePartitionTest, UnionsTransitively) {
   std::vector<Interaction> interactions;
   Interaction i1;

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Snapshot the tuner/optimizer micro-benchmarks into one JSON document
+# (BENCH_tuner.json at the repo root by default) so the bench trajectory
+# is tracked in-tree: run this after perf-relevant changes and commit the
+# refreshed snapshot alongside them.
+#
+# The snapshot merges the google-benchmark JSON of bench_micro_tuner and
+# bench_micro_optimizer under {"tuner": ..., "optimizer": ...}. Context
+# blocks (host, CPU) are whatever machine ran the script — compare
+# *ratios* (e.g. BM_ReorgCadenceColdCache vs BM_ReorgCadenceWarmCache)
+# across snapshots, not absolute nanoseconds.
+#
+# Usage: tools/bench_snapshot.sh [--build-dir DIR] [--out FILE]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$ROOT/build"
+OUT="$ROOT/BENCH_tuner.json"
+
+while [ "$#" -gt 0 ]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --out) OUT="$2"; shift 2 ;;
+    -h|--help)
+      sed -n '2,13p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0 ;;
+    *) echo "bench_snapshot.sh: unknown option '$1'" >&2; exit 2 ;;
+  esac
+done
+
+TUNER_BIN="$BUILD_DIR/bench/bench_micro_tuner"
+OPT_BIN="$BUILD_DIR/bench/bench_micro_optimizer"
+for bin in "$TUNER_BIN" "$OPT_BIN"; do
+  if [ ! -x "$bin" ]; then
+    echo "bench_snapshot.sh: $bin not built (cmake --build $BUILD_DIR)" >&2
+    exit 1
+  fi
+done
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== bench_snapshot: running bench_micro_tuner"
+"$TUNER_BIN" --benchmark_out="$TMP/tuner.json" \
+             --benchmark_out_format=json >/dev/null
+echo "== bench_snapshot: running bench_micro_optimizer"
+"$OPT_BIN" --benchmark_out="$TMP/optimizer.json" \
+           --benchmark_out_format=json >/dev/null
+
+python3 - "$TMP/tuner.json" "$TMP/optimizer.json" "$OUT" <<'EOF'
+import json
+import sys
+
+tuner_path, optimizer_path, out_path = sys.argv[1:4]
+with open(tuner_path) as f:
+    tuner = json.load(f)
+with open(optimizer_path) as f:
+    optimizer = json.load(f)
+with open(out_path, "w") as f:
+    json.dump({"tuner": tuner, "optimizer": optimizer}, f, indent=2,
+              sort_keys=True)
+    f.write("\n")
+EOF
+
+echo "== bench_snapshot: wrote $OUT"

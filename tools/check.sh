@@ -25,8 +25,13 @@
 # completeness gate) — with MISO_METRICS=1 and MISO_TRACE=1 forced on,
 # so both telemetry gates are exercised in their enabled state.
 #
-# Usage: tools/check.sh [--tsan] [--obs] [--jobs N] [--build-dir DIR]
-#                       [--tidy-only]
+# With --perf the run is restricted to the `perf` ctest label — a smoke
+# pass over every bench binary, so the experiment harnesses can't bit-rot
+# — and afterwards prints the what-if cache hit-rate counters from one
+# short simulation (tools/debug_cache_stats).
+#
+# Usage: tools/check.sh [--tsan] [--obs] [--perf] [--jobs N]
+#                       [--build-dir DIR] [--tidy-only]
 #                       [--label L]   (restrict the test run to ctest -L L)
 set -euo pipefail
 
@@ -37,18 +42,20 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 TIDY_ONLY=0
 TSAN=0
 OBS=0
+PERF=0
 LABEL=""
 
 while [ "$#" -gt 0 ]; do
   case "$1" in
     --tsan) SANITIZE="thread"; TSAN=1; shift ;;
     --obs) OBS=1; LABEL="obs"; shift ;;
+    --perf) PERF=1; LABEL="perf"; shift ;;
     --jobs) JOBS="$2"; shift 2 ;;
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
     --label) LABEL="$2"; shift 2 ;;
     --tidy-only) TIDY_ONLY=1; shift ;;
     -h|--help)
-      sed -n '2,22p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,35p' "$0" | sed 's/^# \{0,1\}//'
       exit 0 ;;
     *) echo "check.sh: unknown option '$1'" >&2; exit 2 ;;
   esac
@@ -123,6 +130,22 @@ if [ "$OBS" -eq 1 ]; then
        "MISO_METRICS=1 MISO_TRACE=1"
 fi
 
+if [ "$PERF" -eq 1 ]; then
+  PERF_COUNT="$(ctest --test-dir "$BUILD_DIR" -L perf -N |
+                sed -n 's/^Total Tests: \([0-9]*\)$/\1/p')"
+  if [ -z "$PERF_COUNT" ] || [ "$PERF_COUNT" -eq 0 ]; then
+    echo "check.sh: the 'perf' ctest label is empty — the bench smoke gate" \
+         "would be vacuous" >&2
+    exit 1
+  fi
+  echo "== check.sh: perf gate smoke-runs $PERF_COUNT bench binaries"
+fi
+
 ctest "${CTEST_ARGS[@]}"
+
+if [ "$PERF" -eq 1 ]; then
+  echo "== check.sh: what-if cache hit rate over a short simulation"
+  "$BUILD_DIR/tools/debug_cache_stats"
+fi
 
 echo "== check.sh: all gates passed"

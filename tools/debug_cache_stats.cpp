@@ -1,0 +1,55 @@
+// Prints the what-if cache counters (hits / misses / evictions and the
+// derived hit rate) from one short MS-MISO paper-workload simulation.
+// Driven by `tools/check.sh --perf`; also useful standalone when sizing
+// `SimConfig::whatif_cache_bytes`.
+//
+// Usage: debug_cache_stats [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "relation/catalog.h"
+#include "sim/simulator.h"
+
+using namespace miso;
+
+int main(int argc, char** argv) {
+  Logger::SetThreshold(LogLevel::kWarning);
+  const uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  const relation::Catalog catalog = relation::MakePaperCatalog();
+  sim::SimConfig config;
+  config.variant = sim::SystemVariant::kMsMiso;
+  config.metrics = true;
+
+  obs::Metrics().Reset();
+  auto report = sim::RunPaperWorkload(&catalog, config, seed);
+  if (!report.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  int64_t hits = 0, misses = 0, evictions = 0;
+  for (const obs::MetricRow& row : obs::Metrics().Snapshot().rows) {
+    if (row.name == obs::names::kWhatIfCacheHits) hits = row.counter_value;
+    if (row.name == obs::names::kWhatIfCacheMisses) {
+      misses = row.counter_value;
+    }
+    if (row.name == obs::names::kWhatIfCacheEvictions) {
+      evictions = row.counter_value;
+    }
+  }
+  const double total = static_cast<double>(hits + misses);
+  std::printf("whatif_cache seed=%llu: hits=%lld misses=%lld evictions=%lld "
+              "hit_rate=%.3f (tti=%.0fs)\n",
+              static_cast<unsigned long long>(seed),
+              static_cast<long long>(hits), static_cast<long long>(misses),
+              static_cast<long long>(evictions),
+              total > 0 ? static_cast<double>(hits) / total : 0.0,
+              report->Tti());
+  return 0;
+}
