@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 namespace miso {
 
@@ -40,6 +41,38 @@ bool EnvFlag(const char* name, bool fallback) {
   if (std::strcmp(value, "0") == 0) return false;
   if (std::strcmp(value, "1") == 0) return true;
   DieBadEnv(name, value, "expected 0 or 1");
+}
+
+double EnvDouble(const char* name, double fallback, double min_value,
+                 double max_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (value[0] == '\0' || end == value || *end != '\0' || errno == ERANGE ||
+      !(parsed >= min_value) || !(parsed <= max_value)) {
+    char expected[80];
+    std::snprintf(expected, sizeof(expected),
+                  "expected a number in [%g, %g]", min_value, max_value);
+    DieBadEnv(name, value, expected);
+  }
+  return parsed;
+}
+
+int EnvChoice(const char* name, int fallback_index,
+              const char* const* choices, int num_choices) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback_index;
+  for (int i = 0; i < num_choices; ++i) {
+    if (std::strcmp(value, choices[i]) == 0) return i;
+  }
+  std::string expected = "expected one of ";
+  for (int i = 0; i < num_choices; ++i) {
+    if (i > 0) expected += '|';
+    expected += choices[i];
+  }
+  DieBadEnv(name, value, expected.c_str());
 }
 
 }  // namespace miso

@@ -22,6 +22,19 @@ int EnvInt(const char* name, int fallback, int min_value);
 /// value must be exactly "0" or "1"; anything else exits.
 bool EnvFlag(const char* name, bool fallback);
 
+/// Real-valued knob (e.g. `MISO_FAULT_RATE`). Returns `fallback` when
+/// `name` is unset. When set, the whole value must parse as a finite
+/// decimal number in [min_value, max_value]; anything else exits.
+double EnvDouble(const char* name, double fallback, double min_value,
+                 double max_value);
+
+/// Enumerated knob (e.g. `MISO_FAULT_PROFILE`). Returns `fallback_index`
+/// when `name` is unset. When set, the value must exactly equal one of the
+/// `num_choices` strings in `choices`; the matching index is returned,
+/// anything else exits with a diagnostic listing the accepted values.
+int EnvChoice(const char* name, int fallback_index,
+              const char* const* choices, int num_choices);
+
 }  // namespace miso
 
 #endif  // MISO_COMMON_ENV_H_

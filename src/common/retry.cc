@@ -1,0 +1,48 @@
+#include "common/retry.h"
+
+#include <algorithm>
+
+namespace miso {
+
+Seconds RetryPolicy::BackoffBefore(int attempt) const {
+  if (attempt <= 1) return 0;
+  Seconds backoff = initial_backoff_s;
+  for (int i = 2; i < attempt; ++i) backoff *= backoff_multiplier;
+  return std::min(backoff, max_backoff_s);
+}
+
+Seconds RetryPolicy::TotalBackoff(int attempts) const {
+  Seconds total = 0;
+  for (int a = 1; a <= attempts; ++a) total += BackoffBefore(a);
+  return total;
+}
+
+const char* RecoveryPolicyName(RecoveryPolicy policy) {
+  switch (policy) {
+    case RecoveryPolicy::kResume:
+      return "resume";
+    case RecoveryPolicy::kRollback:
+      return "rollback";
+  }
+  return "?";
+}
+
+RetryStats RunWithRetry(const RetryPolicy& policy,
+                        const std::function<bool(int, Seconds*)>& attempt) {
+  RetryStats stats;
+  const int max_attempts = std::max(1, policy.max_attempts);
+  for (int a = 1; a <= max_attempts; ++a) {
+    stats.backoff_s += policy.BackoffBefore(a);
+    stats.attempts = a;
+    Seconds charged = 0;
+    if (attempt(a, &charged)) {
+      stats.success_s = charged;
+      return stats;
+    }
+    stats.wasted_s += charged;
+  }
+  stats.exhausted = true;
+  return stats;
+}
+
+}  // namespace miso

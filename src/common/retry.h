@@ -1,0 +1,76 @@
+#ifndef MISO_COMMON_RETRY_H_
+#define MISO_COMMON_RETRY_H_
+
+#include <functional>
+
+#include "common/units.h"
+
+namespace miso {
+
+/// Configurable retry/backoff policy for fallible simulated operations
+/// (HV MapReduce jobs, inter-store transfers, DW loads). Backoff is
+/// *simulated* time: every retry attempt and every backoff interval is
+/// charged into the run clock and the five-part cost anatomy, so a chaos
+/// run's TTI honestly reflects its failures.
+struct RetryPolicy {
+  /// Total attempts, including the first one. 1 = no retries.
+  int max_attempts = 3;
+
+  /// Backoff slept before attempt 2 (simulated seconds).
+  Seconds initial_backoff_s = 2.0;
+
+  /// Exponential growth factor applied per further retry.
+  double backoff_multiplier = 2.0;
+
+  /// Upper clamp on a single backoff interval.
+  Seconds max_backoff_s = 60.0;
+
+  /// Backoff charged before attempt `attempt` (1-based): 0 for the first
+  /// attempt, then initial * multiplier^(attempt - 2), clamped.
+  Seconds BackoffBefore(int attempt) const;
+
+  /// Σ BackoffBefore(a) for a in [1, attempts].
+  Seconds TotalBackoff(int attempts) const;
+};
+
+/// Crash-recovery policy for journaled multi-step operations (the tuner's
+/// reorganization journal): a crashed operation either rolls its applied
+/// steps back (the design reverts to the pre-operation state) or resumes
+/// and completes the remaining steps. Both paths are idempotent.
+enum class RecoveryPolicy {
+  kResume = 0,
+  kRollback = 1,
+};
+
+const char* RecoveryPolicyName(RecoveryPolicy policy);
+
+/// Outcome of one retried operation.
+struct RetryStats {
+  /// Attempts actually made (>= 1 whenever the operation ran).
+  int attempts = 0;
+  /// Simulated seconds charged by failed attempts (partial work that was
+  /// thrown away).
+  Seconds wasted_s = 0;
+  /// Simulated seconds spent backing off between attempts.
+  Seconds backoff_s = 0;
+  /// Seconds charged by the successful attempt (0 when exhausted).
+  Seconds success_s = 0;
+  /// True when every attempt failed (the operation did not complete).
+  bool exhausted = false;
+
+  int retries() const { return attempts > 0 ? attempts - 1 : 0; }
+  /// Everything charged to the simulated clock.
+  Seconds TotalCharged() const { return wasted_s + backoff_s + success_s; }
+};
+
+/// Drives `attempt` under `policy`. The callback receives the 1-based
+/// attempt number, writes the simulated seconds that attempt charged
+/// (partial work on failure, full work on success), and returns whether
+/// the attempt succeeded. Deterministic: the loop adds no randomness of
+/// its own — any stochastic failure decision lives in the callback.
+RetryStats RunWithRetry(const RetryPolicy& policy,
+                        const std::function<bool(int, Seconds*)>& attempt);
+
+}  // namespace miso
+
+#endif  // MISO_COMMON_RETRY_H_

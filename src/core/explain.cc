@@ -10,6 +10,7 @@
 #include "optimizer/multistore_optimizer.h"
 #include "plan/node_factory.h"
 #include "transfer/transfer_model.h"
+#include "verify/design_verifier.h"
 #include "verify/error_codes.h"
 #include "verify/plan_verifier.h"
 
@@ -193,6 +194,17 @@ Result<ExplainReport> ExplainQuery(const relation::Catalog& catalog,
     report.verdicts.push_back(MakeVerdict(
         "multistore_plan",
         verify::VerifyMultistorePlan(report.plan, options)));
+    // Design-level invariants of the catalogs the plan was optimized
+    // against: budgets respected, Vh ∩ Vd = ∅, byte accounting intact.
+    // This is how a corrupted design surfaces in EXPLAIN VERIFY (e.g.
+    // V203 for a view placed in both stores).
+    verify::DesignBudgets budgets;
+    budgets.hv_storage = config.hv_storage_budget;
+    budgets.dw_storage = config.dw_storage_budget;
+    budgets.transfer = config.transfer_budget;
+    report.verdicts.push_back(MakeVerdict(
+        "design_budgets",
+        verify::VerifyDesign(hv_views, dw_views, budgets)));
   }
 
   if (obs::TraceOn()) {

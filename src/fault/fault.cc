@@ -1,0 +1,163 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/env.h"
+
+namespace miso::fault {
+
+namespace {
+
+/// SplitMix64 finalizer: avalanche-quality mixing so nearby entity ids
+/// and attempt numbers decorrelate fully.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashKey(uint64_t seed, FaultSite site, uint64_t entity,
+                 uint64_t attempt) {
+  uint64_t h = Mix64(seed ^ 0x6d69736f5f666c74ULL);  // "miso_flt"
+  h = Mix64(h ^ (static_cast<uint64_t>(site) + 1));
+  h = Mix64(h ^ entity);
+  h = Mix64(h ^ attempt);
+  return h;
+}
+
+/// Maps a hash to a uniform double in [0, 1) using the top 53 bits.
+double ToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+FaultProfile ProfileFromEnv() {
+  static const char* const kNames[] = {"off", "transient", "outage", "chaos"};
+  const int idx = EnvChoice("MISO_FAULT_PROFILE", /*fallback_index=*/0,
+                            kNames, 4);
+  return static_cast<FaultProfile>(idx);
+}
+
+}  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kHvJob:
+      return "hv_job";
+    case FaultSite::kTransfer:
+      return "transfer";
+    case FaultSite::kDwLoad:
+      return "dw_load";
+    case FaultSite::kReorg:
+      return "reorg";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::Resolve(const FaultSpec& spec, int num_queries) {
+  FaultPlan plan;
+  plan.profile = spec.profile == FaultProfile::kEnv ? ProfileFromEnv()
+                                                    : spec.profile;
+  plan.retry = spec.retry;
+  plan.recovery = spec.recovery;
+  const int64_t seed =
+      spec.seed >= 0
+          ? spec.seed
+          : EnvInt("MISO_FAULT_SEED", /*fallback=*/1, /*min_value=*/0);
+  plan.seed = static_cast<uint64_t>(seed);
+  // The rate knob is read (and strictly validated) even when the profile
+  // is off, so a malformed MISO_FAULT_RATE dies with exit 2 in every run
+  // — same contract as MISO_THREADS and MISO_FAULT_SEED.
+  const double rate =
+      spec.rate >= 0 ? std::min(spec.rate, 1.0)
+                     : EnvDouble("MISO_FAULT_RATE", /*fallback=*/0.08,
+                                 /*min_value=*/0.0, /*max_value=*/1.0);
+  if (plan.profile == FaultProfile::kOff) return plan;
+
+  plan.hv_job_rate = rate;
+  plan.transfer_rate = rate;
+  plan.dw_load_rate = rate;
+  if (plan.profile == FaultProfile::kChaos) {
+    // Crashes must actually occur in short chaos runs; a reorg fires only
+    // every few queries, so its crash rate is amplified over the base rate.
+    plan.reorg_crash_rate = std::min(1.0, std::max(rate * 6.0, 0.5));
+  }
+
+  plan.dw_outages = spec.dw_outages;
+  const bool wants_outage = plan.profile == FaultProfile::kOutage ||
+                            plan.profile == FaultProfile::kChaos;
+  if (wants_outage && plan.dw_outages.empty() && num_queries > 0) {
+    // One window covering ~20% of the workload, its start drawn
+    // deterministically from the fault seed in [n/4, n/2].
+    const int length = std::max(2, num_queries / 5);
+    const int lo = num_queries / 4;
+    const int hi = std::max(lo + 1, num_queries / 2);
+    const uint64_t h = Mix64(plan.seed ^ 0x6f757461676521ULL);  // "outage!"
+    const int begin = lo + static_cast<int>(h % static_cast<uint64_t>(hi - lo));
+    OutageWindow window;
+    window.begin_query = begin;
+    window.end_query = std::min(num_queries, begin + length);
+    plan.dw_outages.push_back(window);
+  }
+  return plan;
+}
+
+bool FaultPlan::Enabled() const { return profile != FaultProfile::kOff; }
+
+double FaultPlan::RateOf(FaultSite site) const {
+  switch (site) {
+    case FaultSite::kHvJob:
+      return hv_job_rate;
+    case FaultSite::kTransfer:
+      return transfer_rate;
+    case FaultSite::kDwLoad:
+      return dw_load_rate;
+    case FaultSite::kReorg:
+      return reorg_crash_rate;
+  }
+  return 0;
+}
+
+FaultDecision FaultInjector::Decide(FaultSite site, uint64_t entity,
+                                    int attempt) const {
+  FaultDecision decision;
+  const double rate = plan_.RateOf(site);
+  if (rate <= 0) return decision;
+  const uint64_t h =
+      HashKey(plan_.seed, site, entity, static_cast<uint64_t>(attempt));
+  if (rate < 1.0 && ToUnit(h) >= rate) return decision;
+  decision.fail = true;
+  // Independent hash for the interruption point so the failure decision
+  // and the charged fraction are uncorrelated.
+  decision.partial_fraction = 0.05 + 0.90 * ToUnit(Mix64(h ^ 0x70617274ULL));
+  return decision;
+}
+
+bool FaultInjector::DwDownForQuery(int query_index) const {
+  for (const OutageWindow& window : plan_.dw_outages) {
+    if (query_index >= window.begin_query && query_index < window.end_query) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int FaultInjector::ReorgCrashPoint(uint64_t reorg_id, int num_entries) const {
+  if (num_entries < 2 || plan_.reorg_crash_rate <= 0) return -1;
+  const uint64_t h = HashKey(plan_.seed, FaultSite::kReorg, reorg_id, 0);
+  if (plan_.reorg_crash_rate < 1.0 && ToUnit(h) >= plan_.reorg_crash_rate) {
+    return -1;
+  }
+  // Crash between moves: after at least one, before the last.
+  const uint64_t span = static_cast<uint64_t>(num_entries - 1);
+  return 1 + static_cast<int>(Mix64(h ^ 0x6372617368ULL) % span);  // "crash"
+}
+
+Status ExhaustedError(FaultSite site, uint64_t entity, int attempts) {
+  return Status::Internal("fault: " + std::string(FaultSiteName(site)) +
+                          " entity " + std::to_string(entity) + " exhausted " +
+                          std::to_string(attempts) + " attempts");
+}
+
+}  // namespace miso::fault

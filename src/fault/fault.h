@@ -1,0 +1,186 @@
+#ifndef MISO_FAULT_FAULT_H_
+#define MISO_FAULT_FAULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/retry.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace miso::fault {
+
+/// Where a fault can strike. Every site corresponds to one class of
+/// simulated operation the multistore performs:
+///
+///  * kHvJob     — an HV MapReduce job dies mid-flight and is re-run;
+///  * kTransfer  — an inter-store transfer (dump + network, or the
+///                 DW-export / HDFS-write legs of a reorg move) is
+///                 interrupted mid-stream; the partially-moved bytes are
+///                 charged to simulated time even though the attempt
+///                 failed;
+///  * kDwLoad    — the DW bulk load of already-staged bytes fails; only
+///                 the load is retried (the staged file survives);
+///  * kReorg     — the tuner's reorganization crashes between two view
+///                 moves, leaving a half-applied design for recovery.
+enum class FaultSite {
+  kHvJob = 0,
+  kTransfer = 1,
+  kDwLoad = 2,
+  kReorg = 3,
+};
+
+const char* FaultSiteName(FaultSite site);
+
+/// Named fault mixes, selectable programmatically or via
+/// `MISO_FAULT_PROFILE` (off | transient | outage | chaos).
+enum class FaultProfile {
+  /// Resolve from the environment (`MISO_FAULT_PROFILE`, default off).
+  /// This is the default of `FaultSpec::profile`, so an untouched
+  /// SimConfig stays fault-free unless the user opts in.
+  kEnv = -1,
+  kOff = 0,
+  /// Retryable failures only: HV jobs, transfers, DW loads.
+  kTransient = 1,
+  /// Transient faults plus a DW outage window (queries re-planned HV-only).
+  kOutage = 2,
+  /// Everything: transient faults, DW outage, reorganization crashes.
+  kChaos = 3,
+};
+
+/// A window of query indices [begin_query, end_query) during which the DW
+/// is unavailable: affected queries are re-planned as HV-only splits and
+/// reorganizations are deferred. Keyed by query index, not simulated
+/// time, so a window is deterministic for any workload and thread count.
+struct OutageWindow {
+  int begin_query = 0;
+  int end_query = 0;  // exclusive
+};
+
+/// User-facing fault configuration (lives in `sim::SimConfig::fault`).
+/// Unset fields resolve from the environment: `MISO_FAULT_PROFILE`
+/// (off|transient|outage|chaos, default off), `MISO_FAULT_RATE` (a number
+/// in [0, 1], default 0.08), `MISO_FAULT_SEED` (integer >= 0, default 1).
+/// Parsing is strict — garbage terminates the process with exit code 2,
+/// matching the MISO_THREADS / MISO_METRICS contract.
+struct FaultSpec {
+  FaultProfile profile = FaultProfile::kEnv;
+
+  /// Base per-operation failure probability; < 0 resolves from
+  /// `MISO_FAULT_RATE` (default 0.08).
+  double rate = -1.0;
+
+  /// Seed of the fault stream; < 0 resolves from `MISO_FAULT_SEED`
+  /// (default 1). Independent of the workload seed: the same fault seed
+  /// replays the same fault pattern over any workload.
+  int64_t seed = -1;
+
+  /// Explicit DW outage windows. Empty + an outage-bearing profile =
+  /// one deterministic window derived from (seed, workload length).
+  std::vector<OutageWindow> dw_outages;
+
+  /// Retry/backoff applied to every retryable site.
+  RetryPolicy retry;
+
+  /// How a crashed reorganization recovers (resume completes the
+  /// remaining moves from the journal; rollback undoes the applied ones).
+  RecoveryPolicy recovery = RecoveryPolicy::kResume;
+};
+
+/// Fully-resolved fault model for one run: every env knob read, profile
+/// expanded into per-site rates, outage windows derived. Resolution is
+/// the only place the environment is consulted — everything downstream is
+/// a pure function of this struct.
+struct FaultPlan {
+  FaultProfile profile = FaultProfile::kOff;
+  uint64_t seed = 1;
+  double hv_job_rate = 0;
+  double transfer_rate = 0;
+  double dw_load_rate = 0;
+  /// Probability that one reorganization crashes between view moves.
+  double reorg_crash_rate = 0;
+  std::vector<OutageWindow> dw_outages;
+  RetryPolicy retry;
+  RecoveryPolicy recovery = RecoveryPolicy::kResume;
+
+  /// Resolves `spec` against the environment and derives profile-default
+  /// outage windows for a workload of `num_queries` queries.
+  static FaultPlan Resolve(const FaultSpec& spec, int num_queries);
+
+  bool Enabled() const;
+  double RateOf(FaultSite site) const;
+};
+
+/// One injection decision.
+struct FaultDecision {
+  bool fail = false;
+  /// For interrupted work (transfers, jobs): fraction of the attempt's
+  /// cost charged before the failure, in [0.05, 0.95]. 0 when `!fail`.
+  double partial_fraction = 0;
+};
+
+/// Per-operation fault bookkeeping, accumulated by the execution layers
+/// and folded into query records / metrics by the simulator.
+struct FaultAccounting {
+  int injected = 0;
+  int retries = 0;
+  Seconds wasted_s = 0;
+  Seconds backoff_s = 0;
+  bool exhausted = false;
+
+  void Merge(const RetryStats& stats) {
+    if (stats.retries() > 0 || stats.exhausted) {
+      injected += stats.retries() + (stats.exhausted ? 1 : 0);
+    }
+    retries += stats.retries();
+    wasted_s += stats.wasted_s;
+    backoff_s += stats.backoff_s;
+    exhausted = exhausted || stats.exhausted;
+  }
+  void Merge(const FaultAccounting& other) {
+    injected += other.injected;
+    retries += other.retries;
+    wasted_s += other.wasted_s;
+    backoff_s += other.backoff_s;
+    exhausted = exhausted || other.exhausted;
+  }
+  bool Any() const { return injected > 0; }
+};
+
+/// Deterministic, stateless fault oracle. Every decision is a pure hash
+/// of (plan seed, site, entity id, attempt) — no shared RNG stream — so
+/// decisions are byte-identical regardless of evaluation order, thread
+/// count, or how many other sites were probed in between. Zero-cost
+/// discipline: callers hold a `const FaultInjector*` that is null when
+/// the plan is disabled, and every instrumented path branches on that
+/// pointer before doing any fault work.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan) : plan_(plan) {}
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Does attempt `attempt` (1-based) of the operation identified by
+  /// (site, entity) fail?
+  FaultDecision Decide(FaultSite site, uint64_t entity, int attempt) const;
+
+  /// Is the DW inside an outage window for query `query_index`?
+  bool DwDownForQuery(int query_index) const;
+
+  /// Journal index before which reorganization `reorg_id` crashes, in
+  /// [1, num_entries); -1 when this reorg does not crash. A crash always
+  /// lands *between* moves (at least one applied, at least one pending),
+  /// so reorgs with fewer than two journal entries never crash.
+  int ReorgCrashPoint(uint64_t reorg_id, int num_entries) const;
+
+ private:
+  FaultPlan plan_;
+};
+
+/// Canonical diagnostic for a retry budget that ran dry, e.g.
+/// "fault: transfer entity 12 exhausted 3 attempts".
+Status ExhaustedError(FaultSite site, uint64_t entity, int attempts);
+
+}  // namespace miso::fault
+
+#endif  // MISO_FAULT_FAULT_H_

@@ -1,17 +1,43 @@
 #include "hv/hv_store.h"
 
+#include <cstddef>
 #include <unordered_set>
+
+#include "common/hash.h"
 
 namespace miso::hv {
 
 Result<HvExecution> HvStore::Execute(const plan::NodePtr& root,
                                      int query_index, Seconds now,
                                      uint64_t* next_view_id,
-                                     uint64_t exclude_signature) const {
+                                     uint64_t exclude_signature,
+                                     const fault::FaultInjector* injector,
+                                     const RetryPolicy* retry,
+                                     uint64_t fault_entity) const {
   MISO_ASSIGN_OR_RETURN(std::vector<MapReduceJob> jobs, SegmentIntoJobs(root));
 
   HvExecution result;
   result.exec_time = cost_model_.JobsCost(jobs);
+
+  if (injector != nullptr && retry != nullptr) {
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      const Seconds job_s = cost_model_.JobCost(jobs[j]);
+      const uint64_t entity =
+          HashCombine(fault_entity, static_cast<uint64_t>(j));
+      const RetryStats stats = RunWithRetry(
+          *retry, [&](int attempt, Seconds* charged) {
+            const fault::FaultDecision d =
+                injector->Decide(fault::FaultSite::kHvJob, entity, attempt);
+            *charged = d.fail ? d.partial_fraction * job_s : job_s;
+            return !d.fail;
+          });
+      result.fault.Merge(stats);
+      if (stats.exhausted) {
+        return fault::ExhaustedError(fault::FaultSite::kHvJob, entity,
+                                     stats.attempts);
+      }
+    }
+  }
 
   std::unordered_set<uint64_t> harvested;
   for (const MapReduceJob& job : jobs) {

@@ -1,9 +1,12 @@
 #ifndef MISO_HV_HV_STORE_H_
 #define MISO_HV_HV_STORE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/result.h"
+#include "common/retry.h"
+#include "fault/fault.h"
 #include "hv/hv_cost_model.h"
 #include "views/view_catalog.h"
 
@@ -11,11 +14,16 @@ namespace miso::hv {
 
 /// Outcome of executing (the HV part of) a query in the HV store.
 struct HvExecution {
-  /// Simulated execution time.
+  /// Simulated execution time (clean job cost; fault charges are
+  /// reported separately in `fault`).
   Seconds exec_time = 0;
   /// Opportunistic views materialized as by-products (fully-formed View
   /// records, already assigned ids, not yet added to any catalog).
   std::vector<views::View> produced_views;
+  /// Retry bookkeeping when executed under fault injection: wasted_s is
+  /// re-run MapReduce work (a killed job loses its partial progress),
+  /// backoff_s the inter-attempt waits. Zero when no injector was passed.
+  fault::FaultAccounting fault;
 };
 
 /// The HV store: raw logs + a view catalog, executing plan subtrees as
@@ -44,9 +52,18 @@ class HvStore {
   ///
   /// The harvested views are returned but NOT added to the catalog — the
   /// caller (the simulator) decides retention policy per system variant.
+  ///
+  /// When `injector` is non-null, each MapReduce job runs under fault
+  /// injection (site kHvJob, entity derived from `fault_entity` and the
+  /// job's index) with `retry` governing re-runs; a job whose retry
+  /// budget is exhausted fails the whole execution with an internal
+  /// error. A null injector is the exact unfaulted code path.
   Result<HvExecution> Execute(const plan::NodePtr& root, int query_index,
                               Seconds now, uint64_t* next_view_id,
-                              uint64_t exclude_signature = 0) const;
+                              uint64_t exclude_signature = 0,
+                              const fault::FaultInjector* injector = nullptr,
+                              const RetryPolicy* retry = nullptr,
+                              uint64_t fault_entity = 0) const;
 
  private:
   HvCostModel cost_model_;

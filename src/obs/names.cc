@@ -14,6 +14,22 @@ constexpr char kSimMovedBytesToDw[] =
 constexpr char kSimMovedBytesToHv[] =
     "miso.sim.moved_bytes_total{dir=\"to_hv\"}";
 
+// Labeled spellings of the fault counters: one per injection site for
+// `miso.fault.injected_total`, one per recovery policy for
+// `miso.fault.reorg_recoveries_total`.
+constexpr char kFaultInjectedHvJob[] =
+    "miso.fault.injected_total{site=\"hv_job\"}";
+constexpr char kFaultInjectedTransfer[] =
+    "miso.fault.injected_total{site=\"transfer\"}";
+constexpr char kFaultInjectedDwLoad[] =
+    "miso.fault.injected_total{site=\"dw_load\"}";
+constexpr char kFaultInjectedReorg[] =
+    "miso.fault.injected_total{site=\"reorg\"}";
+constexpr char kFaultRecoveriesResume[] =
+    "miso.fault.reorg_recoveries_total{policy=\"resume\"}";
+constexpr char kFaultRecoveriesRollback[] =
+    "miso.fault.reorg_recoveries_total{policy=\"rollback\"}";
+
 }  // namespace
 
 std::vector<double> SecondsBuckets() {
@@ -62,6 +78,19 @@ std::vector<const char*> AllMetricNames() {
       kSimMovedBytesToDw,
       kSimMovedBytesToHv,
       names::kSimQueryExecSeconds,
+      kFaultInjectedHvJob,
+      kFaultInjectedTransfer,
+      kFaultInjectedDwLoad,
+      kFaultInjectedReorg,
+      names::kFaultRetries,
+      names::kFaultExhausted,
+      names::kFaultRetryBackoffSeconds,
+      names::kFaultRetryAttempts,
+      names::kFaultDwOutageQueries,
+      names::kFaultReorgsSkipped,
+      names::kFaultReorgCrashes,
+      kFaultRecoveriesResume,
+      kFaultRecoveriesRollback,
       names::kPoolTasksRun,
       names::kPoolSubmits,
       names::kPoolQueueHighWater,
@@ -75,7 +104,8 @@ std::vector<const char*> AllTraceEventKinds() {
   std::vector<const char*> all = {
       names::kEvPlanChoice,  names::kEvPlanCosted,   names::kEvTunerReorg,
       names::kEvViewDecision, names::kEvSimQuery,    names::kEvSimReorg,
-      names::kEvExplainVerify,
+      names::kEvExplainVerify, names::kEvFaultQuery,
+      names::kEvFaultReorgRecovery,
   };
   std::sort(all.begin(), all.end(),
             [](const char* a, const char* b) { return std::string_view(a) < b; });

@@ -61,6 +61,24 @@ inline constexpr char kSimTransferredBytes[] =
 inline constexpr char kSimMovedBytes[] = "miso.sim.moved_bytes_total";  // +dir label
 inline constexpr char kSimQueryExecSeconds[] = "miso.sim.query_exec_seconds";
 
+// --- fault injection (all model class: the fault stream is a pure
+// --- function of the fault seed, so counts replay exactly) -------------
+inline constexpr char kFaultInjected[] =
+    "miso.fault.injected_total";  // +site label
+inline constexpr char kFaultRetries[] = "miso.fault.retries_total";
+inline constexpr char kFaultExhausted[] = "miso.fault.exhausted_total";
+inline constexpr char kFaultRetryBackoffSeconds[] =
+    "miso.fault.retry_backoff_seconds";
+inline constexpr char kFaultRetryAttempts[] = "miso.fault.retry_attempts";
+inline constexpr char kFaultDwOutageQueries[] =
+    "miso.fault.dw_outage_queries_total";
+inline constexpr char kFaultReorgsSkipped[] =
+    "miso.fault.reorgs_skipped_total";
+inline constexpr char kFaultReorgCrashes[] =
+    "miso.fault.reorg_crashes_total";
+inline constexpr char kFaultReorgRecoveries[] =
+    "miso.fault.reorg_recoveries_total";  // +policy label
+
 // --- thread pool (runtime class — see docs/TELEMETRY.md) ---------------
 inline constexpr char kPoolTasksRun[] = "miso.pool.tasks_run_total";
 inline constexpr char kPoolSubmits[] = "miso.pool.submits_total";
@@ -74,6 +92,8 @@ inline constexpr char kEvViewDecision[] = "tuner.view_decision";
 inline constexpr char kEvSimQuery[] = "sim.query";
 inline constexpr char kEvSimReorg[] = "sim.reorg";
 inline constexpr char kEvExplainVerify[] = "core.explain_verify";
+inline constexpr char kEvFaultQuery[] = "fault.query";
+inline constexpr char kEvFaultReorgRecovery[] = "fault.reorg_recovery";
 
 // --- label values for kSimMovedBytes ----------------------------------
 inline constexpr char kDirToDw[] = "to_dw";

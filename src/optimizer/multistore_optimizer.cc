@@ -132,6 +132,17 @@ Result<MultistorePlan> MultistoreOptimizer::BestSplit(
 Result<MultistorePlan> MultistoreOptimizer::Optimize(
     const plan::Plan& query, const views::ViewCatalog& dw_views,
     const views::ViewCatalog& hv_views) const {
+  return Optimize(query, dw_views, hv_views, OptimizeOptions{});
+}
+
+Result<MultistorePlan> MultistoreOptimizer::Optimize(
+    const plan::Plan& query, const views::ViewCatalog& dw_views,
+    const views::ViewCatalog& hv_views, const OptimizeOptions& options) const {
+  // Graceful degradation under a DW outage: no DW views, no split — the
+  // whole query runs in HV, still exploiting HV-resident views.
+  if (!options.dw_available) {
+    return OptimizeHvOnly(query, hv_views, /*use_views=*/true);
+  }
   Result<MultistorePlan> best =
       Status::Internal("optimizer produced no plan");
 

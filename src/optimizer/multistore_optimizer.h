@@ -15,6 +15,15 @@
 
 namespace miso::optimizer {
 
+/// Per-call planning context. `dw_available = false` models a DW outage:
+/// the optimizer degrades gracefully, re-planning the query as the best
+/// HV-only split (HV views still usable) instead of erroring — queries
+/// keep completing, just slower, and the degradation shows up in the
+/// per-query cost anatomy rather than as a failure.
+struct OptimizeOptions {
+  bool dw_available = true;
+};
+
 /// The multistore query optimizer (paper §3.1). Given a query and the
 /// current (or hypothetical) multistore design, it:
 ///
@@ -53,6 +62,12 @@ class MultistoreOptimizer {
   Result<MultistorePlan> Optimize(const plan::Plan& query,
                                   const views::ViewCatalog& dw_views,
                                   const views::ViewCatalog& hv_views) const;
+
+  /// As above, under explicit planning context (e.g. DW outage).
+  Result<MultistorePlan> Optimize(const plan::Plan& query,
+                                  const views::ViewCatalog& dw_views,
+                                  const views::ViewCatalog& hv_views,
+                                  const OptimizeOptions& options) const;
 
   /// Best HV-confined plan (no split). `use_views` selects whether HV
   /// views may be used (HV-OP variant) or not (plain HV-ONLY).

@@ -28,6 +28,17 @@ struct QueryRecord {
   /// Views read by the executed plan.
   int views_used = 0;
 
+  /// Fault bookkeeping (all zero when injection is disabled). `degraded`
+  /// marks a query re-planned HV-only because the DW was in an outage
+  /// window; the anatomy then shows the degradation (dw_exec_s == 0, all
+  /// work in hv_exec_s). Wasted/backoff seconds are already folded into
+  /// the breakdown and completion time — these fields break them out.
+  bool degraded = false;
+  int fault_injected = 0;
+  int fault_retries = 0;
+  Seconds fault_wasted_s = 0;
+  Seconds fault_backoff_s = 0;
+
   Seconds ExecTime() const { return breakdown.Total(); }
   double DwUtilizationShare() const {
     const Seconds total = ExecTime();
@@ -53,6 +64,15 @@ struct RunReport {
   int reorg_count = 0;
   Bytes bytes_moved_to_dw = 0;
   Bytes bytes_moved_to_hv = 0;
+
+  /// Fault totals (all zero when injection is disabled).
+  int fault_injected = 0;
+  int fault_retries = 0;
+  Seconds fault_wasted_s = 0;
+  Seconds fault_backoff_s = 0;
+  int degraded_queries = 0;
+  int reorg_crashes = 0;
+  int reorgs_skipped = 0;  // deferred because the DW was in an outage
 
   /// DW resource samples (present when a background workload was set).
   std::vector<dw::DwTickSample> dw_ticks;

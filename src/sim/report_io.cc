@@ -25,14 +25,18 @@ void AppendRow(std::string* out, const char* format, ...) {
 std::string QueriesToCsv(const RunReport& report) {
   std::string out =
       "index,name,start_s,completion_s,hv_exec_s,dump_s,transfer_load_s,"
-      "dw_exec_s,ops_dw,ops_total,transferred_bytes,views_used\n";
+      "dw_exec_s,ops_dw,ops_total,transferred_bytes,views_used,degraded,"
+      "fault_injected,fault_retries,fault_wasted_s,fault_backoff_s\n";
   for (const QueryRecord& q : report.queries) {
-    AppendRow(&out, "%d,%s,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%d,%d,%lld,%d\n",
+    AppendRow(&out,
+              "%d,%s,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%d,%d,%lld,%d,%d,%d,%d,"
+              "%.3f,%.3f\n",
               q.index, q.name.c_str(), q.start_time, q.completion_time,
               q.breakdown.hv_exec_s, q.breakdown.dump_s,
               q.breakdown.transfer_load_s, q.breakdown.dw_exec_s, q.ops_dw,
               q.ops_total, static_cast<long long>(q.transferred_bytes),
-              q.views_used);
+              q.views_used, q.degraded ? 1 : 0, q.fault_injected,
+              q.fault_retries, q.fault_wasted_s, q.fault_backoff_s);
   }
   return out;
 }
@@ -52,14 +56,21 @@ std::string SummaryToCsv(const RunReport& report, bool with_header) {
   if (with_header) {
     out =
         "variant,tti_s,hv_exe_s,dw_exe_s,transfer_s,tune_s,etl_s,"
-        "reorg_count,bytes_to_dw,bytes_to_hv\n";
+        "reorg_count,bytes_to_dw,bytes_to_hv,fault_injected,fault_retries,"
+        "fault_wasted_s,fault_backoff_s,degraded_queries,reorg_crashes,"
+        "reorgs_skipped\n";
   }
-  AppendRow(&out, "%s,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%d,%lld,%lld\n",
+  AppendRow(&out,
+            "%s,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%d,%lld,%lld,%d,%d,%.3f,%.3f,"
+            "%d,%d,%d\n",
             report.variant_name.c_str(), report.Tti(), report.hv_exe_s,
             report.dw_exe_s, report.transfer_s, report.tune_s, report.etl_s,
             report.reorg_count,
             static_cast<long long>(report.bytes_moved_to_dw),
-            static_cast<long long>(report.bytes_moved_to_hv));
+            static_cast<long long>(report.bytes_moved_to_hv),
+            report.fault_injected, report.fault_retries, report.fault_wasted_s,
+            report.fault_backoff_s, report.degraded_queries,
+            report.reorg_crashes, report.reorgs_skipped);
   return out;
 }
 

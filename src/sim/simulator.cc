@@ -6,9 +6,12 @@
 #include <set>
 #include <unordered_set>
 
+#include "common/hash.h"
 #include "common/logging.h"
 #include "dw/dw_store.h"
+#include "fault/fault.h"
 #include "hv/hv_store.h"
+#include "tuner/reorg_journal.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
 #include "obs/trace.h"
@@ -98,6 +101,24 @@ void PublishPoolStats(const ThreadPool* pool) {
       ->Max(static_cast<double>(stats.queue_high_water));
 }
 
+/// Folds one operation's fault accounting into a query record and bumps
+/// the per-site injection counter. Called only from the serial query
+/// loop, so metric emission stays deterministic.
+void RecordFaults(const fault::FaultAccounting& acc, fault::FaultSite site,
+                  QueryRecord* record) {
+  if (acc.injected == 0) return;
+  record->fault_injected += acc.injected;
+  record->fault_retries += acc.retries;
+  record->fault_wasted_s += acc.wasted_s;
+  record->fault_backoff_s += acc.backoff_s;
+  if (obs::MetricsOn()) {
+    obs::Metrics()
+        .GetCounter(obs::WithLabel(obs::names::kFaultInjected, "site",
+                                   fault::FaultSiteName(site)))
+        ->Add(acc.injected);
+  }
+}
+
 }  // namespace
 
 MultistoreSimulator::MultistoreSimulator(const relation::Catalog* catalog,
@@ -126,6 +147,16 @@ Result<RunReport> MultistoreSimulator::Run(
   optimizer::MultistoreOptimizer opt(&factory, &hv_store.cost_model(),
                                      &dw_store.cost_model(), &mover);
   dw::ResourceLedger ledger(cfg.background, cfg.contention);
+
+  // Fault injection: resolve the spec once (the only environment read),
+  // then hold a null injector when disabled so every instrumented path
+  // below reduces to the exact unfaulted branch.
+  const fault::FaultPlan fault_plan = fault::FaultPlan::Resolve(
+      cfg.fault, static_cast<int>(queries.size()));
+  std::optional<fault::FaultInjector> injector_storage;
+  if (fault_plan.Enabled()) injector_storage.emplace(fault_plan);
+  const fault::FaultInjector* injector =
+      injector_storage ? &*injector_storage : nullptr;
 
   // Candidate-split costing fans out over a pool: an external one when a
   // sweep shares its workers, else a Run-local pool per config.threads
@@ -235,6 +266,15 @@ Result<RunReport> MultistoreSimulator::Run(
     MultistorePlan ms;
     bool harvest = true;
 
+    // DW outage: multistore variants degrade to HV-only planning instead
+    // of erroring — queries keep completing, just without the DW's help.
+    // Store-confined variants (HV-ONLY, HV-OP run no DW work anyway;
+    // DW-ONLY models the dedicated-DW baseline, outside the fault model).
+    const bool dw_down =
+        injector != nullptr && injector->DwDownForQuery(static_cast<int>(qi));
+    optimizer::OptimizeOptions opt_options;
+    opt_options.dw_available = !dw_down;
+
     switch (cfg.variant) {
       case SystemVariant::kHvOnly: {
         MISO_ASSIGN_OR_RETURN(ms, opt.OptimizeHvOnly(wq.plan,
@@ -257,7 +297,8 @@ Result<RunReport> MultistoreSimulator::Run(
       case SystemVariant::kMsBasic: {
         const ViewCatalog empty_dw(0);
         const ViewCatalog empty_hv(0);
-        MISO_ASSIGN_OR_RETURN(ms, opt.Optimize(wq.plan, empty_dw, empty_hv));
+        MISO_ASSIGN_OR_RETURN(
+            ms, opt.Optimize(wq.plan, empty_dw, empty_hv, opt_options));
         harvest = false;
         break;
       }
@@ -272,9 +313,21 @@ Result<RunReport> MultistoreSimulator::Run(
       case SystemVariant::kMsOff:
       case SystemVariant::kMsOra: {
         MISO_ASSIGN_OR_RETURN(
-            ms, opt.Optimize(wq.plan, dw_store.catalog(),
-                             hv_store.catalog()));
+            ms, opt.Optimize(wq.plan, dw_store.catalog(), hv_store.catalog(),
+                             opt_options));
         break;
+      }
+    }
+    const bool degraded = dw_down && cfg.variant != SystemVariant::kHvOnly &&
+                          cfg.variant != SystemVariant::kHvOp &&
+                          cfg.variant != SystemVariant::kDwOnly;
+    record.degraded = degraded;
+    if (degraded) {
+      report.degraded_queries += 1;
+      if (obs::MetricsOn()) {
+        obs::Metrics()
+            .GetCounter(obs::names::kFaultDwOutageQueries)
+            ->Increment();
       }
     }
 
@@ -293,14 +346,26 @@ Result<RunReport> MultistoreSimulator::Run(
           }
         }
       }
-      for (const NodePtr& root : hv_roots) {
-        MISO_ASSIGN_OR_RETURN(
-            hv::HvExecution exec,
-            hv_store.Execute(root, static_cast<int>(qi), now, &next_view_id,
-                             /*exclude_signature=*/wq.plan.signature()));
-        if (harvest) {
-          for (View& v : exec.produced_views) produced.push_back(std::move(v));
+      for (size_t ri = 0; ri < hv_roots.size(); ++ri) {
+        Result<hv::HvExecution> exec = hv_store.Execute(
+            hv_roots[ri], static_cast<int>(qi), now, &next_view_id,
+            /*exclude_signature=*/wq.plan.signature(), injector,
+            &fault_plan.retry,
+            HashCombine(static_cast<uint64_t>(qi) + 1,
+                        static_cast<uint64_t>(ri)));
+        if (!exec.ok()) {
+          if (injector != nullptr && obs::MetricsOn()) {
+            obs::Metrics().GetCounter(obs::names::kFaultExhausted)
+                ->Increment();
+          }
+          return exec.status();
         }
+        if (harvest) {
+          for (View& v : exec->produced_views) {
+            produced.push_back(std::move(v));
+          }
+        }
+        RecordFaults(exec->fault, fault::FaultSite::kHvJob, &record);
       }
     }
 
@@ -308,12 +373,58 @@ Result<RunReport> MultistoreSimulator::Run(
     record.transferred_bytes = ms.transferred_bytes;
     record.ops_dw = static_cast<int>(ms.dw_side.size());
 
+    // HV-job fault charges: re-run work joins the HV execution component,
+    // backoff waits are accumulated separately below.
+    record.breakdown.hv_exec_s += record.fault_wasted_s;
+
+    // Working-set transfer faults: interrupted streams re-send and charge
+    // the partially-moved bytes; a failed DW load retries just the load.
+    transfer::FaultedTransfer ws;
+    if (injector != nullptr && ms.transferred_bytes > 0) {
+      ws = mover.WorkingSetTransferFaulted(
+          ms.transferred_bytes, injector,
+          HashCombine(0x77735f78666572ULL,  // "ws_xfer"
+                      static_cast<uint64_t>(qi) + 1),
+          fault_plan.retry);
+      if (ws.exhausted) {
+        if (obs::MetricsOn()) {
+          obs::Metrics().GetCounter(obs::names::kFaultExhausted)->Increment();
+        }
+        return fault::ExhaustedError(fault::FaultSite::kTransfer,
+                                     static_cast<uint64_t>(qi),
+                                     fault_plan.retry.max_attempts);
+      }
+      record.breakdown.dump_s += ws.wasted_dump_s;
+      record.fault_injected += ws.injected;
+      record.fault_retries += ws.retries;
+      record.fault_wasted_s += ws.wasted_dump_s + ws.wasted_rest_s;
+      record.fault_backoff_s += ws.backoff_s;
+      if (obs::MetricsOn() && ws.injected > 0) {
+        obs::MetricsRegistry& registry = obs::Metrics();
+        if (ws.injected_stream > 0) {
+          registry
+              .GetCounter(obs::WithLabel(
+                  obs::names::kFaultInjected, "site",
+                  fault::FaultSiteName(fault::FaultSite::kTransfer)))
+              ->Add(ws.injected_stream);
+        }
+        if (ws.injected_load > 0) {
+          registry
+              .GetCounter(obs::WithLabel(
+                  obs::names::kFaultInjected, "site",
+                  fault::FaultSiteName(fault::FaultSite::kDwLoad)))
+              ->Add(ws.injected_load);
+        }
+      }
+    }
+
     // --- DW-side contention: stretch transfer-load and DW execution. ---
-    Seconds exec_time = ms.cost.hv_exec_s + ms.cost.dump_s;
-    if (ms.cost.transfer_load_s > 0) {
+    Seconds exec_time =
+        record.breakdown.hv_exec_s + record.breakdown.dump_s;
+    if (ms.cost.transfer_load_s + ws.wasted_rest_s > 0) {
       const Seconds stretched = ledger.RecordActivity(
-          dw::DwActivityKind::kWorkingSetTransfer,
-          now + ms.cost.hv_exec_s + ms.cost.dump_s, ms.cost.transfer_load_s,
+          dw::DwActivityKind::kWorkingSetTransfer, now + exec_time,
+          ms.cost.transfer_load_s + ws.wasted_rest_s,
           /*io_demand=*/1.2, /*cpu_demand=*/0.3);
       record.breakdown.transfer_load_s = stretched;
       exec_time += stretched;
@@ -325,6 +436,9 @@ Result<RunReport> MultistoreSimulator::Run(
       record.breakdown.dw_exec_s = stretched;
       exec_time += stretched;
     }
+    // Retry backoff is dead time on the query's critical path: charged to
+    // the clock (and so to TTI), kept out of the anatomy components.
+    exec_time += record.fault_backoff_s;
     now += exec_time;
     record.completion_time = now;
 
@@ -408,6 +522,37 @@ Result<RunReport> MultistoreSimulator::Run(
               .Int("ops_total", record.ops_total)
               .Int("views_used", record.views_used));
     }
+    // Fault telemetry, same serial point. The `fault.query` trace line is
+    // emitted only for queries that actually saw injection or degradation,
+    // so fault-disabled runs keep their traces byte-for-byte unchanged.
+    if (injector != nullptr) {
+      if (obs::MetricsOn() && record.fault_injected > 0) {
+        obs::MetricsRegistry& registry = obs::Metrics();
+        registry.GetCounter(obs::names::kFaultRetries)
+            ->Add(record.fault_retries);
+        registry
+            .GetHistogram(obs::names::kFaultRetryBackoffSeconds,
+                          obs::SecondsBuckets())
+            ->Observe(record.fault_backoff_s);
+        registry
+            .GetHistogram(obs::names::kFaultRetryAttempts,
+                          obs::CountBuckets())
+            ->Observe(static_cast<double>(record.fault_injected));
+      }
+      if (obs::TraceOn() && (record.fault_injected > 0 || record.degraded)) {
+        obs::Emit(obs::TraceEvent(obs::names::kEvFaultQuery)
+                      .Int("index", record.index)
+                      .Bool("degraded", record.degraded)
+                      .Int("injected", record.fault_injected)
+                      .Int("retries", record.fault_retries)
+                      .Double("wasted_s", record.fault_wasted_s)
+                      .Double("backoff_s", record.fault_backoff_s));
+      }
+    }
+    report.fault_injected += record.fault_injected;
+    report.fault_retries += record.fault_retries;
+    report.fault_wasted_s += record.fault_wasted_s;
+    report.fault_backoff_s += record.fault_backoff_s;
 
     history.push_back(wq.plan);
     report.queries.push_back(std::move(record));
@@ -424,7 +569,16 @@ Result<RunReport> MultistoreSimulator::Run(
         now - last_reorg_time >= cfg.reorg_every_seconds;
     const bool at_boundary =
         (query_trigger || time_trigger) && qi + 1 < queries.size();
-    if (reorg_variant && at_boundary) {
+    if (reorg_variant && at_boundary && dw_down) {
+      // A reorganization moves views into/out of the DW; during an outage
+      // it is deferred to the next boundary rather than attempted.
+      report.reorgs_skipped += 1;
+      if (obs::MetricsOn()) {
+        obs::Metrics().GetCounter(obs::names::kFaultReorgsSkipped)
+            ->Increment();
+      }
+    }
+    if (reorg_variant && at_boundary && !dw_down) {
       tuner::ReorgPlan reorg;
       if (cfg.variant == SystemVariant::kMsLru) {
         MISO_ASSIGN_OR_RETURN(
@@ -456,26 +610,113 @@ Result<RunReport> MultistoreSimulator::Run(
       }
 
       Seconds reorg_time = cfg.tune_compute_s;
-      const Bytes to_dw = reorg.BytesToDw();
-      const Bytes to_hv = reorg.BytesToHv();
-      if (to_dw > 0) {
-        const transfer::TransferBreakdown tb = mover.ViewTransferToDw(to_dw);
-        reorg_time += ledger.RecordActivity(
-            dw::DwActivityKind::kReorgTransfer, now + reorg_time, tb.Total(),
-            /*io_demand=*/1.3, /*cpu_demand=*/0.3);
+      Bytes to_dw = reorg.BytesToDw();
+      Bytes to_hv = reorg.BytesToHv();
+      // Charges one batch of reorg movement through the DW ledger; the
+      // transfer model is linear in bytes, so batching per direction is
+      // equivalent to per-view charging.
+      auto charge_moves = [&](Bytes dw_bytes, Bytes hv_bytes) {
+        if (dw_bytes > 0) {
+          const transfer::TransferBreakdown tb =
+              mover.ViewTransferToDw(dw_bytes);
+          reorg_time += ledger.RecordActivity(
+              dw::DwActivityKind::kReorgTransfer, now + reorg_time,
+              tb.Total(), /*io_demand=*/1.3, /*cpu_demand=*/0.3);
+        }
+        if (hv_bytes > 0) {
+          const transfer::TransferBreakdown tb =
+              mover.ViewTransferToHv(hv_bytes);
+          reorg_time += ledger.RecordActivity(
+              dw::DwActivityKind::kReorgTransfer, now + reorg_time,
+              tb.Total(), /*io_demand=*/0.8, /*cpu_demand=*/0.2);
+        }
+      };
+
+      // Crash-safe application: with an injector present the plan runs
+      // through the move journal, which may crash between two moves and
+      // recover (resume or rollback); without one, the legacy direct
+      // application — the journal's no-crash walk is step-for-step
+      // identical to ApplyReorgPlan, but the disabled path stays exact.
+      bool rolled_back = false;
+      if (injector == nullptr) {
+        charge_moves(to_dw, to_hv);
+        MISO_RETURN_IF_ERROR(
+            tuner::ApplyReorgPlan(reorg, &hv_store.catalog(),
+                                  &dw_store.catalog()));
+      } else {
+        MISO_ASSIGN_OR_RETURN(
+            tuner::ReorgJournal journal,
+            tuner::ReorgJournal::Create(reorg, hv_store.catalog(),
+                                        dw_store.catalog()));
+        const int crash_before = injector->ReorgCrashPoint(
+            static_cast<uint64_t>(report.reorg_count),
+            journal.num_entries());
+        if (crash_before < 0) {
+          charge_moves(to_dw, to_hv);
+          MISO_ASSIGN_OR_RETURN(
+              const tuner::ReorgJournal::Outcome outcome,
+              journal.Apply(&hv_store.catalog(), &dw_store.catalog()));
+          (void)outcome;
+        } else {
+          rolled_back = fault_plan.recovery == RecoveryPolicy::kRollback;
+          MISO_ASSIGN_OR_RETURN(
+              const tuner::ReorgJournal::Outcome partial,
+              journal.Apply(&hv_store.catalog(), &dw_store.catalog(),
+                            crash_before));
+          charge_moves(partial.bytes_to_dw, partial.bytes_to_hv);
+          // Restart penalty: the crashed reorganization is detected and
+          // restarted after one backoff interval of simulated time.
+          reorg_time += fault_plan.retry.BackoffBefore(2);
+          MISO_ASSIGN_OR_RETURN(
+              const tuner::ReorgJournal::Outcome recovery,
+              journal.Recover(fault_plan.recovery, &hv_store.catalog(),
+                              &dw_store.catalog()));
+          charge_moves(recovery.bytes_to_dw, recovery.bytes_to_hv);
+          // Actual bytes moved: the partial pass plus the recovery pass
+          // (a rollback re-crosses the link in the opposite direction).
+          to_dw = partial.bytes_to_dw + recovery.bytes_to_dw;
+          to_hv = partial.bytes_to_hv + recovery.bytes_to_hv;
+          report.reorg_crashes += 1;
+          // Post-recovery invariants (always on under ctest): the journal
+          // must agree with the catalogs and be in a terminal state.
+          if (verify::Enabled()) {
+            MISO_RETURN_IF_ERROR(verify::VerifyJournalConsistency(
+                journal, hv_store.catalog(), dw_store.catalog()));
+          }
+          if (obs::MetricsOn()) {
+            obs::MetricsRegistry& registry = obs::Metrics();
+            registry.GetCounter(obs::names::kFaultReorgCrashes)->Increment();
+            registry
+                .GetCounter(obs::WithLabel(
+                    obs::names::kFaultReorgRecoveries, "policy",
+                    RecoveryPolicyName(fault_plan.recovery)))
+                ->Increment();
+            registry
+                .GetCounter(obs::WithLabel(obs::names::kFaultInjected, "site",
+                                           fault::FaultSiteName(
+                                               fault::FaultSite::kReorg)))
+                ->Increment();
+          }
+          if (obs::TraceOn()) {
+            obs::Emit(obs::TraceEvent(obs::names::kEvFaultReorgRecovery)
+                          .Int("reorg_index", report.reorg_count)
+                          .Int("crash_before", crash_before)
+                          .Str("policy",
+                               RecoveryPolicyName(fault_plan.recovery))
+                          .Int("steps_applied", partial.steps)
+                          .Int("steps_recovered", recovery.steps)
+                          .Int("bytes_to_dw", static_cast<int64_t>(to_dw))
+                          .Int("bytes_to_hv", static_cast<int64_t>(to_hv)));
+          }
+        }
       }
-      if (to_hv > 0) {
-        const transfer::TransferBreakdown tb = mover.ViewTransferToHv(to_hv);
-        reorg_time += ledger.RecordActivity(
-            dw::DwActivityKind::kReorgTransfer, now + reorg_time, tb.Total(),
-            /*io_demand=*/0.8, /*cpu_demand=*/0.2);
-      }
-      MISO_RETURN_IF_ERROR(
-          tuner::ApplyReorgPlan(reorg, &hv_store.catalog(),
-                                &dw_store.catalog()));
       // Debug-mode assertion (always on under ctest): every applied
       // reorganization leaves a design within Bh/Bd with Vh ∩ Vd = ∅.
-      if (verify::Enabled()) {
+      // After a *rollback* recovery the design reverts to its pre-reorg
+      // state, where HV may legitimately exceed Bh (opportunistic views
+      // accumulate between reorgs, §3.1), so the budget check is skipped —
+      // journal consistency was already verified above.
+      if (verify::Enabled() && !rolled_back) {
         verify::DesignBudgets budgets;
         budgets.hv_storage = cfg.hv_storage_budget;
         budgets.dw_storage = cfg.dw_storage_budget;

@@ -10,6 +10,7 @@
 #include "dw/dw_config.h"
 #include "optimizer/whatif_cache.h"
 #include "dw/resource_model.h"
+#include "fault/fault.h"
 #include "hv/hv_config.h"
 #include "relation/catalog.h"
 #include "sim/etl.h"
@@ -85,6 +86,17 @@ struct SimConfig {
   dw::DwConfig dw;
   transfer::TransferConfig transfer;
   EtlConfig etl;
+
+  /// Fault injection (src/fault/). The default spec resolves from the
+  /// environment (`MISO_FAULT_PROFILE` etc.) and is *off* unless the user
+  /// opts in, in which case HV jobs, transfers and DW loads fail and
+  /// retry with simulated backoff, DW outage windows degrade queries to
+  /// HV-only plans, and reorganizations may crash mid-move and recover
+  /// through the journal. Disabled injection is zero-cost: the run takes
+  /// the exact unfaulted code path. The fault stream is keyed by
+  /// (fault seed, query/reorg id, attempt), so a faulted run is
+  /// byte-identical across `MISO_THREADS`.
+  fault::FaultSpec fault;
 
   /// Optional observer invoked after every reorganization phase with the
   /// post-reorg state of both stores' view catalogs. Used by tests to

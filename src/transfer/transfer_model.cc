@@ -1,5 +1,7 @@
 #include "transfer/transfer_model.h"
 
+#include "common/hash.h"
+
 namespace miso::transfer {
 
 namespace {
@@ -32,6 +34,88 @@ TransferBreakdown TransferModel::ViewTransferToHv(Bytes bytes) const {
   b.network_s = StageTime(bytes, config_.network_mbps);
   b.load_s = StageTime(bytes, config_.hdfs_write_mbps);
   return b;
+}
+
+FaultedTransfer TransferModel::RunFaulted(const TransferBreakdown& clean,
+                                          bool load_is_dw,
+                                          const fault::FaultInjector* injector,
+                                          uint64_t entity,
+                                          const RetryPolicy& retry) const {
+  FaultedTransfer out;
+  if (injector == nullptr) {
+    out.ok = clean;
+    return out;
+  }
+  const Seconds stream_s = clean.dump_s + clean.network_s;
+
+  // Phase 1: the dump + network stream. A mid-stream interruption throws
+  // away partial_fraction of the streamed bytes, split pro-rata between
+  // the dump and network stages.
+  const uint64_t stream_entity = HashCombine(entity, 1);
+  const RetryStats stream = RunWithRetry(
+      retry, [&](int attempt, Seconds* charged) {
+        const fault::FaultDecision d = injector->Decide(
+            fault::FaultSite::kTransfer, stream_entity, attempt);
+        *charged = d.fail ? d.partial_fraction * stream_s : stream_s;
+        return !d.fail;
+      });
+  out.injected_stream = stream.retries() + (stream.exhausted ? 1 : 0);
+  out.injected += out.injected_stream;
+  out.retries += stream.retries();
+  out.backoff_s += stream.backoff_s;
+  if (stream_s > 0) {
+    out.wasted_dump_s += stream.wasted_s * (clean.dump_s / stream_s);
+    out.wasted_rest_s += stream.wasted_s * (clean.network_s / stream_s);
+  }
+  if (stream.exhausted) {
+    out.exhausted = true;
+    return out;
+  }
+
+  // Phase 2: loading the staged bytes. Only the load is retried — the
+  // staging file persists across load failures.
+  const fault::FaultSite load_site =
+      load_is_dw ? fault::FaultSite::kDwLoad : fault::FaultSite::kTransfer;
+  const uint64_t load_entity = HashCombine(entity, 2);
+  const RetryStats load = RunWithRetry(
+      retry, [&](int attempt, Seconds* charged) {
+        const fault::FaultDecision d =
+            injector->Decide(load_site, load_entity, attempt);
+        *charged = d.fail ? d.partial_fraction * clean.load_s : clean.load_s;
+        return !d.fail;
+      });
+  out.injected_load = load.retries() + (load.exhausted ? 1 : 0);
+  out.injected += out.injected_load;
+  out.retries += load.retries();
+  out.backoff_s += load.backoff_s;
+  out.wasted_rest_s += load.wasted_s;
+  if (load.exhausted) {
+    out.exhausted = true;
+    return out;
+  }
+  out.ok = clean;
+  return out;
+}
+
+FaultedTransfer TransferModel::WorkingSetTransferFaulted(
+    Bytes bytes, const fault::FaultInjector* injector, uint64_t entity,
+    const RetryPolicy& retry) const {
+  return RunFaulted(WorkingSetTransfer(bytes), /*load_is_dw=*/true, injector,
+                    entity, retry);
+}
+
+FaultedTransfer TransferModel::ViewTransferToDwFaulted(
+    Bytes bytes, const fault::FaultInjector* injector, uint64_t entity,
+    const RetryPolicy& retry) const {
+  return RunFaulted(ViewTransferToDw(bytes), /*load_is_dw=*/true, injector,
+                    entity, retry);
+}
+
+FaultedTransfer TransferModel::ViewTransferToHvFaulted(
+    Bytes bytes, const fault::FaultInjector* injector, uint64_t entity,
+    const RetryPolicy& retry) const {
+  return RunFaulted(ViewTransferToHv(bytes), /*load_is_dw=*/false, injector,
+                    entity, retry);
 }
 
 }  // namespace miso::transfer

@@ -1,7 +1,11 @@
 #ifndef MISO_TRANSFER_TRANSFER_MODEL_H_
 #define MISO_TRANSFER_TRANSFER_MODEL_H_
 
+#include <cstdint>
+
+#include "common/retry.h"
 #include "common/units.h"
+#include "fault/fault.h"
 
 namespace miso::transfer {
 
@@ -44,6 +48,39 @@ struct TransferBreakdown {
   Seconds Total() const { return dump_s + network_s + load_s; }
 };
 
+/// A transfer executed under fault injection. `ok` is the clean breakdown
+/// of the (eventually) successful attempt; the extra fields charge the
+/// failed attempts and inter-attempt backoff. Interrupted streams bill
+/// their partially-moved bytes: `wasted_dump_s` is the thrown-away HV-side
+/// dump/export work, `wasted_rest_s` the thrown-away network + load work.
+/// When `exhausted`, `ok` is zero and the transfer did not complete.
+struct FaultedTransfer {
+  TransferBreakdown ok;
+  Seconds wasted_dump_s = 0;
+  Seconds wasted_rest_s = 0;
+  Seconds backoff_s = 0;
+  int injected = 0;
+  /// Of `injected`: failures of the dump+network stream (site kTransfer)
+  /// vs. failures of the load stage (site kDwLoad / kTransfer).
+  int injected_stream = 0;
+  int injected_load = 0;
+  int retries = 0;
+  bool exhausted = false;
+
+  Seconds TotalCharged() const {
+    return ok.Total() + wasted_dump_s + wasted_rest_s + backoff_s;
+  }
+  fault::FaultAccounting Accounting() const {
+    fault::FaultAccounting acc;
+    acc.injected = injected;
+    acc.retries = retries;
+    acc.wasted_s = wasted_dump_s + wasted_rest_s;
+    acc.backoff_s = backoff_s;
+    acc.exhausted = exhausted;
+    return acc;
+  }
+};
+
 /// Cost model over a TransferConfig.
 class TransferModel {
  public:
@@ -60,7 +97,31 @@ class TransferModel {
   /// Reorganization move of an evicted view DW -> HV.
   TransferBreakdown ViewTransferToHv(Bytes bytes) const;
 
+  /// Fault-injected variants of the three movements above. Two retry
+  /// scopes mirror the staged pipeline: the dump+network stream retries
+  /// as a unit (site kTransfer — an interruption re-sends the stream and
+  /// charges the partially-moved bytes), while the already-staged load
+  /// retries alone (site kDwLoad for DW-bound loads, kTransfer for the
+  /// HDFS write of an HV-bound move — the staging file survives a load
+  /// failure, so dump/network work is never repeated for it). With a
+  /// null `injector` these reduce exactly to the unfaulted methods.
+  FaultedTransfer WorkingSetTransferFaulted(
+      Bytes bytes, const fault::FaultInjector* injector, uint64_t entity,
+      const RetryPolicy& retry) const;
+  FaultedTransfer ViewTransferToDwFaulted(Bytes bytes,
+                                          const fault::FaultInjector* injector,
+                                          uint64_t entity,
+                                          const RetryPolicy& retry) const;
+  FaultedTransfer ViewTransferToHvFaulted(Bytes bytes,
+                                          const fault::FaultInjector* injector,
+                                          uint64_t entity,
+                                          const RetryPolicy& retry) const;
+
  private:
+  FaultedTransfer RunFaulted(const TransferBreakdown& clean, bool load_is_dw,
+                             const fault::FaultInjector* injector,
+                             uint64_t entity, const RetryPolicy& retry) const;
+
   TransferConfig config_;
 };
 

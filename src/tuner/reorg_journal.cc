@@ -1,0 +1,141 @@
+#include "tuner/reorg_journal.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
+namespace miso::tuner {
+
+Result<ReorgJournal> ReorgJournal::Create(const ReorgPlan& plan,
+                                          const views::ViewCatalog& hv,
+                                          const views::ViewCatalog& dw) {
+  ReorgJournal journal;
+  journal.entries_.reserve(plan.move_to_dw.size() + plan.move_to_hv.size() +
+                           plan.drop_from_hv.size() + plan.drop_from_dw.size());
+  auto push = [&journal](Kind kind, views::View view) {
+    Entry entry;
+    entry.kind = kind;
+    entry.view = std::move(view);
+    journal.entries_.push_back(std::move(entry));
+  };
+  for (const views::View& view : plan.move_to_dw) {
+    if (!hv.Contains(view.id)) {
+      return Status::NotFound("reorg journal: move_to_dw view not in HV");
+    }
+    push(Kind::kToDw, view);
+  }
+  for (const views::View& view : plan.move_to_hv) {
+    if (!dw.Contains(view.id)) {
+      return Status::NotFound("reorg journal: move_to_hv view not in DW");
+    }
+    push(Kind::kToHv, view);
+  }
+  // Drops snapshot the full view so rollback can re-insert it.
+  for (views::ViewId id : plan.drop_from_hv) {
+    MISO_ASSIGN_OR_RETURN(views::View view, hv.Find(id));
+    push(Kind::kDropHv, std::move(view));
+  }
+  for (views::ViewId id : plan.drop_from_dw) {
+    MISO_ASSIGN_OR_RETURN(views::View view, dw.Find(id));
+    push(Kind::kDropDw, std::move(view));
+  }
+  return journal;
+}
+
+Status ReorgJournal::Step(const Entry& entry, bool undo,
+                          views::ViewCatalog* hv, views::ViewCatalog* dw) {
+  switch (entry.kind) {
+    case Kind::kToDw:
+      if (undo) {
+        MISO_RETURN_IF_ERROR(dw->Remove(entry.view.id));
+        return hv->AddUnchecked(entry.view);
+      }
+      MISO_RETURN_IF_ERROR(hv->Remove(entry.view.id));
+      return dw->AddUnchecked(entry.view);
+    case Kind::kToHv:
+      if (undo) {
+        MISO_RETURN_IF_ERROR(hv->Remove(entry.view.id));
+        return dw->AddUnchecked(entry.view);
+      }
+      MISO_RETURN_IF_ERROR(dw->Remove(entry.view.id));
+      return hv->AddUnchecked(entry.view);
+    case Kind::kDropHv:
+      if (undo) return hv->AddUnchecked(entry.view);
+      return hv->Remove(entry.view.id);
+    case Kind::kDropDw:
+      if (undo) return dw->AddUnchecked(entry.view);
+      return dw->Remove(entry.view.id);
+  }
+  return Status::Internal("reorg journal: unknown entry kind");
+}
+
+void ReorgJournal::Charge(const Entry& entry, bool undo, Outcome* outcome) {
+  ++outcome->steps;
+  switch (entry.kind) {
+    case Kind::kToDw:
+      // Undoing an HV->DW move is itself a DW->HV transfer, and vice
+      // versa: the bytes cross the inter-store link either way.
+      (undo ? outcome->bytes_to_hv : outcome->bytes_to_dw) +=
+          entry.view.size_bytes;
+      break;
+    case Kind::kToHv:
+      (undo ? outcome->bytes_to_dw : outcome->bytes_to_hv) +=
+          entry.view.size_bytes;
+      break;
+    case Kind::kDropHv:
+    case Kind::kDropDw:
+      break;  // drops are free (metadata-only)
+  }
+}
+
+Result<ReorgJournal::Outcome> ReorgJournal::Apply(views::ViewCatalog* hv,
+                                                  views::ViewCatalog* dw,
+                                                  int crash_before) {
+  Outcome outcome;
+  const int limit =
+      crash_before >= 0 ? std::min(crash_before, num_entries()) : num_entries();
+  for (int i = 0; i < limit; ++i) {
+    Entry& entry = entries_[static_cast<size_t>(i)];
+    if (entry.applied) continue;
+    MISO_RETURN_IF_ERROR(Step(entry, /*undo=*/false, hv, dw));
+    entry.applied = true;
+    Charge(entry, /*undo=*/false, &outcome);
+  }
+  return outcome;
+}
+
+Result<ReorgJournal::Outcome> ReorgJournal::Recover(RecoveryPolicy policy,
+                                                    views::ViewCatalog* hv,
+                                                    views::ViewCatalog* dw) {
+  Outcome outcome;
+  recovered_ = true;
+  recovery_policy_ = policy;
+  if (policy == RecoveryPolicy::kResume) {
+    for (Entry& entry : entries_) {
+      if (entry.applied) continue;
+      MISO_RETURN_IF_ERROR(Step(entry, /*undo=*/false, hv, dw));
+      entry.applied = true;
+      Charge(entry, /*undo=*/false, &outcome);
+    }
+    return outcome;
+  }
+  // Rollback: undo applied steps in reverse order.
+  for (int i = num_entries() - 1; i >= 0; --i) {
+    Entry& entry = entries_[static_cast<size_t>(i)];
+    if (!entry.applied) continue;
+    MISO_RETURN_IF_ERROR(Step(entry, /*undo=*/true, hv, dw));
+    entry.applied = false;
+    Charge(entry, /*undo=*/true, &outcome);
+  }
+  return outcome;
+}
+
+int ReorgJournal::num_applied() const {
+  int applied = 0;
+  for (const Entry& entry : entries_) applied += entry.applied ? 1 : 0;
+  return applied;
+}
+
+bool ReorgJournal::Complete() const { return num_applied() == num_entries(); }
+
+}  // namespace miso::tuner

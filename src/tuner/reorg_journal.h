@@ -1,0 +1,89 @@
+#ifndef MISO_TUNER_REORG_JOURNAL_H_
+#define MISO_TUNER_REORG_JOURNAL_H_
+
+#include <vector>
+
+#include "common/retry.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "tuner/reorg_plan.h"
+#include "views/view.h"
+#include "views/view_catalog.h"
+
+namespace miso::tuner {
+
+/// Write-ahead journal for one reorganization, making the multi-move
+/// design change crash-safe. A `ReorgPlan` is flattened into an ordered
+/// list of atomic steps (each step moves or drops exactly one view);
+/// applying the plan walks the steps in order, marking each applied. A
+/// crash between steps leaves a half-applied design; `Recover` restores a
+/// consistent one either by completing the remaining steps (resume) or by
+/// undoing the applied ones in reverse (rollback). Both are idempotent —
+/// recovering an already-recovered journal is a no-op.
+class ReorgJournal {
+ public:
+  enum class Kind {
+    kToDw = 0,    // move HV -> DW
+    kToHv = 1,    // move DW -> HV
+    kDropHv = 2,  // drop from HV
+    kDropDw = 3,  // drop from DW
+  };
+
+  struct Entry {
+    Kind kind = Kind::kToDw;
+    /// Full view record, snapshotted before any step runs — drops keep the
+    /// whole view too, so rollback can re-insert it.
+    views::View view;
+    bool applied = false;
+  };
+
+  /// Byte/step totals of one Apply or Recover pass, for the simulator's
+  /// time accounting (recovery moves consume the transfer budget like any
+  /// other movement).
+  struct Outcome {
+    int steps = 0;
+    Bytes bytes_to_dw = 0;
+    Bytes bytes_to_hv = 0;
+  };
+
+  /// Snapshots `plan` against the current catalogs. Move steps come first
+  /// (HV->DW then DW->HV, mirroring ApplyReorgPlan's order), then drops.
+  /// Fails if a referenced view is absent from its source catalog.
+  static Result<ReorgJournal> Create(const ReorgPlan& plan,
+                                     const views::ViewCatalog& hv,
+                                     const views::ViewCatalog& dw);
+
+  /// Applies unapplied steps in order, stopping before step index
+  /// `crash_before` (pass -1 for no crash). Each step is atomic: the
+  /// crash lands *between* steps, never inside one. Returns what this
+  /// pass moved.
+  Result<Outcome> Apply(views::ViewCatalog* hv, views::ViewCatalog* dw,
+                        int crash_before = -1);
+
+  /// Restores a consistent design after a crash: kResume completes the
+  /// remaining steps, kRollback undoes the applied ones in reverse order.
+  /// Idempotent. Returns what this pass moved.
+  Result<Outcome> Recover(RecoveryPolicy policy, views::ViewCatalog* hv,
+                          views::ViewCatalog* dw);
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  int num_entries() const { return static_cast<int>(entries_.size()); }
+  int num_applied() const;
+  bool Complete() const;
+  /// The recovery that ran, if any (for tracing).
+  bool recovered() const { return recovered_; }
+  RecoveryPolicy recovery_policy() const { return recovery_policy_; }
+
+ private:
+  static Status Step(const Entry& entry, bool undo, views::ViewCatalog* hv,
+                     views::ViewCatalog* dw);
+  static void Charge(const Entry& entry, bool undo, Outcome* outcome);
+
+  std::vector<Entry> entries_;
+  bool recovered_ = false;
+  RecoveryPolicy recovery_policy_ = RecoveryPolicy::kResume;
+};
+
+}  // namespace miso::tuner
+
+#endif  // MISO_TUNER_REORG_JOURNAL_H_

@@ -239,4 +239,56 @@ Status VerifyAtomicPlacement(
   return Status::OK();
 }
 
+Status VerifyJournalConsistency(const tuner::ReorgJournal& journal,
+                                const views::ViewCatalog& hv,
+                                const views::ViewCatalog& dw) {
+  using Kind = tuner::ReorgJournal::Kind;
+  int applied = 0;
+  int total = 0;
+  for (const tuner::ReorgJournal::Entry& entry : journal.entries()) {
+    ++total;
+    applied += entry.applied ? 1 : 0;
+    const views::ViewId id = entry.view.id;
+    bool consistent = true;
+    switch (entry.kind) {
+      case Kind::kToDw:
+        consistent = entry.applied ? (dw.Contains(id) && !hv.Contains(id))
+                                   : (hv.Contains(id) && !dw.Contains(id));
+        break;
+      case Kind::kToHv:
+        consistent = entry.applied ? (hv.Contains(id) && !dw.Contains(id))
+                                   : (dw.Contains(id) && !hv.Contains(id));
+        break;
+      case Kind::kDropHv:
+        consistent = entry.applied ? !hv.Contains(id) : hv.Contains(id);
+        break;
+      case Kind::kDropDw:
+        consistent = entry.applied ? !dw.Contains(id) : dw.Contains(id);
+        break;
+    }
+    if (!consistent) {
+      return MakeVerifyError(
+          VerifyCode::kReorgJournalInconsistent,
+          "journal entry for view " + std::to_string(id) + " is marked " +
+              (entry.applied ? "applied" : "unapplied") +
+              " but the catalogs disagree");
+    }
+  }
+  if (journal.recovered()) {
+    const bool terminal =
+        journal.recovery_policy() == RecoveryPolicy::kResume
+            ? applied == total
+            : applied == 0;
+    if (!terminal) {
+      return MakeVerifyError(
+          VerifyCode::kReorgRecoveryIncomplete,
+          std::string("journal recovered via ") +
+              RecoveryPolicyName(journal.recovery_policy()) + " but " +
+              std::to_string(applied) + " of " + std::to_string(total) +
+              " steps are applied");
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace miso::verify

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "tuner/reorg_journal.h"
 #include "tuner/reorg_plan.h"
 #include "verify/error_codes.h"
 #include "views/view_catalog.h"
@@ -69,6 +70,24 @@ struct BenefitLedger {
   /// The claimed Σ weights[i] * per_query_benefit[i].
   double predicted_total = 0.0;
 };
+
+/// Cross-checks a reorganization journal against the catalogs it was
+/// applied to — the invariant behind crash-safe reorganization:
+///
+///  * every entry's `applied` flag agrees with where its view actually
+///    resides (V209): an applied move put the view in its destination
+///    store and removed it from the source; an unapplied one left it in
+///    the source; drops analogously;
+///  * when the journal has recovered from a crash, it must be in a
+///    terminal state (V210): fully applied after a resume, fully
+///    unapplied after a rollback — a mixed state means recovery stopped
+///    halfway.
+///
+/// Uses only the journal's header-inline accessors, keeping miso_verify's
+/// linking acyclic with miso_tuner.
+Status VerifyJournalConsistency(const tuner::ReorgJournal& journal,
+                                const views::ViewCatalog& hv,
+                                const views::ViewCatalog& dw);
 
 /// Cross-checks the decayed-benefit bookkeeping (all violations V208):
 ///

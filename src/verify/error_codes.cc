@@ -53,6 +53,10 @@ std::string_view VerifyCodeToken(VerifyCode code) {
       return "V207";
     case VerifyCode::kBenefitBookkeepingDrift:
       return "V208";
+    case VerifyCode::kReorgJournalInconsistent:
+      return "V209";
+    case VerifyCode::kReorgRecoveryIncomplete:
+      return "V210";
   }
   return "V???";
 }

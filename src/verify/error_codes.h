@@ -59,6 +59,12 @@ enum class VerifyCode {
                                     //       from decay^epoch_age, negative /
                                     //       non-finite per-query benefit, or
                                     //       total != Σ weight·benefit)
+  kReorgJournalInconsistent = 209,  // V209: a journal entry's applied flag
+                                    //       disagrees with where its view
+                                    //       actually resides in the catalogs
+  kReorgRecoveryIncomplete = 210,   // V210: after crash recovery the journal
+                                    //       is neither fully applied (resume)
+                                    //       nor fully unapplied (rollback)
 };
 
 /// The stable token embedded in diagnostics, e.g. "V101".

@@ -81,6 +81,77 @@ TEST_F(EnvTest, FlagParsesZeroAndOne) {
   EXPECT_TRUE(EnvFlag(kKnob, false));
 }
 
+TEST_F(EnvTest, DoubleReturnsFallbackWhenUnset) {
+  EXPECT_DOUBLE_EQ(EnvDouble(kKnob, 0.08, 0.0, 1.0), 0.08);
+}
+
+TEST_F(EnvTest, DoubleParsesDecimalAndScientific) {
+  setenv(kKnob, "0.25", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble(kKnob, 0.08, 0.0, 1.0), 0.25);
+  setenv(kKnob, "1e-2", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble(kKnob, 0.08, 0.0, 1.0), 0.01);
+  setenv(kKnob, "0", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble(kKnob, 0.08, 0.0, 1.0), 0.0);
+  setenv(kKnob, "1", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble(kKnob, 0.08, 0.0, 1.0), 1.0);
+}
+
+TEST_F(EnvTest, DoubleDiesOnGarbage) {
+  setenv(kKnob, "lots", 1);
+  EXPECT_EXIT(EnvDouble(kKnob, 0.08, 0.0, 1.0), ::testing::ExitedWithCode(2),
+              "MISO_TEST_KNOB='lots' is invalid");
+  setenv(kKnob, "0.5x", 1);
+  EXPECT_EXIT(EnvDouble(kKnob, 0.08, 0.0, 1.0), ::testing::ExitedWithCode(2),
+              "expected a number in \\[0, 1\\]");
+  setenv(kKnob, "", 1);
+  EXPECT_EXIT(EnvDouble(kKnob, 0.08, 0.0, 1.0), ::testing::ExitedWithCode(2),
+              "invalid");
+}
+
+TEST_F(EnvTest, DoubleDiesOutOfRange) {
+  setenv(kKnob, "1.5", 1);
+  EXPECT_EXIT(EnvDouble(kKnob, 0.08, 0.0, 1.0), ::testing::ExitedWithCode(2),
+              "expected a number in \\[0, 1\\]");
+  setenv(kKnob, "-0.1", 1);
+  EXPECT_EXIT(EnvDouble(kKnob, 0.08, 0.0, 1.0), ::testing::ExitedWithCode(2),
+              "invalid");
+}
+
+TEST_F(EnvTest, DoubleDiesOnNanBecauseComparisonsAreNanSafe) {
+  // !(NaN >= min) must reject: a plain (parsed < min || parsed > max)
+  // check would let NaN through.
+  setenv(kKnob, "nan", 1);
+  EXPECT_EXIT(EnvDouble(kKnob, 0.08, 0.0, 1.0), ::testing::ExitedWithCode(2),
+              "invalid");
+}
+
+TEST_F(EnvTest, ChoiceReturnsFallbackWhenUnset) {
+  static const char* const kChoices[] = {"off", "transient", "outage",
+                                         "chaos"};
+  EXPECT_EQ(EnvChoice(kKnob, 0, kChoices, 4), 0);
+  EXPECT_EQ(EnvChoice(kKnob, 2, kChoices, 4), 2);
+}
+
+TEST_F(EnvTest, ChoiceMatchesExactTokensOnly) {
+  static const char* const kChoices[] = {"off", "transient", "outage",
+                                         "chaos"};
+  setenv(kKnob, "chaos", 1);
+  EXPECT_EQ(EnvChoice(kKnob, 0, kChoices, 4), 3);
+  setenv(kKnob, "transient", 1);
+  EXPECT_EQ(EnvChoice(kKnob, 0, kChoices, 4), 1);
+}
+
+TEST_F(EnvTest, ChoiceDiesOnUnknownTokenListingTheAlternatives) {
+  static const char* const kChoices[] = {"off", "transient", "outage",
+                                         "chaos"};
+  setenv(kKnob, "Chaos", 1);  // case-sensitive: not a silent match
+  EXPECT_EXIT(EnvChoice(kKnob, 0, kChoices, 4), ::testing::ExitedWithCode(2),
+              "expected one of off\\|transient\\|outage\\|chaos");
+  setenv(kKnob, "", 1);
+  EXPECT_EXIT(EnvChoice(kKnob, 0, kChoices, 4), ::testing::ExitedWithCode(2),
+              "invalid");
+}
+
 TEST_F(EnvTest, FlagDiesOnAnythingElse) {
   setenv(kKnob, "yes", 1);
   EXPECT_EXIT(EnvFlag(kKnob, false), ::testing::ExitedWithCode(2),

@@ -1,0 +1,114 @@
+// RetryPolicy/RunWithRetry: exponential simulated backoff with a clamp,
+// honest accounting of wasted vs successful seconds, and a deterministic
+// loop (all randomness lives in the caller's attempt callback).
+
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace miso {
+namespace {
+
+TEST(RetryPolicyTest, BackoffIsExponentialWithClamp) {
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.initial_backoff_s = 2.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_s = 10.0;
+
+  EXPECT_DOUBLE_EQ(policy.BackoffBefore(1), 0.0);  // first attempt is free
+  EXPECT_DOUBLE_EQ(policy.BackoffBefore(2), 2.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffBefore(3), 4.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffBefore(4), 8.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffBefore(5), 10.0);  // clamped from 16
+  EXPECT_DOUBLE_EQ(policy.BackoffBefore(6), 10.0);
+
+  EXPECT_DOUBLE_EQ(policy.TotalBackoff(1), 0.0);
+  EXPECT_DOUBLE_EQ(policy.TotalBackoff(3), 6.0);
+  EXPECT_DOUBLE_EQ(policy.TotalBackoff(6), 34.0);
+}
+
+TEST(RunWithRetryTest, FirstAttemptSuccessChargesNoBackoff) {
+  const RetryStats stats =
+      RunWithRetry(RetryPolicy{}, [](int attempt, Seconds* cost) {
+        EXPECT_EQ(attempt, 1);
+        *cost = 100.0;
+        return true;
+      });
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_EQ(stats.retries(), 0);
+  EXPECT_FALSE(stats.exhausted);
+  EXPECT_DOUBLE_EQ(stats.success_s, 100.0);
+  EXPECT_DOUBLE_EQ(stats.wasted_s, 0.0);
+  EXPECT_DOUBLE_EQ(stats.backoff_s, 0.0);
+  EXPECT_DOUBLE_EQ(stats.TotalCharged(), 100.0);
+}
+
+TEST(RunWithRetryTest, FailuresChargeWasteBackoffAndFinalSuccess) {
+  RetryPolicy policy;  // 3 attempts, 2s initial backoff, x2
+  const RetryStats stats =
+      RunWithRetry(policy, [](int attempt, Seconds* cost) {
+        *cost = (attempt < 3) ? 10.0 : 50.0;  // partial work, then done
+        return attempt == 3;
+      });
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_EQ(stats.retries(), 2);
+  EXPECT_FALSE(stats.exhausted);
+  EXPECT_DOUBLE_EQ(stats.wasted_s, 20.0);
+  EXPECT_DOUBLE_EQ(stats.backoff_s, 6.0);  // 2 + 4
+  EXPECT_DOUBLE_EQ(stats.success_s, 50.0);
+  EXPECT_DOUBLE_EQ(stats.TotalCharged(), 76.0);
+}
+
+TEST(RunWithRetryTest, ExhaustionKeepsAllWasteAndNoSuccess) {
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  const RetryStats stats = RunWithRetry(policy, [](int, Seconds* cost) {
+    *cost = 7.0;
+    return false;
+  });
+  EXPECT_EQ(stats.attempts, 2);
+  EXPECT_TRUE(stats.exhausted);
+  EXPECT_DOUBLE_EQ(stats.wasted_s, 14.0);
+  EXPECT_DOUBLE_EQ(stats.backoff_s, 2.0);
+  EXPECT_DOUBLE_EQ(stats.success_s, 0.0);
+}
+
+TEST(RunWithRetryTest, SingleAttemptPolicyMeansNoRetries) {
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  int calls = 0;
+  const RetryStats stats = RunWithRetry(policy, [&](int, Seconds* cost) {
+    ++calls;
+    *cost = 1.0;
+    return false;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(stats.exhausted);
+  EXPECT_DOUBLE_EQ(stats.backoff_s, 0.0);
+}
+
+TEST(RunWithRetryTest, AttemptNumbersArePassedInOrder) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  std::vector<int> seen;
+  RunWithRetry(policy, [&](int attempt, Seconds* cost) {
+    seen.push_back(attempt);
+    *cost = 0.0;
+    return false;
+  });
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(RecoveryPolicyTest, NamesAreStable) {
+  EXPECT_EQ(std::string(RecoveryPolicyName(RecoveryPolicy::kResume)),
+            "resume");
+  EXPECT_EQ(std::string(RecoveryPolicyName(RecoveryPolicy::kRollback)),
+            "rollback");
+}
+
+}  // namespace
+}  // namespace miso

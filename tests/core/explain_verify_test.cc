@@ -10,6 +10,8 @@
 #include "../test_util.h"
 #include "core/multistore_system.h"
 #include "obs/trace.h"
+#include "views/view.h"
+#include "views/view_catalog.h"
 #include "workload/evolutionary.h"
 
 namespace miso {
@@ -65,10 +67,11 @@ TEST_F(ExplainVerifyTest, ExplainVerifyRunsAllVerdictsWithoutDebugGate) {
   auto report = System().ExplainVerify(FirstQuery());
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_TRUE(report->verify_ran);
-  ASSERT_EQ(report->verdicts.size(), 3u);
+  ASSERT_EQ(report->verdicts.size(), 4u);
   EXPECT_EQ(report->verdicts[0].check, "query_graph");
   EXPECT_EQ(report->verdicts[1].check, "split_shape");
   EXPECT_EQ(report->verdicts[2].check, "multistore_plan");
+  EXPECT_EQ(report->verdicts[3].check, "design_budgets");
   for (const core::VerifierVerdict& verdict : report->verdicts) {
     EXPECT_TRUE(verdict.ok) << verdict.check << ": " << verdict.message;
     EXPECT_EQ(verdict.code, "V000");
@@ -93,6 +96,41 @@ TEST_F(ExplainVerifyTest, ReportSerializesAsOneStructuredRecord) {
   const std::string text = report->ToString();
   EXPECT_NE(text.find("anatomy: HV "), std::string::npos);
   EXPECT_NE(text.find("verify split_shape: OK [V000]"), std::string::npos);
+}
+
+TEST_F(ExplainVerifyTest, CorruptedDesignSurfacesFailingVerdictNotError) {
+  // Error propagation, facade level: a corrupted design — the same view
+  // resident in both stores, which VerifyDesign rejects with V203 — must
+  // come back as a *failing verdict* in the EXPLAIN VERIFY report, not as
+  // a silent pass and not as a Status error (the caller asked to see the
+  // evidence).
+  views::View dup;
+  dup.id = 7001;
+  dup.signature = 0x9999;
+  dup.size_bytes = kGiB;
+  dup.stats.bytes = kGiB;
+  views::ViewCatalog hv_views(4 * kTiB);
+  views::ViewCatalog dw_views(400 * kGiB);
+  MISO_ASSERT_OK(hv_views.AddUnchecked(dup));
+  MISO_ASSERT_OK(dw_views.AddUnchecked(dup));
+
+  auto report = core::ExplainQuery(System().catalog(), sim::SimConfig{},
+                                   FirstQuery(), dw_views, hv_views,
+                                   /*run_verifiers=*/true);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->verify_ran);
+  EXPECT_FALSE(report->AllVerified());
+  ASSERT_EQ(report->verdicts.size(), 4u);
+  const core::VerifierVerdict& design = report->verdicts[3];
+  EXPECT_EQ(design.check, "design_budgets");
+  EXPECT_FALSE(design.ok);
+  EXPECT_EQ(design.code, "V203") << design.message;
+  EXPECT_NE(design.message.find("both"), std::string::npos) << design.message;
+
+  // The verdict survives both serializations.
+  EXPECT_NE(report->ToJson().find("\"verified\":false"), std::string::npos);
+  EXPECT_NE(report->ToString().find("verify design_budgets: FAIL [V203]"),
+            std::string::npos);
 }
 
 TEST_F(ExplainVerifyTest, EmitsTraceEventsWhenTracingIsOn) {

@@ -1,0 +1,120 @@
+// DW-outage degradation: queries arriving inside an outage window are
+// re-planned as HV-only splits (they complete, slower, with zero DW
+// operators), reorganizations falling inside the window are deferred,
+// and store-confined variants are untouched by the outage.
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "fault/fault.h"
+#include "sim/report_io.h"
+#include "sim/simulator.h"
+
+namespace miso::sim {
+namespace {
+
+using testing_util::PaperCatalog;
+
+/// Outage-only spec: DW down for queries [5, 11), no transient faults.
+fault::FaultSpec OutageOnlySpec() {
+  fault::FaultSpec spec;
+  spec.profile = fault::FaultProfile::kOutage;
+  spec.seed = 13;
+  spec.rate = 0.0;  // pure outage: no retryable fault stream
+  spec.dw_outages.push_back(fault::OutageWindow{5, 11});
+  return spec;
+}
+
+RunReport MustRun(const SimConfig& config) {
+  auto report = RunPaperWorkload(&PaperCatalog(), config, /*seed=*/42);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return std::move(report).value();
+}
+
+TEST(DwOutageTest, WindowQueriesDegradeToHvOnlyPlansAndStillComplete) {
+  SimConfig config;
+  config.variant = SystemVariant::kMsMiso;
+  config.fault = OutageOnlySpec();
+  const RunReport report = MustRun(config);
+
+  ASSERT_EQ(report.queries.size(), 32u);
+  EXPECT_EQ(report.degraded_queries, 6);
+  for (const QueryRecord& q : report.queries) {
+    const bool in_window = q.index >= 5 && q.index < 11;
+    EXPECT_EQ(q.degraded, in_window) << "query " << q.index;
+    if (in_window) {
+      // HV-only re-plan: nothing runs DW-side during the outage.
+      EXPECT_EQ(q.ops_dw, 0) << "query " << q.index;
+      EXPECT_DOUBLE_EQ(q.breakdown.dw_exec_s, 0.0) << "query " << q.index;
+    }
+    // Degradation, not failure: every query completed.
+    EXPECT_GT(q.completion_time, q.start_time) << "query " << q.index;
+  }
+  // No transient faults were configured, so no retries anywhere.
+  EXPECT_EQ(report.fault_injected, 0);
+  EXPECT_EQ(report.fault_retries, 0);
+  EXPECT_DOUBLE_EQ(report.fault_wasted_s, 0.0);
+}
+
+TEST(DwOutageTest, ReorgBoundariesInsideTheWindowAreDeferred) {
+  // reorg_every = 3 puts boundaries after queries 2, 5, 8, ... — two of
+  // which (5 and 8) fall inside the [5, 11) outage window.
+  SimConfig config;
+  config.variant = SystemVariant::kMsMiso;
+  config.fault = OutageOnlySpec();
+  const RunReport outage = MustRun(config);
+
+  SimConfig clean_config;
+  clean_config.variant = SystemVariant::kMsMiso;
+  const RunReport clean = MustRun(clean_config);
+
+  EXPECT_EQ(outage.reorgs_skipped, 2);
+  EXPECT_EQ(outage.reorg_count, clean.reorg_count - 2);
+  EXPECT_EQ(clean.reorgs_skipped, 0);
+  EXPECT_EQ(clean.degraded_queries, 0);
+}
+
+TEST(DwOutageTest, OutageCostsTimeAgainstTheCleanRun) {
+  SimConfig config;
+  config.variant = SystemVariant::kMsMiso;
+  const RunReport clean = MustRun(config);
+  config.fault = OutageOnlySpec();
+  const RunReport outage = MustRun(config);
+  // Six queries lost the DW's help: the workload takes longer even though
+  // two reorganizations were skipped.
+  EXPECT_GT(outage.Tti(), clean.Tti());
+}
+
+TEST(DwOutageTest, StoreConfinedVariantsIgnoreTheOutage) {
+  for (SystemVariant variant :
+       {SystemVariant::kHvOnly, SystemVariant::kHvOp, SystemVariant::kDwOnly}) {
+    SimConfig config;
+    config.variant = variant;
+    config.fault = OutageOnlySpec();
+    const RunReport report = MustRun(config);
+    EXPECT_EQ(report.degraded_queries, 0)
+        << "variant " << static_cast<int>(variant);
+    for (const QueryRecord& q : report.queries) {
+      EXPECT_FALSE(q.degraded);
+    }
+  }
+}
+
+TEST(DwOutageTest, DerivedWindowIsStableAcrossRuns) {
+  // No explicit window: the outage profile derives one from (fault seed,
+  // workload length). Two runs must agree byte-for-byte.
+  SimConfig config;
+  config.variant = SystemVariant::kMsMiso;
+  config.fault.profile = fault::FaultProfile::kOutage;
+  config.fault.seed = 21;
+  config.fault.rate = 0.0;
+  const RunReport a = MustRun(config);
+  const RunReport b = MustRun(config);
+  EXPECT_GT(a.degraded_queries, 0);
+  EXPECT_EQ(a.degraded_queries, b.degraded_queries);
+  EXPECT_EQ(QueriesToCsv(a), QueriesToCsv(b));
+  EXPECT_EQ(SummaryToCsv(a, false), SummaryToCsv(b, false));
+}
+
+}  // namespace
+}  // namespace miso::sim

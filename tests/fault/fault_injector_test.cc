@@ -1,0 +1,281 @@
+// The fault oracle contract: decisions are a pure, stateless hash of
+// (seed, site, entity, attempt) — order- and thread-independent — the
+// profile/rate/seed knobs resolve strictly from the environment, and the
+// derived DW outage window is deterministic in (seed, workload length).
+
+#include "fault/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace miso::fault {
+namespace {
+
+FaultSpec ChaosSpec(int64_t seed = 7, double rate = 0.3) {
+  FaultSpec spec;
+  spec.profile = FaultProfile::kChaos;
+  spec.seed = seed;
+  spec.rate = rate;
+  return spec;
+}
+
+class FaultEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Clear(); }
+  void TearDown() override { Clear(); }
+  static void Clear() {
+    unsetenv("MISO_FAULT_PROFILE");
+    unsetenv("MISO_FAULT_RATE");
+    unsetenv("MISO_FAULT_SEED");
+  }
+};
+
+TEST_F(FaultEnvTest, DefaultSpecResolvesToOff) {
+  const FaultPlan plan = FaultPlan::Resolve(FaultSpec{}, /*num_queries=*/32);
+  EXPECT_FALSE(plan.Enabled());
+  EXPECT_DOUBLE_EQ(plan.hv_job_rate, 0.0);
+  EXPECT_DOUBLE_EQ(plan.reorg_crash_rate, 0.0);
+  EXPECT_TRUE(plan.dw_outages.empty());
+}
+
+TEST_F(FaultEnvTest, ProfileRateAndSeedResolveFromEnvironment) {
+  setenv("MISO_FAULT_PROFILE", "transient", 1);
+  setenv("MISO_FAULT_RATE", "0.25", 1);
+  setenv("MISO_FAULT_SEED", "99", 1);
+  const FaultPlan plan = FaultPlan::Resolve(FaultSpec{}, 32);
+  EXPECT_TRUE(plan.Enabled());
+  EXPECT_EQ(plan.profile, FaultProfile::kTransient);
+  EXPECT_DOUBLE_EQ(plan.hv_job_rate, 0.25);
+  EXPECT_DOUBLE_EQ(plan.transfer_rate, 0.25);
+  EXPECT_DOUBLE_EQ(plan.dw_load_rate, 0.25);
+  EXPECT_DOUBLE_EQ(plan.reorg_crash_rate, 0.0);  // crashes are chaos-only
+  EXPECT_EQ(plan.seed, 99u);
+  EXPECT_TRUE(plan.dw_outages.empty());  // no outage in transient
+}
+
+TEST_F(FaultEnvTest, ExplicitSpecFieldsWinOverEnvironment) {
+  setenv("MISO_FAULT_PROFILE", "off", 1);
+  setenv("MISO_FAULT_RATE", "0.9", 1);
+  const FaultPlan plan = FaultPlan::Resolve(ChaosSpec(/*seed=*/3, 0.1), 32);
+  EXPECT_EQ(plan.profile, FaultProfile::kChaos);
+  EXPECT_DOUBLE_EQ(plan.hv_job_rate, 0.1);
+  EXPECT_EQ(plan.seed, 3u);
+}
+
+// Satellite: the MISO_FAULT_* knobs obey the strict-parsing contract —
+// garbage terminates with exit 2 and a diagnostic naming the knob, never
+// a silent fallback to a configuration the user did not ask for.
+TEST_F(FaultEnvTest, GarbageProfileDies) {
+  setenv("MISO_FAULT_PROFILE", "sometimes", 1);
+  EXPECT_EXIT(FaultPlan::Resolve(FaultSpec{}, 32),
+              ::testing::ExitedWithCode(2),
+              "MISO_FAULT_PROFILE='sometimes' is invalid.*"
+              "off\\|transient\\|outage\\|chaos");
+}
+
+TEST_F(FaultEnvTest, GarbageRateDies) {
+  setenv("MISO_FAULT_PROFILE", "transient", 1);
+  setenv("MISO_FAULT_RATE", "lots", 1);
+  EXPECT_EXIT(FaultPlan::Resolve(FaultSpec{}, 32),
+              ::testing::ExitedWithCode(2), "MISO_FAULT_RATE='lots' is invalid");
+}
+
+TEST_F(FaultEnvTest, GarbageRateDiesEvenWhenTheProfileIsOff) {
+  // Strictness is unconditional: the off profile reads no rate, but a
+  // malformed knob still dies — same contract as MISO_THREADS.
+  setenv("MISO_FAULT_RATE", "lots", 1);
+  EXPECT_EXIT(FaultPlan::Resolve(FaultSpec{}, 32),
+              ::testing::ExitedWithCode(2), "MISO_FAULT_RATE='lots' is invalid");
+}
+
+TEST_F(FaultEnvTest, OutOfRangeRateDies) {
+  setenv("MISO_FAULT_PROFILE", "transient", 1);
+  setenv("MISO_FAULT_RATE", "1.5", 1);
+  EXPECT_EXIT(FaultPlan::Resolve(FaultSpec{}, 32),
+              ::testing::ExitedWithCode(2), "expected a number in \\[0, 1\\]");
+  setenv("MISO_FAULT_RATE", "-0.1", 1);
+  EXPECT_EXIT(FaultPlan::Resolve(FaultSpec{}, 32),
+              ::testing::ExitedWithCode(2), "invalid");
+}
+
+TEST_F(FaultEnvTest, NanRateDies) {
+  setenv("MISO_FAULT_PROFILE", "transient", 1);
+  setenv("MISO_FAULT_RATE", "nan", 1);
+  EXPECT_EXIT(FaultPlan::Resolve(FaultSpec{}, 32),
+              ::testing::ExitedWithCode(2), "invalid");
+}
+
+TEST_F(FaultEnvTest, GarbageSeedDies) {
+  setenv("MISO_FAULT_SEED", "abc", 1);
+  EXPECT_EXIT(FaultPlan::Resolve(FaultSpec{}, 32),
+              ::testing::ExitedWithCode(2), "MISO_FAULT_SEED='abc' is invalid");
+}
+
+TEST(FaultDecisionTest, PureFunctionOfSeedSiteEntityAttempt) {
+  const FaultPlan plan = FaultPlan::Resolve(ChaosSpec(), 32);
+  const FaultInjector a(plan);
+  const FaultInjector b(plan);
+  for (uint64_t entity = 0; entity < 200; ++entity) {
+    for (int attempt = 1; attempt <= 3; ++attempt) {
+      const FaultDecision da = a.Decide(FaultSite::kHvJob, entity, attempt);
+      const FaultDecision db = b.Decide(FaultSite::kHvJob, entity, attempt);
+      EXPECT_EQ(da.fail, db.fail);
+      EXPECT_DOUBLE_EQ(da.partial_fraction, db.partial_fraction);
+    }
+  }
+}
+
+TEST(FaultDecisionTest, OrderOfProbingDoesNotMatter) {
+  // The whole point of the stateless oracle: interleaving probes of other
+  // (site, entity, attempt) keys cannot perturb any decision — this is
+  // what makes fault runs thread-count independent.
+  const FaultInjector injector(FaultPlan::Resolve(ChaosSpec(), 32));
+  std::vector<FaultDecision> forward;
+  for (uint64_t e = 0; e < 64; ++e) {
+    forward.push_back(injector.Decide(FaultSite::kTransfer, e, 1));
+  }
+  std::vector<FaultDecision> backward(64);
+  for (int e = 63; e >= 0; --e) {
+    injector.Decide(FaultSite::kDwLoad, static_cast<uint64_t>(e) * 13, 2);
+    backward[e] =
+        injector.Decide(FaultSite::kTransfer, static_cast<uint64_t>(e), 1);
+  }
+  for (size_t e = 0; e < 64; ++e) {
+    EXPECT_EQ(forward[e].fail, backward[e].fail) << e;
+    EXPECT_DOUBLE_EQ(forward[e].partial_fraction, backward[e].partial_fraction);
+  }
+}
+
+TEST(FaultDecisionTest, RateBoundsFailureFrequency) {
+  FaultSpec spec = ChaosSpec(/*seed=*/11, /*rate=*/0.2);
+  const FaultInjector injector(FaultPlan::Resolve(spec, 32));
+  int failures = 0;
+  const int kTrials = 5000;
+  for (int e = 0; e < kTrials; ++e) {
+    const FaultDecision d =
+        injector.Decide(FaultSite::kHvJob, static_cast<uint64_t>(e), 1);
+    if (d.fail) {
+      ++failures;
+      EXPECT_GE(d.partial_fraction, 0.05);
+      EXPECT_LE(d.partial_fraction, 0.95);
+    } else {
+      EXPECT_DOUBLE_EQ(d.partial_fraction, 0.0);
+    }
+  }
+  // 0.2 ± generous tolerance for 5000 hash draws.
+  EXPECT_GT(failures, kTrials * 0.15);
+  EXPECT_LT(failures, kTrials * 0.25);
+}
+
+TEST(FaultDecisionTest, RateZeroNeverFailsRateOneAlwaysFails) {
+  const FaultInjector never(FaultPlan::Resolve(ChaosSpec(1, 0.0), 32));
+  const FaultInjector always(FaultPlan::Resolve(ChaosSpec(1, 1.0), 32));
+  for (uint64_t e = 0; e < 100; ++e) {
+    EXPECT_FALSE(never.Decide(FaultSite::kHvJob, e, 1).fail);
+    EXPECT_TRUE(always.Decide(FaultSite::kHvJob, e, 1).fail);
+  }
+}
+
+TEST(FaultDecisionTest, SitesAreIndependentStreams) {
+  const FaultInjector injector(FaultPlan::Resolve(ChaosSpec(5, 0.5), 32));
+  bool differs = false;
+  for (uint64_t e = 0; e < 64 && !differs; ++e) {
+    differs = injector.Decide(FaultSite::kHvJob, e, 1).fail !=
+              injector.Decide(FaultSite::kTransfer, e, 1).fail;
+  }
+  EXPECT_TRUE(differs) << "hv_job and transfer streams are identical";
+}
+
+TEST(OutageWindowTest, DerivedWindowIsDeterministicAndInRange) {
+  const int n = 32;
+  const FaultPlan a = FaultPlan::Resolve(ChaosSpec(42), n);
+  const FaultPlan b = FaultPlan::Resolve(ChaosSpec(42), n);
+  ASSERT_EQ(a.dw_outages.size(), 1u);
+  ASSERT_EQ(b.dw_outages.size(), 1u);
+  EXPECT_EQ(a.dw_outages[0].begin_query, b.dw_outages[0].begin_query);
+  EXPECT_EQ(a.dw_outages[0].end_query, b.dw_outages[0].end_query);
+  EXPECT_GE(a.dw_outages[0].begin_query, n / 4);
+  EXPECT_LT(a.dw_outages[0].begin_query, n / 2);
+  EXPECT_LE(a.dw_outages[0].end_query, n);
+  EXPECT_GT(a.dw_outages[0].end_query, a.dw_outages[0].begin_query);
+}
+
+TEST(OutageWindowTest, ExplicitWindowsWinAndDriveDwDownForQuery) {
+  FaultSpec spec = ChaosSpec();
+  spec.dw_outages.push_back(OutageWindow{5, 8});
+  spec.dw_outages.push_back(OutageWindow{20, 21});
+  const FaultInjector injector(FaultPlan::Resolve(spec, 32));
+  EXPECT_FALSE(injector.DwDownForQuery(4));
+  EXPECT_TRUE(injector.DwDownForQuery(5));
+  EXPECT_TRUE(injector.DwDownForQuery(7));
+  EXPECT_FALSE(injector.DwDownForQuery(8));  // end is exclusive
+  EXPECT_TRUE(injector.DwDownForQuery(20));
+  EXPECT_FALSE(injector.DwDownForQuery(21));
+}
+
+TEST(ReorgCrashTest, CrashPointAlwaysLandsBetweenMoves) {
+  FaultSpec spec = ChaosSpec(9, 1.0);  // chaos + rate 1 => crash rate 1
+  const FaultInjector injector(FaultPlan::Resolve(spec, 32));
+  for (uint64_t reorg = 0; reorg < 50; ++reorg) {
+    for (int entries : {2, 3, 7, 20}) {
+      const int point = injector.ReorgCrashPoint(reorg, entries);
+      ASSERT_GE(point, 1) << "reorg " << reorg << " entries " << entries;
+      ASSERT_LT(point, entries);
+    }
+  }
+}
+
+TEST(ReorgCrashTest, SingleStepReorgsNeverCrash) {
+  const FaultInjector injector(FaultPlan::Resolve(ChaosSpec(9, 1.0), 32));
+  EXPECT_EQ(injector.ReorgCrashPoint(0, 0), -1);
+  EXPECT_EQ(injector.ReorgCrashPoint(0, 1), -1);
+}
+
+TEST(ReorgCrashTest, NonChaosProfilesNeverCrash) {
+  FaultSpec spec = ChaosSpec(9, 1.0);
+  spec.profile = FaultProfile::kOutage;
+  const FaultInjector injector(FaultPlan::Resolve(spec, 32));
+  for (uint64_t reorg = 0; reorg < 20; ++reorg) {
+    EXPECT_EQ(injector.ReorgCrashPoint(reorg, 10), -1);
+  }
+}
+
+TEST(ExhaustedErrorTest, DiagnosticNamesSiteEntityAndAttempts) {
+  const Status status = ExhaustedError(FaultSite::kTransfer, 12, 3);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("transfer entity 12 exhausted 3 attempts"),
+            std::string::npos)
+      << status.ToString();
+}
+
+TEST(FaultAccountingTest, MergeCountsInjectionsFromRetryStats) {
+  RetryStats two_retries;
+  two_retries.attempts = 3;
+  two_retries.wasted_s = 20;
+  two_retries.backoff_s = 6;
+  FaultAccounting acc;
+  acc.Merge(two_retries);
+  EXPECT_EQ(acc.injected, 2);
+  EXPECT_EQ(acc.retries, 2);
+  EXPECT_FALSE(acc.exhausted);
+  EXPECT_TRUE(acc.Any());
+
+  RetryStats clean;
+  clean.attempts = 1;
+  acc.Merge(clean);
+  EXPECT_EQ(acc.injected, 2);  // a clean run adds nothing
+
+  RetryStats dead;
+  dead.attempts = 2;
+  dead.exhausted = true;
+  acc.Merge(dead);
+  EXPECT_EQ(acc.injected, 4);  // one retry + the final unrecovered failure
+  EXPECT_TRUE(acc.exhausted);
+}
+
+}  // namespace
+}  // namespace miso::fault

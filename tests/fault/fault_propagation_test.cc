@@ -1,0 +1,78 @@
+// Error propagation under injection: when the retry budget runs dry the
+// simulation aborts with the canonical exhaustion error — it does not
+// fabricate a completion time for work that never finished — and
+// RunSeedSweep surfaces that error through its parallel fan-out instead
+// of swallowing it.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "../test_util.h"
+#include "fault/fault.h"
+#include "sim/simulator.h"
+
+namespace miso::sim {
+namespace {
+
+using testing_util::PaperCatalog;
+
+/// Certain death: every attempt of every retryable operation fails, and
+/// the policy allows only two of them.
+fault::FaultSpec LethalSpec() {
+  fault::FaultSpec spec;
+  spec.profile = fault::FaultProfile::kTransient;
+  spec.seed = 1;
+  spec.rate = 1.0;
+  spec.retry.max_attempts = 2;
+  return spec;
+}
+
+TEST(FaultPropagationTest, ExhaustionAbortsTheRunWithTheCanonicalError) {
+  SimConfig config;
+  config.variant = SystemVariant::kMsMiso;
+  config.fault = LethalSpec();
+  auto report = RunPaperWorkload(&PaperCatalog(), config, /*seed=*/42);
+  ASSERT_FALSE(report.ok()) << "a rate-1.0 two-attempt run cannot succeed";
+  EXPECT_EQ(report.status().code(), StatusCode::kInternal);
+  EXPECT_NE(report.status().message().find("fault:"), std::string::npos)
+      << report.status().ToString();
+  EXPECT_NE(report.status().message().find("exhausted 2 attempts"),
+            std::string::npos)
+      << report.status().ToString();
+}
+
+TEST(FaultPropagationTest, RunSeedSweepPropagatesAFailingSeed) {
+  SimConfig config;
+  config.variant = SystemVariant::kMsMiso;
+  config.fault = LethalSpec();
+  config.threads = 2;  // exercise the parallel fan-out path
+  const std::vector<uint64_t> seeds = {7, 123, 2026};
+  auto reports = RunSeedSweep(&PaperCatalog(), config, seeds);
+  ASSERT_FALSE(reports.ok())
+      << "the sweep swallowed its seeds' exhaustion errors";
+  EXPECT_EQ(reports.status().code(), StatusCode::kInternal);
+  EXPECT_NE(reports.status().message().find("exhausted"), std::string::npos)
+      << reports.status().ToString();
+}
+
+TEST(FaultPropagationTest, AmpleRetryBudgetSurvivesTheSameFaultRate) {
+  // The same 100% failure rate is survivable when only the *first*
+  // attempt is doomed — verify exhaustion is about the budget, not the
+  // mere presence of faults. Rate 1.0 fails every attempt, so instead
+  // drop the rate and raise the budget: the run must complete.
+  SimConfig config;
+  config.variant = SystemVariant::kMsMiso;
+  config.fault.profile = fault::FaultProfile::kTransient;
+  config.fault.seed = 1;
+  config.fault.rate = 0.10;
+  config.fault.retry.max_attempts = 8;
+  auto report = RunPaperWorkload(&PaperCatalog(), config, /*seed=*/42);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->fault_injected, 0);
+  EXPECT_TRUE(report->queries.size() == 32u);
+}
+
+}  // namespace
+}  // namespace miso::sim

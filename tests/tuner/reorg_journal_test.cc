@@ -1,0 +1,258 @@
+// Crash-safe reorganization: the journal flattens a ReorgPlan into
+// atomic per-view steps, a crash between steps leaves a recoverable
+// half-applied design, resume completes it / rollback reverts it —
+// idempotently — and byte accounting covers recovery work too.
+
+#include "tuner/reorg_journal.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../test_util.h"
+#include "tuner/reorg_plan.h"
+#include "verify/design_verifier.h"
+#include "views/view.h"
+#include "views/view_catalog.h"
+
+namespace miso::tuner {
+namespace {
+
+views::View MakeView(views::ViewId id, Bytes size) {
+  views::View view;
+  view.id = id;
+  view.signature = 0x2000 + id;
+  view.size_bytes = size;
+  view.stats.bytes = size;
+  return view;
+}
+
+/// hv: {1, 2, 3}, dw: {4, 5}; plan: 1,2 -> DW; 4 -> HV; drop 3 (HV), 5 (DW).
+struct Fixture {
+  views::ViewCatalog hv{4 * kTiB};
+  views::ViewCatalog dw{400 * kGiB};
+  ReorgPlan plan;
+
+  Fixture() {
+    for (views::ViewId id : {1, 2, 3}) {
+      EXPECT_TRUE(hv.AddUnchecked(MakeView(id, id * kGiB)).ok());
+    }
+    for (views::ViewId id : {4, 5}) {
+      EXPECT_TRUE(dw.AddUnchecked(MakeView(id, id * kGiB)).ok());
+    }
+    plan.move_to_dw = {MakeView(1, kGiB), MakeView(2, 2 * kGiB)};
+    plan.move_to_hv = {MakeView(4, 4 * kGiB)};
+    plan.drop_from_hv = {3};
+    plan.drop_from_dw = {5};
+  }
+};
+
+TEST(ReorgJournalTest, CreateFlattensMovesThenDrops) {
+  Fixture f;
+  MISO_ASSERT_OK_AND_ASSIGN(ReorgJournal journal,
+                            ReorgJournal::Create(f.plan, f.hv, f.dw));
+  ASSERT_EQ(journal.num_entries(), 5);
+  EXPECT_EQ(journal.entries()[0].kind, ReorgJournal::Kind::kToDw);
+  EXPECT_EQ(journal.entries()[1].kind, ReorgJournal::Kind::kToDw);
+  EXPECT_EQ(journal.entries()[2].kind, ReorgJournal::Kind::kToHv);
+  EXPECT_EQ(journal.entries()[3].kind, ReorgJournal::Kind::kDropHv);
+  EXPECT_EQ(journal.entries()[4].kind, ReorgJournal::Kind::kDropDw);
+  EXPECT_EQ(journal.num_applied(), 0);
+  EXPECT_FALSE(journal.Complete());
+  // Drops snapshot the *full* view record so rollback can re-insert it.
+  EXPECT_EQ(journal.entries()[3].view.size_bytes, 3 * kGiB);
+  EXPECT_EQ(journal.entries()[4].view.size_bytes, 5 * kGiB);
+}
+
+TEST(ReorgJournalTest, CreateRejectsMissingSourceView) {
+  Fixture f;
+  ReorgPlan bad = f.plan;
+  bad.move_to_dw.push_back(MakeView(99, kGiB));  // not resident in HV
+  EXPECT_FALSE(ReorgJournal::Create(bad, f.hv, f.dw).ok());
+  ReorgPlan bad_drop = f.plan;
+  bad_drop.drop_from_dw.push_back(77);
+  EXPECT_FALSE(ReorgJournal::Create(bad_drop, f.hv, f.dw).ok());
+}
+
+TEST(ReorgJournalTest, FullApplyMatchesApplyReorgPlan) {
+  Fixture journaled;
+  Fixture direct;
+  MISO_ASSERT_OK_AND_ASSIGN(
+      ReorgJournal journal,
+      ReorgJournal::Create(journaled.plan, journaled.hv, journaled.dw));
+  MISO_ASSERT_OK_AND_ASSIGN(ReorgJournal::Outcome outcome,
+                            journal.Apply(&journaled.hv, &journaled.dw));
+  MISO_ASSERT_OK(ApplyReorgPlan(direct.plan, &direct.hv, &direct.dw));
+
+  EXPECT_EQ(outcome.steps, 5);
+  EXPECT_EQ(outcome.bytes_to_dw, 3 * kGiB);
+  EXPECT_EQ(outcome.bytes_to_hv, 4 * kGiB);
+  EXPECT_TRUE(journal.Complete());
+  EXPECT_EQ(journaled.hv.used_bytes(), direct.hv.used_bytes());
+  EXPECT_EQ(journaled.dw.used_bytes(), direct.dw.used_bytes());
+  for (views::ViewId id : {1, 2}) {
+    EXPECT_TRUE(journaled.dw.Contains(id));
+    EXPECT_FALSE(journaled.hv.Contains(id));
+  }
+  EXPECT_TRUE(journaled.hv.Contains(4));
+  EXPECT_FALSE(journaled.hv.Contains(3));
+  EXPECT_FALSE(journaled.dw.Contains(5));
+}
+
+TEST(ReorgJournalTest, CrashLeavesPrefixAppliedThenResumeCompletes) {
+  Fixture f;
+  MISO_ASSERT_OK_AND_ASSIGN(ReorgJournal journal,
+                            ReorgJournal::Create(f.plan, f.hv, f.dw));
+  MISO_ASSERT_OK_AND_ASSIGN(ReorgJournal::Outcome partial,
+                            journal.Apply(&f.hv, &f.dw, /*crash_before=*/2));
+  EXPECT_EQ(partial.steps, 2);
+  EXPECT_EQ(partial.bytes_to_dw, 3 * kGiB);  // views 1 and 2 moved
+  EXPECT_EQ(partial.bytes_to_hv, 0u);
+  EXPECT_EQ(journal.num_applied(), 2);
+  EXPECT_FALSE(journal.Complete());
+  // Half-applied design visible in the catalogs.
+  EXPECT_TRUE(f.dw.Contains(1));
+  EXPECT_TRUE(f.dw.Contains(2));
+  EXPECT_FALSE(f.hv.Contains(4));  // step 2 (kToHv) never ran
+  EXPECT_TRUE(f.hv.Contains(3));   // drop never ran
+
+  MISO_ASSERT_OK_AND_ASSIGN(
+      ReorgJournal::Outcome recovery,
+      journal.Recover(RecoveryPolicy::kResume, &f.hv, &f.dw));
+  EXPECT_EQ(recovery.steps, 3);
+  EXPECT_EQ(recovery.bytes_to_dw, 0u);
+  EXPECT_EQ(recovery.bytes_to_hv, 4 * kGiB);
+  EXPECT_TRUE(journal.Complete());
+  EXPECT_TRUE(journal.recovered());
+  EXPECT_EQ(journal.recovery_policy(), RecoveryPolicy::kResume);
+  // Final design identical to an uncrashed apply.
+  EXPECT_TRUE(f.hv.Contains(4));
+  EXPECT_FALSE(f.hv.Contains(3));
+  EXPECT_FALSE(f.dw.Contains(5));
+  MISO_EXPECT_OK(verify::VerifyJournalConsistency(journal, f.hv, f.dw));
+}
+
+TEST(ReorgJournalTest, RollbackRestoresThePreReorgDesign) {
+  Fixture f;
+  const Bytes hv_before = f.hv.used_bytes();
+  const Bytes dw_before = f.dw.used_bytes();
+  MISO_ASSERT_OK_AND_ASSIGN(ReorgJournal journal,
+                            ReorgJournal::Create(f.plan, f.hv, f.dw));
+  MISO_ASSERT_OK(journal.Apply(&f.hv, &f.dw, /*crash_before=*/4).status());
+  EXPECT_EQ(journal.num_applied(), 4);
+
+  MISO_ASSERT_OK_AND_ASSIGN(
+      ReorgJournal::Outcome undo,
+      journal.Recover(RecoveryPolicy::kRollback, &f.hv, &f.dw));
+  EXPECT_EQ(undo.steps, 4);
+  // Undoing a HV->DW move transfers the bytes back: the 3 GiB that went
+  // to DW come home, the 4 GiB that went to HV return to DW.
+  EXPECT_EQ(undo.bytes_to_hv, 3 * kGiB);
+  EXPECT_EQ(undo.bytes_to_dw, 4 * kGiB);
+  EXPECT_EQ(journal.num_applied(), 0);
+  EXPECT_TRUE(journal.recovered());
+  EXPECT_EQ(journal.recovery_policy(), RecoveryPolicy::kRollback);
+  // Byte-exact pre-reorg state.
+  EXPECT_EQ(f.hv.used_bytes(), hv_before);
+  EXPECT_EQ(f.dw.used_bytes(), dw_before);
+  for (views::ViewId id : {1, 2, 3}) EXPECT_TRUE(f.hv.Contains(id));
+  for (views::ViewId id : {4, 5}) EXPECT_TRUE(f.dw.Contains(id));
+  MISO_EXPECT_OK(verify::VerifyJournalConsistency(journal, f.hv, f.dw));
+}
+
+TEST(ReorgJournalTest, RollbackReinsertsDroppedViews) {
+  Fixture f;
+  MISO_ASSERT_OK_AND_ASSIGN(ReorgJournal journal,
+                            ReorgJournal::Create(f.plan, f.hv, f.dw));
+  MISO_ASSERT_OK(journal.Apply(&f.hv, &f.dw).status());  // all 5 steps
+  EXPECT_FALSE(f.hv.Contains(3));
+  MISO_ASSERT_OK_AND_ASSIGN(
+      ReorgJournal::Outcome undo,
+      journal.Recover(RecoveryPolicy::kRollback, &f.hv, &f.dw));
+  EXPECT_EQ(undo.steps, 5);
+  EXPECT_TRUE(f.hv.Contains(3));  // dropped view resurrected from snapshot
+  EXPECT_TRUE(f.dw.Contains(5));
+  MISO_ASSERT_OK_AND_ASSIGN(views::View resurrected, f.hv.Find(3));
+  EXPECT_EQ(resurrected.size_bytes, 3 * kGiB);
+}
+
+TEST(ReorgJournalTest, RecoveryIsIdempotent) {
+  Fixture f;
+  MISO_ASSERT_OK_AND_ASSIGN(ReorgJournal journal,
+                            ReorgJournal::Create(f.plan, f.hv, f.dw));
+  MISO_ASSERT_OK(journal.Apply(&f.hv, &f.dw, /*crash_before=*/3).status());
+  MISO_ASSERT_OK(
+      journal.Recover(RecoveryPolicy::kResume, &f.hv, &f.dw).status());
+  const Bytes hv_after = f.hv.used_bytes();
+  const Bytes dw_after = f.dw.used_bytes();
+  // A second resume recovery is a no-op: every step is already applied.
+  MISO_ASSERT_OK_AND_ASSIGN(
+      ReorgJournal::Outcome again,
+      journal.Recover(RecoveryPolicy::kResume, &f.hv, &f.dw));
+  EXPECT_EQ(again.steps, 0);
+  EXPECT_EQ(f.hv.used_bytes(), hv_after);
+  EXPECT_EQ(f.dw.used_bytes(), dw_after);
+  EXPECT_EQ(journal.recovery_policy(), RecoveryPolicy::kResume);
+  EXPECT_TRUE(journal.Complete());
+}
+
+TEST(ReorgJournalTest, CrashBeforeZeroAppliesNothingAndResumeDoesItAll) {
+  Fixture f;
+  MISO_ASSERT_OK_AND_ASSIGN(ReorgJournal journal,
+                            ReorgJournal::Create(f.plan, f.hv, f.dw));
+  MISO_ASSERT_OK_AND_ASSIGN(ReorgJournal::Outcome none,
+                            journal.Apply(&f.hv, &f.dw, /*crash_before=*/0));
+  EXPECT_EQ(none.steps, 0);
+  EXPECT_EQ(journal.num_applied(), 0);
+  MISO_ASSERT_OK_AND_ASSIGN(
+      ReorgJournal::Outcome all,
+      journal.Recover(RecoveryPolicy::kResume, &f.hv, &f.dw));
+  EXPECT_EQ(all.steps, 5);
+  EXPECT_TRUE(journal.Complete());
+}
+
+TEST(JournalVerifierTest, HalfAppliedJournalFailsV209UntilRecovered) {
+  // A crash whose recovery never ran: the catalogs match the journal
+  // entry-by-entry (so no V209), but... mutate the catalogs behind the
+  // journal's back and the inconsistency is caught.
+  Fixture f;
+  MISO_ASSERT_OK_AND_ASSIGN(ReorgJournal journal,
+                            ReorgJournal::Create(f.plan, f.hv, f.dw));
+  MISO_ASSERT_OK(journal.Apply(&f.hv, &f.dw, /*crash_before=*/2).status());
+  MISO_EXPECT_OK(verify::VerifyJournalConsistency(journal, f.hv, f.dw));
+
+  // Sabotage: view 1 is journaled as applied (moved to DW) but someone
+  // removed it from DW — the design no longer matches the journal.
+  MISO_ASSERT_OK(f.dw.Remove(1));
+  const Status status = verify::VerifyJournalConsistency(journal, f.hv, f.dw);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(verify::ExtractVerifyCode(status),
+            verify::VerifyCode::kReorgJournalInconsistent)
+      << status.ToString();
+}
+
+TEST(JournalVerifierTest, NonTerminalRecoveredJournalFailsV210) {
+  // recovered() implies a terminal state: resume => all applied,
+  // rollback => none applied. Force the broken middle state by crashing
+  // the recovery pass itself (undo via a fresh half-applied journal).
+  Fixture f;
+  MISO_ASSERT_OK_AND_ASSIGN(ReorgJournal journal,
+                            ReorgJournal::Create(f.plan, f.hv, f.dw));
+  MISO_ASSERT_OK(journal.Apply(&f.hv, &f.dw, /*crash_before=*/2).status());
+  // Simulate a recovery that was *recorded* but did not finish: resume
+  // recovery with a deliberately broken catalog so it errors mid-way.
+  views::ViewCatalog broken_dw(400 * kGiB);  // step 2 (kToHv) will fail:
+  // view 4 is not in this catalog, so Recover returns an error after
+  // having marked the journal recovered.
+  const auto recovery =
+      journal.Recover(RecoveryPolicy::kResume, &f.hv, &broken_dw);
+  EXPECT_FALSE(recovery.ok());
+  const Status status = verify::VerifyJournalConsistency(journal, f.hv, f.dw);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(verify::ExtractVerifyCode(status),
+            verify::VerifyCode::kReorgRecoveryIncomplete)
+      << status.ToString();
+}
+
+}  // namespace
+}  // namespace miso::tuner

@@ -30,7 +30,12 @@
 # — and afterwards prints the what-if cache hit-rate counters from one
 # short simulation (tools/debug_cache_stats).
 #
-# Usage: tools/check.sh [--tsan] [--obs] [--perf] [--jobs N]
+# With --fault the run is restricted to the `fault` ctest label — the
+# fault-injection suite (deterministic chaos sweeps across seeds and
+# MISO_THREADS, DW-outage degradation, crash-safe reorganization,
+# exhaustion propagation). The script fails if the label is empty.
+#
+# Usage: tools/check.sh [--tsan] [--obs] [--perf] [--fault] [--jobs N]
 #                       [--build-dir DIR] [--tidy-only]
 #                       [--label L]   (restrict the test run to ctest -L L)
 set -euo pipefail
@@ -43,6 +48,7 @@ TIDY_ONLY=0
 TSAN=0
 OBS=0
 PERF=0
+FAULT=0
 LABEL=""
 
 while [ "$#" -gt 0 ]; do
@@ -50,12 +56,13 @@ while [ "$#" -gt 0 ]; do
     --tsan) SANITIZE="thread"; TSAN=1; shift ;;
     --obs) OBS=1; LABEL="obs"; shift ;;
     --perf) PERF=1; LABEL="perf"; shift ;;
+    --fault) FAULT=1; LABEL="fault"; shift ;;
     --jobs) JOBS="$2"; shift 2 ;;
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
     --label) LABEL="$2"; shift 2 ;;
     --tidy-only) TIDY_ONLY=1; shift ;;
     -h|--help)
-      sed -n '2,35p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,40p' "$0" | sed 's/^# \{0,1\}//'
       exit 0 ;;
     *) echo "check.sh: unknown option '$1'" >&2; exit 2 ;;
   esac
@@ -139,6 +146,17 @@ if [ "$PERF" -eq 1 ]; then
     exit 1
   fi
   echo "== check.sh: perf gate smoke-runs $PERF_COUNT bench binaries"
+fi
+
+if [ "$FAULT" -eq 1 ]; then
+  FAULT_COUNT="$(ctest --test-dir "$BUILD_DIR" -L fault -N |
+                 sed -n 's/^Total Tests: \([0-9]*\)$/\1/p')"
+  if [ -z "$FAULT_COUNT" ] || [ "$FAULT_COUNT" -eq 0 ]; then
+    echo "check.sh: the 'fault' ctest label is empty — the chaos gate" \
+         "would be vacuous" >&2
+    exit 1
+  fi
+  echo "== check.sh: fault gate covers $FAULT_COUNT chaos tests"
 fi
 
 ctest "${CTEST_ARGS[@]}"

@@ -8,8 +8,9 @@
 #   BUILD_DIR  directory containing compile_commands.json (default: build)
 #   FILE...    restrict the run to specific sources (default: all src/*.cc)
 #
-# Exits 0 with a notice when clang-tidy is not installed — this container
-# image ships only gcc; the pass is a no-op gate there and runs for real
+# Exits 77 with a notice when clang-tidy is not installed — registered as
+# ctest's SKIP_RETURN_CODE, so the `static_analysis` test reports SKIPPED
+# (not a silent pass) on containers that ship only gcc, and runs for real
 # wherever LLVM tooling is available.
 set -uo pipefail
 
@@ -19,7 +20,7 @@ shift 2>/dev/null || true
 
 if ! command -v clang-tidy >/dev/null 2>&1; then
   echo "run_clang_tidy: clang-tidy not found on PATH; skipping static analysis" >&2
-  exit 0
+  exit 77
 fi
 
 if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
