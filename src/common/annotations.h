@@ -1,0 +1,85 @@
+#ifndef MISO_COMMON_ANNOTATIONS_H_
+#define MISO_COMMON_ANNOTATIONS_H_
+
+#include <mutex>
+
+/// Clang Thread Safety Analysis annotations ("C/C++ Thread Safety
+/// Analysis", Hutchins et al., CGO 2014) for the library's lock
+/// discipline, plus the annotated `Mutex` / `MutexLock` wrappers the
+/// analysis needs to see acquisitions through.
+///
+/// Under Clang the macros expand to the `capability`-family attributes and
+/// `-Wthread-safety -Werror=thread-safety` (the `MISO_THREAD_SAFETY` CMake
+/// option, on by default for Clang; the `clang-tsa` preset configures such
+/// a build) turns lock-discipline violations into compile errors. Under
+/// every other compiler they expand to nothing, so the annotations are
+/// pure documentation with zero cost.
+///
+/// Conventions (enforced by miso-lint rule L006, see DESIGN.md §13):
+///   - every mutex *member* (trailing-underscore name) must be referenced
+///     by at least one `MISO_GUARDED_BY` annotation in the same file;
+///   - guarded state is annotated at the declaration, e.g.
+///       std::deque<Task> queue_ MISO_GUARDED_BY(mutex_);
+///   - functions that expect the caller to hold a lock are annotated
+///     `MISO_REQUIRES(mutex_)`; scoped acquisition goes through
+///     `MutexLock`.
+
+#if defined(__clang__)
+#define MISO_TSA(x) __attribute__((x))
+#else
+#define MISO_TSA(x)  // no-op outside Clang
+#endif
+
+#define MISO_CAPABILITY(name) MISO_TSA(capability(name))
+#define MISO_SCOPED_CAPABILITY MISO_TSA(scoped_lockable)
+#define MISO_GUARDED_BY(x) MISO_TSA(guarded_by(x))
+#define MISO_PT_GUARDED_BY(x) MISO_TSA(pt_guarded_by(x))
+#define MISO_REQUIRES(...) MISO_TSA(requires_capability(__VA_ARGS__))
+#define MISO_ACQUIRE(...) MISO_TSA(acquire_capability(__VA_ARGS__))
+#define MISO_RELEASE(...) MISO_TSA(release_capability(__VA_ARGS__))
+#define MISO_TRY_ACQUIRE(...) MISO_TSA(try_acquire_capability(__VA_ARGS__))
+#define MISO_EXCLUDES(...) MISO_TSA(locks_excluded(__VA_ARGS__))
+#define MISO_RETURN_CAPABILITY(x) MISO_TSA(lock_returned(x))
+#define MISO_NO_THREAD_SAFETY_ANALYSIS MISO_TSA(no_thread_safety_analysis)
+
+namespace miso {
+
+/// `std::mutex` annotated as a capability. libstdc++'s `std::mutex` does
+/// not carry the `capability` attribute, so annotating members with
+/// `GUARDED_BY(some_std_mutex)` would trip `-Wthread-safety-attributes`
+/// and `std::lock_guard` acquisitions would be invisible to the analysis;
+/// this thin wrapper is what makes the analysis sound on any standard
+/// library. It satisfies *Lockable*, so `std::condition_variable_any`
+/// waits on it directly.
+class MISO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MISO_ACQUIRE() { mu_.lock(); }
+  void unlock() MISO_RELEASE() { mu_.unlock(); }
+  bool try_lock() MISO_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  // miso-lint: allow(L006) the raw mutex *is* the capability this wrapper annotates
+  std::mutex mu_;
+};
+
+/// RAII lock for `Mutex` — the annotated equivalent of
+/// `std::lock_guard<std::mutex>`.
+class MISO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MISO_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() MISO_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace miso
+
+#endif  // MISO_COMMON_ANNOTATIONS_H_

@@ -7,6 +7,10 @@ namespace miso {
 
 namespace {
 
+// Lock discipline (DESIGN.md §13): the logger's only shared state is this
+// single atomic threshold — no mutex, so nothing to GUARDED_BY. Each Log
+// call writes one whole line via one fprintf, whose stdio stream lock
+// keeps concurrent lines unsheared.
 std::atomic<int> g_threshold{static_cast<int>(LogLevel::kInfo)};
 
 const char* LevelName(LogLevel level) {

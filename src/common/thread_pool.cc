@@ -28,7 +28,7 @@ ThreadPool::ThreadPool(int num_threads, std::size_t queue_capacity) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
   not_empty_.notify_all();
@@ -41,10 +41,10 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> future = packaged.get_future();
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [this] {
-      return queue_.size() < queue_capacity_ || shutting_down_;
-    });
+    MutexLock lock(mutex_);
+    while (queue_.size() >= queue_capacity_ && !shutting_down_) {
+      not_full_.wait(mutex_);
+    }
     assert(!shutting_down_ && "Submit after shutdown began");
     queue_.push_back(std::move(packaged));
     submits_.fetch_add(1, std::memory_order_relaxed);
@@ -65,16 +65,17 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      not_empty_.wait(lock,
-                      [this] { return !queue_.empty() || shutting_down_; });
+      MutexLock lock(mutex_);
+      while (queue_.empty() && !shutting_down_) not_empty_.wait(mutex_);
       if (queue_.empty()) break;  // shutting down and drained
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     not_full_.notify_one();
-    task();  // exceptions land in the task's future
+    // Count before running: the task's future is satisfied inside task(),
+    // and a waiter observing that completion must already see the count.
     tasks_run_.fetch_add(1, std::memory_order_relaxed);
+    task();  // exceptions land in the task's future
   }
   t_current_pool = nullptr;
 }

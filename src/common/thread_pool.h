@@ -8,9 +8,10 @@
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
 
 namespace miso {
 
@@ -77,11 +78,13 @@ class ThreadPool {
   void WorkerLoop();
 
   std::size_t queue_capacity_;
-  std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<std::packaged_task<void()>> queue_;
-  bool shutting_down_ = false;
+  Mutex mutex_;
+  // condition_variable_any waits directly on the annotated Mutex (it only
+  // needs Lockable), so acquisitions stay visible to the analysis.
+  std::condition_variable_any not_empty_;
+  std::condition_variable_any not_full_;
+  std::deque<std::packaged_task<void()>> queue_ MISO_GUARDED_BY(mutex_);
+  bool shutting_down_ MISO_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
   std::atomic<int64_t> tasks_run_{0};
   std::atomic<int64_t> submits_{0};

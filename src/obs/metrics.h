@@ -5,9 +5,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/annotations.h"
 
 namespace miso::obs {
 
@@ -141,10 +142,13 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      MISO_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      MISO_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      MISO_GUARDED_BY(mutex_);
 };
 
 /// The process-wide registry.

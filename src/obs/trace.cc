@@ -2,8 +2,8 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 
+#include "common/annotations.h"
 #include "common/env.h"
 
 namespace miso::obs {
@@ -17,14 +17,16 @@ std::atomic<bool>& TraceFlag() {
   return flag;
 }
 
-std::mutex& SinkMutex() {
-  static std::mutex mutex;
-  return mutex;
-}
+/// The process-wide sink: one mutex guarding the accumulated JSONL lines
+/// (leaked intentionally so late-exit emitters never race destruction).
+struct SinkState {
+  Mutex mutex;
+  std::vector<std::string> lines MISO_GUARDED_BY(mutex);
+};
 
-std::vector<std::string>& SinkLines() {
-  static std::vector<std::string>* lines = new std::vector<std::string>();
-  return *lines;
+SinkState& Sink() {
+  static SinkState* state = new SinkState();
+  return *state;
 }
 
 thread_local ScopedTraceCapture* g_active_capture = nullptr;
@@ -123,25 +125,29 @@ void Emit(const TraceEvent& event) {
     g_active_capture->lines_.push_back(std::move(line));
     return;
   }
-  std::lock_guard<std::mutex> lock(SinkMutex());
-  SinkLines().push_back(std::move(line));
+  SinkState& sink = Sink();
+  MutexLock lock(sink.mutex);
+  sink.lines.push_back(std::move(line));
 }
 
 void TraceSink::Append(std::string line) {
-  std::lock_guard<std::mutex> lock(SinkMutex());
-  SinkLines().push_back(std::move(line));
+  SinkState& sink = Sink();
+  MutexLock lock(sink.mutex);
+  sink.lines.push_back(std::move(line));
 }
 
 std::vector<std::string> TraceSink::Drain() {
-  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkState& sink = Sink();
+  MutexLock lock(sink.mutex);
   std::vector<std::string> lines;
-  lines.swap(SinkLines());
+  lines.swap(sink.lines);
   return lines;
 }
 
 size_t TraceSink::size() const {
-  std::lock_guard<std::mutex> lock(SinkMutex());
-  return SinkLines().size();
+  SinkState& sink = Sink();
+  MutexLock lock(sink.mutex);
+  return sink.lines.size();
 }
 
 bool TraceSink::DrainToFile(const std::string& path) {

@@ -103,17 +103,17 @@ uint64_t WhatIfCache::EpochOf(const hv::HvConfig& hv, const dw::DwConfig& dw,
 }
 
 void WhatIfCache::SetEpoch(uint64_t epoch) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   epoch_ = epoch;
 }
 
 uint64_t WhatIfCache::epoch() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return epoch_;
 }
 
 std::optional<Seconds> WhatIfCache::Lookup(const WhatIfKey& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
@@ -131,7 +131,7 @@ std::optional<Seconds> WhatIfCache::Lookup(const WhatIfKey& key) {
 }
 
 void WhatIfCache::Insert(const WhatIfKey& key, Seconds cost) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->cost = cost;
@@ -150,7 +150,7 @@ void WhatIfCache::Insert(const WhatIfKey& key, Seconds cost) {
 }
 
 WhatIfCache::Stats WhatIfCache::GetStats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Stats stats;
   stats.hits = hits_;
   stats.misses = misses_;
@@ -161,7 +161,7 @@ WhatIfCache::Stats WhatIfCache::GetStats() const {
 }
 
 void WhatIfCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   lru_.clear();
   index_.clear();
 }

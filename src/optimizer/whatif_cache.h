@@ -3,12 +3,12 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/units.h"
 #include "dw/dw_config.h"
 #include "hv/hv_config.h"
@@ -143,15 +143,16 @@ class WhatIfCache {
     uint64_t epoch = 0;
   };
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   Bytes max_bytes_;
-  uint64_t epoch_ = 0;
-  std::list<Entry> lru_;  // front = most recently used
+  uint64_t epoch_ MISO_GUARDED_BY(mutex_) = 0;
+  // front = most recently used
+  std::list<Entry> lru_ MISO_GUARDED_BY(mutex_);
   std::unordered_map<WhatIfKey, std::list<Entry>::iterator, WhatIfKeyHash>
-      index_;
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
-  int64_t evictions_ = 0;
+      index_ MISO_GUARDED_BY(mutex_);
+  int64_t hits_ MISO_GUARDED_BY(mutex_) = 0;
+  int64_t misses_ MISO_GUARDED_BY(mutex_) = 0;
+  int64_t evictions_ MISO_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace miso::optimizer

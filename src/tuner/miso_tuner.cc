@@ -26,8 +26,8 @@ bool Chosen(const std::set<views::ViewId>& chosen, views::ViewId id) {
 Result<ReorgPlan> MisoTuner::Tune(const views::ViewCatalog& hv,
                                   const views::ViewCatalog& dw,
                                   const std::vector<plan::Plan>& window) const {
-  const std::chrono::steady_clock::time_point tune_start =
-      std::chrono::steady_clock::now();
+  // miso-lint: allow(L003) miso.tuner.tune_ms is runtime-class wall-clock telemetry (docs/TELEMETRY.md)
+  const auto tune_start = std::chrono::steady_clock::now();
   const optimizer::WhatIfCache::Stats cache_before =
       cache_ != nullptr ? cache_->GetStats() : optimizer::WhatIfCache::Stats{};
 
@@ -253,9 +253,10 @@ Result<ReorgPlan> MisoTuner::Tune(const views::ViewCatalog& hv,
     // Wall-clock tuning latency: runtime-class by nature (it varies with
     // machine load and thread count) and therefore excluded from the
     // cross-thread-count determinism contract, like miso.pool.*.
+    // miso-lint: allow(L003) miso.tuner.tune_ms is runtime-class wall-clock telemetry (docs/TELEMETRY.md)
+    const auto tune_end = std::chrono::steady_clock::now();
     const double tune_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - tune_start)
+        std::chrono::duration<double, std::milli>(tune_end - tune_start)
             .count();
     registry.GetHistogram(obs::names::kTunerTuneMs, obs::MillisBuckets())
         ->Observe(tune_ms);

@@ -1,21 +1,23 @@
 #include "verify/verify_gate.h"
 
 #include <atomic>
-#include <cstdlib>
+
+#include "common/env.h"
 
 namespace miso::verify {
 
 namespace {
 
 bool DefaultEnabled() {
-  if (const char* env = std::getenv("MISO_VERIFY")) {
-    return !(env[0] == '0' && env[1] == '\0');
-  }
+  // Strict parsing, consistent with MISO_THREADS / MISO_FAULT_*: a set
+  // MISO_VERIFY must be exactly "0" or "1"; garbage is a configuration
+  // error (exit 2), never a silent fallback to the build-type default.
 #ifndef NDEBUG
-  return true;
+  const bool fallback = true;
 #else
-  return false;
+  const bool fallback = false;
 #endif
+  return EnvFlag("MISO_VERIFY", fallback);
 }
 
 std::atomic<bool>& State() {

@@ -8,10 +8,12 @@ namespace miso::verify {
 /// and the simulator as debug-mode assertions.
 ///
 /// Default: ON in debug builds (!NDEBUG), OFF in release builds. The
-/// `MISO_VERIFY` environment variable overrides the default ("0" disables,
-/// anything else enables) — ctest sets MISO_VERIFY=1 for every test, so
-/// the whole suite always runs with verification on regardless of build
-/// type. `SetEnabled` overrides both.
+/// `MISO_VERIFY` environment variable overrides the default via the strict
+/// common/env parser: exactly "0" disables, exactly "1" enables, and any
+/// other value terminates the process with exit code 2 (consistent with
+/// `MISO_THREADS` / `MISO_FAULT_*`). ctest sets MISO_VERIFY=1 for every
+/// test, so the whole suite always runs with verification on regardless of
+/// build type. `SetEnabled` overrides both.
 bool Enabled();
 void SetEnabled(bool enabled);
 

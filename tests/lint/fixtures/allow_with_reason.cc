@@ -1,0 +1,6 @@
+// Fixture: a same-line allow comment WITH a reason suppresses the finding.
+#include <cstdlib>
+
+const char* Home() {
+  return std::getenv("HOME");  // miso-lint: allow(L001) interop with the legacy launcher, not a miso knob
+}

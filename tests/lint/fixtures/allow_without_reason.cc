@@ -1,0 +1,7 @@
+// Fixture: an allow comment WITHOUT a reason is ignored — the finding
+// stands. The justification is part of the escape hatch's contract.
+#include <cstdlib>
+
+const char* Home() {
+  return std::getenv("HOME");  // miso-lint: allow(L001)
+}

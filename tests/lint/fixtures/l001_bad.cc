@@ -1,0 +1,4 @@
+// Fixture: raw std::getenv outside src/common/env.cc must fire L001.
+#include <cstdlib>
+
+const char* Home() { return std::getenv("HOME"); }

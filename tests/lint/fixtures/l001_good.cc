@@ -1,0 +1,6 @@
+// Fixture: the strict env wrappers are fine, and "getenv" appearing in a
+// comment (like this one: getenv) or a string literal must not fire.
+#include "common/env.h"
+
+int Threads() { return miso::EnvInt("MISO_THREADS", 1, 1); }
+const char* Advice() { return "route getenv through miso::Env*"; }

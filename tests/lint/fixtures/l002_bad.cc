@@ -1,0 +1,9 @@
+// Fixture: nondeterministic randomness sources must fire L002.
+#include <cstdlib>
+#include <random>
+
+int Roll() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  return rand() + static_cast<int>(gen());
+}

@@ -1,0 +1,4 @@
+// Fixture: the seeded project Rng is the sanctioned randomness source.
+#include "common/rng.h"
+
+int Roll(miso::Rng& rng) { return static_cast<int>(rng.Next()) & 0x7f; }

@@ -1,0 +1,9 @@
+// Fixture: wall-clock reads must fire L003.
+#include <chrono>
+#include <ctime>
+
+double Now() {
+  const auto now = std::chrono::system_clock::now();
+  (void)now;
+  return static_cast<double>(time(nullptr));
+}

@@ -1,0 +1,11 @@
+// Fixture: telemetry-class clock reads with reasoned allow comments are
+// clean, and identifiers merely containing "time" never fire.
+#include <chrono>
+
+double TuneMs(double real_time_budget) {
+  // miso-lint: allow(L003) runtime-class telemetry, same contract as miso.tuner.tune_ms
+  const auto start = std::chrono::steady_clock::now();
+  const auto stop = std::chrono::steady_clock::now();  // miso-lint: allow(L003) telemetry end stamp
+  return std::chrono::duration<double, std::milli>(stop - start).count() +
+         real_time_budget;
+}

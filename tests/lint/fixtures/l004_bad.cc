@@ -1,0 +1,10 @@
+// Fixture: summing doubles in unordered_set hash order must fire L004.
+#include <unordered_set>
+
+double Sum(const std::unordered_set<double>& terms) {
+  double total = 0.0;
+  for (double term : terms) {
+    total += term;
+  }
+  return total;
+}

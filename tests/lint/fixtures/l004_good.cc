@@ -1,0 +1,27 @@
+// Fixture: the sanctioned shape — copy out, sort, then accumulate — and a
+// per-element accumulator declared inside the loop body (resets every
+// iteration, so it cannot pick up hash order). Neither may fire L004.
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+double Sum(const std::unordered_set<double>& terms) {
+  std::vector<double> sorted_terms(terms.begin(), terms.end());
+  std::sort(sorted_terms.begin(), sorted_terms.end());
+  double total = 0.0;
+  for (double term : sorted_terms) {
+    total += term;
+  }
+  return total;
+}
+
+std::vector<double> PerElement(const std::unordered_set<int>& nodes) {
+  std::vector<double> parts;
+  for (int node : nodes) {
+    double part = 0.0;
+    part += static_cast<double>(node % 7);
+    parts.push_back(part);
+  }
+  std::sort(parts.begin(), parts.end());
+  return parts;
+}

@@ -1,0 +1,3 @@
+// Fixture: a "miso." telemetry name literal outside obs/names must fire
+// L005.
+const char* kBadMetric = "miso.example.bad_total";

@@ -1,0 +1,6 @@
+// Fixture: referencing the declared name constants is the sanctioned way,
+// and non-"miso." literals are of no interest.
+#include "obs/names.h"
+
+const char* Metric() { return miso::obs::names::kOptimizeCalls; }
+const char* Other() { return "somethingelse.metric"; }

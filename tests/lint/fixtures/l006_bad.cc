@@ -1,0 +1,12 @@
+// Fixture: a mutex member with no GUARDED_BY reference must fire L006.
+#include <mutex>
+#include <vector>
+
+class Registry {
+ public:
+  void Add(int v);
+
+ private:
+  std::mutex mutex_;
+  std::vector<int> items_;
+};

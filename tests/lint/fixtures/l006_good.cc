@@ -1,0 +1,13 @@
+// Fixture: the annotated Mutex with its state guarded is clean.
+#include <vector>
+
+#include "common/annotations.h"
+
+class Registry {
+ public:
+  void Add(int v);
+
+ private:
+  miso::Mutex mutex_;
+  std::vector<int> items_ MISO_GUARDED_BY(mutex_);
+};

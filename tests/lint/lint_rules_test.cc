@@ -1,0 +1,158 @@
+// Tests for miso-lint (tools/miso_lint.{h,cc}): every rule fires on its
+// known-bad fixture, stays quiet on its known-good twin, the allow-comment
+// escape hatch works exactly as documented, and the shipped src/ tree is
+// lint-clean. DESIGN.md section 13 documents the rules.
+#include "tools/miso_lint.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace miso::lint {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string FixturePath(const std::string& name) {
+  return std::string(MISO_REPO_ROOT) + "/tests/lint/fixtures/" + name;
+}
+
+/// Lints a fixture under a path label that matches no allowlist.
+std::vector<Finding> LintFixture(const std::string& name) {
+  return LintFile("tests/lint/fixtures/" + name,
+                  ReadFileOrDie(FixturePath(name)));
+}
+
+std::vector<std::string> CodesOf(const std::vector<Finding>& findings) {
+  std::vector<std::string> codes;
+  for (const Finding& finding : findings) codes.push_back(finding.code);
+  return codes;
+}
+
+TEST(MisoLintRules, L001FiresOnRawGetenv) {
+  const std::vector<Finding> findings = LintFixture("l001_bad.cc");
+  EXPECT_EQ(CodesOf(findings), std::vector<std::string>{"L001"});
+}
+
+TEST(MisoLintRules, L001IgnoresCommentsAndStrings) {
+  EXPECT_TRUE(LintFixture("l001_good.cc").empty());
+}
+
+TEST(MisoLintRules, L002FiresOnEveryRandomnessSource) {
+  const std::vector<Finding> findings = LintFixture("l002_bad.cc");
+  // random_device, mt19937, and rand() each sit on their own line.
+  EXPECT_EQ(CodesOf(findings),
+            (std::vector<std::string>{"L002", "L002", "L002"}));
+}
+
+TEST(MisoLintRules, L002AcceptsSeededRng) {
+  EXPECT_TRUE(LintFixture("l002_good.cc").empty());
+}
+
+TEST(MisoLintRules, L003FiresOnWallClockReads) {
+  const std::vector<Finding> findings = LintFixture("l003_bad.cc");
+  EXPECT_EQ(CodesOf(findings), (std::vector<std::string>{"L003", "L003"}));
+}
+
+TEST(MisoLintRules, L003HonorsAllowCommentsAndWordBoundaries) {
+  EXPECT_TRUE(LintFixture("l003_good.cc").empty());
+}
+
+TEST(MisoLintRules, L004FiresOnHashOrderAccumulation) {
+  const std::vector<Finding> findings = LintFixture("l004_bad.cc");
+  EXPECT_EQ(CodesOf(findings), std::vector<std::string>{"L004"});
+}
+
+TEST(MisoLintRules, L004AcceptsSortedAndPerElementAccumulators) {
+  EXPECT_TRUE(LintFixture("l004_good.cc").empty());
+}
+
+TEST(MisoLintRules, L005FiresOnStrayTelemetryNameLiteral) {
+  const std::vector<Finding> findings = LintFixture("l005_bad.cc");
+  EXPECT_EQ(CodesOf(findings), std::vector<std::string>{"L005"});
+}
+
+TEST(MisoLintRules, L005AcceptsDeclaredNamesAndForeignLiterals) {
+  EXPECT_TRUE(LintFixture("l005_good.cc").empty());
+}
+
+TEST(MisoLintRules, L006FiresOnUnguardedMutexMember) {
+  const std::vector<Finding> findings = LintFixture("l006_bad.cc");
+  EXPECT_EQ(CodesOf(findings), std::vector<std::string>{"L006"});
+}
+
+TEST(MisoLintRules, L006AcceptsGuardedMutexMember) {
+  EXPECT_TRUE(LintFixture("l006_good.cc").empty());
+}
+
+TEST(MisoLintAllow, ReasonedAllowSuppresses) {
+  EXPECT_TRUE(LintFixture("allow_with_reason.cc").empty());
+}
+
+TEST(MisoLintAllow, BareAllowWithoutReasonDoesNotSuppress) {
+  const std::vector<Finding> findings = LintFixture("allow_without_reason.cc");
+  EXPECT_EQ(CodesOf(findings), std::vector<std::string>{"L001"});
+}
+
+TEST(MisoLintAllowlists, EnvModuleMayCallGetenv) {
+  // The same content that fires L001 elsewhere is clean when it carries
+  // the one sanctioned path.
+  const std::string content = ReadFileOrDie(FixturePath("l001_bad.cc"));
+  EXPECT_TRUE(LintFile("src/common/env.cc", content).empty());
+  EXPECT_EQ(CodesOf(LintFile("src/common/env_other.cc", content)),
+            std::vector<std::string>{"L001"});
+}
+
+TEST(MisoLintAllowlists, ObsNamesMayHoldTelemetryLiterals) {
+  const std::string content = ReadFileOrDie(FixturePath("l005_bad.cc"));
+  EXPECT_TRUE(LintFile("src/obs/names.h", content).empty());
+  EXPECT_TRUE(LintFile("src/obs/names.cc", content).empty());
+}
+
+TEST(MisoLintParser, DigitSeparatorsAndBlankedLiterals) {
+  // 1'000'000 must not open a character literal (env.cc relies on this),
+  // and banned tokens inside string literals must stay invisible.
+  const std::string content =
+      "int x = 1'000'000;\n"
+      "const char* p = std::getenv(\"HOME\");\n"
+      "const char* q = \"rand() inside a literal\";\n";
+  const std::vector<Finding> findings = LintFile("foo.cc", content);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "L001");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(MisoLintTable, SixStableCodes) {
+  const std::vector<RuleInfo>& rules = Rules();
+  ASSERT_EQ(rules.size(), 6u);
+  for (size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ(rules[i].code, "L00" + std::to_string(i + 1));
+  }
+}
+
+TEST(MisoLintTable, FindingFormatMirrorsVerifierStyle) {
+  const Finding finding{"src/a.cc", 12, "L001", "msg"};
+  EXPECT_EQ(finding.ToString(), "src/a.cc:12: [L001] msg");
+}
+
+TEST(MisoLintTree, ShippedTreeIsClean) {
+  std::string error;
+  const std::vector<Finding> findings = LintTree(MISO_REPO_ROOT, &error);
+  EXPECT_TRUE(error.empty()) << error;
+  for (const Finding& finding : findings) {
+    ADD_FAILURE() << finding.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace miso::lint

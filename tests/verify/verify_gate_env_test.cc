@@ -1,0 +1,53 @@
+// Regression tests for the MISO_VERIFY parsing contract: the gate reads
+// the variable through the strict common/env parser, so garbage values
+// terminate with exit code 2 instead of silently falling back (the bug
+// fixed alongside lint rule L001 — verify_gate.cc used to call raw
+// std::getenv and treat "yes"/"on"/typos as "unset").
+#include "verify/verify_gate.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace miso::verify {
+namespace {
+
+class VerifyGateEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // The gate caches its parse in a function-local static, so each check
+    // must run in a fresh process. "threadsafe" re-execs the binary for
+    // every EXPECT_EXIT, giving the child a clean static and the
+    // environment value set just before the assertion.
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  }
+
+  void TearDown() override {
+    // ctest runs the whole suite with MISO_VERIFY=1; restore it for any
+    // test that runs after us in this binary.
+    setenv("MISO_VERIFY", "1", 1);
+  }
+};
+
+TEST_F(VerifyGateEnvTest, GarbageValueExitsWithCode2) {
+  setenv("MISO_VERIFY", "yes", 1);
+  EXPECT_EXIT(
+      {
+        (void)Enabled();
+        std::exit(0);
+      },
+      ::testing::ExitedWithCode(2), "MISO_VERIFY");
+}
+
+TEST_F(VerifyGateEnvTest, ZeroDisables) {
+  setenv("MISO_VERIFY", "0", 1);
+  EXPECT_EXIT(std::exit(Enabled() ? 1 : 0), ::testing::ExitedWithCode(0), "");
+}
+
+TEST_F(VerifyGateEnvTest, OneEnables) {
+  setenv("MISO_VERIFY", "1", 1);
+  EXPECT_EXIT(std::exit(Enabled() ? 0 : 1), ::testing::ExitedWithCode(0), "");
+}
+
+}  // namespace
+}  // namespace miso::verify

@@ -10,6 +10,12 @@
 # *ratios* (e.g. BM_ReorgCadenceColdCache vs BM_ReorgCadenceWarmCache)
 # across snapshots, not absolute nanoseconds.
 #
+# Refuses to run against a non-Release build dir (exit 2): every committed
+# snapshot carries library_build_type=release in its google-benchmark
+# context blocks, and numbers from Debug / RelWithDebInfo / sanitizer
+# builds are not comparable to it. The guard inspects CMAKE_BUILD_TYPE in
+# the build dir's CMakeCache.txt.
+#
 # Usage: tools/bench_snapshot.sh [--build-dir DIR] [--out FILE]
 set -euo pipefail
 
@@ -22,11 +28,23 @@ while [ "$#" -gt 0 ]; do
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
     --out) OUT="$2"; shift 2 ;;
     -h|--help)
-      sed -n '2,13p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,19p' "$0" | sed 's/^# \{0,1\}//'
       exit 0 ;;
     *) echo "bench_snapshot.sh: unknown option '$1'" >&2; exit 2 ;;
   esac
 done
+
+# Snapshot numbers are only meaningful from an optimized build; anything
+# else would silently poison the committed trajectory.
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+              "$BUILD_DIR/CMakeCache.txt" 2>/dev/null || true)"
+if [ "$BUILD_TYPE" != "Release" ]; then
+  echo "bench_snapshot.sh: refusing non-Release build dir '$BUILD_DIR'" >&2
+  echo "  CMAKE_BUILD_TYPE='${BUILD_TYPE:-<unconfigured>}'; the committed snapshot asserts" >&2
+  echo "  library_build_type=release, so only Release numbers are comparable." >&2
+  echo "  Configure with: cmake -B '$BUILD_DIR' -S '$ROOT' -DCMAKE_BUILD_TYPE=Release" >&2
+  exit 2
+fi
 
 TUNER_BIN="$BUILD_DIR/bench/bench_micro_tuner"
 OPT_BIN="$BUILD_DIR/bench/bench_micro_optimizer"

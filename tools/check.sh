@@ -35,8 +35,16 @@
 # MISO_THREADS, DW-outage degradation, crash-safe reorganization,
 # exhaustion propagation). The script fails if the label is empty.
 #
-# Usage: tools/check.sh [--tsan] [--obs] [--perf] [--fault] [--jobs N]
-#                       [--build-dir DIR] [--tidy-only]
+# With --lint the run is restricted to the `static_analysis` ctest label:
+# miso-lint (the project's dependency-free determinism & thread-safety
+# checker, tools/miso_lint.cc — rules [L001]..[L006], DESIGN.md section 13)
+# plus its rule/fixture tests, plus clang-tidy where LLVM tooling exists.
+# The script fails if static_analysis.miso_lint is not registered: the
+# clang_tidy test may legitimately report SKIPPED on gcc-only machines,
+# but the lint gate itself must never be vacuous.
+#
+# Usage: tools/check.sh [--tsan] [--obs] [--perf] [--fault] [--lint]
+#                       [--jobs N] [--build-dir DIR] [--tidy-only]
 #                       [--label L]   (restrict the test run to ctest -L L)
 set -euo pipefail
 
@@ -49,6 +57,7 @@ TSAN=0
 OBS=0
 PERF=0
 FAULT=0
+LINT=0
 LABEL=""
 
 while [ "$#" -gt 0 ]; do
@@ -57,12 +66,13 @@ while [ "$#" -gt 0 ]; do
     --obs) OBS=1; LABEL="obs"; shift ;;
     --perf) PERF=1; LABEL="perf"; shift ;;
     --fault) FAULT=1; LABEL="fault"; shift ;;
+    --lint) LINT=1; LABEL="static_analysis"; shift ;;
     --jobs) JOBS="$2"; shift 2 ;;
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
     --label) LABEL="$2"; shift 2 ;;
     --tidy-only) TIDY_ONLY=1; shift ;;
     -h|--help)
-      sed -n '2,40p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,48p' "$0" | sed 's/^# \{0,1\}//'
       exit 0 ;;
     *) echo "check.sh: unknown option '$1'" >&2; exit 2 ;;
   esac
@@ -157,6 +167,23 @@ if [ "$FAULT" -eq 1 ]; then
     exit 1
   fi
   echo "== check.sh: fault gate covers $FAULT_COUNT chaos tests"
+fi
+
+if [ "$LINT" -eq 1 ]; then
+  # clang_tidy may be SKIPPED where LLVM tooling is absent; the gate is
+  # only meaningful while the always-on miso_lint test is registered.
+  MISO_LINT_COUNT="$(ctest --test-dir "$BUILD_DIR" \
+                       -R '^static_analysis\.miso_lint$' -N |
+                     sed -n 's/^Total Tests: \([0-9]*\)$/\1/p')"
+  if [ -z "$MISO_LINT_COUNT" ] || [ "$MISO_LINT_COUNT" -eq 0 ]; then
+    echo "check.sh: static_analysis.miso_lint is not registered — the lint" \
+         "gate would be vacuous (clang_tidy alone can be SKIPPED)" >&2
+    exit 1
+  fi
+  LINT_COUNT="$(ctest --test-dir "$BUILD_DIR" -L static_analysis -N |
+                sed -n 's/^Total Tests: \([0-9]*\)$/\1/p')"
+  echo "== check.sh: lint gate covers $LINT_COUNT static_analysis tests" \
+       "(miso_lint registered and never skipped)"
 fi
 
 ctest "${CTEST_ARGS[@]}"

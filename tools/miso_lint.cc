@@ -1,0 +1,596 @@
+#include "tools/miso_lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace miso::lint {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+
+/// Source text reduced to what each rule needs: per-line code with
+/// comments removed and literal contents blanked, the string literals by
+/// line (for L005), and the `miso-lint: allow(...)` escape hatches found
+/// in comments.
+struct FileModel {
+  std::vector<std::string> code;  // index 0 = line 1
+  std::vector<std::pair<int, std::string>> strings;
+  std::map<int, std::set<std::string>> allows;
+
+  const std::string& CodeLine(int line) const {
+    static const std::string empty;
+    return line >= 1 && line <= static_cast<int>(code.size())
+               ? code[static_cast<size_t>(line - 1)]
+               : empty;
+  }
+
+  bool CommentOnly(int line) const {
+    const std::string& text = CodeLine(line);
+    return std::all_of(text.begin(), text.end(), IsSpace);
+  }
+
+  /// True when `code_id` is allowed on `line`: a reasoned allow comment on
+  /// the line itself, or on a comment-only line directly above it (the
+  /// NOLINTNEXTLINE idiom).
+  bool Allowed(int line, const std::string& code_id) const {
+    auto it = allows.find(line);
+    if (it != allows.end() && it->second.count(code_id) > 0) return true;
+    it = allows.find(line - 1);
+    return it != allows.end() && it->second.count(code_id) > 0 &&
+           CommentOnly(line - 1);
+  }
+};
+
+/// Records every `miso-lint: allow(Lnnn) <reason>` in one comment at the
+/// line the comment started on. An allow with no reason text is ignored:
+/// the escape hatch requires a justification.
+void ScanCommentForAllows(const std::string& comment, int start_line,
+                          FileModel* model) {
+  static const std::string kTag = "miso-lint: allow(";
+  size_t pos = 0;
+  while ((pos = comment.find(kTag, pos)) != std::string::npos) {
+    pos += kTag.size();
+    const size_t close = comment.find(')', pos);
+    if (close == std::string::npos) break;
+    const std::string code_id = comment.substr(pos, close - pos);
+    bool has_reason = false;
+    for (size_t i = close + 1;
+         i < comment.size() && comment.compare(i, kTag.size(), kTag) != 0; ++i) {
+      if (!IsSpace(comment[i])) {
+        has_reason = true;
+        break;
+      }
+    }
+    if (code_id.size() == 4 && code_id[0] == 'L' && has_reason) {
+      model->allows[start_line].insert(code_id);
+    }
+    pos = close + 1;
+  }
+}
+
+/// One pass over the raw text: strips // and /* */ comments, blanks
+/// string/char literal contents (keeping the quotes as tokens), handles
+/// escapes, digit separators (1'000'000), and R"(...)" raw strings.
+FileModel Preprocess(const std::string& text) {
+  FileModel model;
+  std::string cur;      // code of the current line
+  std::string comment;  // text of the comment being scanned
+  std::string literal;  // contents of the string literal being scanned
+  int line = 1;
+  int token_start_line = 1;
+  std::string raw_delim;  // ")delim" terminator when inside a raw string
+
+  enum class State { kCode, kLineComment, kBlockComment, kString, kRawString, kChar };
+  State state = State::kCode;
+
+  auto end_line = [&] {
+    model.code.push_back(cur);
+    cur.clear();
+    ++line;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          token_start_line = line;
+          comment.clear();
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          token_start_line = line;
+          comment.clear();
+          ++i;
+        } else if (c == '"') {
+          // R"delim( ... )delim" — the prefix identifier (R, u8R, LR, uR)
+          // sits at the end of the accumulated code.
+          size_t p = cur.size();
+          while (p > 0 && IsWordChar(cur[p - 1])) --p;
+          const std::string prefix = cur.substr(p);
+          if (!prefix.empty() && prefix.back() == 'R') {
+            std::string delim;
+            size_t j = i + 1;
+            while (j < text.size() && text[j] != '(') delim += text[j++];
+            raw_delim = ")" + delim + "\"";
+            i = j;  // consume up to and including '('
+            state = State::kRawString;
+          } else {
+            state = State::kString;
+          }
+          token_start_line = line;
+          literal.clear();
+        } else if (c == '\'') {
+          // A quote directly after an identifier/digit char is a digit
+          // separator (1'000'000), not a character literal.
+          if (!cur.empty() && IsWordChar(cur.back())) {
+            cur += c;
+          } else {
+            state = State::kChar;
+          }
+        } else if (c == '\n') {
+          end_line();
+        } else {
+          cur += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          ScanCommentForAllows(comment, token_start_line, &model);
+          state = State::kCode;
+          end_line();
+        } else {
+          comment += c;
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          ScanCommentForAllows(comment, token_start_line, &model);
+          state = State::kCode;
+          cur += ' ';  // keep tokens separated
+          ++i;
+        } else {
+          comment += c;
+          if (c == '\n') end_line();
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < text.size()) {
+          literal += c;
+          literal += next;
+          ++i;
+        } else if (c == '"') {
+          model.strings.emplace_back(token_start_line, literal);
+          cur += "\"\"";
+          state = State::kCode;
+        } else {
+          literal += c;
+          if (c == '\n') end_line();  // unterminated; stay permissive
+        }
+        break;
+      case State::kRawString:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          model.strings.emplace_back(token_start_line, literal);
+          cur += "\"\"";
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else {
+          literal += c;
+          if (c == '\n') end_line();
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < text.size()) {
+          ++i;
+        } else if (c == '\'') {
+          cur += "''";
+          state = State::kCode;
+        } else if (c == '\n') {
+          end_line();
+        }
+        break;
+    }
+  }
+  if (state == State::kLineComment) {
+    ScanCommentForAllows(comment, token_start_line, &model);
+  }
+  model.code.push_back(cur);
+  return model;
+}
+
+bool ContainsWord(const std::string& text, const std::string& word,
+                  size_t* pos_out = nullptr) {
+  size_t pos = 0;
+  while ((pos = text.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsWordChar(text[pos - 1]);
+    const size_t end = pos + word.size();
+    const bool right_ok = end >= text.size() || !IsWordChar(text[end]);
+    if (left_ok && right_ok) {
+      if (pos_out != nullptr) *pos_out = pos;
+      return true;
+    }
+    pos += word.size();
+  }
+  return false;
+}
+
+/// Word followed (after optional spaces) by '(' — catches `time(nullptr)`
+/// without firing on `real_time` or `time_point`.
+bool WordCall(const std::string& text, const std::string& word) {
+  size_t pos = 0;
+  while ((pos = text.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsWordChar(text[pos - 1]);
+    size_t end = pos + word.size();
+    if (left_ok && (end >= text.size() || !IsWordChar(text[end]))) {
+      while (end < text.size() && IsSpace(text[end])) ++end;
+      if (end < text.size() && text[end] == '(') return true;
+    }
+    pos += word.size();
+  }
+  return false;
+}
+
+/// Whole-file allowlists: the one module allowed to own each primitive.
+bool PathAllowed(const std::string& code_id, const std::string& path) {
+  if (code_id == "L001") return path == "src/common/env.cc";
+  if (code_id == "L002") return path.rfind("src/common/rng", 0) == 0;
+  if (code_id == "L005") {
+    return path == "src/obs/names.cc" || path == "src/obs/names.h";
+  }
+  return false;
+}
+
+int LineOfOffset(const std::string& flat, size_t offset) {
+  return 1 + static_cast<int>(
+                 std::count(flat.begin(), flat.begin() + offset, '\n'));
+}
+
+/// Skips `MISO_*(...)` annotation macros so declaration terminators are
+/// found behind them (e.g. `std::deque<T> q_ MISO_GUARDED_BY(mu_);`).
+size_t SkipAnnotations(const std::string& flat, size_t pos) {
+  for (;;) {
+    while (pos < flat.size() && IsSpace(flat[pos])) ++pos;
+    if (flat.compare(pos, 5, "MISO_") != 0) return pos;
+    while (pos < flat.size() && IsWordChar(flat[pos])) ++pos;
+    while (pos < flat.size() && IsSpace(flat[pos])) ++pos;
+    if (pos < flat.size() && flat[pos] == '(') {
+      int depth = 0;
+      do {
+        if (flat[pos] == '(') ++depth;
+        if (flat[pos] == ')') --depth;
+        ++pos;
+      } while (pos < flat.size() && depth > 0);
+    }
+  }
+}
+
+/// Names of variables declared with an `unordered_*` type anywhere in the
+/// file (declarations may span lines; annotation macros are skipped).
+std::set<std::string> UnorderedVarNames(const std::string& flat) {
+  std::set<std::string> names;
+  size_t pos = 0;
+  while ((pos = flat.find("unordered_", pos)) != std::string::npos) {
+    size_t p = pos;
+    pos += 10;
+    // The template argument list, possibly nested / multi-line.
+    while (p < flat.size() && flat[p] != '<' && flat[p] != '\n') ++p;
+    if (p >= flat.size() || flat[p] != '<') continue;
+    int depth = 0;
+    do {
+      if (flat[p] == '<') ++depth;
+      if (flat[p] == '>') --depth;
+      ++p;
+    } while (p < flat.size() && depth > 0);
+    // Reference/pointer/const decoration, then the declared name.
+    for (;;) {
+      while (p < flat.size() &&
+             (IsSpace(flat[p]) || flat[p] == '&' || flat[p] == '*')) {
+        ++p;
+      }
+      if (flat.compare(p, 5, "const") == 0 && !IsWordChar(flat[p + 5])) {
+        p += 5;
+        continue;
+      }
+      break;
+    }
+    std::string name;
+    while (p < flat.size() && IsWordChar(flat[p])) name += flat[p++];
+    if (name.empty()) continue;
+    p = SkipAnnotations(flat, p);
+    if (p < flat.size() && (flat[p] == ';' || flat[p] == '=' ||
+                            flat[p] == '{' || flat[p] == ',' ||
+                            flat[p] == ')' || flat[p] == '(')) {
+      names.insert(name);
+    }
+  }
+  return names;
+}
+
+/// Floating-point variables (double/float/Seconds) declared in the file,
+/// mapped to their declaration offsets — the accumulators L004 watches.
+/// Offsets matter: accumulation into a variable declared *inside* the
+/// loop body resets every iteration and cannot depend on hash order.
+std::map<std::string, std::vector<size_t>> FloatVarDecls(
+    const std::string& flat) {
+  static const std::regex kDecl(
+      R"((?:^|[^\w])(?:double|float|Seconds)\s+([A-Za-z_]\w*)\s*(?:=|;|\{|,|\)))");
+  std::map<std::string, std::vector<size_t>> decls;
+  for (std::sregex_iterator it(flat.begin(), flat.end(), kDecl), end;
+       it != end; ++it) {
+    decls[(*it)[1].str()].push_back(static_cast<size_t>(it->position(1)));
+  }
+  return decls;
+}
+
+struct RangeForLoop {
+  std::string range_expr;
+  size_t body_begin = 0;  // offsets into flat
+  size_t body_end = 0;
+};
+
+std::vector<RangeForLoop> FindRangeForLoops(const std::string& flat) {
+  std::vector<RangeForLoop> loops;
+  size_t pos = 0;
+  while ((pos = flat.find("for", pos)) != std::string::npos) {
+    const size_t start = pos;
+    pos += 3;
+    if ((start > 0 && IsWordChar(flat[start - 1])) ||
+        (start + 3 < flat.size() && IsWordChar(flat[start + 3]))) {
+      continue;
+    }
+    size_t p = start + 3;
+    while (p < flat.size() && IsSpace(flat[p])) ++p;
+    if (p >= flat.size() || flat[p] != '(') continue;
+    // Find the closing paren and any top-level ':' inside.
+    int depth = 0;
+    size_t colon = std::string::npos;
+    size_t close = std::string::npos;
+    for (size_t i = p; i < flat.size(); ++i) {
+      const char c = flat[i];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') {
+        --depth;
+        if (depth == 0) {
+          close = i;
+          break;
+        }
+      }
+      if (c == ':' && depth == 1 && colon == std::string::npos &&
+          (i == 0 || flat[i - 1] != ':') &&
+          (i + 1 >= flat.size() || flat[i + 1] != ':')) {
+        colon = i;
+      }
+    }
+    if (close == std::string::npos || colon == std::string::npos) continue;
+    RangeForLoop loop;
+    loop.range_expr = flat.substr(colon + 1, close - colon - 1);
+    size_t b = close + 1;
+    while (b < flat.size() && IsSpace(flat[b])) ++b;
+    if (b < flat.size() && flat[b] == '{') {
+      int braces = 0;
+      size_t e = b;
+      do {
+        if (flat[e] == '{') ++braces;
+        if (flat[e] == '}') --braces;
+        ++e;
+      } while (e < flat.size() && braces > 0);
+      loop.body_begin = b;
+      loop.body_end = e;
+    } else {
+      loop.body_begin = b;
+      loop.body_end = flat.find(';', b);
+      if (loop.body_end == std::string::npos) loop.body_end = flat.size();
+    }
+    loops.push_back(std::move(loop));
+  }
+  return loops;
+}
+
+struct RuleMessages {
+  static const char* Of(const std::string& code_id) {
+    for (const RuleInfo& rule : Rules()) {
+      if (code_id == rule.code) return rule.summary;
+    }
+    return "unknown rule";
+  }
+};
+
+}  // namespace
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo>* rules = new std::vector<RuleInfo>{
+      {"L001",
+       "raw std::getenv bypasses the strict env parser; use "
+       "miso::EnvInt/EnvFlag/EnvDouble/EnvChoice (src/common/env.h)"},
+      {"L002",
+       "nondeterministic randomness source; every stochastic choice must "
+       "flow through the seeded miso::Rng (src/common/rng.h)"},
+      {"L003",
+       "wall-clock read in model code breaks replayability; simulated time "
+       "comes from cost models (runtime-class telemetry sites carry a "
+       "reasoned allow comment)"},
+      {"L004",
+       "floating-point accumulation while iterating an unordered container "
+       "sums in hash order; copy out and sort the elements first (the "
+       "DwCostModel 1-ulp-drift bug class)"},
+      {"L005",
+       "\"miso.\" telemetry name literal outside src/obs/names.{h,cc}; "
+       "declare it in obs::names so docs/TELEMETRY.md stays enforceable"},
+      {"L006",
+       "mutex member lacks a GUARDED_BY annotation; annotate the state it "
+       "protects (src/common/annotations.h)"},
+  };
+  return *rules;
+}
+
+std::string Finding::ToString() const {
+  return path + ":" + std::to_string(line) + ": [" + code + "] " + message;
+}
+
+std::vector<Finding> LintFile(const std::string& path,
+                              const std::string& content) {
+  const FileModel model = Preprocess(content);
+  std::set<std::pair<int, std::string>> seen;
+  std::vector<Finding> out;
+  auto add = [&](int line, const char* code_id) {
+    if (PathAllowed(code_id, path)) return;
+    if (model.Allowed(line, code_id)) return;
+    if (!seen.insert({line, code_id}).second) return;
+    out.push_back(Finding{path, line, code_id, RuleMessages::Of(code_id)});
+  };
+
+  static const std::vector<std::string> kRandomWords = {
+      "rand",        "srand",        "drand48",
+      "random_device", "mt19937",    "mt19937_64",
+      "minstd_rand", "minstd_rand0", "default_random_engine",
+      "random_shuffle"};
+  static const std::vector<std::string> kClockWords = {
+      "system_clock", "steady_clock", "high_resolution_clock",
+      "gettimeofday", "clock_gettime", "localtime", "gmtime"};
+
+  for (size_t i = 0; i < model.code.size(); ++i) {
+    const std::string& line_code = model.code[i];
+    const int line = static_cast<int>(i) + 1;
+    if (ContainsWord(line_code, "getenv")) add(line, "L001");
+    for (const std::string& word : kRandomWords) {
+      if (ContainsWord(line_code, word)) {
+        add(line, "L002");
+        break;
+      }
+    }
+    bool clock_hit = false;
+    for (const std::string& word : kClockWords) {
+      if (ContainsWord(line_code, word)) {
+        clock_hit = true;
+        break;
+      }
+    }
+    if (clock_hit || WordCall(line_code, "time") ||
+        WordCall(line_code, "clock")) {
+      add(line, "L003");
+    }
+  }
+
+  // L005 over the preserved string literals.
+  for (const auto& [line, literal] : model.strings) {
+    if (literal.rfind("miso.", 0) == 0) add(line, "L005");
+  }
+
+  // Flatten for the multi-line rules.
+  std::string flat;
+  for (size_t i = 0; i < model.code.size(); ++i) {
+    if (i > 0) flat += '\n';
+    flat += model.code[i];
+  }
+
+  // L004: FP accumulation inside a range-for over an unordered container.
+  // An accumulator declared inside the loop body resets each iteration, so
+  // only variables declared outside the body can pick up hash-order sums.
+  const std::set<std::string> uvars = UnorderedVarNames(flat);
+  const std::map<std::string, std::vector<size_t>> fpdecls =
+      FloatVarDecls(flat);
+  static const std::regex kAccum(
+      R"(([A-Za-z_]\w*)\s*(?:\+=|=\s*\1\s*\+))");
+  for (const RangeForLoop& loop : FindRangeForLoops(flat)) {
+    bool unordered = loop.range_expr.find("unordered_") != std::string::npos;
+    for (auto it = uvars.begin(); !unordered && it != uvars.end(); ++it) {
+      unordered = ContainsWord(loop.range_expr, *it);
+    }
+    if (!unordered) continue;
+    const std::string body =
+        flat.substr(loop.body_begin, loop.body_end - loop.body_begin);
+    for (std::sregex_iterator it(body.begin(), body.end(), kAccum), end;
+         it != end; ++it) {
+      const auto decl_it = fpdecls.find((*it)[1].str());
+      if (decl_it == fpdecls.end()) continue;
+      const bool declared_in_body = std::any_of(
+          decl_it->second.begin(), decl_it->second.end(), [&](size_t d) {
+            return d >= loop.body_begin && d < loop.body_end;
+          });
+      if (declared_in_body) continue;
+      add(LineOfOffset(flat, loop.body_begin +
+                                 static_cast<size_t>(it->position(0))),
+          "L004");
+    }
+  }
+
+  // L006: mutex members (trailing-underscore names, non-static) must be
+  // referenced by a GUARDED_BY in the same file.
+  std::set<std::string> guarded;
+  static const std::regex kGuardedBy(R"(GUARDED_BY\s*\(\s*([A-Za-z_]\w*))");
+  for (std::sregex_iterator it(flat.begin(), flat.end(), kGuardedBy), end;
+       it != end; ++it) {
+    guarded.insert((*it)[1].str());
+  }
+  static const std::regex kMutexMember(
+      R"((?:^|[^\w:])(?:std\s*::\s*mutex|Mutex)\s+([A-Za-z_]\w*_)\s*;)");
+  for (std::sregex_iterator it(flat.begin(), flat.end(), kMutexMember), end;
+       it != end; ++it) {
+    const size_t offset =
+        static_cast<size_t>(it->position(1));
+    const int line = LineOfOffset(flat, offset);
+    if (ContainsWord(model.CodeLine(line), "static")) continue;
+    if (guarded.count((*it)[1].str()) > 0) continue;
+    add(line, "L006");
+  }
+
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return a.line != b.line ? a.line < b.line : a.code < b.code;
+  });
+  return out;
+}
+
+std::vector<Finding> LintTree(const std::string& repo_root,
+                              std::string* error) {
+  namespace fs = std::filesystem;
+  if (error != nullptr) error->clear();
+  std::vector<Finding> out;
+  const fs::path root(repo_root);
+  const fs::path src = root / "src";
+  std::error_code ec;
+  std::vector<fs::path> files;
+  for (fs::recursive_directory_iterator it(src, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file()) continue;
+    const std::string ext = it->path().extension().string();
+    if (ext == ".h" || ext == ".cc") files.push_back(it->path());
+  }
+  if (ec && error != nullptr) {
+    *error = "miso_lint: cannot walk " + src.string() + ": " + ec.message();
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      if (error != nullptr) {
+        *error = "miso_lint: cannot read " + file.string();
+      }
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string rel =
+        file.lexically_relative(root).generic_string();
+    std::vector<Finding> findings = LintFile(rel, buffer.str());
+    out.insert(out.end(), std::make_move_iterator(findings.begin()),
+               std::make_move_iterator(findings.end()));
+  }
+  return out;
+}
+
+}  // namespace miso::lint

@@ -1,0 +1,63 @@
+#ifndef MISO_TOOLS_MISO_LINT_H_
+#define MISO_TOOLS_MISO_LINT_H_
+
+#include <string>
+#include <vector>
+
+namespace miso::lint {
+
+/// miso-lint: the project's dependency-free determinism & thread-safety
+/// checker (DESIGN.md §13). It scans `src/` at the token/line level and
+/// enforces invariants that clang-tidy cannot express (and that must gate
+/// on machines without LLVM tooling, where the clang_tidy ctest reports
+/// Skipped):
+///
+///   [L001] no raw std::getenv outside src/common/env.cc
+///   [L002] no rand()/std::random_device/mt19937/... outside src/common/rng
+///   [L003] no wall-clock reads (system_clock/steady_clock/time()/...)
+///   [L004] no floating-point accumulation inside iteration over an
+///          unordered_* container (the DwCostModel 1-ulp-drift bug class)
+///   [L005] no "miso." metric/trace name literals outside src/obs/names.{h,cc}
+///   [L006] every mutex member (trailing-underscore name) must be
+///          referenced by at least one GUARDED_BY annotation in its file
+///
+/// Escape hatch: a finding is suppressed by a comment on the same physical
+/// line — or a comment-only line directly above it — of the form
+///     // miso-lint: allow(Lnnn) <reason>
+/// The reason is mandatory; an allow without one is ignored and the
+/// finding stands.
+
+struct Finding {
+  std::string path;     // repo-relative, forward slashes
+  int line = 0;         // 1-based
+  std::string code;     // "L001".."L006"
+  std::string message;
+
+  /// "path:line: [Lnnn] message" — mirrors the [Vnnn] verifier style.
+  std::string ToString() const;
+};
+
+struct RuleInfo {
+  const char* code;
+  const char* summary;
+};
+
+/// The stable rule table, ordered by code.
+const std::vector<RuleInfo>& Rules();
+
+/// Lints one file's contents. `path` must be the repo-relative path (e.g.
+/// "src/common/env.cc"): the built-in per-rule allowlists match on it.
+/// Findings are ordered by line, then code.
+std::vector<Finding> LintFile(const std::string& path,
+                              const std::string& content);
+
+/// Walks `repo_root`/src for *.h / *.cc files (sorted, so output is
+/// deterministic) and lints each. On an I/O error returns what was
+/// gathered and sets `*error` to a diagnostic; `*error` is cleared on
+/// success.
+std::vector<Finding> LintTree(const std::string& repo_root,
+                              std::string* error);
+
+}  // namespace miso::lint
+
+#endif  // MISO_TOOLS_MISO_LINT_H_

@@ -1,0 +1,100 @@
+// miso-lint CLI: `miso_lint [--root DIR] [--list] [FILE...]`.
+//
+// With no FILE arguments, lints every *.h / *.cc under DIR/src (DIR
+// defaults to "."). With FILE arguments, lints just those files; paths
+// under DIR are relabelled repo-relative so the per-rule allowlists
+// apply. Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/miso_lint.h"
+
+namespace {
+
+int Usage(std::FILE* stream) {
+  std::fprintf(stream,
+               "usage: miso_lint [--root DIR] [--list] [FILE...]\n"
+               "  --root DIR  repo root for allowlists / tree walk "
+               "(default: .)\n"
+               "  --list      print the rule table and exit\n");
+  return stream == stdout ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool list = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(stdout);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "miso_lint: unknown option '%s'\n", arg.c_str());
+      return Usage(stderr);
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  if (list) {
+    for (const miso::lint::RuleInfo& rule : miso::lint::Rules()) {
+      std::printf("[%s] %s\n", rule.code, rule.summary);
+    }
+    return 0;
+  }
+
+  std::vector<miso::lint::Finding> findings;
+  if (files.empty()) {
+    std::string error;
+    findings = miso::lint::LintTree(root, &error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 2;
+    }
+  } else {
+    namespace fs = std::filesystem;
+    for (const std::string& file : files) {
+      std::ifstream in(file);
+      if (!in) {
+        std::fprintf(stderr, "miso_lint: cannot read %s\n", file.c_str());
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      std::error_code ec;
+      const fs::path rel = fs::relative(file, root, ec);
+      const std::string label =
+          (!ec && !rel.empty() && rel.generic_string().rfind("..", 0) != 0)
+              ? rel.generic_string()
+              : file;
+      std::vector<miso::lint::Finding> file_findings =
+          miso::lint::LintFile(label, buffer.str());
+      findings.insert(findings.end(), file_findings.begin(),
+                      file_findings.end());
+    }
+  }
+
+  for (const miso::lint::Finding& finding : findings) {
+    std::printf("%s\n", finding.ToString().c_str());
+  }
+  if (findings.empty()) {
+    std::fprintf(stderr, "miso_lint: clean\n");
+    return 0;
+  }
+  std::fprintf(stderr, "miso_lint: %zu finding(s); see [Lnnn] codes in "
+                       "DESIGN.md section 13 (escape hatch: "
+                       "// miso-lint: allow(Lnnn) <reason>)\n",
+               findings.size());
+  return 1;
+}

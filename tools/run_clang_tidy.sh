@@ -1,20 +1,41 @@
 #!/usr/bin/env bash
 # Runs clang-tidy (config: .clang-tidy at the repo root) over the library
 # sources in src/, using the compile database of the given build dir.
-# Any finding is an error (-warnings-as-errors='*'), so a clean exit means
-# no clang-tidy regressions in src/.
+# In the default mode any finding is an error (-warnings-as-errors='*'),
+# so a clean exit means no clang-tidy regressions in src/.
 #
-# Usage: tools/run_clang_tidy.sh [BUILD_DIR] [FILE...]
+# Usage: tools/run_clang_tidy.sh [--baseline write|check] [BUILD_DIR] [FILE...]
 #   BUILD_DIR  directory containing compile_commands.json (default: build)
 #   FILE...    restrict the run to specific sources (default: all src/*.cc)
+#
+# --baseline enables the incremental burn-down workflow against the
+# committed findings file tools/clang_tidy_baseline.txt. Findings are
+# normalized to sorted-unique "path [check-name]" pairs (line/column
+# stripped, so unrelated edits do not shift the baseline):
+#   write  run clang-tidy and (re)write the baseline from what it reports
+#   check  fail only on findings NOT in the baseline; report baseline
+#          entries that no longer fire (refresh with `write` to ratchet)
 #
 # Exits 77 with a notice when clang-tidy is not installed — registered as
 # ctest's SKIP_RETURN_CODE, so the `static_analysis` test reports SKIPPED
 # (not a silent pass) on containers that ship only gcc, and runs for real
-# wherever LLVM tooling is available.
+# wherever LLVM tooling is available. (miso-lint, tools/miso_lint.cc, is
+# the always-on complement that never skips.)
 set -uo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BASELINE_MODE=""
+BASELINE_FILE="$ROOT/tools/clang_tidy_baseline.txt"
+
+if [ "${1:-}" = "--baseline" ]; then
+  BASELINE_MODE="${2:-}"
+  if [ "$BASELINE_MODE" != "write" ] && [ "$BASELINE_MODE" != "check" ]; then
+    echo "run_clang_tidy: --baseline needs 'write' or 'check'" >&2
+    exit 2
+  fi
+  shift 2
+fi
+
 BUILD_DIR="${1:-$ROOT/build}"
 shift 2>/dev/null || true
 
@@ -37,4 +58,56 @@ else
 fi
 
 echo "run_clang_tidy: checking ${#files[@]} files against $BUILD_DIR/compile_commands.json"
-clang-tidy -p "$BUILD_DIR" -quiet -warnings-as-errors='*' "${files[@]}"
+
+if [ -z "$BASELINE_MODE" ]; then
+  exec clang-tidy -p "$BUILD_DIR" -quiet -warnings-as-errors='*' "${files[@]}"
+fi
+
+# Baseline modes: capture warnings (not promoted to errors) and normalize
+# each "path:line:col: warning: ... [check-name]" to "path [check-name]".
+normalize_findings() {
+  grep -E '^[^ :]+:[0-9]+:[0-9]+: (warning|error): ' |
+    sed -E 's|^([^:]+):[0-9]+:[0-9]+: (warning\|error): .*\[([^][]+)\]$|\1 [\3]|' |
+    grep -E '^[^ ]+ \[' |
+    sort -u
+}
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+clang-tidy -p "$BUILD_DIR" -quiet "${files[@]}" >"$TMP/raw.txt" 2>/dev/null
+normalize_findings <"$TMP/raw.txt" >"$TMP/current.txt"
+
+if [ "$BASELINE_MODE" = "write" ]; then
+  {
+    echo "# clang-tidy baseline: sorted-unique 'path [check-name]' findings"
+    echo "# accepted for incremental burn-down. Refresh with:"
+    echo "#   tools/run_clang_tidy.sh --baseline write [BUILD_DIR]"
+    echo "# 'check' mode fails only on findings not listed here."
+    cat "$TMP/current.txt"
+  } >"$BASELINE_FILE"
+  echo "run_clang_tidy: wrote $(wc -l <"$TMP/current.txt") finding(s) to $BASELINE_FILE"
+  exit 0
+fi
+
+# check mode
+if [ ! -f "$BASELINE_FILE" ]; then
+  echo "run_clang_tidy: no baseline at $BASELINE_FILE (create one with --baseline write)" >&2
+  exit 2
+fi
+grep -v '^#' "$BASELINE_FILE" | sort -u >"$TMP/baseline.txt"
+
+comm -13 "$TMP/baseline.txt" "$TMP/current.txt" >"$TMP/new.txt"
+comm -23 "$TMP/baseline.txt" "$TMP/current.txt" >"$TMP/fixed.txt"
+
+if [ -s "$TMP/fixed.txt" ]; then
+  echo "run_clang_tidy: $(wc -l <"$TMP/fixed.txt") baseline finding(s) no longer fire — ratchet with --baseline write:"
+  sed 's/^/  fixed: /' "$TMP/fixed.txt"
+fi
+if [ -s "$TMP/new.txt" ]; then
+  echo "run_clang_tidy: NEW findings not in $BASELINE_FILE:" >&2
+  sed 's/^/  new: /' "$TMP/new.txt" >&2
+  exit 1
+fi
+echo "run_clang_tidy: no findings beyond the committed baseline"
+exit 0
