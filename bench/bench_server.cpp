@@ -1,0 +1,121 @@
+// Micro-benchmarks for the online multistore server: session throughput
+// and tail latency of the admission → wave → reduce pipeline, with the
+// background (online) reorganization cadence against the stop-the-world
+// baseline. Wall-clock here is host time of the serving machinery (the
+// engine's cost models still tick simulated seconds); compare ratios
+// across snapshots, not absolute numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "server/miso_server.h"
+
+namespace miso {
+namespace {
+
+using bench_util::Catalog;
+using bench_util::DefaultConfig;
+using bench_util::Workload;
+
+constexpr int kSessions = 256;
+
+const std::vector<workload::WorkloadQuery>& CycledSessions() {
+  static const auto* queries = [] {
+    auto* q = new std::vector<workload::WorkloadQuery>();
+    const std::vector<workload::WorkloadQuery>& base = Workload().queries();
+    q->reserve(kSessions);
+    for (int i = 0; i < kSessions; ++i) {
+      q->push_back(base[static_cast<size_t>(i) % base.size()]);
+    }
+    return q;
+  }();
+  return *queries;
+}
+
+/// One full serve of `kSessions` cycled paper-workload sessions.
+/// Args: {wave_size, online_reorg, MISO_THREADS}.
+void BM_ServerServe(benchmark::State& state) {
+  const int wave_size = static_cast<int>(state.range(0));
+  const bool online = state.range(1) != 0;
+  const int threads = static_cast<int>(state.range(2));
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%d", threads);
+  setenv("MISO_THREADS", buf, /*overwrite=*/1);
+
+  const std::vector<workload::WorkloadQuery>& queries = CycledSessions();
+  double p99_ms = 0;
+  double overlap_saved_s = 0;
+  for (auto _ : state) {
+    server::ServerConfig config;
+    config.sim = DefaultConfig(sim::SystemVariant::kMsMiso);
+    config.sim.reorg_every = 16;
+    config.wave_size = wave_size;
+    config.online_reorg = online;
+    config.admission_capacity = 64;
+    config.expected_sessions = kSessions;
+
+    server::MisoServer server(&Catalog(), config);
+    std::vector<std::chrono::steady_clock::time_point> submitted;
+    submitted.reserve(queries.size());
+    std::vector<std::future<server::SessionResult>> futures;
+    futures.reserve(queries.size());
+    for (const workload::WorkloadQuery& q : queries) {
+      submitted.push_back(std::chrono::steady_clock::now());
+      futures.push_back(server.Submit(q));
+    }
+    server.Close();
+    // Sessions resolve in admission order, so the wall-clock at each
+    // get()'s return approximates that session's resolution time.
+    std::vector<double> latencies_ms;
+    latencies_ms.reserve(futures.size());
+    for (size_t i = 0; i < futures.size(); ++i) {
+      const server::SessionResult result = futures[i].get();
+      if (!result.status.ok()) {
+        state.SkipWithError(result.status.ToString().c_str());
+        return;
+      }
+      latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - submitted[i])
+              .count());
+    }
+    auto report = server.Finish();
+    if (!report.ok()) {
+      state.SkipWithError(report.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(report->Tti());
+    overlap_saved_s = report->reorg_overlap_saved_s;
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    p99_ms = latencies_ms[latencies_ms.size() * 99 / 100];
+  }
+  unsetenv("MISO_THREADS");
+
+  state.counters["sessions_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kSessions,
+      benchmark::Counter::kIsRate);
+  state.counters["p99_session_ms"] = p99_ms;
+  state.counters["overlap_saved_sim_s"] = overlap_saved_s;
+  state.SetLabel(std::string(online ? "online" : "stop-the-world") +
+                 " wave=" + std::to_string(wave_size) +
+                 " threads=" + std::to_string(threads));
+}
+BENCHMARK(BM_ServerServe)
+    ->Args({1, 0, 1})   // simulator-equivalent baseline
+    ->Args({8, 0, 1})   // batching alone
+    ->Args({8, 1, 1})   // + background reorganization, serial workers
+    ->Args({8, 1, 4})   // + worker pool
+    ->UseRealTime()     // the pipeline runs on scheduler/worker threads
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace miso
+
+BENCHMARK_MAIN();

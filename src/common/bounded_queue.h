@@ -1,0 +1,122 @@
+#ifndef MISO_COMMON_BOUNDED_QUEUE_H_
+#define MISO_COMMON_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/annotations.h"
+
+namespace miso {
+
+/// Bounded multi-producer / multi-consumer FIFO with close semantics —
+/// the admission-queue primitive of the online server (DESIGN.md §14).
+///
+/// `Push` blocks while the queue is at capacity, so producers admitting
+/// millions of sessions cannot outrun the consumers by more than the
+/// queue bound (backpressure instead of unbounded memory growth), the
+/// same discipline as `ThreadPool::Submit`. `Pop` blocks while the queue
+/// is empty and open. `Close` wakes everyone: blocked pushes fail,
+/// blocked pops drain the remaining items in FIFO order and then return
+/// `nullopt` — so a closed queue never drops work that was admitted.
+///
+/// Items are popped in push order (one global FIFO). With multiple
+/// consumers the *completion* order is of course unspecified; consumers
+/// that need deterministic output reduce their results in a serial,
+/// order-fixed stage afterwards (the server tags each session with its
+/// admission index for exactly that).
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity` bounds the pending items (clamped to >= 1).
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues `item`, blocking while the queue is at capacity. Returns
+  /// false (and drops `item`) iff the queue was closed before space
+  /// opened up.
+  bool Push(T item) {
+    MutexLock lock(mutex_);
+    not_full_.wait(mutex_,
+                   [this]() MISO_REQUIRES(mutex_) {
+                     return closed_ || items_.size() < capacity_;
+                   });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    if (items_.size() > high_water_) high_water_ = items_.size();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push: false when the queue is full or closed.
+  bool TryPush(T item) {
+    MutexLock lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    if (items_.size() > high_water_) high_water_ = items_.size();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Dequeues the oldest item, blocking while the queue is empty and
+  /// open. Returns `nullopt` once the queue is closed *and* drained.
+  std::optional<T> Pop() {
+    MutexLock lock(mutex_);
+    not_empty_.wait(mutex_, [this]() MISO_REQUIRES(mutex_) {
+      return closed_ || !items_.empty();
+    });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Closes the queue: subsequent and blocked pushes fail, pops drain
+  /// what remains. Idempotent.
+  void Close() {
+    MutexLock lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    MutexLock lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    MutexLock lock(mutex_);
+    return items_.size();
+  }
+
+  /// Deepest queue observed since construction (for the runtime-class
+  /// `miso.server.admission_queue_high_water` gauge).
+  std::size_t high_water() const {
+    MutexLock lock(mutex_);
+    return high_water_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable Mutex mutex_;
+  // condition_variable_any waits directly on the annotated Mutex (it only
+  // needs Lockable), so acquisitions stay visible to the analysis.
+  std::condition_variable_any not_empty_;
+  std::condition_variable_any not_full_;
+  std::deque<T> items_ MISO_GUARDED_BY(mutex_);
+  bool closed_ MISO_GUARDED_BY(mutex_) = false;
+  std::size_t high_water_ MISO_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace miso
+
+#endif  // MISO_COMMON_BOUNDED_QUEUE_H_

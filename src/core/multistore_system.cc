@@ -1,5 +1,7 @@
 #include "core/multistore_system.h"
 
+#include "server/replay.h"
+
 namespace miso {
 
 MultistoreSystem::MultistoreSystem(const MisoConfig& config)
@@ -10,6 +12,21 @@ Result<sim::RunReport> MultistoreSystem::Execute(
     const std::vector<workload::WorkloadQuery>& queries) const {
   sim::MultistoreSimulator simulator(&catalog_, config_.sim);
   return simulator.Run(queries);
+}
+
+Result<sim::RunReport> MultistoreSystem::Serve(
+    const server::ServerConfig& server_config,
+    const std::vector<workload::WorkloadQuery>& queries) const {
+  server::ServerConfig cfg = server_config;
+  cfg.sim = config_.sim;
+  return server::ReplayWorkload(&catalog_, cfg, queries);
+}
+
+Result<sim::RunReport> MultistoreSystem::ServePaperWorkload(
+    const server::ServerConfig& server_config, uint64_t workload_seed) const {
+  server::ServerConfig cfg = server_config;
+  cfg.sim = config_.sim;
+  return server::ReplayPaperWorkload(&catalog_, cfg, workload_seed);
 }
 
 Result<std::vector<sim::RunReport>> MultistoreSystem::SweepSeeds(

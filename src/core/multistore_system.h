@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "core/explain.h"
 #include "relation/catalog.h"
+#include "server/miso_server.h"
 #include "sim/simulator.h"
 #include "workload/evolutionary.h"
 
@@ -47,6 +48,25 @@ class MultistoreSystem {
   /// Convenience overload for bare plans.
   Result<sim::RunReport> ExecutePlans(
       const std::vector<plan::Plan>& plans) const;
+
+  /// Runs a query stream through the online multistore server instead of
+  /// the batch simulator: sessions are admitted in order through a
+  /// bounded queue, waves of them plan/execute concurrently, and
+  /// reorganizations run on a background thread (DESIGN.md §14).
+  /// `server_config.sim` is taken from this system's configuration; the
+  /// caller sets only the server-specific knobs (wave size, online
+  /// reorganization, admission capacity, epoch observer). Records come
+  /// back in admission order and are byte-identical for any
+  /// `MISO_THREADS`.
+  Result<sim::RunReport> Serve(
+      const server::ServerConfig& server_config,
+      const std::vector<workload::WorkloadQuery>& queries) const;
+
+  /// Generates the paper workload and serves it online (the server-side
+  /// counterpart of `sim::RunPaperWorkload`).
+  Result<sim::RunReport> ServePaperWorkload(
+      const server::ServerConfig& server_config,
+      uint64_t workload_seed = 42) const;
 
   /// Generates the paper workload for each seed and simulates every one
   /// under this system's configuration, fanning the seeds out over

@@ -136,9 +136,7 @@ FaultDecision FaultInjector::Decide(FaultSite site, uint64_t entity,
 
 bool FaultInjector::DwDownForQuery(int query_index) const {
   for (const OutageWindow& window : plan_.dw_outages) {
-    if (query_index >= window.begin_query && query_index < window.end_query) {
-      return true;
-    }
+    if (window.Contains(query_index)) return true;
   }
   return false;
 }

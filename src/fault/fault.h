@@ -55,6 +55,10 @@ enum class FaultProfile {
 struct OutageWindow {
   int begin_query = 0;
   int end_query = 0;  // exclusive
+
+  bool Contains(int query_index) const {
+    return query_index >= begin_query && query_index < end_query;
+  }
 };
 
 /// User-facing fault configuration (lives in `sim::SimConfig::fault`).

@@ -17,6 +17,9 @@ std::atomic<bool>& MetricsFlag() {
   return flag;
 }
 
+// Innermost active capture on this thread, nullptr when none.
+thread_local ScopedHistogramCapture* t_histogram_capture = nullptr;
+
 }  // namespace
 
 bool MetricsOn() { return MetricsFlag().load(std::memory_order_relaxed); }
@@ -47,6 +50,10 @@ Histogram::Histogram(std::vector<double> bounds)
 }
 
 void Histogram::Observe(double v) {
+  if (t_histogram_capture != nullptr) {
+    t_histogram_capture->observations_.push_back({this, v});
+    return;
+  }
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   const size_t index = static_cast<size_t>(it - bounds_.begin());
   buckets_[index].fetch_add(1, std::memory_order_relaxed);
@@ -70,6 +77,29 @@ void Histogram::Reset() {
   }
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
+}
+
+ScopedHistogramCapture::ScopedHistogramCapture()
+    : parent_(t_histogram_capture) {
+  t_histogram_capture = this;
+}
+
+ScopedHistogramCapture::~ScopedHistogramCapture() {
+  t_histogram_capture = parent_;
+}
+
+std::vector<ScopedHistogramCapture::Observation>
+ScopedHistogramCapture::TakeObservations() {
+  std::vector<Observation> out;
+  out.swap(observations_);
+  return out;
+}
+
+void ScopedHistogramCapture::Replay(
+    const std::vector<Observation>& observations) {
+  for (const Observation& obs : observations) {
+    obs.histogram->Observe(obs.value);
+  }
 }
 
 std::string MetricsSnapshot::ToString() const {

@@ -75,6 +75,9 @@ class Gauge {
 /// emission site in the library observes serially).
 class Histogram {
  public:
+  /// When a `ScopedHistogramCapture` is active on the calling thread the
+  /// observation is deferred into that capture instead of touching the
+  /// histogram — see the capture class for why.
   void Observe(double v);
 
   const std::vector<double>& bounds() const { return bounds_; }
@@ -91,6 +94,42 @@ class Histogram {
   std::unique_ptr<std::atomic<int64_t>[]> buckets_;  // bounds_.size() + 1
   std::atomic<int64_t> count_{0};
   std::atomic<double> sum_{0};
+};
+
+/// Defers this thread's histogram observations for the lifetime of the
+/// object, the histogram twin of `ScopedTraceCapture`: a histogram's
+/// running `sum` is a floating-point accumulation, deterministic only
+/// when observations arrive in a fixed order, so parallel workers that
+/// would observe model-class histograms (e.g. chosen-plan cost from
+/// concurrent planning) open a capture and the driver `Replay`s the
+/// deferred observations in deterministic (session/job) order. Captures
+/// nest (innermost wins). Registered histograms are never destroyed, so
+/// the deferred `Histogram*`s stay valid across the hand-off.
+class ScopedHistogramCapture {
+ public:
+  /// One deferred `Histogram::Observe` call.
+  struct Observation {
+    Histogram* histogram = nullptr;
+    double value = 0;
+  };
+
+  ScopedHistogramCapture();
+  ~ScopedHistogramCapture();
+
+  ScopedHistogramCapture(const ScopedHistogramCapture&) = delete;
+  ScopedHistogramCapture& operator=(const ScopedHistogramCapture&) = delete;
+
+  /// Moves the deferred observations out (capture continues, empty).
+  std::vector<Observation> TakeObservations();
+
+  /// Observes `observations` in order. Call from serial reduce code only —
+  /// that serial ordering is the whole point of the capture.
+  static void Replay(const std::vector<Observation>& observations);
+
+ private:
+  friend class Histogram;
+  std::vector<Observation> observations_;
+  ScopedHistogramCapture* parent_;
 };
 
 /// One row of a registry snapshot.

@@ -46,7 +46,9 @@ std::vector<double> MillisBuckets() {
 
 bool IsRuntimeClassMetric(std::string_view name) {
   if (name.rfind("miso.pool.", 0) == 0) return true;
-  return name == names::kTunerTuneMs;
+  return name == names::kTunerTuneMs ||
+         name == names::kServerSessionLatencyMs ||
+         name == names::kServerAdmissionQueueHighWater;
 }
 
 std::vector<const char*> AllMetricNames() {
@@ -94,6 +96,15 @@ std::vector<const char*> AllMetricNames() {
       names::kPoolTasksRun,
       names::kPoolSubmits,
       names::kPoolQueueHighWater,
+      names::kServerSessions,
+      names::kServerSessionsDegraded,
+      names::kServerWaves,
+      names::kServerEpochsPublished,
+      names::kServerReorgSteps,
+      names::kServerReorgsRolledBack,
+      names::kServerOverlapSavedSeconds,
+      names::kServerSessionLatencyMs,
+      names::kServerAdmissionQueueHighWater,
   };
   std::sort(all.begin(), all.end(),
             [](const char* a, const char* b) { return std::string_view(a) < b; });
@@ -105,7 +116,8 @@ std::vector<const char*> AllTraceEventKinds() {
       names::kEvPlanChoice,  names::kEvPlanCosted,   names::kEvTunerReorg,
       names::kEvViewDecision, names::kEvSimQuery,    names::kEvSimReorg,
       names::kEvExplainVerify, names::kEvFaultQuery,
-      names::kEvFaultReorgRecovery,
+      names::kEvFaultReorgRecovery, names::kEvServerSession,
+      names::kEvServerEpoch,
   };
   std::sort(all.begin(), all.end(),
             [](const char* a, const char* b) { return std::string_view(a) < b; });

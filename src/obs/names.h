@@ -84,6 +84,26 @@ inline constexpr char kPoolTasksRun[] = "miso.pool.tasks_run_total";
 inline constexpr char kPoolSubmits[] = "miso.pool.submits_total";
 inline constexpr char kPoolQueueHighWater[] = "miso.pool.queue_high_water";
 
+// --- online server (model class unless noted: session outcomes are a
+// --- pure function of the admission order, which the server fixes) -----
+inline constexpr char kServerSessions[] = "miso.server.sessions_total";
+inline constexpr char kServerSessionsDegraded[] =
+    "miso.server.sessions_degraded_total";
+inline constexpr char kServerWaves[] = "miso.server.waves_total";
+inline constexpr char kServerEpochsPublished[] =
+    "miso.server.epochs_published_total";
+inline constexpr char kServerReorgSteps[] = "miso.server.reorg_steps_total";
+inline constexpr char kServerReorgsRolledBack[] =
+    "miso.server.reorgs_rolled_back_total";
+inline constexpr char kServerOverlapSavedSeconds[] =
+    "miso.server.reorg_overlap_saved_s";
+// Runtime class — wall-clock admission/queue behaviour, varies with
+// MISO_THREADS and machine load (see docs/TELEMETRY.md).
+inline constexpr char kServerSessionLatencyMs[] =
+    "miso.server.session_latency_ms";
+inline constexpr char kServerAdmissionQueueHighWater[] =
+    "miso.server.admission_queue_high_water";
+
 // --- trace event kinds -------------------------------------------------
 inline constexpr char kEvPlanChoice[] = "optimizer.plan_choice";
 inline constexpr char kEvPlanCosted[] = "optimizer.plan_costed";
@@ -94,6 +114,8 @@ inline constexpr char kEvSimReorg[] = "sim.reorg";
 inline constexpr char kEvExplainVerify[] = "core.explain_verify";
 inline constexpr char kEvFaultQuery[] = "fault.query";
 inline constexpr char kEvFaultReorgRecovery[] = "fault.reorg_recovery";
+inline constexpr char kEvServerSession[] = "server.session";
+inline constexpr char kEvServerEpoch[] = "server.epoch";
 
 // --- label values for kSimMovedBytes ----------------------------------
 inline constexpr char kDirToDw[] = "to_dw";

@@ -1,0 +1,174 @@
+#include "server/background_reorganizer.h"
+
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+#include "obs/trace.h"
+#include "verify/verify_gate.h"
+#include "views/view.h"
+
+namespace miso::server {
+
+namespace {
+
+/// (id, signature) pairs in id order — the byte-exactness fingerprint of
+/// a catalog for the rollback check below.
+std::vector<std::pair<views::ViewId, uint64_t>> Fingerprint(
+    const views::ViewCatalog& catalog) {
+  std::vector<std::pair<views::ViewId, uint64_t>> fp;
+  for (const views::View& v : catalog.AllViews()) {
+    fp.emplace_back(v.id, v.signature);
+  }
+  return fp;
+}
+
+void Fold(const tuner::ReorgJournal::Outcome& step,
+          tuner::ReorgJournal::Outcome* total) {
+  total->steps += step.steps;
+  total->bytes_to_dw += step.bytes_to_dw;
+  total->bytes_to_hv += step.bytes_to_hv;
+}
+
+}  // namespace
+
+BackgroundReorganizer::BackgroundReorganizer(const tuner::MisoTuner* tuner)
+    : tuner_(tuner), requests_(/*capacity=*/1), thread_([this] { Loop(); }) {}
+
+BackgroundReorganizer::~BackgroundReorganizer() {
+  requests_.Close();
+  thread_.join();
+}
+
+void BackgroundReorganizer::Enqueue(ReorgRequest request) {
+  // The scheduler never enqueues more than one in-flight reorganization,
+  // and the queue drains on Close, so this cannot drop work.
+  requests_.Push(std::move(request));
+}
+
+void BackgroundReorganizer::Loop() {
+  while (std::optional<ReorgRequest> request = requests_.Pop()) {
+    RunOne(tuner_, &*request);
+  }
+}
+
+void BackgroundReorganizer::RunOne(const tuner::MisoTuner* tuner,
+                                   ReorgRequest* request) {
+  // Everything the layers below emit on this thread is captured and
+  // returned for serial replay: trace lines verbatim, floating-point
+  // histogram observations deferred so their accumulation order is fixed
+  // by the scheduler, never by thread timing.
+  obs::ScopedTraceCapture trace_capture;
+  obs::ScopedHistogramCapture histogram_capture;
+
+  Result<tuner::ReorgPlan> plan =
+      tuner->Tune(request->hv, request->dw, request->window);
+  if (!plan.ok()) {
+    request->flip.set_value(plan.status());
+    request->done.set_value(plan.status());
+    return;
+  }
+  Result<tuner::ReorgJournal> journal =
+      tuner::ReorgJournal::Create(*plan, request->hv, request->dw);
+  if (!journal.ok()) {
+    request->flip.set_value(journal.status());
+    request->done.set_value(journal.status());
+    return;
+  }
+
+  const int crash_before =
+      request->injector != nullptr
+          ? request->injector->ReorgCrashPoint(
+                static_cast<uint64_t>(request->reorg_index),
+                journal->num_entries())
+          : -1;
+  const bool rolled_back =
+      crash_before >= 0 && request->recovery == RecoveryPolicy::kRollback;
+
+  ReorgFlip flip;
+  flip.plan = std::move(*plan);
+  flip.journal = *journal;  // pristine: no step has run yet
+  flip.crash_before = crash_before;
+  flip.rolled_back = rolled_back;
+  request->flip.set_value(std::move(flip));
+
+  // Baseline for the rollback byte-exactness guarantee.
+  const Bytes hv_bytes_before = request->hv.used_bytes();
+  const Bytes dw_bytes_before = request->dw.used_bytes();
+  const auto hv_fp_before = Fingerprint(request->hv);
+  const auto dw_fp_before = Fingerprint(request->dw);
+
+  ReorgOutcome outcome;
+  outcome.rolled_back = rolled_back;
+
+  // Step-at-a-time walk: after every atomic step the private design is a
+  // valid intermediate state of the journal — V209-checkable — which is
+  // exactly the property the epoch discipline needs: any state this
+  // thread could crash in is one `Recover` handles.
+  const int stop =
+      crash_before < 0 ? journal->num_entries() : crash_before;
+  while (journal->next_unapplied() < stop) {
+    Result<tuner::ReorgJournal::Outcome> step =
+        journal->ApplyStep(&request->hv, &request->dw);
+    if (!step.ok()) {
+      request->done.set_value(step.status());
+      return;
+    }
+    Fold(*step, &outcome.partial);
+    if (verify::Enabled()) {
+      const Status v209 = verify::VerifyJournalConsistency(
+          *journal, request->hv, request->dw);
+      if (!v209.ok()) {
+        request->done.set_value(v209);
+        return;
+      }
+    }
+  }
+
+  if (crash_before >= 0) {
+    Result<tuner::ReorgJournal::Outcome> recovery =
+        journal->Recover(request->recovery, &request->hv, &request->dw);
+    if (!recovery.ok()) {
+      request->done.set_value(recovery.status());
+      return;
+    }
+    outcome.recovery = *recovery;
+    // Post-recovery invariants: journal consistent with the catalogs and
+    // in a terminal state (V209/V210).
+    if (verify::Enabled()) {
+      const Status v = verify::VerifyJournalConsistency(
+          *journal, request->hv, request->dw);
+      if (!v.ok()) {
+        request->done.set_value(v);
+        return;
+      }
+    }
+    if (rolled_back &&
+        (request->hv.used_bytes() != hv_bytes_before ||
+         request->dw.used_bytes() != dw_bytes_before ||
+         Fingerprint(request->hv) != hv_fp_before ||
+         Fingerprint(request->dw) != dw_fp_before)) {
+      request->done.set_value(Status::Internal(
+          "reorg rollback did not restore the pre-reorg design byte-exactly"));
+      return;
+    }
+  }
+
+  // Budgets and Vh ∩ Vd = ∅ on the completed private design. Skipped
+  // after a rollback: the design reverts to its pre-reorg state, where
+  // HV may legitimately exceed Bh between reorganizations (§3.1).
+  if (verify::Enabled() && !rolled_back) {
+    const Status design =
+        verify::VerifyDesign(request->hv, request->dw, request->budgets);
+    if (!design.ok()) {
+      request->done.set_value(design);
+      return;
+    }
+  }
+
+  outcome.trace_lines = trace_capture.TakeLines();
+  outcome.histogram_obs = histogram_capture.TakeObservations();
+  request->done.set_value(std::move(outcome));
+}
+
+}  // namespace miso::server

@@ -1,0 +1,106 @@
+#ifndef MISO_SERVER_BACKGROUND_REORGANIZER_H_
+#define MISO_SERVER_BACKGROUND_REORGANIZER_H_
+
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/result.h"
+#include "common/retry.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
+#include "plan/plan.h"
+#include "tuner/miso_tuner.h"
+#include "tuner/reorg_journal.h"
+#include "verify/design_verifier.h"
+#include "views/view_catalog.h"
+
+namespace miso::server {
+
+/// First stage of one background reorganization, available as soon as
+/// the tuner has run: the plan, a pristine (unapplied) journal the
+/// scheduler replays onto the live catalogs to flip the design, and the
+/// pre-decided crash fate (the fault oracle is a pure hash, so whether
+/// this reorganization crashes — and whether its recovery policy makes
+/// it roll back — is known before a single step runs).
+struct ReorgFlip {
+  tuner::ReorgPlan plan;
+  /// Unapplied snapshot of the journal. When the reorganization will not
+  /// roll back, the scheduler applies this copy to the live catalogs at
+  /// the epoch boundary (a metadata flip; the simulated movement time is
+  /// what overlaps with query execution).
+  tuner::ReorgJournal journal;
+  int crash_before = -1;
+  bool rolled_back = false;
+};
+
+/// Final stage: what the step-at-a-time walk over the private catalog
+/// copies actually did, plus the telemetry it captured (replayed by the
+/// scheduler at a deterministic point in the trace stream).
+struct ReorgOutcome {
+  /// Steps/bytes applied before the crash point (the whole journal when
+  /// no crash was injected).
+  tuner::ReorgJournal::Outcome partial;
+  /// Steps/bytes of the recovery pass (zero without a crash). A rollback
+  /// re-crosses the link in the opposite direction, exactly like the
+  /// stop-the-world path.
+  tuner::ReorgJournal::Outcome recovery;
+  bool rolled_back = false;
+  std::vector<std::string> trace_lines;
+  std::vector<obs::ScopedHistogramCapture::Observation> histogram_obs;
+};
+
+/// One unit of background work: tune over the boundary snapshot, then
+/// walk the journal one atomic step at a time on the private copies,
+/// verifying journal consistency (V209) after every step and the design
+/// invariants after recovery.
+struct ReorgRequest {
+  int reorg_index = 0;
+  /// Private copies of both catalogs, snapshotted at the epoch boundary.
+  /// The walk mutates only these — the live catalogs never expose a
+  /// half-applied design to query sessions.
+  views::ViewCatalog hv;
+  views::ViewCatalog dw;
+  std::vector<plan::Plan> window;
+  verify::DesignBudgets budgets;
+  const fault::FaultInjector* injector = nullptr;
+  RecoveryPolicy recovery = RecoveryPolicy::kResume;
+  std::promise<Result<ReorgFlip>> flip;
+  std::promise<Result<ReorgOutcome>> done;
+};
+
+/// The server's background reorganization thread: a FIFO of
+/// `ReorgRequest`s processed one at a time (reorganizations never
+/// overlap each other, only query execution). The scheduler blocks on
+/// `flip` before dispatching the first post-boundary wave and joins
+/// `done` when it charges the movement — both futures carry
+/// deterministic content, so the thread adds real concurrency without
+/// touching the model-class outputs.
+class BackgroundReorganizer {
+ public:
+  explicit BackgroundReorganizer(const tuner::MisoTuner* tuner);
+  ~BackgroundReorganizer();
+
+  BackgroundReorganizer(const BackgroundReorganizer&) = delete;
+  BackgroundReorganizer& operator=(const BackgroundReorganizer&) = delete;
+
+  /// Hands one reorganization to the thread. The caller keeps the
+  /// futures of `request.flip` / `request.done`; both are always
+  /// fulfilled (enqueued work survives shutdown — the destructor drains
+  /// the queue before joining).
+  void Enqueue(ReorgRequest request);
+
+ private:
+  void Loop();
+  static void RunOne(const tuner::MisoTuner* tuner, ReorgRequest* request);
+
+  const tuner::MisoTuner* tuner_;
+  BoundedQueue<ReorgRequest> requests_;
+  std::thread thread_;
+};
+
+}  // namespace miso::server
+
+#endif  // MISO_SERVER_BACKGROUND_REORGANIZER_H_

@@ -1,0 +1,45 @@
+#ifndef MISO_SERVER_EPOCH_H_
+#define MISO_SERVER_EPOCH_H_
+
+#include <vector>
+
+#include "common/units.h"
+#include "views/view.h"
+
+namespace miso::server {
+
+/// Post-publication state of one design epoch, handed to
+/// `ServerConfig::epoch_observer` by the scheduler thread right after an
+/// online reorganization publishes (or is rolled back / aborted). Tests
+/// use it to assert the epoch discipline: at every observation point the
+/// live design is journal-consistent, Vh ∩ Vd = ∅, and — except right
+/// after a rollback, when HV legitimately carries over-budget
+/// opportunistic views (§3.1) — within budgets.
+struct EpochSnapshot {
+  /// Epoch number now in effect (increments only on a successful publish).
+  int epoch = 0;
+  /// Index of the reorganization that produced this snapshot.
+  int reorg_index = 0;
+  /// Admission index of the boundary session that triggered it.
+  int boundary_session = 0;
+  /// True when the reorganization did not publish: its journal crashed
+  /// and recovered by rollback, so the live design is unchanged.
+  bool rolled_back = false;
+  /// Journal steps applied online (including recovery steps).
+  int steps_applied = 0;
+  Bytes moved_to_dw = 0;
+  Bytes moved_to_hv = 0;
+  /// Live catalog state right after the flip (or non-flip).
+  Bytes hv_used = 0;
+  Bytes dw_used = 0;
+  std::vector<views::ViewId> hv_ids;
+  std::vector<views::ViewId> dw_ids;
+  /// Simulated duration of the reorganization (tune compute + movement +
+  /// crash backoff), i.e. the time a stop-the-world cadence would have
+  /// charged in full.
+  Seconds reorg_duration_s = 0;
+};
+
+}  // namespace miso::server
+
+#endif  // MISO_SERVER_EPOCH_H_

@@ -1,0 +1,1002 @@
+#include "server/miso_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/hash.h"
+#include "obs/names.h"
+#include "sim/variants.h"
+#include "tuner/reorg_journal.h"
+#include "verify/verify_gate.h"
+
+namespace miso::server {
+
+using optimizer::MultistorePlan;
+using plan::NodePtr;
+using plan::OpKind;
+using views::View;
+using views::ViewCatalog;
+using views::ViewId;
+
+namespace {
+
+// Scratch view-id space for wave workers: far above anything the serial
+// id counter reaches, strided per session so concurrent harvests never
+// collide. The serial reducer remaps every harvested id in admission
+// order, so scratch ids never escape into the model-class outputs.
+constexpr uint64_t kScratchIdBase = 1ULL << 40;
+constexpr uint64_t kScratchIdStride = 4096;
+
+/// Views read by an executed plan, per store.
+void CollectViewUses(const plan::Plan& executed, std::vector<ViewId>* hv_used,
+                     std::vector<ViewId>* dw_used) {
+  for (const NodePtr& node : executed.PostOrder()) {
+    if (node->kind() != OpKind::kViewScan) continue;
+    if (node->view_scan().store == StoreKind::kDw) {
+      dw_used->push_back(node->view_scan().view_id);
+    } else {
+      hv_used->push_back(node->view_scan().view_id);
+    }
+  }
+}
+
+void FoldFault(const fault::FaultAccounting& acc,
+               fault::FaultAccounting* total) {
+  total->injected += acc.injected;
+  total->retries += acc.retries;
+  total->wasted_s += acc.wasted_s;
+  total->backoff_s += acc.backoff_s;
+  total->exhausted = total->exhausted || acc.exhausted;
+}
+
+tuner::MisoTunerConfig MakeTunerConfig(const sim::SimConfig& cfg) {
+  tuner::MisoTunerConfig tuner_config;
+  tuner_config.hv_storage_budget = cfg.hv_storage_budget;
+  tuner_config.dw_storage_budget = cfg.dw_storage_budget;
+  tuner_config.transfer_budget = cfg.transfer_budget;
+  tuner_config.epoch_length = cfg.epoch_length;
+  tuner_config.benefit_decay = cfg.benefit_decay;
+  tuner_config.store_specific_benefit = cfg.store_specific_benefit;
+  tuner_config.handle_interactions = cfg.handle_interactions;
+  tuner_config.retain_unselected_views = cfg.retain_unselected_views;
+  return tuner_config;
+}
+
+/// Same runtime-class `miso.pool.*` publication the simulator does.
+void PublishPoolStats(const ThreadPool* pool) {
+  if (pool == nullptr || !obs::MetricsOn()) return;
+  const ThreadPool::Stats stats = pool->GetStats();
+  obs::MetricsRegistry& registry = obs::Metrics();
+  registry.GetCounter(obs::names::kPoolTasksRun)->Add(stats.tasks_run);
+  registry.GetCounter(obs::names::kPoolSubmits)->Add(stats.submits);
+  registry.GetGauge(obs::names::kPoolQueueHighWater)
+      ->Max(static_cast<double>(stats.queue_high_water));
+}
+
+}  // namespace
+
+/// Per-session output slot, written by exactly one wave worker and read
+/// by the serial reducer. Everything with a model-class determinism
+/// contract stays here until the reducer folds it in admission order.
+struct MisoServer::SessionSlot {
+  Status status;
+  bool dw_down = false;
+  MultistorePlan ms;
+  std::vector<View> produced;
+  fault::FaultAccounting hv_fault;
+  transfer::FaultedTransfer ws;
+  std::vector<ViewId> hv_used;
+  std::vector<ViewId> dw_used;
+  std::vector<std::string> trace_lines;
+  std::vector<obs::ScopedHistogramCapture::Observation> histogram_obs;
+};
+
+MisoServer::MisoServer(const relation::Catalog* catalog,
+                       const ServerConfig& config)
+    : catalog_(catalog),
+      config_(config),
+      factory_(catalog),
+      hv_store_(config.sim.hv, config.sim.hv_storage_budget),
+      dw_store_(config.sim.dw, config.sim.dw_storage_budget),
+      mover_(config.sim.transfer),
+      opt_(&factory_, &hv_store_.cost_model(), &dw_store_.cost_model(),
+           &mover_),
+      ledger_(config.sim.background, config.sim.contention),
+      fault_plan_(fault::FaultPlan::Resolve(config.sim.fault,
+                                            config.expected_sessions)),
+      tuner_config_(MakeTunerConfig(config.sim)),
+      tuner_(&opt_, tuner_config_),
+      whatif_cache_(config.sim.whatif_cache_bytes),
+      queue_(config.admission_capacity == 0 ? 1 : config.admission_capacity) {
+  const sim::SimConfig& cfg = config_.sim;
+  if (config_.wave_size < 1) config_.wave_size = 1;
+
+  // Same observability-gate discipline (and the same concurrent-engine
+  // caveat) as MultistoreSimulator::Run.
+  if (cfg.metrics && !obs::MetricsOn()) scoped_metrics_.emplace(true);
+  if (cfg.trace && !obs::TraceOn()) scoped_trace_.emplace(true);
+
+  if (fault_plan_.Enabled()) {
+    injector_storage_.emplace(fault_plan_);
+    injector_ = &*injector_storage_;
+  }
+  if (cfg.whatif_cache) {
+    whatif_cache_.SetEpoch(
+        optimizer::WhatIfCache::EpochOf(cfg.hv, cfg.dw, cfg.transfer));
+    tuner_.set_whatif_cache(&whatif_cache_);
+  }
+  const int threads =
+      cfg.threads > 0 ? cfg.threads : ThreadPool::DefaultThreadCount();
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+  opt_.set_thread_pool(pool_.get());
+
+  report_.variant = cfg.variant;
+  report_.variant_name = std::string(sim::SystemVariantToString(cfg.variant));
+
+  if (cfg.variant != sim::SystemVariant::kMsMiso) {
+    // The server serves the full multistore; the baseline variants stay
+    // simulator-only. Refusing at construction keeps every Submit on the
+    // rejected server failing fast with this status.
+    fatal_ = Status::InvalidArgument(
+        "MisoServer serves the MS-MISO variant only; use "
+        "MultistoreSimulator for baseline variants");
+    queue_.Close();
+    return;
+  }
+
+  reorganizer_ = std::make_unique<BackgroundReorganizer>(&tuner_);
+  scheduler_ = std::thread([this] { SchedulerLoop(); });
+  started_ = true;
+}
+
+MisoServer::~MisoServer() {
+  queue_.Close();
+  if (scheduler_.joinable()) scheduler_.join();
+}
+
+std::future<SessionResult> MisoServer::Submit(workload::WorkloadQuery query) {
+  Session session;
+  session.query = std::move(query);
+  session.promise = std::make_shared<std::promise<SessionResult>>();
+  // miso-lint: allow(L003) runtime-class session-latency stamp, see docs/TELEMETRY.md
+  session.admitted_at = std::chrono::steady_clock::now();
+  std::shared_ptr<std::promise<SessionResult>> promise = session.promise;
+  std::future<SessionResult> future = promise->get_future();
+
+  bool admitted = false;
+  int session_id = 0;
+  {
+    // Id assignment and push under one lock: queue order == id order.
+    // Push blocks on backpressure; the scheduler drains without taking
+    // this lock, so a blocked push always completes (or the queue closes).
+    MutexLock lock(admission_mutex_);
+    session.session_id = next_session_id_;
+    session_id = session.session_id;
+    admitted = queue_.Push(std::move(session));
+    if (admitted) next_session_id_ += 1;
+  }
+  if (!admitted) {
+    SessionResult rejected;
+    rejected.session_id = session_id;
+    rejected.status = !started_ && !fatal_.ok()
+                          ? fatal_
+                          : Status::FailedPrecondition(
+                                "server closed: session not admitted");
+    promise->set_value(std::move(rejected));
+  }
+  return future;
+}
+
+void MisoServer::Close() { queue_.Close(); }
+
+Result<sim::RunReport> MisoServer::Finish() {
+  queue_.Close();
+  if (scheduler_.joinable()) scheduler_.join();
+  if (!fatal_.ok()) return fatal_;
+  if (!finished_) {
+    finished_ = true;
+    const sim::SimConfig& cfg = config_.sim;
+    if (cfg.background.io_demand > 0 || cfg.background.cpu_demand > 0) {
+      report_.dw_ticks = ledger_.TickSeries(now_);
+      report_.avg_background_latency_s = ledger_.AverageBackgroundLatency(now_);
+      report_.background_slowdown = ledger_.BackgroundSlowdown(now_);
+    }
+    PublishPoolStats(pool_.get());
+    if (obs::MetricsOn()) {
+      obs::Metrics()
+          .GetGauge(obs::names::kServerAdmissionQueueHighWater)
+          ->Max(static_cast<double>(queue_.high_water()));
+    }
+  }
+  return report_;
+}
+
+void MisoServer::SchedulerLoop() {
+  while (true) {
+    std::vector<Session> wave = FormWave();
+    if (wave.empty()) break;
+    if (pending_boundary_) {
+      const int boundary = *pending_boundary_;
+      pending_boundary_.reset();
+      const Status status = StartBoundaryReorg(boundary);
+      if (!status.ok()) {
+        Fatal(status, &wave, 0);
+        return;
+      }
+    }
+    const Status status = RunWave(&wave);
+    if (!status.ok()) {
+      Fatal(status, &wave, 0);
+      return;
+    }
+  }
+  // Drain epilogue. A boundary pending at shutdown is dropped — the
+  // simulator skips a reorganization after the last query the same way.
+  if (in_flight_) {
+    const Status status = JoinInFlightReorg();
+    if (!status.ok()) {
+      Fatal(status, nullptr, 0);
+      return;
+    }
+  }
+  ExpireGates(/*force=*/true);
+}
+
+std::vector<Session> MisoServer::FormWave() {
+  // Fixed-span waves cut by admission index: a wave never crosses a
+  // query-count epoch boundary, so its span — hence its composition —
+  // is a pure function of the admission order, never of timing.
+  int span = config_.wave_size;
+  if (config_.sim.reorg_every > 0) {
+    const int to_boundary =
+        config_.sim.reorg_every - (next_index_ % config_.sim.reorg_every);
+    span = std::min(span, to_boundary);
+  }
+  std::vector<Session> wave;
+  wave.reserve(static_cast<size_t>(span));
+  while (static_cast<int>(wave.size()) < span) {
+    std::optional<Session> session = queue_.Pop();
+    if (!session) break;
+    wave.push_back(std::move(*session));
+    next_index_ += 1;
+  }
+  return wave;
+}
+
+Status MisoServer::StartBoundaryReorg(int boundary_session) {
+  // A reorganization moves views into/out of the DW; during an outage it
+  // is deferred to the next boundary rather than attempted (mirrors the
+  // simulator's skip, evaluated against the boundary session's index).
+  if (injector_ != nullptr && injector_->DwDownForQuery(boundary_session)) {
+    report_.reorgs_skipped += 1;
+    if (obs::MetricsOn()) {
+      obs::Metrics().GetCounter(obs::names::kFaultReorgsSkipped)->Increment();
+    }
+    return Status();
+  }
+  return config_.online_reorg ? StartOnlineReorg(boundary_session)
+                              : StopTheWorldReorg(boundary_session);
+}
+
+std::vector<plan::Plan> MisoServer::TuneWindow() const {
+  const size_t window = static_cast<size_t>(config_.sim.history_window);
+  const size_t start = history_.size() > window ? history_.size() - window : 0;
+  return std::vector<plan::Plan>(history_.begin() + static_cast<long>(start),
+                                 history_.end());
+}
+
+verify::DesignBudgets MisoServer::Budgets() const {
+  verify::DesignBudgets budgets;
+  budgets.hv_storage = config_.sim.hv_storage_budget;
+  budgets.dw_storage = config_.sim.dw_storage_budget;
+  budgets.transfer = config_.sim.transfer_budget;
+  budgets.discretization = tuner_config_.discretization;
+  return budgets;
+}
+
+void MisoServer::ChargeMoves(Bytes dw_bytes, Bytes hv_bytes, Seconds start,
+                             Seconds* duration) {
+  if (dw_bytes > 0) {
+    const transfer::TransferBreakdown tb = mover_.ViewTransferToDw(dw_bytes);
+    *duration += ledger_.RecordActivity(dw::DwActivityKind::kReorgTransfer,
+                                        start + *duration, tb.Total(),
+                                        /*io_demand=*/1.3,
+                                        /*cpu_demand=*/0.3);
+  }
+  if (hv_bytes > 0) {
+    const transfer::TransferBreakdown tb = mover_.ViewTransferToHv(hv_bytes);
+    *duration += ledger_.RecordActivity(dw::DwActivityKind::kReorgTransfer,
+                                        start + *duration, tb.Total(),
+                                        /*io_demand=*/0.8,
+                                        /*cpu_demand=*/0.2);
+  }
+}
+
+Status MisoServer::StartOnlineReorg(int boundary_session) {
+  ReorgRequest request;
+  request.reorg_index = report_.reorg_count;
+  request.hv = hv_store_.catalog();  // boundary snapshots: the walk's
+  request.dw = dw_store_.catalog();  // private copies
+  request.window = TuneWindow();
+  request.budgets = Budgets();
+  request.injector = injector_;
+  request.recovery = fault_plan_.recovery;
+  std::future<Result<ReorgFlip>> flip_future = request.flip.get_future();
+  std::future<Result<ReorgOutcome>> done_future = request.done.get_future();
+  reorganizer_->Enqueue(std::move(request));
+
+  // Block on the flip only: tune + journal construction + the crash
+  // oracle. The step-at-a-time walk overlaps with the next waves.
+  Result<ReorgFlip> flip = flip_future.get();
+  if (!flip.ok()) return flip.status();
+
+  InFlightReorg in_flight;
+  in_flight.reorg_index = report_.reorg_count;
+  in_flight.boundary_session = boundary_session;
+  in_flight.start_now = std::max(now_, last_movement_complete_);
+  in_flight.crash_before = flip->crash_before;
+  in_flight.rolled_back = flip->rolled_back;
+  in_flight.planned_to_dw = flip->plan.BytesToDw();
+  in_flight.planned_to_hv = flip->plan.BytesToHv();
+  in_flight.done = std::move(done_future);
+  report_.reorg_count += 1;
+
+  if (!flip->rolled_back) {
+    for (const View& v : flip->plan.move_to_dw) in_flight.moved.insert(v.id);
+    for (const View& v : flip->plan.move_to_hv) in_flight.moved.insert(v.id);
+    // Metadata flip: replay the pristine journal onto the live catalogs,
+    // so every post-boundary session plans against the published design —
+    // the same plans/costs the stop-the-world cadence would produce. The
+    // simulated movement time resolves at the join; sessions reading a
+    // moved view wait on its gate.
+    tuner::ReorgJournal pristine = std::move(flip->journal);
+    MISO_ASSIGN_OR_RETURN(
+        const tuner::ReorgJournal::Outcome flipped,
+        pristine.Apply(&hv_store_.catalog(), &dw_store_.catalog()));
+    (void)flipped;
+    if (verify::Enabled()) {
+      MISO_RETURN_IF_ERROR(verify::VerifyDesign(
+          hv_store_.catalog(), dw_store_.catalog(), Budgets()));
+    }
+    epoch_ += 1;
+    report_.epochs_published += 1;
+    if (obs::MetricsOn()) {
+      obs::Metrics().GetCounter(obs::names::kServerEpochsPublished)
+          ->Increment();
+    }
+  }
+  // A pre-known rollback never flips: the live design stays pre-reorg,
+  // which is exactly the state the rollback recovery restores.
+
+  last_reorg_time_ = now_;
+  in_flight_ = std::move(in_flight);
+  return Status();
+}
+
+Status MisoServer::StopTheWorldReorg(int boundary_session) {
+  const sim::SimConfig& cfg = config_.sim;
+  ViewCatalog& hv = hv_store_.catalog();
+  ViewCatalog& dw = dw_store_.catalog();
+  MISO_ASSIGN_OR_RETURN(tuner::ReorgPlan reorg,
+                        tuner_.Tune(hv, dw, TuneWindow()));
+
+  Seconds reorg_time = cfg.tune_compute_s;
+  Bytes to_dw = reorg.BytesToDw();
+  Bytes to_hv = reorg.BytesToHv();
+  int steps_applied = 0;
+  bool rolled_back = false;
+  if (injector_ == nullptr) {
+    ChargeMoves(to_dw, to_hv, now_, &reorg_time);
+    MISO_RETURN_IF_ERROR(tuner::ApplyReorgPlan(reorg, &hv, &dw));
+    steps_applied = static_cast<int>(
+        reorg.move_to_dw.size() + reorg.move_to_hv.size() +
+        reorg.drop_from_hv.size() + reorg.drop_from_dw.size());
+  } else {
+    MISO_ASSIGN_OR_RETURN(tuner::ReorgJournal journal,
+                          tuner::ReorgJournal::Create(reorg, hv, dw));
+    const int crash_before = injector_->ReorgCrashPoint(
+        static_cast<uint64_t>(report_.reorg_count), journal.num_entries());
+    if (crash_before < 0) {
+      ChargeMoves(to_dw, to_hv, now_, &reorg_time);
+      MISO_ASSIGN_OR_RETURN(const tuner::ReorgJournal::Outcome outcome,
+                            journal.Apply(&hv, &dw));
+      steps_applied = outcome.steps;
+    } else {
+      rolled_back = fault_plan_.recovery == RecoveryPolicy::kRollback;
+      MISO_ASSIGN_OR_RETURN(const tuner::ReorgJournal::Outcome partial,
+                            journal.Apply(&hv, &dw, crash_before));
+      ChargeMoves(partial.bytes_to_dw, partial.bytes_to_hv, now_, &reorg_time);
+      reorg_time += fault_plan_.retry.BackoffBefore(2);
+      MISO_ASSIGN_OR_RETURN(const tuner::ReorgJournal::Outcome recovery,
+                            journal.Recover(fault_plan_.recovery, &hv, &dw));
+      ChargeMoves(recovery.bytes_to_dw, recovery.bytes_to_hv, now_,
+                  &reorg_time);
+      to_dw = partial.bytes_to_dw + recovery.bytes_to_dw;
+      to_hv = partial.bytes_to_hv + recovery.bytes_to_hv;
+      steps_applied = partial.steps + recovery.steps;
+      report_.reorg_crashes += 1;
+      if (verify::Enabled()) {
+        MISO_RETURN_IF_ERROR(verify::VerifyJournalConsistency(journal, hv, dw));
+      }
+      if (obs::MetricsOn()) {
+        obs::MetricsRegistry& registry = obs::Metrics();
+        registry.GetCounter(obs::names::kFaultReorgCrashes)->Increment();
+        registry
+            .GetCounter(obs::WithLabel(obs::names::kFaultReorgRecoveries,
+                                       "policy",
+                                       RecoveryPolicyName(fault_plan_.recovery)))
+            ->Increment();
+        registry
+            .GetCounter(obs::WithLabel(
+                obs::names::kFaultInjected, "site",
+                fault::FaultSiteName(fault::FaultSite::kReorg)))
+            ->Increment();
+      }
+      if (obs::TraceOn()) {
+        obs::Emit(obs::TraceEvent(obs::names::kEvFaultReorgRecovery)
+                      .Int("reorg_index", report_.reorg_count)
+                      .Int("crash_before", crash_before)
+                      .Str("policy", RecoveryPolicyName(fault_plan_.recovery))
+                      .Int("steps_applied", partial.steps)
+                      .Int("steps_recovered", recovery.steps)
+                      .Int("bytes_to_dw", static_cast<int64_t>(to_dw))
+                      .Int("bytes_to_hv", static_cast<int64_t>(to_hv)));
+      }
+    }
+  }
+  if (verify::Enabled() && !rolled_back) {
+    MISO_RETURN_IF_ERROR(verify::VerifyDesign(hv, dw, Budgets()));
+  }
+
+  report_.bytes_moved_to_dw += to_dw;
+  report_.bytes_moved_to_hv += to_hv;
+  report_.tune_s += reorg_time;
+  report_.reorg_count += 1;
+  now_ += reorg_time;
+  last_reorg_time_ = now_;
+  last_movement_complete_ = now_;
+
+  MovementGate gate;  // never queued: stop-the-world has no overlap
+  gate.reorg_index = report_.reorg_count - 1;
+  gate.rolled_back = rolled_back;
+  gate.duration = reorg_time;
+  gate.complete_at = now_;
+  gate.charged = reorg_time;  // the whole duration hit the clock
+  gate.steps_applied = steps_applied;
+  gate.to_dw = to_dw;
+  gate.to_hv = to_hv;
+  gate.hv_used = hv.used_bytes();
+  gate.dw_used = dw.used_bytes();
+  if (!rolled_back) {
+    epoch_ += 1;
+    report_.epochs_published += 1;
+  } else {
+    report_.reorgs_rolled_back += 1;
+  }
+  gate.epoch = epoch_;
+  if (obs::MetricsOn()) {
+    obs::MetricsRegistry& registry = obs::Metrics();
+    registry.GetCounter(obs::names::kServerReorgSteps)->Add(steps_applied);
+    if (!rolled_back) {
+      registry.GetCounter(obs::names::kServerEpochsPublished)->Increment();
+    } else {
+      registry.GetCounter(obs::names::kServerReorgsRolledBack)->Increment();
+    }
+  }
+  EmitEpochTrace(gate, /*overlap_saved_s=*/0);
+  ObserveEpoch(gate, boundary_session, reorg_time);
+  return Status();
+}
+
+Status MisoServer::RunWave(std::vector<Session>* wave) {
+  const int n = static_cast<int>(wave->size());
+  std::vector<SessionSlot> slots(static_cast<size_t>(n));
+  // The concurrent part: sessions plan and execute against the frozen
+  // design snapshot into their own slots, while the background thread
+  // (if a reorganization is in flight) walks its journal.
+  ParallelFor(pool_.get(), n, [&](int i) {
+    PlanAndExecute((*wave)[static_cast<size_t>(i)],
+                   &slots[static_cast<size_t>(i)]);
+  });
+  // Movement charging happens before any of this wave's sessions reduce:
+  // these sessions planned against the flipped design, so the epoch's
+  // movement gate must exist before they can be asked to wait on it.
+  if (in_flight_) MISO_RETURN_IF_ERROR(JoinInFlightReorg());
+  for (int i = 0; i < n; ++i) {
+    Session& session = (*wave)[static_cast<size_t>(i)];
+    MISO_RETURN_IF_ERROR(
+        ReduceSession(&session, &slots[static_cast<size_t>(i)]));
+    const int qi = session.session_id;
+    const bool query_trigger = config_.sim.reorg_every > 0 &&
+                               (qi + 1) % config_.sim.reorg_every == 0;
+    const bool time_trigger =
+        config_.sim.reorg_every_seconds > 0 &&
+        now_ - last_reorg_time_ >= config_.sim.reorg_every_seconds;
+    // Deferred boundary: the reorganization starts only once a
+    // post-boundary session actually arrives (next FormWave), so a
+    // trailing boundary is skipped exactly like the simulator's.
+    if (!pending_boundary_ && (query_trigger || time_trigger)) {
+      pending_boundary_ = qi;
+    }
+  }
+  report_.waves += 1;
+  if (obs::MetricsOn()) {
+    obs::Metrics().GetCounter(obs::names::kServerWaves)->Increment();
+  }
+  return Status();
+}
+
+void MisoServer::PlanAndExecute(const Session& session,
+                                SessionSlot* slot) const {
+  // Capture everything the layers below emit on this worker; the reducer
+  // replays it at the session's serial point.
+  obs::ScopedTraceCapture trace_capture;
+  obs::ScopedHistogramCapture histogram_capture;
+  const int qi = session.session_id;
+
+  slot->status = [&]() -> Status {
+    slot->dw_down = injector_ != nullptr && injector_->DwDownForQuery(qi);
+    optimizer::OptimizeOptions options;
+    options.dw_available = !slot->dw_down;
+    MISO_ASSIGN_OR_RETURN(
+        slot->ms, opt_.Optimize(session.query.plan, dw_store_.catalog(),
+                                hv_store_.catalog(), options));
+
+    std::vector<NodePtr> hv_roots;
+    if (slot->ms.HvOnly()) {
+      hv_roots.push_back(slot->ms.executed.root());
+    } else {
+      for (const NodePtr& cut : slot->ms.cut_inputs) {
+        if (cut->kind() != OpKind::kScan && cut->kind() != OpKind::kViewScan) {
+          hv_roots.push_back(cut);
+        }
+      }
+    }
+    // Scratch ids only; the reducer remaps them in admission order. The
+    // creation time is restamped there too (simulated `now` is unknown
+    // on the worker).
+    uint64_t scratch_id =
+        kScratchIdBase + static_cast<uint64_t>(qi) * kScratchIdStride;
+    for (size_t ri = 0; ri < hv_roots.size(); ++ri) {
+      MISO_ASSIGN_OR_RETURN(
+          hv::HvExecution exec,
+          hv_store_.Execute(hv_roots[ri], qi, /*now=*/0, &scratch_id,
+                            /*exclude_signature=*/session.query.plan.signature(),
+                            injector_, &fault_plan_.retry,
+                            HashCombine(static_cast<uint64_t>(qi) + 1,
+                                        static_cast<uint64_t>(ri))));
+      for (View& v : exec.produced_views) {
+        slot->produced.push_back(std::move(v));
+      }
+      FoldFault(exec.fault, &slot->hv_fault);
+    }
+
+    if (injector_ != nullptr && slot->ms.transferred_bytes > 0) {
+      slot->ws = mover_.WorkingSetTransferFaulted(
+          slot->ms.transferred_bytes, injector_,
+          HashCombine(0x77735f78666572ULL,  // "ws_xfer"
+                      static_cast<uint64_t>(qi) + 1),
+          fault_plan_.retry);
+      if (slot->ws.exhausted) {
+        return fault::ExhaustedError(fault::FaultSite::kTransfer,
+                                     static_cast<uint64_t>(qi),
+                                     fault_plan_.retry.max_attempts);
+      }
+    }
+    CollectViewUses(slot->ms.executed, &slot->hv_used, &slot->dw_used);
+    return Status();
+  }();
+
+  slot->trace_lines = trace_capture.TakeLines();
+  slot->histogram_obs = histogram_capture.TakeObservations();
+}
+
+Status MisoServer::JoinInFlightReorg() {
+  InFlightReorg reorg = std::move(*in_flight_);
+  in_flight_.reset();
+  Result<ReorgOutcome> outcome = reorg.done.get();
+  if (!outcome.ok()) return outcome.status();
+
+  // Serial replay of the background thread's telemetry: the tuner's
+  // trace lines and FP histogram observations land here, at a point
+  // fixed by the admission order.
+  obs::ScopedHistogramCapture::Replay(outcome->histogram_obs);
+  for (std::string& line : outcome->trace_lines) {
+    obs::Trace().Append(std::move(line));
+  }
+
+  const bool crashed = reorg.crash_before >= 0;
+  Seconds duration = config_.sim.tune_compute_s;
+  ChargeMoves(outcome->partial.bytes_to_dw, outcome->partial.bytes_to_hv,
+              reorg.start_now, &duration);
+  Bytes to_dw = outcome->partial.bytes_to_dw;
+  Bytes to_hv = outcome->partial.bytes_to_hv;
+  if (crashed) {
+    duration += fault_plan_.retry.BackoffBefore(2);
+    ChargeMoves(outcome->recovery.bytes_to_dw, outcome->recovery.bytes_to_hv,
+                reorg.start_now, &duration);
+    to_dw += outcome->recovery.bytes_to_dw;
+    to_hv += outcome->recovery.bytes_to_hv;
+    report_.reorg_crashes += 1;
+    if (obs::MetricsOn()) {
+      obs::MetricsRegistry& registry = obs::Metrics();
+      registry.GetCounter(obs::names::kFaultReorgCrashes)->Increment();
+      registry
+          .GetCounter(obs::WithLabel(obs::names::kFaultReorgRecoveries,
+                                     "policy",
+                                     RecoveryPolicyName(fault_plan_.recovery)))
+          ->Increment();
+      registry
+          .GetCounter(
+              obs::WithLabel(obs::names::kFaultInjected, "site",
+                             fault::FaultSiteName(fault::FaultSite::kReorg)))
+          ->Increment();
+    }
+    if (obs::TraceOn()) {
+      obs::Emit(obs::TraceEvent(obs::names::kEvFaultReorgRecovery)
+                    .Int("reorg_index", reorg.reorg_index)
+                    .Int("crash_before", reorg.crash_before)
+                    .Str("policy", RecoveryPolicyName(fault_plan_.recovery))
+                    .Int("steps_applied", outcome->partial.steps)
+                    .Int("steps_recovered", outcome->recovery.steps)
+                    .Int("bytes_to_dw", static_cast<int64_t>(to_dw))
+                    .Int("bytes_to_hv", static_cast<int64_t>(to_hv)));
+    }
+  }
+  report_.bytes_moved_to_dw += to_dw;
+  report_.bytes_moved_to_hv += to_hv;
+  report_.tune_s += duration;
+  last_movement_complete_ = reorg.start_now + duration;
+
+  MovementGate gate;
+  gate.reorg_index = reorg.reorg_index;
+  gate.epoch = epoch_;
+  gate.rolled_back = reorg.rolled_back;
+  gate.duration = duration;
+  // A rolled-back reorganization publishes nothing: no session can read
+  // a moved view, so its gate expires immediately and the whole duration
+  // counts as overlap saved.
+  gate.complete_at =
+      reorg.rolled_back ? reorg.start_now : reorg.start_now + duration;
+  if (!reorg.rolled_back) gate.moved = std::move(reorg.moved);
+  gate.steps_applied = outcome->partial.steps + outcome->recovery.steps;
+  gate.to_dw = to_dw;
+  gate.to_hv = to_hv;
+  gate.hv_used = hv_store_.catalog().used_bytes();
+  gate.dw_used = dw_store_.catalog().used_bytes();
+  if (reorg.rolled_back) {
+    report_.reorgs_rolled_back += 1;
+    if (obs::MetricsOn()) {
+      obs::Metrics().GetCounter(obs::names::kServerReorgsRolledBack)
+          ->Increment();
+    }
+  }
+  if (obs::MetricsOn()) {
+    obs::Metrics().GetCounter(obs::names::kServerReorgSteps)
+        ->Add(gate.steps_applied);
+  }
+  ObserveEpoch(gate, reorg.boundary_session, duration);
+  gates_.push_back(std::move(gate));
+  return Status();
+}
+
+Status MisoServer::ReduceSession(Session* session, SessionSlot* slot) {
+  const int qi = session->session_id;
+
+  // Worker-captured telemetry first: planning/execution events precede
+  // the session's own record, as they would in a serial run.
+  obs::ScopedHistogramCapture::Replay(slot->histogram_obs);
+  for (std::string& line : slot->trace_lines) {
+    obs::Trace().Append(std::move(line));
+  }
+
+  if (!slot->status.ok()) {
+    // A session-level failure (fault-retry budget ran dry) fails only
+    // this session's future; the server keeps serving. This is the one
+    // deliberate divergence from the simulator, which aborts the run.
+    if (injector_ != nullptr && obs::MetricsOn()) {
+      obs::Metrics().GetCounter(obs::names::kFaultExhausted)->Increment();
+    }
+    FailSession(session, slot->status);
+    return Status();
+  }
+
+  sim::QueryRecord record;
+  record.index = qi;
+  record.name = session->query.plan.query_name();
+  record.ops_total = session->query.plan.NumOperators();
+  record.epoch = epoch_;
+  record.degraded = slot->dw_down;
+  if (record.degraded) {
+    report_.degraded_queries += 1;
+    if (obs::MetricsOn()) {
+      obs::Metrics().GetCounter(obs::names::kFaultDwOutageQueries)
+          ->Increment();
+      obs::Metrics().GetCounter(obs::names::kServerSessionsDegraded)
+          ->Increment();
+    }
+  }
+
+  MultistorePlan& ms = slot->ms;
+  record.breakdown = ms.cost;
+  record.transferred_bytes = ms.transferred_bytes;
+  record.ops_dw = static_cast<int>(ms.dw_side.size());
+
+  // HV-job fault accounting (merged across the session's jobs).
+  if (slot->hv_fault.injected > 0) {
+    record.fault_injected += slot->hv_fault.injected;
+    record.fault_retries += slot->hv_fault.retries;
+    record.fault_wasted_s += slot->hv_fault.wasted_s;
+    record.fault_backoff_s += slot->hv_fault.backoff_s;
+    if (obs::MetricsOn()) {
+      obs::Metrics()
+          .GetCounter(obs::WithLabel(
+              obs::names::kFaultInjected, "site",
+              fault::FaultSiteName(fault::FaultSite::kHvJob)))
+          ->Add(slot->hv_fault.injected);
+    }
+  }
+  record.breakdown.hv_exec_s += record.fault_wasted_s;
+
+  // Working-set transfer faults (already decided on the worker).
+  const transfer::FaultedTransfer& ws = slot->ws;
+  if (ws.injected > 0 || ws.retries > 0 || ws.wasted_dump_s > 0 ||
+      ws.backoff_s > 0) {
+    record.breakdown.dump_s += ws.wasted_dump_s;
+    record.fault_injected += ws.injected;
+    record.fault_retries += ws.retries;
+    record.fault_wasted_s += ws.wasted_dump_s + ws.wasted_rest_s;
+    record.fault_backoff_s += ws.backoff_s;
+    if (obs::MetricsOn() && ws.injected > 0) {
+      obs::MetricsRegistry& registry = obs::Metrics();
+      if (ws.injected_stream > 0) {
+        registry
+            .GetCounter(obs::WithLabel(
+                obs::names::kFaultInjected, "site",
+                fault::FaultSiteName(fault::FaultSite::kTransfer)))
+            ->Add(ws.injected_stream);
+      }
+      if (ws.injected_load > 0) {
+        registry
+            .GetCounter(obs::WithLabel(
+                obs::names::kFaultInjected, "site",
+                fault::FaultSiteName(fault::FaultSite::kDwLoad)))
+            ->Add(ws.injected_load);
+      }
+    }
+  }
+
+  // Movement gate: a session whose executed plan reads a view that is
+  // still physically in motion waits (simulated time) for the movement
+  // to complete; everyone else overlaps with it.
+  Seconds wait = 0;
+  MovementGate* binding = nullptr;
+  for (MovementGate& gate : gates_) {
+    if (gate.complete_at <= now_ || gate.moved.empty()) continue;
+    bool reads_moved = false;
+    for (ViewId id : slot->hv_used) {
+      if (gate.moved.count(id) > 0) {
+        reads_moved = true;
+        break;
+      }
+    }
+    if (!reads_moved) {
+      for (ViewId id : slot->dw_used) {
+        if (gate.moved.count(id) > 0) {
+          reads_moved = true;
+          break;
+        }
+      }
+    }
+    if (reads_moved && gate.complete_at - now_ > wait) {
+      wait = gate.complete_at - now_;
+      binding = &gate;
+    }
+  }
+  if (binding != nullptr) binding->charged += wait;
+  record.reorg_wait_s = wait;
+  record.start_time = now_;
+
+  const Seconds begin = now_ + wait;
+  Seconds exec_time = record.breakdown.hv_exec_s + record.breakdown.dump_s;
+  if (ms.cost.transfer_load_s + ws.wasted_rest_s > 0) {
+    const Seconds stretched = ledger_.RecordActivity(
+        dw::DwActivityKind::kWorkingSetTransfer, begin + exec_time,
+        ms.cost.transfer_load_s + ws.wasted_rest_s,
+        /*io_demand=*/1.2, /*cpu_demand=*/0.3);
+    record.breakdown.transfer_load_s = stretched;
+    exec_time += stretched;
+  }
+  if (ms.cost.dw_exec_s > 0) {
+    const Seconds stretched = ledger_.RecordActivity(
+        dw::DwActivityKind::kQueryExec, begin + exec_time, ms.cost.dw_exec_s,
+        /*io_demand=*/0.25, /*cpu_demand=*/0.35);
+    record.breakdown.dw_exec_s = stretched;
+    exec_time += stretched;
+  }
+  exec_time += record.fault_backoff_s;
+  now_ = begin + exec_time;
+  record.completion_time = now_;
+
+  report_.hv_exe_s += record.breakdown.hv_exec_s;
+  report_.dw_exe_s += record.breakdown.dw_exec_s;
+  report_.transfer_s +=
+      record.breakdown.dump_s + record.breakdown.transfer_load_s;
+
+  // Harvest: remap scratch ids in admission order and restamp creation
+  // times. The skip decision is computed against the catalog state
+  // *before* this session's own additions — a wave-mate that already
+  // harvested the same signature wins (exactly what the serial Execute
+  // filter would have done), while within-session duplicates are kept,
+  // as the simulator keeps them.
+  std::vector<bool> skip(slot->produced.size(), false);
+  for (size_t i = 0; i < slot->produced.size(); ++i) {
+    skip[i] =
+        hv_store_.catalog().FindExact(slot->produced[i].signature).has_value();
+  }
+  for (size_t i = 0; i < slot->produced.size(); ++i) {
+    if (skip[i]) continue;
+    View& v = slot->produced[i];
+    v.id = next_view_id_++;
+    v.created_at = record.start_time;
+    MISO_RETURN_IF_ERROR(hv_store_.catalog().AddUnchecked(std::move(v)));
+  }
+
+  record.views_used = static_cast<int>(slot->hv_used.size() +
+                                       slot->dw_used.size());
+  for (ViewId id : slot->hv_used) hv_store_.catalog().TouchView(id, qi);
+  for (ViewId id : slot->dw_used) dw_store_.catalog().TouchView(id, qi);
+
+  // Telemetry at the serial point: the record is complete and `now_` has
+  // advanced past the session.
+  if (obs::MetricsOn()) {
+    obs::Metrics().GetCounter(obs::names::kServerSessions)->Increment();
+  }
+  if (obs::TraceOn()) {
+    obs::Emit(obs::TraceEvent(obs::names::kEvServerSession)
+                  .Int("session", qi)
+                  .Int("epoch", record.epoch)
+                  .Str("variant", report_.variant_name)
+                  .Bool("degraded", record.degraded)
+                  .Double("hv_exec_s", record.breakdown.hv_exec_s)
+                  .Double("dump_s", record.breakdown.dump_s)
+                  .Double("transfer_load_s", record.breakdown.transfer_load_s)
+                  .Double("dw_exec_s", record.breakdown.dw_exec_s)
+                  .Double("total_s", record.breakdown.Total())
+                  .Int("views_used", record.views_used));
+  }
+  if (injector_ != nullptr) {
+    if (obs::MetricsOn() && record.fault_injected > 0) {
+      obs::MetricsRegistry& registry = obs::Metrics();
+      registry.GetCounter(obs::names::kFaultRetries)
+          ->Add(record.fault_retries);
+      registry
+          .GetHistogram(obs::names::kFaultRetryBackoffSeconds,
+                        obs::SecondsBuckets())
+          ->Observe(record.fault_backoff_s);
+      registry
+          .GetHistogram(obs::names::kFaultRetryAttempts, obs::CountBuckets())
+          ->Observe(static_cast<double>(record.fault_injected));
+    }
+    if (obs::TraceOn() && (record.fault_injected > 0 || record.degraded)) {
+      obs::Emit(obs::TraceEvent(obs::names::kEvFaultQuery)
+                    .Int("index", record.index)
+                    .Bool("degraded", record.degraded)
+                    .Int("injected", record.fault_injected)
+                    .Int("retries", record.fault_retries)
+                    .Double("wasted_s", record.fault_wasted_s)
+                    .Double("backoff_s", record.fault_backoff_s));
+    }
+  }
+  report_.fault_injected += record.fault_injected;
+  report_.fault_retries += record.fault_retries;
+  report_.fault_wasted_s += record.fault_wasted_s;
+  report_.fault_backoff_s += record.fault_backoff_s;
+
+  history_.push_back(session->query.plan);
+  report_.queries.push_back(record);
+
+  if (obs::MetricsOn()) {
+    // miso-lint: allow(L003) runtime-class session-latency observation, see docs/TELEMETRY.md
+    const auto elapsed = std::chrono::steady_clock::now() - session->admitted_at;
+    obs::Metrics()
+        .GetHistogram(obs::names::kServerSessionLatencyMs, obs::MillisBuckets())
+        ->Observe(std::chrono::duration<double, std::milli>(elapsed).count());
+  }
+
+  SessionResult result;
+  result.session_id = qi;
+  result.epoch = record.epoch;
+  result.record = std::move(record);
+  session->promise->set_value(std::move(result));
+  session->promise.reset();
+
+  // Gates this session's clock advance crossed expire now (emitting
+  // their `server.epoch` trace line with the final overlap figure).
+  ExpireGates(/*force=*/false);
+  return Status();
+}
+
+void MisoServer::ExpireGates(bool force) {
+  // `complete_at` is monotone across gates (each movement starts no
+  // earlier than the previous one completed), so front-popping suffices.
+  while (!gates_.empty() && (force || gates_.front().complete_at <= now_)) {
+    const MovementGate& gate = gates_.front();
+    const Seconds saved = std::max<Seconds>(0, gate.duration - gate.charged);
+    overlap_saved_total_ += saved;
+    report_.reorg_overlap_saved_s = overlap_saved_total_;
+    if (obs::MetricsOn()) {
+      obs::Metrics().GetGauge(obs::names::kServerOverlapSavedSeconds)
+          ->Set(overlap_saved_total_);
+    }
+    EmitEpochTrace(gate, saved);
+    gates_.erase(gates_.begin());
+  }
+}
+
+void MisoServer::EmitEpochTrace(const MovementGate& gate,
+                                Seconds overlap_saved_s) {
+  if (!obs::TraceOn()) return;
+  obs::Emit(obs::TraceEvent(obs::names::kEvServerEpoch)
+                .Int("epoch", gate.epoch)
+                .Int("reorg_index", gate.reorg_index)
+                .Int("steps_applied", gate.steps_applied)
+                .Bool("rolled_back", gate.rolled_back)
+                .Int("bytes_to_dw", static_cast<int64_t>(gate.to_dw))
+                .Int("bytes_to_hv", static_cast<int64_t>(gate.to_hv))
+                .Int("hv_used_bytes", static_cast<int64_t>(gate.hv_used))
+                .Int("dw_used_bytes", static_cast<int64_t>(gate.dw_used))
+                .Double("overlap_saved_s", overlap_saved_s));
+}
+
+void MisoServer::ObserveEpoch(const MovementGate& gate, int boundary_session,
+                              Seconds duration) {
+  if (!config_.epoch_observer) return;
+  EpochSnapshot snapshot;
+  snapshot.epoch = gate.epoch;
+  snapshot.reorg_index = gate.reorg_index;
+  snapshot.boundary_session = boundary_session;
+  snapshot.rolled_back = gate.rolled_back;
+  snapshot.steps_applied = gate.steps_applied;
+  snapshot.moved_to_dw = gate.to_dw;
+  snapshot.moved_to_hv = gate.to_hv;
+  snapshot.hv_used = hv_store_.catalog().used_bytes();
+  snapshot.dw_used = dw_store_.catalog().used_bytes();
+  for (const View& v : hv_store_.catalog().AllViews()) {
+    snapshot.hv_ids.push_back(v.id);
+  }
+  for (const View& v : dw_store_.catalog().AllViews()) {
+    snapshot.dw_ids.push_back(v.id);
+  }
+  snapshot.reorg_duration_s = duration;
+  config_.epoch_observer(snapshot);
+}
+
+void MisoServer::FailSession(Session* session, const Status& status) {
+  if (!session->promise) return;
+  SessionResult result;
+  result.session_id = session->session_id;
+  result.epoch = epoch_;
+  result.status = status;
+  session->promise->set_value(std::move(result));
+  session->promise.reset();
+}
+
+void MisoServer::Fatal(const Status& status, std::vector<Session>* wave,
+                       size_t from_index) {
+  fatal_ = status;
+  queue_.Close();
+  if (wave != nullptr) {
+    for (size_t i = from_index; i < wave->size(); ++i) {
+      FailSession(&(*wave)[i], status);
+    }
+  }
+  while (std::optional<Session> session = queue_.Pop()) {
+    FailSession(&*session, status);
+  }
+}
+
+}  // namespace miso::server

@@ -1,0 +1,235 @@
+#ifndef MISO_SERVER_MISO_SERVER_H_
+#define MISO_SERVER_MISO_SERVER_H_
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <optional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/bounded_queue.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "dw/dw_store.h"
+#include "fault/fault.h"
+#include "hv/hv_store.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "optimizer/multistore_optimizer.h"
+#include "optimizer/whatif_cache.h"
+#include "plan/node_factory.h"
+#include "server/background_reorganizer.h"
+#include "server/epoch.h"
+#include "server/session.h"
+#include "sim/report.h"
+#include "sim/simulator.h"
+#include "transfer/transfer_model.h"
+#include "tuner/miso_tuner.h"
+#include "views/view_catalog.h"
+#include "workload/evolutionary.h"
+
+namespace miso::server {
+
+/// Configuration of the online multistore server (DESIGN.md §14).
+struct ServerConfig {
+  /// Engine configuration, reused verbatim from the simulator: budgets,
+  /// reorganization cadence, cost models, fault spec, observability
+  /// knobs, worker threads. `sim.variant` must be `kMsMiso` — the server
+  /// serves the full multistore with the MISO tuner; the baseline
+  /// variants remain simulator-only.
+  sim::SimConfig sim;
+
+  /// Sessions per optimize batch. Sessions admitted into the same wave
+  /// are planned concurrently against one frozen design snapshot (they
+  /// do not see each other's harvested views — batch semantics); waves
+  /// never span an epoch boundary. `wave_size = 1` plans every session
+  /// against the freshest catalogs and, with `online_reorg = false`,
+  /// reproduces `MultistoreSimulator::Run` record-for-record.
+  int wave_size = 4;
+
+  /// True (default): reorganizations run on the background thread —
+  /// the design flips at the epoch boundary, journal steps apply on
+  /// private copies with per-step verification, and only sessions that
+  /// read a still-moving view wait for the movement to complete.
+  /// False: stop-the-world at every boundary, the simulator's cadence.
+  bool online_reorg = true;
+
+  /// Bound of the admission queue; `Submit` blocks when full
+  /// (backpressure instead of unbounded memory growth).
+  std::size_t admission_capacity = 256;
+
+  /// Hint for fault-plan resolution: profile-derived DW outage windows
+  /// are placed relative to this many expected sessions (explicitly
+  /// configured windows in `sim.fault.dw_outages` need no hint).
+  int expected_sessions = 0;
+
+  /// Invoked by the scheduler thread after every online reorganization
+  /// resolves (published or rolled back) with the live design state.
+  std::function<void(const EpochSnapshot&)> epoch_observer;
+};
+
+/// The online multistore server: a facade over the same engine stack the
+/// simulator drives (stores, optimizer, tuner, ledger, fault injector),
+/// accepting concurrent query sessions through a bounded admission queue
+/// and reorganizing the design in the background.
+///
+/// Determinism contract: all model-class outputs — per-session plans,
+/// costs, simulated times, harvested view ids, metrics, the JSONL trace
+/// — are a pure function of the admission order. Sessions are batched
+/// into fixed-span waves cut deterministically by admission index,
+/// planned and executed in parallel into caller-owned slots, then
+/// reduced serially in admission order (captured trace lines and
+/// floating-point histogram observations are replayed at that serial
+/// point). `MISO_THREADS` and producer/consumer interleavings trade
+/// wall-clock only.
+///
+/// Epoch discipline: the live catalogs mutate only on the scheduler
+/// thread between waves. At an epoch boundary the background thread
+/// tunes over a snapshot, the scheduler flips the live design by
+/// replaying the pristine journal (metadata), and the journal's
+/// step-at-a-time walk — verified journal-consistent after every step —
+/// proceeds on private copies while the next waves execute. A session
+/// whose plan reads a view still in motion waits (simulated time) for
+/// the movement to complete; everyone else overlaps with it. In-flight
+/// sessions therefore always see a journal-consistent design, and the
+/// server's total cost is never worse than the stop-the-world cadence
+/// on the same admission sequence.
+class MisoServer {
+ public:
+  MisoServer(const relation::Catalog* catalog, const ServerConfig& config);
+  ~MisoServer();
+
+  MisoServer(const MisoServer&) = delete;
+  MisoServer& operator=(const MisoServer&) = delete;
+
+  /// Admits one query session, blocking while the admission queue is
+  /// full. The future resolves when the serial reducer completes the
+  /// session; after `Close` it resolves immediately with an error.
+  std::future<SessionResult> Submit(workload::WorkloadQuery query);
+
+  /// Stops admission; already-admitted sessions still complete.
+  void Close();
+
+  /// Closes admission, drains every admitted session, joins the
+  /// scheduler and background threads, and returns the run report
+  /// (records in admission order). Fails if the engine hit a fatal
+  /// error (e.g. a tuner failure); per-session failures — a fault-retry
+  /// budget running dry — fail only that session's future.
+  Result<sim::RunReport> Finish();
+
+ private:
+  struct SessionSlot;
+  /// An in-flight background reorganization, between the boundary flip
+  /// and the movement join at the next wave's reduce.
+  struct InFlightReorg {
+    int reorg_index = 0;
+    int boundary_session = 0;
+    /// Simulated movement start: max(boundary time, previous movement
+    /// completion) — reorganizations never overlap each other.
+    Seconds start_now = 0;
+    int crash_before = -1;
+    bool rolled_back = false;
+    Bytes planned_to_dw = 0;
+    Bytes planned_to_hv = 0;
+    std::set<views::ViewId> moved;
+    std::future<Result<ReorgOutcome>> done;
+  };
+  /// A published epoch whose simulated movement may still be in flight:
+  /// sessions reading a moved view wait until `complete_at`.
+  struct MovementGate {
+    int reorg_index = 0;
+    int epoch = 0;
+    bool rolled_back = false;
+    Seconds duration = 0;
+    Seconds complete_at = 0;
+    Seconds charged = 0;
+    std::set<views::ViewId> moved;
+    // server.epoch trace payload, captured at publication.
+    int steps_applied = 0;
+    Bytes to_dw = 0;
+    Bytes to_hv = 0;
+    Bytes hv_used = 0;
+    Bytes dw_used = 0;
+  };
+
+  void SchedulerLoop();
+  std::vector<Session> FormWave();
+  Status StartBoundaryReorg(int boundary_session);
+  Status StartOnlineReorg(int boundary_session);
+  Status StopTheWorldReorg(int boundary_session);
+  Status RunWave(std::vector<Session>* wave);
+  void PlanAndExecute(const Session& session, SessionSlot* slot) const;
+  Status JoinInFlightReorg();
+  Status ReduceSession(Session* session, SessionSlot* slot);
+  void ExpireGates(bool force);
+  void ChargeMoves(Bytes dw_bytes, Bytes hv_bytes, Seconds start,
+                   Seconds* duration);
+  std::vector<plan::Plan> TuneWindow() const;
+  verify::DesignBudgets Budgets() const;
+  void EmitEpochTrace(const MovementGate& gate, Seconds overlap_saved_s);
+  void ObserveEpoch(const MovementGate& gate, int boundary_session,
+                    Seconds duration);
+  void FailSession(Session* session, const Status& status);
+  void Fatal(const Status& status, std::vector<Session>* wave,
+             size_t from_index);
+
+  const relation::Catalog* catalog_;
+  ServerConfig config_;
+
+  // Observability gates, engaged for the server's lifetime (same
+  // discipline — and the same caveat about concurrent engines with
+  // differing obs configs — as MultistoreSimulator::Run).
+  std::optional<obs::ScopedMetrics> scoped_metrics_;
+  std::optional<obs::ScopedTrace> scoped_trace_;
+
+  // Engine stack, shared read-only by wave workers during a wave;
+  // catalogs/ledger mutate only on the scheduler thread between waves.
+  plan::NodeFactory factory_;
+  hv::HvStore hv_store_;
+  dw::DwStore dw_store_;
+  transfer::TransferModel mover_;
+  optimizer::MultistoreOptimizer opt_;
+  dw::ResourceLedger ledger_;
+  fault::FaultPlan fault_plan_;
+  std::optional<fault::FaultInjector> injector_storage_;
+  const fault::FaultInjector* injector_ = nullptr;
+  tuner::MisoTunerConfig tuner_config_;
+  tuner::MisoTuner tuner_;
+  optimizer::WhatIfCache whatif_cache_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<BackgroundReorganizer> reorganizer_;
+
+  // Admission: the id assignment and the push happen under one lock, so
+  // queue order always equals session-id order.
+  BoundedQueue<Session> queue_;
+  Mutex admission_mutex_;
+  int next_session_id_ MISO_GUARDED_BY(admission_mutex_) = 0;
+
+  // Scheduler-thread state (owned by scheduler_ after construction; read
+  // by Finish only after the join).
+  sim::RunReport report_;
+  int next_index_ = 0;  // next admission index to pop (wave-span cuts)
+  Seconds now_ = 0;
+  Seconds last_reorg_time_ = 0;
+  Seconds last_movement_complete_ = 0;
+  uint64_t next_view_id_ = 1;
+  int epoch_ = 0;
+  std::vector<plan::Plan> history_;
+  std::optional<int> pending_boundary_;
+  std::optional<InFlightReorg> in_flight_;
+  std::vector<MovementGate> gates_;
+  Seconds overlap_saved_total_ = 0;
+  Status fatal_;
+
+  bool started_ = false;
+  bool finished_ = false;
+  std::thread scheduler_;
+};
+
+}  // namespace miso::server
+
+#endif  // MISO_SERVER_MISO_SERVER_H_

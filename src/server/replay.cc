@@ -1,0 +1,45 @@
+#include "server/replay.h"
+
+#include <future>
+#include <utility>
+
+namespace miso::server {
+
+Result<sim::RunReport> ReplayWorkload(
+    const relation::Catalog* catalog, const ServerConfig& config,
+    const std::vector<workload::WorkloadQuery>& queries) {
+  ServerConfig server_config = config;
+  if (server_config.expected_sessions == 0) {
+    server_config.expected_sessions = static_cast<int>(queries.size());
+  }
+  MisoServer server(catalog, server_config);
+  std::vector<std::future<SessionResult>> futures;
+  futures.reserve(queries.size());
+  for (const workload::WorkloadQuery& query : queries) {
+    futures.push_back(server.Submit(query));
+  }
+  server.Close();
+
+  // Futures resolve in admission order, so the first error seen here is
+  // the lowest-indexed failing session.
+  Status first_error;
+  for (std::future<SessionResult>& future : futures) {
+    SessionResult result = future.get();
+    if (!result.status.ok() && first_error.ok()) first_error = result.status;
+  }
+  Result<sim::RunReport> finished = server.Finish();
+  if (!first_error.ok()) return first_error;
+  return finished;
+}
+
+Result<sim::RunReport> ReplayPaperWorkload(const relation::Catalog* catalog,
+                                           const ServerConfig& config,
+                                           uint64_t workload_seed) {
+  workload::WorkloadConfig wl;
+  wl.seed = workload_seed;
+  MISO_ASSIGN_OR_RETURN(workload::EvolutionaryWorkload workload,
+                        workload::EvolutionaryWorkload::Generate(catalog, wl));
+  return ReplayWorkload(catalog, config, workload.queries());
+}
+
+}  // namespace miso::server

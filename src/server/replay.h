@@ -1,0 +1,30 @@
+#ifndef MISO_SERVER_REPLAY_H_
+#define MISO_SERVER_REPLAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "server/miso_server.h"
+
+namespace miso::server {
+
+/// Drives `queries` through a `MisoServer` in order: submits every
+/// session (blocking on admission backpressure), closes admission, and
+/// returns the run report with records in admission order. If any
+/// session failed, the error of the lowest-indexed failing session is
+/// returned instead — the same error a serial simulator run would have
+/// aborted with.
+Result<sim::RunReport> ReplayWorkload(
+    const relation::Catalog* catalog, const ServerConfig& config,
+    const std::vector<workload::WorkloadQuery>& queries);
+
+/// Generates the paper's evolutionary analyst workload and replays it
+/// through the server (the online counterpart of `sim::RunPaperWorkload`).
+Result<sim::RunReport> ReplayPaperWorkload(const relation::Catalog* catalog,
+                                           const ServerConfig& config,
+                                           uint64_t workload_seed = 42);
+
+}  // namespace miso::server
+
+#endif  // MISO_SERVER_REPLAY_H_

@@ -1,0 +1,50 @@
+#ifndef MISO_SERVER_SESSION_H_
+#define MISO_SERVER_SESSION_H_
+
+#include <chrono>
+#include <future>
+#include <memory>
+
+#include "common/status.h"
+#include "sim/report.h"
+#include "workload/evolutionary.h"
+
+namespace miso::server {
+
+/// Outcome of one query session, delivered through the future returned
+/// by `MisoServer::Submit`. The record carries the same anatomy a
+/// simulator `QueryRecord` would (simulated start/completion times,
+/// cost breakdown, fault bookkeeping), plus the design epoch the session
+/// planned against — a session always sees one journal-consistent design
+/// snapshot, never a half-applied reorganization.
+struct SessionResult {
+  int session_id = 0;
+  /// Design epoch in effect when the session was planned (== number of
+  /// reorganizations published before it).
+  int epoch = 0;
+  /// Failed sessions (e.g. a fault-retry budget ran dry) carry the error
+  /// here; `record` is then meaningless.
+  Status status;
+  sim::QueryRecord record;
+};
+
+/// One admitted query session: the workload query, its admission index
+/// (assigned under the admission lock, so queue order == index order),
+/// and the promise the serial reducer fulfils.
+struct Session {
+  int session_id = 0;
+  workload::WorkloadQuery query;
+  /// Shared so `Submit` keeps a handle across the queue push: if the
+  /// queue was closed (the push drops the item), the submitter can still
+  /// fail the future instead of breaking the promise. Reset after
+  /// fulfilment — a null promise marks an already-resolved session.
+  std::shared_ptr<std::promise<SessionResult>> promise;
+  /// Wall-clock admission stamp for the runtime-class
+  /// `miso.server.session_latency_ms` histogram.
+  // miso-lint: allow(L003) runtime-class session-latency stamp, see docs/TELEMETRY.md
+  std::chrono::steady_clock::time_point admitted_at;
+};
+
+}  // namespace miso::server
+
+#endif  // MISO_SERVER_SESSION_H_

@@ -39,6 +39,14 @@ struct QueryRecord {
   Seconds fault_wasted_s = 0;
   Seconds fault_backoff_s = 0;
 
+  /// Online-server fields (zero for plain simulator runs). `epoch` is the
+  /// design epoch the session planned against; `reorg_wait_s` is the
+  /// simulated wait for an in-flight background reorganization whose
+  /// moved views the session reads (already included in
+  /// `completion_time`, broken out here).
+  int epoch = 0;
+  Seconds reorg_wait_s = 0;
+
   Seconds ExecTime() const { return breakdown.Total(); }
   double DwUtilizationShare() const {
     const Seconds total = ExecTime();
@@ -73,6 +81,14 @@ struct RunReport {
   int degraded_queries = 0;
   int reorg_crashes = 0;
   int reorgs_skipped = 0;  // deferred because the DW was in an outage
+
+  /// Online-server bookkeeping (zero for plain simulator runs).
+  int waves = 0;
+  int epochs_published = 0;
+  int reorgs_rolled_back = 0;
+  /// Simulated time saved by overlapping reorganization movement with
+  /// query execution instead of stopping the world.
+  Seconds reorg_overlap_saved_s = 0;
 
   /// DW resource samples (present when a background workload was set).
   std::vector<dw::DwTickSample> dw_ticks;

@@ -104,6 +104,25 @@ Result<ReorgJournal::Outcome> ReorgJournal::Apply(views::ViewCatalog* hv,
   return outcome;
 }
 
+Result<ReorgJournal::Outcome> ReorgJournal::ApplyStep(views::ViewCatalog* hv,
+                                                      views::ViewCatalog* dw) {
+  Outcome outcome;
+  const int next = next_unapplied();
+  if (next >= num_entries()) return outcome;  // already complete: no-op
+  Entry& entry = entries_[static_cast<size_t>(next)];
+  MISO_RETURN_IF_ERROR(Step(entry, /*undo=*/false, hv, dw));
+  entry.applied = true;
+  Charge(entry, /*undo=*/false, &outcome);
+  return outcome;
+}
+
+int ReorgJournal::next_unapplied() const {
+  for (int i = 0; i < num_entries(); ++i) {
+    if (!entries_[static_cast<size_t>(i)].applied) return i;
+  }
+  return num_entries();
+}
+
 Result<ReorgJournal::Outcome> ReorgJournal::Recover(RecoveryPolicy policy,
                                                     views::ViewCatalog* hv,
                                                     views::ViewCatalog* dw) {

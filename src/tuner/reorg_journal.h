@@ -60,6 +60,17 @@ class ReorgJournal {
   Result<Outcome> Apply(views::ViewCatalog* hv, views::ViewCatalog* dw,
                         int crash_before = -1);
 
+  /// Applies exactly the next unapplied step (the online server's
+  /// step-at-a-time protocol: one atomic view move/drop per call, with
+  /// the catalogs journal-consistent — V209-checkable — after every
+  /// call). Returns what the step moved; a journal that is already
+  /// `Complete()` returns an empty Outcome (steps == 0).
+  Result<Outcome> ApplyStep(views::ViewCatalog* hv, views::ViewCatalog* dw);
+
+  /// Index of the first unapplied step, or `num_entries()` when the
+  /// journal is complete.
+  int next_unapplied() const;
+
   /// Restores a consistent design after a crash: kResume completes the
   /// remaining steps, kRollback undoes the applied ones in reverse order.
   /// Idempotent. Returns what this pass moved.

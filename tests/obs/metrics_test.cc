@@ -119,5 +119,48 @@ TEST(MetricsTest, WithLabelSpellsTheCanonicalForm) {
             "miso.sim.moved_bytes_total{dir=\"to_dw\"}");
 }
 
+TEST(MetricsTest, HistogramCaptureDefersObservationsUntilReplay) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("cap", {1.0, 2.0});
+  std::vector<ScopedHistogramCapture::Observation> deferred;
+  {
+    ScopedHistogramCapture capture;
+    histogram->Observe(0.5);  // deferred, not applied
+    histogram->Observe(1.5);
+    EXPECT_EQ(histogram->count(), 0);
+    EXPECT_DOUBLE_EQ(histogram->sum(), 0);
+    deferred = capture.TakeObservations();
+    EXPECT_EQ(deferred.size(), 2u);
+    // Capture continues empty after the take.
+    histogram->Observe(3.0);
+    EXPECT_EQ(capture.TakeObservations().size(), 1u);
+  }
+  // Capture closed: observations apply directly again.
+  histogram->Observe(0.25);
+  EXPECT_EQ(histogram->count(), 1);
+  ScopedHistogramCapture::Replay(deferred);
+  EXPECT_EQ(histogram->count(), 3);
+  EXPECT_DOUBLE_EQ(histogram->sum(), 0.25 + 0.5 + 1.5);
+  EXPECT_EQ(histogram->BucketCounts(), (std::vector<int64_t>{2, 1, 0}));
+}
+
+TEST(MetricsTest, HistogramCapturesNestInnermostWins) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("nest", {1.0});
+  ScopedHistogramCapture outer;
+  histogram->Observe(0.1);
+  {
+    ScopedHistogramCapture inner;
+    histogram->Observe(0.2);
+    EXPECT_EQ(inner.TakeObservations().size(), 1u);
+  }
+  histogram->Observe(0.3);
+  const auto outer_obs = outer.TakeObservations();
+  ASSERT_EQ(outer_obs.size(), 2u);
+  EXPECT_DOUBLE_EQ(outer_obs[0].value, 0.1);
+  EXPECT_DOUBLE_EQ(outer_obs[1].value, 0.3);
+  EXPECT_EQ(histogram->count(), 0);
+}
+
 }  // namespace
 }  // namespace miso::obs

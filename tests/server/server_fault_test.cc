@@ -1,0 +1,158 @@
+// Fault-interplay regressions for the online server: a DW outage that
+// opens mid-run degrades in-window sessions to HV-only planning while
+// the server keeps serving and defers reorganizations; injected
+// mid-reorganization crashes recover on the background thread — resume
+// completes the journal, rollback restores the pre-reorg design
+// byte-exactly (the reorganizer fails the run with an internal error if
+// it does not) — and the whole faulted pipeline stays byte-identical
+// across thread counts.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "server_test_util.h"
+#include "sim/report_io.h"
+
+namespace miso::server {
+namespace {
+
+using server_testing::CountEvents;
+using server_testing::CycledQueries;
+using server_testing::ServeAll;
+using server_testing::ServedRun;
+
+TEST(ServerFaultTest, DwOutageMidRunDegradesSessionsAndDefersReorgs) {
+  const std::vector<workload::WorkloadQuery> queries = CycledQueries(40);
+  ServerConfig config;
+  config.sim.variant = sim::SystemVariant::kMsMiso;
+  config.sim.trace = true;
+  config.sim.reorg_every = 4;
+  config.wave_size = 4;
+  config.online_reorg = true;
+  config.sim.fault.profile = fault::FaultProfile::kOutage;
+  config.sim.fault.rate = 0.0;  // outage only, no transient failures
+  config.sim.fault.seed = 7;
+  config.sim.fault.dw_outages.push_back(fault::OutageWindow{10, 20});
+
+  MISO_ASSERT_OK_AND_ASSIGN(const ServedRun run,
+                            ServeAll(config, queries, /*threads=*/2));
+
+  // In-window sessions complete, degraded to HV-only; everyone else
+  // keeps the multistore plan.
+  for (const SessionResult& s : run.sessions) {
+    ASSERT_TRUE(s.status.ok()) << s.status.ToString();
+    const bool in_window = s.session_id >= 10 && s.session_id < 20;
+    EXPECT_EQ(s.record.degraded, in_window) << "session " << s.session_id;
+    if (in_window) {
+      EXPECT_EQ(s.record.breakdown.dw_exec_s, 0.0);
+      EXPECT_EQ(s.record.breakdown.transfer_load_s, 0.0);
+      EXPECT_GT(s.record.breakdown.hv_exec_s, 0.0);
+    }
+  }
+  EXPECT_EQ(run.report.degraded_queries, 10);
+  // Boundary sessions 11, 15, 19 fall inside the outage: their
+  // reorganizations are deferred, not attempted against a down DW.
+  EXPECT_EQ(run.report.reorgs_skipped, 3);
+  EXPECT_GT(run.report.epochs_published, 0);
+  EXPECT_GT(CountEvents(run.trace, "fault.query"), 0);
+}
+
+fault::FaultSpec ChaosSpec(RecoveryPolicy recovery) {
+  fault::FaultSpec spec;
+  spec.profile = fault::FaultProfile::kChaos;
+  spec.seed = 5;
+  spec.rate = 0.12;
+  spec.retry.max_attempts = 6;
+  spec.recovery = recovery;
+  return spec;
+}
+
+TEST(ServerFaultTest, ReorgCrashWithResumeRecoversAndPublishes) {
+  const std::vector<workload::WorkloadQuery> queries = CycledQueries(150);
+  ServerConfig config;
+  config.sim.variant = sim::SystemVariant::kMsMiso;
+  config.sim.trace = true;
+  config.sim.reorg_every = 5;
+  config.wave_size = 5;
+  config.online_reorg = true;
+  config.sim.fault = ChaosSpec(RecoveryPolicy::kResume);
+
+  MISO_ASSERT_OK_AND_ASSIGN(const ServedRun run,
+                            ServeAll(config, queries, /*threads=*/2));
+  EXPECT_GT(run.report.reorg_crashes, 0) << "no reorg crash was injected";
+  // Resume completes the journal: every crashed reorganization still
+  // publishes its epoch (no rollbacks under this policy; `reorg_count`
+  // already excludes outage-deferred boundaries).
+  EXPECT_EQ(run.report.reorgs_rolled_back, 0);
+  EXPECT_EQ(run.report.epochs_published, run.report.reorg_count);
+  EXPECT_EQ(CountEvents(run.trace, "fault.reorg_recovery"),
+            run.report.reorg_crashes);
+  for (const SessionResult& s : run.sessions) {
+    EXPECT_TRUE(s.status.ok()) << s.status.ToString();
+  }
+}
+
+TEST(ServerFaultTest, ReorgCrashWithRollbackRestoresDesignByteExactly) {
+  const std::vector<workload::WorkloadQuery> queries = CycledQueries(150);
+  ServerConfig config;
+  config.sim.variant = sim::SystemVariant::kMsMiso;
+  config.sim.trace = true;
+  config.sim.reorg_every = 5;
+  config.wave_size = 5;
+  config.online_reorg = true;
+  config.sim.fault = ChaosSpec(RecoveryPolicy::kRollback);
+
+  std::vector<EpochSnapshot> snapshots;
+  config.epoch_observer = [&snapshots](const EpochSnapshot& snapshot) {
+    snapshots.push_back(snapshot);
+  };
+
+  // The background reorganizer compares (id, signature) fingerprints and
+  // used-byte counts around every rollback and fails the run if recovery
+  // did not restore the pre-reorg design byte-exactly — so an OK run
+  // with rollbacks observed IS the byte-exactness assertion.
+  MISO_ASSERT_OK_AND_ASSIGN(const ServedRun run,
+                            ServeAll(config, queries, /*threads=*/2));
+  EXPECT_GT(run.report.reorg_crashes, 0) << "no reorg crash was injected";
+  EXPECT_GT(run.report.reorgs_rolled_back, 0) << "no rollback happened";
+  EXPECT_EQ(run.report.reorgs_rolled_back, run.report.reorg_crashes);
+  bool saw_rollback_snapshot = false;
+  for (const EpochSnapshot& s : snapshots) {
+    if (s.rolled_back) {
+      saw_rollback_snapshot = true;
+      // A rollback still crossed the link twice (partial + undo), so the
+      // movement gate charged real bytes without publishing anything.
+      EXPECT_GT(s.moved_to_dw + s.moved_to_hv, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_rollback_snapshot);
+}
+
+TEST(ServerFaultTest, FaultedServerRunIsByteIdenticalAcrossThreadCounts) {
+  const std::vector<workload::WorkloadQuery> queries = CycledQueries(150);
+  ServerConfig config;
+  config.sim.variant = sim::SystemVariant::kMsMiso;
+  config.sim.trace = true;
+  config.sim.reorg_every = 5;
+  config.wave_size = 5;
+  config.online_reorg = true;
+  config.sim.fault = ChaosSpec(RecoveryPolicy::kResume);
+
+  MISO_ASSERT_OK_AND_ASSIGN(const ServedRun one,
+                            ServeAll(config, queries, /*threads=*/1));
+  EXPECT_GT(one.report.fault_injected, 0);
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE("MISO_THREADS=" + std::to_string(threads));
+    MISO_ASSERT_OK_AND_ASSIGN(const ServedRun many,
+                              ServeAll(config, queries, threads));
+    EXPECT_EQ(sim::QueriesToCsv(one.report), sim::QueriesToCsv(many.report));
+    EXPECT_EQ(sim::SummaryToCsv(one.report, /*with_header=*/false),
+              sim::SummaryToCsv(many.report, /*with_header=*/false));
+    EXPECT_EQ(one.trace, many.trace);
+  }
+}
+
+}  // namespace
+}  // namespace miso::server

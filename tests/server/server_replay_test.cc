@@ -1,0 +1,125 @@
+// Online-vs-batch replay comparisons — the acceptance criterion of the
+// online cadence: the server runs the full paper workload with
+// background reorganization, produces the same per-session plans and
+// cost anatomies as the batch simulator (the flip-at-boundary protocol
+// publishes the new design before the next session plans), and its total
+// time-to-insight is never worse than the stop-the-world cadence on the
+// same admission sequence — the difference is exactly the movement time
+// the server overlapped with query execution.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/multistore_system.h"
+#include "server_test_util.h"
+#include "sim/simulator.h"
+
+namespace miso::server {
+namespace {
+
+using server_testing::CycledQueries;
+using server_testing::ServeAll;
+using server_testing::ServedRun;
+using testing_util::PaperCatalog;
+
+TEST(ServerReplayTest, OnlinePaperWorkloadMatchesSimulatorPlanForPlan) {
+  sim::SimConfig sim_config;
+  sim_config.variant = sim::SystemVariant::kMsMiso;
+  MISO_ASSERT_OK_AND_ASSIGN(
+      const sim::RunReport batch,
+      sim::RunPaperWorkload(&PaperCatalog(), sim_config));
+
+  ServerConfig config;
+  config.sim = sim_config;
+  config.wave_size = 1;  // freshest catalogs for every session
+  config.online_reorg = true;
+  MISO_ASSERT_OK_AND_ASSIGN(
+      const sim::RunReport online,
+      ReplayPaperWorkload(&PaperCatalog(), config));
+
+  // Same designs at every boundary, hence the same plans and the same
+  // cost anatomy per query; only the clock placement differs.
+  ASSERT_EQ(online.queries.size(), batch.queries.size());
+  for (size_t i = 0; i < batch.queries.size(); ++i) {
+    SCOPED_TRACE("query " + std::to_string(i));
+    const sim::QueryRecord& a = online.queries[i];
+    const sim::QueryRecord& b = batch.queries[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_DOUBLE_EQ(a.breakdown.Total(), b.breakdown.Total());
+    EXPECT_EQ(a.ops_total, b.ops_total);
+    EXPECT_EQ(a.ops_dw, b.ops_dw);
+    EXPECT_EQ(a.transferred_bytes, b.transferred_bytes);
+    EXPECT_EQ(a.views_used, b.views_used);
+  }
+  EXPECT_EQ(online.reorg_count, batch.reorg_count);
+  EXPECT_EQ(online.epochs_published, online.reorg_count);
+
+  // The overlap can only help: online TTI <= batch TTI, and the gap is
+  // exactly the movement time hidden behind query execution.
+  EXPECT_LE(online.Tti(), batch.Tti() + 1e-6);
+  EXPECT_GE(online.reorg_overlap_saved_s, 0.0);
+  EXPECT_NEAR(batch.Tti() - online.Tti(), online.reorg_overlap_saved_s, 1e-6);
+}
+
+TEST(ServerReplayTest, OnlineNeverWorseThanStopTheWorldAtSameCadence) {
+  const std::vector<workload::WorkloadQuery> queries = CycledQueries(96);
+  ServerConfig config;
+  config.sim.variant = sim::SystemVariant::kMsMiso;
+  config.sim.reorg_every = 8;
+  config.wave_size = 4;
+
+  config.online_reorg = false;
+  MISO_ASSERT_OK_AND_ASSIGN(const ServedRun stop_the_world,
+                            ServeAll(config, queries, /*threads=*/2));
+  config.online_reorg = true;
+  MISO_ASSERT_OK_AND_ASSIGN(const ServedRun online,
+                            ServeAll(config, queries, /*threads=*/2));
+
+  ASSERT_EQ(online.report.queries.size(), stop_the_world.report.queries.size());
+  for (size_t i = 0; i < online.report.queries.size(); ++i) {
+    SCOPED_TRACE("query " + std::to_string(i));
+    EXPECT_DOUBLE_EQ(online.report.queries[i].breakdown.Total(),
+                     stop_the_world.report.queries[i].breakdown.Total());
+    EXPECT_LE(online.report.queries[i].completion_time,
+              stop_the_world.report.queries[i].completion_time + 1e-6);
+  }
+  EXPECT_EQ(online.report.reorg_count, stop_the_world.report.reorg_count);
+  EXPECT_LE(online.report.Tti(), stop_the_world.report.Tti() + 1e-6);
+  EXPECT_NEAR(stop_the_world.report.Tti() - online.report.Tti(),
+              online.report.reorg_overlap_saved_s, 1e-6);
+}
+
+TEST(ServerReplayTest, MultistoreSystemServeFacade) {
+  MisoConfig miso_config;
+  miso_config.sim.variant = sim::SystemVariant::kMsMiso;
+  MultistoreSystem system(miso_config);
+
+  ServerConfig server_config;
+  server_config.wave_size = 4;
+  MISO_ASSERT_OK_AND_ASSIGN(const sim::RunReport report,
+                            system.ServePaperWorkload(server_config));
+  EXPECT_EQ(report.queries.size(), 32u);
+  EXPECT_GT(report.reorg_count, 0);
+  EXPECT_GT(report.waves, 0);
+  EXPECT_GT(report.epochs_published, 0);
+  for (size_t i = 0; i < report.queries.size(); ++i) {
+    EXPECT_EQ(report.queries[i].index, static_cast<int>(i));
+  }
+
+  // The facade ignores any sim config smuggled in via the server config —
+  // the system's own engine configuration wins.
+  ServerConfig mismatched = server_config;
+  mismatched.sim.variant = sim::SystemVariant::kHvOnly;
+  auto workload = workload::EvolutionaryWorkload::Generate(
+      &system.catalog(), workload::WorkloadConfig{});
+  MISO_ASSERT_OK(workload.status());
+  MISO_ASSERT_OK_AND_ASSIGN(
+      const sim::RunReport served,
+      system.Serve(mismatched, workload->queries()));
+  EXPECT_EQ(served.queries.size(), 32u);
+}
+
+}  // namespace
+}  // namespace miso::server

@@ -1,0 +1,145 @@
+// The server's headline determinism contract under load: ~2,000 query
+// sessions pushed through the bounded admission queue with background
+// reorganization enabled are byte-identical — per-session records, cost
+// anatomy, run summary, and the JSONL trace — across MISO_THREADS in
+// {1, 2, 8}. Threads and producer/consumer interleavings trade wall-clock
+// only; every model-class output is a pure function of admission order.
+//
+// Also pins the batch-compatibility corner: `wave_size = 1` with
+// `online_reorg = false` reproduces `MultistoreSimulator::Run`
+// record-for-record.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "server_test_util.h"
+#include "sim/report_io.h"
+#include "sim/simulator.h"
+
+namespace miso::server {
+namespace {
+
+using server_testing::CountEvents;
+using server_testing::CycledQueries;
+using server_testing::ServeAll;
+using server_testing::ServedRun;
+using testing_util::PaperCatalog;
+
+ServerConfig StressConfig() {
+  ServerConfig config;
+  config.sim.variant = sim::SystemVariant::kMsMiso;
+  config.sim.trace = true;
+  // A coarser cadence than the simulator default keeps the tuner load
+  // proportionate to 2,000 sessions; every boundary still runs the full
+  // background pipeline (tune, flip, step walk, movement gates).
+  config.sim.reorg_every = 24;
+  config.wave_size = 8;
+  config.online_reorg = true;
+  config.admission_capacity = 64;  // real backpressure on the submitter
+  return config;
+}
+
+TEST(ServerStressTest, TwoThousandSessionsByteIdenticalAcrossThreadCounts) {
+  const std::vector<workload::WorkloadQuery> queries = CycledQueries(2000);
+  ASSERT_EQ(queries.size(), 2000u);
+  const ServerConfig config = StressConfig();
+
+  MISO_ASSERT_OK_AND_ASSIGN(const ServedRun one,
+                            ServeAll(config, queries, /*threads=*/1));
+
+  // Non-vacuity: the online machinery actually ran.
+  ASSERT_EQ(one.report.queries.size(), queries.size());
+  EXPECT_GT(one.report.epochs_published, 0);
+  EXPECT_GT(one.report.waves, 0);
+  EXPECT_GT(one.report.reorg_count, 0);
+  EXPECT_GT(one.report.hv_exe_s, 0.0);
+  EXPECT_GT(one.report.dw_exe_s, 0.0);
+  EXPECT_GT(one.report.transfer_s, 0.0);
+  EXPECT_EQ(CountEvents(one.trace, "server.session"),
+            static_cast<int>(queries.size()));
+  EXPECT_EQ(CountEvents(one.trace, "server.epoch"), one.report.reorg_count);
+
+  // Every session future carries the same record the report does, in
+  // admission order.
+  for (size_t i = 0; i < one.sessions.size(); ++i) {
+    const SessionResult& s = one.sessions[i];
+    ASSERT_TRUE(s.status.ok()) << s.status.ToString();
+    EXPECT_EQ(s.session_id, static_cast<int>(i));
+    EXPECT_EQ(s.record.index, one.report.queries[i].index);
+    EXPECT_EQ(s.record.epoch, one.report.queries[i].epoch);
+    EXPECT_EQ(s.record.completion_time,
+              one.report.queries[i].completion_time);
+    EXPECT_EQ(s.record.breakdown.Total(),
+              one.report.queries[i].breakdown.Total());
+  }
+
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE("MISO_THREADS=" + std::to_string(threads));
+    MISO_ASSERT_OK_AND_ASSIGN(const ServedRun many,
+                              ServeAll(config, queries, threads));
+    EXPECT_EQ(sim::QueriesToCsv(one.report), sim::QueriesToCsv(many.report));
+    EXPECT_EQ(sim::SummaryToCsv(one.report, /*with_header=*/false),
+              sim::SummaryToCsv(many.report, /*with_header=*/false));
+    EXPECT_EQ(one.report.Tti(), many.report.Tti());
+    EXPECT_EQ(one.report.epochs_published, many.report.epochs_published);
+    EXPECT_EQ(one.report.reorg_overlap_saved_s,
+              many.report.reorg_overlap_saved_s);
+    EXPECT_EQ(one.trace, many.trace);
+    ASSERT_EQ(one.sessions.size(), many.sessions.size());
+    for (size_t i = 0; i < one.sessions.size(); ++i) {
+      EXPECT_EQ(one.sessions[i].record.completion_time,
+                many.sessions[i].record.completion_time);
+      EXPECT_EQ(one.sessions[i].epoch, many.sessions[i].epoch);
+    }
+  }
+}
+
+TEST(ServerStressTest, StopTheWorldWaveOfOneMatchesSimulatorExactly) {
+  const std::vector<workload::WorkloadQuery> queries = CycledQueries(48);
+  ServerConfig config;
+  config.sim.variant = sim::SystemVariant::kMsMiso;
+  config.wave_size = 1;
+  config.online_reorg = false;
+
+  MISO_ASSERT_OK_AND_ASSIGN(const ServedRun served,
+                            ServeAll(config, queries, /*threads=*/1));
+  sim::MultistoreSimulator simulator(&PaperCatalog(), config.sim);
+  MISO_ASSERT_OK_AND_ASSIGN(const sim::RunReport batch,
+                            simulator.Run(queries));
+
+  EXPECT_EQ(sim::QueriesToCsv(served.report), sim::QueriesToCsv(batch));
+  EXPECT_EQ(sim::SummaryToCsv(served.report, /*with_header=*/false),
+            sim::SummaryToCsv(batch, /*with_header=*/false));
+  EXPECT_EQ(served.report.Tti(), batch.Tti());
+  EXPECT_EQ(served.report.reorg_count, batch.reorg_count);
+}
+
+TEST(ServerStressTest, SubmitAfterCloseFailsFast) {
+  ServerConfig config;
+  config.sim.variant = sim::SystemVariant::kMsMiso;
+  MisoServer server(&PaperCatalog(), config);
+  server.Close();
+  std::vector<workload::WorkloadQuery> queries = CycledQueries(1);
+  std::future<SessionResult> rejected = server.Submit(queries[0]);
+  const SessionResult result = rejected.get();
+  EXPECT_FALSE(result.status.ok());
+  MISO_ASSERT_OK_AND_ASSIGN(const sim::RunReport report, server.Finish());
+  EXPECT_TRUE(report.queries.empty());
+}
+
+TEST(ServerStressTest, BaselineVariantsAreRejected) {
+  ServerConfig config;
+  config.sim.variant = sim::SystemVariant::kHvOnly;
+  MisoServer server(&PaperCatalog(), config);
+  std::vector<workload::WorkloadQuery> queries = CycledQueries(1);
+  const SessionResult result = server.Submit(queries[0]).get();
+  EXPECT_FALSE(result.status.ok());
+  const Result<sim::RunReport> report = server.Finish();
+  EXPECT_FALSE(report.ok());
+}
+
+}  // namespace
+}  // namespace miso::server

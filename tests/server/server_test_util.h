@@ -1,0 +1,115 @@
+#ifndef MISO_TESTS_SERVER_SERVER_TEST_UTIL_H_
+#define MISO_TESTS_SERVER_SERVER_TEST_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "../test_util.h"
+#include "obs/trace.h"
+#include "server/miso_server.h"
+#include "server/replay.h"
+
+namespace miso::server_testing {
+
+/// A pool of distinct analyst queries cycled to `n` sessions. Repeated
+/// shapes are exactly what an evolving analyst stream produces, and they
+/// exercise the harvest-dedup path (wave-mates producing the same view).
+inline std::vector<workload::WorkloadQuery> CycledQueries(int n) {
+  const relation::Catalog* catalog = &testing_util::PaperCatalog();
+  struct Spec {
+    const char* name;
+    const char* topic;
+    double sel;
+    bool dw_ok;
+  };
+  const std::vector<Spec> specs = {
+      {"trend_a", "superbowl", 0.05, true},
+      {"trend_b", "elections", 0.08, true},
+      {"trend_c", "olympics", 0.03, false},
+      {"trend_d", "quake", 0.10, true},
+      {"trend_e", "oscars", 0.06, false},
+      {"trend_f", "ipo", 0.04, true},
+      {"trend_g", "worldcup", 0.07, true},
+      {"trend_h", "royals", 0.09, false},
+  };
+  std::vector<workload::WorkloadQuery> queries;
+  queries.reserve(static_cast<size_t>(n));
+  std::vector<plan::Plan> plans;
+  for (const Spec& s : specs) {
+    Result<plan::Plan> plan = testing_util::MakeAnalystPlan(
+        catalog, s.name, s.topic, s.sel, s.dw_ok);
+    if (!plan.ok()) {
+      ADD_FAILURE() << plan.status().ToString();
+      return queries;
+    }
+    plans.push_back(std::move(*plan));
+  }
+  for (int i = 0; i < n; ++i) {
+    workload::WorkloadQuery q;
+    q.plan = plans[static_cast<size_t>(i) % plans.size()];
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+struct ServedRun {
+  sim::RunReport report;
+  std::vector<std::string> trace;
+  std::vector<server::SessionResult> sessions;  // in admission order
+};
+
+/// Submits every query session-by-session, collects each future, and
+/// returns report + drained trace + per-session results. `threads <= 0`
+/// leaves MISO_THREADS resolution alone; otherwise the env var is pinned
+/// for the run (the byte-identity sweeps exercise {1, 2, 8}).
+inline Result<ServedRun> ServeAll(
+    const server::ServerConfig& config,
+    const std::vector<workload::WorkloadQuery>& queries, int threads) {
+  obs::Trace().Drain();
+  if (threads > 0) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%d", threads);
+    setenv("MISO_THREADS", buf, /*overwrite=*/1);
+  }
+  ServedRun run;
+  {
+    server::ServerConfig cfg = config;
+    if (cfg.expected_sessions == 0) {
+      cfg.expected_sessions = static_cast<int>(queries.size());
+    }
+    server::MisoServer server(&testing_util::PaperCatalog(), cfg);
+    std::vector<std::future<server::SessionResult>> futures;
+    futures.reserve(queries.size());
+    for (const workload::WorkloadQuery& q : queries) {
+      futures.push_back(server.Submit(q));
+    }
+    server.Close();
+    for (std::future<server::SessionResult>& f : futures) {
+      run.sessions.push_back(f.get());
+    }
+    Result<sim::RunReport> report = server.Finish();
+    if (threads > 0) unsetenv("MISO_THREADS");
+    if (!report.ok()) return report.status();
+    run.report = std::move(*report);
+  }
+  run.trace = obs::Trace().Drain();
+  return run;
+}
+
+inline int CountEvents(const std::vector<std::string>& trace,
+                       const char* kind) {
+  const std::string needle = std::string("{\"event\":\"") + kind + "\"";
+  int count = 0;
+  for (const std::string& line : trace) {
+    if (line.rfind(needle, 0) == 0) ++count;
+  }
+  return count;
+}
+
+}  // namespace miso::server_testing
+
+#endif  // MISO_TESTS_SERVER_SERVER_TEST_UTIL_H_

@@ -211,6 +211,71 @@ TEST(ReorgJournalTest, CrashBeforeZeroAppliesNothingAndResumeDoesItAll) {
   EXPECT_TRUE(journal.Complete());
 }
 
+TEST(ReorgJournalTest, ApplyStepWalksTheJournalOneAtomicStepAtATime) {
+  // The online server's protocol: a full sequence of ApplyStep calls must
+  // be step-for-step identical to one Apply — same catalogs, same charges
+  // — with a journal-consistent design after *every* step.
+  Fixture stepped;
+  Fixture batch;
+  MISO_ASSERT_OK_AND_ASSIGN(
+      ReorgJournal step_journal,
+      ReorgJournal::Create(stepped.plan, stepped.hv, stepped.dw));
+  MISO_ASSERT_OK_AND_ASSIGN(ReorgJournal batch_journal,
+                            ReorgJournal::Create(batch.plan, batch.hv, batch.dw));
+
+  ReorgJournal::Outcome total;
+  for (int i = 0; i < step_journal.num_entries(); ++i) {
+    EXPECT_EQ(step_journal.next_unapplied(), i);
+    MISO_ASSERT_OK_AND_ASSIGN(ReorgJournal::Outcome one,
+                              step_journal.ApplyStep(&stepped.hv, &stepped.dw));
+    EXPECT_EQ(one.steps, 1);
+    total.steps += one.steps;
+    total.bytes_to_dw += one.bytes_to_dw;
+    total.bytes_to_hv += one.bytes_to_hv;
+    EXPECT_EQ(step_journal.num_applied(), i + 1);
+    // V209 holds at every step boundary — the invariant the server's
+    // epoch discipline relies on.
+    MISO_EXPECT_OK(
+        verify::VerifyJournalConsistency(step_journal, stepped.hv, stepped.dw));
+  }
+  EXPECT_TRUE(step_journal.Complete());
+  EXPECT_EQ(step_journal.next_unapplied(), step_journal.num_entries());
+
+  MISO_ASSERT_OK_AND_ASSIGN(ReorgJournal::Outcome batch_outcome,
+                            batch_journal.Apply(&batch.hv, &batch.dw));
+  EXPECT_EQ(total.steps, batch_outcome.steps);
+  EXPECT_EQ(total.bytes_to_dw, batch_outcome.bytes_to_dw);
+  EXPECT_EQ(total.bytes_to_hv, batch_outcome.bytes_to_hv);
+  EXPECT_EQ(stepped.hv.used_bytes(), batch.hv.used_bytes());
+  EXPECT_EQ(stepped.dw.used_bytes(), batch.dw.used_bytes());
+
+  // On a complete journal, ApplyStep is a no-op.
+  MISO_ASSERT_OK_AND_ASSIGN(ReorgJournal::Outcome extra,
+                            step_journal.ApplyStep(&stepped.hv, &stepped.dw));
+  EXPECT_EQ(extra.steps, 0);
+  EXPECT_EQ(extra.bytes_to_dw, 0u);
+  EXPECT_EQ(extra.bytes_to_hv, 0u);
+}
+
+TEST(ReorgJournalTest, ApplyStepThenRollbackRestoresThePreReorgDesign) {
+  // Stepping part-way and rolling back must behave exactly like a crash
+  // at the same boundary: the pre-reorg design comes back byte-exact.
+  Fixture f;
+  const Bytes hv_before = f.hv.used_bytes();
+  const Bytes dw_before = f.dw.used_bytes();
+  MISO_ASSERT_OK_AND_ASSIGN(ReorgJournal journal,
+                            ReorgJournal::Create(f.plan, f.hv, f.dw));
+  MISO_ASSERT_OK(journal.ApplyStep(&f.hv, &f.dw).status());
+  MISO_ASSERT_OK(journal.ApplyStep(&f.hv, &f.dw).status());
+  EXPECT_EQ(journal.num_applied(), 2);
+  MISO_ASSERT_OK(
+      journal.Recover(RecoveryPolicy::kRollback, &f.hv, &f.dw).status());
+  EXPECT_EQ(f.hv.used_bytes(), hv_before);
+  EXPECT_EQ(f.dw.used_bytes(), dw_before);
+  for (views::ViewId id : {1, 2, 3}) EXPECT_TRUE(f.hv.Contains(id));
+  for (views::ViewId id : {4, 5}) EXPECT_TRUE(f.dw.Contains(id));
+}
+
 TEST(JournalVerifierTest, HalfAppliedJournalFailsV209UntilRecovered) {
   // A crash whose recovery never ran: the catalogs match the journal
   // entry-by-entry (so no V209), but... mutate the catalogs behind the

@@ -10,6 +10,10 @@
 # *ratios* (e.g. BM_ReorgCadenceColdCache vs BM_ReorgCadenceWarmCache)
 # across snapshots, not absolute nanoseconds.
 #
+# A second snapshot ({"server": ...}, BENCH_server.json by default) covers
+# bench_server — session throughput and p99 session latency of the online
+# server's admission pipeline, online vs stop-the-world cadence.
+#
 # Refuses to run against a non-Release build dir (exit 2): every committed
 # snapshot carries library_build_type=release in its google-benchmark
 # context blocks, and numbers from Debug / RelWithDebInfo / sanitizer
@@ -17,16 +21,19 @@
 # the build dir's CMakeCache.txt.
 #
 # Usage: tools/bench_snapshot.sh [--build-dir DIR] [--out FILE]
+#                                [--server-out FILE]
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="$ROOT/build"
 OUT="$ROOT/BENCH_tuner.json"
+SERVER_OUT="$ROOT/BENCH_server.json"
 
 while [ "$#" -gt 0 ]; do
   case "$1" in
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
     --out) OUT="$2"; shift 2 ;;
+    --server-out) SERVER_OUT="$2"; shift 2 ;;
     -h|--help)
       sed -n '2,19p' "$0" | sed 's/^# \{0,1\}//'
       exit 0 ;;
@@ -48,7 +55,8 @@ fi
 
 TUNER_BIN="$BUILD_DIR/bench/bench_micro_tuner"
 OPT_BIN="$BUILD_DIR/bench/bench_micro_optimizer"
-for bin in "$TUNER_BIN" "$OPT_BIN"; do
+SERVER_BIN="$BUILD_DIR/bench/bench_server"
+for bin in "$TUNER_BIN" "$OPT_BIN" "$SERVER_BIN"; do
   if [ ! -x "$bin" ]; then
     echo "bench_snapshot.sh: $bin not built (cmake --build $BUILD_DIR)" >&2
     exit 1
@@ -65,19 +73,30 @@ echo "== bench_snapshot: running bench_micro_optimizer"
 "$OPT_BIN" --benchmark_out="$TMP/optimizer.json" \
            --benchmark_out_format=json >/dev/null
 
-python3 - "$TMP/tuner.json" "$TMP/optimizer.json" "$OUT" <<'EOF'
+echo "== bench_snapshot: running bench_server"
+"$SERVER_BIN" --benchmark_out="$TMP/server.json" \
+              --benchmark_out_format=json >/dev/null
+
+python3 - "$TMP/tuner.json" "$TMP/optimizer.json" "$TMP/server.json" \
+          "$OUT" "$SERVER_OUT" <<'EOF'
 import json
 import sys
 
-tuner_path, optimizer_path, out_path = sys.argv[1:4]
+tuner_path, optimizer_path, server_path, out_path, server_out_path = \
+    sys.argv[1:6]
 with open(tuner_path) as f:
     tuner = json.load(f)
 with open(optimizer_path) as f:
     optimizer = json.load(f)
+with open(server_path) as f:
+    server = json.load(f)
 with open(out_path, "w") as f:
     json.dump({"tuner": tuner, "optimizer": optimizer}, f, indent=2,
               sort_keys=True)
     f.write("\n")
+with open(server_out_path, "w") as f:
+    json.dump({"server": server}, f, indent=2, sort_keys=True)
+    f.write("\n")
 EOF
 
-echo "== bench_snapshot: wrote $OUT"
+echo "== bench_snapshot: wrote $OUT and $SERVER_OUT"

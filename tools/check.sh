@@ -35,6 +35,13 @@
 # MISO_THREADS, DW-outage degradation, crash-safe reorganization,
 # exhaustion propagation). The script fails if the label is empty.
 #
+# With --server the run is restricted to the `server` ctest label — the
+# online-server battery (the ~2,000-session admission stress sweep with
+# byte-identity across MISO_THREADS {1,2,8}, the randomized-interleaving
+# epoch-discipline property battery, the fault-interplay regressions, and
+# the online-vs-batch replay comparisons). The script fails if the label
+# is empty.
+#
 # With --lint the run is restricted to the `static_analysis` ctest label:
 # miso-lint (the project's dependency-free determinism & thread-safety
 # checker, tools/miso_lint.cc — rules [L001]..[L006], DESIGN.md section 13)
@@ -43,7 +50,8 @@
 # clang_tidy test may legitimately report SKIPPED on gcc-only machines,
 # but the lint gate itself must never be vacuous.
 #
-# Usage: tools/check.sh [--tsan] [--obs] [--perf] [--fault] [--lint]
+# Usage: tools/check.sh [--tsan] [--obs] [--perf] [--fault] [--server]
+#                       [--lint]
 #                       [--jobs N] [--build-dir DIR] [--tidy-only]
 #                       [--label L]   (restrict the test run to ctest -L L)
 set -euo pipefail
@@ -57,6 +65,7 @@ TSAN=0
 OBS=0
 PERF=0
 FAULT=0
+SERVER=0
 LINT=0
 LABEL=""
 
@@ -66,6 +75,7 @@ while [ "$#" -gt 0 ]; do
     --obs) OBS=1; LABEL="obs"; shift ;;
     --perf) PERF=1; LABEL="perf"; shift ;;
     --fault) FAULT=1; LABEL="fault"; shift ;;
+    --server) SERVER=1; LABEL="server"; shift ;;
     --lint) LINT=1; LABEL="static_analysis"; shift ;;
     --jobs) JOBS="$2"; shift 2 ;;
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
@@ -167,6 +177,17 @@ if [ "$FAULT" -eq 1 ]; then
     exit 1
   fi
   echo "== check.sh: fault gate covers $FAULT_COUNT chaos tests"
+fi
+
+if [ "$SERVER" -eq 1 ]; then
+  SERVER_COUNT="$(ctest --test-dir "$BUILD_DIR" -L server -N |
+                  sed -n 's/^Total Tests: \([0-9]*\)$/\1/p')"
+  if [ -z "$SERVER_COUNT" ] || [ "$SERVER_COUNT" -eq 0 ]; then
+    echo "check.sh: the 'server' ctest label is empty — the online-server" \
+         "gate would be vacuous" >&2
+    exit 1
+  fi
+  echo "== check.sh: server gate covers $SERVER_COUNT online-server tests"
 fi
 
 if [ "$LINT" -eq 1 ]; then
