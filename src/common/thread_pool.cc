@@ -100,16 +100,28 @@ int ThreadPool::DefaultThreadCount() {
 
 void ParallelFor(ThreadPool* pool, int n,
                  const std::function<void(int)>& body) {
+  ParallelFor(pool, n, body, ParallelForOptions{});
+}
+
+void ParallelFor(ThreadPool* pool, int n, const std::function<void(int)>& body,
+                 const ParallelForOptions& options) {
   if (n <= 0) return;
-  if (pool == nullptr || pool->num_threads() <= 1 || pool->InWorkerThread()) {
+  // MISO_PARALLEL_GRAIN, when set, overrides every caller's grain — the
+  // knob behind the grain-sweep byte-identity tests and ad-hoc perf
+  // experiments. Strict parsing: garbage exits with a diagnostic.
+  const int grain =
+      EnvInt("MISO_PARALLEL_GRAIN", std::max(1, options.grain), 1);
+  if (pool == nullptr || pool->num_threads() <= 1 || pool->InWorkerThread() ||
+      n <= grain) {
     for (int i = 0; i < n; ++i) body(i);
     return;
   }
 
-  // Contiguous chunks, several per worker for load balance. A chunk that
-  // throws abandons its own remaining indices (as the serial loop would)
-  // without affecting other chunks.
-  const int chunks = std::min(n, pool->num_threads() * 4);
+  // Contiguous chunks of at least `grain` indices, several per worker for
+  // load balance. A chunk that throws abandons its own remaining indices
+  // (as the serial loop would) without affecting other chunks.
+  const int chunks =
+      std::min(std::min(n, pool->num_threads() * 4), (n + grain - 1) / grain);
   const int chunk_size = (n + chunks - 1) / chunks;
   std::vector<std::future<void>> futures;
   futures.reserve(static_cast<std::size_t>(chunks));

@@ -91,22 +91,50 @@ class ThreadPool {
   std::atomic<int64_t> queue_high_water_{0};
 };
 
+/// Batching knobs for `ParallelFor`.
+struct ParallelForOptions {
+  /// Minimum number of indices packed into one pool task (the *grain*).
+  /// Submitting a pool task costs a packaged_task allocation, a mutex
+  /// round-trip, and a condvar wake — several microseconds — so a body
+  /// that runs in hundreds of nanoseconds must be batched by the hundreds
+  /// to amortize it. Pick the grain so one task is at least ~50 µs of
+  /// work. When `n <= grain` the whole loop runs inline on the caller
+  /// (zero pool traffic), which is also the fast path that keeps tiny
+  /// fan-outs from paying any scheduling tax at all.
+  ///
+  /// The grain can never change results: indices are still executed
+  /// exactly once, each writing its own slot, and all reductions remain
+  /// serial in index order in the caller (see the determinism contract
+  /// below). The `MISO_PARALLEL_GRAIN` environment variable, when set,
+  /// overrides the grain of every call — the grain-sweep byte-identity
+  /// tests pin that outputs are independent of it.
+  int grain = 1;
+};
+
 /// Runs `body(0) .. body(n-1)` over the pool in contiguous index chunks
 /// and waits for all of them. Falls back to a plain serial loop — the
-/// exact legacy code path — when `pool` is null, has a single worker, or
+/// exact legacy code path — when `pool` is null, has a single worker,
 /// the caller already *is* one of the pool's workers (nested parallelism
 /// would deadlock on the bounded queue, and inline execution keeps the
-/// nesting deterministic).
+/// nesting deterministic), or `n` does not exceed the grain.
 ///
 /// Determinism contract: each index must write only to its own
 /// caller-owned slot (and read only shared immutable state), so the
-/// result vector is identical regardless of thread count or completion
-/// order; any cross-index reduction happens in the caller afterwards, in
-/// index order. If bodies throw, the exception from the lowest-indexed
-/// throwing chunk is rethrown after every chunk has finished (no body
-/// keeps running once ParallelFor returns).
+/// result vector is identical regardless of thread count, grain, or
+/// completion order; any cross-index reduction happens in the caller
+/// afterwards, in index order. If bodies throw, the exception from the
+/// lowest-indexed throwing chunk is rethrown after every chunk has
+/// finished (no body keeps running once ParallelFor returns).
 void ParallelFor(ThreadPool* pool, int n,
                  const std::function<void(int)>& body);
+
+/// As above, with explicit batching options: chunks hold at least
+/// `options.grain` indices each (still contiguous, still at most
+/// 4 * num_threads chunks), and loops of `n <= grain` run inline without
+/// touching the pool. `ParallelFor(pool, n, body)` is exactly
+/// `ParallelFor(pool, n, body, {})`.
+void ParallelFor(ThreadPool* pool, int n, const std::function<void(int)>& body,
+                 const ParallelForOptions& options);
 
 }  // namespace miso
 

@@ -1,7 +1,10 @@
 #include "optimizer/multistore_optimizer.h"
 
 #include <algorithm>
+#include <bit>
+#include <optional>
 
+#include "common/hash.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
 #include "obs/trace.h"
@@ -28,6 +31,53 @@ struct WhatIfScope {
   ~WhatIfScope() { --t_whatif_depth; }
 };
 
+/// Batch size for parallel candidate costing. One `CostSplit` is a few
+/// microseconds of tree-walking — far below the cost of scheduling a pool
+/// task — so candidates are costed in batches: a typical query's whole
+/// candidate list (tens of splits) runs inline, and only genuinely large
+/// enumerations fan out. docs/PERFORMANCE.md records the calibration.
+constexpr ParallelForOptions kCostingBatch{/*grain=*/16};
+
+/// Structural identity of a (possibly rewritten) plan tree for the
+/// `WhatIfSession` memo. Covers, per node, every field the split
+/// enumerator and the cost models read — operator kind, the canonical
+/// subexpression signature, output stats, DW-executability, the ViewScan
+/// content signature and store, UDF cost parameters, and the filter
+/// selectivity the DW index-pruning rule applies — recursively over the
+/// children in order. Two trees with equal hashes therefore cost
+/// identically in every split, so a memoized best-split total transfers
+/// exactly (modulo 64-bit collisions, the `WhatIfCache::Fingerprint`
+/// contract this repo already relies on).
+uint64_t StructuralPlanHash(const NodePtr& node) {
+  uint64_t h = HashCombine(static_cast<uint64_t>(node->kind()),
+                           node->signature());
+  h = HashCombine(h, static_cast<uint64_t>(node->stats().rows));
+  h = HashCombine(h, static_cast<uint64_t>(node->stats().bytes));
+  h = HashCombine(h, node->dw_executable() ? 1 : 0);
+  switch (node->kind()) {
+    case OpKind::kViewScan:
+      h = HashCombine(h, node->view_scan().view_signature);
+      h = HashCombine(h, static_cast<uint64_t>(node->view_scan().store));
+      break;
+    case OpKind::kUdf:
+      h = HashCombine(h, std::bit_cast<uint64_t>(node->udf().cpu_factor));
+      h = HashCombine(h, std::bit_cast<uint64_t>(node->udf().size_factor));
+      h = HashCombine(h,
+                      std::bit_cast<uint64_t>(node->udf().row_selectivity));
+      break;
+    case OpKind::kFilter:
+      h = HashCombine(h, std::bit_cast<uint64_t>(
+                             node->filter().predicate.Selectivity()));
+      break;
+    default:
+      break;
+  }
+  for (const NodePtr& child : node->children()) {
+    h = HashCombine(h, StructuralPlanHash(child));
+  }
+  return h;
+}
+
 /// The five-part cost anatomy of Fig. 3 — HV prefix, dump, network
 /// transfer, DW load, DW suffix. `CostBreakdown` folds network+load into
 /// one `transfer_load_s` figure; the transfer model's `TransferBreakdown`
@@ -51,6 +101,23 @@ void AddAnatomyFields(obs::TraceEvent& event, const MultistorePlan& plan,
 
 Result<MultistorePlan> MultistoreOptimizer::CostSplit(
     const plan::Plan& executed, const SplitCandidate& split) const {
+  return CostSplit(executed, split, /*hv_costs=*/nullptr);
+}
+
+Result<MultistorePlan> MultistoreOptimizer::CostSplit(
+    const plan::Plan& executed, const SplitCandidate& split,
+    const HvSubtreeCosts* hv_costs) const {
+  // The same cut subtree heads many candidates of one enumeration, and its
+  // HV cost is a pure function of the immutable subtree; when the caller
+  // precomputed the shared memo, look the Result up instead of re-walking.
+  const auto subtree_cost = [&](const NodePtr& node) -> Result<Seconds> {
+    if (hv_costs != nullptr) {
+      const auto it = hv_costs->find(node.get());
+      if (it != hv_costs->end()) return it->second;
+    }
+    return hv_model_->SubtreeCost(node);
+  };
+
   MultistorePlan ms;
   ms.executed = executed;
   ms.dw_side = split.dw_side;
@@ -59,8 +126,7 @@ Result<MultistorePlan> MultistoreOptimizer::CostSplit(
   // HV side: each cut input heads an HV-executed subtree; when the DW side
   // is empty the whole plan runs in HV.
   if (split.dw_side.empty()) {
-    MISO_ASSIGN_OR_RETURN(Seconds hv_cost,
-                          hv_model_->SubtreeCost(executed.root()));
+    MISO_ASSIGN_OR_RETURN(Seconds hv_cost, subtree_cost(executed.root()));
     ms.cost.hv_exec_s = hv_cost;
     return ms;
   }
@@ -79,7 +145,7 @@ Result<MultistorePlan> MultistoreOptimizer::CostSplit(
       ms.cost.hv_exec_s += hv_config.job_startup_s +
                            std::max(read, hv_config.job_min_work_s);
     } else {
-      MISO_ASSIGN_OR_RETURN(Seconds hv_cost, hv_model_->SubtreeCost(cut));
+      MISO_ASSIGN_OR_RETURN(Seconds hv_cost, subtree_cost(cut));
       ms.cost.hv_exec_s += hv_cost;
     }
   }
@@ -98,21 +164,56 @@ Result<MultistorePlan> MultistoreOptimizer::CostSplit(
   return ms;
 }
 
+MultistoreOptimizer::HvSubtreeCosts
+MultistoreOptimizer::PrecomputeHvSubtreeCosts(
+    const plan::Plan& executed,
+    const std::vector<SplitCandidate>& candidates) const {
+  HvSubtreeCosts costs;
+  for (const SplitCandidate& split : candidates) {
+    if (split.dw_side.empty()) {
+      if (costs.find(executed.root().get()) == costs.end()) {
+        costs.emplace(executed.root().get(),
+                      hv_model_->SubtreeCost(executed.root()));
+      }
+      continue;
+    }
+    for (const NodePtr& cut : split.cut_inputs) {
+      // Leaf cut inputs (Scan / ViewScan) use the map-only export formula
+      // in CostSplit, not SubtreeCost — skip them here too.
+      if (cut->kind() == OpKind::kScan || cut->kind() == OpKind::kViewScan) {
+        continue;
+      }
+      if (costs.find(cut.get()) == costs.end()) {
+        costs.emplace(cut.get(), hv_model_->SubtreeCost(cut));
+      }
+    }
+  }
+  return costs;
+}
+
 Result<MultistorePlan> MultistoreOptimizer::BestSplit(
     const plan::Plan& executed) const {
   MISO_ASSIGN_OR_RETURN(std::vector<SplitCandidate> candidates,
                         EnumerateSplits(executed.root(),
                                         /*max_candidates=*/100000, pool_));
+  // One SubtreeCost per distinct cut subtree, shared by every candidate it
+  // heads (dedup of pure recomputation — each stored Result is exactly what
+  // the per-candidate walk would produce).
+  const HvSubtreeCosts hv_costs =
+      PrecomputeHvSubtreeCosts(executed, candidates);
   // Cost every candidate into its own slot (independent work over
   // immutable inputs), then reduce serially in candidate order: the
   // strict < keeps the earliest minimum, and errors surface for the
   // lowest-indexed failing candidate — both exactly as the serial loop.
   std::vector<Result<MultistorePlan>> costed(
       candidates.size(), Status::Internal("candidate not costed"));
-  ParallelFor(pool_, static_cast<int>(candidates.size()), [&](int i) {
-    costed[static_cast<size_t>(i)] =
-        CostSplit(executed, candidates[static_cast<size_t>(i)]);
-  });
+  ParallelFor(
+      pool_, static_cast<int>(candidates.size()),
+      [&](int i) {
+        costed[static_cast<size_t>(i)] = CostSplit(
+            executed, candidates[static_cast<size_t>(i)], &hv_costs);
+      },
+      kCostingBatch);
   if (obs::MetricsOn()) {
     obs::Metrics()
         .GetCounter(obs::names::kCandidatesCosted)
@@ -163,13 +264,26 @@ Result<MultistorePlan> MultistoreOptimizer::Optimize(
       query, hv_views, StoreKind::kHv, /*report=*/nullptr);
   MISO_RETURN_IF_ERROR(with_hv.status());
 
-  // Rewrites preserve canonical identity, so structural dedup is not
-  // possible by signature; costing a duplicate variant is cheap, so all
-  // four are always evaluated.
-  std::vector<const plan::Plan*> variants = {
-      &with_both.value(), &with_dw.value(), &with_hv.value(), &query};
+  // Rewrites preserve canonical identity, so signatures cannot distinguish
+  // the variants — but a rewrite that changed nothing hands back the
+  // query's own root node, so pointer-equal roots are the same tree and
+  // would yield byte-identical BestSplit results. Skipping them keeps the
+  // first occurrence, which the strict-< reduce would keep anyway.
+  const plan::Plan* all_variants[4] = {&with_both.value(), &with_dw.value(),
+                                       &with_hv.value(), &query};
+  const plan::Plan* variants[4];
+  int num_variants = 0;
+  for (const plan::Plan* variant : all_variants) {
+    bool duplicate = false;
+    for (int i = 0; i < num_variants; ++i) {
+      duplicate = duplicate || variants[i]->root().get() ==
+                                   variant->root().get();
+    }
+    if (!duplicate) variants[num_variants++] = variant;
+  }
 
-  for (const plan::Plan* variant : variants) {
+  for (int v = 0; v < num_variants; ++v) {
+    const plan::Plan* variant = variants[v];
     Result<MultistorePlan> candidate = BestSplit(*variant);
     if (!candidate.ok()) {
       if (candidate.status().code() == StatusCode::kFailedPrecondition) {
@@ -242,20 +356,24 @@ Result<std::vector<MultistorePlan>> MultistoreOptimizer::EnumerateAllPlans(
   MISO_ASSIGN_OR_RETURN(std::vector<SplitCandidate> candidates,
                         EnumerateSplits(query.root(),
                                         /*max_candidates=*/100000, pool_));
+  const HvSubtreeCosts hv_costs = PrecomputeHvSubtreeCosts(query, candidates);
   // Per-candidate costing + verification is independent; slots keep the
   // enumeration order, so the returned population is bit-identical to
   // the serial path for any thread count.
   std::vector<Result<MultistorePlan>> costed(
       candidates.size(), Status::Internal("candidate not costed"));
-  ParallelFor(pool_, static_cast<int>(candidates.size()), [&](int i) {
-    Result<MultistorePlan> one =
-        CostSplit(query, candidates[static_cast<size_t>(i)]);
-    if (one.ok() && verify::Enabled()) {
-      const Status verdict = verify::VerifyMultistorePlan(*one);
-      if (!verdict.ok()) one = verdict;
-    }
-    costed[static_cast<size_t>(i)] = std::move(one);
-  });
+  ParallelFor(
+      pool_, static_cast<int>(candidates.size()),
+      [&](int i) {
+        Result<MultistorePlan> one = CostSplit(
+            query, candidates[static_cast<size_t>(i)], &hv_costs);
+        if (one.ok() && verify::Enabled()) {
+          const Status verdict = verify::VerifyMultistorePlan(*one);
+          if (!verdict.ok()) one = verdict;
+        }
+        costed[static_cast<size_t>(i)] = std::move(one);
+      },
+      kCostingBatch);
   if (obs::MetricsOn()) {
     obs::Metrics()
         .GetCounter(obs::names::kCandidatesCosted)
@@ -291,6 +409,130 @@ Result<Seconds> MultistoreOptimizer::WhatIfCost(
   MISO_ASSIGN_OR_RETURN(MultistorePlan best,
                         Optimize(query, dw_views, hv_views));
   return best.cost.Total();
+}
+
+Result<Seconds> MultistoreOptimizer::SessionBestSplitTotal(
+    const plan::Plan& executed, WhatIfSession* session) const {
+  const uint64_t key = StructuralPlanHash(executed.root());
+  MutexLock lock(session->mu_);
+  const auto it = session->best_split_totals_.find(key);
+  if (it != session->best_split_totals_.end()) return it->second;
+  // Solve under the lock: each key is enumerated and costed exactly once
+  // per session regardless of thread count, so the optimizer's costing
+  // counters stay deterministic. Deadlock-free: a worker holding the lock
+  // runs BestSplit's nested ParallelFor inline (pool nesting detection),
+  // and a non-worker caller never holds the lock while waiting on pool
+  // futures it could starve — other probes merely queue behind the lock.
+  Result<MultistorePlan> best = BestSplit(executed);
+  const Result<Seconds> total = best.ok() ? Result<Seconds>(best->cost.Total())
+                                          : Result<Seconds>(best.status());
+  // Sessions may be tuner-lifetime (a long-running server re-tunes
+  // indefinitely); bound the memo by resetting when full — always safe for
+  // a pure memo, and one reorg's worth of distinct variants is hundreds.
+  if (session->best_split_totals_.size() >= WhatIfSession::kMaxEntries) {
+    session->best_split_totals_.clear();
+  }
+  session->best_split_totals_.emplace(key, total);
+  return total;
+}
+
+Result<Seconds> MultistoreOptimizer::WhatIfCost(
+    const plan::Plan& query, const views::ViewCatalog& dw_views,
+    const views::ViewCatalog& hv_views,
+    WhatIfSession* session) const {
+  // The verified path re-checks every winning probe plan against the probe
+  // catalogs; a memo hit has no plan to verify, so verification builds use
+  // the plain path (and get the plain path's exact behavior).
+  if (session == nullptr || verify::Enabled()) {
+    return WhatIfCost(query, dw_views, hv_views);
+  }
+  WhatIfScope probe;  // suppress per-probe plan_choice trace lines
+  if (obs::MetricsOn()) {
+    obs::Metrics().GetCounter(obs::names::kWhatIfProbes)->Increment();
+  }
+  // Probe-level memo: the answer is a pure function of (query tree, DW
+  // catalog content, HV catalog content), so a repeat probe — typical
+  // across successive tuning passes sharing window and candidates — skips
+  // even the rewrites.
+  const uint64_t probe_key = HashCombine(
+      query.signature(), HashCombine(dw_views.ContentFingerprint(),
+                                     hv_views.ContentFingerprint()));
+  {
+    MutexLock lock(session->mu_);
+    const auto it = session->probe_totals_.find(probe_key);
+    if (it != session->probe_totals_.end()) return it->second;
+  }
+  // Same variant set and reduction as Optimize; only the total of each
+  // variant's best split is needed, and that total is a pure function of
+  // the variant tree, so each resolves through the session memo. Variants
+  // provably identical to another are skipped before even rewriting:
+  //  - an empty catalog never matches (`TryStore` finds nothing), so its
+  //    single-store rewrite is the bare query, and the combined rewrite
+  //    collapses to the other store's single-store rewrite;
+  //  - `TryStore`'s choice is a function of (node, catalog) only — the
+  //    store argument just tags the spliced ViewScan — so with the *same*
+  //    catalog on both stores the combined rewrite (DW preferred at every
+  //    node) picks exactly the DW-only rewrite's matches.
+  // What-if probes hit these shapes constantly (a hypothetical design is
+  // the same candidate set in one or both stores); Optimize keeps the full
+  // four-variant evaluation, whose winner must carry a concrete plan.
+  const bool dw_empty = dw_views.empty();
+  const bool hv_empty = hv_views.empty();
+  std::optional<plan::Plan> with_both;
+  std::optional<plan::Plan> with_dw;
+  std::optional<plan::Plan> with_hv;
+  if (!dw_empty) {
+    MISO_ASSIGN_OR_RETURN(
+        with_dw, rewriter_.RewriteSingleStore(query, dw_views, StoreKind::kDw,
+                                              /*report=*/nullptr));
+  }
+  if (!hv_empty) {
+    MISO_ASSIGN_OR_RETURN(
+        with_hv, rewriter_.RewriteSingleStore(query, hv_views, StoreKind::kHv,
+                                              /*report=*/nullptr));
+  }
+  if (!dw_empty && !hv_empty && &dw_views != &hv_views) {
+    MISO_ASSIGN_OR_RETURN(
+        with_both, rewriter_.Rewrite(query, dw_views, hv_views,
+                                     /*report=*/nullptr));
+  }
+  const plan::Plan* all_variants[4] = {
+      with_both.has_value() ? &*with_both : nullptr,
+      with_dw.has_value() ? &*with_dw : nullptr,
+      with_hv.has_value() ? &*with_hv : nullptr, &query};
+  const plan::Plan* variants[4];
+  int num_variants = 0;
+  for (const plan::Plan* variant : all_variants) {
+    if (variant == nullptr) continue;
+    bool duplicate = false;
+    for (int i = 0; i < num_variants; ++i) {
+      duplicate = duplicate || variants[i]->root().get() ==
+                                   variant->root().get();
+    }
+    if (!duplicate) variants[num_variants++] = variant;
+  }
+  Result<Seconds> best = Status::Internal("optimizer produced no plan");
+  for (int v = 0; v < num_variants; ++v) {
+    Result<Seconds> total = SessionBestSplitTotal(*variants[v], session);
+    if (!total.ok()) {
+      if (total.status().code() == StatusCode::kFailedPrecondition) {
+        continue;  // this rewrite admits no feasible split
+      }
+      // Hard errors propagate unmemoized: they abort the tuning pass
+      // anyway, and memoizing only complete answers keeps the probe map
+      // trivially consistent.
+      return total.status();
+    }
+    if (!best.ok() || *total < *best) best = total;
+  }
+  {
+    MutexLock lock(session->mu_);
+    if (session->probe_totals_.size() >= WhatIfSession::kMaxEntries) {
+      session->probe_totals_.clear();
+    }
+    session->probe_totals_.emplace(probe_key, best);
+  }
+  return best;
 }
 
 }  // namespace miso::optimizer

@@ -17,16 +17,10 @@ uint64_t HashDouble(uint64_t h, double v) {
   return HashCombine(h, bits);
 }
 
-/// Everything about one view that a rewrite can expose to the cost model.
+/// Everything about one view that a rewrite can expose to the cost model
+/// (single-sourced in View so every content-identity cache aliases alike).
 uint64_t ViewFingerprint(const views::View& view) {
-  uint64_t h = kFnvOffsetBasis;
-  h = HashU64(h, view.signature);
-  h = HashU64(h, view.base_signature);
-  h = HashU64(h, HashBytes(view.predicate.CanonicalString()));
-  h = HashU64(h, static_cast<uint64_t>(view.size_bytes));
-  h = HashU64(h, static_cast<uint64_t>(view.stats.rows));
-  h = HashU64(h, static_cast<uint64_t>(view.stats.bytes));
-  return h;
+  return view.ContentFingerprint();
 }
 
 }  // namespace

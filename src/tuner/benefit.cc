@@ -70,7 +70,7 @@ Result<Seconds> BenefitAnalyzer::Probe(std::size_t query_index,
       placement == Placement::kHvOnly ? empty : hypothetical;
   const views::ViewCatalog& hv =
       placement == Placement::kDwOnly ? empty : hypothetical;
-  return optimizer_->WhatIfCost(window_[query_index], dw, hv);
+  return optimizer_->WhatIfCost(window_[query_index], dw, hv, session_);
 }
 
 Status BenefitAnalyzer::SetWindow(std::vector<plan::Plan> window) {
@@ -96,7 +96,11 @@ Status BenefitAnalyzer::SetWindow(std::vector<plan::Plan> window) {
     if (hit.has_value()) {
       cost = *hit;
     } else {
-      MISO_ASSIGN_OR_RETURN(cost, optimizer_->WhatIfCost(q, empty, empty));
+      // Base-cost probes also seed the session's variant memo: the bare
+      // query is the empty design's only rewrite variant and recurs in
+      // every later probe of the same query.
+      MISO_ASSIGN_OR_RETURN(
+          cost, optimizer_->WhatIfCost(q, empty, empty, session_));
       if (cache_ != nullptr) cache_->Insert(key, cost);
     }
     base_costs_.push_back(cost);
@@ -112,6 +116,24 @@ double BenefitAnalyzer::Weight(int pos) const {
   return std::pow(decay_, epoch_age);
 }
 
+std::vector<views::View> BenefitAnalyzer::RelevantSubset(
+    std::size_t query_index, const std::vector<views::View>& set) const {
+  std::vector<views::View> subset;
+  for (const views::View& view : set) {
+    if (shapes_[query_index].Relevant(view)) subset.push_back(view);
+  }
+  return subset;
+}
+
+std::vector<uint64_t> BenefitAnalyzer::RelevantMask(
+    const views::View& view) const {
+  std::vector<uint64_t> mask((window_.size() + 63) / 64, 0);
+  for (std::size_t q = 0; q < window_.size(); ++q) {
+    if (shapes_[q].Relevant(view)) mask[q / 64] |= uint64_t{1} << (q % 64);
+  }
+  return mask;
+}
+
 Result<std::vector<double>> BenefitAnalyzer::ComputeRow(
     const std::vector<views::View>& set, Placement placement) {
   std::vector<double> benefits(window_.size(), 0.0);
@@ -123,6 +145,16 @@ Result<std::vector<double>> BenefitAnalyzer::ComputeRow(
     // Relevance fast path: a query no member view can rewrite keeps its
     // base cost exactly, so its benefit is 0 — no probe, no cache access.
     if (!shapes_[i].AnyRelevant(set)) continue;
+    // Subset reduction: the cost depends only on the relevant members, so
+    // a memoized row for exactly that subset already holds this query's
+    // benefit (typical when singles were prewarmed before pairs).
+    if (const std::vector<views::View> subset = RelevantSubset(i, set);
+        subset.size() < set.size()) {
+      if (auto it = memo_.find(KeyOf(subset, placement)); it != memo_.end()) {
+        benefits[i] = it->second[i];
+        continue;
+      }
+    }
     Seconds cost = 0;
     std::optional<optimizer::WhatIfKey> key;
     if (cache_ != nullptr) key = ProbeKey(i, set, placement);
@@ -138,7 +170,8 @@ Result<std::vector<double>> BenefitAnalyzer::ComputeRow(
           placement == Placement::kHvOnly ? empty : *hypothetical;
       const views::ViewCatalog& hv =
           placement == Placement::kDwOnly ? empty : *hypothetical;
-      MISO_ASSIGN_OR_RETURN(cost, optimizer_->WhatIfCost(window_[i], dw, hv));
+      MISO_ASSIGN_OR_RETURN(
+          cost, optimizer_->WhatIfCost(window_[i], dw, hv, session_));
       if (cache_ != nullptr) cache_->Insert(*key, cost);
     }
     benefits[i] = std::max(0.0, base_costs_[i] - cost);
@@ -195,6 +228,16 @@ Status BenefitAnalyzer::Prewarm(
     row.benefits.assign(window_.size(), 0.0);
     for (std::size_t q = 0; q < window_.size(); ++q) {
       if (!shapes_[q].AnyRelevant(set)) continue;
+      // Subset reduction, mirroring ComputeRow: an already-memoized row
+      // for the relevant subset answers the query without a probe job.
+      if (const std::vector<views::View> subset = RelevantSubset(q, set);
+          subset.size() < set.size()) {
+        if (auto mit = memo_.find(KeyOf(subset, placement));
+            mit != memo_.end()) {
+          row.benefits[q] = mit->second[q];
+          continue;
+        }
+      }
       const optimizer::WhatIfKey pk = ProbeKey(q, set, placement);
       if (cache_ != nullptr) {
         if (std::optional<Seconds> hit = cache_->Lookup(pk)) {
@@ -210,14 +253,19 @@ Status BenefitAnalyzer::Prewarm(
   }
 
   // Stage 2: the pure optimizer probes fan out, each writing only its own
-  // slot (the ParallelFor determinism contract).
+  // slot (the ParallelFor determinism contract). Probes are batched: one
+  // what-if probe is tens of microseconds, so a handful per task amortizes
+  // the submit overhead while still spreading a big prewarm across workers.
   std::vector<Result<Seconds>> costs(jobs.size(),
                                      Status::Internal("probe not run"));
-  ParallelFor(pool, static_cast<int>(jobs.size()), [&](int i) {
-    const ProbeJob& job = jobs[static_cast<std::size_t>(i)];
-    costs[static_cast<std::size_t>(i)] =
-        Probe(job.query_index, sets[job.set_index], placement);
-  });
+  ParallelFor(
+      pool, static_cast<int>(jobs.size()),
+      [&](int i) {
+        const ProbeJob& job = jobs[static_cast<std::size_t>(i)];
+        costs[static_cast<std::size_t>(i)] =
+            Probe(job.query_index, sets[job.set_index], placement);
+      },
+      ParallelForOptions{/*grain=*/4});
 
   // Stage 3, serial: surface the lowest-ordered failure (the same error a
   // serial pass would hit first) and publish costs to the shared cache in

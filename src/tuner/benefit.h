@@ -27,15 +27,24 @@ enum class Placement { kBothStores, kDwOnly, kHvOnly };
 /// both stores from scratch each reorganization, so each candidate's value
 /// is what it saves relative to having no views at all.
 ///
-/// Probe economy. Three layers avoid optimizer calls, in order:
+/// Probe economy. Five layers avoid or shrink optimizer work, in order:
 ///   1. a relevance fast path — a query that no view of the set could
 ///      ever rewrite (QueryShape::Relevant) has benefit 0 by construction,
 ///      with no probe and no cache access at all;
-///   2. the optional shared `optimizer::WhatIfCache`, keyed by (query
+///   2. subset reduction — a probe's cost depends only on the members
+///      relevant to the query, so when the reduced subset's row is already
+///      memoized (the common case: singles are prewarmed before pairs) the
+///      cost is read from it, which works even with no shared cache;
+///   3. the optional shared `optimizer::WhatIfCache`, keyed by (query
 ///      signature, relevant-subset fingerprints, placement), which
 ///      persists across analyzers and hence across reorganizations;
-///   3. a per-window memo of whole benefit rows under a hashed set key.
-/// All three are exact: enabling or disabling the cache (or `Prewarm`)
+///   4. a per-window memo of whole benefit rows under a hashed set key;
+///   5. inside probes that do reach the optimizer, a per-analyzer
+///      `optimizer::WhatIfSession` memoizes best-split totals by rewrite
+///      *variant* — distinct probes (different sets/placements) share most
+///      of their rewritten plans, so a cold pass's first probes pay for
+///      the enumeration and every later probe reuses the totals.
+/// All five are exact: enabling or disabling the cache (or `Prewarm`)
 /// never changes a returned benefit, only how much work it costs.
 ///
 /// Threading: every public method must be called from the single tuner
@@ -45,9 +54,19 @@ enum class Placement { kBothStores, kDwOnly, kHvOnly };
 /// hit/miss/eviction counts are identical for every `MISO_THREADS`.
 class BenefitAnalyzer {
  public:
+  /// `session`, when given, is a caller-owned `WhatIfSession` whose
+  /// variant-total memo outlives this analyzer — the tuner passes its own
+  /// so successive reorganizations reuse each other's best-split solves
+  /// (the totals are window- and design-independent). Null means a private
+  /// session confined to this analyzer's lifetime.
   BenefitAnalyzer(const optimizer::MultistoreOptimizer* opt, int epoch_len,
-                  double decay, optimizer::WhatIfCache* cache = nullptr)
-      : optimizer_(opt), epoch_len_(epoch_len), decay_(decay), cache_(cache) {}
+                  double decay, optimizer::WhatIfCache* cache = nullptr,
+                  optimizer::WhatIfSession* session = nullptr)
+      : optimizer_(opt),
+        epoch_len_(epoch_len),
+        decay_(decay),
+        cache_(cache),
+        session_(session != nullptr ? session : &own_session_) {}
 
   /// Sets the workload window, ordered oldest -> newest, and precomputes
   /// per-query base costs (empty design).
@@ -64,6 +83,13 @@ class BenefitAnalyzer {
   /// set has several views. Results are memoized.
   Result<std::vector<double>> PerQueryBenefit(
       const std::vector<views::View>& set, Placement placement);
+
+  /// Bitset over the window (LSB-first, 64 queries per word): bit q is set
+  /// iff `view` is relevant to window query q (QueryShape::Relevant) —
+  /// i.e. the only queries whose cost materializing `view` can change.
+  /// Callers hoist these once and probe pairs word-at-a-time (see
+  /// interaction.cc); benefit rows are zero wherever the mask is zero.
+  std::vector<uint64_t> RelevantMask(const views::View& view) const;
 
   /// Σ_q Weight(q) * PerQueryBenefit(set)[q]  — the predicted future
   /// benefit used as the knapsack item value.
@@ -118,10 +144,26 @@ class BenefitAnalyzer {
   Result<std::vector<double>> ComputeRow(const std::vector<views::View>& set,
                                          Placement placement);
 
+  /// The members of `set` relevant to window query `query_index`, in set
+  /// order. A probe's cost depends only on this subset (the same argument
+  /// that lets WhatIfCache fingerprint only relevant members), so a
+  /// memoized row for the subset answers the query exactly — the
+  /// subset-reduction layer of the probe economy.
+  std::vector<views::View> RelevantSubset(
+      std::size_t query_index, const std::vector<views::View>& set) const;
+
   const optimizer::MultistoreOptimizer* optimizer_;
   int epoch_len_;
   double decay_;
   optimizer::WhatIfCache* cache_;
+  /// Variant-level best-split memo used by every probe (layer 5 above).
+  /// Window-independent and design-independent: entries are keyed by the
+  /// structural content of rewritten plans, so no invalidation is ever
+  /// needed and the memo can safely outlive the analyzer (tuner-owned
+  /// `session_`). Mutable because probing is logically const; internally
+  /// synchronized for the Prewarm fan-out.
+  mutable optimizer::WhatIfSession own_session_;
+  optimizer::WhatIfSession* session_;
   std::vector<plan::Plan> window_;
   std::vector<optimizer::QueryShape> shapes_;
   std::vector<double> base_costs_;

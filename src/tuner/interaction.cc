@@ -1,6 +1,7 @@
 #include "tuner/interaction.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <functional>
 #include <numeric>
@@ -30,7 +31,17 @@ Result<std::vector<Interaction>> ComputeInteractions(
   // below is a word-wise AND instead of a scan over the whole window.
   const size_t words = (window + 63) / 64;
   std::vector<uint64_t> benefited(static_cast<size_t>(n) * words, 0);
+  // Hoisted per-candidate relevance bitsets: the delta reduce below only
+  // visits queries where BOTH views are relevant, because everywhere else
+  // delta is exactly 0 — if neither is relevant all three rows are 0; if
+  // only view i is, the joint probe fingerprints to the same cost as the
+  // single-i probe (joint[q] == single_i[q]) and single_j[q] == 0.
+  std::vector<uint64_t> relevant(static_cast<size_t>(n) * words, 0);
   for (int i = 0; i < n; ++i) {
+    const std::vector<uint64_t> mask =
+        analyzer->RelevantMask(candidates[static_cast<size_t>(i)]);
+    std::copy(mask.begin(), mask.end(),
+              relevant.begin() + static_cast<size_t>(i) * words);
     MISO_ASSIGN_OR_RETURN(
         single[static_cast<size_t>(i)],
         analyzer->PerQueryBenefit(single_sets[static_cast<size_t>(i)],
@@ -81,12 +92,24 @@ Result<std::vector<Interaction>> ComputeInteractions(
       Interaction interaction;
       interaction.a = i;
       interaction.b = j;
-      for (size_t q = 0; q < joint.size(); ++q) {
-        const double delta = joint[q] - single[static_cast<size_t>(i)][q] -
-                             single[static_cast<size_t>(j)][q];
-        const double w = analyzer->Weight(static_cast<int>(q));
-        interaction.magnitude += w * std::abs(delta);
-        interaction.signed_sum += w * delta;
+      // Word-at-a-time over the queries where both views are relevant
+      // (the only places delta can be nonzero — see the `relevant`
+      // bitsets above). Skipped terms would add exactly +0.0, so the
+      // accumulated sums match the full scan.
+      const uint64_t* ri = relevant.data() + static_cast<size_t>(i) * words;
+      const uint64_t* rj = relevant.data() + static_cast<size_t>(j) * words;
+      for (size_t w = 0; w < words; ++w) {
+        uint64_t bits = ri[w] & rj[w];
+        while (bits != 0) {
+          const size_t q =
+              w * 64 + static_cast<size_t>(std::countr_zero(bits));
+          bits &= bits - 1;
+          const double delta = joint[q] - single[static_cast<size_t>(i)][q] -
+                               single[static_cast<size_t>(j)][q];
+          const double weight = analyzer->Weight(static_cast<int>(q));
+          interaction.magnitude += weight * std::abs(delta);
+          interaction.signed_sum += weight * delta;
+        }
       }
 
       const double scale = single_total[static_cast<size_t>(i)] +

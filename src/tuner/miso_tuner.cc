@@ -51,7 +51,7 @@ Result<ReorgPlan> MisoTuner::Tune(const views::ViewCatalog& hv,
   if (candidates.empty()) return plan;
 
   BenefitAnalyzer analyzer(optimizer_, config_.epoch_length,
-                           config_.benefit_decay, cache_);
+                           config_.benefit_decay, cache_, &session_);
   MISO_RETURN_IF_ERROR(analyzer.SetWindow(window));
 
   // Interaction handling -> independent candidate items.

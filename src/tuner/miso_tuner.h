@@ -94,6 +94,16 @@ class MisoTuner {
   const optimizer::MultistoreOptimizer* optimizer_;
   MisoTunerConfig config_;
   optimizer::WhatIfCache* cache_ = nullptr;
+  /// Variant-total memo threaded through every Tune's benefit analyzer.
+  /// Unlike the WhatIfCache (keyed per whole probe, epoch-invalidated by
+  /// the caller), these entries are keyed by the structural content of
+  /// rewritten plan variants and depend only on the optimizer's immutable
+  /// cost models — fixed for this tuner's lifetime — so persistence across
+  /// Tune calls needs no invalidation and is exact: successive
+  /// reorganizations share most of their window and candidate pool, hence
+  /// most of their rewrite variants. Mutable because Tune is logically
+  /// const (the memo changes only latency, never a result).
+  mutable optimizer::WhatIfSession session_;
 };
 
 }  // namespace miso::tuner

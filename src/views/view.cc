@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/hash.h"
+
 namespace miso::views {
 
 std::string View::DebugString() const {
@@ -18,6 +20,17 @@ std::string View::DebugString() const {
   out += "] ";
   out += FormatBytes(size_bytes);
   return out;
+}
+
+uint64_t View::ContentFingerprint() const {
+  uint64_t h = kFnvOffsetBasis;
+  h = HashCombine(h, signature);
+  h = HashCombine(h, base_signature);
+  h = HashCombine(h, HashBytes(predicate.CanonicalString()));
+  h = HashCombine(h, static_cast<uint64_t>(size_bytes));
+  h = HashCombine(h, static_cast<uint64_t>(stats.rows));
+  h = HashCombine(h, static_cast<uint64_t>(stats.bytes));
+  return h;
 }
 
 View ViewFromNode(const plan::OperatorNode& node) {

@@ -50,6 +50,14 @@ struct View {
 
   /// Short debug label, e.g. "v42[agg(join(...))] 1.25 GiB".
   std::string DebugString() const;
+
+  /// Hash of everything a rewrite can expose to the cost models —
+  /// signature, base signature, predicate, size, stats — and nothing else
+  /// (ids and provenance excluded: cost identity is content identity).
+  /// Shared by `WhatIfCache::Fingerprint` and
+  /// `ViewCatalog::ContentFingerprint`, so both caches alias designs in
+  /// exactly the same cases.
+  uint64_t ContentFingerprint() const;
 };
 
 /// Builds a View describing the materialization of `node` (annotations are

@@ -1,5 +1,7 @@
 #include "views/view_catalog.h"
 
+#include "common/hash.h"
+
 namespace miso::views {
 
 Status ViewCatalog::Add(View view) {
@@ -66,6 +68,14 @@ std::vector<View> ViewCatalog::AllViews() const {
   out.reserve(views_.size());
   for (const auto& [id, view] : views_) out.push_back(view);
   return out;
+}
+
+uint64_t ViewCatalog::ContentFingerprint() const {
+  uint64_t h = kFnvOffsetBasis;
+  for (const auto& [id, view] : views_) {
+    h = HashCombineUnordered(h, view.ContentFingerprint());
+  }
+  return h;
 }
 
 void ViewCatalog::TouchView(ViewId id, int query_index) {

@@ -53,6 +53,13 @@ class ViewCatalog {
   /// All views, ordered by id (deterministic iteration).
   std::vector<View> AllViews() const;
 
+  /// Order-independent hash of the catalog's rewrite-relevant content
+  /// (each member's `View::ContentFingerprint`; ids excluded). Two
+  /// catalogs with equal fingerprints rewrite every query identically and
+  /// hence cost identically — the key contract of the optimizer's what-if
+  /// probe memo (`WhatIfSession`).
+  uint64_t ContentFingerprint() const;
+
   /// Marks `id` as used by query `query_index` (for LRU policies).
   void TouchView(ViewId id, int query_index);
   /// Query index of the last use, or creation index if never used.

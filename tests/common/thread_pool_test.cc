@@ -163,6 +163,66 @@ TEST(ThreadPoolTest, DefaultThreadCountHonorsMisoThreadsEnv) {
   }
 }
 
+TEST(ParallelForTest, GrainNeverChangesTheOutput) {
+  // Byte-identity across grains: the same slots get the same values for
+  // every (threads, grain) combination — grain only changes how indices
+  // are packed into pool tasks, never which indices run.
+  constexpr int kN = 257;
+  for (int threads : {1, 2, 8}) {
+    for (int grain : {1, 16, 256, 1024}) {
+      ThreadPool pool(threads);
+      std::vector<int> out(kN, -1);
+      ParallelFor(
+          &pool, kN,
+          [&out](int i) { out[static_cast<size_t>(i)] = 3 * i; },
+          ParallelForOptions{grain});
+      for (int i = 0; i < kN; ++i) {
+        ASSERT_EQ(out[static_cast<size_t>(i)], 3 * i)
+            << "threads=" << threads << " grain=" << grain;
+      }
+    }
+  }
+}
+
+TEST(ParallelForTest, SmallRangesRunInlineUnderTheGrain) {
+  // n <= grain must not touch the pool at all: the whole point of
+  // batching is that tiny fan-outs cost zero submits.
+  ThreadPool pool(4);
+  std::vector<int> out(8, 0);
+  ParallelFor(
+      &pool, 8, [&out](int i) { out[static_cast<size_t>(i)] = 1; },
+      ParallelForOptions{/*grain=*/16});
+  EXPECT_EQ(pool.GetStats().submits, 0);
+  for (int v : out) EXPECT_EQ(v, 1);
+
+  // One past the grain: the pool is used again.
+  std::vector<int> big(17, 0);
+  ParallelFor(
+      &pool, 17, [&big](int i) { big[static_cast<size_t>(i)] = 1; },
+      ParallelForOptions{/*grain=*/16});
+  EXPECT_GT(pool.GetStats().submits, 0);
+}
+
+TEST(ParallelForTest, GrainEnvOverrideWins) {
+  // MISO_PARALLEL_GRAIN overrides the per-call grain (used by the grain
+  // sweeps in the concurrency suite). Mutate and restore, as above.
+  const char* saved = std::getenv("MISO_PARALLEL_GRAIN");
+  const std::string saved_value = saved != nullptr ? saved : "";
+  setenv("MISO_PARALLEL_GRAIN", "64", /*overwrite=*/1);
+  ThreadPool pool(4);
+  std::vector<int> out(32, 0);
+  ParallelFor(
+      &pool, 32, [&out](int i) { out[static_cast<size_t>(i)] = i; },
+      ParallelForOptions{/*grain=*/1});  // env says 64: runs inline
+  EXPECT_EQ(pool.GetStats().submits, 0);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(out[static_cast<size_t>(i)], i);
+  if (saved != nullptr) {
+    setenv("MISO_PARALLEL_GRAIN", saved_value.c_str(), 1);
+  } else {
+    unsetenv("MISO_PARALLEL_GRAIN");
+  }
+}
+
 TEST(ThreadPoolTest, StatsCountSubmitsAndTasksRun) {
   ThreadPool pool(2);
   std::vector<std::future<void>> futures;

@@ -1,0 +1,165 @@
+// WhatIfSession exactness: the memoized what-if path (4-arg WhatIfCost)
+// must return bit-identical totals to the plain path for every catalog
+// shape the tuner probes with — same catalog in both stores, single-store,
+// empty, and two genuinely different catalogs — on both the miss (first
+// probe) and hit (repeat probe) sides of both memo levels. The session is
+// an optimization layer only; see DESIGN.md §15 for the exactness
+// argument and docs/PERFORMANCE.md for why it exists.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "../test_util.h"
+#include "dw/dw_cost_model.h"
+#include "hv/hv_cost_model.h"
+#include "hv/hv_store.h"
+#include "optimizer/multistore_optimizer.h"
+#include "plan/node_factory.h"
+#include "transfer/transfer_model.h"
+#include "verify/verify_gate.h"
+#include "views/view_catalog.h"
+
+namespace miso::optimizer {
+namespace {
+
+using testing_util::PaperCatalog;
+using views::View;
+using views::ViewCatalog;
+
+class WhatIfSessionTest : public ::testing::Test {
+ protected:
+  WhatIfSessionTest()
+      : factory_(&PaperCatalog()),
+        hv_model_(hv::HvConfig{}),
+        dw_model_(dw::DwConfig{}),
+        transfer_model_(transfer::TransferConfig{}),
+        optimizer_(&factory_, &hv_model_, &dw_model_, &transfer_model_),
+        empty_(kTiB) {
+    // Harvest realistic opportunistic views from a few executed queries
+    // (the same way the tuner's candidate pool is built).
+    const char* topics[] = {"c%", "d%", "m%"};
+    uint64_t next_id = 1;
+    for (int q = 0; q < 3; ++q) {
+      auto plan = *testing_util::MakeAnalystPlan(
+          &PaperCatalog(), "s" + std::to_string(q), topics[q], 0.1,
+          /*dw_udfs=*/true);
+      hv::HvStore store(hv::HvConfig{}, kTiB * 100);
+      auto exec = store.Execute(plan.root(), q, 0, &next_id,
+                                plan.signature());
+      EXPECT_TRUE(exec.ok()) << exec.status().ToString();
+      for (View& v : exec->produced_views) views_.push_back(std::move(v));
+      queries_.push_back(std::move(plan));
+    }
+  }
+
+  ViewCatalog CatalogOf(const std::vector<View>& views) const {
+    ViewCatalog catalog(kTiB * 100);
+    for (const View& v : views) EXPECT_TRUE(catalog.AddUnchecked(v).ok());
+    return catalog;
+  }
+
+  plan::NodeFactory factory_;
+  hv::HvCostModel hv_model_;
+  dw::DwCostModel dw_model_;
+  transfer::TransferModel transfer_model_;
+  MultistoreOptimizer optimizer_;
+  ViewCatalog empty_;
+  std::vector<plan::Plan> queries_;
+  std::vector<View> views_;
+};
+
+TEST_F(WhatIfSessionTest, SessionTotalsMatchThePlainPathExactly) {
+  // Verification off: the session path only runs when probes skip the
+  // per-plan verifier (ctest pins MISO_VERIFY=1, which would bypass it).
+  verify::ScopedVerification off(false);
+  ASSERT_GE(views_.size(), 2u);
+  const ViewCatalog hypothetical = CatalogOf(views_);
+  const ViewCatalog first = CatalogOf({views_[0]});
+  const ViewCatalog second = CatalogOf({views_[1]});
+
+  WhatIfSession session;
+  for (const plan::Plan& q : queries_) {
+    struct Shape {
+      const char* name;
+      const ViewCatalog* dw;
+      const ViewCatalog* hv;
+    };
+    // Every catalog shape the benefit analyzer produces, plus genuinely
+    // different catalogs per store (exercises the combined rewrite).
+    const Shape shapes[] = {
+        {"both stores, same catalog", &hypothetical, &hypothetical},
+        {"dw only", &hypothetical, &empty_},
+        {"hv only", &empty_, &hypothetical},
+        {"empty design", &empty_, &empty_},
+        {"different catalogs", &first, &second},
+    };
+    for (const Shape& shape : shapes) {
+      SCOPED_TRACE(std::string(q.query_name()) + ": " + shape.name);
+      auto plain = optimizer_.WhatIfCost(q, *shape.dw, *shape.hv);
+      ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+      // Miss side: first probe of this shape through the session.
+      auto miss = optimizer_.WhatIfCost(q, *shape.dw, *shape.hv, &session);
+      ASSERT_TRUE(miss.ok()) << miss.status().ToString();
+      EXPECT_EQ(*plain, *miss);
+      // Hit side: repeat probe answered from the probe-level memo.
+      auto hit = optimizer_.WhatIfCost(q, *shape.dw, *shape.hv, &session);
+      ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+      EXPECT_EQ(*plain, *hit);
+    }
+  }
+}
+
+TEST_F(WhatIfSessionTest, ProbeMemoKeysOnContentNotObjectIdentity) {
+  verify::ScopedVerification off(false);
+  // Two catalogs built independently from the same views (fresh objects,
+  // re-numbered ids) must share memo entries — and, more importantly,
+  // share answers: cost identity is content identity.
+  std::vector<View> renumbered = views_;
+  for (size_t i = 0; i < renumbered.size(); ++i) {
+    renumbered[i].id = 1000 + i;
+  }
+  const ViewCatalog a = CatalogOf(views_);
+  const ViewCatalog b = CatalogOf(renumbered);
+  EXPECT_EQ(a.ContentFingerprint(), b.ContentFingerprint());
+
+  WhatIfSession session;
+  for (const plan::Plan& q : queries_) {
+    auto via_a = optimizer_.WhatIfCost(q, a, a, &session);
+    auto via_b = optimizer_.WhatIfCost(q, b, b, &session);
+    ASSERT_TRUE(via_a.ok() && via_b.ok());
+    EXPECT_EQ(*via_a, *via_b);
+    auto plain = optimizer_.WhatIfCost(q, a, a);
+    ASSERT_TRUE(plain.ok());
+    EXPECT_EQ(*plain, *via_a);
+  }
+}
+
+TEST_F(WhatIfSessionTest, SessionPathDefersToVerifiedBuildsAndNullSession) {
+  // Under verification (the ctest default) the 4-arg overload must behave
+  // exactly like the plain overload — the verified path re-checks every
+  // winning probe plan, which a memo hit could not.
+  verify::ScopedVerification on(true);
+  const ViewCatalog hypothetical = CatalogOf(views_);
+  WhatIfSession session;
+  for (const plan::Plan& q : queries_) {
+    auto plain = optimizer_.WhatIfCost(q, hypothetical, hypothetical);
+    auto gated = optimizer_.WhatIfCost(q, hypothetical, hypothetical,
+                                       &session);
+    ASSERT_TRUE(plain.ok() && gated.ok());
+    EXPECT_EQ(*plain, *gated);
+  }
+  // Null session: same contract, no memo to consult.
+  verify::ScopedVerification off(false);
+  for (const plan::Plan& q : queries_) {
+    auto plain = optimizer_.WhatIfCost(q, hypothetical, hypothetical);
+    auto null_session =
+        optimizer_.WhatIfCost(q, hypothetical, hypothetical, nullptr);
+    ASSERT_TRUE(plain.ok() && null_session.ok());
+    EXPECT_EQ(*plain, *null_session);
+  }
+}
+
+}  // namespace
+}  // namespace miso::optimizer

@@ -159,5 +159,49 @@ TEST_F(BenefitTest, JointBenefitOfSubstitutesIsSubAdditive) {
   EXPECT_LT(*both, *a + *b - 1.0) << "strongly negative interaction";
 }
 
+TEST_F(BenefitTest, SubsetReductionNeverChangesAPairRow) {
+  // The subset-reduction layer reads a pair's per-query benefit from the
+  // memoized single-view row when only one member is relevant to the
+  // query. It must be invisible in the results: the pair row computed
+  // with singles memoized first (reduction active) equals the row from a
+  // fresh analyzer that probes the pair directly.
+  plan::Plan q1 = Query("q1", "c%");
+  plan::Plan q2 = Query("q2", "d%");  // disjoint topic: only v2 relevant
+  View v1 = UdfView(q1, 1);
+  View v2 = UdfView(q2, 2);
+
+  BenefitAnalyzer memoized(&optimizer_, 3, 0.6);
+  ASSERT_TRUE(memoized.SetWindow({q1, q2}).ok());
+  ASSERT_TRUE(memoized.PerQueryBenefit({v1}, Placement::kBothStores).ok());
+  ASSERT_TRUE(memoized.PerQueryBenefit({v2}, Placement::kBothStores).ok());
+  auto reduced = memoized.PerQueryBenefit({v1, v2}, Placement::kBothStores);
+
+  BenefitAnalyzer fresh(&optimizer_, 3, 0.6);
+  ASSERT_TRUE(fresh.SetWindow({q1, q2}).ok());
+  auto direct = fresh.PerQueryBenefit({v1, v2}, Placement::kBothStores);
+
+  ASSERT_TRUE(reduced.ok());
+  ASSERT_TRUE(direct.ok());
+  ASSERT_EQ(reduced->size(), direct->size());
+  for (size_t i = 0; i < reduced->size(); ++i) {
+    EXPECT_EQ((*reduced)[i], (*direct)[i]) << "query " << i;
+  }
+  // And the reduction actually had something to reduce: each view is
+  // relevant to exactly one of the two queries.
+  EXPECT_GT((*reduced)[0], 0.0);
+  EXPECT_GT((*reduced)[1], 0.0);
+}
+
+TEST_F(BenefitTest, RelevantMaskMatchesPerQueryRelevance) {
+  plan::Plan q1 = Query("q1", "c%");
+  plan::Plan q2 = Query("q2", "zzz%");  // nothing reusable
+  View v = UdfView(q1, 1);
+  BenefitAnalyzer analyzer(&optimizer_, 3, 0.6);
+  ASSERT_TRUE(analyzer.SetWindow({q1, q2, q1}).ok());
+  const std::vector<uint64_t> mask = analyzer.RelevantMask(v);
+  ASSERT_EQ(mask.size(), 1u);
+  EXPECT_EQ(mask[0], 0b101u) << "relevant to the two q1 copies only";
+}
+
 }  // namespace
 }  // namespace miso::tuner

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <random>
 #include <set>
 #include <vector>
@@ -118,6 +119,71 @@ TEST(KnapsackPropertyTest, MatchesBruteForceOnRandomInstances) {
       EXPECT_GT(items[static_cast<size_t>(id)].benefit, 0)
           << "non-positive-benefit items must never be packed";
     }
+  }
+}
+
+TEST(KnapsackPropertyTest, SparseAndDenseSolversAreBitIdentical) {
+  // The dispatch in SolveMKnapsack is specified as a pure speed decision:
+  // on every instance the sparse frontier DP must return the exact chosen
+  // set and the exact total (EXPECT_EQ on doubles, no tolerance) of the
+  // dense grid DP. Random instances plus the degenerate budgets 0, 1, and
+  // INT64_MAX (the latter solvable only sparsely, checked against brute
+  // force instead).
+  std::mt19937 rng(20260809);
+  std::uniform_int_distribution<int> n_dist(0, 12);
+  std::uniform_int_distribution<int64_t> storage_dist(0, 6);
+  std::uniform_int_distribution<int64_t> transfer_dist(0, 4);
+  std::uniform_real_distribution<double> benefit_dist(-2.0, 10.0);
+  std::uniform_int_distribution<int64_t> budget_dist(0, 14);
+
+  for (int instance = 0; instance < 200; ++instance) {
+    const int n = n_dist(rng);
+    std::vector<MKnapsackItem> items;
+    items.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      MKnapsackItem item;
+      item.id = i;
+      item.storage_units = storage_dist(rng);
+      item.transfer_units = transfer_dist(rng);
+      item.benefit = benefit_dist(rng);
+      items.push_back(item);
+    }
+    int64_t storage_budget = budget_dist(rng);
+    int64_t transfer_budget = budget_dist(rng) / 2;
+    if (instance % 5 == 1) storage_budget = 0;
+    if (instance % 5 == 2) storage_budget = 1;
+    if (instance % 7 == 3) transfer_budget = 0;
+    if (instance % 7 == 4) transfer_budget = 1;
+    SCOPED_TRACE("instance=" + std::to_string(instance) + " n=" +
+                 std::to_string(n) + " B=" + std::to_string(storage_budget) +
+                 " T=" + std::to_string(transfer_budget));
+
+    auto dense = SolveMKnapsackDense(items, storage_budget, transfer_budget);
+    auto sparse = SolveMKnapsackSparse(items, storage_budget,
+                                       transfer_budget);
+    ASSERT_TRUE(dense.ok()) << dense.status().ToString();
+    ASSERT_TRUE(sparse.ok()) << sparse.status().ToString();
+    EXPECT_EQ(sparse->chosen_ids, dense->chosen_ids);
+    EXPECT_EQ(sparse->total_benefit, dense->total_benefit);
+    EXPECT_EQ(sparse->storage_used, dense->storage_used);
+    EXPECT_EQ(sparse->transfer_used, dense->transfer_used);
+
+    // Unbounded budgets: dense cannot allocate the plane, so validate the
+    // sparse result against brute force — it must pack exactly the
+    // positive-benefit items.
+    const int64_t huge = std::numeric_limits<int64_t>::max();
+    auto unbounded = SolveMKnapsackSparse(items, huge, huge);
+    ASSERT_TRUE(unbounded.ok()) << unbounded.status().ToString();
+    std::vector<int> positives;
+    double positive_total = 0;
+    for (const MKnapsackItem& item : items) {
+      if (item.benefit > 0) {
+        positives.push_back(item.id);
+        positive_total += item.benefit;
+      }
+    }
+    EXPECT_EQ(unbounded->chosen_ids, positives);
+    EXPECT_EQ(unbounded->total_benefit, positive_total);
   }
 }
 

@@ -77,25 +77,32 @@ echo "== bench_snapshot: running bench_server"
 "$SERVER_BIN" --benchmark_out="$TMP/server.json" \
               --benchmark_out_format=json >/dev/null
 
+# Top-level snapshot metadata, so a reader (or a gate) never has to dig
+# into the per-binary google-benchmark context blocks: the build type the
+# guard verified and the CPU count the numbers were taken at.
+NUM_CPUS="$(nproc 2>/dev/null || echo 1)"
+
 python3 - "$TMP/tuner.json" "$TMP/optimizer.json" "$TMP/server.json" \
-          "$OUT" "$SERVER_OUT" <<'EOF'
+          "$OUT" "$SERVER_OUT" "$BUILD_TYPE" "$NUM_CPUS" <<'EOF'
 import json
 import sys
 
-tuner_path, optimizer_path, server_path, out_path, server_out_path = \
-    sys.argv[1:6]
+(tuner_path, optimizer_path, server_path, out_path, server_out_path,
+ build_type, num_cpus) = sys.argv[1:8]
 with open(tuner_path) as f:
     tuner = json.load(f)
 with open(optimizer_path) as f:
     optimizer = json.load(f)
 with open(server_path) as f:
     server = json.load(f)
+snapshot = {"build_type": build_type, "num_cpus": int(num_cpus)}
 with open(out_path, "w") as f:
-    json.dump({"tuner": tuner, "optimizer": optimizer}, f, indent=2,
-              sort_keys=True)
+    json.dump({"snapshot": snapshot, "tuner": tuner, "optimizer": optimizer},
+              f, indent=2, sort_keys=True)
     f.write("\n")
 with open(server_out_path, "w") as f:
-    json.dump({"server": server}, f, indent=2, sort_keys=True)
+    json.dump({"snapshot": snapshot, "server": server}, f, indent=2,
+              sort_keys=True)
     f.write("\n")
 EOF
 

@@ -28,7 +28,12 @@
 # With --perf the run is restricted to the `perf` ctest label — a smoke
 # pass over every bench binary, so the experiment harnesses can't bit-rot
 # — and afterwards prints the what-if cache hit-rate counters from one
-# short simulation (tools/debug_cache_stats).
+# short simulation (tools/debug_cache_stats). It then configures a plain
+# Release build (build-perf/, no sanitizers) and asserts the thread-
+# scaling floor: BM_FullOptimizeThreaded/2 real_time must stay within
+# 1.1x of BM_FullOptimizeThreaded/1 — adding a second worker to the
+# batched candidate-costing fan-out must never cost more than 10%, even
+# on single-core machines (docs/PERFORMANCE.md).
 #
 # With --fault the run is restricted to the `fault` ctest label — the
 # fault-injection suite (deterministic chaos sweeps across seeds and
@@ -212,6 +217,43 @@ ctest "${CTEST_ARGS[@]}"
 if [ "$PERF" -eq 1 ]; then
   echo "== check.sh: what-if cache hit rate over a short simulation"
   "$BUILD_DIR/tools/debug_cache_stats"
+
+  # Thread-scaling floor, measured where it matters: a plain Release
+  # build (sanitizer builds distort the submit/steal overhead the batched
+  # ParallelFor is designed to amortize).
+  PERF_BUILD_DIR="$ROOT/build-perf"
+  echo "== check.sh: perf scaling gate (Release build at $PERF_BUILD_DIR)"
+  cmake -S "$ROOT" -B "$PERF_BUILD_DIR" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$PERF_BUILD_DIR" -j"$JOBS" --target bench_micro_optimizer
+  SCALING_JSON="$PERF_BUILD_DIR/threaded_scaling.json"
+  "$PERF_BUILD_DIR/bench/bench_micro_optimizer" \
+      --benchmark_filter='^BM_FullOptimizeThreaded/[12]$' \
+      --benchmark_out="$SCALING_JSON" \
+      --benchmark_out_format=json >/dev/null
+  python3 - "$SCALING_JSON" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+times = {}
+for bench in doc["benchmarks"]:
+    if bench.get("run_type") == "aggregate":
+        continue
+    times[bench["name"]] = bench["real_time"]
+one = times.get("BM_FullOptimizeThreaded/1")
+two = times.get("BM_FullOptimizeThreaded/2")
+if one is None or two is None:
+    sys.exit("check.sh: BM_FullOptimizeThreaded/1 or /2 missing from "
+             + sys.argv[1])
+ratio = two / one
+print(f"== check.sh: BM_FullOptimizeThreaded 2t/1t real_time ratio = "
+      f"{ratio:.3f} ({two:.0f}ns / {one:.0f}ns)")
+if ratio > 1.1:
+    sys.exit(f"check.sh: 2-thread optimize is {ratio:.2f}x the 1-thread "
+             "time (> 1.10x budget) — parallelism is a regression; see "
+             "docs/PERFORMANCE.md")
+EOF
 fi
 
 echo "== check.sh: all gates passed"
