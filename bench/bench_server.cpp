@@ -25,18 +25,22 @@ using bench_util::DefaultConfig;
 using bench_util::Workload;
 
 constexpr int kSessions = 256;
+// The warm replay cycles the paper workload several times over so the
+// steady state (every template already cached) dominates the cold first
+// pass in the measurement.
+constexpr int kWarmSessions = 1024;
 
-const std::vector<workload::WorkloadQuery>& CycledSessions() {
-  static const auto* queries = [] {
+std::vector<workload::WorkloadQuery> CycledSessions(int n) {
+  static const auto* pool = [] {
     auto* q = new std::vector<workload::WorkloadQuery>();
     const std::vector<workload::WorkloadQuery>& base = Workload().queries();
-    q->reserve(kSessions);
-    for (int i = 0; i < kSessions; ++i) {
+    q->reserve(kWarmSessions);
+    for (int i = 0; i < kWarmSessions; ++i) {
       q->push_back(base[static_cast<size_t>(i) % base.size()]);
     }
     return q;
   }();
-  return *queries;
+  return {pool->begin(), pool->begin() + n};
 }
 
 /// One full serve of `kSessions` cycled paper-workload sessions.
@@ -49,7 +53,7 @@ void BM_ServerServe(benchmark::State& state) {
   std::snprintf(buf, sizeof(buf), "%d", threads);
   setenv("MISO_THREADS", buf, /*overwrite=*/1);
 
-  const std::vector<workload::WorkloadQuery>& queries = CycledSessions();
+  const std::vector<workload::WorkloadQuery> queries = CycledSessions(kSessions);
   double p99_ms = 0;
   double overlap_saved_s = 0;
   for (auto _ : state) {
@@ -98,6 +102,7 @@ void BM_ServerServe(benchmark::State& state) {
   }
   unsetenv("MISO_THREADS");
 
+  state.SetItemsProcessed(state.iterations() * kSessions);
   state.counters["sessions_per_s"] = benchmark::Counter(
       static_cast<double>(state.iterations()) * kSessions,
       benchmark::Counter::kIsRate);
@@ -113,6 +118,79 @@ BENCHMARK(BM_ServerServe)
     ->Args({8, 1, 1})   // + background reorganization, serial workers
     ->Args({8, 1, 4})   // + worker pool
     ->UseRealTime()     // the pipeline runs on scheduler/worker threads
+    ->Unit(benchmark::kMillisecond);
+
+/// Warm paper-workload replay: the serving-path throughput headline.
+/// No reorganizations (`reorg_every = 0`) so the design is stable and
+/// the cycled workload repeats its query templates — the regime the
+/// design-epoch plan cache and wave pipelining are built for
+/// (PERFORMANCE.md "Serving path"). Args: {plan_cache, pipeline_waves,
+/// MISO_THREADS}.
+void BM_ServerWarmReplay(benchmark::State& state) {
+  const bool cache = state.range(0) != 0;
+  const bool pipeline = state.range(1) != 0;
+  const int threads = static_cast<int>(state.range(2));
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%d", threads);
+  setenv("MISO_THREADS", buf, /*overwrite=*/1);
+
+  const std::vector<workload::WorkloadQuery> queries =
+      CycledSessions(kWarmSessions);
+  int64_t cache_hits = 0;
+  int waves_speculative = 0;
+  for (auto _ : state) {
+    server::ServerConfig config;
+    config.sim = DefaultConfig(sim::SystemVariant::kMsMiso);
+    config.sim.reorg_every = 0;
+    config.wave_size = 8;
+    config.online_reorg = false;
+    config.admission_capacity = 64;
+    config.expected_sessions = kWarmSessions;
+    config.plan_cache = cache;
+    config.pipeline_waves = pipeline;
+
+    server::MisoServer server(&Catalog(), config);
+    std::vector<std::future<server::SessionResult>> futures;
+    futures.reserve(queries.size());
+    for (const workload::WorkloadQuery& q : queries) {
+      futures.push_back(server.Submit(q));
+    }
+    server.Close();
+    for (std::future<server::SessionResult>& f : futures) {
+      const server::SessionResult result = f.get();
+      if (!result.status.ok()) {
+        state.SkipWithError(result.status.ToString().c_str());
+        return;
+      }
+    }
+    auto report = server.Finish();
+    if (!report.ok()) {
+      state.SkipWithError(report.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(report->Tti());
+    cache_hits = report->plan_cache_hits;
+    waves_speculative = report->waves_speculative;
+  }
+  unsetenv("MISO_THREADS");
+
+  state.SetItemsProcessed(state.iterations() * kWarmSessions);
+  state.counters["sessions_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kWarmSessions,
+      benchmark::Counter::kIsRate);
+  state.counters["plan_cache_hits"] = static_cast<double>(cache_hits);
+  state.counters["waves_speculative"] = waves_speculative;
+  state.SetLabel(std::string("cache=") + (cache ? "on" : "off") +
+                 " pipeline=" + (pipeline ? "on" : "off") +
+                 " threads=" + std::to_string(threads));
+}
+BENCHMARK(BM_ServerWarmReplay)
+    ->Args({0, 0, 1})   // PR 8 serving path: no cache, serial waves
+    ->Args({1, 0, 1})   // cache alone
+    ->Args({0, 1, 4})   // pipelining alone
+    ->Args({1, 1, 1})   // both, single worker
+    ->Args({1, 1, 4})   // both, worker pool: the headline row
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -1,11 +1,13 @@
 #ifndef MISO_COMMON_BOUNDED_QUEUE_H_
 #define MISO_COMMON_BOUNDED_QUEUE_H_
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "common/annotations.h"
 
@@ -75,6 +77,25 @@ class BoundedQueue {
     items_.pop_front();
     not_full_.notify_one();
     return item;
+  }
+
+  /// Non-blocking batch pop for speculative consumers: appends exactly
+  /// `n` items to `out` when at least `n` are queued, or everything that
+  /// remains when the queue is closed (the final partial batch), and
+  /// nothing otherwise. All-or-nothing while open, so a consumer cutting
+  /// fixed-span batches gets the same batch boundaries whether it polls
+  /// here or blocks in `Pop` — batch composition stays a pure function
+  /// of push order, never of poll timing. Returns the number taken.
+  std::size_t TryPopBatch(std::size_t n, std::vector<T>* out) {
+    MutexLock lock(mutex_);
+    if (items_.size() < n && !closed_) return 0;
+    const std::size_t take = std::min(n, items_.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    if (take > 0) not_full_.notify_all();
+    return take;
   }
 
   /// Closes the queue: subsequent and blocked pushes fail, pops drain

@@ -55,9 +55,13 @@ class MultistoreSystem {
   /// reorganizations run on a background thread (DESIGN.md §14).
   /// `server_config.sim` is taken from this system's configuration; the
   /// caller sets only the server-specific knobs (wave size, online
-  /// reorganization, admission capacity, epoch observer). Records come
-  /// back in admission order and are byte-identical for any
-  /// `MISO_THREADS`.
+  /// reorganization, admission capacity, epoch observer, and the
+  /// serving-path throughput switches: `plan_cache` /
+  /// `plan_cache_bytes` for the design-epoch plan cache and
+  /// `pipeline_waves` for speculative next-wave planning,
+  /// DESIGN.md §14). Records come back in admission order and are
+  /// byte-identical for any `MISO_THREADS` — and for any setting of the
+  /// cache and pipelining knobs, which change only wall-clock speed.
   Result<sim::RunReport> Serve(
       const server::ServerConfig& server_config,
       const std::vector<workload::WorkloadQuery>& queries) const;

@@ -7,13 +7,13 @@
 
 namespace miso::hv {
 
-Result<HvExecution> HvStore::Execute(const plan::NodePtr& root,
-                                     int query_index, Seconds now,
-                                     uint64_t* next_view_id,
-                                     uint64_t exclude_signature,
-                                     const fault::FaultInjector* injector,
-                                     const RetryPolicy* retry,
-                                     uint64_t fault_entity) const {
+Result<HvExecution> HvStore::Execute(
+    const plan::NodePtr& root, int query_index, Seconds now,
+    uint64_t* next_view_id, uint64_t exclude_signature,
+    const fault::FaultInjector* injector, const RetryPolicy* retry,
+    uint64_t fault_entity, const views::ViewCatalog* harvest_catalog) const {
+  const views::ViewCatalog& dedup_catalog =
+      harvest_catalog != nullptr ? *harvest_catalog : catalog_;
   MISO_ASSIGN_OR_RETURN(std::vector<MapReduceJob> jobs, SegmentIntoJobs(root));
 
   HvExecution result;
@@ -45,7 +45,7 @@ Result<HvExecution> HvStore::Execute(const plan::NodePtr& root,
       const uint64_t sig = node->signature();
       if (sig == exclude_signature) continue;  // the query's final result
       if (harvested.count(sig) > 0) continue;
-      if (catalog_.FindExact(sig).has_value()) continue;  // already have it
+      if (dedup_catalog.FindExact(sig).has_value()) continue;  // already have it
       harvested.insert(sig);
       views::View view = views::ViewFromNode(*node);
       view.id = (*next_view_id)++;

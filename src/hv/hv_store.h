@@ -58,12 +58,18 @@ class HvStore {
   /// job's index) with `retry` governing re-runs; a job whose retry
   /// budget is exhausted fails the whole execution with an internal
   /// error. A null injector is the exact unfaulted code path.
-  Result<HvExecution> Execute(const plan::NodePtr& root, int query_index,
-                              Seconds now, uint64_t* next_view_id,
-                              uint64_t exclude_signature = 0,
-                              const fault::FaultInjector* injector = nullptr,
-                              const RetryPolicy* retry = nullptr,
-                              uint64_t fault_entity = 0) const;
+  ///
+  /// `harvest_catalog`, when non-null, replaces the store's own catalog
+  /// for the already-materialized dedup check only — the online server's
+  /// speculative wave workers pass their frozen catalog snapshot so the
+  /// harvest decision reads the same design the plan was made against,
+  /// not the mutating live catalog.
+  Result<HvExecution> Execute(
+      const plan::NodePtr& root, int query_index, Seconds now,
+      uint64_t* next_view_id, uint64_t exclude_signature = 0,
+      const fault::FaultInjector* injector = nullptr,
+      const RetryPolicy* retry = nullptr, uint64_t fault_entity = 0,
+      const views::ViewCatalog* harvest_catalog = nullptr) const;
 
  private:
   HvCostModel cost_model_;

@@ -19,6 +19,7 @@ std::atomic<bool>& MetricsFlag() {
 
 // Innermost active capture on this thread, nullptr when none.
 thread_local ScopedHistogramCapture* t_histogram_capture = nullptr;
+thread_local ScopedCounterCapture* t_counter_capture = nullptr;
 
 }  // namespace
 
@@ -33,6 +34,14 @@ ScopedMetrics::ScopedMetrics(bool enabled) : previous_(MetricsOn()) {
 }
 
 ScopedMetrics::~ScopedMetrics() { SetMetricsEnabled(previous_); }
+
+void Counter::Add(int64_t delta) {
+  if (t_counter_capture != nullptr) {
+    t_counter_capture->deltas_.push_back({this, delta});
+    return;
+  }
+  value_.fetch_add(delta, std::memory_order_relaxed);
+}
 
 void Gauge::Max(double v) {
   double current = value_.load(std::memory_order_relaxed);
@@ -99,6 +108,24 @@ void ScopedHistogramCapture::Replay(
     const std::vector<Observation>& observations) {
   for (const Observation& obs : observations) {
     obs.histogram->Observe(obs.value);
+  }
+}
+
+ScopedCounterCapture::ScopedCounterCapture() : parent_(t_counter_capture) {
+  t_counter_capture = this;
+}
+
+ScopedCounterCapture::~ScopedCounterCapture() { t_counter_capture = parent_; }
+
+std::vector<ScopedCounterCapture::Delta> ScopedCounterCapture::TakeDeltas() {
+  std::vector<Delta> out;
+  out.swap(deltas_);
+  return out;
+}
+
+void ScopedCounterCapture::Replay(const std::vector<Delta>& deltas) {
+  for (const Delta& d : deltas) {
+    d.counter->Add(d.delta);
   }
 }
 

@@ -39,7 +39,10 @@ class ScopedMetrics {
 /// as a serial run — counters are safe to touch from parallel sections.
 class Counter {
  public:
-  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  /// When a `ScopedCounterCapture` is active on the calling thread the
+  /// delta is deferred into that capture instead of touching the counter
+  /// — see the capture class for why.
+  void Add(int64_t delta);
   void Increment() { Add(1); }
   int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
@@ -130,6 +133,44 @@ class ScopedHistogramCapture {
   friend class Histogram;
   std::vector<Observation> observations_;
   ScopedHistogramCapture* parent_;
+};
+
+/// Defers this thread's counter increments, the counter twin of
+/// `ScopedHistogramCapture`. Counter totals commute, so parallelism alone
+/// never needs this — the capture exists for *revocable* work: a server
+/// planning a session speculatively (or filling a plan cache) captures
+/// the optimizer's counter deltas alongside its trace lines, replays them
+/// at the session's serial reduce point if the work is accepted, and
+/// simply drops them if it is thrown away. That keeps model-class
+/// counters (e.g. `miso.optimizer.*`) a pure function of the admission
+/// order — identical with caching or speculation on or off — instead of
+/// counting discarded attempts. Captures nest (innermost wins).
+/// Registered counters are never destroyed, so the deferred `Counter*`s
+/// stay valid across the hand-off.
+class ScopedCounterCapture {
+ public:
+  /// One deferred `Counter::Add` call.
+  struct Delta {
+    Counter* counter = nullptr;
+    int64_t delta = 0;
+  };
+
+  ScopedCounterCapture();
+  ~ScopedCounterCapture();
+
+  ScopedCounterCapture(const ScopedCounterCapture&) = delete;
+  ScopedCounterCapture& operator=(const ScopedCounterCapture&) = delete;
+
+  /// Moves the deferred deltas out (capture continues, empty).
+  std::vector<Delta> TakeDeltas();
+
+  /// Applies `deltas` in order. Call from serial reduce code only.
+  static void Replay(const std::vector<Delta>& deltas);
+
+ private:
+  friend class Counter;
+  std::vector<Delta> deltas_;
+  ScopedCounterCapture* parent_;
 };
 
 /// One row of a registry snapshot.

@@ -48,7 +48,8 @@ bool IsRuntimeClassMetric(std::string_view name) {
   if (name.rfind("miso.pool.", 0) == 0) return true;
   return name == names::kTunerTuneMs ||
          name == names::kServerSessionLatencyMs ||
-         name == names::kServerAdmissionQueueHighWater;
+         name == names::kServerAdmissionQueueHighWater ||
+         name == names::kServerWavePipelineOverlapMs;
 }
 
 std::vector<const char*> AllMetricNames() {
@@ -103,8 +104,12 @@ std::vector<const char*> AllMetricNames() {
       names::kServerReorgSteps,
       names::kServerReorgsRolledBack,
       names::kServerOverlapSavedSeconds,
+      names::kServerPlanCacheHits,
+      names::kServerPlanCacheMisses,
+      names::kServerPlanCacheEvictions,
       names::kServerSessionLatencyMs,
       names::kServerAdmissionQueueHighWater,
+      names::kServerWavePipelineOverlapMs,
   };
   std::sort(all.begin(), all.end(),
             [](const char* a, const char* b) { return std::string_view(a) < b; });

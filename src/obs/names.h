@@ -97,12 +97,23 @@ inline constexpr char kServerReorgsRolledBack[] =
     "miso.server.reorgs_rolled_back_total";
 inline constexpr char kServerOverlapSavedSeconds[] =
     "miso.server.reorg_overlap_saved_s";
+// Serving-path plan cache: every count is decided serially on the
+// scheduler thread in admission order, so these stay model class even
+// though the cache exists purely for throughput.
+inline constexpr char kServerPlanCacheHits[] =
+    "miso.server.plan_cache_hits_total";
+inline constexpr char kServerPlanCacheMisses[] =
+    "miso.server.plan_cache_misses_total";
+inline constexpr char kServerPlanCacheEvictions[] =
+    "miso.server.plan_cache_evictions_total";
 // Runtime class — wall-clock admission/queue behaviour, varies with
 // MISO_THREADS and machine load (see docs/TELEMETRY.md).
 inline constexpr char kServerSessionLatencyMs[] =
     "miso.server.session_latency_ms";
 inline constexpr char kServerAdmissionQueueHighWater[] =
     "miso.server.admission_queue_high_water";
+inline constexpr char kServerWavePipelineOverlapMs[] =
+    "miso.server.wave_pipeline_overlap_ms";
 
 // --- trace event kinds -------------------------------------------------
 inline constexpr char kEvPlanChoice[] = "optimizer.plan_choice";

@@ -81,10 +81,26 @@ void PublishPoolStats(const ThreadPool* pool) {
 /// Per-session output slot, written by exactly one wave worker and read
 /// by the serial reducer. Everything with a model-class determinism
 /// contract stays here until the reducer folds it in admission order.
+/// Slots are pooled in the wave buffers and reused across waves; `Reset`
+/// clears content but keeps vector capacity (the allocation diet).
 struct MisoServer::SessionSlot {
   Status status;
   bool dw_down = false;
+
+  // Planning phase. `plan_ready` marks `ms` + the opt_* telemetry as
+  // present (from the plan cache or a completed Optimize), letting
+  // PlanAndExecute skip straight to execution. `fill` marks an
+  // authoritative cache miss whose computed plan is inserted by the
+  // serial insert pass; `key` is its cache key.
+  bool plan_ready = false;
+  bool fill = false;
+  PlanCacheKey key;
   MultistorePlan ms;
+  std::vector<std::string> opt_trace_lines;
+  std::vector<obs::ScopedHistogramCapture::Observation> opt_histogram_obs;
+  std::vector<obs::ScopedCounterCapture::Delta> opt_counter_deltas;
+
+  // Execution phase (per-session, never cached).
   std::vector<View> produced;
   fault::FaultAccounting hv_fault;
   transfer::FaultedTransfer ws;
@@ -92,6 +108,35 @@ struct MisoServer::SessionSlot {
   std::vector<ViewId> dw_used;
   std::vector<std::string> trace_lines;
   std::vector<obs::ScopedHistogramCapture::Observation> histogram_obs;
+  std::vector<obs::ScopedCounterCapture::Delta> counter_deltas;
+
+  void Reset() {
+    status = Status();
+    dw_down = false;
+    plan_ready = false;
+    fill = false;
+    key = PlanCacheKey();
+    ms = MultistorePlan();
+    opt_trace_lines.clear();
+    opt_histogram_obs.clear();
+    opt_counter_deltas.clear();
+    produced.clear();
+    hv_fault = fault::FaultAccounting();
+    ws = transfer::FaultedTransfer();
+    hv_used.clear();
+    dw_used.clear();
+    trace_lines.clear();
+    histogram_obs.clear();
+    counter_deltas.clear();
+  }
+
+  void AdoptEntry(const PlanCache::Entry& entry) {
+    ms = entry.plan;
+    opt_trace_lines = entry.trace_lines;
+    opt_histogram_obs = entry.histogram_obs;
+    opt_counter_deltas = entry.counter_deltas;
+    plan_ready = true;
+  }
 };
 
 MisoServer::MisoServer(const relation::Catalog* catalog,
@@ -110,9 +155,14 @@ MisoServer::MisoServer(const relation::Catalog* catalog,
       tuner_config_(MakeTunerConfig(config.sim)),
       tuner_(&opt_, tuner_config_),
       whatif_cache_(config.sim.whatif_cache_bytes),
-      queue_(config.admission_capacity == 0 ? 1 : config.admission_capacity) {
+      queue_(config.admission_capacity == 0 ? 1 : config.admission_capacity),
+      plan_cache_(config.plan_cache_bytes) {
   const sim::SimConfig& cfg = config_.sim;
   if (config_.wave_size < 1) config_.wave_size = 1;
+  // Cache identity: any cost-model knob change is a different planning
+  // universe, so it is folded into every plan-cache key.
+  cost_epoch_ =
+      optimizer::WhatIfCache::EpochOf(cfg.hv, cfg.dw, cfg.transfer);
 
   // Same observability-gate discipline (and the same concurrent-engine
   // caveat) as MultistoreSimulator::Run.
@@ -205,6 +255,13 @@ Result<sim::RunReport> MisoServer::Finish() {
       report_.background_slowdown = ledger_.BackgroundSlowdown(now_);
     }
     PublishPoolStats(pool_.get());
+    const PlanCache::Stats cache_stats = plan_cache_.GetStats();
+    report_.plan_cache_hits = cache_stats.hits;
+    report_.plan_cache_misses = cache_stats.misses;
+    report_.plan_cache_evictions = cache_stats.evictions;
+    report_.plan_cache_invalidations = cache_stats.invalidations;
+    report_.waves_speculative = waves_speculative_;
+    report_.waves_replanned = waves_replanned_;
     if (obs::MetricsOn()) {
       obs::Metrics()
           .GetGauge(obs::names::kServerAdmissionQueueHighWater)
@@ -215,37 +272,62 @@ Result<sim::RunReport> MisoServer::Finish() {
 }
 
 void MisoServer::SchedulerLoop() {
-  while (true) {
-    std::vector<Session> wave = FormWave();
-    if (wave.empty()) break;
+  // Double-buffered wave pipeline: while `cur` reduces serially on this
+  // thread, `next` may already be planning/executing speculatively on
+  // the worker pool (Speculate). The speculation is joined and
+  // fingerprint-validated before `next` becomes current (EnsurePlanned),
+  // so reorg boundaries, movement gates, and the serial reduce order all
+  // behave exactly as in the unpipelined loop.
+  WaveState* cur = &waves_[0];
+  WaveState* next = &waves_[1];
+  FormWave(cur);
+  while (!cur->sessions.empty()) {
     if (pending_boundary_) {
       const int boundary = *pending_boundary_;
       pending_boundary_.reset();
       const Status status = StartBoundaryReorg(boundary);
       if (!status.ok()) {
-        Fatal(status, &wave, 0);
+        Fatal(status);
         return;
       }
     }
-    const Status status = RunWave(&wave);
+    EnsurePlanned(cur);
+    Speculate(cur, next);
+    // Movement charging happens before any of this wave's sessions
+    // reduce: these sessions planned against the flipped design, so the
+    // epoch's movement gate must exist before they can wait on it.
+    if (in_flight_) {
+      const Status status = JoinInFlightReorg();
+      if (!status.ok()) {
+        Fatal(status);
+        return;
+      }
+    }
+    const Status status = ReduceWave(cur);
     if (!status.ok()) {
-      Fatal(status, &wave, 0);
+      Fatal(status);
       return;
     }
+    ResetWave(cur);
+    std::swap(cur, next);
+    if (cur->sessions.empty()) FormWave(cur);
   }
   // Drain epilogue. A boundary pending at shutdown is dropped — the
   // simulator skips a reorganization after the last query the same way.
+  // No speculation can be outstanding here: a speculative wave always
+  // becomes `cur` at the swap, and the loop only exits on an empty,
+  // never-speculated `cur`.
   if (in_flight_) {
     const Status status = JoinInFlightReorg();
     if (!status.ok()) {
-      Fatal(status, nullptr, 0);
+      Fatal(status);
       return;
     }
   }
   ExpireGates(/*force=*/true);
 }
 
-std::vector<Session> MisoServer::FormWave() {
+int MisoServer::WaveSpan() const {
   // Fixed-span waves cut by admission index: a wave never crosses a
   // query-count epoch boundary, so its span — hence its composition —
   // is a pure function of the admission order, never of timing.
@@ -255,15 +337,29 @@ std::vector<Session> MisoServer::FormWave() {
         config_.sim.reorg_every - (next_index_ % config_.sim.reorg_every);
     span = std::min(span, to_boundary);
   }
-  std::vector<Session> wave;
-  wave.reserve(static_cast<size_t>(span));
-  while (static_cast<int>(wave.size()) < span) {
+  return span;
+}
+
+void MisoServer::FormWave(WaveState* wave) {
+  const int span = WaveSpan();
+  wave->sessions.reserve(static_cast<size_t>(span));
+  while (static_cast<int>(wave->sessions.size()) < span) {
     std::optional<Session> session = queue_.Pop();
     if (!session) break;
-    wave.push_back(std::move(*session));
+    wave->sessions.push_back(std::move(*session));
     next_index_ += 1;
   }
-  return wave;
+}
+
+bool MisoServer::TryFormWave(WaveState* wave) {
+  // All-or-nothing (full span, or the final partial batch of a closed
+  // queue): the batch boundaries TryPopBatch cuts are exactly the ones
+  // the blocking FormWave would cut, so speculation never changes wave
+  // composition — only when the planning work happens.
+  const std::size_t got = queue_.TryPopBatch(
+      static_cast<std::size_t>(WaveSpan()), &wave->sessions);
+  next_index_ += static_cast<int>(got);
+  return got > 0;
 }
 
 Status MisoServer::StartBoundaryReorg(int boundary_session) {
@@ -363,13 +459,17 @@ Status MisoServer::StartOnlineReorg(int boundary_session) {
     }
     epoch_ += 1;
     report_.epochs_published += 1;
+    // Published flip: views may have left a catalog, ending the
+    // monotone-growth window the plan-cache key contract rests on.
+    if (config_.plan_cache) plan_cache_.Invalidate();
     if (obs::MetricsOn()) {
       obs::Metrics().GetCounter(obs::names::kServerEpochsPublished)
           ->Increment();
     }
   }
   // A pre-known rollback never flips: the live design stays pre-reorg,
-  // which is exactly the state the rollback recovery restores.
+  // which is exactly the state the rollback recovery restores — and the
+  // plan cache stays valid (nothing moved).
 
   last_reorg_time_ = now_;
   in_flight_ = std::move(in_flight);
@@ -473,6 +573,7 @@ Status MisoServer::StopTheWorldReorg(int boundary_session) {
   if (!rolled_back) {
     epoch_ += 1;
     report_.epochs_published += 1;
+    if (config_.plan_cache) plan_cache_.Invalidate();
   } else {
     report_.reorgs_rolled_back += 1;
   }
@@ -491,24 +592,191 @@ Status MisoServer::StopTheWorldReorg(int boundary_session) {
   return Status();
 }
 
-Status MisoServer::RunWave(std::vector<Session>* wave) {
-  const int n = static_cast<int>(wave->size());
-  std::vector<SessionSlot> slots(static_cast<size_t>(n));
-  // The concurrent part: sessions plan and execute against the frozen
-  // design snapshot into their own slots, while the background thread
-  // (if a reorganization is in flight) walks its journal.
-  ParallelFor(pool_.get(), n, [&](int i) {
-    PlanAndExecute((*wave)[static_cast<size_t>(i)],
-                   &slots[static_cast<size_t>(i)]);
-  });
-  // Movement charging happens before any of this wave's sessions reduce:
-  // these sessions planned against the flipped design, so the epoch's
-  // movement gate must exist before they can be asked to wait on it.
-  if (in_flight_) MISO_RETURN_IF_ERROR(JoinInFlightReorg());
-  for (int i = 0; i < n; ++i) {
-    Session& session = (*wave)[static_cast<size_t>(i)];
-    MISO_RETURN_IF_ERROR(
-        ReduceSession(&session, &slots[static_cast<size_t>(i)]));
+void MisoServer::EnsurePlanned(WaveState* wave) {
+  const size_t n = wave->sessions.size();
+  if (wave->slots.size() < n) wave->slots.resize(n);
+  bool already_planned = false;
+  if (wave->speculative) {
+    for (std::future<void>& future : wave->futures) future.get();
+    wave->futures.clear();
+    wave->speculative = false;
+    if (obs::MetricsOn()) {
+      // miso-lint: allow(L003) runtime-class pipeline-overlap observation, see docs/TELEMETRY.md
+      const auto overlap = std::chrono::steady_clock::now() - wave->dispatched_at;
+      obs::Metrics()
+          .GetHistogram(obs::names::kServerWavePipelineOverlapMs,
+                        obs::MillisBuckets())
+          ->Observe(
+              std::chrono::duration<double, std::milli>(overlap).count());
+    }
+    // Accept the speculation iff the live design still fingerprint-
+    // matches the frozen snapshot it planned against (no harvest, no
+    // flip since dispatch) — then every slot holds exactly what planning
+    // against the live catalogs would produce, telemetry included.
+    // Otherwise throw all of it away and replan below; the discarded
+    // slots never touched any global state (captures defer trace lines,
+    // histogram observations, and counter deltas), so a rejected
+    // speculation is invisible in every model-class output.
+    if (wave->planned_hv_fp == hv_store_.catalog().ContentFingerprint() &&
+        wave->planned_dw_fp == dw_store_.catalog().ContentFingerprint()) {
+      already_planned = true;
+    } else {
+      waves_replanned_ += 1;
+      for (size_t i = 0; i < n; ++i) wave->slots[i].Reset();
+    }
+  }
+
+  // Serial authoritative cache pass, in admission order on the scheduler
+  // thread: outage-edge invalidation, then lookup. With speculation
+  // accepted this recomputes exactly the decisions `Speculate` peeked
+  // (the cache cannot have changed in between — it only mutates here),
+  // so hit/miss counts are independent of whether speculation ran.
+  const bool cache_on = config_.plan_cache;
+  uint64_t hv_fp = 0;
+  uint64_t dw_fp = 0;
+  if (cache_on) {
+    hv_fp = hv_store_.catalog().ContentFingerprint();
+    dw_fp = dw_store_.catalog().ContentFingerprint();
+  }
+  int64_t hits = 0;
+  int64_t misses = 0;
+  for (size_t i = 0; i < n; ++i) {
+    SessionSlot& slot = wave->slots[i];
+    const Session& session = wave->sessions[i];
+    const int qi = session.session_id;
+    slot.dw_down = injector_ != nullptr && injector_->DwDownForQuery(qi);
+    if (cache_on && injector_ != nullptr &&
+        (!have_last_dw_down_ || last_dw_down_ != slot.dw_down)) {
+      // Degradation-window edge: HV-only plans and normal plans must
+      // never alias, so the cache resets wholesale at every edge.
+      if (have_last_dw_down_) plan_cache_.Invalidate();
+      have_last_dw_down_ = true;
+      last_dw_down_ = slot.dw_down;
+    }
+    if (!cache_on || slot.dw_down) continue;  // outage: never hit/populate
+    slot.key.query_signature = session.query.plan.signature();
+    slot.key.hv_fingerprint = hv_fp;
+    slot.key.dw_fingerprint = dw_fp;
+    slot.key.cost_epoch = cost_epoch_;
+    if (const PlanCache::Entry* entry = plan_cache_.Lookup(slot.key)) {
+      hits += 1;
+      if (!slot.plan_ready) slot.AdoptEntry(*entry);
+    } else {
+      misses += 1;
+      slot.fill = true;
+    }
+  }
+
+  if (!already_planned) {
+    // The concurrent part: sessions plan (unless cache-hit) and execute
+    // against the frozen design into their own slots, while the
+    // background thread (if a reorganization is in flight) walks its
+    // journal. The catalogs are frozen for the whole fan-out — the
+    // scheduler blocks here and is the only mutator.
+    const ViewCatalog& hv_views = hv_store_.catalog();
+    const ViewCatalog& dw_views = dw_store_.catalog();
+    ParallelFor(pool_.get(), static_cast<int>(n), [&](int i) {
+      PlanAndExecute(wave->sessions[static_cast<size_t>(i)],
+                     &wave->slots[static_cast<size_t>(i)], hv_views, dw_views);
+    });
+  }
+
+  // Serial insert pass, in admission order: every authoritative miss
+  // whose plan was computed successfully becomes an entry.
+  int64_t evicted = 0;
+  for (size_t i = 0; i < n; ++i) {
+    SessionSlot& slot = wave->slots[i];
+    if (!slot.fill || !slot.plan_ready) continue;
+    PlanCache::Entry entry;
+    entry.plan = slot.ms;
+    entry.trace_lines = slot.opt_trace_lines;
+    entry.histogram_obs = slot.opt_histogram_obs;
+    entry.counter_deltas = slot.opt_counter_deltas;
+    evicted += plan_cache_.Insert(slot.key, std::move(entry));
+  }
+
+  if (obs::MetricsOn() && cache_on) {
+    obs::MetricsRegistry& registry = obs::Metrics();
+    if (hits > 0) {
+      registry.GetCounter(obs::names::kServerPlanCacheHits)->Add(hits);
+    }
+    if (misses > 0) {
+      registry.GetCounter(obs::names::kServerPlanCacheMisses)->Add(misses);
+    }
+    if (evicted > 0) {
+      registry.GetCounter(obs::names::kServerPlanCacheEvictions)->Add(evicted);
+    }
+  }
+}
+
+void MisoServer::Speculate(const WaveState* cur, WaveState* next) {
+  if (!config_.pipeline_waves || pool_ == nullptr) return;
+  // A query-count boundary right after `cur` will flip the design before
+  // `next` runs — planning against the pre-flip catalogs would be
+  // guaranteed waste, so don't. (Time-triggered boundaries can't be
+  // predicted here; the fingerprint validation at the join catches
+  // those, at the cost of one discarded speculation.)
+  if (config_.sim.reorg_every > 0 && !cur->sessions.empty() &&
+      (cur->sessions.back().session_id + 1) % config_.sim.reorg_every == 0) {
+    return;
+  }
+  if (!TryFormWave(next)) return;
+
+  // Freeze the design: workers read these snapshots (and only these)
+  // while the scheduler reduces `cur` — which may harvest views into the
+  // live catalogs — and a boundary reorganization may even flip the live
+  // design before the join. The fingerprint comparison at the join
+  // decides whether the frozen answers are still the live answers.
+  next->hv_snapshot = hv_store_.catalog();
+  next->dw_snapshot = dw_store_.catalog();
+  next->planned_hv_fp = next->hv_snapshot.ContentFingerprint();
+  next->planned_dw_fp = next->dw_snapshot.ContentFingerprint();
+
+  const size_t n = next->sessions.size();
+  if (next->slots.size() < n) next->slots.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    SessionSlot& slot = next->slots[i];
+    slot.Reset();
+    const int qi = next->sessions[i].session_id;
+    slot.dw_down = injector_ != nullptr && injector_->DwDownForQuery(qi);
+    if (config_.plan_cache && !slot.dw_down) {
+      // Uncounted peek: the authoritative (counted) lookup happens in
+      // EnsurePlanned's serial pass, and returns the same answer — the
+      // cache only mutates on this thread, and not between here and
+      // there.
+      PlanCacheKey key;
+      key.query_signature = next->sessions[i].query.plan.signature();
+      key.hv_fingerprint = next->planned_hv_fp;
+      key.dw_fingerprint = next->planned_dw_fp;
+      key.cost_epoch = cost_epoch_;
+      if (const PlanCache::Entry* entry = plan_cache_.Peek(key)) {
+        slot.AdoptEntry(*entry);
+      }
+    }
+  }
+
+  // miso-lint: allow(L003) runtime-class pipeline-overlap stamp, see docs/TELEMETRY.md
+  next->dispatched_at = std::chrono::steady_clock::now();
+  next->futures.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Session* session = &next->sessions[i];
+    SessionSlot* slot = &next->slots[i];
+    const ViewCatalog* hv_views = &next->hv_snapshot;
+    const ViewCatalog* dw_views = &next->dw_snapshot;
+    next->futures.push_back(pool_->Submit([this, session, slot, hv_views,
+                                           dw_views] {
+      PlanAndExecute(*session, slot, *hv_views, *dw_views);
+    }));
+  }
+  next->speculative = true;
+  waves_speculative_ += 1;
+}
+
+Status MisoServer::ReduceWave(WaveState* wave) {
+  const size_t n = wave->sessions.size();
+  for (size_t i = 0; i < n; ++i) {
+    Session& session = wave->sessions[i];
+    MISO_RETURN_IF_ERROR(ReduceSession(&session, &wave->slots[i]));
     const int qi = session.session_id;
     const bool query_trigger = config_.sim.reorg_every > 0 &&
                                (qi + 1) % config_.sim.reorg_every == 0;
@@ -529,22 +797,49 @@ Status MisoServer::RunWave(std::vector<Session>* wave) {
   return Status();
 }
 
-void MisoServer::PlanAndExecute(const Session& session,
-                                SessionSlot* slot) const {
-  // Capture everything the layers below emit on this worker; the reducer
-  // replays it at the session's serial point.
-  obs::ScopedTraceCapture trace_capture;
-  obs::ScopedHistogramCapture histogram_capture;
+void MisoServer::ResetWave(WaveState* wave) {
+  wave->sessions.clear();
+  for (SessionSlot& slot : wave->slots) slot.Reset();
+  wave->futures.clear();
+  wave->speculative = false;
+  wave->planned_hv_fp = 0;
+  wave->planned_dw_fp = 0;
+}
+
+void MisoServer::PlanAndExecute(const Session& session, SessionSlot* slot,
+                                const ViewCatalog& hv_views,
+                                const ViewCatalog& dw_views) const {
+  // Capture everything the layers below emit on this worker — trace
+  // lines, FP histogram observations, and counter deltas; the reducer
+  // replays them at the session's serial point (or drops them wholesale
+  // if this was a rejected speculation). Planning and execution capture
+  // separately: the planning capture is what a plan-cache entry stores,
+  // so a future hit replays byte-identical optimizer telemetry.
   const int qi = session.session_id;
 
-  slot->status = [&]() -> Status {
-    slot->dw_down = injector_ != nullptr && injector_->DwDownForQuery(qi);
+  if (!slot->plan_ready) {
+    obs::ScopedTraceCapture trace_capture;
+    obs::ScopedHistogramCapture histogram_capture;
+    obs::ScopedCounterCapture counter_capture;
     optimizer::OptimizeOptions options;
     options.dw_available = !slot->dw_down;
-    MISO_ASSIGN_OR_RETURN(
-        slot->ms, opt_.Optimize(session.query.plan, dw_store_.catalog(),
-                                hv_store_.catalog(), options));
+    Result<MultistorePlan> ms =
+        opt_.Optimize(session.query.plan, dw_views, hv_views, options);
+    slot->opt_trace_lines = trace_capture.TakeLines();
+    slot->opt_histogram_obs = histogram_capture.TakeObservations();
+    slot->opt_counter_deltas = counter_capture.TakeDeltas();
+    if (!ms.ok()) {
+      slot->status = ms.status();
+      return;
+    }
+    slot->ms = std::move(*ms);
+    slot->plan_ready = true;
+  }
 
+  obs::ScopedTraceCapture trace_capture;
+  obs::ScopedHistogramCapture histogram_capture;
+  obs::ScopedCounterCapture counter_capture;
+  slot->status = [&]() -> Status {
     std::vector<NodePtr> hv_roots;
     if (slot->ms.HvOnly()) {
       hv_roots.push_back(slot->ms.executed.root());
@@ -557,7 +852,9 @@ void MisoServer::PlanAndExecute(const Session& session,
     }
     // Scratch ids only; the reducer remaps them in admission order. The
     // creation time is restamped there too (simulated `now` is unknown
-    // on the worker).
+    // on the worker). Harvest dedup reads the frozen catalog (`hv_views`)
+    // rather than the store's live one — under speculation the live
+    // catalog may be mutating.
     uint64_t scratch_id =
         kScratchIdBase + static_cast<uint64_t>(qi) * kScratchIdStride;
     for (size_t ri = 0; ri < hv_roots.size(); ++ri) {
@@ -567,7 +864,8 @@ void MisoServer::PlanAndExecute(const Session& session,
                             /*exclude_signature=*/session.query.plan.signature(),
                             injector_, &fault_plan_.retry,
                             HashCombine(static_cast<uint64_t>(qi) + 1,
-                                        static_cast<uint64_t>(ri))));
+                                        static_cast<uint64_t>(ri)),
+                            &hv_views));
       for (View& v : exec.produced_views) {
         slot->produced.push_back(std::move(v));
       }
@@ -592,6 +890,7 @@ void MisoServer::PlanAndExecute(const Session& session,
 
   slot->trace_lines = trace_capture.TakeLines();
   slot->histogram_obs = histogram_capture.TakeObservations();
+  slot->counter_deltas = counter_capture.TakeDeltas();
 }
 
 Status MisoServer::JoinInFlightReorg() {
@@ -686,8 +985,17 @@ Status MisoServer::JoinInFlightReorg() {
 Status MisoServer::ReduceSession(Session* session, SessionSlot* slot) {
   const int qi = session->session_id;
 
-  // Worker-captured telemetry first: planning/execution events precede
-  // the session's own record, as they would in a serial run.
+  // Worker-captured telemetry first: planning events (possibly replayed
+  // from a plan-cache entry — byte-identical either way), then execution
+  // events, preceding the session's own record exactly as they would in
+  // a serial run. Counter deltas replay here too, so model-class
+  // counters only ever count accepted work, in admission order.
+  obs::ScopedCounterCapture::Replay(slot->opt_counter_deltas);
+  obs::ScopedHistogramCapture::Replay(slot->opt_histogram_obs);
+  for (std::string& line : slot->opt_trace_lines) {
+    obs::Trace().Append(std::move(line));
+  }
+  obs::ScopedCounterCapture::Replay(slot->counter_deltas);
   obs::ScopedHistogramCapture::Replay(slot->histogram_obs);
   for (std::string& line : slot->trace_lines) {
     obs::Trace().Append(std::move(line));
@@ -897,6 +1205,13 @@ Status MisoServer::ReduceSession(Session* session, SessionSlot* slot) {
   report_.fault_backoff_s += record.fault_backoff_s;
 
   history_.push_back(session->query.plan);
+
+  // Server-level observer: a non-OK verdict fails this session and
+  // everything after it (the caller escalates to Fatal; this session's
+  // promise is still unresolved and fails there).
+  if (config_.reduce_observer) {
+    MISO_RETURN_IF_ERROR(config_.reduce_observer(record));
+  }
   report_.queries.push_back(record);
 
   if (obs::MetricsOn()) {
@@ -985,14 +1300,19 @@ void MisoServer::FailSession(Session* session, const Status& status) {
   session->promise.reset();
 }
 
-void MisoServer::Fatal(const Status& status, std::vector<Session>* wave,
-                       size_t from_index) {
+void MisoServer::Fatal(const Status& status) {
   fatal_ = status;
   queue_.Close();
-  if (wave != nullptr) {
-    for (size_t i = from_index; i < wave->size(); ++i) {
-      FailSession(&(*wave)[i], status);
-    }
+  for (WaveState& wave : waves_) {
+    // Drain any speculative dispatch first: workers must finish writing
+    // their slots (and release the frozen snapshots) before the buffers
+    // are failed, so a fatal mid-pipeline never races or leaks a future.
+    for (std::future<void>& future : wave.futures) future.get();
+    wave.futures.clear();
+    wave.speculative = false;
+    // Already-reduced sessions hold a null promise and are skipped.
+    for (Session& session : wave.sessions) FailSession(&session, status);
+    wave.sessions.clear();
   }
   while (std::optional<Session> session = queue_.Pop()) {
     FailSession(&*session, status);

@@ -1,7 +1,9 @@
 #ifndef MISO_SERVER_MISO_SERVER_H_
 #define MISO_SERVER_MISO_SERVER_H_
 
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
@@ -24,6 +26,7 @@
 #include "plan/node_factory.h"
 #include "server/background_reorganizer.h"
 #include "server/epoch.h"
+#include "server/plan_cache.h"
 #include "server/session.h"
 #include "sim/report.h"
 #include "sim/simulator.h"
@@ -62,6 +65,28 @@ struct ServerConfig {
   /// (backpressure instead of unbounded memory growth).
   std::size_t admission_capacity = 256;
 
+  /// True (default): consult the design-epoch plan cache before running
+  /// the optimizer. A hit returns the cached `MultistorePlan` (five-part
+  /// anatomy included) and replays the optimizer telemetry captured when
+  /// it was first computed, so every model-class output is byte-identical
+  /// with the cache off. Invalidated wholesale at every published design
+  /// flip and every DW-outage degradation edge; DW-outage (HV-only)
+  /// plans never consult or populate it.
+  bool plan_cache = true;
+
+  /// Byte budget of the plan cache (LRU beyond it).
+  Bytes plan_cache_bytes = PlanCache::kDefaultMaxBytes;
+
+  /// True (default): while wave N's serial reduce runs on the scheduler
+  /// thread, wave N+1's sessions (when already admitted) plan and
+  /// execute speculatively on the worker pool against a frozen snapshot
+  /// of the live catalogs. The speculation is validated by catalog
+  /// content fingerprint before its results are used and replanned from
+  /// scratch when the design moved (harvest, flip), so all model-class
+  /// outputs are byte-identical with pipelining off. No-op without a
+  /// worker pool (`MISO_THREADS=1`).
+  bool pipeline_waves = true;
+
   /// Hint for fault-plan resolution: profile-derived DW outage windows
   /// are placed relative to this many expected sessions (explicitly
   /// configured windows in `sim.fault.dw_outages` need no hint).
@@ -70,6 +95,14 @@ struct ServerConfig {
   /// Invoked by the scheduler thread after every online reorganization
   /// resolves (published or rolled back) with the live design state.
   std::function<void(const EpochSnapshot&)> epoch_observer;
+
+  /// Invoked by the scheduler thread at every session's serial reduce
+  /// point, after the record is complete and before the session's future
+  /// resolves. A non-OK return is a *server-level* fatal: the failing
+  /// session and everything after it (including an in-flight speculative
+  /// wave) fail with that status and `Finish` returns it. Test/ops hook
+  /// — e.g. turning an SLO breach into a hard stop.
+  std::function<Status(const sim::QueryRecord&)> reduce_observer;
 };
 
 /// The online multistore server: a facade over the same engine stack the
@@ -123,6 +156,30 @@ class MisoServer {
 
  private:
   struct SessionSlot;
+  /// One of the two pooled wave buffers (double-buffered for pipelining).
+  /// Sessions, slots, and futures are reused across waves — `ResetWave`
+  /// clears them without releasing capacity (the hot-path allocation
+  /// diet) — so their vectors never reallocate while speculative workers
+  /// hold pointers into them.
+  struct WaveState {
+    std::vector<Session> sessions;
+    std::vector<SessionSlot> slots;
+    /// True between speculative dispatch and the join in `EnsurePlanned`
+    /// (or `Fatal`). While set, workers may be writing `slots` and
+    /// reading the catalog snapshots below; the scheduler touches
+    /// neither until the futures are joined.
+    bool speculative = false;
+    /// Frozen design the speculation planned against, and its content
+    /// fingerprints — compared against the live catalogs at the join to
+    /// decide accept vs replan.
+    views::ViewCatalog hv_snapshot;
+    views::ViewCatalog dw_snapshot;
+    uint64_t planned_hv_fp = 0;
+    uint64_t planned_dw_fp = 0;
+    std::vector<std::future<void>> futures;
+    // miso-lint: allow(L003) runtime-class overlap histogram timestamp only
+    std::chrono::steady_clock::time_point dispatched_at;
+  };
   /// An in-flight background reorganization, between the boundary flip
   /// and the movement join at the next wave's reduce.
   struct InFlightReorg {
@@ -157,12 +214,38 @@ class MisoServer {
   };
 
   void SchedulerLoop();
-  std::vector<Session> FormWave();
+  /// Span of the next wave: `wave_size`, cut so it never crosses a
+  /// query-count epoch boundary.
+  int WaveSpan() const;
+  /// Blocking wave formation: pops until the span is full or the queue
+  /// is closed and drained.
+  void FormWave(WaveState* wave);
+  /// Non-blocking wave formation for speculation: takes the full span or
+  /// (once closed) the final partial batch, else nothing — wave
+  /// composition stays a pure function of the admission order.
+  bool TryFormWave(WaveState* wave);
   Status StartBoundaryReorg(int boundary_session);
   Status StartOnlineReorg(int boundary_session);
   Status StopTheWorldReorg(int boundary_session);
-  Status RunWave(std::vector<Session>* wave);
-  void PlanAndExecute(const Session& session, SessionSlot* slot) const;
+  /// Makes every slot of `wave` planned and executed against the live
+  /// design: joins a speculative dispatch (accepting it iff the live
+  /// catalogs still fingerprint-match its snapshot), runs the serial
+  /// plan-cache lookup/invalidation pass, fans planning/execution out
+  /// over the pool for whatever remains, then runs the serial cache
+  /// insert pass. All cache decisions happen on the scheduler thread in
+  /// admission order — hit/miss/eviction counts are model-class.
+  void EnsurePlanned(WaveState* wave);
+  /// Speculatively forms wave N+1 and dispatches its planning/execution
+  /// on the worker pool against a frozen catalog snapshot, overlapping
+  /// with wave N's serial reduce. Skipped when pipelining is off, there
+  /// is no pool, or a query-count boundary is known to flip the design
+  /// first.
+  void Speculate(const WaveState* cur, WaveState* next);
+  Status ReduceWave(WaveState* wave);
+  void ResetWave(WaveState* wave);
+  void PlanAndExecute(const Session& session, SessionSlot* slot,
+                      const views::ViewCatalog& hv_views,
+                      const views::ViewCatalog& dw_views) const;
   Status JoinInFlightReorg();
   Status ReduceSession(Session* session, SessionSlot* slot);
   void ExpireGates(bool force);
@@ -174,8 +257,11 @@ class MisoServer {
   void ObserveEpoch(const MovementGate& gate, int boundary_session,
                     Seconds duration);
   void FailSession(Session* session, const Status& status);
-  void Fatal(const Status& status, std::vector<Session>* wave,
-             size_t from_index);
+  /// Engine-level failure: closes admission, joins any speculative
+  /// dispatch (draining in-flight workers before their wave buffers can
+  /// be touched), fails every unresolved session in both wave buffers
+  /// and the queue with `status`.
+  void Fatal(const Status& status);
 
   const relation::Catalog* catalog_;
   ServerConfig config_;
@@ -212,6 +298,22 @@ class MisoServer {
   // Scheduler-thread state (owned by scheduler_ after construction; read
   // by Finish only after the join).
   sim::RunReport report_;
+  // Double-buffered wave storage. Workers write into a wave's slots only
+  // between its dispatch and its join; every scheduler-loop exit path
+  // (normal drain, fatal) joins outstanding futures first, so no worker
+  // can outlive the loop holding pointers into these buffers.
+  WaveState waves_[2];
+  // Serving-path plan cache (scheduler thread only — see PlanCache).
+  PlanCache plan_cache_;
+  uint64_t cost_epoch_ = 0;
+  // DW-availability of the most recently cache-considered session, for
+  // degradation-edge invalidation.
+  bool have_last_dw_down_ = false;
+  bool last_dw_down_ = false;
+  // Runtime-class pipelining tallies (how often speculation ran / was
+  // thrown away — timing-dependent, excluded from determinism).
+  int waves_speculative_ = 0;
+  int waves_replanned_ = 0;
   int next_index_ = 0;  // next admission index to pop (wave-span cuts)
   Seconds now_ = 0;
   Seconds last_reorg_time_ = 0;

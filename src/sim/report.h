@@ -89,6 +89,17 @@ struct RunReport {
   /// Simulated time saved by overlapping reorganization movement with
   /// query execution instead of stopping the world.
   Seconds reorg_overlap_saved_s = 0;
+  /// Serving-path plan cache (model-class: every count is a pure
+  /// function of the admission order; zero with the cache disabled).
+  int64_t plan_cache_hits = 0;
+  int64_t plan_cache_misses = 0;
+  int64_t plan_cache_evictions = 0;
+  int64_t plan_cache_invalidations = 0;
+  /// Wave pipelining (runtime class: how often speculation ran and how
+  /// often it was discarded depend on producer timing — excluded from
+  /// the determinism contract, unlike everything above).
+  int waves_speculative = 0;
+  int waves_replanned = 0;
 
   /// DW resource samples (present when a background workload was set).
   std::vector<dw::DwTickSample> dw_ticks;

@@ -1,0 +1,133 @@
+// Wave pipelining (DESIGN.md §14): while wave N's serial reduce runs,
+// wave N+1's planning speculates on the worker pool against a frozen
+// design snapshot, validated by catalog content fingerprint at the join.
+// The pipeline trades wall-clock only — records and traces are
+// byte-identical with it off — and every scheduler exit path joins the
+// in-flight speculation first, so a fatal mid-reduce can never leave a
+// worker writing into freed wave state or a submitter holding a future
+// that will never resolve.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "server_test_util.h"
+#include "sim/report_io.h"
+
+namespace miso::server {
+namespace {
+
+using server_testing::CycledQueries;
+using server_testing::ServeAll;
+using server_testing::ServedRun;
+using testing_util::PaperCatalog;
+
+ServerConfig PipelineConfig() {
+  ServerConfig config;
+  config.sim.variant = sim::SystemVariant::kMsMiso;
+  config.sim.reorg_every = 0;
+  config.wave_size = 8;
+  config.online_reorg = false;
+  config.admission_capacity = 64;
+  config.pipeline_waves = true;
+  return config;
+}
+
+// A fatal during wave N's reduce (here: a failing reduce observer, the
+// hook a deployment would use for result shipping) must drain the
+// speculatively planned wave N+1 — join its workers, then fail its
+// sessions — not abandon it. Sessions reduced before the fatal keep
+// their results; everything at and after the poisoned session fails
+// with the server status; no future is left unresolved (a stuck future
+// would hang this test, and a worker writing into a destroyed wave
+// would trip ASan/TSan in the sanitizer runs of this label).
+TEST(ServerPipelineTest, FatalMidReduceDrainsSpeculativeWave) {
+  const std::vector<workload::WorkloadQuery> queries = CycledQueries(32);
+  ServerConfig config = PipelineConfig();
+  config.wave_size = 4;
+  constexpr int kPoisoned = 5;
+  config.reduce_observer = [](const sim::QueryRecord& record) -> Status {
+    if (record.index == kPoisoned) {
+      return Status::Internal("result sink rejected session");
+    }
+    return Status::OK();
+  };
+
+  setenv("MISO_THREADS", "4", /*overwrite=*/1);
+  std::vector<std::future<SessionResult>> futures;
+  {
+    MisoServer server(&PaperCatalog(), config);
+    futures.reserve(queries.size());
+    for (const workload::WorkloadQuery& q : queries) {
+      futures.push_back(server.Submit(q));
+    }
+    server.Close();
+    for (size_t i = 0; i < futures.size(); ++i) {
+      const SessionResult result = futures[i].get();
+      if (i < static_cast<size_t>(kPoisoned)) {
+        EXPECT_TRUE(result.status.ok())
+            << "session " << i << ": " << result.status.ToString();
+      } else {
+        EXPECT_FALSE(result.status.ok()) << "session " << i;
+      }
+    }
+    const Result<sim::RunReport> report = server.Finish();
+    EXPECT_FALSE(report.ok());
+  }
+  unsetenv("MISO_THREADS");
+}
+
+// Submitting nothing after a fatal also fails fast instead of queueing
+// into a dead scheduler.
+TEST(ServerPipelineTest, SubmitAfterFatalFailsFast) {
+  std::vector<workload::WorkloadQuery> queries = CycledQueries(2);
+  ServerConfig config = PipelineConfig();
+  config.wave_size = 1;
+  config.reduce_observer = [](const sim::QueryRecord&) {
+    return Status::Internal("always fatal");
+  };
+  MisoServer server(&PaperCatalog(), config);
+  const SessionResult first = server.Submit(queries[0]).get();
+  EXPECT_FALSE(first.status.ok());
+  const SessionResult second = server.Submit(queries[1]).get();
+  EXPECT_FALSE(second.status.ok());
+  EXPECT_FALSE(server.Finish().ok());
+}
+
+TEST(ServerPipelineTest, PipeliningIsByteIdenticalAndObservable) {
+  const std::vector<workload::WorkloadQuery> queries = CycledQueries(256);
+
+  ServerConfig serial = PipelineConfig();
+  serial.sim.trace = true;
+  serial.pipeline_waves = false;
+  MISO_ASSERT_OK_AND_ASSIGN(const ServedRun off,
+                            ServeAll(serial, queries, /*threads=*/1));
+  ASSERT_EQ(off.report.queries.size(), queries.size());
+  EXPECT_EQ(off.report.waves_speculative, 0);
+
+  ServerConfig pipelined = PipelineConfig();
+  pipelined.sim.trace = true;
+  MISO_ASSERT_OK_AND_ASSIGN(const ServedRun on,
+                            ServeAll(pipelined, queries, /*threads=*/4));
+
+  // Model-class outputs are untouched by speculation: accepted waves
+  // were planned against a fingerprint-validated frozen snapshot, and
+  // rejected ones were replanned from scratch.
+  EXPECT_EQ(sim::QueriesToCsv(off.report), sim::QueriesToCsv(on.report));
+  EXPECT_EQ(sim::SummaryToCsv(off.report, /*with_header=*/false),
+            sim::SummaryToCsv(on.report, /*with_header=*/false));
+  EXPECT_EQ(off.report.Tti(), on.report.Tti());
+  EXPECT_EQ(off.trace, on.trace);
+
+  // Runtime-class observability: with a warm queue of 32 waves and no
+  // reorganization boundaries, speculation really ran. (How *often* is
+  // timing-dependent — that is exactly why these two counters live
+  // outside the determinism contract.)
+  EXPECT_GT(on.report.waves_speculative, 0);
+  EXPECT_LE(on.report.waves_replanned, on.report.waves_speculative);
+}
+
+}  // namespace
+}  // namespace miso::server

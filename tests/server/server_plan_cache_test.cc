@@ -1,0 +1,178 @@
+// The design-epoch plan cache's identity and invalidation contract
+// (DESIGN.md §14): a cached plan may only be served while the design it
+// was planned against is provably unchanged — (query signature, HV/DW
+// catalog content fingerprints, cost-model epoch) all match — and the
+// cache is wiped wholesale at every published design flip and every
+// DW-outage degradation edge. DW-outage HV-only replans bypass the cache
+// entirely: they neither hit nor populate the normal-path entries.
+//
+// The ByteIdentityMatrix is the headline: per-session records, run
+// summary, and the JSONL trace are byte-identical whether the cache is
+// on, off, or thrashing under a one-entry byte budget, across
+// MISO_THREADS {1, 2, 8}. The cache trades wall-clock only.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fault/fault.h"
+#include "server_test_util.h"
+#include "server/plan_cache.h"
+#include "sim/report_io.h"
+
+namespace miso::server {
+namespace {
+
+using server_testing::CycledQueries;
+using server_testing::ServeAll;
+using server_testing::ServedRun;
+
+ServerConfig CacheConfig(bool online_reorg, int reorg_every) {
+  ServerConfig config;
+  config.sim.variant = sim::SystemVariant::kMsMiso;
+  config.sim.reorg_every = reorg_every;
+  config.wave_size = 8;
+  config.online_reorg = online_reorg;
+  config.admission_capacity = 64;
+  // Serial waves isolate the cache contract from pipelining (which has
+  // its own battery in server_pipeline_test.cc).
+  config.pipeline_waves = false;
+  return config;
+}
+
+TEST(ServerPlanCacheTest, FlipInvalidatesCacheWholesale) {
+  const std::vector<workload::WorkloadQuery> queries = CycledQueries(96);
+
+  ServerConfig with_flips = CacheConfig(/*online_reorg=*/true,
+                                        /*reorg_every=*/16);
+  MISO_ASSERT_OK_AND_ASSIGN(const ServedRun flips,
+                            ServeAll(with_flips, queries, /*threads=*/1));
+
+  // Every non-degraded session does exactly one counted lookup, decided
+  // serially in admission order; no outage here, so all 96 count.
+  EXPECT_EQ(flips.report.plan_cache_hits + flips.report.plan_cache_misses,
+            96);
+  // One wholesale invalidation per published flip, and nothing else: a
+  // rolled-back or outage-skipped reorganization leaves both catalogs
+  // untouched, so the monotone-growth window stays open.
+  EXPECT_GT(flips.report.epochs_published, 0);
+  EXPECT_EQ(flips.report.plan_cache_invalidations,
+            flips.report.epochs_published);
+
+  // A flip-free serve of the same stream keeps every window open and can
+  // only hit more: the cycled templates re-plan against a stable design.
+  ServerConfig no_flips = CacheConfig(/*online_reorg=*/false,
+                                      /*reorg_every=*/0);
+  MISO_ASSERT_OK_AND_ASSIGN(const ServedRun stable,
+                            ServeAll(no_flips, queries, /*threads=*/1));
+  EXPECT_EQ(stable.report.plan_cache_invalidations, 0);
+  EXPECT_GT(stable.report.plan_cache_hits, 0);
+  EXPECT_GE(stable.report.plan_cache_hits, flips.report.plan_cache_hits);
+}
+
+TEST(ServerPlanCacheTest, OutageWindowNeitherHitsNorPopulates) {
+  const std::vector<workload::WorkloadQuery> queries = CycledQueries(96);
+
+  ServerConfig config = CacheConfig(/*online_reorg=*/false,
+                                    /*reorg_every=*/0);
+  config.sim.fault.profile = fault::FaultProfile::kOutage;
+  config.sim.fault.rate = 0.0;  // the outage window only, no transients
+  config.sim.fault.seed = 1;
+  config.sim.fault.dw_outages = {{/*begin_query=*/16, /*end_query=*/48}};
+
+  MISO_ASSERT_OK_AND_ASSIGN(const ServedRun run,
+                            ServeAll(config, queries, /*threads=*/1));
+
+  // The 32 in-window sessions degrade to HV-only plans...
+  EXPECT_EQ(run.report.degraded_queries, 32);
+  // ...and bypass the cache entirely: only the 64 normal-path sessions
+  // ever perform a counted lookup.
+  EXPECT_EQ(run.report.plan_cache_hits + run.report.plan_cache_misses,
+            96 - 32);
+  // Two degradation edges (entering and leaving the window), each wiping
+  // the cache so no stale pre-outage plan survives the transition.
+  EXPECT_EQ(run.report.plan_cache_invalidations, 2);
+
+  // Degraded replans are byte-identical with the cache off: outage
+  // handling never flows through the cache in either direction.
+  ServerConfig cache_off = config;
+  cache_off.plan_cache = false;
+  MISO_ASSERT_OK_AND_ASSIGN(const ServedRun off,
+                            ServeAll(cache_off, queries, /*threads=*/1));
+  EXPECT_EQ(off.report.plan_cache_hits, 0);
+  EXPECT_EQ(off.report.plan_cache_misses, 0);
+  EXPECT_EQ(sim::QueriesToCsv(run.report), sim::QueriesToCsv(off.report));
+  EXPECT_EQ(run.report.Tti(), off.report.Tti());
+}
+
+TEST(ServerPlanCacheTest, ByteIdentityAcrossCacheModesAndThreadCounts) {
+  const std::vector<workload::WorkloadQuery> queries = CycledQueries(96);
+
+  // Baseline: cache off, serial waves, one thread, trace on — the exact
+  // serving path of the previous generation of the server.
+  ServerConfig baseline = CacheConfig(/*online_reorg=*/true,
+                                      /*reorg_every=*/16);
+  baseline.sim.trace = true;
+  baseline.plan_cache = false;
+  MISO_ASSERT_OK_AND_ASSIGN(const ServedRun base,
+                            ServeAll(baseline, queries, /*threads=*/1));
+  ASSERT_EQ(base.report.queries.size(), queries.size());
+  EXPECT_FALSE(base.trace.empty());
+
+  struct Variant {
+    const char* label;
+    bool cache;
+    Bytes cache_bytes;
+    bool pipeline;
+  };
+  const std::vector<Variant> variants = {
+      {"cache-on", true, PlanCache::kDefaultMaxBytes, false},
+      // A budget below one entry's floor keeps exactly one resident
+      // entry and evicts on every insert — the eviction-heavy extreme.
+      {"cache-tiny", true, PlanCache::kEntryBaseBytes, false},
+      // Cache and speculative wave pipelining together: the full
+      // serving-path fast configuration against the slow baseline.
+      {"cache-on-pipelined", true, PlanCache::kDefaultMaxBytes, true},
+      {"cache-off-pipelined", false, PlanCache::kDefaultMaxBytes, true},
+  };
+  for (const Variant& v : variants) {
+    for (int threads : {1, 2, 8}) {
+      SCOPED_TRACE(std::string(v.label) +
+                   " MISO_THREADS=" + std::to_string(threads));
+      ServerConfig config = baseline;
+      config.plan_cache = v.cache;
+      config.plan_cache_bytes = v.cache_bytes;
+      config.pipeline_waves = v.pipeline;
+      MISO_ASSERT_OK_AND_ASSIGN(const ServedRun run,
+                                ServeAll(config, queries, threads));
+      EXPECT_EQ(sim::QueriesToCsv(base.report), sim::QueriesToCsv(run.report));
+      EXPECT_EQ(sim::SummaryToCsv(base.report, /*with_header=*/false),
+                sim::SummaryToCsv(run.report, /*with_header=*/false));
+      EXPECT_EQ(base.report.Tti(), run.report.Tti());
+      EXPECT_EQ(base.trace, run.trace);
+    }
+  }
+
+  // The counters themselves are model-class for fixed knobs: the same
+  // configuration replays the same hit/miss/eviction totals at any
+  // thread count.
+  ServerConfig tiny = baseline;
+  tiny.plan_cache = true;
+  tiny.plan_cache_bytes = PlanCache::kEntryBaseBytes;
+  MISO_ASSERT_OK_AND_ASSIGN(const ServedRun tiny_one,
+                            ServeAll(tiny, queries, /*threads=*/1));
+  MISO_ASSERT_OK_AND_ASSIGN(const ServedRun tiny_eight,
+                            ServeAll(tiny, queries, /*threads=*/8));
+  EXPECT_EQ(tiny_one.report.plan_cache_hits,
+            tiny_eight.report.plan_cache_hits);
+  EXPECT_EQ(tiny_one.report.plan_cache_misses,
+            tiny_eight.report.plan_cache_misses);
+  EXPECT_EQ(tiny_one.report.plan_cache_evictions,
+            tiny_eight.report.plan_cache_evictions);
+  // The one-entry budget really thrashes: every colliding insert evicts.
+  EXPECT_GT(tiny_one.report.plan_cache_evictions, 0);
+}
+
+}  // namespace
+}  // namespace miso::server

@@ -33,7 +33,11 @@
 # scaling floor: BM_FullOptimizeThreaded/2 real_time must stay within
 # 1.1x of BM_FullOptimizeThreaded/1 — adding a second worker to the
 # batched candidate-costing fan-out must never cost more than 10%, even
-# on single-core machines (docs/PERFORMANCE.md).
+# on single-core machines (docs/PERFORMANCE.md). Finally it asserts the
+# server-throughput floor on the warm paper-workload replay: the plan
+# cache must not lose sessions/s against cache-off, and pipelined waves
+# must stay within 1.1x of serial on 1 thread (where speculation cannot
+# help, only cost).
 #
 # With --fault the run is restricted to the `fault` ctest label — the
 # fault-injection suite (deterministic chaos sweeps across seeds and
@@ -253,6 +257,59 @@ if ratio > 1.1:
     sys.exit(f"check.sh: 2-thread optimize is {ratio:.2f}x the 1-thread "
              "time (> 1.10x budget) — parallelism is a regression; see "
              "docs/PERFORMANCE.md")
+EOF
+
+  # Server-throughput gate, on the same Release build: the warm
+  # paper-workload replay (docs/PERFORMANCE.md "Serving path") must show
+  # (a) the design-epoch plan cache never losing throughput
+  # (cache-on sessions/s >= cache-off, both serial at 1 thread), and
+  # (b) wave pipelining costing at most 10% when it cannot help
+  # (pipelined-vs-serial at 1 thread, cache on for both).
+  echo "== check.sh: server throughput gate (warm replay, Release build)"
+  cmake --build "$PERF_BUILD_DIR" -j"$JOBS" --target bench_server
+  SERVER_JSON="$PERF_BUILD_DIR/server_warm_replay.json"
+  "$PERF_BUILD_DIR/bench/bench_server" \
+      --benchmark_filter='^BM_ServerWarmReplay/' \
+      --benchmark_out="$SERVER_JSON" \
+      --benchmark_out_format=json >/dev/null
+  python3 - "$SERVER_JSON" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+rows = {}
+for bench in doc["benchmarks"]:
+    if bench.get("run_type") == "aggregate":
+        continue
+    rows[bench["name"]] = bench
+
+
+def row(cache, pipeline, threads):
+    name = "BM_ServerWarmReplay/%d/%d/%d/real_time" % (cache, pipeline,
+                                                       threads)
+    if name not in rows:
+        sys.exit("check.sh: %s missing from %s" % (name, sys.argv[1]))
+    return rows[name]
+
+
+cache_off = row(0, 0, 1)["sessions_per_s"]
+cache_on = row(1, 0, 1)["sessions_per_s"]
+print(f"== check.sh: warm replay sessions/s: cache-on {cache_on:.1f} vs "
+      f"cache-off {cache_off:.1f} ({cache_on / cache_off:.2f}x)")
+if cache_on < cache_off:
+    sys.exit(f"check.sh: plan cache LOSES throughput on the warm replay "
+             f"({cache_on:.1f} < {cache_off:.1f} sessions/s) — see "
+             "docs/PERFORMANCE.md 'Serving path'")
+serial = row(1, 0, 1)["real_time"]
+pipelined = row(1, 1, 1)["real_time"]
+ratio = pipelined / serial
+print(f"== check.sh: warm replay pipelined/serial real_time at 1 thread = "
+      f"{ratio:.3f}")
+if ratio > 1.1:
+    sys.exit(f"check.sh: pipelined serving is {ratio:.2f}x the serial time "
+             "on 1 thread (> 1.10x budget) — speculation overhead is a "
+             "regression; see docs/PERFORMANCE.md 'Serving path'")
 EOF
 fi
 
