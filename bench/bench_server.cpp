@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "fault/fault.h"
 #include "server/miso_server.h"
 
 namespace miso {
@@ -190,6 +191,101 @@ BENCHMARK(BM_ServerWarmReplay)
     ->Args({0, 1, 4})   // pipelining alone
     ->Args({1, 1, 1})   // both, single worker
     ->Args({1, 1, 4})   // both, worker pool: the headline row
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Overload-protected serve under the chaos fault profile: admission
+/// deadlines shed the batch tier while the DW-health circuit breaker
+/// (when on) rides out the injected fault bursts by serving HV-only
+/// (DESIGN.md §16). Shed and retry-exhausted sessions are *expected*
+/// terminal outcomes here, not measurement errors — only an aborted
+/// session (run-level fatal) skips the iteration. Args: {breaker,
+/// MISO_THREADS}.
+void BM_ServerOverloadShed(benchmark::State& state) {
+  const bool breaker = state.range(0) != 0;
+  const int threads = static_cast<int>(state.range(1));
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%d", threads);
+  setenv("MISO_THREADS", buf, /*overwrite=*/1);
+
+  const std::vector<workload::WorkloadQuery> queries = CycledSessions(kSessions);
+  int sessions_shed = 0;
+  int sessions_failed = 0;
+  int breaker_degraded = 0;
+  int breaker_transitions = 0;
+  double breaker_open_s = 0;
+  for (auto _ : state) {
+    server::ServerConfig config;
+    config.sim = DefaultConfig(sim::SystemVariant::kMsMiso);
+    config.sim.reorg_every = 16;
+    config.wave_size = 8;
+    config.online_reorg = true;
+    config.admission_capacity = 64;
+    config.expected_sessions = kSessions;
+    // The harsh end of the chaos profile: enough faults that the retry
+    // budget (2 attempts) actually runs dry and the breaker has real
+    // bursts to trip on.
+    config.sim.fault.profile = fault::FaultProfile::kChaos;
+    config.sim.fault.seed = 5;
+    config.sim.fault.rate = 0.3;
+    config.sim.fault.retry.max_attempts = 2;
+    // Gold tier never sheds; the batch tier gets a deadline shorter than
+    // the tail of the run, so the back half of its sessions shed.
+    config.overload.admission_deadlines = true;
+    config.overload.classes = {{"gold", 0}, {"batch", 30000}};
+    config.overload.classifier = [](const workload::WorkloadQuery&,
+                                    int session_id) { return session_id % 2; };
+    config.overload.breaker = breaker;
+    config.overload.breaker_failure_threshold = 2;
+    // Must dwarf a session's simulated runtime (thousands of seconds) or
+    // the breaker re-probes before a wave ever plans against open.
+    config.overload.breaker_cooldown_s = 100000;
+    config.overload.breaker_half_open_successes = 2;
+
+    server::MisoServer server(&Catalog(), config);
+    std::vector<std::future<server::SessionResult>> futures;
+    futures.reserve(queries.size());
+    for (const workload::WorkloadQuery& q : queries) {
+      futures.push_back(server.Submit(q));
+    }
+    server.Close();
+    for (std::future<server::SessionResult>& f : futures) {
+      const server::SessionResult result = f.get();
+      if (result.outcome == server::SessionOutcome::kAborted) {
+        state.SkipWithError(result.status.ToString().c_str());
+        return;
+      }
+    }
+    auto report = server.Finish();
+    if (!report.ok()) {
+      state.SkipWithError(report.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(report->Tti());
+    sessions_shed = report->sessions_shed;
+    sessions_failed = report->sessions_failed;
+    breaker_degraded = report->breaker_degraded_sessions;
+    breaker_transitions = report->breaker_transitions;
+    breaker_open_s = report->breaker_open_s;
+  }
+  unsetenv("MISO_THREADS");
+
+  state.SetItemsProcessed(state.iterations() * kSessions);
+  state.counters["sessions_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kSessions,
+      benchmark::Counter::kIsRate);
+  state.counters["sessions_shed"] = sessions_shed;
+  state.counters["sessions_failed"] = sessions_failed;
+  state.counters["breaker_degraded"] = breaker_degraded;
+  state.counters["breaker_transitions"] = breaker_transitions;
+  state.counters["breaker_open_sim_s"] = breaker_open_s;
+  state.SetLabel(std::string("chaos breaker=") + (breaker ? "on" : "off") +
+                 " threads=" + std::to_string(threads));
+}
+BENCHMARK(BM_ServerOverloadShed)
+    ->Args({0, 1})   // shedding alone, breaker closed for good
+    ->Args({1, 1})   // + DW-health breaker, serial workers
+    ->Args({1, 4})   // + worker pool (byte-identical counters, faster wall)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

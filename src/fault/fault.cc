@@ -55,6 +55,10 @@ const char* FaultSiteName(FaultSite site) {
   return "?";
 }
 
+bool IsDwPathSite(FaultSite site) {
+  return site == FaultSite::kTransfer || site == FaultSite::kDwLoad;
+}
+
 FaultPlan FaultPlan::Resolve(const FaultSpec& spec, int num_queries) {
   FaultPlan plan;
   plan.profile = spec.profile == FaultProfile::kEnv ? ProfileFromEnv()

@@ -32,6 +32,12 @@ enum class FaultSite {
 
 const char* FaultSiteName(FaultSite site);
 
+/// True for the sites on the HV->DW data path (kTransfer, kDwLoad) whose
+/// failures indict the warehouse itself. HV job faults and reorg crashes
+/// say nothing about DW health, so the server's DW circuit breaker
+/// (DESIGN.md §16) must ignore them.
+bool IsDwPathSite(FaultSite site);
+
 /// Named fault mixes, selectable programmatically or via
 /// `MISO_FAULT_PROFILE` (off | transient | outage | chaos).
 enum class FaultProfile {

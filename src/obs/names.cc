@@ -107,6 +107,10 @@ std::vector<const char*> AllMetricNames() {
       names::kServerPlanCacheHits,
       names::kServerPlanCacheMisses,
       names::kServerPlanCacheEvictions,
+      names::kServerSessionsShed,
+      names::kServerSessionsFailed,
+      names::kServerBreakerTransitions,
+      names::kServerBreakerOpenMs,
       names::kServerSessionLatencyMs,
       names::kServerAdmissionQueueHighWater,
       names::kServerWavePipelineOverlapMs,
@@ -122,7 +126,7 @@ std::vector<const char*> AllTraceEventKinds() {
       names::kEvViewDecision, names::kEvSimQuery,    names::kEvSimReorg,
       names::kEvExplainVerify, names::kEvFaultQuery,
       names::kEvFaultReorgRecovery, names::kEvServerSession,
-      names::kEvServerEpoch,
+      names::kEvServerEpoch, names::kEvServerBreaker,
   };
   std::sort(all.begin(), all.end(),
             [](const char* a, const char* b) { return std::string_view(a) < b; });

@@ -106,6 +106,16 @@ inline constexpr char kServerPlanCacheMisses[] =
     "miso.server.plan_cache_misses_total";
 inline constexpr char kServerPlanCacheEvictions[] =
     "miso.server.plan_cache_evictions_total";
+// Overload protection (DESIGN.md §16): shed/failed/breaker decisions are
+// made serially against the simulated clock, so all four stay model
+// class — breaker_open_ms is cumulative *simulated* milliseconds open.
+inline constexpr char kServerSessionsShed[] =
+    "miso.server.sessions_shed_total";
+inline constexpr char kServerSessionsFailed[] =
+    "miso.server.sessions_failed_total";
+inline constexpr char kServerBreakerTransitions[] =
+    "miso.server.breaker_transitions_total";
+inline constexpr char kServerBreakerOpenMs[] = "miso.server.breaker_open_ms";
 // Runtime class — wall-clock admission/queue behaviour, varies with
 // MISO_THREADS and machine load (see docs/TELEMETRY.md).
 inline constexpr char kServerSessionLatencyMs[] =
@@ -127,6 +137,7 @@ inline constexpr char kEvFaultQuery[] = "fault.query";
 inline constexpr char kEvFaultReorgRecovery[] = "fault.reorg_recovery";
 inline constexpr char kEvServerSession[] = "server.session";
 inline constexpr char kEvServerEpoch[] = "server.epoch";
+inline constexpr char kEvServerBreaker[] = "server.breaker";
 
 // --- label values for kSimMovedBytes ----------------------------------
 inline constexpr char kDirToDw[] = "to_dw";

@@ -10,6 +10,8 @@
 #include "obs/names.h"
 #include "sim/variants.h"
 #include "tuner/reorg_journal.h"
+#include "verify/error_codes.h"
+#include "verify/server_invariants.h"
 #include "verify/verify_gate.h"
 
 namespace miso::server {
@@ -86,6 +88,10 @@ void PublishPoolStats(const ThreadPool* pool) {
 struct MisoServer::SessionSlot {
   Status status;
   bool dw_down = false;
+  // DW-health breaker was open when this session was planned: the plan
+  // is HV-only (degraded), and the session never consults or populates
+  // the plan cache — exactly like an outage window.
+  bool breaker_open = false;
 
   // Planning phase. `plan_ready` marks `ms` + the opt_* telemetry as
   // present (from the plan cache or a completed Optimize), letting
@@ -113,6 +119,7 @@ struct MisoServer::SessionSlot {
   void Reset() {
     status = Status();
     dw_down = false;
+    breaker_open = false;
     plan_ready = false;
     fill = false;
     key = PlanCacheKey();
@@ -173,6 +180,7 @@ MisoServer::MisoServer(const relation::Catalog* catalog,
     injector_storage_.emplace(fault_plan_);
     injector_ = &*injector_storage_;
   }
+  if (config_.overload.breaker) breaker_.emplace(config_.overload);
   if (cfg.whatif_cache) {
     whatif_cache_.SetEpoch(
         optimizer::WhatIfCache::EpochOf(cfg.hv, cfg.dw, cfg.transfer));
@@ -231,6 +239,7 @@ std::future<SessionResult> MisoServer::Submit(workload::WorkloadQuery query) {
   if (!admitted) {
     SessionResult rejected;
     rejected.session_id = session_id;
+    rejected.outcome = SessionOutcome::kAborted;
     rejected.status = !started_ && !fatal_.ok()
                           ? fatal_
                           : Status::FailedPrecondition(
@@ -262,11 +271,29 @@ Result<sim::RunReport> MisoServer::Finish() {
     report_.plan_cache_invalidations = cache_stats.invalidations;
     report_.waves_speculative = waves_speculative_;
     report_.waves_replanned = waves_replanned_;
+    {
+      MutexLock lock(admission_mutex_);
+      report_.sessions_admitted = next_session_id_;
+    }
+    report_.sessions_shed = sessions_shed_;
+    report_.sessions_failed = sessions_failed_;
+    report_.breaker_degraded_sessions = breaker_degraded_sessions_;
+    if (breaker_) {
+      report_.breaker_transitions = breaker_->transitions();
+      report_.breaker_open_s = breaker_->OpenSeconds(now_);
+    }
     if (obs::MetricsOn()) {
       obs::Metrics()
           .GetGauge(obs::names::kServerAdmissionQueueHighWater)
           ->Max(static_cast<double>(queue_.high_water()));
     }
+  }
+  if (config_.overload.Enabled()) {
+    // V212: every admitted session must land in exactly one terminal
+    // bucket on a non-fatal run.
+    MISO_RETURN_IF_ERROR(verify::VerifyShedAccounting(
+        report_.sessions_admitted, static_cast<int>(report_.queries.size()),
+        report_.sessions_shed, report_.sessions_failed));
   }
   return report_;
 }
@@ -363,10 +390,12 @@ bool MisoServer::TryFormWave(WaveState* wave) {
 }
 
 Status MisoServer::StartBoundaryReorg(int boundary_session) {
-  // A reorganization moves views into/out of the DW; during an outage it
-  // is deferred to the next boundary rather than attempted (mirrors the
+  // A reorganization moves views into/out of the DW; during an outage —
+  // or while the DW-health breaker has the warehouse resting — it is
+  // deferred to the next boundary rather than attempted (mirrors the
   // simulator's skip, evaluated against the boundary session's index).
-  if (injector_ != nullptr && injector_->DwDownForQuery(boundary_session)) {
+  if (BreakerOpen() ||
+      (injector_ != nullptr && injector_->DwDownForQuery(boundary_session))) {
     report_.reorgs_skipped += 1;
     if (obs::MetricsOn()) {
       obs::Metrics().GetCounter(obs::names::kFaultReorgsSkipped)->Increment();
@@ -593,6 +622,15 @@ Status MisoServer::StopTheWorldReorg(int boundary_session) {
 }
 
 void MisoServer::EnsurePlanned(WaveState* wave) {
+  // Breaker cooldown first, at the serial head of the wave: the open ->
+  // half-open edge is driven purely by the simulated clock, so it lands
+  // at a point fixed by the admission order.
+  if (breaker_) {
+    if (std::optional<DwCircuitBreaker::Edge> edge =
+            breaker_->AdvanceTime(now_)) {
+      OnBreakerEdge(*edge);
+    }
+  }
   const size_t n = wave->sessions.size();
   if (wave->slots.size() < n) wave->slots.resize(n);
   bool already_planned = false;
@@ -617,8 +655,13 @@ void MisoServer::EnsurePlanned(WaveState* wave) {
     // slots never touched any global state (captures defer trace lines,
     // histogram observations, and counter deltas), so a rejected
     // speculation is invisible in every model-class output.
+    // A breaker edge since dispatch changed DW availability the same way
+    // a design flip changes the catalogs, so it rejects the speculation
+    // through the same gate.
     if (wave->planned_hv_fp == hv_store_.catalog().ContentFingerprint() &&
-        wave->planned_dw_fp == dw_store_.catalog().ContentFingerprint()) {
+        wave->planned_dw_fp == dw_store_.catalog().ContentFingerprint() &&
+        (!breaker_ ||
+         wave->planned_breaker_epoch == breaker_->transition_epoch())) {
       already_planned = true;
     } else {
       waves_replanned_ += 1;
@@ -645,6 +688,7 @@ void MisoServer::EnsurePlanned(WaveState* wave) {
     const Session& session = wave->sessions[i];
     const int qi = session.session_id;
     slot.dw_down = injector_ != nullptr && injector_->DwDownForQuery(qi);
+    slot.breaker_open = BreakerOpen();
     if (cache_on && injector_ != nullptr &&
         (!have_last_dw_down_ || last_dw_down_ != slot.dw_down)) {
       // Degradation-window edge: HV-only plans and normal plans must
@@ -653,7 +697,9 @@ void MisoServer::EnsurePlanned(WaveState* wave) {
       have_last_dw_down_ = true;
       last_dw_down_ = slot.dw_down;
     }
-    if (!cache_on || slot.dw_down) continue;  // outage: never hit/populate
+    // Degraded (outage or breaker-open) sessions never hit/populate the
+    // cache; breaker edges invalidate it wholesale in OnBreakerEdge.
+    if (!cache_on || slot.dw_down || slot.breaker_open) continue;
     slot.key.query_signature = session.query.plan.signature();
     slot.key.hv_fingerprint = hv_fp;
     slot.key.dw_fingerprint = dw_fp;
@@ -731,6 +777,7 @@ void MisoServer::Speculate(const WaveState* cur, WaveState* next) {
   next->dw_snapshot = dw_store_.catalog();
   next->planned_hv_fp = next->hv_snapshot.ContentFingerprint();
   next->planned_dw_fp = next->dw_snapshot.ContentFingerprint();
+  next->planned_breaker_epoch = breaker_ ? breaker_->transition_epoch() : 0;
 
   const size_t n = next->sessions.size();
   if (next->slots.size() < n) next->slots.resize(n);
@@ -739,7 +786,8 @@ void MisoServer::Speculate(const WaveState* cur, WaveState* next) {
     slot.Reset();
     const int qi = next->sessions[i].session_id;
     slot.dw_down = injector_ != nullptr && injector_->DwDownForQuery(qi);
-    if (config_.plan_cache && !slot.dw_down) {
+    slot.breaker_open = BreakerOpen();
+    if (config_.plan_cache && !slot.dw_down && !slot.breaker_open) {
       // Uncounted peek: the authoritative (counted) lookup happens in
       // EnsurePlanned's serial pass, and returns the same answer — the
       // cache only mutates on this thread, and not between here and
@@ -773,7 +821,11 @@ void MisoServer::Speculate(const WaveState* cur, WaveState* next) {
 }
 
 Status MisoServer::ReduceWave(WaveState* wave) {
+  // V211 latches inside the breaker on an illegal edge (a server bug,
+  // never an operator condition); escalate it to a run-level fatal here.
+  if (breaker_ && !breaker_->status().ok()) return breaker_->status();
   const size_t n = wave->sessions.size();
+  const size_t completed_before = report_.queries.size();
   for (size_t i = 0; i < n; ++i) {
     Session& session = wave->sessions[i];
     MISO_RETURN_IF_ERROR(ReduceSession(&session, &wave->slots[i]));
@@ -794,6 +846,27 @@ Status MisoServer::ReduceWave(WaveState* wave) {
   if (obs::MetricsOn()) {
     obs::Metrics().GetCounter(obs::names::kServerWaves)->Increment();
   }
+  // Stuck-wave watchdog, in simulated/admission terms only: a wave that
+  // reduced sessions without completing a single one (everything shed or
+  // failed) counts as stuck, and a configured streak of them fails fast
+  // with a diagnosable verdict instead of grinding to the drain.
+  if (config_.overload.watchdog_stuck_waves > 0 && n > 0) {
+    if (report_.queries.size() == completed_before) {
+      consecutive_stuck_waves_ += 1;
+    } else {
+      consecutive_stuck_waves_ = 0;
+    }
+    if (consecutive_stuck_waves_ >= config_.overload.watchdog_stuck_waves) {
+      return verify::MakeVerifyError(
+          verify::VerifyCode::kServerWaveStuck,
+          "watchdog: " + std::to_string(consecutive_stuck_waves_) +
+              " consecutive waves (through wave " +
+              std::to_string(report_.waves) +
+              ") reduced without one completed session; shed=" +
+              std::to_string(sessions_shed_) +
+              " failed=" + std::to_string(sessions_failed_));
+    }
+  }
   return Status();
 }
 
@@ -804,6 +877,7 @@ void MisoServer::ResetWave(WaveState* wave) {
   wave->speculative = false;
   wave->planned_hv_fp = 0;
   wave->planned_dw_fp = 0;
+  wave->planned_breaker_epoch = 0;
 }
 
 void MisoServer::PlanAndExecute(const Session& session, SessionSlot* slot,
@@ -822,7 +896,7 @@ void MisoServer::PlanAndExecute(const Session& session, SessionSlot* slot,
     obs::ScopedHistogramCapture histogram_capture;
     obs::ScopedCounterCapture counter_capture;
     optimizer::OptimizeOptions options;
-    options.dw_available = !slot->dw_down;
+    options.dw_available = !slot->dw_down && !slot->breaker_open;
     Result<MultistorePlan> ms =
         opt_.Optimize(session.query.plan, dw_views, hv_views, options);
     slot->opt_trace_lines = trace_capture.TakeLines();
@@ -985,6 +1059,21 @@ Status MisoServer::JoinInFlightReorg() {
 Status MisoServer::ReduceSession(Session* session, SessionSlot* slot) {
   const int qi = session->session_id;
 
+  // Load shedding first, before any of this session's telemetry or
+  // clock advance lands: the decision reads only the simulated clock,
+  // the session's deterministic arrival time, and its priority class,
+  // so it is a pure function of the admission order. A shed session's
+  // worker output (it already planned/executed into the slot) is
+  // dropped wholesale, exactly like a rejected speculation.
+  if (config_.overload.admission_deadlines) {
+    const Seconds deadline = DeadlineFor(*session);
+    const Seconds queue_wait = now_ - ArrivalTime(qi);
+    if (deadline > 0 && queue_wait > deadline) {
+      ShedSession(session, slot, queue_wait, deadline);
+      return Status();
+    }
+  }
+
   // Worker-captured telemetry first: planning events (possibly replayed
   // from a plan-cache entry — byte-identical either way), then execution
   // events, preceding the session's own record exactly as they would in
@@ -1008,7 +1097,23 @@ Status MisoServer::ReduceSession(Session* session, SessionSlot* slot) {
     if (injector_ != nullptr && obs::MetricsOn()) {
       obs::Metrics().GetCounter(obs::names::kFaultExhausted)->Increment();
     }
-    FailSession(session, slot->status);
+    sessions_failed_ += 1;
+    if (config_.overload.Enabled() && obs::MetricsOn()) {
+      obs::Metrics().GetCounter(obs::names::kServerSessionsFailed)
+          ->Increment();
+    }
+    // An exhausted DW path is the strongest health signal there is —
+    // the breaker hears about it even though the session died on it.
+    if (breaker_) {
+      const bool dw_contact =
+          slot->plan_ready && !slot->ms.HvOnly() && !slot->dw_down;
+      const bool dw_faulted = slot->ws.injected > 0 || slot->ws.exhausted;
+      if (std::optional<DwCircuitBreaker::Edge> edge =
+              breaker_->RecordOutcome(dw_contact, dw_faulted, now_)) {
+        OnBreakerEdge(*edge);
+      }
+    }
+    FailSession(session, slot->status, SessionOutcome::kFailed);
     return Status();
   }
 
@@ -1017,12 +1122,18 @@ Status MisoServer::ReduceSession(Session* session, SessionSlot* slot) {
   record.name = session->query.plan.query_name();
   record.ops_total = session->query.plan.NumOperators();
   record.epoch = epoch_;
-  record.degraded = slot->dw_down;
+  record.degraded = slot->dw_down || slot->breaker_open;
+  record.breaker_degraded = slot->breaker_open && !slot->dw_down;
+  if (record.breaker_degraded) breaker_degraded_sessions_ += 1;
   if (record.degraded) {
     report_.degraded_queries += 1;
     if (obs::MetricsOn()) {
-      obs::Metrics().GetCounter(obs::names::kFaultDwOutageQueries)
-          ->Increment();
+      // kFaultDwOutageQueries stays outage-specific; breaker-degraded
+      // sessions count only under the server-wide degradation counter.
+      if (slot->dw_down) {
+        obs::Metrics().GetCounter(obs::names::kFaultDwOutageQueries)
+            ->Increment();
+      }
       obs::Metrics().GetCounter(obs::names::kServerSessionsDegraded)
           ->Increment();
     }
@@ -1204,6 +1315,20 @@ Status MisoServer::ReduceSession(Session* session, SessionSlot* slot) {
   report_.fault_wasted_s += record.fault_wasted_s;
   report_.fault_backoff_s += record.fault_backoff_s;
 
+  // DW-health evidence: sessions whose plan actually touched the
+  // warehouse report whether the DW path (transfer / load sites, never
+  // HV job faults) injected failures. Degraded sessions ran HV-only and
+  // carry no evidence. Fed at the serial reduce point against the
+  // simulated clock, so every breaker edge is model-class.
+  if (breaker_) {
+    const bool dw_contact = !ms.HvOnly() && !record.degraded;
+    const bool dw_faulted = slot->ws.injected > 0 || slot->ws.exhausted;
+    if (std::optional<DwCircuitBreaker::Edge> edge =
+            breaker_->RecordOutcome(dw_contact, dw_faulted, now_)) {
+      OnBreakerEdge(*edge);
+    }
+  }
+
   history_.push_back(session->query.plan);
 
   // Server-level observer: a non-OK verdict fails this session and
@@ -1290,14 +1415,81 @@ void MisoServer::ObserveEpoch(const MovementGate& gate, int boundary_session,
   config_.epoch_observer(snapshot);
 }
 
-void MisoServer::FailSession(Session* session, const Status& status) {
+void MisoServer::FailSession(Session* session, const Status& status,
+                             SessionOutcome outcome) {
   if (!session->promise) return;
   SessionResult result;
   result.session_id = session->session_id;
   result.epoch = epoch_;
   result.status = status;
+  result.outcome = outcome;
   session->promise->set_value(std::move(result));
   session->promise.reset();
+}
+
+Seconds MisoServer::ArrivalTime(int session_id) const {
+  // Simulated arrival: session i arrives at i * interval. With the
+  // default interval 0 every session arrives at t=0 and "queue wait" is
+  // the simulated completion clock itself.
+  return config_.overload.arrival_interval_s * session_id;
+}
+
+Seconds MisoServer::DeadlineFor(const Session& session) const {
+  const OverloadConfig& overload = config_.overload;
+  if (overload.classes.empty()) return 0;  // one implicit class, no deadline
+  int cls = 0;
+  if (overload.classifier) {
+    cls = overload.classifier(session.query, session.session_id);
+  }
+  cls = std::clamp(cls, 0, static_cast<int>(overload.classes.size()) - 1);
+  return overload.classes[static_cast<size_t>(cls)].deadline_s;
+}
+
+void MisoServer::ShedSession(Session* session, SessionSlot* slot,
+                             Seconds wait, Seconds deadline) {
+  // The slot's captured telemetry is deliberately dropped — a shed
+  // session is invisible in every model-class output except the shed
+  // count itself.
+  (void)slot;
+  sessions_shed_ += 1;
+  if (obs::MetricsOn()) {
+    obs::Metrics().GetCounter(obs::names::kServerSessionsShed)->Increment();
+  }
+  SessionResult result;
+  result.session_id = session->session_id;
+  result.epoch = epoch_;
+  result.outcome = SessionOutcome::kShed;
+  result.status = Status::OutOfBudget(
+      "session " + std::to_string(session->session_id) +
+      " shed: simulated queue wait " + std::to_string(wait) +
+      "s exceeded its class deadline " + std::to_string(deadline) + "s");
+  session->promise->set_value(std::move(result));
+  session->promise.reset();
+}
+
+bool MisoServer::BreakerOpen() const {
+  return breaker_.has_value() && breaker_->state() == BreakerState::kOpen;
+}
+
+void MisoServer::OnBreakerEdge(const DwCircuitBreaker::Edge& edge) {
+  // Every edge flips DW availability for planning, so cached plans from
+  // the previous regime must never serve the new one — wholesale
+  // invalidation, exactly like a DW-outage degradation edge.
+  if (config_.plan_cache) plan_cache_.Invalidate();
+  if (obs::MetricsOn()) {
+    obs::MetricsRegistry& registry = obs::Metrics();
+    registry.GetCounter(obs::names::kServerBreakerTransitions)->Increment();
+    registry.GetGauge(obs::names::kServerBreakerOpenMs)
+        ->Set(breaker_->OpenSeconds(edge.at) * 1000.0);
+  }
+  if (obs::TraceOn()) {
+    obs::Emit(obs::TraceEvent(obs::names::kEvServerBreaker)
+                  .Str("from", BreakerStateName(edge.from))
+                  .Str("to", BreakerStateName(edge.to))
+                  .Int("failures", edge.failures)
+                  .Double("at_s", edge.at)
+                  .Double("open_s", breaker_->OpenSeconds(edge.at)));
+  }
 }
 
 void MisoServer::Fatal(const Status& status) {

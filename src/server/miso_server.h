@@ -26,6 +26,7 @@
 #include "plan/node_factory.h"
 #include "server/background_reorganizer.h"
 #include "server/epoch.h"
+#include "server/overload.h"
 #include "server/plan_cache.h"
 #include "server/session.h"
 #include "sim/report.h"
@@ -103,6 +104,13 @@ struct ServerConfig {
   /// wave) fail with that status and `Finish` returns it. Test/ops hook
   /// — e.g. turning an SLO breach into a hard stop.
   std::function<Status(const sim::QueryRecord&)> reduce_observer;
+
+  /// Overload protection (DESIGN.md §16): admission deadlines with
+  /// priority-class load shedding, the DW-health circuit breaker, and
+  /// the stuck-wave watchdog. All default off; a default-constructed
+  /// OverloadConfig leaves the serving path byte-identical to the
+  /// pre-overload pipeline.
+  OverloadConfig overload;
 };
 
 /// The online multistore server: a facade over the same engine stack the
@@ -176,6 +184,10 @@ class MisoServer {
     views::ViewCatalog dw_snapshot;
     uint64_t planned_hv_fp = 0;
     uint64_t planned_dw_fp = 0;
+    /// Breaker transition epoch at speculation time: a breaker edge
+    /// between dispatch and join changes DW availability, so the wave is
+    /// replanned exactly like a fingerprint mismatch.
+    uint64_t planned_breaker_epoch = 0;
     std::vector<std::future<void>> futures;
     // miso-lint: allow(L003) runtime-class overlap histogram timestamp only
     std::chrono::steady_clock::time_point dispatched_at;
@@ -256,7 +268,22 @@ class MisoServer {
   void EmitEpochTrace(const MovementGate& gate, Seconds overlap_saved_s);
   void ObserveEpoch(const MovementGate& gate, int boundary_session,
                     Seconds duration);
-  void FailSession(Session* session, const Status& status);
+  void FailSession(Session* session, const Status& status,
+                   SessionOutcome outcome = SessionOutcome::kAborted);
+  /// Simulated arrival time of a session under the overload config.
+  Seconds ArrivalTime(int session_id) const;
+  /// Deadline of the session's priority class (<= 0: never shed).
+  Seconds DeadlineFor(const Session& session) const;
+  /// Sheds one session at its serial reduce point: resolves its future
+  /// with a terminal kShed status, drops its captured telemetry
+  /// wholesale, and counts it. The decision is a pure function of the
+  /// admission order and the simulated clock.
+  void ShedSession(Session* session, SessionSlot* slot, Seconds wait,
+                   Seconds deadline);
+  /// True while the DW-health breaker denies warehouse access.
+  bool BreakerOpen() const;
+  /// Plan-cache invalidation + telemetry at every breaker edge.
+  void OnBreakerEdge(const DwCircuitBreaker::Edge& edge);
   /// Engine-level failure: closes admission, joins any speculative
   /// dispatch (draining in-flight workers before their wave buffers can
   /// be touched), fails every unresolved session in both wave buffers
@@ -325,6 +352,13 @@ class MisoServer {
   std::optional<InFlightReorg> in_flight_;
   std::vector<MovementGate> gates_;
   Seconds overlap_saved_total_ = 0;
+  // Overload protection (scheduler thread only): breaker engaged iff
+  // config_.overload.breaker; shed/failed tallies are model-class.
+  std::optional<DwCircuitBreaker> breaker_;
+  int sessions_shed_ = 0;
+  int sessions_failed_ = 0;
+  int breaker_degraded_sessions_ = 0;
+  int consecutive_stuck_waves_ = 0;
   Status fatal_;
 
   bool started_ = false;

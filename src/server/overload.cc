@@ -1,0 +1,100 @@
+#include "server/overload.h"
+
+#include <algorithm>
+
+#include "verify/server_invariants.h"
+
+namespace miso::server {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+DwCircuitBreaker::DwCircuitBreaker(const OverloadConfig& config)
+    : failure_threshold_(std::max(1, config.breaker_failure_threshold)),
+      cooldown_s_(config.breaker_cooldown_s),
+      half_open_successes_(std::max(1, config.breaker_half_open_successes)) {}
+
+std::optional<DwCircuitBreaker::Edge> DwCircuitBreaker::AdvanceTime(
+    Seconds now) {
+  if (state_ != BreakerState::kOpen) return std::nullopt;
+  if (now - opened_at_ < cooldown_s_) return std::nullopt;
+  return TransitionTo(BreakerState::kHalfOpen, now);
+}
+
+std::optional<DwCircuitBreaker::Edge> DwCircuitBreaker::RecordOutcome(
+    bool dw_contact, bool faulted, Seconds now) {
+  // Sessions that never touched the warehouse (HV-only plans, degraded
+  // sessions while open) carry no evidence either way.
+  if (!dw_contact) return std::nullopt;
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (faulted) {
+        consecutive_failures_ += 1;
+        if (consecutive_failures_ >= failure_threshold_) {
+          return TransitionTo(BreakerState::kOpen, now);
+        }
+      } else {
+        consecutive_failures_ = 0;
+      }
+      return std::nullopt;
+    case BreakerState::kOpen:
+      // Sessions planned before the edge can still report DW contact;
+      // they decide nothing while the breaker rests.
+      return std::nullopt;
+    case BreakerState::kHalfOpen:
+      if (faulted) return TransitionTo(BreakerState::kOpen, now);
+      half_open_successes_seen_ += 1;
+      if (half_open_successes_seen_ >= half_open_successes_) {
+        return TransitionTo(BreakerState::kClosed, now);
+      }
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+Seconds DwCircuitBreaker::OpenSeconds(Seconds now) const {
+  Seconds total = open_total_s_;
+  if (state_ == BreakerState::kOpen && now > opened_at_) {
+    total += now - opened_at_;
+  }
+  return total;
+}
+
+std::optional<DwCircuitBreaker::Edge> DwCircuitBreaker::TransitionTo(
+    BreakerState to, Seconds now) {
+  if (status_.ok()) {
+    status_ = verify::VerifyBreakerTransition(static_cast<int>(state_),
+                                              static_cast<int>(to));
+  }
+  Edge edge;
+  edge.from = state_;
+  edge.to = to;
+  edge.failures = consecutive_failures_;
+  edge.at = now;
+  if (state_ == BreakerState::kOpen && now > opened_at_) {
+    open_total_s_ += now - opened_at_;
+  }
+  state_ = to;
+  transition_epoch_ += 1;
+  if (to == BreakerState::kOpen) {
+    opened_at_ = now;
+  }
+  if (to == BreakerState::kClosed || to == BreakerState::kHalfOpen) {
+    consecutive_failures_ = 0;
+  }
+  if (to == BreakerState::kHalfOpen) {
+    half_open_successes_seen_ = 0;
+  }
+  return edge;
+}
+
+}  // namespace miso::server

@@ -1,0 +1,161 @@
+#ifndef MISO_SERVER_OVERLOAD_H_
+#define MISO_SERVER_OVERLOAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "workload/evolutionary.h"
+
+namespace miso::server {
+
+/// Deterministic overload protection for the online server (DESIGN.md
+/// §16): admission deadlines with priority-class load shedding, a
+/// DW-health circuit breaker fed by the fault layer's retry outcomes,
+/// and a stuck-wave watchdog. Everything here runs in *simulated* time
+/// on the scheduler thread, so every decision is a pure function of the
+/// admission order (plus `MISO_FAULT_SEED`) — never of wall clock,
+/// thread count, or scheduling luck.
+
+/// One admission priority class. A session whose simulated queue wait
+/// exceeds its class deadline at reduce time is shed instead of
+/// answered; `deadline_s <= 0` means the class is never shed (e.g. a
+/// "gold" tier).
+struct PriorityClass {
+  std::string name;
+  Seconds deadline_s = 0;
+};
+
+/// Overload-protection knobs, embedded in `ServerConfig`. All default
+/// off: a config that never touches this struct serves byte-identically
+/// to the pre-overload pipeline (pinned by tests, like the fault
+/// layer's zero-cost contract).
+struct OverloadConfig {
+  /// Enables deadline-driven load shedding.
+  bool admission_deadlines = false;
+
+  /// Simulated inter-arrival gap: session i is deemed to arrive at
+  /// `i * arrival_interval_s`. With 0, every session arrives at t=0 and
+  /// queue wait equals the simulated completion clock itself.
+  Seconds arrival_interval_s = 0;
+
+  /// Priority classes indexed by `classifier`'s return value. Empty
+  /// means one implicit class with no deadline (nothing is ever shed).
+  std::vector<PriorityClass> classes;
+
+  /// Maps a session to a class index (clamped into `classes`). Null
+  /// means class 0. Determinism is the caller's contract, exactly like
+  /// `ServerConfig::epoch_observer`: the classifier must depend only on
+  /// its arguments.
+  std::function<int(const workload::WorkloadQuery& query, int session_id)>
+      classifier;
+
+  /// Enables the DW-health circuit breaker.
+  bool breaker = false;
+
+  /// Consecutive DW-path-faulted sessions that trip closed -> open.
+  int breaker_failure_threshold = 3;
+
+  /// Simulated seconds an open breaker waits before probing (open ->
+  /// half-open).
+  Seconds breaker_cooldown_s = 600;
+
+  /// Clean DW contacts required in half-open to close again.
+  int breaker_half_open_successes = 2;
+
+  /// Fail the run with V213 after this many consecutive waves reduce
+  /// without one completed session (0 = watchdog off).
+  int watchdog_stuck_waves = 0;
+
+  bool Enabled() const {
+    return admission_deadlines || breaker || watchdog_stuck_waves > 0;
+  }
+};
+
+/// Circuit-breaker states. Numeric values are the wire/verify encoding
+/// (`verify::VerifyBreakerTransition` takes them as ints).
+enum class BreakerState {
+  kClosed = 0,
+  kOpen = 1,
+  kHalfOpen = 2,
+};
+
+const char* BreakerStateName(BreakerState state);
+
+/// DW-health circuit breaker: closed -> open after
+/// `breaker_failure_threshold` consecutive sessions whose DW path
+/// faulted; open -> half-open once `breaker_cooldown_s` simulated
+/// seconds elapse; half-open -> closed after
+/// `breaker_half_open_successes` clean DW contacts, or back -> open on
+/// the first fault. While open the server plans sessions HV-only
+/// (degraded), so the warehouse gets a true quiet period — the
+/// generalization of the fault layer's hard outage windows to
+/// observed-failure-driven degradation.
+///
+/// Driven exclusively from the scheduler thread at serial points
+/// (`AdvanceTime` per wave, `RecordOutcome` per reduced session), with
+/// `now` the server's simulated clock; no locking needed or present.
+class DwCircuitBreaker {
+ public:
+  explicit DwCircuitBreaker(const OverloadConfig& config);
+
+  /// One state-machine edge, reported back so the server can invalidate
+  /// the plan cache and emit telemetry on every transition.
+  struct Edge {
+    BreakerState from = BreakerState::kClosed;
+    BreakerState to = BreakerState::kClosed;
+    int failures = 0;  // consecutive DW faults at the moment of the edge
+    Seconds at = 0;    // simulated time of the edge
+  };
+
+  /// Advances the cooldown clock; returns the open -> half-open edge
+  /// when the cooldown expires, nullopt otherwise.
+  std::optional<Edge> AdvanceTime(Seconds now);
+
+  /// Feeds one reduced session. `dw_contact` is whether its plan
+  /// actually touched the warehouse (HV-only/degraded sessions are
+  /// neutral); `faulted` is whether its DW path injected or exhausted
+  /// faults. Returns the edge taken, if any.
+  std::optional<Edge> RecordOutcome(bool dw_contact, bool faulted,
+                                    Seconds now);
+
+  BreakerState state() const { return state_; }
+
+  /// Monotone counter bumped at every edge. Speculative waves record it
+  /// at planning time and are replanned when it moved by the join —
+  /// the breaker analogue of the catalog fingerprint check.
+  uint64_t transition_epoch() const { return transition_epoch_; }
+
+  /// Total edges taken (== transition_epoch, typed for reports).
+  int transitions() const { return static_cast<int>(transition_epoch_); }
+
+  /// Cumulative simulated seconds spent open, including the current
+  /// open stretch up to `now`.
+  Seconds OpenSeconds(Seconds now) const;
+
+  /// Latched V211 if an illegal edge was ever attempted (a server bug,
+  /// not an operator condition); OK otherwise.
+  const Status& status() const { return status_; }
+
+ private:
+  std::optional<Edge> TransitionTo(BreakerState to, Seconds now);
+
+  const int failure_threshold_;
+  const Seconds cooldown_s_;
+  const int half_open_successes_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_seen_ = 0;
+  uint64_t transition_epoch_ = 0;
+  Seconds opened_at_ = 0;
+  Seconds open_total_s_ = 0;
+  Status status_;
+};
+
+}  // namespace miso::server
+
+#endif  // MISO_SERVER_OVERLOAD_H_

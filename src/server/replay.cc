@@ -18,16 +18,32 @@ Result<sim::RunReport> ReplayWorkload(
   for (const workload::WorkloadQuery& query : queries) {
     futures.push_back(server.Submit(query));
   }
+  // Close + drain before *any* exit below: every admitted session's
+  // future must resolve (a server fatal resolves them all with that
+  // status) and Finish joins the scheduler, so no early return can leak
+  // a blocked producer or an unresolved promise.
   server.Close();
 
   // Futures resolve in admission order, so the first error seen here is
-  // the lowest-indexed failing session.
+  // the lowest-indexed failing session. With overload protection on,
+  // shed and retry-exhausted sessions are *terminal per-session*
+  // outcomes (DESIGN.md §16), not run-level errors — the run completes
+  // and reports them in sessions_shed / sessions_failed.
+  const bool overload = server_config.overload.Enabled();
   Status first_error;
   for (std::future<SessionResult>& future : futures) {
     SessionResult result = future.get();
-    if (!result.status.ok() && first_error.ok()) first_error = result.status;
+    if (result.status.ok() || !first_error.ok()) continue;
+    if (overload && (result.outcome == SessionOutcome::kShed ||
+                     result.outcome == SessionOutcome::kFailed)) {
+      continue;
+    }
+    first_error = result.status;
   }
   Result<sim::RunReport> finished = server.Finish();
+  // A fatal Finish wins over a per-session error: by the time it fires,
+  // the per-session statuses downstream of it carry the same fatal.
+  if (!finished.ok()) return finished.status();
   if (!first_error.ok()) return first_error;
   return finished;
 }

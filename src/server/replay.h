@@ -11,10 +11,14 @@ namespace miso::server {
 
 /// Drives `queries` through a `MisoServer` in order: submits every
 /// session (blocking on admission backpressure), closes admission, and
-/// returns the run report with records in admission order. If any
-/// session failed, the error of the lowest-indexed failing session is
-/// returned instead — the same error a serial simulator run would have
-/// aborted with.
+/// returns the run report with records in admission order. Admission is
+/// closed and every future drained on every exit path; a fatal `Finish`
+/// takes precedence. Otherwise, if any session failed, the error of the
+/// lowest-indexed failing session is returned — the same error a serial
+/// simulator run would have aborted with — except that with overload
+/// protection enabled (`config.overload`), shed and retry-exhausted
+/// sessions are terminal per-session outcomes and the run still
+/// completes, reporting them in `sessions_shed` / `sessions_failed`.
 Result<sim::RunReport> ReplayWorkload(
     const relation::Catalog* catalog, const ServerConfig& config,
     const std::vector<workload::WorkloadQuery>& queries);

@@ -11,6 +11,17 @@
 
 namespace miso::server {
 
+/// Terminal disposition of a session. With overload protection enabled
+/// (DESIGN.md §16), `kShed` and `kFailed` are *per-session* terminal
+/// states — the run keeps serving — while `kAborted` marks sessions
+/// taken down by a run-level fatal (scheduler error, server shutdown).
+enum class SessionOutcome {
+  kCompleted = 0,  // answered; `record` is valid
+  kShed = 1,       // load-shed: deadline exceeded at reduce time
+  kFailed = 2,     // its own fault-retry budget ran dry
+  kAborted = 3,    // collateral of a run-level fatal or rejected admission
+};
+
 /// Outcome of one query session, delivered through the future returned
 /// by `MisoServer::Submit`. The record carries the same anatomy a
 /// simulator `QueryRecord` would (simulated start/completion times,
@@ -22,9 +33,10 @@ struct SessionResult {
   /// Design epoch in effect when the session was planned (== number of
   /// reorganizations published before it).
   int epoch = 0;
-  /// Failed sessions (e.g. a fault-retry budget ran dry) carry the error
-  /// here; `record` is then meaningless.
+  /// Non-completed sessions (shed, retry budget dry, aborted) carry the
+  /// error here; `record` is then meaningless.
   Status status;
+  SessionOutcome outcome = SessionOutcome::kCompleted;
   sim::QueryRecord record;
 };
 

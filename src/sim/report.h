@@ -43,9 +43,13 @@ struct QueryRecord {
   /// design epoch the session planned against; `reorg_wait_s` is the
   /// simulated wait for an in-flight background reorganization whose
   /// moved views the session reads (already included in
-  /// `completion_time`, broken out here).
+  /// `completion_time`, broken out here). `breaker_degraded` marks a
+  /// session served HV-only because the DW-health circuit breaker was
+  /// open (DESIGN.md §16) rather than a configured outage window; such
+  /// sessions also set `degraded`.
   int epoch = 0;
   Seconds reorg_wait_s = 0;
+  bool breaker_degraded = false;
 
   Seconds ExecTime() const { return breakdown.Total(); }
   double DwUtilizationShare() const {
@@ -100,6 +104,19 @@ struct RunReport {
   /// the determinism contract, unlike everything above).
   int waves_speculative = 0;
   int waves_replanned = 0;
+  /// Overload protection (model-class, DESIGN.md §16). Every admitted
+  /// session lands in exactly one of completed (`queries.size()`), shed,
+  /// or failed — V212 checks the balance at Finish when overload
+  /// protection is on. `breaker_degraded_sessions` counts completions
+  /// served HV-only because the breaker was open (a subset of
+  /// `degraded_queries`); `breaker_open_s` is cumulative *simulated*
+  /// seconds the breaker spent open.
+  int sessions_admitted = 0;
+  int sessions_shed = 0;
+  int sessions_failed = 0;
+  int breaker_degraded_sessions = 0;
+  int breaker_transitions = 0;
+  Seconds breaker_open_s = 0;
 
   /// DW resource samples (present when a background workload was set).
   std::vector<dw::DwTickSample> dw_ticks;

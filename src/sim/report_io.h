@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/result.h"
 #include "common/status.h"
 #include "sim/report.h"
 
@@ -22,6 +23,21 @@ std::string TicksToCsv(const RunReport& report);
 
 /// One summary row: variant, tti, hv, dw, transfer, tune, etl, reorgs.
 std::string SummaryToCsv(const RunReport& report, bool with_header);
+
+/// Full JSON serialization of a run report: *every* RunReport and
+/// QueryRecord field, including the serving-path counters (plan_cache_*,
+/// waves_speculative/waves_replanned) and the overload-protection fields
+/// (sessions_shed/failed, breaker_*) the CSVs do not carry. Doubles are
+/// printed with %.17g so `ReportFromJson(ReportToJson(r))` round-trips
+/// bit-exactly — pinned field-by-field by tests, so a field added to
+/// RunReport without serialization support fails loudly instead of
+/// silently dropping.
+std::string ReportToJson(const RunReport& report);
+
+/// Parses `ReportToJson` output (any standard JSON with the same shape).
+/// Unknown keys are ignored; absent keys keep their default values;
+/// malformed JSON or mistyped fields fail.
+Result<RunReport> ReportFromJson(const std::string& json);
 
 /// Writes `content` to `path` (overwrites).
 Status WriteFile(const std::string& path, const std::string& content);

@@ -57,6 +57,12 @@ std::string_view VerifyCodeToken(VerifyCode code) {
       return "V209";
     case VerifyCode::kReorgRecoveryIncomplete:
       return "V210";
+    case VerifyCode::kBreakerIllegalTransition:
+      return "V211";
+    case VerifyCode::kShedAccountingDrift:
+      return "V212";
+    case VerifyCode::kServerWaveStuck:
+      return "V213";
   }
   return "V???";
 }

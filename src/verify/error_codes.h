@@ -65,6 +65,14 @@ enum class VerifyCode {
   kReorgRecoveryIncomplete = 210,   // V210: after crash recovery the journal
                                     //       is neither fully applied (resume)
                                     //       nor fully unapplied (rollback)
+  kBreakerIllegalTransition = 211,  // V211: DW-health circuit breaker took
+                                    //       an edge outside closed->open->
+                                    //       half-open->{closed,open}
+  kShedAccountingDrift = 212,       // V212: admitted sessions != completed
+                                    //       + shed + failed at Finish
+  kServerWaveStuck = 213,           // V213: watchdog saw N consecutive
+                                    //       waves reduce without a single
+                                    //       completed session
 };
 
 /// The stable token embedded in diagnostics, e.g. "V101".

@@ -1,0 +1,51 @@
+#include "verify/server_invariants.h"
+
+#include <string>
+
+#include "verify/error_codes.h"
+
+namespace miso::verify {
+
+namespace {
+
+const char* StateName(int state) {
+  switch (state) {
+    case 0:
+      return "closed";
+    case 1:
+      return "open";
+    case 2:
+      return "half-open";
+    default:
+      return "invalid";
+  }
+}
+
+}  // namespace
+
+Status VerifyBreakerTransition(int from, int to) {
+  const bool legal = (from == 0 && to == 1) || (from == 1 && to == 2) ||
+                     (from == 2 && to == 0) || (from == 2 && to == 1);
+  if (legal) return Status::OK();
+  return MakeVerifyError(
+      VerifyCode::kBreakerIllegalTransition,
+      "breaker transition " + std::string(StateName(from)) + "(" +
+          std::to_string(from) + ") -> " + StateName(to) + "(" +
+          std::to_string(to) + ") is not a legal edge of the " +
+          "closed->open->half-open machine");
+}
+
+Status VerifyShedAccounting(int admitted, int completed, int shed,
+                            int failed) {
+  if (admitted >= 0 && completed >= 0 && shed >= 0 && failed >= 0 &&
+      admitted == completed + shed + failed) {
+    return Status::OK();
+  }
+  return MakeVerifyError(
+      VerifyCode::kShedAccountingDrift,
+      "admitted=" + std::to_string(admitted) + " != completed=" +
+          std::to_string(completed) + " + shed=" + std::to_string(shed) +
+          " + failed=" + std::to_string(failed));
+}
+
+}  // namespace miso::verify

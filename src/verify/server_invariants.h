@@ -1,0 +1,28 @@
+#ifndef MISO_VERIFY_SERVER_INVARIANTS_H_
+#define MISO_VERIFY_SERVER_INVARIANTS_H_
+
+#include "common/status.h"
+
+namespace miso::verify {
+
+/// Invariants of the online server's overload-protection machinery
+/// (DESIGN.md §16). Both take plain ints so the verify layer stays free
+/// of server-type dependencies (miso_server links miso_verify, not the
+/// reverse).
+
+/// V211: the DW-health circuit breaker may only take the edges
+/// closed(0)->open(1), open(1)->half-open(2), half-open(2)->closed(0),
+/// and half-open(2)->open(1). Self-loops and every other pair are
+/// illegal; so are values outside the three states.
+Status VerifyBreakerTransition(int from, int to);
+
+/// V212: every admitted session must end in exactly one terminal bucket:
+/// `admitted == completed + shed + failed`, all counts non-negative.
+/// Checked at `MisoServer::Finish` on non-fatal runs with overload
+/// protection enabled.
+Status VerifyShedAccounting(int admitted, int completed, int shed,
+                            int failed);
+
+}  // namespace miso::verify
+
+#endif  // MISO_VERIFY_SERVER_INVARIANTS_H_

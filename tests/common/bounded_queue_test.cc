@@ -140,5 +140,54 @@ TEST(BoundedQueueTest, ConcurrentProducersConsumersLoseNothing) {
   EXPECT_LE(queue.high_water(), queue.capacity());
 }
 
+// TryPopBatch is all-or-nothing while the queue is open: the server's
+// wave former never starts a short wave just because admission is slow.
+TEST(BoundedQueueTest, TryPopBatchAllOrNothingWhileOpen) {
+  BoundedQueue<int> queue(8);
+  std::vector<int> out;
+  EXPECT_EQ(queue.TryPopBatch(3, &out), 0u);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  EXPECT_EQ(queue.TryPopBatch(3, &out), 0u) << "2 of 3 items, still open";
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(queue.size(), 2u) << "a refused batch must not consume items";
+  EXPECT_TRUE(queue.Push(3));
+  EXPECT_EQ(queue.TryPopBatch(3, &out), 3u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+// Close flips the semantics to drain: a partial batch is taken so the
+// final, short wave of a run is still formed, then an empty closed queue
+// returns 0 forever.
+TEST(BoundedQueueTest, TryPopBatchDrainsPartialBatchAfterClose) {
+  BoundedQueue<int> queue(8);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  std::vector<int> out;
+  EXPECT_EQ(queue.TryPopBatch(5, &out), 0u) << "open: all-or-nothing";
+  queue.Close();
+  EXPECT_EQ(queue.TryPopBatch(5, &out), 2u) << "closed: drain what remains";
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+  EXPECT_EQ(queue.TryPopBatch(5, &out), 0u) << "pop after close + empty";
+  EXPECT_EQ(queue.TryPopBatch(1, &out), 0u);
+  EXPECT_EQ(out.size(), 2u) << "out is append-only, never cleared";
+}
+
+TEST(BoundedQueueTest, TryPopBatchCapacityOneQueue) {
+  BoundedQueue<int> queue(1);
+  EXPECT_TRUE(queue.Push(7));
+  std::vector<int> out;
+  EXPECT_EQ(queue.TryPopBatch(2, &out), 0u) << "wave larger than capacity";
+  EXPECT_EQ(queue.TryPopBatch(1, &out), 1u);
+  EXPECT_EQ(out, std::vector<int>{7});
+  // The batch pop released capacity: the next push must go through
+  // without blocking.
+  EXPECT_TRUE(queue.Push(8));
+  queue.Close();
+  EXPECT_EQ(queue.TryPopBatch(3, &out), 1u);
+  EXPECT_EQ(out, (std::vector<int>{7, 8}));
+}
+
 }  // namespace
 }  // namespace miso

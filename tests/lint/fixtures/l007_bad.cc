@@ -1,0 +1,13 @@
+// Fixture: thread sleeps must fire L007 — model code advances simulated
+// time, it never blocks a thread.
+#include <chrono>
+#include <thread>
+
+void Backoff(double seconds) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+template <typename TimePoint>
+void BlockUntil(TimePoint deadline) {
+  std::this_thread::sleep_until(deadline);
+}

@@ -1,0 +1,10 @@
+// Fixture: identifiers merely containing "sleep", sleeps inside comments
+// or string literals, and simulated-time accumulation never fire L007.
+#include <string>
+
+double SimulatedBackoff(double sleep_for_s, double now_s) {
+  // A real sleep_for here would fire; this comment does not.
+  const std::string doc = "breaker cooldowns never call sleep_for";
+  (void)doc;
+  return now_s + sleep_for_s;
+}

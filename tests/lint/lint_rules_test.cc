@@ -95,6 +95,15 @@ TEST(MisoLintRules, L006AcceptsGuardedMutexMember) {
   EXPECT_TRUE(LintFixture("l006_good.cc").empty());
 }
 
+TEST(MisoLintRules, L007FiresOnThreadSleeps) {
+  const std::vector<Finding> findings = LintFixture("l007_bad.cc");
+  EXPECT_EQ(CodesOf(findings), (std::vector<std::string>{"L007", "L007"}));
+}
+
+TEST(MisoLintRules, L007IgnoresIdentifiersCommentsAndStrings) {
+  EXPECT_TRUE(LintFixture("l007_good.cc").empty());
+}
+
 TEST(MisoLintAllow, ReasonedAllowSuppresses) {
   EXPECT_TRUE(LintFixture("allow_with_reason.cc").empty());
 }
@@ -119,6 +128,13 @@ TEST(MisoLintAllowlists, ObsNamesMayHoldTelemetryLiterals) {
   EXPECT_TRUE(LintFile("src/obs/names.cc", content).empty());
 }
 
+TEST(MisoLintAllowlists, ThreadPoolMaySleep) {
+  const std::string content = ReadFileOrDie(FixturePath("l007_bad.cc"));
+  EXPECT_TRUE(LintFile("src/common/thread_pool.cc", content).empty());
+  EXPECT_EQ(CodesOf(LintFile("src/server/overload.cc", content)),
+            (std::vector<std::string>{"L007", "L007"}));
+}
+
 TEST(MisoLintParser, DigitSeparatorsAndBlankedLiterals) {
   // 1'000'000 must not open a character literal (env.cc relies on this),
   // and banned tokens inside string literals must stay invisible.
@@ -132,9 +148,9 @@ TEST(MisoLintParser, DigitSeparatorsAndBlankedLiterals) {
   EXPECT_EQ(findings[0].line, 2);
 }
 
-TEST(MisoLintTable, SixStableCodes) {
+TEST(MisoLintTable, SevenStableCodes) {
   const std::vector<RuleInfo>& rules = Rules();
-  ASSERT_EQ(rules.size(), 6u);
+  ASSERT_EQ(rules.size(), 7u);
   for (size_t i = 0; i < rules.size(); ++i) {
     EXPECT_EQ(rules[i].code, "L00" + std::to_string(i + 1));
   }

@@ -1,0 +1,448 @@
+// Overload protection for the online server (DESIGN.md §16): the
+// DW-health circuit breaker state machine, deadline-driven load
+// shedding with priority classes, session retry budgets as terminal
+// per-session outcomes, the stuck-wave watchdog, the V211/V212
+// invariants — and the two contracts that make the whole layer safe to
+// ship: byte-identity across thread counts with everything on, and
+// byte-identity with the pre-overload serving path with everything off
+// (or enabled but never triggering).
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/fault.h"
+#include "server/overload.h"
+#include "server_test_util.h"
+#include "sim/report_io.h"
+#include "verify/error_codes.h"
+
+namespace miso::server {
+namespace {
+
+using server_testing::CountEvents;
+using server_testing::CycledQueries;
+using server_testing::ServeAll;
+using server_testing::ServedRun;
+using testing_util::PaperCatalog;
+
+OverloadConfig BreakerCfg(int threshold, Seconds cooldown, int half_open) {
+  OverloadConfig cfg;
+  cfg.breaker = true;
+  cfg.breaker_failure_threshold = threshold;
+  cfg.breaker_cooldown_s = cooldown;
+  cfg.breaker_half_open_successes = half_open;
+  return cfg;
+}
+
+TEST(DwCircuitBreakerTest, TripsOnlyOnConsecutiveDwFaults) {
+  DwCircuitBreaker breaker(BreakerCfg(3, 100, 2));
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_FALSE(breaker.RecordOutcome(true, true, 0).has_value());
+  EXPECT_FALSE(breaker.RecordOutcome(true, true, 1).has_value());
+  // A clean DW contact resets the consecutive-failure streak.
+  EXPECT_FALSE(breaker.RecordOutcome(true, false, 2).has_value());
+  EXPECT_FALSE(breaker.RecordOutcome(true, true, 3).has_value());
+  EXPECT_FALSE(breaker.RecordOutcome(true, true, 4).has_value());
+  const std::optional<DwCircuitBreaker::Edge> edge =
+      breaker.RecordOutcome(true, true, 5);
+  ASSERT_TRUE(edge.has_value());
+  EXPECT_EQ(edge->from, BreakerState::kClosed);
+  EXPECT_EQ(edge->to, BreakerState::kOpen);
+  EXPECT_EQ(edge->failures, 3);
+  EXPECT_EQ(edge->at, 5.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.transitions(), 1);
+  EXPECT_TRUE(breaker.status().ok()) << breaker.status().ToString();
+}
+
+TEST(DwCircuitBreakerTest, NonDwContactSessionsAreNeutral) {
+  DwCircuitBreaker breaker(BreakerCfg(1, 100, 1));
+  // HV-only / degraded sessions carry no DW health signal either way.
+  EXPECT_FALSE(breaker.RecordOutcome(false, true, 0).has_value());
+  EXPECT_FALSE(breaker.RecordOutcome(false, true, 1).has_value());
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.RecordOutcome(true, true, 2).has_value());
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+}
+
+TEST(DwCircuitBreakerTest, CooldownProbesHalfOpenThenCleanContactsClose) {
+  DwCircuitBreaker breaker(BreakerCfg(1, 100, 2));
+  ASSERT_TRUE(breaker.RecordOutcome(true, true, 10).has_value());
+  EXPECT_FALSE(breaker.AdvanceTime(50).has_value());
+  EXPECT_EQ(breaker.OpenSeconds(50), 40.0);
+  // Faults and successes while open are neutral (the server serves
+  // HV-only anyway; nothing it sees is a DW health signal).
+  EXPECT_FALSE(breaker.RecordOutcome(true, true, 60).has_value());
+  const std::optional<DwCircuitBreaker::Edge> half_open =
+      breaker.AdvanceTime(110);
+  ASSERT_TRUE(half_open.has_value());
+  EXPECT_EQ(half_open->from, BreakerState::kOpen);
+  EXPECT_EQ(half_open->to, BreakerState::kHalfOpen);
+  EXPECT_EQ(breaker.OpenSeconds(110), 100.0);
+  // First clean probe is not yet enough to close at half_open = 2.
+  EXPECT_FALSE(breaker.RecordOutcome(true, false, 120).has_value());
+  const std::optional<DwCircuitBreaker::Edge> closed =
+      breaker.RecordOutcome(true, false, 130);
+  ASSERT_TRUE(closed.has_value());
+  EXPECT_EQ(closed->to, BreakerState::kClosed);
+  EXPECT_EQ(breaker.transitions(), 3);
+  EXPECT_EQ(breaker.transition_epoch(), 3u);
+  // Closed again: open seconds stop accumulating.
+  EXPECT_EQ(breaker.OpenSeconds(500), 100.0);
+  EXPECT_TRUE(breaker.status().ok());
+}
+
+TEST(DwCircuitBreakerTest, HalfOpenFaultReopensAndRestartsCooldown) {
+  DwCircuitBreaker breaker(BreakerCfg(1, 100, 2));
+  ASSERT_TRUE(breaker.RecordOutcome(true, true, 0).has_value());
+  ASSERT_TRUE(breaker.AdvanceTime(100).has_value());  // -> half-open
+  const std::optional<DwCircuitBreaker::Edge> reopened =
+      breaker.RecordOutcome(true, true, 101);
+  ASSERT_TRUE(reopened.has_value());
+  EXPECT_EQ(reopened->from, BreakerState::kHalfOpen);
+  EXPECT_EQ(reopened->to, BreakerState::kOpen);
+  // The cooldown restarts from the re-open stamp, not the original trip.
+  EXPECT_FALSE(breaker.AdvanceTime(150).has_value());
+  EXPECT_TRUE(breaker.AdvanceTime(201).has_value());
+  EXPECT_EQ(breaker.transitions(), 4);
+}
+
+TEST(DwCircuitBreakerTest, ThresholdsClampToAtLeastOne) {
+  DwCircuitBreaker breaker(BreakerCfg(0, 100, 0));
+  EXPECT_TRUE(breaker.RecordOutcome(true, true, 0).has_value());  // trip
+  ASSERT_TRUE(breaker.AdvanceTime(100).has_value());
+  EXPECT_TRUE(breaker.RecordOutcome(true, false, 101).has_value());  // close
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(DwCircuitBreakerTest, StateNamesMatchTraceVocabulary) {
+  EXPECT_STREQ(BreakerStateName(BreakerState::kClosed), "closed");
+  EXPECT_STREQ(BreakerStateName(BreakerState::kOpen), "open");
+  EXPECT_STREQ(BreakerStateName(BreakerState::kHalfOpen), "half-open");
+}
+
+TEST(FaultSiteTest, DwPathSitesAreTransferAndLoad) {
+  EXPECT_FALSE(fault::IsDwPathSite(fault::FaultSite::kHvJob));
+  EXPECT_TRUE(fault::IsDwPathSite(fault::FaultSite::kTransfer));
+  EXPECT_TRUE(fault::IsDwPathSite(fault::FaultSite::kDwLoad));
+  EXPECT_FALSE(fault::IsDwPathSite(fault::FaultSite::kReorg));
+}
+
+// ---------------------------------------------------------------------
+// Deadline-driven load shedding.
+
+ServerConfig ShedConfig() {
+  ServerConfig config;
+  config.sim.variant = sim::SystemVariant::kMsMiso;
+  config.sim.trace = true;
+  config.wave_size = 4;
+  config.overload.admission_deadlines = true;
+  // Two tiers: gold (never shed) and batch (one simulated hour). All
+  // sessions arrive at t=0, so queue wait is the simulated clock itself
+  // and every batch session reducing after the first hour is shed.
+  config.overload.classes = {{"gold", 0}, {"batch", 3600}};
+  config.overload.classifier = [](const workload::WorkloadQuery&,
+                                  int session_id) { return session_id % 2; };
+  return config;
+}
+
+TEST(ServerOverloadShedTest, DeadlineExceededBatchSessionsAreShed) {
+  const std::vector<workload::WorkloadQuery> queries = CycledQueries(40);
+  const ServerConfig config = ShedConfig();
+  MISO_ASSERT_OK_AND_ASSIGN(const ServedRun run,
+                            ServeAll(config, queries, /*threads=*/2));
+  // The run completing at all means V212 held at Finish (overload is
+  // enabled, so the shed-accounting balance was verified there).
+  EXPECT_EQ(run.report.sessions_admitted, 40);
+  EXPECT_GT(run.report.sessions_shed, 0);
+  EXPECT_EQ(run.report.sessions_failed, 0);
+  EXPECT_EQ(static_cast<int>(run.report.queries.size()) +
+                run.report.sessions_shed,
+            run.report.sessions_admitted);
+  int shed_seen = 0;
+  for (const SessionResult& s : run.sessions) {
+    if (s.outcome == SessionOutcome::kShed) {
+      shed_seen += 1;
+      EXPECT_EQ(s.session_id % 2, 1) << "gold sessions are never shed";
+      EXPECT_EQ(s.status.code(), StatusCode::kOutOfBudget)
+          << s.status.ToString();
+      EXPECT_NE(s.status.message().find("shed"), std::string::npos);
+    } else {
+      EXPECT_EQ(s.outcome, SessionOutcome::kCompleted);
+      EXPECT_TRUE(s.status.ok()) << s.status.ToString();
+    }
+  }
+  EXPECT_EQ(shed_seen, run.report.sessions_shed);
+  // Shed sessions leave no record: completed records keep a gap-free
+  // admission-order story of the answered sessions only.
+  for (const sim::QueryRecord& q : run.report.queries) {
+    EXPECT_EQ(q.index % 2 == 1 && q.completion_time > 3600, false)
+        << "batch session " << q.index << " completed past its deadline";
+  }
+}
+
+TEST(ServerOverloadShedTest, ArrivalIntervalExtendsDeadlines) {
+  const std::vector<workload::WorkloadQuery> queries = CycledQueries(40);
+  ServerConfig config = ShedConfig();
+  MISO_ASSERT_OK_AND_ASSIGN(const ServedRun packed,
+                            ServeAll(config, queries, /*threads=*/2));
+  // Spacing arrivals out shrinks every session's simulated queue wait,
+  // so strictly fewer (or equal) sessions get shed.
+  config.overload.arrival_interval_s = 2000;
+  MISO_ASSERT_OK_AND_ASSIGN(const ServedRun spaced,
+                            ServeAll(config, queries, /*threads=*/2));
+  EXPECT_LT(spaced.report.sessions_shed, packed.report.sessions_shed);
+}
+
+// ---------------------------------------------------------------------
+// Breaker × chaos server integration.
+
+fault::FaultSpec HarshChaos(uint64_t seed, double rate, int attempts) {
+  fault::FaultSpec spec;
+  spec.profile = fault::FaultProfile::kChaos;
+  spec.seed = seed;
+  spec.rate = rate;
+  spec.retry.max_attempts = attempts;
+  return spec;
+}
+
+ServerConfig BreakerChaosConfig() {
+  ServerConfig config;
+  config.sim.variant = sim::SystemVariant::kMsMiso;
+  config.sim.trace = true;
+  config.sim.reorg_every = 5;
+  config.wave_size = 5;
+  config.online_reorg = true;
+  config.sim.fault = HarshChaos(/*seed=*/5, /*rate=*/0.3, /*attempts=*/2);
+  // The cooldown must dwarf a session's simulated runtime (thousands of
+  // seconds here), or the breaker re-probes before a single wave ever
+  // plans against the open state.
+  config.overload = BreakerCfg(/*threshold=*/2, /*cooldown=*/100000,
+                               /*half_open=*/2);
+  return config;
+}
+
+TEST(ServerOverloadBreakerTest, BreakerOpensUnderChaosAndTracesEveryEdge) {
+  const std::vector<workload::WorkloadQuery> queries = CycledQueries(150);
+  const ServerConfig config = BreakerChaosConfig();
+  MISO_ASSERT_OK_AND_ASSIGN(const ServedRun run,
+                            ServeAll(config, queries, /*threads=*/2));
+  EXPECT_GT(run.report.breaker_transitions, 0) << "breaker never tripped";
+  EXPECT_GT(run.report.breaker_open_s, 0.0);
+  EXPECT_GT(run.report.breaker_degraded_sessions, 0);
+  EXPECT_EQ(CountEvents(run.trace, "server.breaker"),
+            run.report.breaker_transitions);
+  int breaker_degraded = 0;
+  for (const sim::QueryRecord& q : run.report.queries) {
+    if (q.breaker_degraded) {
+      breaker_degraded += 1;
+      EXPECT_TRUE(q.degraded);
+      EXPECT_EQ(q.breakdown.dw_exec_s, 0.0);
+      EXPECT_EQ(q.breakdown.transfer_load_s, 0.0);
+    }
+  }
+  EXPECT_EQ(breaker_degraded, run.report.breaker_degraded_sessions);
+  EXPECT_GE(run.report.degraded_queries, run.report.breaker_degraded_sessions);
+}
+
+TEST(ServerOverloadBreakerTest, RetryExhaustionIsTerminalPerSessionWithBreakerOn) {
+  const std::vector<workload::WorkloadQuery> queries = CycledQueries(150);
+  ServerConfig config = BreakerChaosConfig();
+
+  // The same chaos with overload protection off: retry exhaustion
+  // surfaces as the run-level error the batch simulator would abort
+  // with (the lowest-indexed failing session's status).
+  config.overload = OverloadConfig{};
+  const Result<sim::RunReport> off =
+      ReplayWorkload(&PaperCatalog(), config, queries);
+  ASSERT_FALSE(off.ok()) << "chaos too mild: no session exhausted retries";
+  EXPECT_NE(off.status().message().find("exhausted"), std::string::npos)
+      << off.status().ToString();
+
+  // Breaker on: the identical chaos completes with zero run-level
+  // errors; exhausted sessions are charged to sessions_failed and the
+  // accounting balances (V212 ran at Finish).
+  config.overload = BreakerCfg(2, 5000, 2);
+  MISO_ASSERT_OK_AND_ASSIGN(const sim::RunReport on,
+                            ReplayWorkload(&PaperCatalog(), config, queries));
+  EXPECT_GT(on.sessions_failed, 0);
+  EXPECT_EQ(on.sessions_admitted, 150);
+  EXPECT_EQ(static_cast<int>(on.queries.size()) + on.sessions_shed +
+                on.sessions_failed,
+            on.sessions_admitted);
+}
+
+TEST(ServerOverloadBreakerTest, EveryBreakerEdgeInvalidatesThePlanCache) {
+  const std::vector<workload::WorkloadQuery> queries = CycledQueries(150);
+  ServerConfig config = BreakerChaosConfig();
+  config.plan_cache = true;
+  MISO_ASSERT_OK_AND_ASSIGN(const ServedRun run,
+                            ServeAll(config, queries, /*threads=*/2));
+  ASSERT_GT(run.report.breaker_transitions, 0);
+  // Wholesale invalidations come from published design flips, DW-outage
+  // edges, and breaker edges — one apiece. Flips + breaker edges are a
+  // hard floor within the run itself.
+  EXPECT_GE(run.report.plan_cache_invalidations,
+            static_cast<int64_t>(run.report.epochs_published) +
+                run.report.breaker_transitions);
+}
+
+// ---------------------------------------------------------------------
+// Determinism: model-class outputs with the full overload stack on are
+// a pure function of admission order (thread count is wall-clock only)
+// and replayable from the fault seed.
+
+ServerConfig FullOverloadConfig() {
+  ServerConfig config = BreakerChaosConfig();
+  config.overload.admission_deadlines = true;
+  config.overload.classes = {{"gold", 0}, {"batch", 30000}};
+  config.overload.classifier = [](const workload::WorkloadQuery&,
+                                  int session_id) { return session_id % 2; };
+  return config;
+}
+
+TEST(ServerOverloadDeterminismTest, ByteIdenticalAcrossThreadCounts) {
+  const std::vector<workload::WorkloadQuery> queries = CycledQueries(150);
+  const ServerConfig config = FullOverloadConfig();
+  MISO_ASSERT_OK_AND_ASSIGN(const ServedRun one,
+                            ServeAll(config, queries, /*threads=*/1));
+  EXPECT_GT(one.report.sessions_shed + one.report.sessions_failed, 0);
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE("MISO_THREADS=" + std::to_string(threads));
+    MISO_ASSERT_OK_AND_ASSIGN(const ServedRun many,
+                              ServeAll(config, queries, threads));
+    EXPECT_EQ(many.report.sessions_shed, one.report.sessions_shed);
+    EXPECT_EQ(many.report.sessions_failed, one.report.sessions_failed);
+    EXPECT_EQ(many.report.breaker_transitions, one.report.breaker_transitions);
+    EXPECT_EQ(many.report.breaker_open_s, one.report.breaker_open_s);
+    EXPECT_EQ(many.report.breaker_degraded_sessions,
+              one.report.breaker_degraded_sessions);
+    EXPECT_EQ(sim::QueriesToCsv(one.report), sim::QueriesToCsv(many.report));
+    EXPECT_EQ(sim::SummaryToCsv(one.report, /*with_header=*/false),
+              sim::SummaryToCsv(many.report, /*with_header=*/false));
+    EXPECT_EQ(one.trace, many.trace);
+  }
+}
+
+TEST(ServerOverloadDeterminismTest, ReplayableFromFaultSeed) {
+  const std::vector<workload::WorkloadQuery> queries = CycledQueries(150);
+  const ServerConfig config = FullOverloadConfig();
+  MISO_ASSERT_OK_AND_ASSIGN(const ServedRun a,
+                            ServeAll(config, queries, /*threads=*/2));
+  MISO_ASSERT_OK_AND_ASSIGN(const ServedRun b,
+                            ServeAll(config, queries, /*threads=*/2));
+  EXPECT_EQ(sim::QueriesToCsv(a.report), sim::QueriesToCsv(b.report));
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.report.sessions_shed, b.report.sessions_shed);
+  // A different fault seed is a different chaos universe: same
+  // machinery, different shed/failed/breaker story.
+  ServerConfig reseeded = config;
+  reseeded.sim.fault.seed = 6;
+  MISO_ASSERT_OK_AND_ASSIGN(const ServedRun c,
+                            ServeAll(reseeded, queries, /*threads=*/2));
+  EXPECT_NE(sim::QueriesToCsv(a.report), sim::QueriesToCsv(c.report));
+}
+
+// ---------------------------------------------------------------------
+// Zero-cost contract (tools/check.sh --overload requires these by
+// name): overload disabled — and enabled but never triggering — serves
+// byte-identically to the pre-overload pipeline, traces included.
+
+TEST(ServerOverloadZeroCost, DisabledConfigMatchesBaselineByteForByte) {
+  const std::vector<workload::WorkloadQuery> queries = CycledQueries(96);
+  ServerConfig baseline;
+  baseline.sim.variant = sim::SystemVariant::kMsMiso;
+  baseline.sim.trace = true;
+  baseline.sim.reorg_every = 8;
+  baseline.wave_size = 4;
+  MISO_ASSERT_OK_AND_ASSIGN(const ServedRun base,
+                            ServeAll(baseline, queries, /*threads=*/2));
+
+  // A default-constructed OverloadConfig is the disabled state; pin it.
+  ServerConfig disabled = baseline;
+  disabled.overload = OverloadConfig{};
+  ASSERT_FALSE(disabled.overload.Enabled());
+  MISO_ASSERT_OK_AND_ASSIGN(const ServedRun off,
+                            ServeAll(disabled, queries, /*threads=*/2));
+  EXPECT_EQ(sim::QueriesToCsv(base.report), sim::QueriesToCsv(off.report));
+  EXPECT_EQ(sim::SummaryToCsv(base.report, /*with_header=*/false),
+            sim::SummaryToCsv(off.report, /*with_header=*/false));
+  EXPECT_EQ(base.trace, off.trace);
+  EXPECT_EQ(off.report.sessions_shed, 0);
+  EXPECT_EQ(off.report.breaker_transitions, 0);
+}
+
+TEST(ServerOverloadZeroCost, IdleEnabledOverloadMatchesDisabledByteForByte) {
+  const std::vector<workload::WorkloadQuery> queries = CycledQueries(96);
+  ServerConfig config;
+  config.sim.variant = sim::SystemVariant::kMsMiso;
+  config.sim.trace = true;
+  config.sim.reorg_every = 8;
+  config.wave_size = 4;
+  MISO_ASSERT_OK_AND_ASSIGN(const ServedRun off,
+                            ServeAll(config, queries, /*threads=*/2));
+
+  // Everything armed, nothing triggering: deadline-free classes, a
+  // breaker that cannot trip without faults, a watchdog that cannot fire
+  // on completing waves.
+  ServerConfig idle = config;
+  idle.overload.admission_deadlines = true;
+  idle.overload.classes = {{"gold", 0}};
+  idle.overload.breaker = true;
+  idle.overload.breaker_failure_threshold = 1000000;
+  idle.overload.watchdog_stuck_waves = 1000000;
+  ASSERT_TRUE(idle.overload.Enabled());
+  MISO_ASSERT_OK_AND_ASSIGN(const ServedRun armed,
+                            ServeAll(idle, queries, /*threads=*/2));
+  EXPECT_EQ(sim::QueriesToCsv(off.report), sim::QueriesToCsv(armed.report));
+  EXPECT_EQ(sim::SummaryToCsv(off.report, /*with_header=*/false),
+            sim::SummaryToCsv(armed.report, /*with_header=*/false));
+  EXPECT_EQ(off.trace, armed.trace);
+  EXPECT_EQ(armed.report.sessions_shed, 0);
+  EXPECT_EQ(armed.report.sessions_failed, 0);
+  EXPECT_EQ(armed.report.breaker_transitions, 0);
+  EXPECT_EQ(armed.report.breaker_open_s, 0.0);
+  // With overload enabled the admitted/terminal balance is reported
+  // (and was V212-checked at Finish).
+  EXPECT_EQ(armed.report.sessions_admitted, 96);
+}
+
+// ---------------------------------------------------------------------
+// Stuck-wave watchdog.
+
+TEST(ServerOverloadWatchdogTest, AllShedWavesFailFastWithV213) {
+  const std::vector<workload::WorkloadQuery> queries = CycledQueries(40);
+  ServerConfig config;
+  config.sim.variant = sim::SystemVariant::kMsMiso;
+  config.wave_size = 4;
+  config.overload.admission_deadlines = true;
+  // One class with a deadline no session can meet once the clock has
+  // moved at all: after the first completed session every later wave
+  // sheds wholesale, and the watchdog fails the run fast instead of
+  // grinding through hundreds of doomed waves.
+  config.overload.classes = {{"doomed", 1e-9}};
+  config.overload.watchdog_stuck_waves = 3;
+  const Result<ServedRun> run = ServeAll(config, queries, /*threads=*/2);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(verify::ExtractVerifyCode(run.status()),
+            verify::VerifyCode::kServerWaveStuck)
+      << run.status().ToString();
+  EXPECT_NE(run.status().message().find("watchdog"), std::string::npos);
+}
+
+TEST(ServerOverloadWatchdogTest, CompletingWavesResetTheWatchdog) {
+  const std::vector<workload::WorkloadQuery> queries = CycledQueries(40);
+  ServerConfig config = ShedConfig();  // gold tier always completes
+  config.overload.watchdog_stuck_waves = 3;
+  // Every wave of 4 holds two gold sessions, so no wave is ever stuck
+  // and the watchdog never fires even though half the run is shed.
+  MISO_ASSERT_OK_AND_ASSIGN(const ServedRun run,
+                            ServeAll(config, queries, /*threads=*/2));
+  EXPECT_GT(run.report.sessions_shed, 0);
+}
+
+}  // namespace
+}  // namespace miso::server

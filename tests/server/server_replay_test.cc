@@ -91,6 +91,30 @@ TEST(ServerReplayTest, OnlineNeverWorseThanStopTheWorldAtSameCadence) {
               online.report.reorg_overlap_saved_s, 1e-6);
 }
 
+TEST(ServerReplayTest, FatalMidRunClosesAdmissionAndDrainsEveryFuture) {
+  // Regression for the replay early-return path: a server-level fatal
+  // fired by the reduce observer used to propagate out of ReplayWorkload
+  // before admission was closed, leaving producers blocked on a full
+  // admission queue. The admission capacity here is far below the
+  // session count, so the test completing at all (instead of deadlocking
+  // in Submit) is the close+drain assertion; the returned status is the
+  // observer's.
+  const std::vector<workload::WorkloadQuery> queries = CycledQueries(64);
+  ServerConfig config;
+  config.sim.variant = sim::SystemVariant::kMsMiso;
+  config.wave_size = 4;
+  config.admission_capacity = 4;
+  config.reduce_observer = [](const sim::QueryRecord& record) {
+    return record.index == 5 ? Status::Internal("SLO breach: hard stop")
+                             : Status();
+  };
+  const Result<sim::RunReport> result =
+      ReplayWorkload(&PaperCatalog(), config, queries);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("hard stop"), std::string::npos)
+      << result.status().ToString();
+}
+
 TEST(ServerReplayTest, MultistoreSystemServeFacade) {
   MisoConfig miso_config;
   miso_config.sim.variant = sim::SystemVariant::kMsMiso;

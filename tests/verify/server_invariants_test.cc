@@ -1,0 +1,80 @@
+// The overload-protection invariants (DESIGN.md §16): V211 pins the
+// legal circuit-breaker edge set, V212 pins the shed-accounting balance
+// every non-fatal overload run must satisfy at Finish.
+#include "verify/server_invariants.h"
+
+#include <gtest/gtest.h>
+
+#include "verify/error_codes.h"
+
+namespace miso::verify {
+namespace {
+
+TEST(VerifyBreakerTransitionTest, LegalEdgesPass) {
+  EXPECT_TRUE(VerifyBreakerTransition(0, 1).ok());  // closed -> open
+  EXPECT_TRUE(VerifyBreakerTransition(1, 2).ok());  // open -> half-open
+  EXPECT_TRUE(VerifyBreakerTransition(2, 0).ok());  // half-open -> closed
+  EXPECT_TRUE(VerifyBreakerTransition(2, 1).ok());  // half-open -> open
+}
+
+TEST(VerifyBreakerTransitionTest, IllegalEdgesCarryV211) {
+  const int states[] = {0, 1, 2};
+  for (int from : states) {
+    for (int to : states) {
+      const bool legal = (from == 0 && to == 1) || (from == 1 && to == 2) ||
+                         (from == 2 && to == 0) || (from == 2 && to == 1);
+      const Status status = VerifyBreakerTransition(from, to);
+      EXPECT_EQ(status.ok(), legal) << from << " -> " << to;
+      if (!legal) {
+        EXPECT_EQ(ExtractVerifyCode(status),
+                  VerifyCode::kBreakerIllegalTransition)
+            << status.ToString();
+      }
+    }
+  }
+}
+
+TEST(VerifyBreakerTransitionTest, OutOfRangeStatesCarryV211) {
+  EXPECT_EQ(ExtractVerifyCode(VerifyBreakerTransition(-1, 1)),
+            VerifyCode::kBreakerIllegalTransition);
+  EXPECT_EQ(ExtractVerifyCode(VerifyBreakerTransition(0, 3)),
+            VerifyCode::kBreakerIllegalTransition);
+}
+
+TEST(VerifyShedAccountingTest, BalancedCountsPass) {
+  EXPECT_TRUE(VerifyShedAccounting(0, 0, 0, 0).ok());
+  EXPECT_TRUE(VerifyShedAccounting(10, 10, 0, 0).ok());
+  EXPECT_TRUE(VerifyShedAccounting(10, 4, 5, 1).ok());
+}
+
+TEST(VerifyShedAccountingTest, DriftAndNegativesCarryV212) {
+  EXPECT_EQ(ExtractVerifyCode(VerifyShedAccounting(10, 4, 5, 0)),
+            VerifyCode::kShedAccountingDrift);
+  EXPECT_EQ(ExtractVerifyCode(VerifyShedAccounting(10, 11, 0, 0)),
+            VerifyCode::kShedAccountingDrift);
+  EXPECT_EQ(ExtractVerifyCode(VerifyShedAccounting(10, 11, -1, 0)),
+            VerifyCode::kShedAccountingDrift);
+  EXPECT_EQ(ExtractVerifyCode(VerifyShedAccounting(-1, -1, 0, 0)),
+            VerifyCode::kShedAccountingDrift);
+}
+
+TEST(VerifyServerInvariantsTest, TokensAreStable) {
+  EXPECT_EQ(
+      ExtractVerifyCode(MakeVerifyError(VerifyCode::kServerWaveStuck, "x")),
+      VerifyCode::kServerWaveStuck);
+  EXPECT_NE(MakeVerifyError(VerifyCode::kBreakerIllegalTransition, "x")
+                .message()
+                .find("[V211]"),
+            std::string::npos);
+  EXPECT_NE(MakeVerifyError(VerifyCode::kShedAccountingDrift, "x")
+                .message()
+                .find("[V212]"),
+            std::string::npos);
+  EXPECT_NE(MakeVerifyError(VerifyCode::kServerWaveStuck, "x")
+                .message()
+                .find("[V213]"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace miso::verify

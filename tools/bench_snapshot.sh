@@ -13,11 +13,14 @@
 # A second snapshot ({"server": ...}, BENCH_server.json by default) covers
 # bench_server — session throughput and p99 session latency of the online
 # server's admission pipeline, online vs stop-the-world cadence, plus the
-# warm paper-workload replay family (plan cache x wave pipelining). The
-# headline number — warm-replay sessions/sec with cache and pipelining on
-# — is lifted into the snapshot block as
-# `warm_replay_sessions_per_s` so gates (tools/check.sh --perf) and
-# readers never dig through benchmark rows.
+# warm paper-workload replay family (plan cache x wave pipelining) and
+# the overload-protection family (BM_ServerOverloadShed: deadline
+# shedding under the chaos fault profile, breaker off/on). The headline
+# number — warm-replay sessions/sec with cache and pipelining on — is
+# lifted into the snapshot block as `warm_replay_sessions_per_s` so
+# gates (tools/check.sh --perf) and readers never dig through benchmark
+# rows; the breaker-on overload row's shed/failed/transition counters
+# are lifted as `overload_*` the same way.
 #
 # Refuses to run against a non-Release build dir (exit 2): every committed
 # snapshot carries library_build_type=release in its google-benchmark
@@ -40,7 +43,7 @@ while [ "$#" -gt 0 ]; do
     --out) OUT="$2"; shift 2 ;;
     --server-out) SERVER_OUT="$2"; shift 2 ;;
     -h|--help)
-      sed -n '2,19p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,32p' "$0" | sed 's/^# \{0,1\}//'
       exit 0 ;;
     *) echo "bench_snapshot.sh: unknown option '$1'" >&2; exit 2 ;;
   esac
@@ -129,6 +132,14 @@ if best is not None:
 for name, rate in warm_rows(server, cache_on=False):
     if name == "BM_ServerWarmReplay/0/0/1/real_time":
         server_snapshot["warm_replay_baseline_sessions_per_s"] = rate
+# Overload-protection headline: the breaker-on serial row's terminal
+# accounting, so a snapshot diff shows shed/failed drift at a glance.
+for row in server.get("benchmarks", []):
+    if row.get("name", "") == "BM_ServerOverloadShed/1/1/real_time":
+        for key in ("sessions_shed", "sessions_failed", "breaker_degraded",
+                    "breaker_transitions"):
+            if key in row:
+                server_snapshot["overload_" + key] = row[key]
 with open(server_out_path, "w") as f:
     json.dump({"snapshot": server_snapshot, "server": server}, f, indent=2,
               sort_keys=True)

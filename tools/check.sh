@@ -51,16 +51,27 @@
 # the online-vs-batch replay comparisons). The script fails if the label
 # is empty.
 #
+# With --overload the run is restricted to the `overload` ctest label —
+# the overload-protection suite (admission-deadline shedding, the
+# DW-health circuit breaker state machine and its chaos-profile
+# integration, session retry budgets, the stuck-wave watchdog, and the
+# V211/V212 invariants). The script fails if the label is empty, and
+# also fails if the breaker-off byte-identity tests (the
+# ServerOverloadZeroCost suite: overload disabled — and enabled but
+# never triggering — must serve byte-identically to the pre-overload
+# path) are not registered, so the zero-cost contract can never go
+# unwatched.
+#
 # With --lint the run is restricted to the `static_analysis` ctest label:
 # miso-lint (the project's dependency-free determinism & thread-safety
-# checker, tools/miso_lint.cc — rules [L001]..[L006], DESIGN.md section 13)
+# checker, tools/miso_lint.cc — rules [L001]..[L007], DESIGN.md section 13)
 # plus its rule/fixture tests, plus clang-tidy where LLVM tooling exists.
 # The script fails if static_analysis.miso_lint is not registered: the
 # clang_tidy test may legitimately report SKIPPED on gcc-only machines,
 # but the lint gate itself must never be vacuous.
 #
 # Usage: tools/check.sh [--tsan] [--obs] [--perf] [--fault] [--server]
-#                       [--lint]
+#                       [--overload] [--lint]
 #                       [--jobs N] [--build-dir DIR] [--tidy-only]
 #                       [--label L]   (restrict the test run to ctest -L L)
 set -euo pipefail
@@ -75,6 +86,7 @@ OBS=0
 PERF=0
 FAULT=0
 SERVER=0
+OVERLOAD=0
 LINT=0
 LABEL=""
 
@@ -85,13 +97,14 @@ while [ "$#" -gt 0 ]; do
     --perf) PERF=1; LABEL="perf"; shift ;;
     --fault) FAULT=1; LABEL="fault"; shift ;;
     --server) SERVER=1; LABEL="server"; shift ;;
+    --overload) OVERLOAD=1; LABEL="overload"; shift ;;
     --lint) LINT=1; LABEL="static_analysis"; shift ;;
     --jobs) JOBS="$2"; shift 2 ;;
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
     --label) LABEL="$2"; shift 2 ;;
     --tidy-only) TIDY_ONLY=1; shift ;;
     -h|--help)
-      sed -n '2,48p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,78p' "$0" | sed 's/^# \{0,1\}//'
       exit 0 ;;
     *) echo "check.sh: unknown option '$1'" >&2; exit 2 ;;
   esac
@@ -197,6 +210,29 @@ if [ "$SERVER" -eq 1 ]; then
     exit 1
   fi
   echo "== check.sh: server gate covers $SERVER_COUNT online-server tests"
+fi
+
+if [ "$OVERLOAD" -eq 1 ]; then
+  OVERLOAD_COUNT="$(ctest --test-dir "$BUILD_DIR" -L overload -N |
+                    sed -n 's/^Total Tests: \([0-9]*\)$/\1/p')"
+  if [ -z "$OVERLOAD_COUNT" ] || [ "$OVERLOAD_COUNT" -eq 0 ]; then
+    echo "check.sh: the 'overload' ctest label is empty — the overload gate" \
+         "would be vacuous" >&2
+    exit 1
+  fi
+  # The zero-cost contract is the gate's teeth: breaker+deadlines off
+  # (and enabled-but-idle) must be byte-identical to the pre-overload
+  # serving path. Those tests must exist by name, not just the label.
+  ZEROCOST_COUNT="$(ctest --test-dir "$BUILD_DIR" \
+                      -R '^ServerOverloadZeroCost\.' -N |
+                    sed -n 's/^Total Tests: \([0-9]*\)$/\1/p')"
+  if [ -z "$ZEROCOST_COUNT" ] || [ "$ZEROCOST_COUNT" -eq 0 ]; then
+    echo "check.sh: no ServerOverloadZeroCost tests registered — the" \
+         "breaker-off byte-identity contract would be unwatched" >&2
+    exit 1
+  fi
+  echo "== check.sh: overload gate covers $OVERLOAD_COUNT tests" \
+       "($ZEROCOST_COUNT byte-identity)"
 fi
 
 if [ "$LINT" -eq 1 ]; then

@@ -251,6 +251,7 @@ bool PathAllowed(const std::string& code_id, const std::string& path) {
   if (code_id == "L005") {
     return path == "src/obs/names.cc" || path == "src/obs/names.h";
   }
+  if (code_id == "L007") return path == "src/common/thread_pool.cc";
   return false;
 }
 
@@ -433,6 +434,10 @@ const std::vector<RuleInfo>& Rules() {
       {"L006",
        "mutex member lacks a GUARDED_BY annotation; annotate the state it "
        "protects (src/common/annotations.h)"},
+      {"L007",
+       "sleep_for/sleep_until outside src/common/thread_pool.cc; model code "
+       "must advance simulated time, not block a thread (overload deadlines "
+       "and breaker cooldowns are simulated-clock constructs)"},
   };
   return *rules;
 }
@@ -482,6 +487,10 @@ std::vector<Finding> LintFile(const std::string& path,
     if (clock_hit || WordCall(line_code, "time") ||
         WordCall(line_code, "clock")) {
       add(line, "L003");
+    }
+    if (ContainsWord(line_code, "sleep_for") ||
+        ContainsWord(line_code, "sleep_until")) {
+      add(line, "L007");
     }
   }
 
